@@ -1,0 +1,257 @@
+// ABL — ablation of the paper's parameter choices (DESIGN.md Section 3
+// "key design choices"; paper Section 4.1).
+//
+// The paper fixes alpha = n, K = (2n-1)(diam+1)+2, and privilege layout
+// base 2n / spacing 2 diam.  Three tables isolate what each choice buys:
+//
+//   A. Ring size.  The paper's K against the minimal Gamma_1-safe ring
+//      for the same spacing and for the minimal spacing diam+1 — clock
+//      memory (bits per register) and the service period (a vertex is
+//      privileged once per K synchronous steps inside Gamma_1), i.e. what
+//      the paper's slack costs in latency, and that it is *not* needed
+//      for Gamma_1 safety — only for the Theorem 2 synchronous argument.
+//   B. Layout safety boundary.  Shrinking the ring below the minimal
+//      safe size (or the spacing to diam) creates layouts for which a
+//      legitimate configuration carries TWO privileged vertices — the
+//      executable counterexample from find_gamma1_conflict; Gamma_1 is
+//      closed, so the protocol never escapes it: safety is lost forever,
+//      not transiently.
+//   C. Tail length.  alpha = n against the topology-exact minimum
+//      max(1, hole(g)-2): measured synchronous Gamma_1 convergence vs the
+//      alpha + lcp(g) + diam(g) bound of Boulinier et al. [3], and the
+//      measured worst synchronous spec_ME-safety stabilization vs the
+//      ceil(diam/2) Theorem 2 bound — the speculative profile survives
+//      the smaller tail on these instances, but the bound proof needs
+//      alpha = n (Lemma 4's arithmetic), so the paper pays tail memory
+//      for a proof, not for the measured behaviour.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/adversarial_configs.hpp"
+#include "core/generalized_ssme.hpp"
+#include "core/ssme.hpp"
+#include "core/theory.hpp"
+#include "graph/chordless.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/engine.hpp"
+#include "unison/parameters.hpp"
+
+namespace {
+
+using namespace specstab;
+
+struct Instance {
+  std::string family;
+  Graph graph;
+};
+
+std::vector<Instance> instances() {
+  return {
+      {"ring", make_ring(8)},     {"ring", make_ring(16)},
+      {"path", make_path(8)},     {"path", make_path(16)},
+      {"grid", make_grid(4, 4)},  {"torus", make_torus(4, 4)},
+      {"btree", make_binary_tree(15)},
+      {"random", make_random_connected(12, 0.25, 7)},
+  };
+}
+
+int bits_for(ClockValue alpha, ClockValue k) {
+  // Registers range over cherry(alpha, K) = {-alpha, .., K-1}.
+  const auto values = static_cast<double>(alpha) + static_cast<double>(k);
+  return static_cast<int>(std::ceil(std::log2(values)));
+}
+
+void table_a_ring_size() {
+  bench::print_title(
+      "ABL-A: ring size K — paper vs minimal Gamma_1-safe layouts");
+  bench::Table t({"family", "n", "diam", "K_paper", "K_min2d", "K_mind1",
+                  "bits", "bits_min"},
+                 11);
+  t.print_header();
+  for (const auto& inst : instances()) {
+    const VertexId n = inst.graph.n();
+    const VertexId diam = diameter(inst.graph);
+    const auto paper = GeneralizedSsmeParams::paper(n, diam);
+    // Minimal ring that keeps the paper's own spacing safe.
+    const ClockValue k_same_spacing =
+        min_safe_ring_size(n, diam, paper.spacing);
+    // Minimal spacing diam+1 with its minimal ring.
+    const auto minimal = GeneralizedSsmeParams::minimal_safe(
+        n, diam, static_cast<ClockValue>(n));
+    t.print_row(inst.family, n, diam, paper.k, k_same_spacing, minimal.k,
+                bits_for(paper.alpha, paper.k),
+                bits_for(minimal.alpha, minimal.k));
+  }
+  std::cout
+      << "\nK_min2d = minimal safe ring for the paper spacing 2*diam;\n"
+         "K_mind1 = minimal safe ring for spacing diam+1 (smallest safe\n"
+         "layout).  The service period inside Gamma_1 equals K synchronous\n"
+         "steps, so the minimal layout also serves every vertex ~"
+      << "K_paper/K_mind1 times faster.\n";
+}
+
+void table_b_safety_boundary() {
+  bench::print_title(
+      "ABL-B: the Gamma_1-safety boundary — one below the minimal ring");
+  bench::Table t({"family", "n", "diam", "K", "safe?", "witness", "legit?",
+                  "privileged"},
+                 11);
+  t.print_header();
+  for (const auto& inst : instances()) {
+    const VertexId n = inst.graph.n();
+    const VertexId diam = diameter(inst.graph);
+    auto params = GeneralizedSsmeParams::minimal_safe(
+        n, diam, static_cast<ClockValue>(n));
+    params.k -= 1;  // cross the boundary
+    const bool safe = gamma1_safe_layout(params);
+    const auto conflict = find_gamma1_conflict(inst.graph, params);
+    std::string witness = "none";
+    std::string legit = "-";
+    VertexId privileged = 0;
+    if (conflict) {
+      const auto [u, v] = *conflict;
+      witness = std::to_string(u) + "," + std::to_string(v);
+      const auto cfg = gamma1_conflict_config(inst.graph, params, u, v);
+      const GeneralizedSsmeProtocol proto(params);
+      legit = proto.legitimate(inst.graph, cfg) ? "yes" : "no";
+      privileged = proto.count_privileged(inst.graph, cfg);
+    }
+    t.print_row(inst.family, n, diam, params.k, safe ? "yes" : "NO", witness,
+                legit, privileged);
+  }
+  std::cout
+      << "\nExpected shape: every row unsafe (safe? = NO).  Where the\n"
+         "identity embedding realises the conflict (witness != none), the\n"
+         "constructed configuration is legitimate with two privileged\n"
+         "vertices — and Gamma_1 is closed, so safety never recovers.\n";
+}
+
+void table_c_tail_length() {
+  bench::print_title(
+      "ABL-C: tail length alpha — paper (n) vs topology-exact minimum");
+  bench::Table t({"family", "n", "alpha", "au_bound", "au_meas", "me_bound",
+                  "me_meas", "ok?"},
+                 11);
+  t.print_header();
+  for (const auto& inst : instances()) {
+    const VertexId n = inst.graph.n();
+    const VertexId diam = diameter(inst.graph);
+    const VertexId lcp = longest_chordless_path(inst.graph);
+    const auto minimal_params = minimal_unison_parameters(inst.graph);
+    for (const ClockValue alpha :
+         {minimal_params.alpha, static_cast<ClockValue>(n)}) {
+      GeneralizedSsmeParams params = GeneralizedSsmeParams::paper(n, diam);
+      params.alpha = alpha;
+      const GeneralizedSsmeProtocol proto(params);
+      SynchronousDaemon d;
+      RunOptions opt;
+      opt.max_steps = 6 * (params.k + params.alpha);
+      opt.steps_after_convergence = 0;
+
+      const std::function<bool(const Graph&, const Config<ClockValue>&)>
+          legit = [&proto](const Graph& gg, const Config<ClockValue>& c) {
+            return proto.legitimate(gg, c);
+          };
+      const std::function<bool(const Graph&, const Config<ClockValue>&)>
+          safe = [&proto](const Graph& gg, const Config<ClockValue>& c) {
+            return proto.mutex_safe(gg, c);
+          };
+
+      // Random starts plus the Theorem-4 two-gradient witness (legal here:
+      // the privilege layout is the paper's, and the witness only uses
+      // ring values, which alpha does not touch).
+      const SsmeProtocol paper_proto = SsmeProtocol::for_graph(inst.graph);
+      auto inits = random_configs(inst.graph, proto.clock(), 10, 0xab1);
+      inits.push_back(two_gradient_config(inst.graph, paper_proto));
+
+      StepIndex worst_au = 0;
+      StepIndex worst_me = 0;
+      for (const auto& init : inits) {
+        const auto res_au =
+            run_execution(inst.graph, proto, d, init, opt, legit);
+        if (res_au.converged()) {
+          worst_au = std::max(worst_au, res_au.convergence_steps());
+        }
+        RunOptions opt_me = opt;
+        opt_me.steps_after_convergence.reset();
+        opt_me.max_steps = 2 * (params.k + params.alpha);
+        const auto res_me =
+            run_execution(inst.graph, proto, d, init, opt_me, safe);
+        if (res_me.converged()) {
+          worst_me = std::max(worst_me, res_me.convergence_steps());
+        }
+      }
+      const std::int64_t au_bound = unison_sync_bound(alpha, lcp, diam);
+      const std::int64_t me_bound = ssme_sync_bound(diam);
+      t.print_row(inst.family, n, alpha, au_bound, worst_au, me_bound,
+                  worst_me,
+                  (worst_au <= au_bound && worst_me <= me_bound) ? "ok"
+                                                                 : "VIOLATED");
+    }
+  }
+  std::cout
+      << "\nau = Gamma_1 convergence vs alpha + lcp + diam [3]; me = spec_ME\n"
+         "safety vs ceil(diam/2) (Theorem 2).  Expected shape: both within\n"
+         "bounds on each row; the smaller tail converges no slower — the\n"
+         "paper buys proof arithmetic (Lemma 4 needs alpha = n), not speed.\n";
+}
+
+void BM_MinimalLayoutSyncConvergence(benchmark::State& state) {
+  const Graph g = make_ring(static_cast<VertexId>(state.range(0)));
+  const auto params = GeneralizedSsmeParams::minimal_safe(
+      g.n(), diameter(g), static_cast<ClockValue>(g.n()));
+  const GeneralizedSsmeProtocol proto(params);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 6 * (params.k + params.alpha);
+  opt.steps_after_convergence = 0;
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> legit =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      };
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto res = run_execution(
+        g, proto, d, random_config(g, proto.clock(), seed++), opt, legit);
+    benchmark::DoNotOptimize(res.steps);
+  }
+}
+BENCHMARK(BM_MinimalLayoutSyncConvergence)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PaperLayoutSyncConvergence(benchmark::State& state) {
+  const Graph g = make_ring(static_cast<VertexId>(state.range(0)));
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 6 * (proto.params().k + proto.params().alpha);
+  opt.steps_after_convergence = 0;
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> legit =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      };
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto res = run_execution(
+        g, proto, d, random_config(g, proto.clock(), seed++), opt, legit);
+    benchmark::DoNotOptimize(res.steps);
+  }
+}
+BENCHMARK(BM_PaperLayoutSyncConvergence)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  table_a_ring_size();
+  table_b_safety_boundary();
+  table_c_tail_length();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

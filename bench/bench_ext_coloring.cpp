@@ -1,0 +1,153 @@
+// EXT-COL — speculative stabilization beyond mutual exclusion (paper
+// Section 6), applied to (Delta+1)-coloring.
+//
+// The seniority protocol converges under every daemon; the synchronous
+// daemon resolves whole conflict fronts per step while central schedules
+// pay one move per step.  The harness reports conv_time in *steps* and in
+// *moves* under both regimes — the move counts nearly coincide (the same
+// repairs happen) while the step counts separate: exactly the paper's
+// point that speculation buys wall-clock time, not work, in the frequent
+// case.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/growth.hpp"
+#include "core/speculation.hpp"
+#include "extensions/coloring.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace specstab;
+
+std::function<bool(const Graph&, const Config<std::int32_t>&)> legit_of(
+    const ColoringProtocol& proto) {
+  return [&proto](const Graph& g, const Config<std::int32_t>& c) {
+    return proto.legitimate(g, c);
+  };
+}
+
+std::vector<Config<std::int32_t>> initial_configs(
+    const Graph& g, const ColoringProtocol& proto) {
+  std::vector<Config<std::int32_t>> inits = {monochrome_config(g, 0)};
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    inits.push_back(random_coloring_config(g, proto.palette_size(),
+                                           0xc0 + seed));
+  }
+  return inits;
+}
+
+void speculation_table() {
+  bench::print_title(
+      "EXT-COL: (Delta+1)-coloring — steps and moves, sd vs portfolio");
+  bench::Table t({"family", "n", "m", "sd_steps", "ud_steps", "sd_moves",
+                  "ud_moves", "sep"},
+                 11);
+  t.print_header();
+  const std::vector<std::pair<std::string, Graph>> instances = {
+      {"ring", make_ring(16)},
+      {"ring", make_ring(32)},
+      {"grid", make_grid(5, 5)},
+      {"torus", make_torus(5, 5)},
+      {"complete", make_complete(10)},
+      {"btree", make_binary_tree(31)},
+      {"random", make_random_connected(24, 0.2, 9)},
+      {"random", make_random_connected(40, 0.1, 10)},
+  };
+  for (const auto& [family, g] : instances) {
+    const ColoringProtocol proto(g);
+    const auto inits = initial_configs(g, proto);
+    RunOptions opt;
+    opt.max_steps = 2000 * g.n();
+
+    SynchronousDaemon sd;
+    const auto sync =
+        measure_convergence(g, proto, sd, inits, legit_of(proto), opt);
+    auto portfolio = AdversaryPortfolio::standard(0xc0105);
+    const auto pm =
+        measure_portfolio(g, proto, portfolio, inits, legit_of(proto), opt);
+
+    t.print_row(family, g.n(), g.m(), sync.worst_steps, pm.worst_steps,
+                sync.worst_moves, pm.worst_moves,
+                bench::ratio(static_cast<double>(pm.worst_steps),
+                             static_cast<double>(sync.worst_steps)));
+  }
+  std::cout
+      << "\nExpected shape: moves comparable across daemons (same repairs),\n"
+         "steps separated on grids/trees/random graphs — the synchronous\n"
+         "daemon repairs conflict fronts in parallel; central schedules\n"
+         "serialize them.  Rings with sequential identities are the one\n"
+         "family where the gap closes: the seniority wave must traverse\n"
+         "the length-n decreasing-identity chain one step at a time, so\n"
+         "sd pays ~n too — the speculative profile depends on topology\n"
+         "AND identity labelling, not on the protocol alone.\n";
+}
+
+void growth_fit() {
+  bench::print_title(
+      "EXT-COL: growth fit on bounded-degree random graphs (steps ~ c*n^e)");
+  std::vector<std::int64_t> ns;
+  std::vector<std::int64_t> sd_steps;
+  std::vector<std::int64_t> ud_steps;
+  for (VertexId n : {12, 16, 24, 32, 48, 64}) {
+    // Keep the expected degree ~6 so Delta (and the palette) stays flat
+    // while n grows.
+    const double p = std::min(0.5, 6.0 / static_cast<double>(n));
+    const Graph g = make_random_connected(n, p, 23 + n);
+    const ColoringProtocol proto(g);
+    const auto inits = initial_configs(g, proto);
+    RunOptions opt;
+    opt.max_steps = 2000 * n;
+    SynchronousDaemon sd;
+    const auto sync =
+        measure_convergence(g, proto, sd, inits, legit_of(proto), opt);
+    auto portfolio = AdversaryPortfolio::standard(0x57);
+    const auto pm =
+        measure_portfolio(g, proto, portfolio, inits, legit_of(proto), opt);
+    ns.push_back(n);
+    sd_steps.push_back(sync.worst_steps);
+    ud_steps.push_back(pm.worst_steps);
+  }
+  const auto fit_sd = fit_power_law(ns, sd_steps);
+  const auto fit_ud = fit_power_law(ns, ud_steps);
+  std::cout << "  sd exponent: " << fit_sd.exponent
+            << " (r2 = " << fit_sd.r_squared << ")\n"
+            << "  ud exponent: " << fit_ud.exponent
+            << " (r2 = " << fit_ud.r_squared << ")\n"
+            << "Expected shape: sd exponent near 0 (conflict fronts shrink\n"
+               "in parallel, time set by the local decreasing-identity\n"
+               "depth), ud exponent ~1 (one repair per step).\n";
+}
+
+void BM_ColoringSyncMonochrome(benchmark::State& state) {
+  const Graph g =
+      make_random_connected(static_cast<VertexId>(state.range(0)), 0.2, 17);
+  const ColoringProtocol proto(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 2000 * g.n();
+  for (auto _ : state) {
+    const auto res = run_execution(g, proto, d, monochrome_config(g, 0), opt,
+                                   legit_of(proto));
+    benchmark::DoNotOptimize(res.steps);
+  }
+}
+BENCHMARK(BM_ColoringSyncMonochrome)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  speculation_table();
+  growth_fit();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,200 @@
+// FAULT — transient-fault recovery (MTTR) as a function of fault
+// magnitude.
+//
+// Self-stabilization's operational promise: after a burst of transient
+// faults corrupts f registers, the system re-stabilizes on its own.  The
+// paper's Theorem 2 bounds the synchronous re-stabilization of spec_ME
+// safety by ceil(diam/2) *regardless of f* (the bound quantifies over all
+// configurations).  This bench sweeps f from a single corrupted register
+// to full-system corruption and reports, under the synchronous daemon and
+// a Bernoulli(0.5) asynchronous schedule:
+//
+//   - worst spec_ME-safety recovery steps (vs the Theorem 2 bound),
+//   - worst Gamma_1 (full unison) recovery steps,
+//   - how often safety was even violated during recovery (small faults
+//     rarely manufacture a second privilege).
+//
+// Expected shape: safety recovery <= ceil(diam/2) on every row
+// (magnitude-independent bound); Gamma_1 recovery grows mildly with f;
+// violation frequency grows with f.
+#include <benchmark/benchmark.h>
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/adversarial_configs.hpp"
+#include "core/ssme.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace specstab;
+
+struct RecoveryRow {
+  StepIndex worst_safety = 0;
+  StepIndex worst_gamma1 = 0;
+  int violated_runs = 0;
+  int runs = 0;
+};
+
+RecoveryRow measure_recovery(const Graph& g, const SsmeProtocol& proto,
+                             Daemon& daemon, VertexId victims,
+                             std::size_t trials, std::uint64_t seed) {
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> safe =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.mutex_safe(gg, c);
+      };
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> legit =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      };
+
+  // A legitimate steady-state configuration to corrupt: run the clean
+  // start well past convergence.
+  SynchronousDaemon warmup;
+  RunOptions warm_opt;
+  warm_opt.max_steps = proto.params().k + 7;
+  const auto steady =
+      run_execution(g, proto, warmup, zero_config(g), warm_opt).final_config;
+
+  RecoveryRow row;
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto faulty =
+        inject_fault(steady, proto.clock(), victims, seed + t);
+    RunOptions opt;
+    opt.max_steps = 20 * (proto.params().k + proto.params().n);
+
+    daemon.reset();
+    const auto res_safe = run_execution(g, proto, daemon, faulty, opt, safe);
+    daemon.reset();
+    const auto res_legit = run_execution(g, proto, daemon, faulty, opt, legit);
+    ++row.runs;
+    if (res_safe.last_illegitimate >= 0) ++row.violated_runs;
+    if (res_safe.converged()) {
+      row.worst_safety =
+          std::max(row.worst_safety, res_safe.convergence_steps());
+    }
+    if (res_legit.converged()) {
+      row.worst_gamma1 =
+          std::max(row.worst_gamma1, res_legit.convergence_steps());
+    }
+  }
+  return row;
+}
+
+void recovery_table(const std::string& title, Daemon& daemon,
+                    bool check_sync_bound) {
+  bench::print_title(title);
+  bench::Table t({"family", "n", "diam", "f", "safety", "bound", "gamma1",
+                  "violated"},
+                 10);
+  t.print_header();
+  const std::vector<std::pair<std::string, Graph>> instances = {
+      {"ring", make_ring(12)},
+      {"path", make_path(12)},
+      {"grid", make_grid(4, 4)},
+      {"btree", make_binary_tree(15)},
+  };
+  for (const auto& [family, g] : instances) {
+    const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+    const std::int64_t bound = ssme_sync_bound(proto.params().diam);
+    for (const VertexId f :
+         {VertexId{1}, VertexId{2}, g.n() / 4, g.n() / 2, g.n()}) {
+      if (f < 1) continue;
+      const auto row = measure_recovery(g, proto, daemon, f, 12, 0xfa17);
+      t.print_row(family, g.n(), proto.params().diam, f, row.worst_safety,
+                  bound, row.worst_gamma1,
+                  std::to_string(row.violated_runs) + "/" +
+                      std::to_string(row.runs));
+      if (check_sync_bound && row.worst_safety > bound) {
+        std::cout << "!! THEOREM 2 BOUND VIOLATED\n";
+      }
+    }
+    // The adversarial "fault": the two-gradient witness — the one
+    // corruption pattern that exercises the bound tightly.
+    {
+      const std::function<bool(const Graph&, const Config<ClockValue>&)>
+          safe = [&proto](const Graph& gg, const Config<ClockValue>& c) {
+            return proto.mutex_safe(gg, c);
+          };
+      RunOptions opt;
+      opt.max_steps = 20 * (proto.params().k + proto.params().n);
+      daemon.reset();
+      const auto res = run_execution(g, proto, daemon,
+                                     two_gradient_config(g, proto), opt, safe);
+      t.print_row(family, g.n(), proto.params().diam, "wit",
+                  res.converged() ? res.convergence_steps() : -1, bound, "-",
+                  res.last_illegitimate >= 0 ? "1/1" : "0/1");
+      if (check_sync_bound && res.converged() &&
+          res.convergence_steps() > bound) {
+        std::cout << "!! THEOREM 2 BOUND VIOLATED\n";
+      }
+    }
+  }
+}
+
+void run_experiment() {
+  SynchronousDaemon sd;
+  recovery_table(
+      "FAULT: recovery vs fault magnitude f, synchronous daemon "
+      "[Theorem 2: safety <= ceil(diam/2) for ANY f]",
+      sd, true);
+  std::cout
+      << "\nExpected shape: safety column <= bound on every row\n"
+         "(magnitude-independent).  Random register corruption essentially\n"
+         "never lands TWO registers on their exact privileged values, so\n"
+         "safety recovery is 0 and violated is 0/12 — the paper's bound is\n"
+         "about the worst case, which only the crafted witness rows (f =\n"
+         "wit, the two-gradient configuration) exercise: these hit the\n"
+         "bound tightly.  gamma1 (full unison recovery) shrinks slightly\n"
+         "as f grows: heavier corruption triggers the global reset wave\n"
+         "sooner.\n";
+
+  DistributedBernoulliDaemon async_daemon(0.5, 0xa57);
+  recovery_table(
+      "FAULT: recovery vs fault magnitude f, Bernoulli(0.5) daemon "
+      "[asynchronous re-stabilization, Theorem 1]",
+      async_daemon, false);
+  std::cout << "\nExpected shape: recovery still guaranteed (Theorem 1) but\n"
+               "steps exceed the synchronous column — the speculation gap\n"
+               "applies to recovery too.\n";
+}
+
+void BM_RecoverySingleFault(benchmark::State& state) {
+  const Graph g = make_ring(static_cast<VertexId>(state.range(0)));
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon warmup;
+  RunOptions warm_opt;
+  warm_opt.max_steps = proto.params().k + 5;
+  const auto steady =
+      run_execution(g, proto, warmup, zero_config(g), warm_opt).final_config;
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 4 * proto.params().k;
+  opt.steps_after_convergence = 0;
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> legit =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      };
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto faulty = inject_fault(steady, proto.clock(), 1, seed++);
+    const auto res = run_execution(g, proto, d, faulty, opt, legit);
+    benchmark::DoNotOptimize(res.steps);
+  }
+}
+BENCHMARK(BM_RecoverySingleFault)->Arg(8)->Arg(16)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

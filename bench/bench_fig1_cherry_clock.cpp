@@ -1,0 +1,88 @@
+// FIG1 — regenerates Figure 1: the bounded clock X = (cherry(alpha, K), phi)
+// with alpha = 5 and K = 12.
+//
+// Prints the tail-and-ring structure, the phi transition table, and d_K
+// geodesics, then micro-benchmarks the clock algebra (it sits on SSME's
+// hot path).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "clock/cherry_clock.hpp"
+
+namespace {
+
+using specstab::CherryClock;
+using specstab::ClockValue;
+
+void print_figure1() {
+  const CherryClock x(5, 12);
+  specstab::bench::print_title(
+      "FIG1: bounded clock X = (cherry(alpha=5, K=12), phi)  [paper Fig. 1]");
+
+  std::cout << "tail (init* values):  ";
+  for (ClockValue c = -5; c < 0; ++c) std::cout << c << " -> ";
+  std::cout << "0 (graft)\n";
+
+  std::cout << "ring (stab values):   ";
+  ClockValue c = 0;
+  for (int i = 0; i < 12; ++i) {
+    std::cout << c << " -> ";
+    c = x.increment(c);
+  }
+  std::cout << "0 (wrap)\n\n";
+
+  specstab::bench::Table t({"c", "phi(c)", "in_init", "in_stab", "dK(c,0)"},
+                           10);
+  t.print_header();
+  for (ClockValue v : x.all_values()) {
+    t.print_row(v, x.increment(v), x.in_init(v) ? "yes" : "no",
+                x.in_stab(v) ? "yes" : "no",
+                x.in_stab(v) ? std::to_string(x.ring_distance(v, 0)) : "-");
+  }
+
+  std::cout << "\nreset: any value of cherry(5,12) \\ {-5}  ->  -5\n";
+  std::cout << "|cherry(5,12)| = " << x.all_values().size()
+            << " (tail 5 + ring 12)\n";
+}
+
+void BM_Increment(benchmark::State& state) {
+  const CherryClock x(64, 8000);
+  ClockValue c = -64;
+  for (auto _ : state) {
+    c = x.increment(c);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_Increment);
+
+void BM_RingDistance(benchmark::State& state) {
+  const CherryClock x(64, 8000);
+  ClockValue a = 17, b = 6400;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.ring_distance(a, b));
+    a = (a + 13) % 8000;
+    b = (b + 29) % 8000;
+  }
+}
+BENCHMARK(BM_RingDistance);
+
+void BM_LeLocal(benchmark::State& state) {
+  const CherryClock x(64, 8000);
+  ClockValue a = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x.le_local(a, a + 1));
+    a = (a + 1) % 7000;
+  }
+}
+BENCHMARK(BM_LeLocal);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,163 @@
+// LEMMA3 — the island erosion behind Theorem 2, made visible.
+//
+// The synchronous argument of the paper traces privileges backwards
+// through *islands* (Definitions 5-6): every border vertex of a non-zero
+// island resets each synchronous step, so the maximal island depth
+// decreases by at least one per step (Lemma 3).  This bench runs
+// synchronous executions from adversarial depth-maximising
+// configurations and prints the maximal non-zero-island depth per step —
+// the paper's erosion, row by row — plus the empirical per-step depth
+// decrease over random configurations.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/adversarial_configs.hpp"
+#include "core/islands.hpp"
+#include "core/ssme.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace specstab;
+
+VertexId max_nonzero_depth(const Graph& g, const SsmeProtocol& proto,
+                           const Config<ClockValue>& cfg) {
+  VertexId depth = -1;  // -1: no non-zero island at all
+  for (const auto& island : find_islands(g, proto.unison(), cfg)) {
+    if (!island.zero) depth = std::max(depth, island.depth);
+  }
+  return depth;
+}
+
+/// A deep non-zero island: one high plateau value on all of g except a
+/// single tail vertex, giving depth ecc(corner) - 1-ish.
+Config<ClockValue> deep_island_config(const Graph& g,
+                                      const SsmeProtocol& proto,
+                                      VertexId hole_vertex) {
+  Config<ClockValue> cfg(static_cast<std::size_t>(g.n()),
+                         static_cast<ClockValue>(2 * proto.params().n));
+  cfg[static_cast<std::size_t>(hole_vertex)] = -proto.params().alpha;
+  return cfg;
+}
+
+void erosion_trace() {
+  bench::print_title(
+      "LEMMA3: maximal non-zero-island depth per synchronous step");
+  const std::vector<std::pair<std::string, Graph>> instances = {
+      {"path-10", make_path(10)},
+      {"ring-12", make_ring(12)},
+      {"grid-4x4", make_grid(4, 4)},
+  };
+  for (const auto& [name, g] : instances) {
+    const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+    SynchronousDaemon d;
+    RunOptions opt;
+    opt.max_steps = diameter(g) + 2;
+    opt.record_trace = true;
+    const auto res = run_execution(g, proto, d,
+                                   deep_island_config(g, proto, 0), opt);
+    std::cout << name << ": depth per step =";
+    for (const auto& cfg : res.trace) {
+      const VertexId depth = max_nonzero_depth(g, proto, cfg);
+      if (depth < 0) {
+        std::cout << " .";
+      } else {
+        std::cout << ' ' << depth;
+      }
+    }
+    std::cout << '\n';
+  }
+  std::cout << "\nExpected shape: strictly decreasing by >= 1 per step while\n"
+               "a non-zero island exists ('.' = none left) — Lemma 3.\n";
+}
+
+/// Plateau with a tail hole at `hole_vertex` plus a drift seam at
+/// `seam_vertex`: two non-zero islands of different depths.
+Config<ClockValue> seamed_island_config(const Graph& g,
+                                        const SsmeProtocol& proto,
+                                        VertexId hole_vertex,
+                                        VertexId seam_vertex) {
+  auto cfg = deep_island_config(g, proto, hole_vertex);
+  if (seam_vertex != hole_vertex) {
+    // Shift one vertex by 3 ring positions: locally incomparable, so the
+    // seam splits the plateau without leaving stab.
+    cfg[static_cast<std::size_t>(seam_vertex)] =
+        proto.clock().ring_projection(
+            static_cast<std::int64_t>(2 * proto.params().n) + 3);
+  }
+  return cfg;
+}
+
+void erosion_statistics() {
+  bench::print_title(
+      "LEMMA3: per-step depth decrease over crafted island configurations");
+  bench::Table t({"family", "n", "steps", "monotone?", "min_drop"}, 12);
+  t.print_header();
+  const std::vector<std::pair<std::string, Graph>> instances = {
+      {"path", make_path(12)},
+      {"ring", make_ring(16)},
+      {"grid", make_grid(4, 4)},
+      {"random", make_random_connected(14, 0.2, 5)},
+  };
+  for (const auto& [family, g] : instances) {
+    const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+    SynchronousDaemon d;
+    RunOptions opt;
+    opt.max_steps = diameter(g);
+    opt.record_trace = true;
+    bool monotone = true;
+    StepIndex transitions = 0;
+    VertexId min_drop = g.n();
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      d.reset();
+      const auto hole = static_cast<VertexId>(seed % g.n());
+      const auto seam =
+          static_cast<VertexId>((seed * 7 + 3) % g.n());
+      const auto res = run_execution(
+          g, proto, d, seamed_island_config(g, proto, hole, seam), opt);
+      for (std::size_t i = 1; i < res.trace.size(); ++i) {
+        const VertexId before =
+            max_nonzero_depth(g, proto, res.trace[i - 1]);
+        const VertexId after = max_nonzero_depth(g, proto, res.trace[i]);
+        if (after < 0) continue;  // islands gone
+        ++transitions;
+        const VertexId drop = before - after;
+        min_drop = std::min(min_drop, drop);
+        if (before >= 0 && after > before - 1) monotone = false;
+      }
+    }
+    t.print_row(family, g.n(), transitions, monotone ? "yes" : "NO",
+                transitions > 0 ? min_drop : 0);
+  }
+  std::cout << "\nExpected shape: monotone on every row with min_drop >= 1\n"
+               "(the erosion never stalls while non-zero islands remain).\n";
+}
+
+void BM_IslandAnalysis(benchmark::State& state) {
+  const Graph g = make_grid(static_cast<VertexId>(state.range(0)),
+                            static_cast<VertexId>(state.range(0)));
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto cfg = random_config(g, proto.clock(), seed++);
+    const auto islands = find_islands(g, proto.unison(), cfg);
+    benchmark::DoNotOptimize(islands.size());
+  }
+}
+BENCHMARK(BM_IslandAnalysis)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  erosion_trace();
+  erosion_statistics();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

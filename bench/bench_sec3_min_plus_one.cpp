@@ -1,0 +1,127 @@
+// SEC3-MIN1 — Section 3 example 2: the Huang-Chen min+1 BFS protocol is
+// (ud, sd, n^2, diam)-speculatively stabilizing.
+//
+// Expected shape: synchronous steps track diam(g); worst moves under
+// central-adversarial schedules grow clearly faster (~n^2 on paths).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <random>
+
+#include "baselines/min_plus_one.hpp"
+#include "bench_util.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace {
+
+using namespace specstab;
+using MState = MinPlusOneProtocol::State;
+
+Config<MState> random_levels(VertexId n, MState cap, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<MState> pick(0, cap);
+  Config<MState> cfg(static_cast<std::size_t>(n));
+  for (auto& s : cfg) s = pick(rng);
+  return cfg;
+}
+
+struct Meas {
+  StepIndex sync_steps = 0;       // worst sync steps over seeds
+  std::int64_t adv_moves = 0;     // worst moves over adversarial daemons
+};
+
+Meas measure(const Graph& g) {
+  const MinPlusOneProtocol proto(g);
+  const std::function<bool(const Graph&, const Config<MState>&)> legit =
+      [&proto](const Graph& gg, const Config<MState>& c) {
+        return proto.legitimate(gg, c);
+      };
+  Meas m;
+  {
+    SynchronousDaemon d;
+    RunOptions opt;
+    opt.max_steps = 20 * (diameter(g) + 2);
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      const auto res = run_execution(
+          g, proto, d, random_levels(g.n(), g.n(), seed), opt, legit);
+      if (res.converged())
+        m.sync_steps = std::max(m.sync_steps, res.convergence_steps());
+    }
+  }
+  {
+    std::vector<std::unique_ptr<Daemon>> daemons;
+    daemons.push_back(std::make_unique<CentralMinIdDaemon>());
+    daemons.push_back(std::make_unique<CentralMaxIdDaemon>());
+    daemons.push_back(std::make_unique<CentralRoundRobinDaemon>());
+    RunOptions opt;
+    opt.max_steps =
+        40 * static_cast<StepIndex>(g.n()) * static_cast<StepIndex>(g.n());
+    for (auto& d : daemons) {
+      for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        d->reset();
+        const auto res = run_execution(
+            g, proto, *d, random_levels(g.n(), g.n(), 100 + seed), opt, legit);
+        if (res.converged())
+          m.adv_moves = std::max(m.adv_moves, res.moves_to_convergence);
+      }
+    }
+  }
+  return m;
+}
+
+void run_experiment() {
+  bench::print_title(
+      "SEC3-MIN1: min+1 BFS trees (ud ~ n^2, sd ~ diam)  [paper Section 3]");
+  bench::Table t({"family", "n", "diam", "sd-steps", "theta(diam)",
+                  "ud-moves", "theta(n^2)"},
+                 12);
+  t.print_header();
+  struct Inst {
+    const char* family;
+    Graph g;
+  };
+  std::vector<Inst> insts;
+  for (VertexId n : {8, 16, 32, 64}) insts.push_back({"path", make_path(n)});
+  insts.push_back({"grid", make_grid(4, 4)});
+  insts.push_back({"grid", make_grid(6, 6)});
+  insts.push_back({"grid", make_grid(8, 8)});
+  insts.push_back({"ring", make_ring(24)});
+  insts.push_back({"btree", make_binary_tree(31)});
+  insts.push_back({"random", make_random_connected(32, 0.1, 4)});
+
+  for (const auto& inst : insts) {
+    const Meas m = measure(inst.g);
+    t.print_row(inst.family, inst.g.n(), diameter(inst.g), m.sync_steps,
+                min_plus_one_sync_theta(diameter(inst.g)), m.adv_moves,
+                min_plus_one_ud_theta(inst.g.n()));
+  }
+  std::cout << "\nExpected shape: sd-steps tracks diam (speculative fast\n"
+               "path); ud-moves grows much faster with n (Theta(n^2)-ish\n"
+               "on paths under the lazy central schedules).\n";
+}
+
+void BM_Min1Sync(benchmark::State& state) {
+  const Graph g = make_path(static_cast<VertexId>(state.range(0)));
+  const MinPlusOneProtocol proto(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 20 * g.n();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    const auto res = run_execution(
+        g, proto, d, random_levels(g.n(), g.n(), seed++), opt);
+    benchmark::DoNotOptimize(res.steps);
+  }
+}
+BENCHMARK(BM_Min1Sync)->Arg(32)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// THM2 — Theorem 2: conv_time(SSME, sd) <= ceil(diam(g)/2) steps.
+//
+// Sweeps topology families and sizes; for each instance, measures the
+// worst spec_ME-safety stabilization time under the synchronous daemon
+// over random initial configurations plus the two-gradient witness, and
+// prints it against the paper bound.  Expected shape: measured <= bound
+// everywhere, with equality wherever the witness is effective (paths,
+// rings, grids) — the bound is tight (Theorem 4).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/ssme.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace specstab;
+
+struct Row {
+  std::string family;
+  Graph graph;
+};
+
+std::vector<Row> instances() {
+  std::vector<Row> rows;
+  for (VertexId n : {8, 16, 32, 64}) rows.push_back({"ring", make_ring(n)});
+  for (VertexId n : {8, 16, 32, 64}) rows.push_back({"path", make_path(n)});
+  rows.push_back({"grid", make_grid(4, 4)});
+  rows.push_back({"grid", make_grid(6, 6)});
+  rows.push_back({"grid", make_grid(8, 8)});
+  rows.push_back({"torus", make_torus(4, 4)});
+  rows.push_back({"torus", make_torus(6, 6)});
+  rows.push_back({"btree", make_binary_tree(31)});
+  rows.push_back({"btree", make_binary_tree(63)});
+  rows.push_back({"hcube", make_hypercube(4)});
+  rows.push_back({"hcube", make_hypercube(5)});
+  rows.push_back({"star", make_star(32)});
+  rows.push_back({"complete", make_complete(16)});
+  rows.push_back({"random", make_random_connected(24, 0.15, 11)});
+  rows.push_back({"random", make_random_connected(40, 0.08, 12)});
+  return rows;
+}
+
+void run_experiment() {
+  bench::print_title(
+      "THM2: conv_time(SSME, sd) vs ceil(diam/2)  [paper Theorem 2]");
+  bench::Table t({"family", "n", "diam", "bound", "measured", "tight?"});
+  t.print_header();
+  for (const auto& row : instances()) {
+    const SsmeProtocol proto = SsmeProtocol::for_graph(row.graph);
+    const std::int64_t bound = ssme_sync_bound(proto.params().diam);
+    const StepIndex measured =
+        bench::worst_sync_safety_steps(row.graph, proto, 10, 0xbeef);
+    t.print_row(row.family, row.graph.n(), proto.params().diam, bound,
+                measured, measured == bound ? "tight" : "<=");
+    if (measured > bound) {
+      std::cout << "!! BOUND VIOLATED on " << row.family << " n="
+                << row.graph.n() << "\n";
+    }
+  }
+  std::cout << "\nExpected shape: measured <= ceil(diam/2) on every row;\n"
+               "equality (tight) wherever the two-gradient witness applies.\n";
+}
+
+void BM_SyncStabilizationRing(benchmark::State& state) {
+  const Graph g = make_ring(static_cast<VertexId>(state.range(0)));
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 4 * proto.params().k;
+  opt.steps_after_convergence = 0;
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> legit =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      };
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const auto init = random_config(g, proto.clock(), seed++);
+    const auto res = run_execution(g, proto, d, init, opt, legit);
+    benchmark::DoNotOptimize(res.steps);
+  }
+}
+BENCHMARK(BM_SyncStabilizationRing)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_experiment();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Shared helpers for the experiment benches: fixed-width table printing
+// (paper-vs-measured rows) and common measurement wrappers.
+#ifndef SPECSTAB_BENCH_BENCH_UTIL_HPP
+#define SPECSTAB_BENCH_BENCH_UTIL_HPP
+
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/adversarial_configs.hpp"
+#include "core/ssme.hpp"
+#include "graph/graph.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+
+namespace specstab::bench {
+
+/// Fixed-width table writer for the experiment reports.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int width = 14)
+      : headers_(std::move(headers)), width_(width) {}
+
+  void print_header(std::ostream& os = std::cout) const {
+    for (const auto& h : headers_) os << std::setw(width_) << h;
+    os << '\n';
+    os << std::string(headers_.size() * static_cast<std::size_t>(width_), '-')
+       << '\n';
+  }
+
+  template <class... Cells>
+  void print_row(Cells&&... cells) const {
+    std::ostream& os = std::cout;
+    ((os << std::setw(width_) << cells), ...);
+    os << '\n';
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline void print_title(const std::string& title) {
+  std::cout << '\n' << "== " << title << " ==\n\n";
+}
+
+/// "3.2x" style ratio formatting.
+inline std::string ratio(double a, double b) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << (b == 0 ? 0.0 : a / b) << "x";
+  return os.str();
+}
+
+/// Worst spec_ME-safety stabilization steps of SSME under the synchronous
+/// daemon over `random_count` random configurations plus the two-gradient
+/// witness.
+inline StepIndex worst_sync_safety_steps(const Graph& g,
+                                         const SsmeProtocol& proto,
+                                         std::size_t random_count,
+                                         std::uint64_t seed) {
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 4 * (proto.params().k + proto.params().n);
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> safe =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.mutex_safe(gg, c);
+      };
+  auto inits = random_configs(g, proto.clock(), random_count, seed);
+  inits.push_back(two_gradient_config(g, proto));
+  StepIndex worst = 0;
+  for (const auto& init : inits) {
+    const auto res = run_execution(g, proto, d, init, opt, safe);
+    if (res.converged()) worst = std::max(worst, res.convergence_steps());
+  }
+  return worst;
+}
+
+}  // namespace specstab::bench
+
+#endif  // SPECSTAB_BENCH_BENCH_UTIL_HPP

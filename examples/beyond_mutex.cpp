@@ -1,0 +1,96 @@
+// Example: speculative stabilization beyond mutual exclusion.
+//
+// The paper closes by proposing its framework be applied "to other
+// classical problems of distributed computing" (Section 6).  This example
+// runs the two extension protocols — min-identity leader election and
+// (Delta+1)-coloring — through the same Definition-4 lens as SSME:
+// measure the worst stabilization time under the synchronous daemon
+// (the speculated frequent case) and under an adversary portfolio
+// standing in for the unfair distributed daemon, and report the
+// separation.
+//
+// Run: build/examples/beyond_mutex
+#include <functional>
+#include <iomanip>
+#include <iostream>
+
+#include "core/speculation.hpp"
+#include "extensions/coloring.hpp"
+#include "extensions/leader_election.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/engine.hpp"
+
+using namespace specstab;
+
+namespace {
+
+void report(const std::string& problem, StepIndex sd_steps,
+            StepIndex ud_steps, bool converged) {
+  std::cout << std::left << std::setw(18) << problem << std::right
+            << "  sd: " << std::setw(6) << sd_steps
+            << "  portfolio: " << std::setw(7) << ud_steps
+            << "  separation: " << std::fixed << std::setprecision(1)
+            << (sd_steps > 0 ? static_cast<double>(ud_steps) /
+                                   static_cast<double>(sd_steps)
+                             : 0.0)
+            << "x  " << (converged ? "(all runs converged)" : "(DIVERGED)")
+            << '\n';
+}
+
+}  // namespace
+
+int main() {
+  const Graph g = make_grid(5, 5);
+  std::cout << "Topology: 5x5 grid, n = " << g.n()
+            << ", diam = " << diameter(g) << ".\n"
+            << "Worst stabilization steps over random + crafted initial\n"
+            << "configurations, synchronous daemon vs adversary portfolio:\n\n";
+
+  {
+    const LeaderElectionProtocol proto(g);
+    std::vector<Config<LeaderState>> inits;
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      inits.push_back(random_leader_config(g, seed));
+    }
+    inits.push_back(ghost_leader_config(g, proto, 0));
+    const std::function<bool(const Graph&, const Config<LeaderState>&)>
+        legit = [&proto](const Graph& gg, const Config<LeaderState>& c) {
+          return proto.legitimate(gg, c);
+        };
+    RunOptions opt;
+    opt.max_steps = 500 * g.n();
+    SynchronousDaemon sd;
+    const auto sync = measure_convergence(g, proto, sd, inits, legit, opt);
+    auto portfolio = AdversaryPortfolio::standard(1);
+    const auto pm = measure_portfolio(g, proto, portfolio, inits, legit, opt);
+    report("leader election", sync.worst_steps, pm.worst_steps,
+           sync.all_converged && pm.all_converged);
+  }
+
+  {
+    const ColoringProtocol proto(g);
+    std::vector<Config<std::int32_t>> inits = {monochrome_config(g, 0)};
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      inits.push_back(random_coloring_config(g, proto.palette_size(), seed));
+    }
+    const std::function<bool(const Graph&, const Config<std::int32_t>&)>
+        legit = [&proto](const Graph& gg, const Config<std::int32_t>& c) {
+          return proto.legitimate(gg, c);
+        };
+    RunOptions opt;
+    opt.max_steps = 2000 * g.n();
+    SynchronousDaemon sd;
+    const auto sync = measure_convergence(g, proto, sd, inits, legit, opt);
+    auto portfolio = AdversaryPortfolio::standard(2);
+    const auto pm = measure_portfolio(g, proto, portfolio, inits, legit, opt);
+    report("(Delta+1)-coloring", sync.worst_steps, pm.worst_steps,
+           sync.all_converged && pm.all_converged);
+  }
+
+  std::cout << "\nBoth protocols self-stabilize under every schedule the\n"
+               "portfolio throws at them, yet finish much faster in the\n"
+               "synchronous case — speculative stabilization, Definition 4,\n"
+               "beyond the mutual exclusion showcase.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Quickstart: run SSME on an arbitrary topology in ~30 lines.
+//
+//   1. Build a communication graph (any connected topology).
+//   2. Derive the paper's parameters (alpha = n, K = (2n-1)(diam+1)+2).
+//   3. Start from an ARBITRARY configuration (here: random, i.e. freshly
+//      hit by a transient fault) and run under the synchronous daemon.
+//   4. Watch it stabilize within ceil(diam/2) steps and then serve every
+//      process in mutual exclusion.
+#include <iostream>
+
+#include "core/adversarial_configs.hpp"
+#include "core/mutex_spec.hpp"
+#include "core/ssme.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace specstab;
+
+  // A 4x5 grid of processes: SSME runs over ANY connected graph, not just
+  // Dijkstra's ring.
+  const Graph g = make_grid(4, 5);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  std::cout << "SSME on a 4x5 grid: n = " << proto.params().n
+            << ", diam = " << proto.params().diam << ", clock "
+            << proto.clock().describe() << "\n";
+  std::cout << "Theorem 2 bound: stabilizes in <= "
+            << ssme_sync_bound(proto.params().diam)
+            << " synchronous steps\n\n";
+
+  // Arbitrary initial configuration: every register corrupted.
+  const auto init = random_config(g, proto.clock(), /*seed=*/2013);
+
+  SynchronousDaemon daemon;
+  MutexSpecMonitor monitor(g, proto);
+  RunOptions opt;
+  opt.max_steps = 3 * proto.params().k;  // a few full clock laps
+  const StepObserver<ClockValue> observe =
+      [&monitor](StepIndex i, const Config<ClockValue>& cfg,
+                 const std::vector<VertexId>& activated) {
+        monitor.on_action(i, cfg, activated);
+      };
+  const auto res = run_execution(g, proto, daemon, init, opt, nullptr,
+                                 observe);
+  monitor.finish(res.steps, res.final_config);
+
+  const auto& rep = monitor.report();
+  std::cout << "ran " << res.steps << " synchronous steps\n";
+  std::cout << "safety violations stopped after step "
+            << rep.stabilization_steps() << " (bound "
+            << ssme_sync_bound(proto.params().diam) << ")\n";
+  std::cout << "max simultaneously privileged: "
+            << rep.max_simultaneous_privileged << "\n";
+  std::cout << "critical-section executions per process: min "
+            << rep.min_cs_executions() << "\n";
+  std::cout << (rep.liveness_at_least(1) && proto.mutex_safe(g, res.final_config)
+                    ? "OK: stabilized to mutual exclusion.\n"
+                    : "UNEXPECTED: spec violated.\n");
+  return 0;
+}

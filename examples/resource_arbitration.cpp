@@ -1,0 +1,71 @@
+// Resource arbitration under transient faults — the workload the paper's
+// introduction motivates: processes sharing a resource (printer, lock,
+// actuator) must never access it concurrently, yet the arbitration state
+// can be corrupted at any moment by transient faults.
+//
+// This example runs a cluster of 12 workers on a random topology, lets
+// SSME arbitrate access, injects three waves of memory corruption, and
+// audits: (i) how quickly safety returns after each wave, and (ii) how
+// fairly the resource is served between waves.
+#include <iomanip>
+#include <iostream>
+
+#include "core/adversarial_configs.hpp"
+#include "core/mutex_spec.hpp"
+#include "core/ssme.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+
+int main() {
+  using namespace specstab;
+
+  const Graph g = make_random_connected(12, 0.25, 7);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  std::cout << "cluster: n = " << g.n() << ", m = " << g.m()
+            << ", diam = " << proto.params().diam << "\n";
+  std::cout << "safety re-established within ceil(diam/2) = "
+            << ssme_sync_bound(proto.params().diam)
+            << " steps of any corruption (Theorem 2)\n\n";
+
+  SynchronousDaemon daemon;
+  Config<ClockValue> cfg = random_config(g, proto.clock(), 99);
+
+  for (int wave = 0; wave < 3; ++wave) {
+    MutexSpecMonitor monitor(g, proto);
+    RunOptions opt;
+    opt.max_steps = 2 * proto.params().k;  // two clock laps per epoch
+    const StepObserver<ClockValue> observe =
+        [&monitor](StepIndex i, const Config<ClockValue>& c,
+                   const std::vector<VertexId>& act) {
+          monitor.on_action(i, c, act);
+        };
+    const auto res =
+        run_execution(g, proto, daemon, cfg, opt, nullptr, observe);
+    monitor.finish(res.steps, res.final_config);
+    const auto& rep = monitor.report();
+
+    std::cout << "epoch " << wave << ": corruption healed after "
+              << rep.stabilization_steps() << " steps"
+              << " (max " << rep.max_simultaneous_privileged
+              << " simultaneous accesses during recovery)\n";
+    std::cout << "         resource grants per worker:";
+    for (VertexId v = 0; v < g.n(); ++v) {
+      std::cout << ' ' << rep.cs_executions[static_cast<std::size_t>(v)];
+    }
+    std::cout << "\n";
+    if (rep.stabilization_steps() >
+        static_cast<StepIndex>(ssme_sync_bound(proto.params().diam))) {
+      std::cout << "UNEXPECTED: Theorem 2 bound exceeded!\n";
+      return 1;
+    }
+
+    // Transient fault: corrupt a third of the cluster's registers.
+    cfg = inject_fault(res.final_config, proto.clock(), g.n() / 3,
+                       1234u + static_cast<std::uint64_t>(wave));
+  }
+  std::cout << "\nOK: three corruption waves, three autonomous recoveries.\n";
+  return 0;
+}

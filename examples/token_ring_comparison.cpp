@@ -1,0 +1,87 @@
+// Dijkstra vs SSME on the very topology Dijkstra's protocol was built
+// for: the ring.  Closes the 40-year-old question of Section 1 —
+// synchronous stabilization strictly below n is possible, and
+// ceil(diam/2) with diam = floor(n/2) is optimal.
+#include <functional>
+#include <iomanip>
+#include <iostream>
+
+#include "baselines/dijkstra_ring.hpp"
+#include "core/adversarial_configs.hpp"
+#include "core/ssme.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace specstab;
+
+// Worst synchronous stabilization of Dijkstra's ring from its
+// maximum-token configuration.
+StepIndex dijkstra_sync(const Graph& g) {
+  const DijkstraRingProtocol proto = DijkstraRingProtocol::for_ring(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 10 * g.n();
+  opt.steps_after_convergence = 0;
+  const std::function<bool(const Graph&,
+                           const Config<DijkstraRingProtocol::State>&)>
+      legit = [&proto](const Graph& gg,
+                       const Config<DijkstraRingProtocol::State>& c) {
+        return proto.legitimate(gg, c);
+      };
+  const auto res =
+      run_execution(g, proto, d, proto.max_token_config(), opt, legit);
+  return res.convergence_steps();
+}
+
+// Worst synchronous spec_ME stabilization of SSME over random configs
+// plus the crafted witness.
+StepIndex ssme_sync(const Graph& g) {
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 4 * proto.params().k;
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> safe =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.mutex_safe(gg, c);
+      };
+  auto inits = random_configs(g, proto.clock(), 8, 1974);
+  inits.push_back(two_gradient_config(g, proto));
+  StepIndex worst = 0;
+  for (const auto& init : inits) {
+    const auto res = run_execution(g, proto, d, init, opt, safe);
+    worst = std::max(worst, res.convergence_steps());
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Synchronous stabilization on rings: Dijkstra (1974) vs SSME "
+               "(PODC 2013)\n\n";
+  std::cout << std::setw(6) << "n" << std::setw(10) << "diam" << std::setw(14)
+            << "dijkstra" << std::setw(12) << "ssme" << std::setw(16)
+            << "ssme-bound" << std::setw(12) << "speedup" << "\n"
+            << std::string(70, '-') << "\n";
+  for (VertexId n : {8, 16, 32, 64}) {
+    const Graph g = make_ring(n);
+    const StepIndex dij = dijkstra_sync(g);
+    const StepIndex ssme = ssme_sync(g);
+    const std::int64_t bound = ssme_sync_bound(n / 2);
+    std::cout << std::setw(6) << n << std::setw(10) << n / 2 << std::setw(14)
+              << dij << std::setw(12) << ssme << std::setw(16) << bound
+              << std::setw(11) << std::fixed << std::setprecision(1)
+              << (ssme > 0 ? static_cast<double>(dij) /
+                                 static_cast<double>(ssme)
+                           : 0.0)
+              << "x\n";
+  }
+  std::cout << "\nDijkstra needs ~n synchronous steps; SSME needs\n"
+               "ceil(diam/2) = ~n/4 — and Theorem 4 shows nothing can do\n"
+               "better on any topology.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Example: the unison substrate on its own.
+//
+// SSME is "just" the Boulinier-Petit-Villain asynchronous unison with a
+// carefully sized clock and a privilege predicate on top.  This example
+// works at the substrate level: it computes the *exact* minimal clock
+// parameters for a topology (alpha >= hole(g) - 2, K > cyclo(g) — the
+// paper sidesteps the computation with alpha = n, K > n), runs the unison
+// with both parameterisations from the same corrupted configuration, and
+// renders the reset waves side by side.
+//
+// Run: build/examples/unison_playground
+#include <functional>
+#include <iostream>
+
+#include "clock/cherry_clock.hpp"
+#include "core/adversarial_configs.hpp"
+#include "graph/chordless.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/engine.hpp"
+#include "unison/parameters.hpp"
+#include "unison/unison.hpp"
+#include "unison/unison_spec.hpp"
+
+using namespace specstab;
+
+namespace {
+
+void run_one(const Graph& g, const CherryClock& clock, const char* label,
+             std::uint64_t seed) {
+  const UnisonProtocol proto(clock);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 20 * (clock.k() + clock.alpha() + g.n());
+  opt.steps_after_convergence = 2 * clock.k();
+  const auto res = run_execution(
+      g, proto, d, random_config(g, clock, seed), opt,
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      });
+  std::cout << "  " << label << ": " << clock.describe()
+            << "  Gamma_1 entry at step "
+            << (res.converged() ? std::to_string(res.convergence_steps())
+                                : std::string("(never)"))
+            << ", register range uses "
+            << (clock.alpha() + clock.k()) << " values\n";
+}
+
+}  // namespace
+
+int main() {
+  for (const auto& [name, g] :
+       {std::pair<const char*, Graph>{"ring-8", make_ring(8)},
+        {"grid-3x4", make_grid(3, 4)},
+        {"petersen", make_petersen()},
+        {"btree-15", make_binary_tree(15)}}) {
+    const auto minimal = minimal_unison_parameters(g);
+    std::cout << name << ": n = " << g.n() << ", diam = " << diameter(g)
+              << ", hole = " << minimal.hole << ", cyclo = " << minimal.cyclo
+              << ", lcp = " << longest_chordless_path(g) << '\n';
+
+    // The paper's parameterisation (alpha = n, K > n) vs the exact
+    // topology minimum.  Both self-stabilize; the minimal clock uses far
+    // fewer register values.
+    const CherryClock paper(g.n(), g.n() + 1);
+    const CherryClock exact(minimal.alpha, minimal.k);
+    run_one(g, paper, "paper  ", 7);
+    run_one(g, exact, "minimal", 7);
+    std::cout << '\n';
+  }
+  std::cout << "Both clocks satisfy alpha >= hole(g)-2 and K > cyclo(g), so\n"
+               "both self-stabilize (Boulinier et al.); the topology-exact\n"
+               "clock is what a deployment with a known network would pick,\n"
+               "the paper's is what you pick when all you know is n.\n";
+  return 0;
+}

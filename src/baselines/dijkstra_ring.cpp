@@ -1,0 +1,88 @@
+#include "baselines/dijkstra_ring.hpp"
+
+#include <stdexcept>
+
+#include "sim/protocol.hpp"
+
+namespace specstab {
+
+static_assert(ProtocolConcept<DijkstraRingProtocol>,
+              "DijkstraRingProtocol must satisfy ProtocolConcept");
+
+DijkstraRingProtocol::DijkstraRingProtocol(VertexId n, State k)
+    : n_(n), k_(k) {
+  if (n < 2) throw std::invalid_argument("DijkstraRingProtocol: need n >= 2");
+  if (k < n) throw std::invalid_argument("DijkstraRingProtocol: need K >= n");
+}
+
+DijkstraRingProtocol DijkstraRingProtocol::for_ring(const Graph& ring) {
+  return DijkstraRingProtocol(ring.n(), ring.n() + 1);
+}
+
+bool DijkstraRingProtocol::enabled(const Graph& g, const Config<State>& cfg,
+                                   VertexId v) const {
+  if (v < 0 || v >= g.n() || g.n() != n_) {
+    throw std::invalid_argument("DijkstraRingProtocol: vertex/graph mismatch");
+  }
+  const State own = cfg[static_cast<std::size_t>(v)];
+  const State pred = cfg[static_cast<std::size_t>(predecessor(v))];
+  return v == 0 ? own == pred : own != pred;
+}
+
+DijkstraRingProtocol::State DijkstraRingProtocol::apply(
+    const Graph& g, const Config<State>& cfg, VertexId v) const {
+  if (!enabled(g, cfg, v)) {
+    throw std::logic_error("DijkstraRingProtocol::apply on disabled vertex");
+  }
+  const State pred = cfg[static_cast<std::size_t>(predecessor(v))];
+  if (v == 0) return static_cast<State>((pred + 1) % k_);
+  return pred;
+}
+
+std::string_view DijkstraRingProtocol::rule_name(const Graph&,
+                                                 const Config<State>&,
+                                                 VertexId v) const {
+  return v == 0 ? "BOTTOM" : "COPY";
+}
+
+bool DijkstraRingProtocol::privileged(const Config<State>& cfg,
+                                      VertexId v) const {
+  const State own = cfg[static_cast<std::size_t>(v)];
+  const State pred = cfg[static_cast<std::size_t>(predecessor(v))];
+  return v == 0 ? own == pred : own != pred;
+}
+
+VertexId DijkstraRingProtocol::count_privileged(
+    const Config<State>& cfg) const {
+  VertexId count = 0;
+  for (VertexId v = 0; v < n_; ++v) {
+    if (privileged(cfg, v)) ++count;
+  }
+  return count;
+}
+
+bool DijkstraRingProtocol::legitimate(const Graph&,
+                                      const Config<State>& cfg) const {
+  return count_privileged(cfg) == 1;
+}
+
+std::vector<VertexId> DijkstraRingProtocol::token_chase_priority(VertexId n) {
+  std::vector<VertexId> preference;
+  preference.reserve(static_cast<std::size_t>(n));
+  for (VertexId v = n - 1; v >= 1; --v) preference.push_back(v);
+  preference.push_back(0);
+  return preference;
+}
+
+Config<DijkstraRingProtocol::State> DijkstraRingProtocol::max_token_config()
+    const {
+  // Counters all distinct: every non-bottom vertex differs from its
+  // predecessor, so n-1 tokens circulate plus possibly the bottom's.
+  Config<State> cfg(static_cast<std::size_t>(n_));
+  for (VertexId v = 0; v < n_; ++v) {
+    cfg[static_cast<std::size_t>(v)] = static_cast<State>((k_ - v) % k_);
+  }
+  return cfg;
+}
+
+}  // namespace specstab

@@ -1,0 +1,103 @@
+// The Manne-Mjelde-Pilard-Tixeuil self-stabilizing maximal matching
+// (TCS 2009), the paper's third example of accidental speculation
+// (Section 3): 4n + 2m steps under the unfair distributed daemon,
+// 2n + 1 under the synchronous one.
+//
+// Every vertex holds a pointer p_v in neig(v) u {null}.  A vertex is
+// *married* when it and some neighbour point at each other.  Rules:
+//
+//   Marriage    :: p_v = null and some neighbour points at v
+//                  -> p_v := that neighbour (largest id tie-break)
+//   Seduction   :: p_v = null, nobody points at v, and some unengaged
+//                  HIGHER-id neighbour exists
+//                  -> p_v := largest such neighbour
+//   Abandonment :: p_v = u but u does not point back, and the proposal is
+//                  hopeless (u <= v, i.e. not a legal upward proposal, or
+//                  u is engaged elsewhere)
+//                  -> p_v := null
+//
+// Proposals travel only upwards in id order, which breaks symmetry under
+// the *distributed* daemon (simultaneous mutual seduction cannot
+// livelock).  Terminal configurations are exactly the configurations whose
+// married pairs form a maximal matching with no dangling proposals.
+#ifndef SPECSTAB_BASELINES_MATCHING_HPP
+#define SPECSTAB_BASELINES_MATCHING_HPP
+
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+class MatchingProtocol {
+ public:
+  /// p_v as a vertex id, or kNull.
+  using State = std::int32_t;
+  static constexpr State kNull = -1;
+
+  MatchingProtocol() = default;
+
+  /// v and u are married in cfg: mutual pointers.
+  [[nodiscard]] static bool married_to(const Config<State>& cfg, VertexId v,
+                                       VertexId u) {
+    return cfg[static_cast<std::size_t>(v)] == u &&
+           cfg[static_cast<std::size_t>(u)] == v;
+  }
+
+  /// v is married to some neighbour.
+  [[nodiscard]] bool married(const Graph& g, const Config<State>& cfg,
+                             VertexId v) const;
+
+  // --- Rule guards (public for tests) ---
+  [[nodiscard]] bool marriage_guard(const Graph& g, const Config<State>& cfg,
+                                    VertexId v) const;
+  [[nodiscard]] bool seduction_guard(const Graph& g, const Config<State>& cfg,
+                                     VertexId v) const;
+  [[nodiscard]] bool abandonment_guard(const Graph& g,
+                                       const Config<State>& cfg,
+                                       VertexId v) const;
+
+  // --- ProtocolConcept ---
+  [[nodiscard]] bool enabled(const Graph& g, const Config<State>& cfg,
+                             VertexId v) const;
+  [[nodiscard]] State apply(const Graph& g, const Config<State>& cfg,
+                            VertexId v) const;
+  [[nodiscard]] std::string_view rule_name(const Graph& g,
+                                           const Config<State>& cfg,
+                                           VertexId v) const;
+
+  /// Legitimate (terminal) configurations: no rule enabled anywhere.
+  [[nodiscard]] bool legitimate(const Graph& g, const Config<State>& cfg) const;
+
+  /// The matched pairs (u < v) of cfg.
+  [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> matched_pairs(
+      const Graph& g, const Config<State>& cfg) const;
+
+  /// True iff cfg's married pairs form a *maximal* matching: pairwise
+  /// disjoint (automatic with pointers) and no edge joins two unmarried
+  /// vertices.
+  [[nodiscard]] bool is_maximal_matching(const Graph& g,
+                                         const Config<State>& cfg) const;
+
+  /// All-null configuration (the natural cold start).
+  [[nodiscard]] static Config<State> null_config(const Graph& g) {
+    return Config<State>(static_cast<std::size_t>(g.n()), kNull);
+  }
+
+ private:
+  /// Largest neighbour pointing at v, or kNull.
+  [[nodiscard]] VertexId best_proposer(const Graph& g,
+                                       const Config<State>& cfg,
+                                       VertexId v) const;
+
+  /// Largest unengaged strictly-higher neighbour of v, or kNull.
+  [[nodiscard]] VertexId best_candidate(const Graph& g,
+                                        const Config<State>& cfg,
+                                        VertexId v) const;
+};
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_BASELINES_MATCHING_HPP

@@ -1,0 +1,74 @@
+#include "baselines/min_plus_one.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/properties.hpp"
+#include "sim/protocol.hpp"
+
+namespace specstab {
+
+static_assert(ProtocolConcept<MinPlusOneProtocol>,
+              "MinPlusOneProtocol must satisfy ProtocolConcept");
+
+MinPlusOneProtocol::MinPlusOneProtocol(const Graph& g, VertexId root)
+    : root_(root), cap_(g.n()) {
+  if (root < 0 || root >= g.n()) {
+    throw std::invalid_argument("MinPlusOneProtocol: root out of range");
+  }
+  if (!g.is_connected()) {
+    throw std::invalid_argument("MinPlusOneProtocol: graph must be connected");
+  }
+  exact_ = bfs_distances(g, root);
+}
+
+MinPlusOneProtocol::State MinPlusOneProtocol::target(
+    const Graph& g, const Config<State>& cfg, VertexId v) const {
+  if (v == root_) return 0;
+  State best = cap_;
+  for (VertexId u : g.neighbors(v)) {
+    best = std::min(best, cfg[static_cast<std::size_t>(u)]);
+  }
+  return static_cast<State>(std::min<std::int64_t>(
+      static_cast<std::int64_t>(best) + 1, cap_));
+}
+
+bool MinPlusOneProtocol::enabled(const Graph& g, const Config<State>& cfg,
+                                 VertexId v) const {
+  return cfg[static_cast<std::size_t>(v)] != target(g, cfg, v);
+}
+
+MinPlusOneProtocol::State MinPlusOneProtocol::apply(const Graph& g,
+                                                    const Config<State>& cfg,
+                                                    VertexId v) const {
+  if (!enabled(g, cfg, v)) {
+    throw std::logic_error("MinPlusOneProtocol::apply on disabled vertex");
+  }
+  return target(g, cfg, v);
+}
+
+bool MinPlusOneProtocol::legitimate(const Graph& g,
+                                    const Config<State>& cfg) const {
+  for (VertexId v = 0; v < g.n(); ++v) {
+    if (cfg[static_cast<std::size_t>(v)] != exact_[static_cast<std::size_t>(v)])
+      return false;
+  }
+  return true;
+}
+
+VertexId MinPlusOneProtocol::parent(const Graph& g, const Config<State>& cfg,
+                                    VertexId v) const {
+  if (v == root_) return -1;
+  VertexId best = -1;
+  State best_level = cap_;
+  for (VertexId u : g.neighbors(v)) {
+    const State lu = cfg[static_cast<std::size_t>(u)];
+    if (lu < best_level) {
+      best_level = lu;
+      best = u;
+    }
+  }
+  return best;
+}
+
+}  // namespace specstab

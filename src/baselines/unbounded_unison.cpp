@@ -1,0 +1,43 @@
+#include "baselines/unbounded_unison.hpp"
+
+#include <algorithm>
+
+namespace specstab {
+
+bool UnboundedUnisonProtocol::enabled(const Graph& g, const Config<State>& cfg,
+                                      VertexId v) const {
+  const State cv = cfg[static_cast<std::size_t>(v)];
+  return std::ranges::all_of(g.neighbors(v), [&](VertexId u) {
+    return cv <= cfg[static_cast<std::size_t>(u)];
+  });
+}
+
+UnboundedUnisonProtocol::State UnboundedUnisonProtocol::apply(
+    const Graph& g, const Config<State>& cfg, VertexId v) const {
+  (void)g;
+  return cfg[static_cast<std::size_t>(v)] + 1;
+}
+
+std::string_view UnboundedUnisonProtocol::rule_name(const Graph& g,
+                                                    const Config<State>& cfg,
+                                                    VertexId v) const {
+  return enabled(g, cfg, v) ? "INC" : "";
+}
+
+bool UnboundedUnisonProtocol::legitimate(const Graph& g,
+                                         const Config<State>& cfg) const {
+  for (const auto& [u, v] : g.edges()) {
+    const State du = cfg[static_cast<std::size_t>(u)] -
+                     cfg[static_cast<std::size_t>(v)];
+    if (du > 1 || du < -1) return false;
+  }
+  return true;
+}
+
+std::int64_t UnboundedUnisonProtocol::spread(const Config<State>& cfg) {
+  if (cfg.empty()) return 0;
+  const auto [lo, hi] = std::ranges::minmax_element(cfg);
+  return *hi - *lo;
+}
+
+}  // namespace specstab

@@ -1,0 +1,449 @@
+#include "cli/cli.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/adversarial_configs.hpp"
+#include "core/mutex_spec.hpp"
+#include "core/speculation.hpp"
+#include "core/ssme.hpp"
+#include "core/theory.hpp"
+#include "extensions/coloring.hpp"
+#include "extensions/leader_election.hpp"
+#include "graph/chordless.hpp"
+#include "graph/cycle_space.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+#include "sim/engine.hpp"
+#include "sim/visualize.hpp"
+#include "unison/parameters.hpp"
+
+namespace specstab::cli {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
+std::int64_t parse_int(const std::vector<std::string>& args, std::size_t& pos,
+                       const std::string& what) {
+  if (pos >= args.size()) fail("missing " + what);
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(args[pos], &used);
+    if (used != args[pos].size()) fail("bad " + what + ": " + args[pos]);
+    ++pos;
+    return value;
+  } catch (const std::invalid_argument&) {
+    fail("bad " + what + ": " + args[pos]);
+  } catch (const std::out_of_range&) {
+    fail("out-of-range " + what + ": " + args[pos]);
+  }
+}
+
+double parse_double(const std::string& token, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(token, &used);
+    if (used != token.size()) fail("bad " + what + ": " + token);
+    return value;
+  } catch (const std::invalid_argument&) {
+    fail("bad " + what + ": " + token);
+  } catch (const std::out_of_range&) {
+    fail("out-of-range " + what + ": " + token);
+  }
+}
+
+/// Named options of the form --name value (seed, steps, daemon, configs).
+struct Options {
+  std::uint64_t seed = 42;
+  StepIndex max_steps = 0;  ///< 0: pick a protocol-appropriate default
+  std::string daemon = "synchronous";
+  std::size_t configs = 10;
+  bool dot = false;
+};
+
+Options parse_options(const std::vector<std::string>& args, std::size_t pos) {
+  Options opt;
+  while (pos < args.size()) {
+    const std::string& flag = args[pos];
+    if (flag == "--dot") {
+      opt.dot = true;
+      ++pos;
+      continue;
+    }
+    if (pos + 1 >= args.size()) fail("missing value for " + flag);
+    const std::string& value = args[pos + 1];
+    if (flag == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(
+          parse_double(value, "--seed"));
+    } else if (flag == "--steps") {
+      opt.max_steps = static_cast<StepIndex>(parse_double(value, "--steps"));
+    } else if (flag == "--daemon") {
+      opt.daemon = value;
+    } else if (flag == "--configs") {
+      opt.configs =
+          static_cast<std::size_t>(parse_double(value, "--configs"));
+    } else {
+      fail("unknown option " + flag);
+    }
+    pos += 2;
+  }
+  return opt;
+}
+
+std::string usage() {
+  std::ostringstream os;
+  os << "specstab — speculative self-stabilization toolkit\n"
+     << "usage: specstab <subcommand> [arguments]\n\n"
+     << "subcommands:\n"
+     << "  topologies                         list graph families\n"
+     << "  daemons                            list daemon names\n"
+     << "  params    <family> <args..>        graph + protocol parameters\n"
+     << "  graph     <family> <args..> [--dot] emit edge list or DOT\n"
+     << "  run       <family> <args..> [--daemon D] [--seed S] [--steps N]\n"
+     << "                                     run SSME from a random config\n"
+     << "  witness   <family> <args..> [--steps N]\n"
+     << "                                     two-gradient witness + wave\n"
+     << "  speculate <family> <args..> [--configs C] [--seed S]\n"
+     << "                                     sd vs portfolio verdict\n"
+     << "  elect     <family> <args..> [opts] run leader election (Sec. 6)\n"
+     << "  color     <family> <args..> [opts] run (Delta+1)-coloring (Sec. 6)\n";
+  return os.str();
+}
+
+CliResult cmd_topologies() {
+  std::ostringstream os;
+  for (const auto& f : known_families()) os << f << '\n';
+  return {0, os.str()};
+}
+
+CliResult cmd_daemons() {
+  std::ostringstream os;
+  for (const auto& d : known_daemons()) os << d << '\n';
+  return {0, os.str()};
+}
+
+CliResult cmd_params(const std::vector<std::string>& args) {
+  std::size_t pos = 0;
+  const Graph g = graph_from_spec(args, pos);
+  const auto params = SsmeParams::for_graph(g);
+  std::ostringstream os;
+  os << "graph:   n = " << g.n() << ", m = " << g.m()
+     << ", diam = " << params.diam << ", radius = " << radius(g)
+     << ", girth = " << girth(g) << (is_tree(g) ? " (tree)" : "") << '\n';
+  if (g.n() <= 32) {
+    const auto minimal = minimal_unison_parameters(g);
+    os << "unison:  hole(g) = " << minimal.hole << ", cyclo(g) = "
+       << minimal.cyclo << ", lcp(g) = " << longest_chordless_path(g)
+       << " -> minimal alpha = " << minimal.alpha << ", minimal K = "
+       << minimal.k << '\n';
+  } else {
+    os << "unison:  exact hole/cyclo/lcp skipped (n > 32; the paper's\n"
+          "         alpha = n, K > n always satisfy the constraints)\n";
+  }
+  os << "ssme:    clock = " << params.make_clock().describe()
+     << ", privileged_v = 2n + 2*diam*id_v\n"
+     << "bounds:  sync  conv_time <= " << ssme_sync_bound(params.diam)
+     << " steps (Theorem 2, optimal by Theorem 4)\n"
+     << "         async conv_time <= " << ssme_ud_bound(params.n, params.diam)
+     << " steps (Theorem 3)\n";
+  return {0, os.str()};
+}
+
+CliResult cmd_graph(const std::vector<std::string>& args) {
+  std::size_t pos = 0;
+  const Graph g = graph_from_spec(args, pos);
+  const Options opt = parse_options(args, pos);
+  return {0, opt.dot ? g.to_dot() : to_edge_list(g)};
+}
+
+CliResult cmd_run(const std::vector<std::string>& args) {
+  std::size_t pos = 0;
+  const Graph g = graph_from_spec(args, pos);
+  const Options opt = parse_options(args, pos);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  const auto daemon = daemon_by_name(opt.daemon, opt.seed);
+
+  RunOptions run_opt;
+  run_opt.max_steps = opt.max_steps > 0
+                          ? opt.max_steps
+                          : 20 * (proto.params().k + proto.params().n);
+  MutexSpecMonitor monitor(g, proto);
+  const auto res = run_execution(
+      g, proto, *daemon, random_config(g, proto.clock(), opt.seed), run_opt,
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      },
+      [&monitor](StepIndex step, const Config<ClockValue>& cfg,
+                 const std::vector<VertexId>& activated) {
+        monitor.on_action(step, cfg, activated);
+      });
+  monitor.finish(res.steps, res.final_config);
+  const auto& report = monitor.report();
+
+  std::ostringstream os;
+  os << "daemon:        " << daemon->name() << '\n'
+     << "steps run:     " << res.steps << " (moves " << res.moves
+     << ", rounds " << res.rounds << ")\n"
+     << "Gamma_1 entry: "
+     << (res.converged() ? std::to_string(res.convergence_steps())
+                         : std::string("not reached"))
+     << '\n'
+     << "spec_ME:       last safety violation at step "
+     << report.last_safety_violation << " -> safety stabilized after "
+     << report.stabilization_steps() << " steps\n"
+     << "liveness:      min critical sections per vertex "
+     << report.min_cs_executions() << '\n'
+     << "bound check:   sync bound " << ssme_sync_bound(proto.params().diam)
+     << ", async bound " << ssme_ud_bound(proto.params().n,
+                                          proto.params().diam)
+     << '\n';
+  return {res.converged() ? 0 : 2, os.str()};
+}
+
+CliResult cmd_witness(const std::vector<std::string>& args) {
+  std::size_t pos = 0;
+  const Graph g = graph_from_spec(args, pos);
+  const Options opt = parse_options(args, pos);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  const auto [u, v] = diameter_pair(g);
+
+  SynchronousDaemon daemon;
+  RunOptions run_opt;
+  run_opt.max_steps =
+      opt.max_steps > 0 ? opt.max_steps
+                        : 2 * (proto.params().k + proto.params().n);
+  run_opt.record_trace = true;
+  const auto res = run_execution(
+      g, proto, daemon, two_gradient_config(g, proto, u, v), run_opt,
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      });
+
+  std::ostringstream os;
+  os << "two-gradient witness on diameter pair (" << u << ", " << v
+     << "), predicted double privilege at step "
+     << two_gradient_violation_step(g, u, v) << ":\n\n";
+  WaveRenderOptions render;
+  render.max_rows = 24;
+  os << render_clock_wave(g, proto, res.trace, render) << '\n'
+     << "Gamma_1 entry at step "
+     << (res.converged() ? std::to_string(res.convergence_steps())
+                         : std::string("(not reached)"))
+     << "; Theorem 2 bound " << ssme_sync_bound(proto.params().diam)
+     << " steps.\n";
+  return {0, os.str()};
+}
+
+CliResult cmd_speculate(const std::vector<std::string>& args) {
+  std::size_t pos = 0;
+  const Graph g = graph_from_spec(args, pos);
+  const Options opt = parse_options(args, pos);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+
+  auto inits = random_configs(g, proto.clock(), opt.configs, opt.seed);
+  inits.push_back(two_gradient_config(g, proto));
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> safe =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.mutex_safe(gg, c);
+      };
+  RunOptions run_opt;
+  run_opt.max_steps = 40 * (proto.params().k + proto.params().n);
+
+  SynchronousDaemon sd;
+  const auto sync = measure_convergence(g, proto, sd, inits, safe, run_opt);
+  auto portfolio = AdversaryPortfolio::standard(opt.seed);
+  const auto pm =
+      measure_portfolio(g, proto, portfolio, inits, safe, run_opt);
+
+  std::ostringstream os;
+  os << std::left << std::setw(22) << "daemon" << std::right << std::setw(12)
+     << "worst steps" << '\n'
+     << std::string(34, '-') << '\n'
+     << std::left << std::setw(22) << sync.daemon_name << std::right
+     << std::setw(12) << sync.worst_steps << '\n';
+  for (const auto& row : pm.rows) {
+    os << std::left << std::setw(22) << row.daemon_name << std::right
+       << std::setw(12) << row.worst_steps << '\n';
+  }
+  os << '\n'
+     << "speculation: sd " << sync.worst_steps << " <= Theorem-2 bound "
+     << ssme_sync_bound(proto.params().diam) << "; portfolio worst "
+     << pm.worst_steps << " <= Theorem-3 bound "
+     << ssme_ud_bound(proto.params().n, proto.params().diam) << '\n';
+  const bool ok =
+      sync.worst_steps <= ssme_sync_bound(proto.params().diam) &&
+      pm.worst_steps <= ssme_ud_bound(proto.params().n, proto.params().diam) &&
+      sync.all_converged && pm.all_converged;
+  os << (ok ? "verdict: speculatively stabilizing (both bounds hold)\n"
+            : "verdict: BOUND VIOLATION (see rows above)\n");
+  return {ok ? 0 : 2, os.str()};
+}
+
+CliResult cmd_elect(const std::vector<std::string>& args) {
+  std::size_t pos = 0;
+  const Graph g = graph_from_spec(args, pos);
+  const Options opt = parse_options(args, pos);
+  const LeaderElectionProtocol proto(g);
+  const auto daemon = daemon_by_name(opt.daemon, opt.seed);
+  RunOptions run_opt;
+  run_opt.max_steps =
+      opt.max_steps > 0 ? opt.max_steps : 2000 * static_cast<StepIndex>(g.n());
+  const auto res = run_execution(
+      g, proto, *daemon, random_leader_config(g, opt.seed), run_opt,
+      [&proto](const Graph& gg, const Config<LeaderState>& c) {
+        return proto.legitimate(gg, c);
+      });
+  std::ostringstream os;
+  os << "daemon:     " << daemon->name() << '\n'
+     << "leader:     identity " << proto.min_id() << " (vertex "
+     << proto.min_id_vertex() << ")\n"
+     << "terminated: " << (res.terminated ? "yes (silent protocol)" : "NO")
+     << '\n'
+     << "steps:      " << res.steps << " (moves " << res.moves << ")\n"
+     << "elected:    "
+     << (proto.legitimate(g, res.final_config) ? "yes" : "NO") << '\n';
+  return {res.terminated && proto.legitimate(g, res.final_config) ? 0 : 2,
+          os.str()};
+}
+
+CliResult cmd_color(const std::vector<std::string>& args) {
+  std::size_t pos = 0;
+  const Graph g = graph_from_spec(args, pos);
+  const Options opt = parse_options(args, pos);
+  const ColoringProtocol proto(g);
+  const auto daemon = daemon_by_name(opt.daemon, opt.seed);
+  RunOptions run_opt;
+  run_opt.max_steps =
+      opt.max_steps > 0 ? opt.max_steps : 2000 * static_cast<StepIndex>(g.n());
+  const auto init = random_coloring_config(g, proto.palette_size(), opt.seed);
+  const auto res = run_execution(
+      g, proto, *daemon, init, run_opt,
+      [&proto](const Graph& gg, const Config<std::int32_t>& c) {
+        return proto.legitimate(gg, c);
+      });
+  std::ostringstream os;
+  os << "daemon:     " << daemon->name() << '\n'
+     << "palette:    " << proto.palette_size() << " colors (max degree + 1)\n"
+     << "initial:    " << proto.conflict_count(g, init)
+     << " monochromatic edges\n"
+     << "terminated: " << (res.terminated ? "yes (silent protocol)" : "NO")
+     << '\n'
+     << "steps:      " << res.steps << " (moves " << res.moves << ")\n"
+     << "final:      " << proto.conflict_count(g, res.final_config)
+     << " monochromatic edges\n";
+  return {res.terminated && proto.legitimate(g, res.final_config) ? 0 : 2,
+          os.str()};
+}
+
+}  // namespace
+
+Graph graph_from_spec(const std::vector<std::string>& args,
+                      std::size_t& pos) {
+  if (pos >= args.size()) fail("missing graph family");
+  const std::string family = args[pos++];
+  const auto next_int = [&](const std::string& what) {
+    return static_cast<VertexId>(parse_int(args, pos, what));
+  };
+  if (family == "ring") return make_ring(next_int("ring size"));
+  if (family == "path") return make_path(next_int("path size"));
+  if (family == "star") return make_star(next_int("star size"));
+  if (family == "complete") return make_complete(next_int("clique size"));
+  if (family == "grid") {
+    const VertexId r = next_int("grid rows");
+    return make_grid(r, next_int("grid cols"));
+  }
+  if (family == "torus") {
+    const VertexId r = next_int("torus rows");
+    return make_torus(r, next_int("torus cols"));
+  }
+  if (family == "hypercube") {
+    return make_hypercube(static_cast<int>(next_int("hypercube dim")));
+  }
+  if (family == "btree") return make_binary_tree(next_int("tree size"));
+  if (family == "wheel") return make_wheel(next_int("wheel size"));
+  if (family == "petersen") return make_petersen();
+  if (family == "random") {
+    const VertexId n = next_int("random n");
+    if (pos >= args.size()) fail("missing random edge probability");
+    const double p = parse_double(args[pos++], "edge probability");
+    return make_random_connected(
+        n, p, static_cast<std::uint64_t>(parse_int(args, pos, "seed")));
+  }
+  if (family == "file") {
+    if (pos >= args.size()) fail("missing file path");
+    std::ifstream in(args[pos]);
+    if (!in) fail("cannot open " + args[pos]);
+    ++pos;
+    return read_edge_list(in);
+  }
+  fail("unknown family '" + family + "' (see `specstab topologies`)");
+}
+
+std::unique_ptr<Daemon> daemon_by_name(const std::string& name,
+                                       std::uint64_t seed) {
+  if (name == "synchronous") return std::make_unique<SynchronousDaemon>();
+  if (name == "central-rr") return std::make_unique<CentralRoundRobinDaemon>();
+  if (name == "central-random") {
+    return std::make_unique<CentralRandomDaemon>(seed);
+  }
+  if (name == "central-min-id") return std::make_unique<CentralMinIdDaemon>();
+  if (name == "central-max-id") return std::make_unique<CentralMaxIdDaemon>();
+  if (name == "random-subset") {
+    return std::make_unique<RandomSubsetDaemon>(seed);
+  }
+  if (name == "locally-central") {
+    return std::make_unique<LocallyCentralDaemon>(seed);
+  }
+  if (name.starts_with("bernoulli-")) {
+    const double p =
+        parse_double(name.substr(10), "bernoulli activation probability");
+    if (p <= 0.0 || p > 1.0) fail("bernoulli probability must be in (0, 1]");
+    return std::make_unique<DistributedBernoulliDaemon>(p, seed);
+  }
+  fail("unknown daemon '" + name + "' (see `specstab daemons`)");
+}
+
+std::vector<std::string> known_daemons() {
+  return {"synchronous",    "central-rr",      "central-random",
+          "central-min-id", "central-max-id",  "random-subset",
+          "locally-central", "bernoulli-<p>"};
+}
+
+std::vector<std::string> known_families() {
+  return {"ring N",        "path N",      "star N",     "complete N",
+          "grid R C",      "torus R C",   "hypercube D", "btree N",
+          "wheel N",       "petersen",    "random N P SEED",
+          "file PATH"};
+}
+
+CliResult run_cli(const std::vector<std::string>& args) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    return {args.empty() ? 1 : 0, usage()};
+  }
+  const std::string& cmd = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  try {
+    if (cmd == "topologies") return cmd_topologies();
+    if (cmd == "daemons") return cmd_daemons();
+    if (cmd == "params") return cmd_params(rest);
+    if (cmd == "graph") return cmd_graph(rest);
+    if (cmd == "run") return cmd_run(rest);
+    if (cmd == "witness") return cmd_witness(rest);
+    if (cmd == "speculate") return cmd_speculate(rest);
+    if (cmd == "elect") return cmd_elect(rest);
+    if (cmd == "color") return cmd_color(rest);
+    return {1, "unknown subcommand '" + cmd + "'\n\n" + usage()};
+  } catch (const std::invalid_argument& e) {
+    return {1, std::string("error: ") + e.what() + "\n"};
+  }
+}
+
+}  // namespace specstab::cli

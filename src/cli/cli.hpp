@@ -1,0 +1,64 @@
+// Command-line front end for the library, as a testable module: the
+// `specstab` binary (tools/specstab_main.cpp) is a thin wrapper around
+// run_cli, so every subcommand, parser branch and error path has unit
+// tests.
+//
+// Subcommands:
+//   topologies                          list the generator families
+//   params    <family> <args..>         graph + unison/SSME parameters
+//   graph     <family> <args..> [--dot] emit the edge list (or DOT)
+//   run       <family> <args..> [opts]  run SSME, report convergence
+//   witness   <family> <args..> [opts]  run the two-gradient witness and
+//                                       render the clock wave
+//   speculate <family> <args..> [opts]  Definition-4 verdict: sd vs
+//                                       adversary portfolio
+//   daemons                             list the daemon names `run`
+//                                       accepts
+//
+// Family specs: ring N | path N | star N | complete N | grid R C |
+// torus R C | hypercube D | btree N | wheel N | petersen |
+// random N P SEED | file PATH (edge-list format of graph/io.hpp).
+#ifndef SPECSTAB_CLI_CLI_HPP
+#define SPECSTAB_CLI_CLI_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/daemon.hpp"
+
+namespace specstab::cli {
+
+struct CliResult {
+  int exit_code = 0;
+  std::string output;  ///< stdout and diagnostics, newline-terminated
+};
+
+/// Executes one CLI invocation; `args` excludes the program name.
+[[nodiscard]] CliResult run_cli(const std::vector<std::string>& args);
+
+/// Parses a family spec from args[pos..]; advances pos past the consumed
+/// tokens.  Throws std::invalid_argument with a usable message on
+/// malformed specs.
+[[nodiscard]] Graph graph_from_spec(const std::vector<std::string>& args,
+                                    std::size_t& pos);
+
+/// Daemon factory by name: synchronous | central-rr | central-random |
+/// central-min-id | central-max-id | bernoulli-<p> (e.g. bernoulli-0.5) |
+/// random-subset | locally-central.  Throws std::invalid_argument on
+/// unknown names.
+[[nodiscard]] std::unique_ptr<Daemon> daemon_by_name(const std::string& name,
+                                                     std::uint64_t seed);
+
+/// Names accepted by daemon_by_name (for the `daemons` subcommand and
+/// error messages).
+[[nodiscard]] std::vector<std::string> known_daemons();
+
+/// Families accepted by graph_from_spec.
+[[nodiscard]] std::vector<std::string> known_families();
+
+}  // namespace specstab::cli
+
+#endif  // SPECSTAB_CLI_CLI_HPP

@@ -1,0 +1,58 @@
+#include "clock/cherry_clock.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace specstab {
+
+CherryClock::CherryClock(ClockValue alpha, ClockValue k)
+    : alpha_(alpha), k_(k) {
+  if (alpha < 1) throw std::invalid_argument("CherryClock: need alpha >= 1");
+  if (k < 2) throw std::invalid_argument("CherryClock: need K >= 2");
+}
+
+ClockValue CherryClock::increment(ClockValue c) const {
+  if (!contains(c)) throw std::out_of_range("CherryClock::increment: value");
+  if (c < 0) return c + 1;
+  return static_cast<ClockValue>((c + 1) % k_);
+}
+
+ClockValue CherryClock::ring_projection(std::int64_t c) const noexcept {
+  std::int64_t r = c % k_;
+  if (r < 0) r += k_;
+  return static_cast<ClockValue>(r);
+}
+
+ClockValue CherryClock::ring_distance(ClockValue c, ClockValue c2) const {
+  const ClockValue forward = ring_projection(static_cast<std::int64_t>(c2) - c);
+  const ClockValue backward = ring_projection(static_cast<std::int64_t>(c) - c2);
+  return std::min(forward, backward);
+}
+
+bool CherryClock::le_local(ClockValue c, ClockValue c2) const {
+  const ClockValue ahead = ring_projection(static_cast<std::int64_t>(c2) - c);
+  return ahead <= 1;
+}
+
+bool CherryClock::le_init(ClockValue c, ClockValue c2) const {
+  if (!in_init(c) || !in_init(c2)) {
+    throw std::invalid_argument("CherryClock::le_init: values must be in init");
+  }
+  return c <= c2;
+}
+
+std::vector<ClockValue> CherryClock::all_values() const {
+  std::vector<ClockValue> vals;
+  vals.reserve(static_cast<std::size_t>(alpha_ + k_));
+  for (ClockValue c = -alpha_; c < k_; ++c) vals.push_back(c);
+  return vals;
+}
+
+std::string CherryClock::describe() const {
+  std::ostringstream os;
+  os << "cherry(alpha=" << alpha_ << ", K=" << k_ << ")";
+  return os.str();
+}
+
+}  // namespace specstab

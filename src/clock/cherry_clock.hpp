@@ -1,0 +1,97 @@
+// The bounded "cherry" clock X = (cherry(alpha, K), phi) of Section 4.1
+// and Figure 1.
+//
+// cherry(alpha, K) = {-alpha, .., 0, .., K-1}: a tail of initial values
+// -alpha..-1 grafted onto a ring of correct values 0..K-1 (the cherry and
+// its stem).  The increment phi walks up the tail and then around the
+// ring; a reset jumps to -alpha.  On the ring, d_K is the cyclic distance
+// and <=_l ("locally comparable, at most one ahead") the relation the
+// unison's NA rule uses.
+#ifndef SPECSTAB_CLOCK_CHERRY_CLOCK_HPP
+#define SPECSTAB_CLOCK_CHERRY_CLOCK_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specstab {
+
+/// Clock value: an element of cherry(alpha, K).
+using ClockValue = std::int32_t;
+
+class CherryClock {
+ public:
+  /// Requires alpha >= 1, K >= 2 (paper parametrisation).
+  CherryClock(ClockValue alpha, ClockValue k);
+
+  [[nodiscard]] ClockValue alpha() const noexcept { return alpha_; }
+  [[nodiscard]] ClockValue k() const noexcept { return k_; }
+
+  /// Membership in cherry(alpha, K) = {-alpha, .., K-1}.
+  [[nodiscard]] bool contains(ClockValue c) const noexcept {
+    return c >= -alpha_ && c < k_;
+  }
+
+  /// init_X = {-alpha, .., 0}: the initial values (stem, plus the graft 0).
+  [[nodiscard]] bool in_init(ClockValue c) const noexcept {
+    return c >= -alpha_ && c <= 0;
+  }
+
+  /// init*_X = init_X \ {0}.
+  [[nodiscard]] bool in_init_star(ClockValue c) const noexcept {
+    return c >= -alpha_ && c < 0;
+  }
+
+  /// stab_X = {0, .., K-1}: the correct values (ring).
+  [[nodiscard]] bool in_stab(ClockValue c) const noexcept {
+    return c >= 0 && c < k_;
+  }
+
+  /// stab*_X = stab_X \ {0}.
+  [[nodiscard]] bool in_stab_star(ClockValue c) const noexcept {
+    return c > 0 && c < k_;
+  }
+
+  /// The increment function phi: +1 along the tail, +1 mod K on the ring.
+  [[nodiscard]] ClockValue increment(ClockValue c) const;
+
+  /// The reset operation: any value except -alpha may be reset to -alpha.
+  [[nodiscard]] ClockValue reset_value() const noexcept { return -alpha_; }
+
+  /// bar(c): the unique element of [0, K-1] congruent to c mod K.
+  [[nodiscard]] ClockValue ring_projection(std::int64_t c) const noexcept;
+
+  /// d_K(c, c') = min(bar(c - c'), bar(c' - c)): cyclic distance between
+  /// ring projections.
+  [[nodiscard]] ClockValue ring_distance(ClockValue c, ClockValue c2) const;
+
+  /// c and c' locally comparable: d_K(c, c') <= 1.
+  [[nodiscard]] bool locally_comparable(ClockValue c, ClockValue c2) const {
+    return ring_distance(c, c2) <= 1;
+  }
+
+  /// c <=_l c'  iff  bar(c' - c) in {0, 1}  (not an order; ring relation
+  /// used by the NA guard).
+  [[nodiscard]] bool le_local(ClockValue c, ClockValue c2) const;
+
+  /// <=_init: the usual total order restricted to init_X; precondition:
+  /// both values in init_X.
+  [[nodiscard]] bool le_init(ClockValue c, ClockValue c2) const;
+
+  /// All values of cherry(alpha, K), ascending (for exhaustive tests and
+  /// the Figure 1 bench).
+  [[nodiscard]] std::vector<ClockValue> all_values() const;
+
+  /// "cherry(alpha=A, K=B)" for reports.
+  [[nodiscard]] std::string describe() const;
+
+  friend bool operator==(const CherryClock&, const CherryClock&) = default;
+
+ private:
+  ClockValue alpha_;
+  ClockValue k_;
+};
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_CLOCK_CHERRY_CLOCK_HPP

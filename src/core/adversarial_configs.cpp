@@ -1,0 +1,101 @@
+#include "core/adversarial_configs.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "graph/properties.hpp"
+
+namespace specstab {
+
+Config<ClockValue> random_config(const Graph& g, const CherryClock& clock,
+                                 std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<ClockValue> pick(-clock.alpha(),
+                                                 clock.k() - 1);
+  Config<ClockValue> cfg(static_cast<std::size_t>(g.n()));
+  for (auto& r : cfg) r = pick(rng);
+  return cfg;
+}
+
+std::vector<Config<ClockValue>> random_configs(const Graph& g,
+                                               const CherryClock& clock,
+                                               std::size_t count,
+                                               std::uint64_t seed) {
+  std::vector<Config<ClockValue>> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(random_config(g, clock, seed + 0x9e3779b9ULL * (i + 1)));
+  }
+  return out;
+}
+
+Config<ClockValue> zero_config(const Graph& g) {
+  return Config<ClockValue>(static_cast<std::size_t>(g.n()), 0);
+}
+
+StepIndex two_gradient_violation_step(const Graph& g, VertexId u, VertexId v) {
+  if (u == v) return 0;
+  const VertexId d = distance(g, u, v);
+  if (d <= 1) return 0;
+  return (d + 1) / 2 - 1;  // ceil(d/2) - 1
+}
+
+Config<ClockValue> two_gradient_config(const Graph& g,
+                                       const SsmeProtocol& proto, VertexId u,
+                                       VertexId v) {
+  if (g.n() == 1) {
+    // Single vertex: immediately privileged.
+    return {proto.params().privileged_value(0)};
+  }
+  if (u == v)
+    throw std::invalid_argument("two_gradient_config: need distinct u, v");
+
+  const auto du = bfs_distances(g, u);
+  const auto dv = bfs_distances(g, v);
+  const StepIndex t = two_gradient_violation_step(g, u, v);
+  const CherryClock& clock = proto.clock();
+
+  Config<ClockValue> cfg(static_cast<std::size_t>(g.n()));
+  for (VertexId w = 0; w < g.n(); ++w) {
+    const bool near_u =
+        du[static_cast<std::size_t>(w)] <= dv[static_cast<std::size_t>(w)];
+    const VertexId anchor = near_u ? u : v;
+    const VertexId dist_to_anchor = near_u ? du[static_cast<std::size_t>(w)]
+                                           : dv[static_cast<std::size_t>(w)];
+    const std::int64_t value =
+        static_cast<std::int64_t>(proto.params().privileged_value(anchor)) -
+        t + dist_to_anchor;
+    cfg[static_cast<std::size_t>(w)] = clock.ring_projection(value);
+  }
+  return cfg;
+}
+
+Config<ClockValue> two_gradient_config(const Graph& g,
+                                       const SsmeProtocol& proto) {
+  if (g.n() == 1) return two_gradient_config(g, proto, 0, 0);
+  const auto [u, v] = diameter_pair(g);
+  return two_gradient_config(g, proto, u, v);
+}
+
+Config<ClockValue> inject_fault(const Config<ClockValue>& cfg,
+                                const CherryClock& clock, VertexId victims,
+                                std::uint64_t seed) {
+  if (victims < 0 || static_cast<std::size_t>(victims) > cfg.size()) {
+    throw std::invalid_argument("inject_fault: victim count out of range");
+  }
+  std::mt19937_64 rng(seed);
+  std::vector<std::size_t> order(cfg.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng);
+  std::uniform_int_distribution<ClockValue> pick(-clock.alpha(),
+                                                 clock.k() - 1);
+  Config<ClockValue> out = cfg;
+  for (VertexId i = 0; i < victims; ++i) {
+    out[order[static_cast<std::size_t>(i)]] = pick(rng);
+  }
+  return out;
+}
+
+}  // namespace specstab

@@ -1,0 +1,72 @@
+// Initial-configuration builders for SSME experiments.
+//
+// Transient faults may corrupt the whole system state, so stabilization is
+// measured from *arbitrary* configurations: uniformly random register
+// assignments, plus crafted worst cases.
+//
+// The star of this file is the *two-gradient witness* behind Theorem 4's
+// lower bound: pick u, v at distance d = dist(g, u, v) (normally a
+// diameter pair), let t = ceil(d/2) - 1, and assign every vertex w the
+// register value
+//
+//     r_w = privileged_value(x) - t + dist(w, x),   x = nearer of {u, v}.
+//
+// Each of u and v then sits at the bottom of an ascending clock gradient
+// and increments once per synchronous step, reaching its privileged value
+// exactly in configuration gamma_t — a double privilege at index
+// ceil(d/2) - 1.  The inconsistency at the seam between the two gradients
+// triggers a reset wave, but information travels one hop per step, so the
+// wave cannot reach u or v before they fire.  This realises the paper's
+// information-theoretic argument ("a process gathers information at most
+// at distance d in d steps") as an executable configuration and shows the
+// Theorem 2 bound ceil(diam/2) is tight.
+#ifndef SPECSTAB_CORE_ADVERSARIAL_CONFIGS_HPP
+#define SPECSTAB_CORE_ADVERSARIAL_CONFIGS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ssme.hpp"
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+/// Uniformly random configuration over cherry(alpha, K)^n.
+[[nodiscard]] Config<ClockValue> random_config(const Graph& g,
+                                               const CherryClock& clock,
+                                               std::uint64_t seed);
+
+/// `count` random configurations with derived seeds.
+[[nodiscard]] std::vector<Config<ClockValue>> random_configs(
+    const Graph& g, const CherryClock& clock, std::size_t count,
+    std::uint64_t seed);
+
+/// The all-zeros configuration (in Gamma_1; legitimate from the start).
+[[nodiscard]] Config<ClockValue> zero_config(const Graph& g);
+
+/// The two-gradient Theorem-4 witness for vertices u, v (see file
+/// comment).  Requires u != v unless g has a single vertex.
+[[nodiscard]] Config<ClockValue> two_gradient_config(const Graph& g,
+                                                     const SsmeProtocol& proto,
+                                                     VertexId u, VertexId v);
+
+/// Two-gradient witness on a diameter pair of g.
+[[nodiscard]] Config<ClockValue> two_gradient_config(const Graph& g,
+                                                     const SsmeProtocol& proto);
+
+/// The synchronous round index at which the witness produces its double
+/// privilege: ceil(dist(u, v)/2) - 1 (or 0 when dist <= 1).
+[[nodiscard]] StepIndex two_gradient_violation_step(const Graph& g,
+                                                    VertexId u, VertexId v);
+
+/// Corrupts `victims` registers of `cfg` to arbitrary clock values — a
+/// transient-fault injector for re-stabilization experiments.
+[[nodiscard]] Config<ClockValue> inject_fault(const Config<ClockValue>& cfg,
+                                              const CherryClock& clock,
+                                              VertexId victims,
+                                              std::uint64_t seed);
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_CORE_ADVERSARIAL_CONFIGS_HPP

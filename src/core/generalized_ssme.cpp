@@ -1,0 +1,133 @@
+#include "core/generalized_ssme.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+#include "core/theory.hpp"
+#include "graph/properties.hpp"
+
+namespace specstab {
+
+GeneralizedSsmeParams GeneralizedSsmeParams::paper(VertexId n, VertexId diam) {
+  if (n < 1) throw std::invalid_argument("paper params: need n >= 1");
+  GeneralizedSsmeParams p;
+  p.n = n;
+  p.diam = diam;
+  p.alpha = static_cast<ClockValue>(n);
+  p.k = static_cast<ClockValue>(ssme_clock_size(n, diam));
+  p.base = static_cast<ClockValue>(2 * n);
+  p.spacing = static_cast<ClockValue>(2 * diam);
+  return p;
+}
+
+GeneralizedSsmeParams GeneralizedSsmeParams::minimal_safe(VertexId n,
+                                                          VertexId diam,
+                                                          ClockValue alpha) {
+  if (n < 1) throw std::invalid_argument("minimal_safe: need n >= 1");
+  if (alpha < 1) throw std::invalid_argument("minimal_safe: need alpha >= 1");
+  GeneralizedSsmeParams p;
+  p.n = n;
+  p.diam = diam;
+  p.alpha = alpha;
+  p.spacing = static_cast<ClockValue>(diam + 1);
+  p.k = min_safe_ring_size(n, diam, p.spacing);
+  p.base = 0;
+  return p;
+}
+
+ClockValue GeneralizedSsmeParams::privileged_value(VertexId id) const {
+  const auto raw = static_cast<std::int64_t>(base) +
+                   static_cast<std::int64_t>(spacing) * id;
+  return make_clock().ring_projection(raw);
+}
+
+bool gamma1_safe_layout(const GeneralizedSsmeParams& params) {
+  const CherryClock clock = params.make_clock();
+  for (VertexId i = 0; i < params.n; ++i) {
+    for (VertexId j = i + 1; j < params.n; ++j) {
+      if (clock.ring_distance(params.privileged_value(i),
+                              params.privileged_value(j)) <=
+          static_cast<ClockValue>(params.diam)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+ClockValue min_safe_ring_size(VertexId n, VertexId diam, ClockValue spacing) {
+  if (spacing <= static_cast<ClockValue>(diam)) return 0;
+  // Consecutive identities sit `spacing` apart; the wrap-around gap from
+  // identity n-1 back to identity 0 must also exceed diam.
+  const std::int64_t k = static_cast<std::int64_t>(spacing) * (n - 1) +
+                         static_cast<std::int64_t>(diam) + 1;
+  return static_cast<ClockValue>(std::max<std::int64_t>(k, 2));
+}
+
+VertexId GeneralizedSsmeProtocol::count_privileged(
+    const Graph& g, const Config<State>& cfg) const {
+  VertexId count = 0;
+  for (VertexId v = 0; v < g.n(); ++v) {
+    if (privileged(cfg, v)) ++count;
+  }
+  return count;
+}
+
+std::optional<std::pair<VertexId, VertexId>> find_gamma1_conflict(
+    const Graph& g, const GeneralizedSsmeParams& params) {
+  const CherryClock clock = params.make_clock();
+  const auto dist = all_pairs_distances(g);
+  std::optional<std::pair<VertexId, VertexId>> best;
+  std::int64_t best_slack = std::numeric_limits<std::int64_t>::min();
+  for (VertexId u = 0; u < g.n(); ++u) {
+    for (VertexId v = u + 1; v < g.n(); ++v) {
+      const ClockValue gap = clock.ring_distance(params.privileged_value(u),
+                                                 params.privileged_value(v));
+      const auto d =
+          static_cast<std::int64_t>(dist[static_cast<std::size_t>(u)]
+                                        [static_cast<std::size_t>(v)]);
+      const std::int64_t slack = d - gap;  // >= 0 means realisable in Gamma_1
+      if (slack >= 0 && slack > best_slack) {
+        best_slack = slack;
+        best = {u, v};
+      }
+    }
+  }
+  return best;
+}
+
+Config<ClockValue> gamma1_conflict_config(const Graph& g,
+                                          const GeneralizedSsmeParams& params,
+                                          VertexId u, VertexId v) {
+  const CherryClock clock = params.make_clock();
+  const ClockValue pu = params.privileged_value(u);
+  const ClockValue pv = params.privileged_value(v);
+  const ClockValue gap = clock.ring_distance(pu, pv);
+  const auto d_uv = distance(g, u, v);
+  if (static_cast<std::int64_t>(gap) > static_cast<std::int64_t>(d_uv)) {
+    throw std::invalid_argument(
+        "gamma1_conflict_config: privileged values farther apart on the ring "
+        "than u and v are in g");
+  }
+  // Walk from p_u towards p_v along the shorter ring arc.
+  const ClockValue ahead = clock.ring_projection(
+      static_cast<std::int64_t>(pv) - static_cast<std::int64_t>(pu));
+  const int sign = (ahead == gap) ? 1 : -1;
+
+  // r_w = bar(p_u + sign * min(dist(u, w), gap)) is 1-Lipschitz in w
+  // (neighbour drift <= 1), entirely on the ring, and hits p_u at u and
+  // p_v at every w with dist(u, w) >= gap on a shortest u-v path — in
+  // particular at v itself since dist(u, v) >= gap.
+  const auto du = bfs_distances(g, u);
+  Config<ClockValue> cfg(static_cast<std::size_t>(g.n()));
+  for (VertexId w = 0; w < g.n(); ++w) {
+    const auto height = std::min<std::int64_t>(du[static_cast<std::size_t>(w)],
+                                               gap);
+    cfg[static_cast<std::size_t>(w)] =
+        clock.ring_projection(static_cast<std::int64_t>(pu) + sign * height);
+  }
+  return cfg;
+}
+
+}  // namespace specstab

@@ -1,0 +1,165 @@
+// Generalized SSME — the parameter space around Algorithm 1.
+//
+// The paper fixes three design choices: the tail length alpha = n, the
+// ring size K = (2n-1)(diam+1)+2, and the privilege layout
+// privileged_v == (r_v = 2n + 2 diam id_v), i.e. base value 2n and
+// spacing 2 diam between consecutive identities.  This module makes all
+// three knobs explicit so the ablation bench (and downstream users who
+// know their topology) can explore the trade-offs:
+//
+//   - *Gamma_1 safety* only needs every pair of distinct privileged
+//     values at ring distance > diam (then the drift bound
+//     d_K(r_u, r_v) <= diam inside Gamma_1 forbids a double privilege).
+//     Spacing diam+1 with ring size spacing*(n-1) + diam + 1 is the
+//     smallest layout with that property — strictly smaller than the
+//     paper's choice.
+//   - The paper's extra slack (spacing 2 diam, base 2n, the (2n-1) factor)
+//     is what the *synchronous* Theorem 2 argument consumes (Lemmas 1-4
+//     and the Case 1/2 arithmetic); shrinking the clock keeps asynchronous
+//     correctness but can surrender the ceil(diam/2) speculative bound.
+//   - Liveness additionally needs K > cyclo(g) and convergence
+//     alpha >= hole(g) - 2 (Boulinier et al. [2]); the minimal layouts
+//     here satisfy both whenever the paper's do.
+//
+// `find_gamma1_conflict` / `gamma1_conflict_config` turn a *bad* layout
+// into an executable counterexample: a legitimate (Gamma_1) configuration
+// with two simultaneously privileged vertices, which the protocol can
+// never escape (Gamma_1 is closed) — demonstrating why the safety
+// condition on the layout is not optional.
+#ifndef SPECSTAB_CORE_GENERALIZED_SSME_HPP
+#define SPECSTAB_CORE_GENERALIZED_SSME_HPP
+
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "clock/cherry_clock.hpp"
+#include "core/ssme.hpp"
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+#include "unison/unison.hpp"
+
+namespace specstab {
+
+/// All the knobs of an SSME-style protocol: unison clock parameters plus
+/// the privilege layout over the ring.
+struct GeneralizedSsmeParams {
+  VertexId n = 0;         ///< number of processes
+  VertexId diam = 0;      ///< diam(g)
+  ClockValue alpha = 1;   ///< tail length (paper: n)
+  ClockValue k = 2;       ///< ring size (paper: (2n-1)(diam+1)+2)
+  ClockValue base = 0;    ///< privileged value of identity 0 (paper: 2n)
+  ClockValue spacing = 1; ///< gap between consecutive identities (paper: 2 diam)
+
+  /// The paper's exact parameter choice (equals SsmeParams).
+  [[nodiscard]] static GeneralizedSsmeParams paper(VertexId n, VertexId diam);
+
+  /// The smallest Gamma_1-safe layout: spacing diam+1, ring size
+  /// spacing*(n-1) + diam + 1, base 0, tail alpha (caller-chosen; the
+  /// paper-faithful default is n, the topology-exact minimum is
+  /// max(1, hole(g)-2)).
+  [[nodiscard]] static GeneralizedSsmeParams minimal_safe(VertexId n,
+                                                          VertexId diam,
+                                                          ClockValue alpha);
+
+  /// The privileged register value of identity `id`:
+  /// bar(base + spacing * id) on the ring [0, K-1].
+  [[nodiscard]] ClockValue privileged_value(VertexId id) const;
+
+  [[nodiscard]] CherryClock make_clock() const { return {alpha, k}; }
+
+  friend bool operator==(const GeneralizedSsmeParams&,
+                         const GeneralizedSsmeParams&) = default;
+};
+
+/// True iff the layout forbids double privileges inside Gamma_1: all
+/// privileged values pairwise at ring distance > diam.  This is the exact
+/// hypothesis the proof of Theorem 1 consumes.
+[[nodiscard]] bool gamma1_safe_layout(const GeneralizedSsmeParams& params);
+
+/// Smallest ring size K for which `spacing` keeps n identities pairwise
+/// at ring distance > diam: spacing*(n-1) + diam + 1 (requires
+/// spacing > diam; returns 0 otherwise — no K can help a too-small
+/// spacing between consecutive identities).
+[[nodiscard]] ClockValue min_safe_ring_size(VertexId n, VertexId diam,
+                                            ClockValue spacing);
+
+/// SSME with an arbitrary parameterisation: the Boulinier-Petit-Villain
+/// unison on cherry(alpha, K) plus the generalized privilege layout.
+/// With `GeneralizedSsmeParams::paper` this is move-for-move identical to
+/// `SsmeProtocol`.
+class GeneralizedSsmeProtocol {
+ public:
+  using State = ClockValue;
+
+  explicit GeneralizedSsmeProtocol(GeneralizedSsmeParams params)
+      : params_(params), unison_(params.make_clock()) {}
+
+  [[nodiscard]] const GeneralizedSsmeParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] const UnisonProtocol& unison() const noexcept {
+    return unison_;
+  }
+  [[nodiscard]] const CherryClock& clock() const noexcept {
+    return unison_.clock();
+  }
+
+  // --- ProtocolConcept (delegated to the unison) ---
+
+  [[nodiscard]] bool enabled(const Graph& g, const Config<State>& cfg,
+                             VertexId v) const {
+    return unison_.enabled(g, cfg, v);
+  }
+  [[nodiscard]] State apply(const Graph& g, const Config<State>& cfg,
+                            VertexId v) const {
+    return unison_.apply(g, cfg, v);
+  }
+  [[nodiscard]] std::string_view rule_name(const Graph& g,
+                                           const Config<State>& cfg,
+                                           VertexId v) const {
+    return unison_.rule_name(g, cfg, v);
+  }
+
+  // --- Mutual exclusion view ---
+
+  [[nodiscard]] bool privileged(const Config<State>& cfg, VertexId v) const {
+    return cfg[static_cast<std::size_t>(v)] == params_.privileged_value(v);
+  }
+
+  [[nodiscard]] VertexId count_privileged(const Graph& g,
+                                          const Config<State>& cfg) const;
+
+  [[nodiscard]] bool mutex_safe(const Graph& g,
+                                const Config<State>& cfg) const {
+    return count_privileged(g, cfg) <= 1;
+  }
+
+  [[nodiscard]] bool legitimate(const Graph& g,
+                                const Config<State>& cfg) const {
+    return unison_.legitimate(g, cfg);
+  }
+
+ private:
+  GeneralizedSsmeParams params_;
+  UnisonProtocol unison_;
+};
+
+/// Searches for two vertices whose privileged values can coexist inside
+/// Gamma_1 on g: d_K(p_u, p_v) <= dist(g, u, v).  Returns the pair
+/// minimising the slack (the "most conflicting" witness), or nullopt when
+/// the layout is safe on g.
+[[nodiscard]] std::optional<std::pair<VertexId, VertexId>>
+find_gamma1_conflict(const Graph& g, const GeneralizedSsmeParams& params);
+
+/// Builds a Gamma_1 configuration in which both `u` and `v` hold their
+/// privileged values: r_w = bar(p_u + sign * min(dist(u, w), d_K(p_u,
+/// p_v))).  Precondition: d_K(p_u, p_v) <= dist(g, u, v) (as returned by
+/// find_gamma1_conflict); throws std::invalid_argument otherwise.
+[[nodiscard]] Config<ClockValue> gamma1_conflict_config(
+    const Graph& g, const GeneralizedSsmeParams& params, VertexId u,
+    VertexId v);
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_CORE_GENERALIZED_SSME_HPP

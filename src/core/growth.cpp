@@ -1,0 +1,58 @@
+#include "core/growth.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace specstab {
+
+GrowthFit fit_power_law(const std::vector<double>& x,
+                        const std::vector<double>& cost) {
+  if (x.size() != cost.size()) {
+    throw std::invalid_argument("fit_power_law: size mismatch");
+  }
+  std::vector<double> lx, ly;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0 && cost[i] > 0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(cost[i]));
+    }
+  }
+  const std::size_t n = lx.size();
+  if (n < 2) throw std::invalid_argument("fit_power_law: need >= 2 samples");
+
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += lx[i];
+    sy += ly[i];
+    sxx += lx[i] * lx[i];
+    sxy += lx[i] * ly[i];
+    syy += ly[i] * ly[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) {
+    throw std::invalid_argument("fit_power_law: degenerate x values");
+  }
+  GrowthFit fit;
+  fit.points = n;
+  fit.exponent = (dn * sxy - sx * sy) / denom;
+  fit.constant = std::exp((sy - fit.exponent * sx) / dn);
+
+  const double ss_tot = syy - sy * sy / dn;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pred = fit.exponent * lx[i] + std::log(fit.constant);
+    ss_res += (ly[i] - pred) * (ly[i] - pred);
+  }
+  fit.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+GrowthFit fit_power_law(const std::vector<std::int64_t>& x,
+                        const std::vector<std::int64_t>& cost) {
+  std::vector<double> dx(x.begin(), x.end());
+  std::vector<double> dc(cost.begin(), cost.end());
+  return fit_power_law(dx, dc);
+}
+
+}  // namespace specstab

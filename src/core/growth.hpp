@@ -1,0 +1,35 @@
+// Empirical asymptotics: log-log least-squares exponent estimation.
+//
+// The speculation claims of the paper are Theta-separations
+// (Theta(diam n^3) vs Theta(diam); Theta(n^2) vs Theta(n); ...).  The
+// benches verify the *shape* by fitting the exponent of measured cost
+// against the driving parameter: cost ~ c * x^e gives a straight line of
+// slope e in log-log space.
+#ifndef SPECSTAB_CORE_GROWTH_HPP
+#define SPECSTAB_CORE_GROWTH_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace specstab {
+
+struct GrowthFit {
+  double exponent = 0.0;   ///< fitted slope e of log(cost) vs log(x)
+  double constant = 0.0;   ///< fitted c (cost ~ c * x^e)
+  double r_squared = 0.0;  ///< fit quality in [0, 1]
+  std::size_t points = 0;
+};
+
+/// Fits cost ~ c * x^e over the (x, cost) samples.  Ignores samples with
+/// x <= 0 or cost <= 0.  Requires >= 2 usable samples; throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] GrowthFit fit_power_law(const std::vector<double>& x,
+                                      const std::vector<double>& cost);
+
+/// Convenience overload for integer measurements.
+[[nodiscard]] GrowthFit fit_power_law(const std::vector<std::int64_t>& x,
+                                      const std::vector<std::int64_t>& cost);
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_CORE_GROWTH_HPP

@@ -1,0 +1,104 @@
+#include "core/islands.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace specstab {
+
+bool Island::contains(VertexId v) const {
+  return std::ranges::binary_search(vertices, v);
+}
+
+std::vector<Island> find_islands(const Graph& g, const UnisonProtocol& unison,
+                                 const Config<ClockValue>& cfg) {
+  const auto n = static_cast<std::size_t>(g.n());
+  // Island membership is confined to stab-valued vertices; edges of the
+  // island graph are the mutually-correct adjacent pairs.
+  std::vector<int> component(n, -1);
+  std::vector<Island> islands;
+
+  for (VertexId start = 0; start < g.n(); ++start) {
+    const auto si = static_cast<std::size_t>(start);
+    if (component[si] >= 0) continue;
+    if (!unison.clock().in_stab(cfg[si])) continue;
+
+    const int comp_id = static_cast<int>(islands.size());
+    Island island;
+    std::deque<VertexId> queue{start};
+    component[si] = comp_id;
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      island.vertices.push_back(v);
+      if (cfg[static_cast<std::size_t>(v)] == 0) island.zero = true;
+      for (VertexId u : g.neighbors(v)) {
+        const auto ui = static_cast<std::size_t>(u);
+        if (component[ui] >= 0) continue;
+        if (!unison.correct(cfg, v, u)) continue;
+        component[ui] = comp_id;
+        queue.push_back(u);
+      }
+    }
+    std::ranges::sort(island.vertices);
+    islands.push_back(std::move(island));
+  }
+
+  // Definition 5 requires I to be a strict subset of V: a single island
+  // covering every vertex means the configuration is in Gamma_1, where
+  // the notion does not apply.
+  if (islands.size() == 1 &&
+      islands.front().vertices.size() == n) {
+    return {};
+  }
+
+  // Borders and depths (Definition 6): multi-source BFS over g from the
+  // border of each island, restricted to its members.
+  for (std::size_t ci = 0; ci < islands.size(); ++ci) {
+    Island& island = islands[ci];
+    std::deque<VertexId> queue;
+    std::vector<VertexId> dist(n, std::numeric_limits<VertexId>::max());
+    for (VertexId v : island.vertices) {
+      const bool on_border = std::ranges::any_of(
+          g.neighbors(v), [&](VertexId u) {
+            return component[static_cast<std::size_t>(u)] !=
+                   static_cast<int>(ci);
+          });
+      if (on_border) {
+        island.border.push_back(v);
+        dist[static_cast<std::size_t>(v)] = 0;
+        queue.push_back(v);
+      }
+    }
+    // Definition 6 measures depth with dist(g, ., .) — distances in the
+    // *full* graph, not within the island — so the BFS crosses
+    // non-members freely.
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (VertexId u : g.neighbors(v)) {
+        const auto ui = static_cast<std::size_t>(u);
+        if (dist[ui] != std::numeric_limits<VertexId>::max()) continue;
+        dist[ui] = dist[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(u);
+      }
+    }
+    island.depth = 0;
+    for (VertexId v : island.vertices) {
+      const auto dv = dist[static_cast<std::size_t>(v)];
+      if (dv != std::numeric_limits<VertexId>::max()) {
+        island.depth = std::max(island.depth, dv);
+      }
+    }
+  }
+  return islands;
+}
+
+const Island* island_of(const std::vector<Island>& islands, VertexId v) {
+  for (const auto& island : islands) {
+    if (island.contains(v)) return &island;
+  }
+  return nullptr;
+}
+
+}  // namespace specstab

@@ -1,0 +1,64 @@
+// Island analysis — the proof machinery of Theorem 2 (paper, Definitions
+// 5 and 6, Lemmas 1-4), executable.
+//
+// In a configuration outside Gamma_1, the stab-valued vertices organise
+// into *islands*: maximal sets I with every internal adjacent pair
+// mutually correct (both registers in stab, ring drift <= 1).  An island
+// is a *zero-island* when some member's register is exactly 0 and a
+// *non-zero-island* otherwise.  The paper's synchronous argument is a
+// geometric erosion statement: every border vertex of a non-zero-island
+// is enabled by the reset rule RA, so under the synchronous daemon the
+// island loses its entire border each step — its depth shrinks by at
+// least one (Lemma 3), which is what lets privileges be traced back to
+// deep islands in gamma_0 and bounds the double-privilege window by
+// ceil(diam/2).
+//
+// This module recovers the islands of any configuration so tests can
+// check the lemmas against real executions and benches can plot the
+// erosion.
+//
+// Reading of Definition 5: "maximal set whose adjacent pairs are all
+// mutually correct" admits overlapping maximal sets (a path of correct
+// edges whose chords are incorrect).  We use the standard executable
+// refinement — connected components of the mutually-correct edge graph —
+// which preserves the only property the lemmas consume: every border
+// vertex of a non-zero-island (and every component member with an
+// incorrect edge into the component) fails allCorrect, is therefore
+// RA-enabled, and resets on the next synchronous step, so the erosion is
+// at least as fast as the paper's.
+#ifndef SPECSTAB_CORE_ISLANDS_HPP
+#define SPECSTAB_CORE_ISLANDS_HPP
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+#include "unison/unison.hpp"
+
+namespace specstab {
+
+/// One island of a configuration (Definition 5), with its border and
+/// depth (Definition 6) precomputed.
+struct Island {
+  std::vector<VertexId> vertices;  ///< sorted members
+  std::vector<VertexId> border;    ///< members with a neighbour outside
+  VertexId depth = 0;   ///< max over members of min g-distance to border
+  bool zero = false;    ///< contains a register with value exactly 0
+
+  [[nodiscard]] bool contains(VertexId v) const;
+};
+
+/// All islands of `cfg` (Definition 5).  Empty when cfg is in Gamma_1
+/// (the definition requires I to be a strict subset of V) or when no
+/// vertex holds a stab value.
+[[nodiscard]] std::vector<Island> find_islands(const Graph& g,
+                                               const UnisonProtocol& unison,
+                                               const Config<ClockValue>& cfg);
+
+/// The island containing v, or nullptr.
+[[nodiscard]] const Island* island_of(const std::vector<Island>& islands,
+                                      VertexId v);
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_CORE_ISLANDS_HPP

@@ -1,0 +1,34 @@
+#include "core/mutex_spec.hpp"
+
+namespace specstab {
+
+MutexSpecMonitor::MutexSpecMonitor(const Graph& g, const SsmeProtocol& proto)
+    : g_(g), proto_(proto) {
+  report_.cs_executions.assign(static_cast<std::size_t>(g.n()), 0);
+}
+
+void MutexSpecMonitor::inspect(StepIndex cfg_index,
+                               const Config<ClockValue>& cfg) {
+  const VertexId priv = proto_.count_privileged(g_, cfg);
+  report_.max_simultaneous_privileged =
+      std::max(report_.max_simultaneous_privileged, priv);
+  if (priv >= 2) report_.last_safety_violation = cfg_index;
+  ++report_.configurations_seen;
+}
+
+void MutexSpecMonitor::on_action(StepIndex step, const Config<ClockValue>& cfg,
+                                 const std::vector<VertexId>& activated) {
+  inspect(step, cfg);
+  for (VertexId v : activated) {
+    if (proto_.privileged(cfg, v)) {
+      ++report_.cs_executions[static_cast<std::size_t>(v)];
+    }
+  }
+}
+
+void MutexSpecMonitor::finish(StepIndex steps,
+                              const Config<ClockValue>& final_cfg) {
+  inspect(steps, final_cfg);
+}
+
+}  // namespace specstab

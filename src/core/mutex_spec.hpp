@@ -1,0 +1,90 @@
+// spec_ME checking (paper, Specification 1).
+//
+// An execution satisfies spec_ME iff (safety) at most one vertex is
+// privileged in every configuration and (liveness) every vertex executes
+// its critical section infinitely often.  A vertex executes its critical
+// section during action (gamma_i, gamma_{i+1}) iff it is privileged in
+// gamma_i and activated by that action.
+//
+// MutexSpecMonitor is an online checker fed from the engine's step
+// observer — O(1) memory in the execution length — reporting the last
+// safety-violation index (whose successor is the measured stabilization
+// point) and per-vertex critical-section counts (finite-horizon liveness
+// evidence).
+#ifndef SPECSTAB_CORE_MUTEX_SPEC_HPP
+#define SPECSTAB_CORE_MUTEX_SPEC_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/ssme.hpp"
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+struct MutexSpecReport {
+  /// Index of the last configuration with >= 2 privileged vertices; -1 if
+  /// safety never broke.
+  StepIndex last_safety_violation = -1;
+
+  /// Largest number of simultaneously privileged vertices observed.
+  VertexId max_simultaneous_privileged = 0;
+
+  /// Number of configurations inspected (gamma_0 .. gamma_steps).
+  StepIndex configurations_seen = 0;
+
+  /// Critical-section executions per vertex (privileged and activated).
+  std::vector<std::int64_t> cs_executions;
+
+  /// Measured stabilization point for the safety part of spec_ME: the
+  /// earliest configuration index from which no violation was observed.
+  [[nodiscard]] StepIndex stabilization_steps() const {
+    return last_safety_violation + 1;
+  }
+
+  /// Finite-horizon liveness: every vertex entered its critical section at
+  /// least `times` times.
+  [[nodiscard]] bool liveness_at_least(std::int64_t times) const {
+    return !cs_executions.empty() &&
+           *std::min_element(cs_executions.begin(), cs_executions.end()) >=
+               times;
+  }
+
+  [[nodiscard]] std::int64_t min_cs_executions() const {
+    if (cs_executions.empty()) return 0;
+    return *std::min_element(cs_executions.begin(), cs_executions.end());
+  }
+};
+
+/// Online spec_ME monitor for SSME.  Feed every action through
+/// `on_action` (as the engine's StepObserver) and the final configuration
+/// through `finish`.
+class MutexSpecMonitor {
+ public:
+  MutexSpecMonitor(const Graph& g, const SsmeProtocol& proto);
+
+  /// Observer for action (step, gamma_step, activated).
+  void on_action(StepIndex step, const Config<ClockValue>& cfg,
+                 const std::vector<VertexId>& activated);
+
+  /// Accounts the final configuration gamma_steps (which no action
+  /// follows).
+  void finish(StepIndex steps, const Config<ClockValue>& final_cfg);
+
+  [[nodiscard]] const MutexSpecReport& report() const noexcept {
+    return report_;
+  }
+
+ private:
+  void inspect(StepIndex cfg_index, const Config<ClockValue>& cfg);
+
+  const Graph& g_;
+  const SsmeProtocol& proto_;
+  MutexSpecReport report_;
+};
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_CORE_MUTEX_SPEC_HPP

@@ -1,0 +1,133 @@
+// Critical-section service: the user-facing face of SSME.
+//
+// The paper's protocol grants the *privilege*; an application wants a
+// callback when its process may enter the critical section, plus fairness
+// evidence (spec_ME liveness is "every vertex executes its critical
+// section infinitely often" — on a finite run we report per-vertex
+// service counts and gaps).  MutexService runs any privilege-bearing
+// protocol under a daemon, invokes the callback for every critical-
+// section execution (privileged in gamma_i AND activated by action i —
+// the paper's definition, Section 4), and aggregates:
+//
+//   - per-vertex service counts and the first/last service step,
+//   - the maximum inter-service gap per vertex (finite-horizon starvation
+//     evidence),
+//   - the service period (steps between consecutive critical sections,
+//     system-wide),
+//   - Jain's fairness index over the counts.
+//
+// Works with both SsmeProtocol and GeneralizedSsmeProtocol (anything
+// modelling PrivilegedProtocol below).
+#ifndef SPECSTAB_CORE_SERVICE_HPP
+#define SPECSTAB_CORE_SERVICE_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+template <class P>
+concept PrivilegedProtocol =
+    ProtocolConcept<P> &&
+    requires(const P& p, const Config<typename P::State>& cfg, VertexId v) {
+      { p.privileged(cfg, v) } -> std::same_as<bool>;
+    };
+
+/// Everything observed about critical-section executions during one run.
+struct ServiceStats {
+  std::vector<std::int64_t> services;   ///< CS executions per vertex
+  std::vector<StepIndex> first_service; ///< step of first CS; -1 if none
+  std::vector<StepIndex> max_gap;       ///< longest wait between CS entries
+  StepIndex steps = 0;                  ///< actions executed
+
+  /// Every vertex served at least once.
+  [[nodiscard]] bool all_served() const {
+    return std::ranges::all_of(services,
+                               [](std::int64_t c) { return c > 0; });
+  }
+
+  [[nodiscard]] std::int64_t total_services() const {
+    std::int64_t total = 0;
+    for (const auto c : services) total += c;
+    return total;
+  }
+
+  /// Jain's fairness index over per-vertex counts: 1 is perfectly fair,
+  /// 1/n is maximally unfair.  Returns 1 for an empty run.
+  [[nodiscard]] double jain_index() const {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (const auto c : services) {
+      sum += static_cast<double>(c);
+      sum_sq += static_cast<double>(c) * static_cast<double>(c);
+    }
+    if (sum_sq == 0.0) return 1.0;
+    const auto n = static_cast<double>(services.size());
+    return (sum * sum) / (n * sum_sq);
+  }
+
+  /// Mean steps between consecutive critical sections system-wide
+  /// (the SSME service period inside Gamma_1 is K under sd).
+  [[nodiscard]] double mean_service_period() const {
+    const auto total = total_services();
+    return total > 1 ? static_cast<double>(steps) / static_cast<double>(total)
+                     : static_cast<double>(steps);
+  }
+};
+
+/// Callback invoked for each critical-section execution:
+/// (vertex, step index of the action).
+using CriticalSectionCallback = std::function<void(VertexId, StepIndex)>;
+
+/// Runs `proto` under `daemon` from `init` for `opt.max_steps` actions,
+/// reporting every critical-section execution.  The run is *not* cut at
+/// convergence: service statistics are about the steady state.
+template <PrivilegedProtocol P>
+ServiceStats run_service(const Graph& g, const P& proto, Daemon& daemon,
+                         Config<typename P::State> init, const RunOptions& opt,
+                         const CriticalSectionCallback& on_critical_section =
+                             nullptr) {
+  const auto n = static_cast<std::size_t>(g.n());
+  ServiceStats stats;
+  stats.services.assign(n, 0);
+  stats.first_service.assign(n, -1);
+  stats.max_gap.assign(n, 0);
+  std::vector<StepIndex> last_service(n, 0);
+
+  const StepObserver<typename P::State> observer =
+      [&](StepIndex step, const Config<typename P::State>& cfg,
+          const std::vector<VertexId>& activated) {
+        for (VertexId v : activated) {
+          if (!proto.privileged(cfg, v)) continue;
+          const auto vi = static_cast<std::size_t>(v);
+          ++stats.services[vi];
+          if (stats.first_service[vi] < 0) stats.first_service[vi] = step;
+          stats.max_gap[vi] =
+              std::max(stats.max_gap[vi], step - last_service[vi]);
+          last_service[vi] = step;
+          if (on_critical_section) on_critical_section(v, step);
+        }
+      };
+
+  const auto res = run_execution(g, proto, daemon, std::move(init), opt,
+                                 nullptr, observer);
+  stats.steps = res.steps;
+  // Close the final gap: a vertex not served since last_service waited
+  // until the end of the run.
+  for (std::size_t v = 0; v < n; ++v) {
+    stats.max_gap[v] = std::max(stats.max_gap[v], res.steps - last_service[v]);
+  }
+  return stats;
+}
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_CORE_SERVICE_HPP

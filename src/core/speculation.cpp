@@ -1,0 +1,25 @@
+#include "core/speculation.hpp"
+
+namespace specstab {
+
+AdversaryPortfolio AdversaryPortfolio::standard(std::uint64_t seed) {
+  AdversaryPortfolio p;
+  p.add(std::make_unique<SynchronousDaemon>());
+  p.add(std::make_unique<CentralRoundRobinDaemon>());
+  p.add(std::make_unique<CentralRandomDaemon>(seed));
+  p.add(std::make_unique<CentralMinIdDaemon>());
+  p.add(std::make_unique<CentralMaxIdDaemon>());
+  p.add(std::make_unique<DistributedBernoulliDaemon>(0.75, seed ^ 0x1));
+  p.add(std::make_unique<DistributedBernoulliDaemon>(0.5, seed ^ 0x2));
+  p.add(std::make_unique<DistributedBernoulliDaemon>(0.25, seed ^ 0x3));
+  p.add(std::make_unique<RandomSubsetDaemon>(seed ^ 0x4));
+  return p;
+}
+
+AdversaryPortfolio AdversaryPortfolio::synchronous_only() {
+  AdversaryPortfolio p;
+  p.add(std::make_unique<SynchronousDaemon>());
+  return p;
+}
+
+}  // namespace specstab

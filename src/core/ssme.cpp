@@ -1,0 +1,51 @@
+#include "core/ssme.hpp"
+
+#include <stdexcept>
+
+#include "graph/properties.hpp"
+#include "sim/protocol.hpp"
+
+namespace specstab {
+
+static_assert(ProtocolConcept<SsmeProtocol>,
+              "SsmeProtocol must satisfy ProtocolConcept");
+
+SsmeParams SsmeParams::for_graph(const Graph& g) {
+  if (!g.is_connected())
+    throw std::invalid_argument("SsmeParams: graph must be connected");
+  return from_dimensions(g.n(), diameter(g));
+}
+
+SsmeParams SsmeParams::from_dimensions(VertexId n, VertexId diam) {
+  if (n < 1) throw std::invalid_argument("SsmeParams: need n >= 1");
+  if (diam < 0) throw std::invalid_argument("SsmeParams: need diam >= 0");
+  SsmeParams p;
+  p.n = n;
+  p.diam = diam;
+  p.alpha = n;  // alpha = n >= hole(g) - 2
+  // K = (2n-1)(diam+1) + 2 > n >= cyclo(g)
+  p.k = static_cast<ClockValue>((2 * static_cast<std::int64_t>(n) - 1) *
+                                    (static_cast<std::int64_t>(diam) + 1) +
+                                2);
+  return p;
+}
+
+ClockValue SsmeParams::privileged_value(VertexId id) const {
+  if (id < 0 || id >= n)
+    throw std::out_of_range("SsmeParams::privileged_value: id");
+  return static_cast<ClockValue>(2 * static_cast<std::int64_t>(n) +
+                                 2 * static_cast<std::int64_t>(diam) * id);
+}
+
+CherryClock SsmeParams::make_clock() const { return CherryClock(alpha, k); }
+
+VertexId SsmeProtocol::count_privileged(const Graph& g,
+                                        const Config<State>& cfg) const {
+  VertexId count = 0;
+  for (VertexId v = 0; v < g.n(); ++v) {
+    if (privileged(cfg, v)) ++count;
+  }
+  return count;
+}
+
+}  // namespace specstab

@@ -1,0 +1,49 @@
+#include "core/theory.hpp"
+
+namespace specstab {
+
+std::int64_t ssme_sync_bound(VertexId diam) { return (diam + 1) / 2; }
+
+std::int64_t mutex_sync_lower_bound(VertexId diam) {
+  return (diam + 1) / 2;
+}
+
+std::int64_t ssme_ud_bound(VertexId n, VertexId diam) {
+  const std::int64_t nn = n;
+  const std::int64_t d = diam;
+  const std::int64_t alpha = nn;  // SSME chooses alpha = n
+  return 2 * d * nn * nn * nn + (alpha + 1) * nn * nn + (alpha - 2 * d) * nn;
+}
+
+std::int64_t unison_sync_bound(std::int64_t alpha, VertexId lcp,
+                               VertexId diam) {
+  return alpha + lcp + diam;
+}
+
+std::int64_t ssme_clock_size(VertexId n, VertexId diam) {
+  return (2 * static_cast<std::int64_t>(n) - 1) *
+             (static_cast<std::int64_t>(diam) + 1) +
+         2;
+}
+
+std::int64_t dijkstra_sync_bound(VertexId n) { return n; }
+
+std::int64_t dijkstra_ud_theta(VertexId n) {
+  return static_cast<std::int64_t>(n) * n;
+}
+
+std::int64_t min_plus_one_sync_theta(VertexId diam) { return diam + 1; }
+
+std::int64_t min_plus_one_ud_theta(VertexId n) {
+  return static_cast<std::int64_t>(n) * n;
+}
+
+std::int64_t matching_sync_bound(VertexId n) {
+  return 2 * static_cast<std::int64_t>(n) + 1;
+}
+
+std::int64_t matching_ud_bound(VertexId n, std::int64_t m) {
+  return 4 * static_cast<std::int64_t>(n) + 2 * m;
+}
+
+}  // namespace specstab

@@ -1,0 +1,91 @@
+// Self-stabilizing (Delta+1)-coloring — Section 6 programme, problem #2.
+//
+// Each vertex holds a color in [0, Delta].  A vertex is enabled when its
+// color is out of palette (transient corruption) or when it collides with
+// a *higher-identity* neighbour; it then recolors to the smallest palette
+// color unused by any neighbour (one always exists: at most Delta
+// neighbours).  The seniority rule — only the junior endpoint of a
+// monochromatic edge yields — is what makes the protocol converge under
+// every daemon including the synchronous one: the highest identity never
+// yields, so by induction on decreasing identity each vertex moves
+// finitely often after its senior neighbourhood has stabilized.  The
+// stabilized configuration is terminal (silent): a proper coloring.
+//
+// Speculative profile measured by bench_ext_coloring: under the
+// synchronous daemon the seniority waves settle in O(L) steps where L is
+// the longest strictly-decreasing identity path (<= n, typically ~Delta
+// on random identities); central daemons serialize the same moves into
+// Theta(n)-move schedules on adversarial orders.
+#ifndef SPECSTAB_EXTENSIONS_COLORING_HPP
+#define SPECSTAB_EXTENSIONS_COLORING_HPP
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+class ColoringProtocol {
+ public:
+  /// Colors; corrupted values may lie anywhere in the int32 range.
+  using State = std::int32_t;
+
+  /// Palette [0, Delta] where Delta is the maximum degree of g.
+  explicit ColoringProtocol(const Graph& g);
+
+  /// Palette [0, palette_size - 1]; requires palette_size > max degree
+  /// (throws std::invalid_argument otherwise — the recolor action needs a
+  /// free color under arbitrary neighbour colors).
+  ColoringProtocol(const Graph& g, std::int32_t palette_size);
+
+  [[nodiscard]] std::int32_t palette_size() const noexcept {
+    return palette_;
+  }
+
+  // --- ProtocolConcept ---
+
+  [[nodiscard]] bool enabled(const Graph& g, const Config<State>& cfg,
+                             VertexId v) const;
+  [[nodiscard]] State apply(const Graph& g, const Config<State>& cfg,
+                            VertexId v) const;
+  [[nodiscard]] std::string_view rule_name(const Graph& g,
+                                           const Config<State>& cfg,
+                                           VertexId v) const;
+
+  // --- Specification ---
+
+  /// Proper coloring with every color in the palette.  NOTE: this is a
+  /// *superset* of the terminal configurations only in the trivial sense
+  /// — a properly colored configuration has no monochromatic edge and no
+  /// out-of-palette color, hence no enabled vertex: legitimate ==
+  /// terminal, the protocol is silent.
+  [[nodiscard]] bool legitimate(const Graph& g, const Config<State>& cfg) const;
+
+  /// Number of monochromatic edges (the potential the benches plot).
+  [[nodiscard]] std::int64_t conflict_count(const Graph& g,
+                                            const Config<State>& cfg) const;
+
+ private:
+  [[nodiscard]] bool in_palette(State c) const noexcept {
+    return c >= 0 && c < palette_;
+  }
+
+  std::int32_t palette_ = 1;
+};
+
+/// Uniformly random colors in [-palette, 2*palette): arbitrary post-fault
+/// contents, in and out of the palette.
+[[nodiscard]] Config<std::int32_t> random_coloring_config(
+    const Graph& g, std::int32_t palette_size, std::uint64_t seed);
+
+/// The all-same-color configuration: every edge monochromatic — the
+/// worst conflict count a fault can plant.
+[[nodiscard]] Config<std::int32_t> monochrome_config(const Graph& g,
+                                                     std::int32_t color);
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_EXTENSIONS_COLORING_HPP

@@ -1,0 +1,95 @@
+#include "graph/chordless.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace specstab {
+
+namespace {
+
+/// Shared DFS state for induced path/cycle enumeration.
+struct InducedSearch {
+  const Graph& g;
+  std::vector<char> on_path;        // vertex is on the current path
+  std::vector<VertexId> path;       // current induced path
+  VertexId best_cycle = -1;         // longest induced cycle found
+  VertexId best_path = 0;           // longest induced path (edges)
+
+  explicit InducedSearch(const Graph& graph)
+      : g(graph),
+        on_path(static_cast<std::size_t>(graph.n()), 0) {}
+
+  /// True iff u is adjacent to an interior path vertex (anything except the
+  /// last vertex, and except the first when `allow_first`).
+  [[nodiscard]] bool chord_to_interior(VertexId u, bool allow_first) const {
+    const std::size_t begin = allow_first ? 1 : 0;
+    for (std::size_t i = begin; i + 1 < path.size(); ++i) {
+      if (g.has_edge(u, path[i])) return true;
+    }
+    return false;
+  }
+
+  /// Extends the induced path whose last vertex is path.back().
+  /// `for_cycles` enforces the canonical start (all vertices > path[0])
+  /// and records closures back to path[0]; otherwise records path length.
+  void extend(bool for_cycles) {
+    const VertexId last = path.back();
+    const VertexId start = path.front();
+    best_path = std::max(best_path, static_cast<VertexId>(path.size() - 1));
+    for (VertexId u : g.neighbors(last)) {
+      if (on_path[static_cast<std::size_t>(u)]) continue;
+      if (for_cycles && u < start) continue;  // canonical: start is minimal
+      const bool closes = for_cycles && path.size() >= 2 && g.has_edge(u, start);
+      if (chord_to_interior(u, /*allow_first=*/closes)) continue;
+      if (closes) {
+        // Induced cycle start..last, u, start of length |path| + 1.
+        // Extending past a closure would leave a chord to start, so stop.
+        best_cycle =
+            std::max(best_cycle, static_cast<VertexId>(path.size() + 1));
+        continue;
+      }
+      on_path[static_cast<std::size_t>(u)] = 1;
+      path.push_back(u);
+      extend(for_cycles);
+      path.pop_back();
+      on_path[static_cast<std::size_t>(u)] = 0;
+    }
+  }
+};
+
+}  // namespace
+
+VertexId longest_hole(const Graph& g) {
+  InducedSearch s(g);
+  for (VertexId v = 0; v < g.n(); ++v) {
+    s.on_path[static_cast<std::size_t>(v)] = 1;
+    s.path.push_back(v);
+    // Second vertex > start to fix orientation origin; direction
+    // duplicates are harmless for a max query.
+    for (VertexId u : g.neighbors(v)) {
+      if (u < v) continue;
+      s.on_path[static_cast<std::size_t>(u)] = 1;
+      s.path.push_back(u);
+      s.extend(/*for_cycles=*/true);
+      s.path.pop_back();
+      s.on_path[static_cast<std::size_t>(u)] = 0;
+    }
+    s.path.pop_back();
+    s.on_path[static_cast<std::size_t>(v)] = 0;
+  }
+  return s.best_cycle >= 3 ? s.best_cycle : 2;
+}
+
+VertexId longest_chordless_path(const Graph& g) {
+  InducedSearch s(g);
+  for (VertexId v = 0; v < g.n(); ++v) {
+    s.on_path[static_cast<std::size_t>(v)] = 1;
+    s.path.push_back(v);
+    s.extend(/*for_cycles=*/false);
+    s.path.pop_back();
+    s.on_path[static_cast<std::size_t>(v)] = 0;
+  }
+  return s.best_path;
+}
+
+}  // namespace specstab

@@ -1,0 +1,31 @@
+// Chordless structures: hole(g) and lcp(g).
+//
+// The unison parameter constraint alpha >= hole(g) - 2 uses hole(g), the
+// length of a longest chordless (induced) cycle, with the convention
+// hole(g) = 2 for acyclic graphs (paper, Section 4.1).  The synchronous
+// unison bound of Boulinier et al. [3] — alpha + lcp(g) + diam(g) — uses
+// lcp(g), the length (in edges) of a longest elementary chordless path.
+//
+// Both problems are NP-hard in general; we provide exact exponential-time
+// enumeration with induced-subgraph pruning, which is entirely adequate
+// for the n <= ~24 graphs on which the tests verify parameter constraints.
+// SSME itself never computes these: the paper chooses alpha = n and
+// K = (2n-1)(diam+1)+2, valid because hole(g), cyclo(g), lcp(g) <= n.
+#ifndef SPECSTAB_GRAPH_CHORDLESS_HPP
+#define SPECSTAB_GRAPH_CHORDLESS_HPP
+
+#include "graph/graph.hpp"
+
+namespace specstab {
+
+/// hole(g): length of a longest chordless cycle (>= 3), or 2 if g is
+/// acyclic.  Exact; exponential time — intended for small graphs.
+[[nodiscard]] VertexId longest_hole(const Graph& g);
+
+/// lcp(g): number of edges of a longest induced (chordless) path.
+/// Exact; exponential time — intended for small graphs.
+[[nodiscard]] VertexId longest_chordless_path(const Graph& g);
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_GRAPH_CHORDLESS_HPP

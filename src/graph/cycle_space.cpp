@@ -1,0 +1,184 @@
+#include "graph/cycle_space.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <stdexcept>
+
+#include "graph/properties.hpp"
+
+namespace specstab {
+
+namespace {
+
+/// Dense GF(2) bitset over edge indices.
+class EdgeVector {
+ public:
+  explicit EdgeVector(std::size_t bits)
+      : words_((bits + 63) / 64, 0), bits_(bits) {}
+
+  void flip(std::size_t i) { words_[i / 64] ^= (1ULL << (i % 64)); }
+
+  [[nodiscard]] bool test(std::size_t i) const {
+    return (words_[i / 64] >> (i % 64)) & 1ULL;
+  }
+
+  void operator^=(const EdgeVector& o) {
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= o.words_[w];
+  }
+
+  [[nodiscard]] bool any() const {
+    for (std::uint64_t w : words_)
+      if (w != 0) return true;
+    return false;
+  }
+
+  /// Index of the lowest set bit; bits_ if empty.
+  [[nodiscard]] std::size_t lowest() const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      if (words_[w] != 0) {
+        return w * 64 +
+               static_cast<std::size_t>(__builtin_ctzll(words_[w]));
+      }
+    }
+    return bits_;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t bits_;
+};
+
+/// BFS tree from root with lexicographically-smallest parents, giving
+/// deterministic shortest paths for Horton candidates.
+struct BfsTree {
+  std::vector<VertexId> parent;
+  std::vector<VertexId> depth;
+};
+
+BfsTree bfs_tree(const Graph& g, VertexId root) {
+  BfsTree t;
+  t.parent.assign(static_cast<std::size_t>(g.n()), -1);
+  t.depth.assign(static_cast<std::size_t>(g.n()), -1);
+  std::queue<VertexId> q;
+  t.depth[static_cast<std::size_t>(root)] = 0;
+  q.push(root);
+  while (!q.empty()) {
+    const VertexId u = q.front();
+    q.pop();
+    for (VertexId v : g.neighbors(u)) {  // sorted => lexicographic parents
+      if (t.depth[static_cast<std::size_t>(v)] < 0) {
+        t.depth[static_cast<std::size_t>(v)] =
+            t.depth[static_cast<std::size_t>(u)] + 1;
+        t.parent[static_cast<std::size_t>(v)] = u;
+        q.push(v);
+      }
+    }
+  }
+  return t;
+}
+
+/// Vertices on the tree path root..v (inclusive).
+std::vector<VertexId> tree_path(const BfsTree& t, VertexId v) {
+  std::vector<VertexId> path;
+  for (VertexId x = v; x >= 0; x = t.parent[static_cast<std::size_t>(x)])
+    path.push_back(x);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<BasisCycle> minimum_cycle_basis(const Graph& g) {
+  if (!g.is_connected())
+    throw std::invalid_argument("minimum_cycle_basis: graph must be connected");
+  const std::int64_t dim = cycle_space_dimension(g);
+  std::vector<BasisCycle> basis;
+  if (dim == 0) return basis;
+
+  const auto edge_list = g.edges();
+  std::map<std::pair<VertexId, VertexId>, std::int32_t> edge_index;
+  for (std::size_t i = 0; i < edge_list.size(); ++i)
+    edge_index[edge_list[i]] = static_cast<std::int32_t>(i);
+  const auto eid = [&](VertexId a, VertexId b) {
+    return edge_index.at(a < b ? std::make_pair(a, b) : std::make_pair(b, a));
+  };
+
+  // Horton candidates: for each vertex v and edge (x, y), the closed walk
+  // SP(v,x) + (x,y) + SP(y,v).  Keep it only when it is a simple cycle
+  // (the two tree paths share exactly vertex v).
+  struct Candidate {
+    std::vector<std::int32_t> edges;
+    VertexId length;
+  };
+  std::vector<Candidate> candidates;
+  for (VertexId v = 0; v < g.n(); ++v) {
+    const BfsTree t = bfs_tree(g, v);
+    for (const auto& [x, y] : edge_list) {
+      const auto px = tree_path(t, x);
+      const auto py = tree_path(t, y);
+      // Reject closed walks that are not simple cycles: paths must be
+      // vertex-disjoint apart from the shared root v.
+      std::vector<char> on_px(static_cast<std::size_t>(g.n()), 0);
+      for (VertexId u : px) on_px[static_cast<std::size_t>(u)] = 1;
+      bool simple = true;
+      for (std::size_t i = 1; i < py.size(); ++i) {
+        if (on_px[static_cast<std::size_t>(py[i])]) {
+          simple = false;
+          break;
+        }
+      }
+      if (!simple) continue;
+      // The tree paths must not already use edge (x, y).
+      if (px.size() >= 2 && ((px[px.size() - 2] == y && px.back() == x))) continue;
+      if (py.size() >= 2 && ((py[py.size() - 2] == x && py.back() == y))) continue;
+
+      Candidate c;
+      for (std::size_t i = 0; i + 1 < px.size(); ++i)
+        c.edges.push_back(eid(px[i], px[i + 1]));
+      c.edges.push_back(eid(x, y));
+      for (std::size_t i = 0; i + 1 < py.size(); ++i)
+        c.edges.push_back(eid(py[i], py[i + 1]));
+      c.length = static_cast<VertexId>(c.edges.size());
+      candidates.push_back(std::move(c));
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.length < b.length;
+                   });
+
+  // Greedy GF(2) independence test with row-reduced pivots.
+  const std::size_t m = edge_list.size();
+  std::vector<EdgeVector> pivots;           // row-echelon representatives
+  std::vector<std::size_t> pivot_cols;      // leading bit of each pivot
+  for (const Candidate& c : candidates) {
+    EdgeVector vec(m);
+    for (std::int32_t e : c.edges) vec.flip(static_cast<std::size_t>(e));
+    for (std::size_t i = 0; i < pivots.size(); ++i) {
+      if (vec.test(pivot_cols[i])) vec ^= pivots[i];
+    }
+    if (!vec.any()) continue;  // dependent
+    pivot_cols.push_back(vec.lowest());
+    pivots.push_back(vec);
+    BasisCycle bc;
+    bc.edge_indices = c.edges;
+    std::sort(bc.edge_indices.begin(), bc.edge_indices.end());
+    bc.length = c.length;
+    basis.push_back(std::move(bc));
+    if (static_cast<std::int64_t>(basis.size()) == dim) break;
+  }
+  if (static_cast<std::int64_t>(basis.size()) != dim)
+    throw std::logic_error("minimum_cycle_basis: Horton set did not span");
+  return basis;
+}
+
+VertexId cyclomatic_characteristic(const Graph& g) {
+  const auto basis = minimum_cycle_basis(g);
+  if (basis.empty()) return 2;  // acyclic convention (paper, Section 4.1)
+  VertexId cyclo = 0;
+  for (const auto& c : basis) cyclo = std::max(cyclo, c.length);
+  return cyclo;
+}
+
+}  // namespace specstab

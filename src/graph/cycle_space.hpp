@@ -1,0 +1,37 @@
+// Cycle-space machinery for the unison parameter K.
+//
+// The Boulinier-Petit-Villain unison [2] requires K > cyclo(g), where
+// cyclo(g) is the *cyclomatic characteristic* of g: the length of the
+// maximal cycle of a shortest (minimum-weight) maximal cycle basis, or 2
+// if g is acyclic.  We compute a minimum cycle basis exactly with Horton's
+// algorithm (candidate cycles through shortest-path trees + greedy GF(2)
+// independence) — exact and practical for the test-scale graphs where we
+// verify the parameter constraints; SSME itself only needs the paper's
+// slack bound cyclo(g) <= n.
+#ifndef SPECSTAB_GRAPH_CYCLE_SPACE_HPP
+#define SPECSTAB_GRAPH_CYCLE_SPACE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace specstab {
+
+/// One cycle of a basis: its edges (as indices into Graph::edges()) and
+/// its length.
+struct BasisCycle {
+  std::vector<std::int32_t> edge_indices;
+  VertexId length = 0;
+};
+
+/// A minimum-weight cycle basis (Horton).  The basis has exactly
+/// cycle_space_dimension(g) elements; empty for forests.
+[[nodiscard]] std::vector<BasisCycle> minimum_cycle_basis(const Graph& g);
+
+/// cyclo(g): max cycle length in a minimum cycle basis, or 2 if acyclic.
+[[nodiscard]] VertexId cyclomatic_characteristic(const Graph& g);
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_GRAPH_CYCLE_SPACE_HPP

@@ -1,0 +1,219 @@
+#include "graph/generators.hpp"
+
+#include <numeric>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+namespace specstab {
+
+namespace {
+
+void require(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace
+
+Graph make_ring(VertexId n) {
+  require(n >= 3, "make_ring: need n >= 3");
+  Graph g(n);
+  for (VertexId i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+Graph make_path(VertexId n) {
+  require(n >= 1, "make_path: need n >= 1");
+  Graph g(n);
+  for (VertexId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph make_star(VertexId n) {
+  require(n >= 2, "make_star: need n >= 2");
+  Graph g(n);
+  for (VertexId i = 1; i < n; ++i) g.add_edge(0, i);
+  return g;
+}
+
+Graph make_complete(VertexId n) {
+  require(n >= 1, "make_complete: need n >= 1");
+  Graph g(n);
+  for (VertexId i = 0; i < n; ++i)
+    for (VertexId j = i + 1; j < n; ++j) g.add_edge(i, j);
+  return g;
+}
+
+Graph make_grid(VertexId rows, VertexId cols) {
+  require(rows >= 1 && cols >= 1, "make_grid: need rows, cols >= 1");
+  Graph g(rows * cols);
+  const auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph make_torus(VertexId rows, VertexId cols) {
+  require(rows >= 3 && cols >= 3, "make_torus: need rows, cols >= 3");
+  Graph g(rows * cols);
+  const auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      g.add_edge(id(r, c), id(r, (c + 1) % cols));
+      g.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return g;
+}
+
+Graph make_hypercube(int dim) {
+  require(dim >= 1 && dim <= 20, "make_hypercube: need 1 <= dim <= 20");
+  const VertexId n = static_cast<VertexId>(1) << dim;
+  Graph g(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (int b = 0; b < dim; ++b) {
+      const VertexId u = v ^ (static_cast<VertexId>(1) << b);
+      if (v < u) g.add_edge(v, u);
+    }
+  }
+  return g;
+}
+
+Graph make_binary_tree(VertexId n) {
+  require(n >= 1, "make_binary_tree: need n >= 1");
+  Graph g(n);
+  for (VertexId i = 1; i < n; ++i) g.add_edge(i, (i - 1) / 2);
+  return g;
+}
+
+Graph make_random_tree(VertexId n, std::uint64_t seed) {
+  require(n >= 1, "make_random_tree: need n >= 1");
+  Graph g(n);
+  if (n == 1) return g;
+  if (n == 2) {
+    g.add_edge(0, 1);
+    return g;
+  }
+  // Decode a uniform random Pruefer sequence of length n - 2.
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<VertexId> pick(0, n - 1);
+  std::vector<VertexId> prufer(static_cast<std::size_t>(n - 2));
+  for (auto& x : prufer) x = pick(rng);
+
+  std::vector<VertexId> deg(static_cast<std::size_t>(n), 1);
+  for (VertexId x : prufer) ++deg[static_cast<std::size_t>(x)];
+  std::vector<char> used(static_cast<std::size_t>(n), 0);
+  for (VertexId x : prufer) {
+    VertexId leaf = -1;
+    for (VertexId v = 0; v < n; ++v) {
+      if (deg[static_cast<std::size_t>(v)] == 1 &&
+          !used[static_cast<std::size_t>(v)]) {
+        leaf = v;
+        break;
+      }
+    }
+    g.add_edge(leaf, x);
+    used[static_cast<std::size_t>(leaf)] = 1;
+    --deg[static_cast<std::size_t>(x)];
+  }
+  VertexId a = -1, b = -1;
+  for (VertexId v = 0; v < n; ++v) {
+    if (deg[static_cast<std::size_t>(v)] == 1 &&
+        !used[static_cast<std::size_t>(v)]) {
+      (a < 0 ? a : b) = v;
+    }
+  }
+  g.add_edge(a, b);
+  return g;
+}
+
+Graph make_random_connected(VertexId n, double p, std::uint64_t seed) {
+  require(n >= 1, "make_random_connected: need n >= 1");
+  require(p >= 0.0 && p <= 1.0, "make_random_connected: need p in [0, 1]");
+  Graph g = make_random_tree(n, seed);
+  std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  std::bernoulli_distribution coin(p);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (!g.has_edge(u, v) && coin(rng)) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Graph make_wheel(VertexId n) {
+  require(n >= 4, "make_wheel: need n >= 4");
+  Graph g(n);
+  for (VertexId i = 1; i < n; ++i) {
+    g.add_edge(0, i);
+    g.add_edge(i, i + 1 < n ? i + 1 : 1);
+  }
+  return g;
+}
+
+Graph make_lollipop(VertexId clique, VertexId path) {
+  require(clique >= 2, "make_lollipop: need clique >= 2");
+  require(path >= 1, "make_lollipop: need path >= 1");
+  Graph g(clique + path);
+  for (VertexId i = 0; i < clique; ++i)
+    for (VertexId j = i + 1; j < clique; ++j) g.add_edge(i, j);
+  for (VertexId i = 0; i < path; ++i)
+    g.add_edge(clique - 1 + i, clique + i);
+  return g;
+}
+
+Graph make_barbell(VertexId clique, VertexId path) {
+  require(clique >= 2, "make_barbell: need clique >= 2");
+  require(path >= 0, "make_barbell: need path >= 0");
+  const VertexId n = 2 * clique + path;
+  Graph g(n);
+  for (VertexId i = 0; i < clique; ++i)
+    for (VertexId j = i + 1; j < clique; ++j) g.add_edge(i, j);
+  const VertexId second = clique + path;
+  for (VertexId i = 0; i < clique; ++i)
+    for (VertexId j = i + 1; j < clique; ++j)
+      g.add_edge(second + i, second + j);
+  // Chain: last vertex of first clique - path vertices - first of second.
+  VertexId prev = clique - 1;
+  for (VertexId i = 0; i < path; ++i) {
+    g.add_edge(prev, clique + i);
+    prev = clique + i;
+  }
+  g.add_edge(prev, second);
+  return g;
+}
+
+Graph make_petersen() {
+  Graph g(10);
+  for (VertexId i = 0; i < 5; ++i) {
+    g.add_edge(i, (i + 1) % 5);        // outer pentagon
+    g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+    g.add_edge(i, 5 + i);              // spokes
+  }
+  return g;
+}
+
+Graph make_caterpillar(VertexId spine, VertexId legs) {
+  require(spine >= 1, "make_caterpillar: need spine >= 1");
+  require(legs >= 0, "make_caterpillar: need legs >= 0");
+  Graph g(spine * (1 + legs));
+  for (VertexId i = 0; i + 1 < spine; ++i) g.add_edge(i, i + 1);
+  VertexId next = spine;
+  for (VertexId i = 0; i < spine; ++i)
+    for (VertexId l = 0; l < legs; ++l) g.add_edge(i, next++);
+  return g;
+}
+
+Graph make_complete_bipartite(VertexId a, VertexId b) {
+  require(a >= 1 && b >= 1, "make_complete_bipartite: need a, b >= 1");
+  Graph g(a + b);
+  for (VertexId i = 0; i < a; ++i)
+    for (VertexId j = 0; j < b; ++j) g.add_edge(i, a + j);
+  return g;
+}
+
+}  // namespace specstab

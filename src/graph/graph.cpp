@@ -1,0 +1,92 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace specstab {
+
+Graph::Graph(VertexId n) {
+  if (n < 0) throw std::invalid_argument("Graph: negative vertex count");
+  adj_.resize(static_cast<std::size_t>(n));
+}
+
+Graph::Graph(VertexId n,
+             const std::vector<std::pair<VertexId, VertexId>>& edges)
+    : Graph(n) {
+  for (const auto& [u, v] : edges) add_edge(u, v);
+}
+
+void Graph::check_vertex(VertexId v) const {
+  if (v < 0 || v >= n()) {
+    throw std::out_of_range("Graph: vertex " + std::to_string(v) +
+                            " out of range [0, " + std::to_string(n()) + ")");
+  }
+}
+
+void Graph::add_edge(VertexId u, VertexId v) {
+  check_vertex(u);
+  check_vertex(v);
+  if (u == v) throw std::invalid_argument("Graph: self-loop on vertex " +
+                                          std::to_string(u));
+  if (has_edge(u, v)) {
+    throw std::invalid_argument("Graph: duplicate edge {" + std::to_string(u) +
+                                ", " + std::to_string(v) + "}");
+  }
+  auto& au = adj_[static_cast<std::size_t>(u)];
+  auto& av = adj_[static_cast<std::size_t>(v)];
+  au.insert(std::lower_bound(au.begin(), au.end(), v), v);
+  av.insert(std::lower_bound(av.begin(), av.end(), u), u);
+  ++m_;
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  check_vertex(u);
+  check_vertex(v);
+  const auto& au = adj_[static_cast<std::size_t>(u)];
+  return std::binary_search(au.begin(), au.end(), v);
+}
+
+std::vector<std::pair<VertexId, VertexId>> Graph::edges() const {
+  std::vector<std::pair<VertexId, VertexId>> out;
+  out.reserve(static_cast<std::size_t>(m_));
+  for (VertexId u = 0; u < n(); ++u) {
+    for (VertexId v : adj_[static_cast<std::size_t>(u)]) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+bool Graph::is_connected() const {
+  if (n() <= 1) return true;
+  std::vector<char> seen(static_cast<std::size_t>(n()), 0);
+  std::queue<VertexId> q;
+  q.push(0);
+  seen[0] = 1;
+  VertexId reached = 1;
+  while (!q.empty()) {
+    const VertexId u = q.front();
+    q.pop();
+    for (VertexId v : adj_[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = 1;
+        ++reached;
+        q.push(v);
+      }
+    }
+  }
+  return reached == n();
+}
+
+std::string Graph::to_dot() const {
+  std::ostringstream os;
+  os << "graph g {\n";
+  for (VertexId v = 0; v < n(); ++v) os << "  " << v << ";\n";
+  for (const auto& [u, v] : edges()) os << "  " << u << " -- " << v << ";\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace specstab

@@ -1,0 +1,84 @@
+// Communication graphs for the Dijkstra state model (paper, Section 2).
+//
+// A distributed system is an undirected, simple, connected graph g = (V, E):
+// vertices are processes; edges are pairs of processes that can atomically
+// read each other's state.  Vertices are identified by dense indices
+// 0..n-1, which double as the process identities ID = {0, .., n-1} that the
+// SSME protocol requires (paper, Section 4.1, citing Burns & Pachl).
+#ifndef SPECSTAB_GRAPH_GRAPH_HPP
+#define SPECSTAB_GRAPH_GRAPH_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace specstab {
+
+/// Dense vertex index; also the process identity id_v in protocols that
+/// need identities (SSME, matching).
+using VertexId = std::int32_t;
+
+/// Undirected simple graph with dense vertex ids and sorted adjacency.
+///
+/// Invariants: no self-loops, no parallel edges, adjacency lists sorted
+/// ascending.  Most algorithms additionally require connectivity; the
+/// generators in generators.hpp only produce connected graphs, and
+/// `is_connected()` is available for arbitrary inputs.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Creates a graph with `n` vertices and no edges.
+  explicit Graph(VertexId n);
+
+  /// Creates a graph from an explicit edge list (pairs may be in any
+  /// order; duplicates and self-loops throw std::invalid_argument).
+  Graph(VertexId n, const std::vector<std::pair<VertexId, VertexId>>& edges);
+
+  /// Number of vertices (the paper's n = |V|).
+  [[nodiscard]] VertexId n() const noexcept {
+    return static_cast<VertexId>(adj_.size());
+  }
+
+  /// Number of edges (the paper's m = |E|).
+  [[nodiscard]] std::int64_t m() const noexcept { return m_; }
+
+  /// Adds the undirected edge {u, v}.  Throws std::invalid_argument on
+  /// self-loops, out-of-range endpoints, or duplicate edges.
+  void add_edge(VertexId u, VertexId v);
+
+  /// True iff {u, v} is an edge.  O(log deg).
+  [[nodiscard]] bool has_edge(VertexId u, VertexId v) const;
+
+  /// Sorted neighbours of v (the paper's neig(v)).
+  [[nodiscard]] const std::vector<VertexId>& neighbors(VertexId v) const {
+    check_vertex(v);
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  /// Degree of v.
+  [[nodiscard]] VertexId degree(VertexId v) const {
+    return static_cast<VertexId>(neighbors(v).size());
+  }
+
+  /// All edges as (u, v) pairs with u < v, lexicographically sorted.
+  [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> edges() const;
+
+  /// True iff the graph is connected (vacuously true for n <= 1).
+  [[nodiscard]] bool is_connected() const;
+
+  /// GraphViz "graph { .. }" rendering, for documentation and debugging.
+  [[nodiscard]] std::string to_dot() const;
+
+  friend bool operator==(const Graph& a, const Graph& b) = default;
+
+ private:
+  void check_vertex(VertexId v) const;
+
+  std::vector<std::vector<VertexId>> adj_;
+  std::int64_t m_ = 0;
+};
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_GRAPH_GRAPH_HPP

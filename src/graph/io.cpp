@@ -1,0 +1,89 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace specstab {
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  write_edge_list(os, g);
+  return os.str();
+}
+
+void write_edge_list(std::ostream& os, const Graph& g) {
+  os << "n " << g.n() << "\n";
+  for (const auto& [u, v] : g.edges()) os << u << " " << v << "\n";
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  return read_edge_list(is);
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  bool have_n = false;
+  VertexId n = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string first;
+    if (!(ls >> first)) continue;  // blank line
+    if (first == "n") {
+      if (have_n) {
+        throw std::invalid_argument("read_edge_list: duplicate 'n' header");
+      }
+      if (!(ls >> n) || n < 0) {
+        throw std::invalid_argument("read_edge_list: bad vertex count");
+      }
+      have_n = true;
+      continue;
+    }
+    if (!have_n) {
+      throw std::invalid_argument(
+          "read_edge_list: edge before 'n' header (line " +
+          std::to_string(line_no) + ")");
+    }
+    VertexId u, v;
+    std::istringstream es(line);
+    if (!(es >> u >> v)) {
+      throw std::invalid_argument("read_edge_list: bad edge at line " +
+                                  std::to_string(line_no));
+    }
+    std::string trailing;
+    if (es >> trailing) {
+      throw std::invalid_argument("read_edge_list: trailing tokens at line " +
+                                  std::to_string(line_no));
+    }
+    edges.emplace_back(u, v);
+  }
+  if (!have_n) throw std::invalid_argument("read_edge_list: missing 'n' header");
+  return Graph(n, edges);  // Graph ctor validates ranges/duplicates
+}
+
+std::vector<std::vector<int>> adjacency_matrix(const Graph& g) {
+  std::vector<std::vector<int>> m(
+      static_cast<std::size_t>(g.n()),
+      std::vector<int>(static_cast<std::size_t>(g.n()), 0));
+  for (const auto& [u, v] : g.edges()) {
+    m[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] = 1;
+    m[static_cast<std::size_t>(v)][static_cast<std::size_t>(u)] = 1;
+  }
+  return m;
+}
+
+std::vector<VertexId> degree_sequence(const Graph& g) {
+  std::vector<VertexId> deg;
+  deg.reserve(static_cast<std::size_t>(g.n()));
+  for (VertexId v = 0; v < g.n(); ++v) deg.push_back(g.degree(v));
+  std::sort(deg.rbegin(), deg.rend());
+  return deg;
+}
+
+}  // namespace specstab

@@ -1,0 +1,163 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace specstab {
+
+std::vector<VertexId> bfs_distances(const Graph& g, VertexId src) {
+  std::vector<VertexId> dist(static_cast<std::size_t>(g.n()), -1);
+  std::queue<VertexId> q;
+  dist[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const VertexId u = q.front();
+    q.pop();
+    for (VertexId v : g.neighbors(u)) {
+      if (dist[static_cast<std::size_t>(v)] < 0) {
+        dist[static_cast<std::size_t>(v)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<VertexId>> all_pairs_distances(const Graph& g) {
+  std::vector<std::vector<VertexId>> d;
+  d.reserve(static_cast<std::size_t>(g.n()));
+  for (VertexId v = 0; v < g.n(); ++v) d.push_back(bfs_distances(g, v));
+  return d;
+}
+
+VertexId distance(const Graph& g, VertexId u, VertexId v) {
+  const VertexId d = bfs_distances(g, u)[static_cast<std::size_t>(v)];
+  if (d < 0) throw std::invalid_argument("distance: vertices disconnected");
+  return d;
+}
+
+VertexId eccentricity(const Graph& g, VertexId v) {
+  const auto dist = bfs_distances(g, v);
+  VertexId ecc = 0;
+  for (VertexId d : dist) {
+    if (d < 0) throw std::invalid_argument("eccentricity: graph disconnected");
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+VertexId diameter(const Graph& g) {
+  if (g.n() <= 1) return 0;
+  VertexId diam = 0;
+  for (VertexId v = 0; v < g.n(); ++v) diam = std::max(diam, eccentricity(g, v));
+  return diam;
+}
+
+VertexId radius(const Graph& g) {
+  if (g.n() <= 1) return 0;
+  VertexId rad = -1;
+  for (VertexId v = 0; v < g.n(); ++v) {
+    const VertexId e = eccentricity(g, v);
+    rad = (rad < 0) ? e : std::min(rad, e);
+  }
+  return rad;
+}
+
+std::pair<VertexId, VertexId> diameter_pair(const Graph& g) {
+  if (g.n() <= 1) return {0, 0};
+  const VertexId diam = diameter(g);
+  for (VertexId u = 0; u < g.n(); ++u) {
+    const auto dist = bfs_distances(g, u);
+    for (VertexId v = 0; v < g.n(); ++v) {
+      if (dist[static_cast<std::size_t>(v)] == diam) return {u, v};
+    }
+  }
+  throw std::logic_error("diameter_pair: unreachable");
+}
+
+VertexId girth(const Graph& g) {
+  // BFS from each vertex; a non-tree edge closing at depths d1, d2 yields a
+  // cycle of length d1 + d2 + 1 through the root's BFS tree.
+  VertexId best = -1;
+  for (VertexId s = 0; s < g.n(); ++s) {
+    std::vector<VertexId> dist(static_cast<std::size_t>(g.n()), -1);
+    std::vector<VertexId> parent(static_cast<std::size_t>(g.n()), -1);
+    std::queue<VertexId> q;
+    dist[static_cast<std::size_t>(s)] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId u = q.front();
+      q.pop();
+      for (VertexId v : g.neighbors(u)) {
+        if (dist[static_cast<std::size_t>(v)] < 0) {
+          dist[static_cast<std::size_t>(v)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          parent[static_cast<std::size_t>(v)] = u;
+          q.push(v);
+        } else if (parent[static_cast<std::size_t>(u)] != v) {
+          const VertexId len = dist[static_cast<std::size_t>(u)] +
+                               dist[static_cast<std::size_t>(v)] + 1;
+          if (best < 0 || len < best) best = len;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+bool is_bipartite(const Graph& g) {
+  std::vector<int> color(static_cast<std::size_t>(g.n()), -1);
+  for (VertexId s = 0; s < g.n(); ++s) {
+    if (color[static_cast<std::size_t>(s)] >= 0) continue;
+    color[static_cast<std::size_t>(s)] = 0;
+    std::queue<VertexId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId u = q.front();
+      q.pop();
+      for (VertexId v : g.neighbors(u)) {
+        if (color[static_cast<std::size_t>(v)] < 0) {
+          color[static_cast<std::size_t>(v)] =
+              1 - color[static_cast<std::size_t>(u)];
+          q.push(v);
+        } else if (color[static_cast<std::size_t>(v)] ==
+                   color[static_cast<std::size_t>(u)]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool is_tree(const Graph& g) {
+  return g.is_connected() && g.m() == g.n() - 1;
+}
+
+std::int64_t cycle_space_dimension(const Graph& g) {
+  // m - n + c, where c is the number of connected components.
+  std::int64_t components = 0;
+  std::vector<char> seen(static_cast<std::size_t>(g.n()), 0);
+  for (VertexId s = 0; s < g.n(); ++s) {
+    if (seen[static_cast<std::size_t>(s)]) continue;
+    ++components;
+    std::queue<VertexId> q;
+    q.push(s);
+    seen[static_cast<std::size_t>(s)] = 1;
+    while (!q.empty()) {
+      const VertexId u = q.front();
+      q.pop();
+      for (VertexId v : g.neighbors(u)) {
+        if (!seen[static_cast<std::size_t>(v)]) {
+          seen[static_cast<std::size_t>(v)] = 1;
+          q.push(v);
+        }
+      }
+    }
+  }
+  return g.m() - g.n() + components;
+}
+
+}  // namespace specstab

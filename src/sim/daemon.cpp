@@ -1,0 +1,203 @@
+#include "sim/daemon.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace specstab {
+
+std::vector<VertexId> SynchronousDaemon::select(
+    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
+  return enabled;
+}
+
+std::vector<VertexId> CentralRoundRobinDaemon::select(
+    const Graph& g, const std::vector<VertexId>& enabled, StepIndex) {
+  // First enabled vertex with id >= cursor, wrapping around.
+  auto it = std::lower_bound(enabled.begin(), enabled.end(), cursor_);
+  const VertexId chosen = (it != enabled.end()) ? *it : enabled.front();
+  cursor_ = (chosen + 1) % g.n();
+  return {chosen};
+}
+
+std::vector<VertexId> CentralRandomDaemon::select(
+    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
+  std::uniform_int_distribution<std::size_t> pick(0, enabled.size() - 1);
+  return {enabled[pick(rng_)]};
+}
+
+std::vector<VertexId> CentralMinIdDaemon::select(
+    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
+  return {enabled.front()};
+}
+
+std::vector<VertexId> CentralMaxIdDaemon::select(
+    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
+  return {enabled.back()};
+}
+
+DistributedBernoulliDaemon::DistributedBernoulliDaemon(double p,
+                                                       std::uint64_t seed)
+    : p_(p), seed_(seed), rng_(seed) {
+  if (p <= 0.0 || p > 1.0) {
+    throw std::invalid_argument(
+        "DistributedBernoulliDaemon: need p in (0, 1]");
+  }
+}
+
+std::vector<VertexId> DistributedBernoulliDaemon::select(
+    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
+  std::bernoulli_distribution coin(p_);
+  std::vector<VertexId> chosen;
+  for (VertexId v : enabled) {
+    if (coin(rng_)) chosen.push_back(v);
+  }
+  if (chosen.empty()) {
+    std::uniform_int_distribution<std::size_t> pick(0, enabled.size() - 1);
+    chosen.push_back(enabled[pick(rng_)]);
+  }
+  return chosen;
+}
+
+std::string DistributedBernoulliDaemon::name() const {
+  std::ostringstream os;
+  os << "distributed-bernoulli(p=" << p_ << ")";
+  return os.str();
+}
+
+std::vector<VertexId> RandomSubsetDaemon::select(
+    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
+  std::bernoulli_distribution coin(0.5);
+  std::vector<VertexId> chosen;
+  for (VertexId v : enabled) {
+    if (coin(rng_)) chosen.push_back(v);
+  }
+  if (chosen.empty()) {
+    std::uniform_int_distribution<std::size_t> pick(0, enabled.size() - 1);
+    chosen.push_back(enabled[pick(rng_)]);
+  }
+  return chosen;
+}
+
+std::vector<VertexId> LocallyCentralDaemon::select(
+    const Graph& g, const std::vector<VertexId>& enabled, StepIndex) {
+  // Greedy maximal independent subset of `enabled`, scanning from a
+  // random rotation so every enabled vertex is served with positive
+  // probability per action.
+  std::uniform_int_distribution<std::size_t> rot(0, enabled.size() - 1);
+  const std::size_t start = rot(rng_);
+  std::vector<char> blocked(static_cast<std::size_t>(g.n()), 0);
+  std::vector<VertexId> chosen;
+  for (std::size_t i = 0; i < enabled.size(); ++i) {
+    const VertexId v = enabled[(start + i) % enabled.size()];
+    if (blocked[static_cast<std::size_t>(v)]) continue;
+    chosen.push_back(v);
+    for (VertexId u : g.neighbors(v)) blocked[static_cast<std::size_t>(u)] = 1;
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return chosen;
+}
+
+KFairCentralDaemon::KFairCentralDaemon(StepIndex k, std::uint64_t seed)
+    : k_(k), seed_(seed), rng_(seed) {
+  if (k < 1) throw std::invalid_argument("KFairCentralDaemon: need k >= 1");
+}
+
+std::vector<VertexId> KFairCentralDaemon::select(
+    const Graph& g, const std::vector<VertexId>& enabled, StepIndex step) {
+  if (enabled_since_.size() != static_cast<std::size_t>(g.n())) {
+    enabled_since_.assign(static_cast<std::size_t>(g.n()), -1);
+  }
+  // Age bookkeeping: vertices enabled now keep (or get) their first
+  // continuously-enabled step; others are cleared.
+  std::vector<char> now(static_cast<std::size_t>(g.n()), 0);
+  for (VertexId v : enabled) now[static_cast<std::size_t>(v)] = 1;
+  VertexId overdue = -1;
+  StepIndex oldest = step + 1;
+  for (VertexId v = 0; v < g.n(); ++v) {
+    auto& since = enabled_since_[static_cast<std::size_t>(v)];
+    if (!now[static_cast<std::size_t>(v)]) {
+      since = -1;
+      continue;
+    }
+    if (since < 0) since = step;
+    if (step - since >= k_ - 1 && since < oldest) {
+      oldest = since;
+      overdue = v;
+    }
+  }
+  VertexId chosen;
+  if (overdue >= 0) {
+    chosen = overdue;
+  } else {
+    std::uniform_int_distribution<std::size_t> pick(0, enabled.size() - 1);
+    chosen = enabled[pick(rng_)];
+  }
+  enabled_since_[static_cast<std::size_t>(chosen)] = -1;
+  return {chosen};
+}
+
+std::string KFairCentralDaemon::name() const {
+  std::ostringstream os;
+  os << "k-fair-central(k=" << k_ << ")";
+  return os.str();
+}
+
+void KFairCentralDaemon::reset() {
+  rng_.seed(seed_);
+  enabled_since_.clear();
+}
+
+std::vector<VertexId> StarvationDaemon::select(
+    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
+  for (VertexId v : enabled) {
+    if (v != victim_) return {v};
+  }
+  return {enabled.front()};  // only the victim is enabled: must serve it
+}
+
+std::string StarvationDaemon::name() const {
+  std::ostringstream os;
+  os << "starvation(victim=" << victim_ << ")";
+  return os.str();
+}
+
+PriorityCentralDaemon::PriorityCentralDaemon(std::vector<VertexId> priority)
+    : priority_(std::move(priority)) {}
+
+std::vector<VertexId> PriorityCentralDaemon::select(
+    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
+  for (VertexId v : priority_) {
+    if (std::binary_search(enabled.begin(), enabled.end(), v)) return {v};
+  }
+  return {enabled.front()};
+}
+
+ScheduledDaemon::ScheduledDaemon(std::vector<std::vector<VertexId>> schedule,
+                                 std::unique_ptr<Daemon> fallback)
+    : schedule_(std::move(schedule)), fallback_(std::move(fallback)) {
+  if (!fallback_) fallback_ = std::make_unique<SynchronousDaemon>();
+}
+
+std::vector<VertexId> ScheduledDaemon::select(
+    const Graph& g, const std::vector<VertexId>& enabled, StepIndex step) {
+  while (next_ < schedule_.size()) {
+    const auto& want = schedule_[next_++];
+    std::vector<VertexId> chosen;
+    for (VertexId v : want) {
+      if (std::binary_search(enabled.begin(), enabled.end(), v)) {
+        chosen.push_back(v);
+      }
+    }
+    if (!chosen.empty()) return chosen;
+    // Scheduled set entirely disabled: skip the entry and try the next.
+  }
+  return fallback_->select(g, enabled, step);
+}
+
+void ScheduledDaemon::reset() {
+  next_ = 0;
+  fallback_->reset();
+}
+
+}  // namespace specstab

@@ -1,0 +1,241 @@
+// Daemons (adversaries) — paper, Section 2, Definitions 1 and 2.
+//
+// A daemon restricts the executions considered possible: in every
+// configuration it chooses one action, i.e. a non-empty subset of the
+// enabled vertices to activate.  Daemons here are state-agnostic — they
+// see only the topology, the enabled set, and the step index — which makes
+// every instance a valid daemon for *any* protocol, exactly as in
+// Definition 1.
+//
+// The partial order of Definition 2 (d' more powerful than d iff every
+// execution d allows, d' also allows) is reflected operationally: the
+// *unfair distributed daemon* ud allows everything, so any concrete daemon
+// below is one of its schedules; the *synchronous daemon* sd is the single
+// schedule that activates all enabled vertices.  Worst-case behaviour
+// under ud is approximated by the AdversaryPortfolio in
+// core/speculation.hpp (see DESIGN.md, substitution note).
+#ifndef SPECSTAB_SIM_DAEMON_HPP
+#define SPECSTAB_SIM_DAEMON_HPP
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+/// Abstract daemon: selects the activation set of each action.
+class Daemon {
+ public:
+  virtual ~Daemon() = default;
+
+  /// Returns a non-empty subset of `enabled` (which is non-empty and
+  /// sorted).  Called once per action, with `step` the 0-based action
+  /// index.
+  [[nodiscard]] virtual std::vector<VertexId> select(
+      const Graph& g, const std::vector<VertexId>& enabled,
+      StepIndex step) = 0;
+
+  /// Human-readable name for reports.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Restores the daemon's initial internal state (cursor, RNG) so the
+  /// same instance can drive several executions reproducibly.
+  virtual void reset() {}
+};
+
+/// sd: activates every enabled vertex — one synchronous step per action.
+class SynchronousDaemon final : public Daemon {
+ public:
+  [[nodiscard]] std::vector<VertexId> select(const Graph&,
+                                             const std::vector<VertexId>& e,
+                                             StepIndex) override;
+  [[nodiscard]] std::string name() const override { return "synchronous"; }
+};
+
+/// cd variant: activates the single enabled vertex next in id order after
+/// the previously activated one (fair central schedule).
+class CentralRoundRobinDaemon final : public Daemon {
+ public:
+  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
+                                             const std::vector<VertexId>& e,
+                                             StepIndex step) override;
+  [[nodiscard]] std::string name() const override {
+    return "central-round-robin";
+  }
+  void reset() override { cursor_ = 0; }
+
+ private:
+  VertexId cursor_ = 0;
+};
+
+/// cd variant: activates one uniformly random enabled vertex.
+class CentralRandomDaemon final : public Daemon {
+ public:
+  explicit CentralRandomDaemon(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
+                                             const std::vector<VertexId>& e,
+                                             StepIndex step) override;
+  [[nodiscard]] std::string name() const override { return "central-random"; }
+  void reset() override { rng_.seed(seed_); }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+};
+
+/// Unfair central schedule: always activates the enabled vertex with the
+/// smallest id.  Starves high-id vertices whenever possible — a cheap but
+/// effective unfairness pattern.
+class CentralMinIdDaemon final : public Daemon {
+ public:
+  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
+                                             const std::vector<VertexId>& e,
+                                             StepIndex step) override;
+  [[nodiscard]] std::string name() const override { return "central-min-id"; }
+};
+
+/// Unfair central schedule: always activates the enabled vertex with the
+/// largest id.
+class CentralMaxIdDaemon final : public Daemon {
+ public:
+  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
+                                             const std::vector<VertexId>& e,
+                                             StepIndex step) override;
+  [[nodiscard]] std::string name() const override { return "central-max-id"; }
+};
+
+/// Distributed daemon: each enabled vertex is activated independently with
+/// probability p; if the sample is empty, one random enabled vertex is
+/// activated (a daemon must choose an action).  p = 1 degenerates to sd.
+class DistributedBernoulliDaemon final : public Daemon {
+ public:
+  DistributedBernoulliDaemon(double p, std::uint64_t seed);
+  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
+                                             const std::vector<VertexId>& e,
+                                             StepIndex step) override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override { rng_.seed(seed_); }
+
+ private:
+  double p_;
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+};
+
+/// Distributed daemon: activates a uniformly random non-empty subset of
+/// the enabled vertices.
+class RandomSubsetDaemon final : public Daemon {
+ public:
+  explicit RandomSubsetDaemon(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
+                                             const std::vector<VertexId>& e,
+                                             StepIndex step) override;
+  [[nodiscard]] std::string name() const override { return "random-subset"; }
+  void reset() override { rng_.seed(seed_); }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+};
+
+/// Locally central daemon: activates a maximal independent subset of the
+/// enabled vertices (greedy by id with RNG-rotated starting point) — no
+/// two neighbours move in the same action.  A classical daemon class
+/// between central and distributed.
+class LocallyCentralDaemon final : public Daemon {
+ public:
+  explicit LocallyCentralDaemon(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
+                                             const std::vector<VertexId>& e,
+                                             StepIndex step) override;
+  [[nodiscard]] std::string name() const override { return "locally-central"; }
+  void reset() override { rng_.seed(seed_); }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+};
+
+/// k-fair central daemon: random choices, but any vertex continuously
+/// enabled for k consecutive actions is served immediately.  Interpolates
+/// between the fully random central daemon (k = infinity) and strict
+/// round-robin fairness.
+class KFairCentralDaemon final : public Daemon {
+ public:
+  KFairCentralDaemon(StepIndex k, std::uint64_t seed);
+  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
+                                             const std::vector<VertexId>& e,
+                                             StepIndex step) override;
+  [[nodiscard]] std::string name() const override;
+  void reset() override;
+
+ private:
+  StepIndex k_;
+  std::uint64_t seed_;
+  std::mt19937_64 rng_;
+  std::vector<StepIndex> enabled_since_;  // -1 = not continuously enabled
+};
+
+/// Starvation adversary: a central daemon that never serves a designated
+/// victim while any other vertex is enabled — the sharpest expressible
+/// unfairness pattern.  Self-stabilizing protocols must converge anyway.
+class StarvationDaemon final : public Daemon {
+ public:
+  explicit StarvationDaemon(VertexId victim) : victim_(victim) {}
+  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
+                                             const std::vector<VertexId>& e,
+                                             StepIndex step) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  VertexId victim_;
+};
+
+/// Central daemon with a fixed priority order: always activates the single
+/// enabled vertex appearing earliest in `priority`.  Vertices absent from
+/// the order get lowest (id-ordered) priority.  Used for crafted
+/// worst-case schedules such as the token chase on Dijkstra's ring.
+class PriorityCentralDaemon final : public Daemon {
+ public:
+  explicit PriorityCentralDaemon(std::vector<VertexId> priority);
+  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
+                                             const std::vector<VertexId>& e,
+                                             StepIndex step) override;
+  [[nodiscard]] std::string name() const override {
+    return "priority-central";
+  }
+
+ private:
+  std::vector<VertexId> priority_;
+};
+
+/// Replays an explicit schedule (one activation set per action); once the
+/// schedule is exhausted, falls back to a provided daemon (default:
+/// synchronous).  Entries are intersected with the enabled set; if the
+/// intersection is empty the fallback daemon decides.  Used to drive
+/// crafted worst-case schedules, e.g. the Theta(n^2) token chase on
+/// Dijkstra's ring.
+class ScheduledDaemon final : public Daemon {
+ public:
+  explicit ScheduledDaemon(std::vector<std::vector<VertexId>> schedule,
+                           std::unique_ptr<Daemon> fallback = nullptr);
+  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
+                                             const std::vector<VertexId>& e,
+                                             StepIndex step) override;
+  [[nodiscard]] std::string name() const override { return "scheduled"; }
+  void reset() override;
+
+ private:
+  std::vector<std::vector<VertexId>> schedule_;
+  std::size_t next_ = 0;
+  std::unique_ptr<Daemon> fallback_;
+};
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_SIM_DAEMON_HPP

@@ -1,0 +1,134 @@
+// Daemon contract checking — the executable face of the daemon taxonomy
+// (paper Definitions 1-2; Dubois & Tixeuil's taxonomy, the paper's
+// reference [10]).
+//
+// A daemon class is a *promise* about the activation sets it may choose:
+// the synchronous daemon activates every enabled vertex, central daemons
+// exactly one, locally central daemons an independent set, k-fair
+// daemons bound how often a continuously enabled vertex is bypassed.
+// DaemonAudit wraps any daemon, forwards its choices unchanged, and
+// records everything needed to verify those promises over real
+// executions:
+//
+//   - every selection is a non-empty subset of the enabled set (the
+//     base Daemon contract),
+//   - min/max activation-set sizes,
+//   - whether two adjacent vertices were ever activated together
+//     (violates local centrality),
+//   - the worst bypass streak: the longest run of consecutive actions in
+//     which some continuously enabled vertex was never activated
+//     (fairness evidence; bounded by k for a k-fair daemon).
+//
+// Tests drive every concrete daemon through the audit and assert the
+// class promises; users can audit custom daemons the same way.
+#ifndef SPECSTAB_SIM_DAEMON_CHECK_HPP
+#define SPECSTAB_SIM_DAEMON_CHECK_HPP
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/daemon.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+/// Everything observed about a daemon's choices during one execution.
+struct DaemonAuditReport {
+  StepIndex actions = 0;
+  std::size_t min_activation = 0;   ///< smallest activation set chosen
+  std::size_t max_activation = 0;   ///< largest activation set chosen
+  bool subset_of_enabled = true;    ///< every choice within the enabled set
+  bool nonempty = true;             ///< never chose the empty set
+  bool always_all_enabled = true;   ///< chose the full enabled set each time
+  bool always_singleton = true;     ///< chose exactly one vertex each time
+  bool adjacent_coactivation = false;  ///< two neighbours activated together
+  /// Longest streak of consecutive actions during which some vertex was
+  /// enabled throughout yet never activated.
+  StepIndex worst_bypass_streak = 0;
+
+  [[nodiscard]] bool contract_holds() const {
+    return subset_of_enabled && nonempty;
+  }
+};
+
+/// Forwards to `inner`, auditing every selection.
+class DaemonAudit final : public Daemon {
+ public:
+  explicit DaemonAudit(Daemon& inner, VertexId n)
+      : inner_(&inner), streak_(static_cast<std::size_t>(n), 0) {}
+
+  [[nodiscard]] std::vector<VertexId> select(
+      const Graph& g, const std::vector<VertexId>& enabled,
+      StepIndex step) override {
+    auto choice = inner_->select(g, enabled, step);
+    audit(g, enabled, choice);
+    return choice;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "audit(" + inner_->name() + ")";
+  }
+
+  void reset() override { inner_->reset(); }
+
+  [[nodiscard]] const DaemonAuditReport& report() const noexcept {
+    return report_;
+  }
+
+ private:
+  void audit(const Graph& g, const std::vector<VertexId>& enabled,
+             const std::vector<VertexId>& choice) {
+    ++report_.actions;
+    if (choice.empty()) report_.nonempty = false;
+    if (report_.actions == 1) {
+      report_.min_activation = choice.size();
+      report_.max_activation = choice.size();
+    } else {
+      report_.min_activation = std::min(report_.min_activation, choice.size());
+      report_.max_activation = std::max(report_.max_activation, choice.size());
+    }
+    for (VertexId v : choice) {
+      if (!std::ranges::binary_search(enabled, v)) {
+        report_.subset_of_enabled = false;
+      }
+    }
+    if (choice.size() != enabled.size()) report_.always_all_enabled = false;
+    if (choice.size() != 1) report_.always_singleton = false;
+
+    // Adjacent co-activation (choice is small; enabled sorted).
+    for (std::size_t i = 0; i < choice.size() && !report_.adjacent_coactivation;
+         ++i) {
+      for (std::size_t j = i + 1; j < choice.size(); ++j) {
+        if (g.has_edge(choice[i], choice[j])) {
+          report_.adjacent_coactivation = true;
+          break;
+        }
+      }
+    }
+
+    // Bypass streaks: enabled-and-not-activated extends a vertex's
+    // streak; activation or disablement resets it.
+    for (VertexId v = 0; v < static_cast<VertexId>(streak_.size()); ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      const bool is_enabled = std::ranges::binary_search(enabled, v);
+      const bool activated = std::ranges::find(choice, v) != choice.end();
+      if (is_enabled && !activated) {
+        ++streak_[vi];
+        report_.worst_bypass_streak =
+            std::max(report_.worst_bypass_streak, streak_[vi]);
+      } else {
+        streak_[vi] = 0;
+      }
+    }
+  }
+
+  Daemon* inner_;
+  DaemonAuditReport report_;
+  std::vector<StepIndex> streak_;
+};
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_SIM_DAEMON_CHECK_HPP

@@ -1,0 +1,181 @@
+// Execution engine for the Dijkstra state model.
+//
+// Runs a deterministic guarded-rule protocol under a daemon from a given
+// initial configuration, with composite atomicity: all vertices activated
+// in one action read the *pre-action* configuration.  The engine meters
+// the three classical costs (steps = daemon actions, moves = vertex
+// activations, rounds) and tracks convergence into a caller-supplied
+// *legitimacy predicate* — the closed set whose first entry defines the
+// stabilization time (paper, Definition 3 and Section 2).
+//
+// Because legitimacy predicates for the protocols here are closed under
+// the protocol (Gamma_1 for unison/SSME, exact BFS distances for min+1,
+// the single-token configurations for Dijkstra's ring, stable maximal
+// matchings), convergence time equals `last_illegitimate + 1`; the engine
+// reports both that and the first legitimate index so tests can verify
+// closure empirically (they must coincide at the end of a long run).
+#ifndef SPECSTAB_SIM_ENGINE_HPP
+#define SPECSTAB_SIM_ENGINE_HPP
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/daemon.hpp"
+#include "sim/protocol.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+struct RunOptions {
+  /// Hard cap on the number of actions.
+  StepIndex max_steps = 100000;
+
+  /// If set, stop this many actions after the first time the
+  /// configuration satisfies the legitimacy predicate (useful to bound
+  /// post-convergence work while still exercising closure).
+  std::optional<StepIndex> steps_after_convergence;
+
+  /// Record every configuration (gamma_0 .. gamma_steps) in
+  /// RunResult::trace.  Memory-heavy; meant for tests and spec checkers.
+  bool record_trace = false;
+};
+
+template <class State>
+struct RunResult {
+  Config<State> final_config;
+
+  StepIndex steps = 0;        ///< daemon actions executed
+  std::int64_t moves = 0;     ///< total vertex activations
+  StepIndex rounds = 0;       ///< completed asynchronous rounds
+
+  bool terminated = false;    ///< reached a terminal configuration
+  bool hit_step_cap = false;  ///< stopped by max_steps
+
+  /// Index of the first configuration satisfying the legitimacy
+  /// predicate; -1 if never.
+  StepIndex first_legitimate = -1;
+  /// Index of the last configuration violating it; -1 if none did.
+  StepIndex last_illegitimate = -1;
+  /// Moves executed strictly before configuration `last_illegitimate + 1`.
+  std::int64_t moves_to_convergence = 0;
+  /// Completed rounds at configuration `last_illegitimate + 1`.
+  StepIndex rounds_to_convergence = 0;
+
+  /// gamma_0 .. gamma_steps when RunOptions::record_trace.
+  std::vector<Config<State>> trace;
+
+  /// Convergence time in actions: the index of the earliest configuration
+  /// from which the run stayed legitimate (valid when converged()).
+  [[nodiscard]] StepIndex convergence_steps() const {
+    return last_illegitimate + 1;
+  }
+
+  /// True iff the run ended inside the legitimacy predicate having seen it
+  /// hold continuously since convergence_steps().
+  [[nodiscard]] bool converged() const { return first_legitimate >= 0; }
+};
+
+/// Per-action observer: called with (step index i, pre-configuration
+/// gamma_i, activated set); the action produces gamma_{i+1}.
+template <class State>
+using StepObserver = std::function<void(
+    StepIndex, const Config<State>&, const std::vector<VertexId>&)>;
+
+template <ProtocolConcept P>
+RunResult<typename P::State> run_execution(
+    const Graph& g, const P& proto, Daemon& daemon,
+    Config<typename P::State> init, const RunOptions& opt,
+    const std::function<bool(const Graph&, const Config<typename P::State>&)>&
+        legitimate,
+    const StepObserver<typename P::State>& observer = nullptr) {
+  using State = typename P::State;
+  RunResult<State> res;
+  Config<State> cfg = std::move(init);
+  RoundCounter rc(g.n());
+
+  bool pending_convergence_marker = false;
+  const auto note_legitimacy = [&](StepIndex cfg_index) {
+    const bool legit = !legitimate || legitimate(g, cfg);
+    if (legit) {
+      if (res.first_legitimate < 0) res.first_legitimate = cfg_index;
+      if (pending_convergence_marker) {
+        // First legitimate configuration after the latest violation: the
+        // costs so far are the costs to (re-)convergence.
+        res.moves_to_convergence = res.moves;
+        res.rounds_to_convergence = rc.completed_rounds();
+        pending_convergence_marker = false;
+      }
+    } else {
+      res.last_illegitimate = cfg_index;
+      pending_convergence_marker = true;
+    }
+  };
+
+  if (opt.record_trace) res.trace.push_back(cfg);
+  note_legitimacy(0);
+
+  auto enabled = enabled_vertices(g, proto, cfg);
+  StepIndex since_convergence = 0;
+  while (res.steps < opt.max_steps) {
+    if (enabled.empty()) {
+      res.terminated = true;
+      break;
+    }
+    if (opt.steps_after_convergence && res.first_legitimate >= 0 &&
+        since_convergence >= *opt.steps_after_convergence) {
+      break;
+    }
+
+    const auto activated = daemon.select(g, enabled, res.steps);
+    if (observer) observer(res.steps, cfg, activated);
+
+    // Composite atomicity: compute all successor states against the
+    // pre-action configuration, then install them.
+    std::vector<std::pair<VertexId, State>> updates;
+    updates.reserve(activated.size());
+    for (VertexId v : activated) updates.emplace_back(v, proto.apply(g, cfg, v));
+    for (auto& [v, s] : updates) cfg[static_cast<std::size_t>(v)] = std::move(s);
+
+    res.moves += static_cast<std::int64_t>(activated.size());
+    ++res.steps;
+    if (res.first_legitimate >= 0) ++since_convergence;
+
+    auto enabled_after = enabled_vertices(g, proto, cfg);
+    rc.on_action(enabled, activated, enabled_after);
+    enabled = std::move(enabled_after);
+
+    if (opt.record_trace) res.trace.push_back(cfg);
+    note_legitimacy(res.steps);
+  }
+  res.hit_step_cap = !res.terminated && res.steps >= opt.max_steps;
+  res.rounds = rc.completed_rounds();
+
+  // If legitimacy was lost after having been seen, the earliest
+  // configuration "from which every execution satisfies spec" is after the
+  // last violation; reflect that in first_legitimate.
+  if (res.first_legitimate >= 0 &&
+      res.first_legitimate <= res.last_illegitimate) {
+    res.first_legitimate =
+        (res.last_illegitimate < res.steps) ? res.last_illegitimate + 1 : -1;
+  }
+
+  res.final_config = std::move(cfg);
+  return res;
+}
+
+/// Convenience overload without a legitimacy predicate (runs to the step
+/// cap or a terminal configuration).
+template <ProtocolConcept P>
+RunResult<typename P::State> run_execution(const Graph& g, const P& proto,
+                                           Daemon& daemon,
+                                           Config<typename P::State> init,
+                                           const RunOptions& opt) {
+  return run_execution(g, proto, daemon, std::move(init), opt, nullptr);
+}
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_SIM_ENGINE_HPP

@@ -1,0 +1,58 @@
+// The distributed-protocol abstraction (paper, Section 2).
+//
+// All protocols in the paper are *deterministic*: per vertex, the guards of
+// the local rules are pairwise exclusive, so once the daemon decides to
+// activate an enabled vertex, the successor state is unique.  A protocol
+// therefore exposes:
+//   - enabled(g, cfg, v): whether some rule's guard holds at v,
+//   - apply(g, cfg, v):   the unique successor state of v (precondition:
+//                         enabled),
+//   - rule_name(g, cfg, v): the <label> of the enabled rule, for traces.
+// The daemon (see daemon.hpp) supplies the activation set; the engine
+// (engine.hpp) applies all activated vertices against the pre-state.
+#ifndef SPECSTAB_SIM_PROTOCOL_HPP
+#define SPECSTAB_SIM_PROTOCOL_HPP
+
+#include <concepts>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+template <class P>
+concept ProtocolConcept = requires(const P& p, const Graph& g,
+                                   const Config<typename P::State>& cfg,
+                                   VertexId v) {
+  typename P::State;
+  { p.enabled(g, cfg, v) } -> std::same_as<bool>;
+  { p.apply(g, cfg, v) } -> std::same_as<typename P::State>;
+  { p.rule_name(g, cfg, v) } -> std::convertible_to<std::string_view>;
+};
+
+/// Sorted list of vertices enabled in `cfg`.
+template <ProtocolConcept P>
+[[nodiscard]] std::vector<VertexId> enabled_vertices(
+    const Graph& g, const P& proto, const Config<typename P::State>& cfg) {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < g.n(); ++v) {
+    if (proto.enabled(g, cfg, v)) out.push_back(v);
+  }
+  return out;
+}
+
+/// True iff no vertex is enabled (the configuration is terminal).
+template <ProtocolConcept P>
+[[nodiscard]] bool is_terminal(const Graph& g, const P& proto,
+                               const Config<typename P::State>& cfg) {
+  for (VertexId v = 0; v < g.n(); ++v) {
+    if (proto.enabled(g, cfg, v)) return false;
+  }
+  return true;
+}
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_SIM_PROTOCOL_HPP

@@ -1,0 +1,73 @@
+// Schedule recording and replay.
+//
+// A daemon's choices ARE the execution (Definition 1: a daemon is a set
+// of executions).  RecordingDaemon captures the activation sets an inner
+// daemon chooses so a run can be replayed exactly — through
+// ScheduledDaemon — against a modified protocol, a different metering
+// setup, or a debugger.  Round-tripping a randomized schedule into a
+// deterministic artifact is also how the crafted worst cases in
+// bench/*.cpp were found: record an adversarial portfolio run, shrink
+// the schedule, replay.
+//
+// Schedules serialize to a line-per-action text format ("3 7 12" =
+// activate vertices 3, 7, 12) for storage alongside experiment results.
+#ifndef SPECSTAB_SIM_SCHEDULE_HPP
+#define SPECSTAB_SIM_SCHEDULE_HPP
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/daemon.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+/// One activation set per action, in order.
+using Schedule = std::vector<std::vector<VertexId>>;
+
+/// Forwards to `inner`, recording every activation set.
+class RecordingDaemon final : public Daemon {
+ public:
+  explicit RecordingDaemon(Daemon& inner) : inner_(&inner) {}
+
+  [[nodiscard]] std::vector<VertexId> select(
+      const Graph& g, const std::vector<VertexId>& enabled,
+      StepIndex step) override {
+    auto choice = inner_->select(g, enabled, step);
+    recorded_.push_back(choice);
+    return choice;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "recording(" + inner_->name() + ")";
+  }
+
+  /// Resets the inner daemon AND discards the recording.
+  void reset() override {
+    inner_->reset();
+    recorded_.clear();
+  }
+
+  [[nodiscard]] const Schedule& schedule() const noexcept {
+    return recorded_;
+  }
+
+  /// Moves the recording out (leaves the recorder empty).
+  [[nodiscard]] Schedule take_schedule() { return std::move(recorded_); }
+
+ private:
+  Daemon* inner_;
+  Schedule recorded_;
+};
+
+/// "3 7 12\n0\n..." — one line per action, vertex ids space-separated.
+[[nodiscard]] std::string schedule_to_text(const Schedule& schedule);
+
+/// Parses schedule_to_text output.  Throws std::invalid_argument on bad
+/// tokens or empty lines (every action activates at least one vertex).
+[[nodiscard]] Schedule schedule_from_text(const std::string& text);
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_SIM_SCHEDULE_HPP

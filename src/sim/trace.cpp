@@ -1,0 +1,56 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace specstab {
+
+RoundCounter::RoundCounter(VertexId n)
+    : n_(n), pending_(static_cast<std::size_t>(n), 0) {}
+
+void RoundCounter::reset() {
+  round_open_ = false;
+  std::fill(pending_.begin(), pending_.end(), 0);
+  pending_count_ = 0;
+  rounds_ = 0;
+}
+
+void RoundCounter::on_action(const std::vector<VertexId>& enabled_before,
+                             const std::vector<VertexId>& activated,
+                             const std::vector<VertexId>& enabled_after) {
+  if (!round_open_) {
+    // Open a round on the pre-configuration's enabled set.
+    std::fill(pending_.begin(), pending_.end(), 0);
+    pending_count_ = 0;
+    for (VertexId v : enabled_before) {
+      pending_[static_cast<std::size_t>(v)] = 1;
+      ++pending_count_;
+    }
+    round_open_ = pending_count_ > 0;
+    if (!round_open_) return;
+  }
+  // Activated vertices are served.
+  for (VertexId v : activated) {
+    if (pending_[static_cast<std::size_t>(v)]) {
+      pending_[static_cast<std::size_t>(v)] = 0;
+      --pending_count_;
+    }
+  }
+  // Vertices that became disabled are neutralised.
+  if (pending_count_ > 0) {
+    auto it = enabled_after.begin();
+    for (VertexId v = 0; v < n_ && pending_count_ > 0; ++v) {
+      if (!pending_[static_cast<std::size_t>(v)]) continue;
+      it = std::lower_bound(it, enabled_after.end(), v);
+      if (it == enabled_after.end() || *it != v) {
+        pending_[static_cast<std::size_t>(v)] = 0;
+        --pending_count_;
+      }
+    }
+  }
+  if (pending_count_ == 0) {
+    ++rounds_;
+    round_open_ = false;
+  }
+}
+
+}  // namespace specstab

@@ -1,0 +1,47 @@
+// Round accounting and execution trace helpers.
+//
+// Steps are the paper's complexity unit (one daemon action).  For
+// asynchronous daemons it is also standard to report *rounds*: the first
+// round of an execution is its minimal prefix in which every vertex that
+// was enabled at the start has been activated or neutralised (became
+// disabled); subsequent rounds are defined on the remaining suffix.
+// Under the synchronous daemon, rounds and steps coincide.
+#ifndef SPECSTAB_SIM_TRACE_HPP
+#define SPECSTAB_SIM_TRACE_HPP
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+/// Incremental round counter fed with (enabled-before, activated,
+/// enabled-after) triples, one per action.
+class RoundCounter {
+ public:
+  explicit RoundCounter(VertexId n);
+
+  /// Accounts one action.  `enabled_before` is the enabled set in the
+  /// pre-configuration, `activated` the daemon's choice, `enabled_after`
+  /// the enabled set in the post-configuration.  All sorted.
+  void on_action(const std::vector<VertexId>& enabled_before,
+                 const std::vector<VertexId>& activated,
+                 const std::vector<VertexId>& enabled_after);
+
+  /// Number of completed rounds so far.
+  [[nodiscard]] StepIndex completed_rounds() const noexcept { return rounds_; }
+
+  void reset();
+
+ private:
+  VertexId n_;
+  bool round_open_ = false;
+  std::vector<char> pending_;  // vertices the open round still waits on
+  VertexId pending_count_ = 0;
+  StepIndex rounds_ = 0;
+};
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_SIM_TRACE_HPP

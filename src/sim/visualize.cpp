@@ -1,0 +1,87 @@
+#include "sim/visualize.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace specstab {
+
+namespace {
+
+void render_row(std::ostringstream& os, const Graph& g,
+                const SsmeProtocol& proto, StepIndex index,
+                const Config<ClockValue>& cfg, int cell_width) {
+  os << std::setw(6) << index << " |";
+  for (VertexId v = 0; v < g.n(); ++v) {
+    std::ostringstream cell;
+    if (proto.privileged(cfg, v)) {
+      cell << '[' << cfg[static_cast<std::size_t>(v)] << ']';
+    } else {
+      cell << cfg[static_cast<std::size_t>(v)];
+    }
+    os << std::setw(cell_width) << cell.str();
+  }
+  const bool safe = proto.mutex_safe(g, cfg);
+  const bool legit = proto.legitimate(g, cfg);
+  if (!safe) {
+    os << "  !! double privilege";
+  } else if (!legit) {
+    os << "  ~";
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+std::string render_clock_wave(const Graph& g, const SsmeProtocol& proto,
+                              const std::vector<Config<ClockValue>>& trace,
+                              const WaveRenderOptions& opt) {
+  std::ostringstream os;
+  os << "  step |";
+  for (VertexId v = 0; v < g.n(); ++v) {
+    std::string label = "v";
+    label += std::to_string(v);
+    os << std::setw(opt.cell_width) << label;
+  }
+  os << "\n";
+  os << std::string(8 + static_cast<std::size_t>(opt.cell_width) *
+                            static_cast<std::size_t>(g.n()),
+                    '-')
+     << "\n";
+
+  const std::size_t rows = trace.size();
+  if (rows <= opt.max_rows) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      render_row(os, g, proto, static_cast<StepIndex>(i), trace[i],
+                 opt.cell_width);
+    }
+  } else {
+    const std::size_t head = opt.max_rows / 2;
+    const std::size_t tail = opt.max_rows - head;
+    for (std::size_t i = 0; i < head; ++i) {
+      render_row(os, g, proto, static_cast<StepIndex>(i), trace[i],
+                 opt.cell_width);
+    }
+    os << "   ... | (" << rows - head - tail << " configurations elided)\n";
+    for (std::size_t i = rows - tail; i < rows; ++i) {
+      render_row(os, g, proto, static_cast<StepIndex>(i), trace[i],
+                 opt.cell_width);
+    }
+  }
+  return os.str();
+}
+
+std::string trace_to_csv(const std::vector<Config<ClockValue>>& trace) {
+  std::ostringstream os;
+  if (trace.empty()) return "step\n";
+  os << "step";
+  for (std::size_t v = 0; v < trace[0].size(); ++v) os << ",v" << v;
+  os << "\n";
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    os << i;
+    for (const ClockValue c : trace[i]) os << ',' << c;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace specstab

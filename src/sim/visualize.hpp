@@ -1,0 +1,41 @@
+// Execution visualization: ASCII clock-wave plots and CSV trace export.
+//
+// The reset waves and privilege gradients behind Theorems 2 and 4 are
+// easiest to *see*: render_clock_wave prints registers over time (one row
+// per configuration), marking resets, tail values and privileged
+// vertices.  trace_to_csv emits machine-readable traces for external
+// plotting.
+#ifndef SPECSTAB_SIM_VISUALIZE_HPP
+#define SPECSTAB_SIM_VISUALIZE_HPP
+
+#include <string>
+#include <vector>
+
+#include "clock/cherry_clock.hpp"
+#include "core/ssme.hpp"
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+struct WaveRenderOptions {
+  std::size_t max_rows = 40;   ///< truncate long traces (head + tail shown)
+  int cell_width = 5;          ///< characters per register cell
+};
+
+/// Renders an SSME/unison trace as rows of register values.  Privileged
+/// registers are wrapped in [..], init-tail values shown as-is (negative),
+/// and a trailing marker column flags rows violating mutex safety ("!!")
+/// or Gamma_1 ("~").
+[[nodiscard]] std::string render_clock_wave(
+    const Graph& g, const SsmeProtocol& proto,
+    const std::vector<Config<ClockValue>>& trace,
+    const WaveRenderOptions& opt = {});
+
+/// CSV with header "step,v0,v1,...": one row per configuration.
+[[nodiscard]] std::string trace_to_csv(
+    const std::vector<Config<ClockValue>>& trace);
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_SIM_VISUALIZE_HPP

@@ -1,0 +1,31 @@
+#include "unison/parameters.hpp"
+
+#include <algorithm>
+
+#include "graph/chordless.hpp"
+#include "graph/cycle_space.hpp"
+
+namespace specstab {
+
+UnisonParameters minimal_unison_parameters(const Graph& g) {
+  UnisonParameters p;
+  p.hole = longest_hole(g);
+  p.cyclo = cyclomatic_characteristic(g);
+  p.alpha = std::max<ClockValue>(1, p.hole - 2);
+  p.k = std::max<ClockValue>(2, p.cyclo + 1);
+  return p;
+}
+
+bool validate_unison_parameters(const Graph& g, ClockValue alpha,
+                                ClockValue k) {
+  if (alpha < 1 || k < 2) return false;
+  return alpha >= longest_hole(g) - 2 && k > cyclomatic_characteristic(g);
+}
+
+bool sufficient_unison_parameters(const Graph& g, ClockValue alpha,
+                                  ClockValue k) {
+  if (alpha < 1 || k < 2) return false;
+  return alpha >= g.n() - 2 && k > g.n();
+}
+
+}  // namespace specstab

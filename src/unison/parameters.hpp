@@ -1,0 +1,42 @@
+// Unison parameter validation and minimisation.
+//
+// Boulinier et al. [2] require alpha >= hole(g) - 2 (convergence to
+// Gamma_1) and K > cyclo(g) (liveness: infinitely-often increments).
+// SSME sidesteps exact topology analysis via alpha = n and
+// K = (2n-1)(diam+1)+2 (both bounds hold since hole, cyclo <= n), paying
+// memory for generality.  This module computes the *exact* minimal
+// parameters on small graphs — used by tests, the ablation bench, and
+// anyone instantiating the unison directly on a known topology.
+#ifndef SPECSTAB_UNISON_PARAMETERS_HPP
+#define SPECSTAB_UNISON_PARAMETERS_HPP
+
+#include "clock/cherry_clock.hpp"
+#include "graph/graph.hpp"
+
+namespace specstab {
+
+struct UnisonParameters {
+  ClockValue alpha = 1;
+  ClockValue k = 2;
+  VertexId hole = 2;   ///< hole(g) used for the alpha bound
+  VertexId cyclo = 2;  ///< cyclo(g) used for the K bound
+};
+
+/// Exact minimal parameters for g: alpha = max(1, hole(g) - 2),
+/// K = max(2, cyclo(g) + 1).  Exponential-time topology analysis — small
+/// graphs only (see graph/chordless.hpp).
+[[nodiscard]] UnisonParameters minimal_unison_parameters(const Graph& g);
+
+/// True iff (alpha, K) satisfy the [2] constraints for g (exact check;
+/// small graphs only).
+[[nodiscard]] bool validate_unison_parameters(const Graph& g, ClockValue alpha,
+                                              ClockValue k);
+
+/// The cheap sufficient check the paper itself relies on:
+/// alpha >= n - 2 and K > n imply the exact constraints on any g.
+[[nodiscard]] bool sufficient_unison_parameters(const Graph& g,
+                                                ClockValue alpha, ClockValue k);
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_UNISON_PARAMETERS_HPP

@@ -1,0 +1,112 @@
+#include "unison/unison.hpp"
+
+#include <stdexcept>
+
+#include "sim/protocol.hpp"
+
+namespace specstab {
+
+static_assert(ProtocolConcept<UnisonProtocol>,
+              "UnisonProtocol must satisfy ProtocolConcept");
+
+bool UnisonProtocol::correct(const Config<State>& cfg, VertexId v,
+                             VertexId u) const {
+  const State rv = cfg[static_cast<std::size_t>(v)];
+  const State ru = cfg[static_cast<std::size_t>(u)];
+  return clock_.in_stab(rv) && clock_.in_stab(ru) &&
+         clock_.ring_distance(rv, ru) <= 1;
+}
+
+bool UnisonProtocol::all_correct(const Graph& g, const Config<State>& cfg,
+                                 VertexId v) const {
+  for (VertexId u : g.neighbors(v)) {
+    if (!correct(cfg, v, u)) return false;
+  }
+  return true;
+}
+
+bool UnisonProtocol::normal_step(const Graph& g, const Config<State>& cfg,
+                                 VertexId v) const {
+  if (!clock_.in_stab(cfg[static_cast<std::size_t>(v)])) return false;
+  if (!all_correct(g, cfg, v)) return false;
+  const State rv = cfg[static_cast<std::size_t>(v)];
+  for (VertexId u : g.neighbors(v)) {
+    if (!clock_.le_local(rv, cfg[static_cast<std::size_t>(u)])) return false;
+  }
+  return true;
+}
+
+bool UnisonProtocol::converge_step(const Graph& g, const Config<State>& cfg,
+                                   VertexId v) const {
+  const State rv = cfg[static_cast<std::size_t>(v)];
+  if (!clock_.in_init_star(rv)) return false;
+  for (VertexId u : g.neighbors(v)) {
+    const State ru = cfg[static_cast<std::size_t>(u)];
+    if (!clock_.in_init(ru)) return false;
+    if (!clock_.le_init(rv, ru)) return false;
+  }
+  return true;
+}
+
+bool UnisonProtocol::reset_init(const Graph& g, const Config<State>& cfg,
+                                VertexId v) const {
+  return !all_correct(g, cfg, v) &&
+         !clock_.in_init(cfg[static_cast<std::size_t>(v)]);
+}
+
+bool UnisonProtocol::enabled(const Graph& g, const Config<State>& cfg,
+                             VertexId v) const {
+  return normal_step(g, cfg, v) || converge_step(g, cfg, v) ||
+         reset_init(g, cfg, v);
+}
+
+UnisonProtocol::State UnisonProtocol::apply(const Graph& g,
+                                            const Config<State>& cfg,
+                                            VertexId v) const {
+  const State rv = cfg[static_cast<std::size_t>(v)];
+  if (normal_step(g, cfg, v) || converge_step(g, cfg, v)) {
+    return clock_.increment(rv);
+  }
+  if (reset_init(g, cfg, v)) return clock_.reset_value();
+  throw std::logic_error("UnisonProtocol::apply on a disabled vertex");
+}
+
+std::string_view UnisonProtocol::rule_name(const Graph& g,
+                                           const Config<State>& cfg,
+                                           VertexId v) const {
+  if (normal_step(g, cfg, v)) return "NA";
+  if (converge_step(g, cfg, v)) return "CA";
+  if (reset_init(g, cfg, v)) return "RA";
+  return "";
+}
+
+bool UnisonProtocol::locally_legitimate(const Graph& g,
+                                        const Config<State>& cfg,
+                                        VertexId v) const {
+  const State rv = cfg[static_cast<std::size_t>(v)];
+  if (!clock_.in_stab(rv)) return false;
+  for (VertexId u : g.neighbors(v)) {
+    const State ru = cfg[static_cast<std::size_t>(u)];
+    if (!clock_.in_stab(ru) || clock_.ring_distance(rv, ru) > 1) return false;
+  }
+  return true;
+}
+
+bool UnisonProtocol::legitimate(const Graph& g,
+                                const Config<State>& cfg) const {
+  for (VertexId v = 0; v < g.n(); ++v) {
+    if (!locally_legitimate(g, cfg, v)) return false;
+  }
+  return true;
+}
+
+bool UnisonProtocol::well_formed(const Graph& g,
+                                 const Config<State>& cfg) const {
+  if (static_cast<VertexId>(cfg.size()) != g.n()) return false;
+  for (const State s : cfg) {
+    if (!clock_.contains(s)) return false;
+  }
+  return true;
+}
+
+}  // namespace specstab

@@ -1,0 +1,40 @@
+#include "unison/unison_spec.hpp"
+
+#include <algorithm>
+
+namespace specstab {
+
+std::int64_t UnisonSpecReport::min_increments() const {
+  if (increments.empty()) return 0;
+  return *std::min_element(increments.begin(), increments.end());
+}
+
+UnisonSpecReport check_unison_spec(const Graph& g, const UnisonProtocol& proto,
+                                   const std::vector<Config<ClockValue>>& trace) {
+  UnisonSpecReport rep;
+  rep.increments.assign(static_cast<std::size_t>(g.n()), 0);
+  rep.resets.assign(static_cast<std::size_t>(g.n()), 0);
+  const CherryClock& clock = proto.clock();
+
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (!proto.legitimate(g, trace[i])) {
+      rep.last_violation = static_cast<StepIndex>(i);
+    }
+    ++rep.configurations_seen;
+    if (i + 1 < trace.size()) {
+      for (VertexId v = 0; v < g.n(); ++v) {
+        const ClockValue before = trace[i][static_cast<std::size_t>(v)];
+        const ClockValue after = trace[i + 1][static_cast<std::size_t>(v)];
+        if (after == before) continue;
+        if (after == clock.increment(before)) {
+          ++rep.increments[static_cast<std::size_t>(v)];
+        } else if (after == clock.reset_value()) {
+          ++rep.resets[static_cast<std::size_t>(v)];
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace specstab

@@ -1,0 +1,46 @@
+// spec_AU checking (paper, Specification 2).
+//
+// An execution satisfies spec_AU iff every configuration lies in Gamma_1
+// (each register correct, neighbour drift <= 1) and every register is
+// incremented infinitely often.  The checker runs over a recorded trace
+// and reports the last Gamma_1 violation (stabilization witness) plus
+// per-vertex increment counts (finite-horizon liveness evidence).
+#ifndef SPECSTAB_UNISON_UNISON_SPEC_HPP
+#define SPECSTAB_UNISON_UNISON_SPEC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+#include "unison/unison.hpp"
+
+namespace specstab {
+
+struct UnisonSpecReport {
+  /// Last configuration index outside Gamma_1; -1 if all legitimate.
+  StepIndex last_violation = -1;
+
+  /// Per-vertex count of observed phi-increments (r' == phi(r)).
+  std::vector<std::int64_t> increments;
+
+  /// Per-vertex count of observed resets (r' == -alpha, r != phi(r)).
+  std::vector<std::int64_t> resets;
+
+  StepIndex configurations_seen = 0;
+
+  [[nodiscard]] StepIndex stabilization_steps() const {
+    return last_violation + 1;
+  }
+
+  [[nodiscard]] std::int64_t min_increments() const;
+};
+
+/// Checks spec_AU over a recorded trace gamma_0 .. gamma_T.
+[[nodiscard]] UnisonSpecReport check_unison_spec(
+    const Graph& g, const UnisonProtocol& proto,
+    const std::vector<Config<ClockValue>>& trace);
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_UNISON_UNISON_SPEC_HPP

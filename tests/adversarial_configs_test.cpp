@@ -1,0 +1,156 @@
+// Tests for initial-configuration builders, chiefly the two-gradient
+// Theorem-4 witness (tightness of the ceil(diam/2) bound).
+#include "core/adversarial_configs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+
+namespace specstab {
+namespace {
+
+TEST(RandomConfigTest, ValuesInCherryAndSeeded) {
+  const Graph g = make_ring(8);
+  const CherryClock clock(8, 20);
+  const auto cfg = random_config(g, clock, 42);
+  ASSERT_EQ(cfg.size(), 8u);
+  for (ClockValue c : cfg) EXPECT_TRUE(clock.contains(c));
+  EXPECT_EQ(cfg, random_config(g, clock, 42));
+  EXPECT_NE(cfg, random_config(g, clock, 43));
+}
+
+TEST(RandomConfigTest, BatchGeneratesDistinctConfigs) {
+  const Graph g = make_ring(10);
+  const CherryClock clock(10, 25);
+  const auto batch = random_configs(g, clock, 5, 7);
+  ASSERT_EQ(batch.size(), 5u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    for (std::size_t j = i + 1; j < batch.size(); ++j) {
+      EXPECT_NE(batch[i], batch[j]);
+    }
+  }
+}
+
+TEST(ZeroConfigTest, AllZeros) {
+  const Graph g = make_path(4);
+  EXPECT_EQ(zero_config(g), (Config<ClockValue>{0, 0, 0, 0}));
+}
+
+TEST(TwoGradientTest, ViolationStepFormula) {
+  const Graph g = make_path(9);  // diam 8
+  EXPECT_EQ(two_gradient_violation_step(g, 0, 8), 3);  // ceil(8/2)-1
+  EXPECT_EQ(two_gradient_violation_step(g, 0, 7), 3);  // ceil(7/2)-1
+  EXPECT_EQ(two_gradient_violation_step(g, 0, 1), 0);
+  EXPECT_EQ(two_gradient_violation_step(g, 0, 2), 0);
+  EXPECT_EQ(two_gradient_violation_step(g, 3, 3), 0);
+}
+
+TEST(TwoGradientTest, WitnessValuesAreStabGradients) {
+  const Graph g = make_path(7);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  const auto cfg = two_gradient_config(g, proto, 0, 6);
+  const CherryClock& clock = proto.clock();
+  for (ClockValue c : cfg) EXPECT_TRUE(clock.in_stab(c));
+  // Near u the values ascend with distance from u.
+  EXPECT_EQ(cfg[1] - cfg[0], 1);
+  EXPECT_EQ(cfg[2] - cfg[1], 1);
+  // Near v likewise (descending towards v along the path).
+  EXPECT_EQ(cfg[5] - cfg[6], 1);
+}
+
+TEST(TwoGradientTest, DoublePrivilegeAtPredictedSyncStep) {
+  // The witness must produce two simultaneously privileged vertices in
+  // gamma_t with t = ceil(diam/2) - 1 of the SYNCHRONOUS execution: the
+  // Theorem 4 lower-bound scenario, showing Theorem 2 is tight.
+  for (const Graph& g : {make_path(8), make_path(9), make_ring(10),
+                         make_ring(13), make_grid(3, 5)}) {
+    const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+    const auto [u, v] = diameter_pair(g);
+    const auto init = two_gradient_config(g, proto, u, v);
+    const StepIndex t = two_gradient_violation_step(g, u, v);
+
+    SynchronousDaemon d;
+    RunOptions opt;
+    opt.max_steps = t + 1;
+    opt.record_trace = true;
+    const auto res = run_execution(g, proto, d, init, opt);
+    ASSERT_GT(static_cast<StepIndex>(res.trace.size()), t);
+    const auto& gamma_t = res.trace[static_cast<std::size_t>(t)];
+    EXPECT_TRUE(proto.privileged(gamma_t, u))
+        << "n=" << g.n() << " u=" << u << " t=" << t;
+    EXPECT_TRUE(proto.privileged(gamma_t, v))
+        << "n=" << g.n() << " v=" << v << " t=" << t;
+    EXPECT_GE(proto.count_privileged(g, gamma_t), 2);
+  }
+}
+
+TEST(TwoGradientTest, NoViolationAtOrAfterTheoremTwoBound) {
+  // Complement: even from the witness, no double privilege exists at any
+  // configuration index >= ceil(diam/2) (Theorem 2).
+  for (const Graph& g : {make_path(8), make_path(9), make_ring(12)}) {
+    const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+    const auto init = two_gradient_config(g, proto);
+    const std::int64_t bound = ssme_sync_bound(proto.params().diam);
+
+    SynchronousDaemon d;
+    RunOptions opt;
+    opt.max_steps = 6 * proto.params().n + 3 * proto.params().diam;
+    opt.record_trace = true;
+    const auto res = run_execution(g, proto, d, init, opt);
+    for (std::size_t i = static_cast<std::size_t>(bound);
+         i < res.trace.size(); ++i) {
+      EXPECT_LE(proto.count_privileged(g, res.trace[i]), 1)
+          << "n=" << g.n() << " index=" << i;
+    }
+  }
+}
+
+TEST(TwoGradientTest, SingleVertexWitnessIsPrivileged) {
+  const Graph g(1);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  const auto cfg = two_gradient_config(g, proto);
+  EXPECT_TRUE(proto.privileged(cfg, 0));
+}
+
+TEST(TwoGradientTest, IdenticalVerticesThrow) {
+  const Graph g = make_path(3);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  EXPECT_THROW(two_gradient_config(g, proto, 1, 1), std::invalid_argument);
+}
+
+TEST(InjectFaultTest, CorruptsExactlyRequestedCount) {
+  const Graph g = make_ring(10);
+  const CherryClock clock(10, 30);
+  const auto base = zero_config(g);
+  const auto hit = inject_fault(base, clock, 4, 99);
+  VertexId changed = 0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base[i] != hit[i]) ++changed;
+    EXPECT_TRUE(clock.contains(hit[i]));
+  }
+  EXPECT_LE(changed, 4);  // a corrupted value may coincide with the old one
+  EXPECT_GT(changed, 0);
+}
+
+TEST(InjectFaultTest, ZeroVictimsIsIdentity) {
+  const Graph g = make_ring(5);
+  const CherryClock clock(5, 12);
+  const auto base = zero_config(g);
+  EXPECT_EQ(inject_fault(base, clock, 0, 1), base);
+}
+
+TEST(InjectFaultTest, OutOfRangeThrows) {
+  const Graph g = make_ring(5);
+  const CherryClock clock(5, 12);
+  EXPECT_THROW(inject_fault(zero_config(g), clock, 6, 1),
+               std::invalid_argument);
+  EXPECT_THROW(inject_fault(zero_config(g), clock, -1, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace specstab

@@ -1,0 +1,153 @@
+// Unit tests for the cherry clock X = (cherry(alpha, K), phi) — the
+// structure of Figure 1 and the algebra of Section 4.1.
+#include "clock/cherry_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace specstab {
+namespace {
+
+// The paper's Figure 1 instance.
+CherryClock fig1() { return CherryClock(5, 12); }
+
+TEST(CherryClockTest, ConstructionValidation) {
+  EXPECT_NO_THROW(CherryClock(1, 2));
+  EXPECT_THROW(CherryClock(0, 12), std::invalid_argument);
+  EXPECT_THROW(CherryClock(5, 1), std::invalid_argument);
+}
+
+TEST(CherryClockTest, MembershipSets) {
+  const CherryClock x = fig1();
+  EXPECT_TRUE(x.contains(-5));
+  EXPECT_TRUE(x.contains(0));
+  EXPECT_TRUE(x.contains(11));
+  EXPECT_FALSE(x.contains(-6));
+  EXPECT_FALSE(x.contains(12));
+
+  EXPECT_TRUE(x.in_init(-5));
+  EXPECT_TRUE(x.in_init(0));
+  EXPECT_FALSE(x.in_init(1));
+  EXPECT_TRUE(x.in_init_star(-1));
+  EXPECT_FALSE(x.in_init_star(0));
+
+  EXPECT_TRUE(x.in_stab(0));
+  EXPECT_TRUE(x.in_stab(11));
+  EXPECT_FALSE(x.in_stab(-1));
+  EXPECT_TRUE(x.in_stab_star(1));
+  EXPECT_FALSE(x.in_stab_star(0));
+}
+
+TEST(CherryClockTest, Figure1HasSeventeenValues) {
+  const auto vals = fig1().all_values();
+  EXPECT_EQ(vals.size(), 17u);  // tail -5..-1 plus ring 0..11
+  EXPECT_EQ(vals.front(), -5);
+  EXPECT_EQ(vals.back(), 11);
+}
+
+TEST(CherryClockTest, IncrementClimbsTailThenRing) {
+  const CherryClock x = fig1();
+  // Tail: -5 -> -4 -> .. -> 0.
+  EXPECT_EQ(x.increment(-5), -4);
+  EXPECT_EQ(x.increment(-1), 0);
+  // Ring: 0 -> 1 -> .. -> 11 -> 0.
+  EXPECT_EQ(x.increment(0), 1);
+  EXPECT_EQ(x.increment(10), 11);
+  EXPECT_EQ(x.increment(11), 0);
+}
+
+TEST(CherryClockTest, IncrementOutOfRangeThrows) {
+  EXPECT_THROW((void)fig1().increment(12), std::out_of_range);
+  EXPECT_THROW((void)fig1().increment(-6), std::out_of_range);
+}
+
+TEST(CherryClockTest, IncrementOrbitVisitsEveryValueOnce) {
+  const CherryClock x = fig1();
+  // Starting at -alpha, after alpha increments we reach 0 and then orbit
+  // the ring forever.
+  ClockValue c = -5;
+  for (int i = 0; i < 5; ++i) c = x.increment(c);
+  EXPECT_EQ(c, 0);
+  for (int lap = 0; lap < 2; ++lap) {
+    for (int i = 0; i < 12; ++i) c = x.increment(c);
+    EXPECT_EQ(c, 0);
+  }
+}
+
+TEST(CherryClockTest, ResetValue) {
+  EXPECT_EQ(fig1().reset_value(), -5);
+}
+
+TEST(CherryClockTest, RingProjection) {
+  const CherryClock x = fig1();
+  EXPECT_EQ(x.ring_projection(0), 0);
+  EXPECT_EQ(x.ring_projection(13), 1);
+  EXPECT_EQ(x.ring_projection(-1), 11);
+  EXPECT_EQ(x.ring_projection(-13), 11);
+}
+
+TEST(CherryClockTest, RingDistanceIsMetricOnRing) {
+  const CherryClock x = fig1();
+  EXPECT_EQ(x.ring_distance(0, 0), 0);
+  EXPECT_EQ(x.ring_distance(0, 1), 1);
+  EXPECT_EQ(x.ring_distance(0, 11), 1);  // wraparound
+  EXPECT_EQ(x.ring_distance(0, 6), 6);   // antipodal
+  EXPECT_EQ(x.ring_distance(3, 9), 6);
+  // Symmetry and triangle inequality on all ring pairs.
+  for (ClockValue a = 0; a < 12; ++a) {
+    for (ClockValue b = 0; b < 12; ++b) {
+      EXPECT_EQ(x.ring_distance(a, b), x.ring_distance(b, a));
+      for (ClockValue c = 0; c < 12; ++c) {
+        EXPECT_LE(x.ring_distance(a, c),
+                  x.ring_distance(a, b) + x.ring_distance(b, c));
+      }
+    }
+  }
+}
+
+TEST(CherryClockTest, LocalComparability) {
+  const CherryClock x = fig1();
+  EXPECT_TRUE(x.locally_comparable(4, 5));
+  EXPECT_TRUE(x.locally_comparable(5, 4));
+  EXPECT_TRUE(x.locally_comparable(11, 0));
+  EXPECT_TRUE(x.locally_comparable(7, 7));
+  EXPECT_FALSE(x.locally_comparable(4, 6));
+  EXPECT_FALSE(x.locally_comparable(0, 6));
+}
+
+TEST(CherryClockTest, LeLocalIsAtMostOneAhead) {
+  const CherryClock x = fig1();
+  EXPECT_TRUE(x.le_local(4, 4));
+  EXPECT_TRUE(x.le_local(4, 5));
+  EXPECT_FALSE(x.le_local(5, 4));
+  EXPECT_TRUE(x.le_local(11, 0));   // 0 is one ahead of 11
+  EXPECT_FALSE(x.le_local(0, 11));  // 11 is one behind 0
+  EXPECT_FALSE(x.le_local(4, 6));
+}
+
+TEST(CherryClockTest, LeLocalIsNotAnOrder) {
+  // The paper notes <=_l is not an order: it is not transitive on the
+  // ring (0 <=_l 1, 1 <=_l 2 but the chain wraps: 11 <=_l 0 and
+  // 0 <=_l 1 yet not 11 <=_l 1).
+  const CherryClock x = fig1();
+  EXPECT_TRUE(x.le_local(11, 0));
+  EXPECT_TRUE(x.le_local(0, 1));
+  EXPECT_FALSE(x.le_local(11, 1));
+}
+
+TEST(CherryClockTest, LeInitIsTotalOrderOnInit) {
+  const CherryClock x = fig1();
+  EXPECT_TRUE(x.le_init(-5, -2));
+  EXPECT_TRUE(x.le_init(-2, -2));
+  EXPECT_FALSE(x.le_init(-1, -2));
+  EXPECT_TRUE(x.le_init(-1, 0));
+  EXPECT_THROW((void)x.le_init(-1, 3), std::invalid_argument);
+}
+
+TEST(CherryClockTest, Describe) {
+  EXPECT_EQ(fig1().describe(), "cherry(alpha=5, K=12)");
+}
+
+}  // namespace
+}  // namespace specstab

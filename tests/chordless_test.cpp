@@ -1,0 +1,118 @@
+// Unit tests for hole(g) and lcp(g) (the unison parameter constraints
+// alpha >= hole(g) - 2 and the synchronous bound alpha + lcp + diam).
+#include "graph/chordless.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace specstab {
+namespace {
+
+TEST(ChordlessTest, HoleOfRingIsN) {
+  EXPECT_EQ(longest_hole(make_ring(5)), 5);
+  EXPECT_EQ(longest_hole(make_ring(9)), 9);
+  EXPECT_EQ(longest_hole(make_ring(12)), 12);
+}
+
+TEST(ChordlessTest, HoleOfAcyclicIsTwo) {
+  EXPECT_EQ(longest_hole(make_path(7)), 2);
+  EXPECT_EQ(longest_hole(make_star(6)), 2);
+  EXPECT_EQ(longest_hole(make_binary_tree(15)), 2);
+  EXPECT_EQ(longest_hole(Graph(1)), 2);
+}
+
+TEST(ChordlessTest, HoleOfCompleteIsTriangle) {
+  // Every cycle of length >= 4 in K_n has a chord.
+  EXPECT_EQ(longest_hole(make_complete(4)), 3);
+  EXPECT_EQ(longest_hole(make_complete(6)), 3);
+}
+
+TEST(ChordlessTest, HoleOfGridIsUnitSquare) {
+  // Any longer cycle in a grid encloses area and admits a chord path; the
+  // only induced cycles of a 2xK grid are the squares.
+  EXPECT_EQ(longest_hole(make_grid(2, 4)), 4);
+}
+
+TEST(ChordlessTest, LargerGridsHaveLongerHoles) {
+  // The 8-vertex boundary of a 3x3 grid is an induced cycle: the centre
+  // is not on it, and no two non-consecutive boundary vertices are
+  // adjacent.
+  EXPECT_EQ(longest_hole(make_grid(3, 3)), 8);
+}
+
+TEST(ChordlessTest, HoleOfPetersenIsSix) {
+  // Petersen: girth 5, longest induced cycle 6.
+  EXPECT_EQ(longest_hole(make_petersen()), 6);
+}
+
+TEST(ChordlessTest, HoleOfWheelIsTheRim) {
+  // The rim C_{n-1} is induced (the hub is off-cycle, and rim vertices
+  // carry no chords among themselves).
+  EXPECT_EQ(longest_hole(make_wheel(7)), 6);
+}
+
+TEST(ChordlessTest, HoleOfCompleteBipartiteIsFour) {
+  EXPECT_EQ(longest_hole(make_complete_bipartite(3, 3)), 4);
+}
+
+TEST(ChordlessTest, HoleBoundedByNOnRandomGraphs) {
+  // The paper's slack: hole(g) <= n justifies alpha = n >= hole - 2.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = make_random_connected(10, 0.3, seed);
+    const VertexId h = longest_hole(g);
+    EXPECT_GE(h, 2) << "seed " << seed;
+    EXPECT_LE(h, g.n()) << "seed " << seed;
+  }
+}
+
+TEST(ChordlessTest, LcpOfPath) {
+  // The whole path is chordless: n-1 edges.
+  EXPECT_EQ(longest_chordless_path(make_path(6)), 5);
+  EXPECT_EQ(longest_chordless_path(make_path(1)), 0);
+}
+
+TEST(ChordlessTest, LcpOfRing) {
+  // Dropping one vertex of C_n leaves an induced path with n-2 edges.
+  EXPECT_EQ(longest_chordless_path(make_ring(6)), 4);
+  EXPECT_EQ(longest_chordless_path(make_ring(9)), 7);
+}
+
+TEST(ChordlessTest, LcpOfComplete) {
+  // Any two-edge path in K_n has its endpoints adjacent.
+  EXPECT_EQ(longest_chordless_path(make_complete(5)), 1);
+}
+
+TEST(ChordlessTest, LcpOfStar) {
+  // leaf - hub - leaf.
+  EXPECT_EQ(longest_chordless_path(make_star(6)), 2);
+}
+
+TEST(ChordlessTest, LcpBoundedByN) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Graph g = make_random_connected(10, 0.3, seed);
+    const VertexId l = longest_chordless_path(g);
+    EXPECT_GE(l, 1) << "seed " << seed;
+    EXPECT_LE(l, g.n() - 1) << "seed " << seed;
+  }
+}
+
+TEST(ChordlessTest, LcpAtLeastDiameter) {
+  // A shortest path is always induced, so lcp >= diam.
+  for (const Graph& g : {make_grid(3, 4), make_petersen(), make_ring(10),
+                         make_binary_tree(15)}) {
+    EXPECT_GE(longest_chordless_path(g), diameter(g));
+  }
+}
+
+TEST(ChordlessTest, HoleAtLeastGirthWhenCyclic) {
+  // The shortest cycle is chordless, so hole >= girth for cyclic graphs.
+  for (const Graph& g :
+       {make_ring(7), make_grid(3, 3), make_petersen(), make_complete(5)}) {
+    EXPECT_GE(longest_hole(g), girth(g));
+  }
+}
+
+}  // namespace
+}  // namespace specstab

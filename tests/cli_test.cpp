@@ -1,0 +1,195 @@
+// Tests for the CLI module: every subcommand, parser errors, exit codes.
+#include "cli/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/io.hpp"
+#include "graph/generators.hpp"
+
+namespace specstab::cli {
+namespace {
+
+TEST(CliTest, NoArgsPrintsUsageAndFails) {
+  const auto res = run_cli({});
+  EXPECT_EQ(res.exit_code, 1);
+  EXPECT_NE(res.output.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, HelpPrintsUsageAndSucceeds) {
+  const auto res = run_cli({"help"});
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_NE(res.output.find("subcommands:"), std::string::npos);
+}
+
+TEST(CliTest, UnknownSubcommandFails) {
+  const auto res = run_cli({"frobnicate"});
+  EXPECT_EQ(res.exit_code, 1);
+  EXPECT_NE(res.output.find("unknown subcommand"), std::string::npos);
+}
+
+TEST(CliTest, TopologiesListsFamilies) {
+  const auto res = run_cli({"topologies"});
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_NE(res.output.find("ring N"), std::string::npos);
+  EXPECT_NE(res.output.find("file PATH"), std::string::npos);
+}
+
+TEST(CliTest, DaemonsListsNames) {
+  const auto res = run_cli({"daemons"});
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_NE(res.output.find("synchronous"), std::string::npos);
+  EXPECT_NE(res.output.find("bernoulli-<p>"), std::string::npos);
+}
+
+TEST(CliTest, ParamsOnRing) {
+  const auto res = run_cli({"params", "ring", "8"});
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_NE(res.output.find("n = 8"), std::string::npos);
+  EXPECT_NE(res.output.find("diam = 4"), std::string::npos);
+  EXPECT_NE(res.output.find("Theorem 2"), std::string::npos);
+}
+
+TEST(CliTest, ParamsMissingArgFails) {
+  const auto res = run_cli({"params", "ring"});
+  EXPECT_EQ(res.exit_code, 1);
+  EXPECT_NE(res.output.find("error:"), std::string::npos);
+}
+
+TEST(CliTest, ParamsUnknownFamilyFails) {
+  const auto res = run_cli({"params", "dodecahedron", "5"});
+  EXPECT_EQ(res.exit_code, 1);
+  EXPECT_NE(res.output.find("unknown family"), std::string::npos);
+}
+
+TEST(CliTest, GraphEmitsEdgeList) {
+  const auto res = run_cli({"graph", "path", "3"});
+  EXPECT_EQ(res.exit_code, 0);
+  const Graph g = from_edge_list(res.output);
+  EXPECT_EQ(g.n(), 3);
+  EXPECT_EQ(g.m(), 2);
+}
+
+TEST(CliTest, GraphDotOutput) {
+  const auto res = run_cli({"graph", "ring", "4", "--dot"});
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_NE(res.output.find("graph"), std::string::npos);
+  EXPECT_NE(res.output.find("--"), std::string::npos);
+}
+
+TEST(CliTest, RunConvergesOnSmallRing) {
+  const auto res = run_cli({"run", "ring", "6", "--seed", "7"});
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_NE(res.output.find("Gamma_1 entry:"), std::string::npos);
+  EXPECT_NE(res.output.find("daemon:        synchronous"),
+            std::string::npos);
+}
+
+TEST(CliTest, RunAcceptsEveryListedDaemon) {
+  for (const std::string name :
+       {"synchronous", "central-rr", "central-random", "central-min-id",
+        "central-max-id", "random-subset", "locally-central",
+        "bernoulli-0.5"}) {
+    const auto res = run_cli({"run", "ring", "5", "--daemon", name});
+    EXPECT_EQ(res.exit_code, 0) << name << "\n" << res.output;
+  }
+}
+
+TEST(CliTest, RunUnknownDaemonFails) {
+  const auto res = run_cli({"run", "ring", "5", "--daemon", "maxwells"});
+  EXPECT_EQ(res.exit_code, 1);
+  EXPECT_NE(res.output.find("unknown daemon"), std::string::npos);
+}
+
+TEST(CliTest, RunBadBernoulliProbabilityFails) {
+  const auto res = run_cli({"run", "ring", "5", "--daemon", "bernoulli-1.5"});
+  EXPECT_EQ(res.exit_code, 1);
+}
+
+TEST(CliTest, WitnessShowsDoublePrivilege) {
+  const auto res = run_cli({"witness", "path", "6"});
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_NE(res.output.find("double privilege"), std::string::npos);
+  EXPECT_NE(res.output.find("Theorem 2 bound"), std::string::npos);
+}
+
+TEST(CliTest, SpeculateVerdictOnRing) {
+  const auto res =
+      run_cli({"speculate", "ring", "6", "--configs", "4", "--seed", "3"});
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("speculatively stabilizing"), std::string::npos);
+}
+
+TEST(CliTest, FileFamilyRoundTrip) {
+  const std::string path = "cli_test_graph.txt";
+  {
+    std::ofstream out(path);
+    out << to_edge_list(make_ring(5));
+  }
+  const auto res = run_cli({"params", "file", path});
+  std::remove(path.c_str());
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("n = 5"), std::string::npos);
+}
+
+TEST(CliTest, FileFamilyMissingFileFails) {
+  const auto res = run_cli({"params", "file", "/nonexistent/nope.txt"});
+  EXPECT_EQ(res.exit_code, 1);
+  EXPECT_NE(res.output.find("cannot open"), std::string::npos);
+}
+
+TEST(CliTest, ElectRunsLeaderElection) {
+  const auto res = run_cli({"elect", "grid", "3", "3", "--seed", "4"});
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("leader:     identity 0"), std::string::npos);
+  EXPECT_NE(res.output.find("elected:    yes"), std::string::npos);
+}
+
+TEST(CliTest, ElectWorksUnderCentralDaemon) {
+  const auto res =
+      run_cli({"elect", "ring", "7", "--daemon", "central-random"});
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("terminated: yes"), std::string::npos);
+}
+
+TEST(CliTest, ColorRunsColoring) {
+  const auto res = run_cli({"color", "random", "12", "0.3", "9"});
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("final:      0 monochromatic edges"),
+            std::string::npos);
+}
+
+TEST(CliTest, UsageMentionsExtensionSubcommands) {
+  const auto res = run_cli({"help"});
+  EXPECT_NE(res.output.find("elect"), std::string::npos);
+  EXPECT_NE(res.output.find("color"), std::string::npos);
+}
+
+TEST(CliTest, UnknownOptionFails) {
+  const auto res = run_cli({"run", "ring", "5", "--frobnicate", "1"});
+  EXPECT_EQ(res.exit_code, 1);
+  EXPECT_NE(res.output.find("unknown option"), std::string::npos);
+}
+
+TEST(CliTest, GraphFromSpecAdvancesPosition) {
+  std::size_t pos = 0;
+  const std::vector<std::string> args = {"grid", "3", "4", "--dot"};
+  const Graph g = graph_from_spec(args, pos);
+  EXPECT_EQ(g.n(), 12);
+  EXPECT_EQ(pos, 3u);
+}
+
+TEST(CliTest, DaemonFactoryNamesMatchRegistry) {
+  // Every concrete name in known_daemons() must be constructible (the
+  // bernoulli entry is a template the tests instantiate at 0.25).
+  for (const auto& name : known_daemons()) {
+    const std::string concrete =
+        name == "bernoulli-<p>" ? "bernoulli-0.25" : name;
+    EXPECT_NO_THROW({ auto d = daemon_by_name(concrete, 1); }) << concrete;
+  }
+}
+
+}  // namespace
+}  // namespace specstab::cli

@@ -1,0 +1,159 @@
+// Tests for the self-stabilizing (Delta+1)-coloring extension: seniority
+// convergence under every daemon, silence, palette validation.
+#include "extensions/coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/speculation.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+
+namespace specstab {
+namespace {
+
+static_assert(ProtocolConcept<ColoringProtocol>,
+              "coloring must satisfy ProtocolConcept");
+
+std::function<bool(const Graph&, const Config<std::int32_t>&)> legit_of(
+    const ColoringProtocol& proto) {
+  return [&proto](const Graph& g, const Config<std::int32_t>& c) {
+    return proto.legitimate(g, c);
+  };
+}
+
+TEST(ColoringTest, PaletteMustExceedMaxDegree) {
+  const Graph g = make_star(6);  // center degree 5
+  EXPECT_THROW(ColoringProtocol(g, 5), std::invalid_argument);
+  EXPECT_NO_THROW(ColoringProtocol(g, 6));
+  EXPECT_EQ(ColoringProtocol(g).palette_size(), 6);
+}
+
+TEST(ColoringTest, ProperColoringIsTerminal) {
+  const Graph g = make_ring(8);
+  const ColoringProtocol proto(g);
+  Config<std::int32_t> proper(8);
+  for (VertexId v = 0; v < 8; ++v) proper[static_cast<std::size_t>(v)] = v % 2;
+  EXPECT_TRUE(proto.legitimate(g, proper));
+  EXPECT_TRUE(is_terminal(g, proto, proper));
+}
+
+TEST(ColoringTest, MonochromeHasAllEdgesConflicting) {
+  const Graph g = make_complete(5);
+  const ColoringProtocol proto(g);
+  EXPECT_EQ(proto.conflict_count(g, monochrome_config(g, 0)), g.m());
+}
+
+TEST(ColoringTest, SeniorEndpointNeverYields) {
+  const Graph g = make_path(2);
+  const ColoringProtocol proto(g);
+  const auto cfg = monochrome_config(g, 0);
+  EXPECT_TRUE(proto.enabled(g, cfg, 0));    // junior yields
+  EXPECT_FALSE(proto.enabled(g, cfg, 1));   // senior holds
+  EXPECT_EQ(proto.rule_name(g, cfg, 0), "YIELD");
+}
+
+TEST(ColoringTest, OutOfPaletteTriggersRepair) {
+  const Graph g = make_ring(4);
+  const ColoringProtocol proto(g);
+  Config<std::int32_t> cfg = {0, 1, 0, -7};
+  EXPECT_TRUE(proto.enabled(g, cfg, 3));
+  EXPECT_EQ(proto.rule_name(g, cfg, 3), "REPAIR");
+  const auto next = proto.apply(g, cfg, 3);
+  EXPECT_GE(next, 0);
+  EXPECT_LT(next, proto.palette_size());
+  EXPECT_NE(next, cfg[0]);  // avoids both neighbours (vertices 0 and 2)
+  EXPECT_NE(next, cfg[2]);
+}
+
+TEST(ColoringTest, ConvergesFromMonochromeUnderSynchronousDaemon) {
+  for (const auto& g : {make_ring(9), make_complete(6), make_grid(4, 4),
+                        make_random_connected(15, 0.3, 2)}) {
+    const ColoringProtocol proto(g);
+    SynchronousDaemon d;
+    RunOptions opt;
+    opt.max_steps = 50 * g.n();
+    const auto res = run_execution(g, proto, d, monochrome_config(g, 0), opt,
+                                   legit_of(proto));
+    ASSERT_TRUE(res.terminated);
+    EXPECT_TRUE(proto.legitimate(g, res.final_config));
+  }
+}
+
+TEST(ColoringTest, ConvergesFromRandomCorruptionUnderSynchronousDaemon) {
+  const Graph g = make_random_connected(20, 0.2, 4);
+  const ColoringProtocol proto(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 100 * g.n();
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto init = random_coloring_config(g, proto.palette_size(), seed);
+    const auto res = run_execution(g, proto, d, init, opt, legit_of(proto));
+    ASSERT_TRUE(res.terminated) << seed;
+    EXPECT_TRUE(proto.legitimate(g, res.final_config)) << seed;
+  }
+}
+
+TEST(ColoringTest, ConvergesUnderFullAdversaryPortfolio) {
+  const Graph g = make_grid(3, 4);
+  const ColoringProtocol proto(g);
+  auto portfolio = AdversaryPortfolio::standard(0xc01);
+  RunOptions opt;
+  opt.max_steps = 500 * g.n();
+  std::vector<Config<std::int32_t>> inits = {monochrome_config(g, 0)};
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    inits.push_back(random_coloring_config(g, proto.palette_size(), seed));
+  }
+  const auto pm =
+      measure_portfolio(g, proto, portfolio, inits, legit_of(proto), opt);
+  EXPECT_TRUE(pm.all_converged);
+}
+
+TEST(ColoringTest, UsesAtMostMaxDegreePlusOneColors) {
+  const Graph g = make_binary_tree(31);  // max degree 3
+  const ColoringProtocol proto(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 100 * g.n();
+  const auto res = run_execution(g, proto, d, monochrome_config(g, 2), opt,
+                                 legit_of(proto));
+  ASSERT_TRUE(res.terminated);
+  for (const auto c : res.final_config) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 4);
+  }
+}
+
+// Property sweep: conflict count at termination is zero on every family
+// and every seed; moves stay within the O(n * palette) envelope.
+struct ColoringCase {
+  const char* family;
+  Graph graph;
+};
+
+class ColoringSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColoringSweep, TerminatesProperlyColored) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Graph g = make_random_connected(12 + (GetParam() % 3) * 4, 0.25,
+                                        seed * 31 + 1);
+  const ColoringProtocol proto(g);
+  CentralRandomDaemon d(seed);
+  RunOptions opt;
+  opt.max_steps = 2000 * g.n();
+  const auto init = random_coloring_config(g, proto.palette_size(), seed);
+  const auto res = run_execution(g, proto, d, init, opt, legit_of(proto));
+  ASSERT_TRUE(res.terminated);
+  EXPECT_EQ(proto.conflict_count(g, res.final_config), 0);
+  // Seniority recursion envelope: total moves within n^2 (each vertex
+  // yields at most once per senior-neighbour move, 1 + n-v on a chain).
+  EXPECT_LE(res.moves, static_cast<std::int64_t>(g.n()) * g.n());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, ColoringSweep,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace specstab

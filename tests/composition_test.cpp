@@ -1,0 +1,172 @@
+// Tests for collateral composition and the multi-daemon Definition-4
+// extension (the paper's Section 6 perspectives).
+#include "core/composition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "baselines/min_plus_one.hpp"
+#include "core/adversarial_configs.hpp"
+#include "core/ssme.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "sim/protocol.hpp"
+
+namespace specstab {
+namespace {
+
+using Composed = CollateralComposition<SsmeProtocol, MinPlusOneProtocol>;
+static_assert(ProtocolConcept<Composed>,
+              "composition must satisfy ProtocolConcept");
+
+struct Fixture {
+  Graph g = make_grid(3, 3);
+  SsmeProtocol ssme = SsmeProtocol::for_graph(g);
+  MinPlusOneProtocol bfs{g};
+  Composed composed{SsmeProtocol::for_graph(g), MinPlusOneProtocol{g}};
+};
+
+TEST(CompositionTest, ProjectionRoundTrip) {
+  Fixture f;
+  const auto c1 = random_config(f.g, f.ssme.clock(), 4);
+  Config<MinPlusOneProtocol::State> c2(static_cast<std::size_t>(f.g.n()), 3);
+  const auto combined = Composed::combine(c1, c2);
+  EXPECT_EQ(Composed::project_first(combined), c1);
+  EXPECT_EQ(Composed::project_second(combined), c2);
+}
+
+TEST(CompositionTest, EnabledIsUnionOfComponents) {
+  Fixture f;
+  const auto c1 = zero_config(f.g);                       // unison: all enabled
+  const auto c2 = f.bfs.exact_levels();                   // bfs: silent
+  const auto combined = Composed::combine(c1, c2);
+  for (VertexId v = 0; v < f.g.n(); ++v) {
+    EXPECT_EQ(f.composed.enabled(f.g, combined, v),
+              f.ssme.enabled(f.g, c1, v));
+  }
+}
+
+TEST(CompositionTest, ApplyAdvancesOnlyEnabledComponents) {
+  Fixture f;
+  const auto c1 = zero_config(f.g);
+  const auto c2 = f.bfs.exact_levels();
+  const auto combined = Composed::combine(c1, c2);
+  for (VertexId v = 0; v < f.g.n(); ++v) {
+    if (!f.composed.enabled(f.g, combined, v)) continue;
+    const auto next = f.composed.apply(f.g, combined, v);
+    EXPECT_EQ(next.first, f.ssme.apply(f.g, c1, v));   // unison ticked
+    EXPECT_EQ(next.second,
+              combined[static_cast<std::size_t>(v)].second);  // bfs silent
+  }
+}
+
+TEST(CompositionTest, BothComponentsStabilizeTogether) {
+  Fixture f;
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 4 * f.ssme.params().k;
+  opt.steps_after_convergence = 0;
+
+  // Both components corrupted.
+  auto init = Composed::combine(
+      random_config(f.g, f.ssme.clock(), 11),
+      Config<MinPlusOneProtocol::State>(static_cast<std::size_t>(f.g.n()),
+                                        7));
+  const std::function<bool(const Graph&, const Config<Composed::State>&)>
+      both_legit = [&f](const Graph& g, const Config<Composed::State>& cfg) {
+        return f.ssme.legitimate(g, Composed::project_first(cfg)) &&
+               f.bfs.legitimate(g, Composed::project_second(cfg));
+      };
+  const auto res =
+      run_execution(f.g, f.composed, d, init, opt, both_legit);
+  ASSERT_TRUE(res.converged());
+  EXPECT_EQ(Composed::project_second(res.final_config), f.bfs.exact_levels());
+  EXPECT_TRUE(
+      f.ssme.legitimate(f.g, Composed::project_first(res.final_config)));
+}
+
+TEST(CompositionTest, CompositionPreservesTheorem2Bound) {
+  // The speculative profile survives composition: safety of the SSME
+  // component still stabilizes within ceil(diam/2) under sd.
+  Fixture f;
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 3 * f.ssme.params().k;
+  const std::function<bool(const Graph&, const Config<Composed::State>&)>
+      ssme_safe = [&f](const Graph& g, const Config<Composed::State>& cfg) {
+        return f.ssme.mutex_safe(g, Composed::project_first(cfg));
+      };
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto init = Composed::combine(
+        seed % 2 == 0 ? two_gradient_config(f.g, f.ssme)
+                      : random_config(f.g, f.ssme.clock(), seed),
+        Config<MinPlusOneProtocol::State>(static_cast<std::size_t>(f.g.n()),
+                                          static_cast<int>(seed % 5)));
+    const auto res = run_execution(f.g, f.composed, d, init, opt, ssme_safe);
+    ASSERT_TRUE(res.converged()) << seed;
+    EXPECT_LE(res.convergence_steps(), ssme_sync_bound(f.ssme.params().diam))
+        << seed;
+  }
+}
+
+TEST(MultiSpeculationTest, ChainVerdictOverThreeDaemons) {
+  const Graph g = make_ring(6);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon sd;
+  DistributedBernoulliDaemon half(0.5, 3);
+  CentralRoundRobinDaemon rr;
+
+  const double ud_bound = static_cast<double>(
+      ssme_ud_bound(proto.params().n, proto.params().diam));
+  std::vector<SpeculationChainEntry> chain = {
+      {&sd, static_cast<double>(ssme_sync_bound(proto.params().diam))},
+      {&half, ud_bound},
+      {&rr, ud_bound},
+  };
+  RunOptions opt;
+  opt.max_steps = 100000;
+  // NOTE: no steps_after_convergence early-out here — mutex safety is not
+  // a closed predicate, so the run must continue to catch late
+  // violations.
+
+  // spec_ME safety as legitimacy for the sync row is the Theorem 2 claim;
+  // use Gamma_1 for the asynchronous rows' bound (Theorem 3).  Here we
+  // simply use safety for all three: the ud bound dominates both.
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> safe =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.mutex_safe(gg, c);
+      };
+  auto inits = random_configs(g, proto.clock(), 3, 8);
+  inits.push_back(two_gradient_config(g, proto));
+  const auto report =
+      multi_speculative_verdict(g, proto, chain, inits, safe, opt);
+  ASSERT_EQ(report.rows.size(), 3u);
+  EXPECT_TRUE(report.all_within_bounds());
+  EXPECT_EQ(report.rows[0].daemon, "synchronous");
+  // The synchronous row obeys the much tighter Theorem 2 bound.  (No
+  // ordering claim against the other rows: a weaker daemon can avoid
+  // violating safety altogether, yielding measured = 0.)
+  EXPECT_LE(report.rows[0].measured, ssme_sync_bound(proto.params().diam));
+}
+
+TEST(MultiSpeculationTest, ViolatedBoundIsReported) {
+  const Graph g = make_ring(6);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon sd;
+  std::vector<SpeculationChainEntry> chain = {{&sd, 0.0}};  // absurd bound
+  RunOptions opt;
+  opt.max_steps = 10000;
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> safe =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.mutex_safe(gg, c);
+      };
+  const auto report = multi_speculative_verdict(
+      g, proto, chain, {two_gradient_config(g, proto)}, safe, opt);
+  EXPECT_FALSE(report.all_within_bounds());
+  EXPECT_FALSE(report.rows[0].within_bound);
+  EXPECT_TRUE(report.rows[0].converged);
+}
+
+}  // namespace
+}  // namespace specstab

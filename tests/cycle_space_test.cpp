@@ -1,0 +1,98 @@
+// Unit tests for the minimum cycle basis and cyclo(g) (unison parameter
+// constraint K > cyclo(g)).
+#include "graph/cycle_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace specstab {
+namespace {
+
+TEST(CycleSpaceTest, TreeHasEmptyBasisAndCycloTwo) {
+  EXPECT_TRUE(minimum_cycle_basis(make_path(6)).empty());
+  EXPECT_TRUE(minimum_cycle_basis(make_star(5)).empty());
+  EXPECT_EQ(cyclomatic_characteristic(make_path(6)), 2);
+  EXPECT_EQ(cyclomatic_characteristic(make_binary_tree(15)), 2);
+}
+
+TEST(CycleSpaceTest, RingBasisIsTheRing) {
+  const Graph g = make_ring(9);
+  const auto basis = minimum_cycle_basis(g);
+  ASSERT_EQ(basis.size(), 1u);
+  EXPECT_EQ(basis[0].length, 9);
+  EXPECT_EQ(basis[0].edge_indices.size(), 9u);
+  EXPECT_EQ(cyclomatic_characteristic(g), 9);
+}
+
+TEST(CycleSpaceTest, CompleteGraphBasisIsTriangles) {
+  const Graph g = make_complete(5);
+  const auto basis = minimum_cycle_basis(g);
+  ASSERT_EQ(static_cast<std::int64_t>(basis.size()),
+            cycle_space_dimension(g));
+  for (const auto& c : basis) EXPECT_EQ(c.length, 3);
+  EXPECT_EQ(cyclomatic_characteristic(g), 3);
+}
+
+TEST(CycleSpaceTest, GridBasisIsUnitSquares) {
+  const Graph g = make_grid(3, 4);
+  const auto basis = minimum_cycle_basis(g);
+  ASSERT_EQ(static_cast<std::int64_t>(basis.size()),
+            cycle_space_dimension(g));  // (rows-1)(cols-1) = 6
+  EXPECT_EQ(basis.size(), 6u);
+  for (const auto& c : basis) EXPECT_EQ(c.length, 4);
+  EXPECT_EQ(cyclomatic_characteristic(g), 4);
+}
+
+TEST(CycleSpaceTest, PetersenBasisAllPentagons) {
+  const auto basis = minimum_cycle_basis(make_petersen());
+  ASSERT_EQ(basis.size(), 6u);  // 15 - 10 + 1
+  for (const auto& c : basis) EXPECT_EQ(c.length, 5);
+  EXPECT_EQ(cyclomatic_characteristic(make_petersen()), 5);
+}
+
+TEST(CycleSpaceTest, BasisSizeEqualsDimensionOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = make_random_connected(12, 0.25, seed);
+    const auto basis = minimum_cycle_basis(g);
+    EXPECT_EQ(static_cast<std::int64_t>(basis.size()),
+              cycle_space_dimension(g))
+        << "seed " << seed;
+    for (const auto& c : basis) {
+      EXPECT_GE(c.length, girth(g)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(CycleSpaceTest, CycloBoundedByN) {
+  // The paper relies on cyclo(g) <= n to justify K > n >= cyclo(g).
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Graph g = make_random_connected(11, 0.3, seed);
+    EXPECT_LE(cyclomatic_characteristic(g), g.n()) << "seed " << seed;
+  }
+  EXPECT_LE(cyclomatic_characteristic(make_ring(15)), 15);
+}
+
+TEST(CycleSpaceTest, DisconnectedThrows) {
+  Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(minimum_cycle_basis(g), std::invalid_argument);
+}
+
+TEST(CycleSpaceTest, LollipopMixesTriangleAndNothingLong) {
+  // Lollipop = K4 + path: cyclo is 3 (triangles span the clique cycles).
+  EXPECT_EQ(cyclomatic_characteristic(make_lollipop(4, 3)), 3);
+}
+
+TEST(CycleSpaceTest, TorusBasisSquaresDominate) {
+  const Graph g = make_torus(4, 4);
+  // Almost all basis cycles are unit squares; the two wrap generators are
+  // length-4 as well on a 4x4 torus.
+  const auto basis = minimum_cycle_basis(g);
+  ASSERT_EQ(static_cast<std::int64_t>(basis.size()),
+            cycle_space_dimension(g));
+  EXPECT_EQ(cyclomatic_characteristic(g), 4);
+}
+
+}  // namespace
+}  // namespace specstab

@@ -1,0 +1,149 @@
+// Tests for the extended daemon library: locally central, k-fair,
+// starvation adversary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/adversarial_configs.hpp"
+#include "core/ssme.hpp"
+#include "graph/generators.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+
+namespace specstab {
+namespace {
+
+TEST(LocallyCentralDaemonTest, SelectionIsIndependentSet) {
+  const Graph g = make_ring(8);
+  LocallyCentralDaemon d(42);
+  const std::vector<VertexId> all{0, 1, 2, 3, 4, 5, 6, 7};
+  for (StepIndex i = 0; i < 200; ++i) {
+    const auto sel = d.select(g, all, i);
+    ASSERT_FALSE(sel.empty());
+    EXPECT_TRUE(std::is_sorted(sel.begin(), sel.end()));
+    for (std::size_t a = 0; a < sel.size(); ++a) {
+      for (std::size_t b = a + 1; b < sel.size(); ++b) {
+        EXPECT_FALSE(g.has_edge(sel[a], sel[b]))
+            << sel[a] << "-" << sel[b] << " adjacent";
+      }
+    }
+  }
+}
+
+TEST(LocallyCentralDaemonTest, SelectionIsMaximal) {
+  const Graph g = make_star(6);  // hub 0
+  LocallyCentralDaemon d(7);
+  const std::vector<VertexId> all{0, 1, 2, 3, 4, 5};
+  for (StepIndex i = 0; i < 50; ++i) {
+    const auto sel = d.select(g, all, i);
+    // On a star: either the hub alone or all leaves.
+    if (sel.front() == 0) {
+      EXPECT_EQ(sel.size(), 1u);
+    } else {
+      EXPECT_EQ(sel.size(), 5u);
+    }
+  }
+}
+
+TEST(LocallyCentralDaemonTest, EventuallyServesEveryVertex) {
+  const Graph g = make_ring(6);
+  LocallyCentralDaemon d(3);
+  const std::vector<VertexId> all{0, 1, 2, 3, 4, 5};
+  std::set<VertexId> seen;
+  for (StepIndex i = 0; i < 300; ++i) {
+    for (VertexId v : d.select(g, all, i)) seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(KFairDaemonTest, Validation) {
+  EXPECT_THROW(KFairCentralDaemon(0, 1), std::invalid_argument);
+  EXPECT_NO_THROW(KFairCentralDaemon(1, 1));
+}
+
+TEST(KFairDaemonTest, OneFairIsImmediateService) {
+  // k = 1: a continuously enabled vertex must be served at once, so with
+  // everyone always enabled the oldest-waiting vertex is always chosen —
+  // round-robin-like behaviour where nobody waits two actions.
+  const Graph g = make_ring(4);
+  KFairCentralDaemon d(1, 9);
+  const std::vector<VertexId> all{0, 1, 2, 3};
+  std::vector<StepIndex> last_served(4, -1);
+  for (StepIndex i = 0; i < 100; ++i) {
+    const auto sel = d.select(g, all, i);
+    ASSERT_EQ(sel.size(), 1u);
+    last_served[static_cast<std::size_t>(sel[0])] = i;
+  }
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_GE(last_served[static_cast<std::size_t>(v)], 90) << "v=" << v;
+  }
+}
+
+TEST(KFairDaemonTest, NoVertexWaitsBeyondKWhileEnabled) {
+  const Graph g = make_ring(5);
+  const StepIndex k = 7;
+  KFairCentralDaemon d(k, 123);
+  const std::vector<VertexId> all{0, 1, 2, 3, 4};
+  std::vector<StepIndex> waiting(5, 0);
+  for (StepIndex i = 0; i < 500; ++i) {
+    const auto sel = d.select(g, all, i);
+    for (VertexId v = 0; v < 5; ++v) {
+      if (v == sel[0]) {
+        waiting[static_cast<std::size_t>(v)] = 0;
+      } else {
+        ++waiting[static_cast<std::size_t>(v)];
+        // A vertex can wait while others are overdue, but the backlog is
+        // bounded by k + n.
+        EXPECT_LE(waiting[static_cast<std::size_t>(v)], k + 5) << "v=" << v;
+      }
+    }
+  }
+}
+
+TEST(StarvationDaemonTest, VictimOnlyServedWhenAlone) {
+  const Graph g = make_ring(4);
+  StarvationDaemon d(2);
+  EXPECT_EQ(d.select(g, {0, 2, 3}, 0), (std::vector<VertexId>{0}));
+  EXPECT_EQ(d.select(g, {2, 3}, 0), (std::vector<VertexId>{3}));
+  EXPECT_EQ(d.select(g, {2}, 0), (std::vector<VertexId>{2}));
+  EXPECT_EQ(d.name(), "starvation(victim=2)");
+}
+
+TEST(StarvationDaemonTest, SsmeStabilizesDespiteStarvation) {
+  // SSME under a starvation adversary: the victim's neighbours cannot run
+  // away (drift bound), so the system still reaches Gamma_1 — the unfair
+  // daemon cannot prevent convergence, only delay service.
+  const Graph g = make_ring(5);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  StarvationDaemon d(3);
+  RunOptions opt;
+  opt.max_steps = 100000;
+  opt.steps_after_convergence = 0;
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> legit =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      };
+  const auto res = run_execution(
+      g, proto, d, random_config(g, proto.clock(), 17), opt, legit);
+  EXPECT_TRUE(res.converged());
+}
+
+TEST(LocallyCentralDaemonTest, SsmeStabilizesUnderLocallyCentral) {
+  const Graph g = make_grid(3, 3);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  LocallyCentralDaemon d(77);
+  RunOptions opt;
+  opt.max_steps = 200000;
+  opt.steps_after_convergence = 0;
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> legit =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      };
+  const auto res = run_execution(
+      g, proto, d, random_config(g, proto.clock(), 5), opt, legit);
+  EXPECT_TRUE(res.converged());
+}
+
+}  // namespace
+}  // namespace specstab

@@ -1,0 +1,174 @@
+// Tests for Dijkstra's K-state token ring (the paper's baseline).
+#include "baselines/dijkstra_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+
+namespace specstab {
+namespace {
+
+using DState = DijkstraRingProtocol::State;
+using Legit = std::function<bool(const Graph&, const Config<DState>&)>;
+
+Legit single_token(const DijkstraRingProtocol& proto) {
+  return [&proto](const Graph& g, const Config<DState>& cfg) {
+    return proto.legitimate(g, cfg);
+  };
+}
+
+TEST(DijkstraRingTest, ConstructionValidation) {
+  EXPECT_THROW(DijkstraRingProtocol(1, 5), std::invalid_argument);
+  EXPECT_THROW(DijkstraRingProtocol(5, 4), std::invalid_argument);
+  EXPECT_NO_THROW(DijkstraRingProtocol(5, 5));
+}
+
+TEST(DijkstraRingTest, BottomEnabledOnEqualOthersOnDiffer) {
+  const Graph g = make_ring(4);
+  const DijkstraRingProtocol proto = DijkstraRingProtocol::for_ring(g);
+  // Uniform config: only the bottom machine holds the token.
+  Config<DState> cfg{2, 2, 2, 2};
+  EXPECT_TRUE(proto.enabled(g, cfg, 0));
+  EXPECT_FALSE(proto.enabled(g, cfg, 1));
+  EXPECT_EQ(proto.apply(g, cfg, 0), 3);
+  EXPECT_EQ(proto.rule_name(g, cfg, 0), "BOTTOM");
+  // After the bottom fires, the token moves to vertex 1.
+  cfg = {3, 2, 2, 2};
+  EXPECT_FALSE(proto.enabled(g, cfg, 0));
+  EXPECT_TRUE(proto.enabled(g, cfg, 1));
+  EXPECT_EQ(proto.apply(g, cfg, 1), 3);
+  EXPECT_EQ(proto.rule_name(g, cfg, 1), "COPY");
+}
+
+TEST(DijkstraRingTest, PrivilegeEqualsEnabledness) {
+  const Graph g = make_ring(5);
+  const DijkstraRingProtocol proto = DijkstraRingProtocol::for_ring(g);
+  const Config<DState> cfg{0, 3, 3, 1, 0};
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(proto.privileged(cfg, v), proto.enabled(g, cfg, v));
+  }
+}
+
+TEST(DijkstraRingTest, AtLeastOneTokenAlways) {
+  // Pigeonhole: some vertex is always privileged (no terminal config).
+  const Graph g = make_ring(4);
+  const DijkstraRingProtocol proto = DijkstraRingProtocol::for_ring(g);
+  for (DState a = 0; a < proto.k(); ++a) {
+    for (DState b = 0; b < proto.k(); ++b) {
+      const Config<DState> cfg{a, b, a, b};
+      EXPECT_GE(proto.count_privileged(cfg), 1);
+    }
+  }
+}
+
+TEST(DijkstraRingTest, MaxTokenConfigHasManyTokens) {
+  const Graph g = make_ring(6);
+  const DijkstraRingProtocol proto = DijkstraRingProtocol::for_ring(g);
+  const auto cfg = proto.max_token_config();
+  EXPECT_GE(proto.count_privileged(cfg), proto.n() - 1);
+}
+
+TEST(DijkstraRingTest, StabilizesUnderSynchronousWithinNSteps) {
+  // Section 3: n steps under sd.
+  for (VertexId n : {4, 8, 12, 16}) {
+    const Graph g = make_ring(n);
+    const DijkstraRingProtocol proto = DijkstraRingProtocol::for_ring(g);
+    SynchronousDaemon d;
+    RunOptions opt;
+    opt.max_steps = 4 * n;
+    opt.steps_after_convergence = 0;
+    const auto res = run_execution(g, proto, d, proto.max_token_config(), opt,
+                                   single_token(proto));
+    ASSERT_TRUE(res.converged()) << "n=" << n;
+    EXPECT_LE(res.convergence_steps(), dijkstra_sync_bound(n)) << "n=" << n;
+  }
+}
+
+TEST(DijkstraRingTest, StabilizesUnderCentralSchedules) {
+  const Graph g = make_ring(6);
+  const DijkstraRingProtocol proto = DijkstraRingProtocol::for_ring(g);
+  std::vector<std::unique_ptr<Daemon>> daemons;
+  daemons.push_back(std::make_unique<CentralRoundRobinDaemon>());
+  daemons.push_back(std::make_unique<CentralRandomDaemon>(3));
+  daemons.push_back(std::make_unique<PriorityCentralDaemon>(
+      DijkstraRingProtocol::token_chase_priority(6)));
+  for (auto& d : daemons) {
+    RunOptions opt;
+    opt.max_steps = 10000;
+    opt.steps_after_convergence = 0;
+    const auto res = run_execution(g, proto, *d, proto.max_token_config(),
+                                   opt, single_token(proto));
+    ASSERT_TRUE(res.converged()) << d->name();
+  }
+}
+
+TEST(DijkstraRingTest, SingleTokenIsClosed) {
+  const Graph g = make_ring(5);
+  const DijkstraRingProtocol proto = DijkstraRingProtocol::for_ring(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 60;
+  opt.record_trace = true;
+  const auto res =
+      run_execution(g, proto, d, Config<DState>{2, 2, 2, 2, 2}, opt);
+  for (const auto& cfg : res.trace) {
+    EXPECT_EQ(proto.count_privileged(cfg), 1);
+  }
+}
+
+TEST(DijkstraRingTest, TokenCirculatesFairly) {
+  // From a legitimate configuration every vertex is privileged infinitely
+  // often (round-robin by construction).
+  const Graph g = make_ring(4);
+  const DijkstraRingProtocol proto = DijkstraRingProtocol::for_ring(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 40;
+  std::vector<int> fired(4, 0);
+  const StepObserver<DState> obs = [&](StepIndex, const Config<DState>& cfg,
+                                       const std::vector<VertexId>& act) {
+    for (VertexId v : act) {
+      if (proto.privileged(cfg, v)) ++fired[static_cast<std::size_t>(v)];
+    }
+  };
+  (void)run_execution(g, proto, d, Config<DState>{0, 0, 0, 0}, opt, nullptr,
+                      obs);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_GE(fired[static_cast<std::size_t>(v)], 5) << "v=" << v;
+  }
+}
+
+TEST(DijkstraRingTest, ChasePriorityShape) {
+  const auto p = DijkstraRingProtocol::token_chase_priority(4);
+  EXPECT_EQ(p, (std::vector<VertexId>{3, 2, 1, 0}));
+}
+
+TEST(DijkstraRingTest, QuadraticWorstCaseExceedsSynchronousCost) {
+  // The speculation gap of Section 3 on one instance: the token-chase
+  // central schedule costs ~Theta(n^2) steps, the synchronous daemon ~n.
+  const VertexId n = 12;
+  const Graph g = make_ring(n);
+  const DijkstraRingProtocol proto = DijkstraRingProtocol::for_ring(g);
+  RunOptions opt;
+  opt.max_steps = 100000;
+  opt.steps_after_convergence = 0;
+
+  SynchronousDaemon sd;
+  const auto sync = run_execution(g, proto, sd, proto.max_token_config(), opt,
+                                  single_token(proto));
+  PriorityCentralDaemon chase(DijkstraRingProtocol::token_chase_priority(n));
+  const auto adv = run_execution(g, proto, chase, proto.max_token_config(),
+                                 opt, single_token(proto));
+  ASSERT_TRUE(sync.converged());
+  ASSERT_TRUE(adv.converged());
+  EXPECT_LE(sync.convergence_steps(), n);
+  EXPECT_GT(adv.convergence_steps(), 2 * static_cast<StepIndex>(n));
+}
+
+}  // namespace
+}  // namespace specstab

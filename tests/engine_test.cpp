@@ -1,0 +1,201 @@
+// Unit tests for the execution engine: composite atomicity, metering,
+// legitimacy tracking, stop conditions.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/protocol.hpp"
+
+namespace specstab {
+namespace {
+
+// Toy protocol: every vertex with a positive counter is enabled and
+// decrements.  Terminal iff all zero.  Legitimate iff all <= 1.
+struct CountdownProtocol {
+  using State = int;
+  [[nodiscard]] bool enabled(const Graph&, const Config<State>& cfg,
+                             VertexId v) const {
+    return cfg[static_cast<std::size_t>(v)] > 0;
+  }
+  [[nodiscard]] State apply(const Graph&, const Config<State>& cfg,
+                            VertexId v) const {
+    return cfg[static_cast<std::size_t>(v)] - 1;
+  }
+  [[nodiscard]] std::string_view rule_name(const Graph&, const Config<State>&,
+                                           VertexId) const {
+    return "DEC";
+  }
+};
+static_assert(ProtocolConcept<CountdownProtocol>);
+
+// Toy protocol exercising composite atomicity: every vertex is enabled
+// once and copies its RIGHT neighbour's pre-state on a ring.  Under the
+// synchronous daemon all copies must read the OLD values.
+struct RotateOnceProtocol {
+  using State = int;
+  [[nodiscard]] bool enabled(const Graph&, const Config<State>& cfg,
+                             VertexId v) const {
+    // Enabled while the "generation" low bit marks v unserved.
+    return cfg[static_cast<std::size_t>(v)] >= 0;
+  }
+  [[nodiscard]] State apply(const Graph& g, const Config<State>& cfg,
+                            VertexId v) const {
+    const VertexId right = (v + 1) % g.n();
+    // Copy neighbour's value, then mark negative (served).
+    return -(cfg[static_cast<std::size_t>(right)] + 1);
+  }
+  [[nodiscard]] std::string_view rule_name(const Graph&, const Config<State>&,
+                                           VertexId) const {
+    return "ROT";
+  }
+};
+static_assert(ProtocolConcept<RotateOnceProtocol>);
+
+bool all_at_most_one(const Graph&, const Config<int>& cfg) {
+  for (int s : cfg) {
+    if (s > 1) return false;
+  }
+  return true;
+}
+
+TEST(EngineTest, RunsToTerminalConfiguration) {
+  const Graph g = make_ring(4);
+  CountdownProtocol proto;
+  SynchronousDaemon d;
+  RunOptions opt;
+  const auto res = run_execution(g, proto, d, Config<int>{3, 1, 0, 2}, opt);
+  EXPECT_TRUE(res.terminated);
+  EXPECT_FALSE(res.hit_step_cap);
+  EXPECT_EQ(res.final_config, (Config<int>{0, 0, 0, 0}));
+  EXPECT_EQ(res.steps, 3);   // max initial counter
+  EXPECT_EQ(res.moves, 6);   // 3 + 1 + 0 + 2
+}
+
+TEST(EngineTest, StepCapRespected) {
+  const Graph g = make_ring(4);
+  CountdownProtocol proto;
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 2;
+  const auto res = run_execution(g, proto, d, Config<int>{9, 9, 9, 9}, opt);
+  EXPECT_TRUE(res.hit_step_cap);
+  EXPECT_FALSE(res.terminated);
+  EXPECT_EQ(res.steps, 2);
+  EXPECT_EQ(res.final_config, (Config<int>{7, 7, 7, 7}));
+}
+
+TEST(EngineTest, CompositeAtomicityReadsPreState) {
+  const Graph g = make_ring(3);
+  RotateOnceProtocol proto;
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 1;
+  const auto res = run_execution(g, proto, d, Config<int>{10, 20, 30}, opt);
+  // Every vertex copied its right neighbour's OLD value (then negated).
+  EXPECT_EQ(res.final_config, (Config<int>{-21, -31, -11}));
+}
+
+TEST(EngineTest, LegitimacyFirstAndLastTracked) {
+  const Graph g = make_path(2);
+  CountdownProtocol proto;
+  SynchronousDaemon d;
+  RunOptions opt;
+  const auto res = run_execution(g, proto, d, Config<int>{3, 0}, opt,
+                                 all_at_most_one);
+  // Configs: (3,0) (2,0) (1,0) (0,0): legitimate from index 2 on.
+  EXPECT_TRUE(res.converged());
+  EXPECT_EQ(res.last_illegitimate, 1);
+  EXPECT_EQ(res.first_legitimate, 2);
+  EXPECT_EQ(res.convergence_steps(), 2);
+  EXPECT_EQ(res.moves_to_convergence, 2);
+}
+
+TEST(EngineTest, ImmediatelyLegitimate) {
+  const Graph g = make_path(2);
+  CountdownProtocol proto;
+  SynchronousDaemon d;
+  RunOptions opt;
+  const auto res =
+      run_execution(g, proto, d, Config<int>{1, 1}, opt, all_at_most_one);
+  EXPECT_EQ(res.convergence_steps(), 0);
+  EXPECT_EQ(res.first_legitimate, 0);
+  EXPECT_EQ(res.moves_to_convergence, 0);
+}
+
+TEST(EngineTest, StepsAfterConvergenceStopsEarly) {
+  const Graph g = make_path(2);
+  CountdownProtocol proto;
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 1000;
+  opt.steps_after_convergence = 0;
+  const auto res = run_execution(g, proto, d, Config<int>{100, 1}, opt,
+                                 [](const Graph&, const Config<int>& c) {
+                                   return c[0] <= 50;
+                                 });
+  // Stops as soon as the predicate holds (50 steps in), not at terminal.
+  EXPECT_FALSE(res.terminated);
+  EXPECT_FALSE(res.hit_step_cap);
+  EXPECT_EQ(res.convergence_steps(), 50);
+  EXPECT_EQ(res.steps, 50);
+}
+
+TEST(EngineTest, TraceRecordsEveryConfiguration) {
+  const Graph g = make_path(2);
+  CountdownProtocol proto;
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.record_trace = true;
+  const auto res = run_execution(g, proto, d, Config<int>{2, 1}, opt);
+  ASSERT_EQ(res.trace.size(), 3u);  // gamma_0, gamma_1, gamma_2
+  EXPECT_EQ(res.trace[0], (Config<int>{2, 1}));
+  EXPECT_EQ(res.trace[1], (Config<int>{1, 0}));
+  EXPECT_EQ(res.trace[2], (Config<int>{0, 0}));
+}
+
+TEST(EngineTest, ObserverSeesPreConfigAndActivation) {
+  const Graph g = make_path(2);
+  CountdownProtocol proto;
+  CentralMinIdDaemon d;
+  RunOptions opt;
+  std::vector<std::pair<StepIndex, std::vector<VertexId>>> log;
+  const StepObserver<int> obs = [&](StepIndex i, const Config<int>&,
+                                    const std::vector<VertexId>& act) {
+    log.emplace_back(i, act);
+  };
+  (void)run_execution(g, proto, d, Config<int>{1, 1}, opt, nullptr, obs);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].second, (std::vector<VertexId>{0}));  // min id first
+  EXPECT_EQ(log[1].second, (std::vector<VertexId>{1}));
+}
+
+TEST(EngineTest, CentralDaemonCountsMovesPerAction) {
+  const Graph g = make_ring(4);
+  CountdownProtocol proto;
+  CentralRoundRobinDaemon d;
+  RunOptions opt;
+  const auto res = run_execution(g, proto, d, Config<int>{1, 1, 1, 1}, opt);
+  EXPECT_EQ(res.steps, 4);
+  EXPECT_EQ(res.moves, 4);  // central: one move per step
+  EXPECT_TRUE(res.terminated);
+}
+
+TEST(EngineTest, LegitimacyLossIsReflected) {
+  // Predicate that holds initially and breaks mid-run: first_legitimate
+  // must move past the last violation.
+  const Graph g = make_path(2);
+  CountdownProtocol proto;
+  SynchronousDaemon d;
+  RunOptions opt;
+  const auto res = run_execution(
+      g, proto, d, Config<int>{4, 0}, opt,
+      [](const Graph&, const Config<int>& c) { return c[0] != 2; });
+  // Configs: 4,3,2,1,0 — violation at index 2 only.
+  EXPECT_EQ(res.last_illegitimate, 2);
+  EXPECT_EQ(res.first_legitimate, 3);
+  EXPECT_EQ(res.convergence_steps(), 3);
+}
+
+}  // namespace
+}  // namespace specstab

@@ -1,0 +1,99 @@
+// Cross-topology property sweeps for the Section-6 extension protocols:
+// convergence, silence and spec correctness across every generator family
+// under synchronous and central daemons.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "extensions/coloring.hpp"
+#include "extensions/leader_election.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace specstab {
+namespace {
+
+struct SweepCase {
+  const char* family;
+  Graph graph;
+};
+
+std::vector<SweepCase> families() {
+  return {
+      {"ring", make_ring(10)},
+      {"path", make_path(10)},
+      {"star", make_star(10)},
+      {"complete", make_complete(8)},
+      {"grid", make_grid(3, 4)},
+      {"torus", make_torus(3, 4)},
+      {"hypercube", make_hypercube(3)},
+      {"btree", make_binary_tree(15)},
+      {"wheel", make_wheel(9)},
+      {"petersen", make_petersen()},
+      {"caterpillar", make_caterpillar(5, 2)},
+      {"bipartite", make_complete_bipartite(4, 5)},
+      {"lollipop", make_lollipop(4, 5)},
+      {"random", make_random_connected(14, 0.25, 3)},
+  };
+}
+
+class ExtensionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExtensionSweep, LeaderElectionConvergesOnEveryFamily) {
+  const auto cases = families();
+  const auto& c = cases[static_cast<std::size_t>(GetParam())];
+  const LeaderElectionProtocol proto(c.graph);
+  const std::function<bool(const Graph&, const Config<LeaderState>&)> legit =
+      [&proto](const Graph& g, const Config<LeaderState>& cfg) {
+        return proto.legitimate(g, cfg);
+      };
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    SynchronousDaemon sd;
+    CentralRoundRobinDaemon rr;
+    for (Daemon* d : {static_cast<Daemon*>(&sd), static_cast<Daemon*>(&rr)}) {
+      RunOptions opt;
+      opt.max_steps = 500 * c.graph.n();
+      const auto res = run_execution(c.graph, proto, *d,
+                                     random_leader_config(c.graph, seed), opt,
+                                     legit);
+      ASSERT_TRUE(res.terminated) << c.family << " " << d->name() << " "
+                                  << seed;
+      EXPECT_TRUE(proto.legitimate(c.graph, res.final_config))
+          << c.family << " " << d->name() << " " << seed;
+    }
+  }
+}
+
+TEST_P(ExtensionSweep, ColoringConvergesProperlyOnEveryFamily) {
+  const auto cases = families();
+  const auto& c = cases[static_cast<std::size_t>(GetParam())];
+  const ColoringProtocol proto(c.graph);
+  const std::function<bool(const Graph&, const Config<std::int32_t>&)> legit =
+      [&proto](const Graph& g, const Config<std::int32_t>& cfg) {
+        return proto.legitimate(g, cfg);
+      };
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    SynchronousDaemon sd;
+    CentralRandomDaemon random(seed + 1);
+    for (Daemon* d :
+         {static_cast<Daemon*>(&sd), static_cast<Daemon*>(&random)}) {
+      RunOptions opt;
+      opt.max_steps = 2000 * c.graph.n();
+      const auto init = seed == 0
+                            ? monochrome_config(c.graph, 0)
+                            : random_coloring_config(
+                                  c.graph, proto.palette_size(), seed);
+      const auto res = run_execution(c.graph, proto, *d, init, opt, legit);
+      ASSERT_TRUE(res.terminated) << c.family << " " << d->name() << " "
+                                  << seed;
+      EXPECT_EQ(proto.conflict_count(c.graph, res.final_config), 0)
+          << c.family << " " << d->name() << " " << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ExtensionSweep,
+                         ::testing::Range(0, 14));
+
+}  // namespace
+}  // namespace specstab

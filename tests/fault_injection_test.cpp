@@ -1,0 +1,112 @@
+// Fault-injection tests: transient corruption mid-run followed by
+// re-stabilization — the operational meaning of self-stabilization.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/adversarial_configs.hpp"
+#include "core/ssme.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+
+namespace specstab {
+namespace {
+
+using Legit = std::function<bool(const Graph&, const Config<ClockValue>&)>;
+
+Legit gamma1(const SsmeProtocol& proto) {
+  return [&proto](const Graph& g, const Config<ClockValue>& cfg) {
+    return proto.legitimate(g, cfg);
+  };
+}
+
+// Runs until Gamma_1, injects `victims` corrupted registers, then reruns:
+// the protocol must re-stabilize each time.
+TEST(FaultInjectionTest, RepeatedTransientFaultsAlwaysRecovered) {
+  const Graph g = make_grid(3, 3);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 4000;
+  opt.steps_after_convergence = 20;
+
+  Config<ClockValue> cfg = random_config(g, proto.clock(), 1);
+  for (int wave = 0; wave < 6; ++wave) {
+    const auto res = run_execution(g, proto, d, cfg, opt, gamma1(proto));
+    ASSERT_TRUE(res.converged()) << "wave " << wave;
+    EXPECT_TRUE(proto.legitimate(g, res.final_config));
+    // Corrupt 1..n registers for the next wave.
+    const VertexId victims = 1 + (wave * 2) % g.n();
+    cfg = inject_fault(res.final_config, proto.clock(), victims,
+                       1000u + static_cast<std::uint64_t>(wave));
+  }
+}
+
+TEST(FaultInjectionTest, SingleRegisterFaultHealsQuickly) {
+  // A single corrupted register still obeys the global Theorem 2 bound
+  // for safety, and usually heals much faster.
+  const Graph g = make_ring(10);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+
+  // Converge first.
+  RunOptions opt;
+  opt.max_steps = 4000;
+  opt.steps_after_convergence = 0;
+  const auto clean =
+      run_execution(g, proto, d, random_config(g, proto.clock(), 3), opt,
+                    gamma1(proto));
+  ASSERT_TRUE(clean.converged());
+
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto faulty =
+        inject_fault(clean.final_config, proto.clock(), 1, seed);
+    RunOptions opt2;
+    opt2.max_steps = 4000;
+    opt2.steps_after_convergence = 40;
+    const auto res = run_execution(
+        g, proto, d, faulty, opt2,
+        [&proto](const Graph& gg, const Config<ClockValue>& c) {
+          return proto.mutex_safe(gg, c);
+        });
+    ASSERT_TRUE(res.converged()) << "seed " << seed;
+    EXPECT_LE(res.convergence_steps(), ssme_sync_bound(proto.params().diam))
+        << "seed " << seed;
+  }
+}
+
+TEST(FaultInjectionTest, AdversarialFaultThenAsynchronousRecovery) {
+  const Graph g = make_path(8);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  // The crafted witness IS a worst-case transient fault; recover from it
+  // under an asynchronous daemon.
+  const auto init = two_gradient_config(g, proto);
+  DistributedBernoulliDaemon d(0.5, 77);
+  RunOptions opt;
+  opt.max_steps = 300000;
+  opt.steps_after_convergence = 50;
+  const auto res = run_execution(g, proto, d, init, opt, gamma1(proto));
+  ASSERT_TRUE(res.converged());
+  EXPECT_TRUE(proto.mutex_safe(g, res.final_config));
+}
+
+TEST(FaultInjectionTest, WholeSystemCorruptionIsJustAnotherStart) {
+  // Corrupting all n registers == an arbitrary initial configuration:
+  // convergence must still hold (the defining property).
+  const Graph g = make_binary_tree(7);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 4000;
+  const auto base = zero_config(g);
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto nuked = inject_fault(base, proto.clock(), g.n(), seed);
+    const auto res = run_execution(g, proto, d, nuked, opt, gamma1(proto));
+    ASSERT_TRUE(res.converged()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace specstab

@@ -1,0 +1,230 @@
+// Tests for the generalized SSME parameter space: the paper layout as a
+// special case, the minimal Gamma_1-safe layout, and executable
+// counterexamples for unsafe layouts.
+#include "core/generalized_ssme.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/adversarial_configs.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+#include "unison/parameters.hpp"
+
+namespace specstab {
+namespace {
+
+static_assert(ProtocolConcept<GeneralizedSsmeProtocol>,
+              "generalized SSME must satisfy ProtocolConcept");
+
+TEST(GeneralizedParamsTest, PaperLayoutMatchesSsmeParams) {
+  const Graph g = make_grid(3, 4);
+  const auto exact = SsmeParams::for_graph(g);
+  const auto general = GeneralizedSsmeParams::paper(exact.n, exact.diam);
+  EXPECT_EQ(general.alpha, exact.alpha);
+  EXPECT_EQ(general.k, exact.k);
+  for (VertexId id = 0; id < exact.n; ++id) {
+    EXPECT_EQ(general.privileged_value(id), exact.privileged_value(id)) << id;
+  }
+}
+
+TEST(GeneralizedParamsTest, PaperLayoutIsGamma1Safe) {
+  for (VertexId n : {2, 3, 5, 9, 16}) {
+    for (VertexId diam : {1, 2, 5, 8}) {
+      if (diam >= n) continue;
+      EXPECT_TRUE(gamma1_safe_layout(GeneralizedSsmeParams::paper(n, diam)))
+          << "n=" << n << " diam=" << diam;
+    }
+  }
+}
+
+TEST(GeneralizedParamsTest, MinimalSafeLayoutIsGamma1Safe) {
+  for (VertexId n : {2, 3, 5, 9, 16}) {
+    for (VertexId diam : {1, 2, 5, 8}) {
+      if (diam >= n) continue;
+      const auto p = GeneralizedSsmeParams::minimal_safe(n, diam, 1);
+      EXPECT_TRUE(gamma1_safe_layout(p)) << "n=" << n << " diam=" << diam;
+      EXPECT_LT(p.k, GeneralizedSsmeParams::paper(n, diam).k)
+          << "minimal layout should be strictly smaller";
+    }
+  }
+}
+
+TEST(GeneralizedParamsTest, ShrinkingMinimalRingByOneBreaksSafety) {
+  for (VertexId n : {3, 5, 9}) {
+    for (VertexId diam : {1, 2, 4}) {
+      if (diam >= n) continue;
+      auto p = GeneralizedSsmeParams::minimal_safe(n, diam, 1);
+      p.k -= 1;  // wrap-around gap from id n-1 to id 0 collapses to diam
+      EXPECT_FALSE(gamma1_safe_layout(p)) << "n=" << n << " diam=" << diam;
+    }
+  }
+}
+
+TEST(GeneralizedParamsTest, SpacingAtMostDiamHasNoSafeRingSize) {
+  EXPECT_EQ(min_safe_ring_size(5, 3, 3), 0);
+  EXPECT_EQ(min_safe_ring_size(5, 3, 2), 0);
+  EXPECT_GT(min_safe_ring_size(5, 3, 4), 0);
+}
+
+TEST(GeneralizedParamsTest, MinSafeRingSizeFormula) {
+  // spacing*(n-1) + diam + 1
+  EXPECT_EQ(min_safe_ring_size(5, 3, 4), 4 * 4 + 3 + 1);
+  EXPECT_EQ(min_safe_ring_size(2, 1, 2), 2 * 1 + 1 + 1);
+}
+
+TEST(GeneralizedProtocolTest, PaperParamsBehaveIdenticallyToSsme) {
+  const Graph g = make_ring(7);
+  const auto ssme = SsmeProtocol::for_graph(g);
+  const GeneralizedSsmeProtocol general(
+      GeneralizedSsmeParams::paper(ssme.params().n, ssme.params().diam));
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto cfg = random_config(g, ssme.clock(), seed);
+    for (VertexId v = 0; v < g.n(); ++v) {
+      ASSERT_EQ(general.enabled(g, cfg, v), ssme.enabled(g, cfg, v));
+      if (ssme.enabled(g, cfg, v)) {
+        ASSERT_EQ(general.apply(g, cfg, v), ssme.apply(g, cfg, v));
+      }
+      ASSERT_EQ(general.privileged(cfg, v), ssme.privileged(cfg, v));
+    }
+  }
+}
+
+TEST(GeneralizedProtocolTest, MinimalLayoutStabilizesUnderSynchronousDaemon) {
+  const Graph g = make_grid(3, 3);
+  const auto params = GeneralizedSsmeParams::minimal_safe(
+      g.n(), diameter(g), static_cast<ClockValue>(g.n()));
+  ASSERT_TRUE(validate_unison_parameters(g, params.alpha, params.k));
+  const GeneralizedSsmeProtocol proto(params);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 10 * (params.k + params.alpha);
+  opt.steps_after_convergence = 2 * params.k;
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> legit =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      };
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto res = run_execution(
+        g, proto, d, random_config(g, proto.clock(), seed), opt, legit);
+    ASSERT_TRUE(res.converged()) << seed;
+    EXPECT_TRUE(proto.mutex_safe(g, res.final_config)) << seed;
+  }
+}
+
+TEST(GeneralizedProtocolTest, MinimalLayoutKeepsMutexSafetyInsideGamma1) {
+  // Once legitimate, at most one vertex is ever privileged: run well past
+  // convergence and check every configuration of the suffix.
+  const Graph g = make_path(6);
+  const auto params = GeneralizedSsmeParams::minimal_safe(
+      g.n(), diameter(g), static_cast<ClockValue>(g.n()));
+  const GeneralizedSsmeProtocol proto(params);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 6 * params.k;
+  opt.record_trace = true;
+  const auto res = run_execution(g, proto, d, zero_config(g), opt, nullptr);
+  for (const auto& cfg : res.trace) {
+    ASSERT_TRUE(proto.legitimate(g, cfg));
+    EXPECT_TRUE(proto.mutex_safe(g, cfg));
+  }
+}
+
+TEST(GeneralizedProtocolTest, MinimalLayoutServesEveryVertex) {
+  // Liveness: on a full ring cycle under sd, every identity is privileged
+  // at least once.
+  const Graph g = make_ring(6);
+  const auto params = GeneralizedSsmeParams::minimal_safe(
+      g.n(), diameter(g), static_cast<ClockValue>(g.n()));
+  const GeneralizedSsmeProtocol proto(params);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 3 * params.k;
+  opt.record_trace = true;
+  const auto res = run_execution(g, proto, d, zero_config(g), opt, nullptr);
+  std::vector<bool> served(static_cast<std::size_t>(g.n()), false);
+  for (const auto& cfg : res.trace) {
+    for (VertexId v = 0; v < g.n(); ++v) {
+      if (proto.privileged(cfg, v)) served[static_cast<std::size_t>(v)] = true;
+    }
+  }
+  for (VertexId v = 0; v < g.n(); ++v) {
+    EXPECT_TRUE(served[static_cast<std::size_t>(v)]) << v;
+  }
+}
+
+TEST(ConflictWitnessTest, SafeLayoutsHaveNoConflict) {
+  for (const auto& g : {make_ring(8), make_path(7), make_grid(3, 3)}) {
+    const auto params =
+        GeneralizedSsmeParams::paper(g.n(), diameter(g));
+    EXPECT_FALSE(find_gamma1_conflict(g, params).has_value());
+    const auto minimal = GeneralizedSsmeParams::minimal_safe(
+        g.n(), diameter(g), static_cast<ClockValue>(g.n()));
+    EXPECT_FALSE(find_gamma1_conflict(g, minimal).has_value());
+  }
+}
+
+TEST(ConflictWitnessTest, SpacingDiamYieldsLegitimateDoublePrivilege) {
+  // Whether spacing <= diam actually fires depends on how identities are
+  // embedded in the topology (the paper's spacing is safe for *every*
+  // embedding).  Embed identities 0 and 1 — whose privileged values are
+  // only `spacing` apart on the ring — at the two ends of a path:
+  // 0 - 2 - 3 - 4 - 5 - 1.
+  const Graph g(6, {{0, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 1}});
+  const VertexId diam = diameter(g);  // 5
+  GeneralizedSsmeParams params;
+  params.n = g.n();
+  params.diam = diam;
+  params.alpha = 2;
+  params.spacing = static_cast<ClockValue>(diam);  // too small
+  params.k = static_cast<ClockValue>(diam) * (g.n() - 1) + diam + 1;
+  params.base = 0;
+  ASSERT_FALSE(gamma1_safe_layout(params));
+
+  const auto conflict = find_gamma1_conflict(g, params);
+  ASSERT_TRUE(conflict.has_value());
+  const auto [u, v] = *conflict;
+  const auto cfg = gamma1_conflict_config(g, params, u, v);
+
+  const GeneralizedSsmeProtocol proto(params);
+  EXPECT_TRUE(proto.legitimate(g, cfg))
+      << "counterexample must live inside Gamma_1";
+  EXPECT_TRUE(proto.privileged(cfg, u));
+  EXPECT_TRUE(proto.privileged(cfg, v));
+  EXPECT_FALSE(proto.mutex_safe(g, cfg));
+}
+
+TEST(ConflictWitnessTest, TooSmallRingYieldsLegitimateDoublePrivilege) {
+  // Keep the paper spacing but shrink the ring until the wrap-around gap
+  // between the extreme identities 0 and n-1 collapses to diam; on a path
+  // those two identities sit a full diameter apart, so the conflict is
+  // realisable inside Gamma_1.
+  const Graph g = make_path(8);  // diam 7; dist(0, 7) = 7
+  const VertexId diam = diameter(g);
+  auto params = GeneralizedSsmeParams::paper(g.n(), diam);
+  params.k = min_safe_ring_size(g.n(), diam, params.spacing) - 1;
+  params.base = 0;
+  ASSERT_FALSE(gamma1_safe_layout(params));
+
+  const auto conflict = find_gamma1_conflict(g, params);
+  ASSERT_TRUE(conflict.has_value());
+  const auto [u, v] = *conflict;
+  const auto cfg = gamma1_conflict_config(g, params, u, v);
+  const GeneralizedSsmeProtocol proto(params);
+  EXPECT_TRUE(proto.legitimate(g, cfg));
+  EXPECT_FALSE(proto.mutex_safe(g, cfg));
+}
+
+TEST(ConflictWitnessTest, ConfigBuilderRejectsUnrealisablePairs) {
+  const Graph g = make_ring(8);
+  const auto params = GeneralizedSsmeParams::paper(g.n(), diameter(g));
+  // Safe layout: every pair is unrealisable inside Gamma_1.
+  EXPECT_THROW(gamma1_conflict_config(g, params, 0, 4), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace specstab

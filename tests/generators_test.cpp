@@ -1,0 +1,152 @@
+// Unit tests for topology generators: size, regularity, connectivity, and
+// family-specific structure.
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+
+namespace specstab {
+namespace {
+
+TEST(GeneratorsTest, Ring) {
+  const Graph g = make_ring(7);
+  EXPECT_EQ(g.n(), 7);
+  EXPECT_EQ(g.m(), 7);
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_THROW(make_ring(2), std::invalid_argument);
+}
+
+TEST(GeneratorsTest, Path) {
+  const Graph g = make_path(5);
+  EXPECT_EQ(g.n(), 5);
+  EXPECT_EQ(g.m(), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(4), 1);
+  EXPECT_EQ(g.degree(2), 2);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(make_path(1).n(), 1);
+}
+
+TEST(GeneratorsTest, Star) {
+  const Graph g = make_star(6);
+  EXPECT_EQ(g.degree(0), 5);
+  for (VertexId v = 1; v < 6; ++v) EXPECT_EQ(g.degree(v), 1);
+  EXPECT_TRUE(is_tree(g));
+}
+
+TEST(GeneratorsTest, Complete) {
+  const Graph g = make_complete(6);
+  EXPECT_EQ(g.m(), 15);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5);
+  EXPECT_EQ(diameter(g), 1);
+}
+
+TEST(GeneratorsTest, Grid) {
+  const Graph g = make_grid(3, 4);
+  EXPECT_EQ(g.n(), 12);
+  EXPECT_EQ(g.m(), 3 * 3 + 2 * 4);  // rows*(cols-1) + (rows-1)*cols
+  EXPECT_EQ(g.degree(0), 2);        // corner
+  EXPECT_EQ(g.degree(5), 4);        // interior (1,1)
+  EXPECT_EQ(diameter(g), 2 + 3);    // (rows-1)+(cols-1)
+}
+
+TEST(GeneratorsTest, Torus) {
+  const Graph g = make_torus(3, 3);
+  EXPECT_EQ(g.n(), 9);
+  EXPECT_EQ(g.m(), 18);
+  for (VertexId v = 0; v < 9; ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(GeneratorsTest, Hypercube) {
+  const Graph g = make_hypercube(4);
+  EXPECT_EQ(g.n(), 16);
+  EXPECT_EQ(g.m(), 32);
+  for (VertexId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4);
+  EXPECT_EQ(diameter(g), 4);
+  EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(GeneratorsTest, BinaryTree) {
+  const Graph g = make_binary_tree(7);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(3), 1);  // leaf
+}
+
+TEST(GeneratorsTest, RandomTreeIsTree) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Graph g = make_random_tree(17, seed);
+    EXPECT_TRUE(is_tree(g)) << "seed " << seed;
+  }
+  EXPECT_TRUE(is_tree(make_random_tree(2, 1)));
+  EXPECT_EQ(make_random_tree(1, 1).n(), 1);
+}
+
+TEST(GeneratorsTest, RandomTreeVariesWithSeed) {
+  EXPECT_NE(make_random_tree(12, 1), make_random_tree(12, 2));
+}
+
+TEST(GeneratorsTest, RandomConnected) {
+  const Graph g = make_random_connected(20, 0.2, 42);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_GE(g.m(), 19);  // at least the spanning tree
+  const Graph dense = make_random_connected(10, 1.0, 7);
+  EXPECT_EQ(dense.m(), 45);  // p = 1 gives the complete graph
+}
+
+TEST(GeneratorsTest, Wheel) {
+  const Graph g = make_wheel(6);  // hub + C5
+  EXPECT_EQ(g.degree(0), 5);
+  for (VertexId v = 1; v < 6; ++v) EXPECT_EQ(g.degree(v), 3);
+  EXPECT_EQ(g.m(), 10);
+}
+
+TEST(GeneratorsTest, Lollipop) {
+  const Graph g = make_lollipop(4, 3);
+  EXPECT_EQ(g.n(), 7);
+  EXPECT_EQ(g.m(), 6 + 3);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.degree(6), 1);  // end of the stick
+  EXPECT_EQ(diameter(g), 4);  // across clique (1) + stick (3)
+}
+
+TEST(GeneratorsTest, Barbell) {
+  const Graph g = make_barbell(3, 2);
+  EXPECT_EQ(g.n(), 8);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_EQ(g.m(), 3 + 3 + 3);  // two triangles + 3 path edges
+  EXPECT_EQ(diameter(g), 5);
+  const Graph direct = make_barbell(3, 0);
+  EXPECT_TRUE(direct.is_connected());
+  EXPECT_EQ(direct.m(), 7);
+}
+
+TEST(GeneratorsTest, Petersen) {
+  const Graph g = make_petersen();
+  EXPECT_EQ(g.n(), 10);
+  EXPECT_EQ(g.m(), 15);
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 3);
+  EXPECT_EQ(diameter(g), 2);
+  EXPECT_EQ(girth(g), 5);
+}
+
+TEST(GeneratorsTest, Caterpillar) {
+  const Graph g = make_caterpillar(4, 2);
+  EXPECT_EQ(g.n(), 12);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.degree(0), 3);  // spine end: 1 spine + 2 legs
+  EXPECT_EQ(g.degree(1), 4);  // spine interior
+}
+
+TEST(GeneratorsTest, CompleteBipartite) {
+  const Graph g = make_complete_bipartite(3, 4);
+  EXPECT_EQ(g.n(), 7);
+  EXPECT_EQ(g.m(), 12);
+  EXPECT_TRUE(is_bipartite(g));
+  EXPECT_EQ(diameter(g), 2);
+}
+
+}  // namespace
+}  // namespace specstab

@@ -1,0 +1,108 @@
+// Unit tests for the Graph data structure.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace specstab {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.n(), 0);
+  EXPECT_EQ(g.m(), 0);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GraphTest, SingleVertex) {
+  Graph g(1);
+  EXPECT_EQ(g.n(), 1);
+  EXPECT_EQ(g.m(), 0);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+TEST(GraphTest, NegativeVertexCountThrows) {
+  EXPECT_THROW(Graph(-1), std::invalid_argument);
+}
+
+TEST(GraphTest, AddEdgeBasics) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.m(), 1);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(GraphTest, SelfLoopThrows) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+}
+
+TEST(GraphTest, DuplicateEdgeThrows) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(0, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+}
+
+TEST(GraphTest, OutOfRangeThrows) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, 0), std::out_of_range);
+  EXPECT_THROW((void)g.neighbors(5), std::out_of_range);
+}
+
+TEST(GraphTest, EdgeListConstructor) {
+  Graph g(4, {{0, 1}, {2, 1}, {3, 0}});
+  EXPECT_EQ(g.m(), 3);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  // Sorted with u < v.
+  EXPECT_EQ(edges[0], (std::pair<VertexId, VertexId>{0, 1}));
+  EXPECT_EQ(edges[1], (std::pair<VertexId, VertexId>{0, 3}));
+  EXPECT_EQ(edges[2], (std::pair<VertexId, VertexId>{1, 2}));
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  Graph g(5);
+  g.add_edge(2, 4);
+  g.add_edge(2, 0);
+  g.add_edge(2, 3);
+  g.add_edge(2, 1);
+  const auto& nb = g.neighbors(2);
+  EXPECT_EQ(nb, (std::vector<VertexId>{0, 1, 3, 4}));
+}
+
+TEST(GraphTest, Connectivity) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(g.is_connected());
+  g.add_edge(1, 2);
+  EXPECT_TRUE(g.is_connected());
+}
+
+TEST(GraphTest, Equality) {
+  Graph a(3, {{0, 1}, {1, 2}});
+  Graph b(3, {{1, 2}, {0, 1}});
+  Graph c(3, {{0, 1}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(GraphTest, ToDotContainsAllEdges) {
+  Graph g(3, {{0, 1}, {1, 2}});
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -- 2"), std::string::npos);
+  EXPECT_EQ(dot.find("0 -- 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace specstab

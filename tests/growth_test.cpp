@@ -1,0 +1,71 @@
+// Tests for the power-law growth fitter.
+#include "core/growth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace specstab {
+namespace {
+
+TEST(GrowthFitTest, ExactQuadratic) {
+  std::vector<double> x, y;
+  for (double v : {4.0, 8.0, 16.0, 32.0, 64.0}) {
+    x.push_back(v);
+    y.push_back(3.0 * v * v);
+  }
+  const auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 2.0, 1e-9);
+  EXPECT_NEAR(fit.constant, 3.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  EXPECT_EQ(fit.points, 5u);
+}
+
+TEST(GrowthFitTest, ExactLinear) {
+  const auto fit = fit_power_law(std::vector<std::int64_t>{2, 4, 8, 16},
+                                 std::vector<std::int64_t>{10, 20, 40, 80});
+  EXPECT_NEAR(fit.exponent, 1.0, 1e-9);
+  EXPECT_NEAR(fit.constant, 5.0, 1e-9);
+}
+
+TEST(GrowthFitTest, ConstantCost) {
+  const auto fit = fit_power_law(std::vector<std::int64_t>{2, 4, 8, 16},
+                                 std::vector<std::int64_t>{7, 7, 7, 7});
+  EXPECT_NEAR(fit.exponent, 0.0, 1e-9);
+  EXPECT_NEAR(fit.constant, 7.0, 1e-9);
+}
+
+TEST(GrowthFitTest, NoisyQuadraticStillNearTwo) {
+  std::vector<double> x, y;
+  const double noise[] = {1.1, 0.92, 1.05, 0.97, 1.02, 0.95};
+  int i = 0;
+  for (double v : {4.0, 8.0, 16.0, 32.0, 64.0, 128.0}) {
+    x.push_back(v);
+    y.push_back(v * v * noise[i++]);
+  }
+  const auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.exponent, 2.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.99);
+}
+
+TEST(GrowthFitTest, NonPositiveSamplesIgnored) {
+  const auto fit = fit_power_law(std::vector<double>{0.0, 2.0, 4.0, -3.0},
+                                 std::vector<double>{5.0, 4.0, 8.0, 1.0});
+  EXPECT_EQ(fit.points, 2u);  // only (2,4) and (4,8)
+  EXPECT_NEAR(fit.exponent, 1.0, 1e-9);
+}
+
+TEST(GrowthFitTest, Validation) {
+  EXPECT_THROW((void)fit_power_law(std::vector<double>{1.0},
+                                   std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_power_law(std::vector<double>{1.0, 2.0},
+                                   std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)fit_power_law(std::vector<double>{2.0, 2.0},
+                                   std::vector<double>{1.0, 5.0}),
+               std::invalid_argument);  // degenerate x
+}
+
+}  // namespace
+}  // namespace specstab

@@ -1,0 +1,150 @@
+// Cross-module integration tests: the full pipeline
+// graph -> parameters -> protocol -> daemon -> engine -> spec checkers,
+// mirroring how the examples and benches consume the library.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/adversarial_configs.hpp"
+#include "core/mutex_spec.hpp"
+#include "core/speculation.hpp"
+#include "core/ssme.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+#include "unison/unison_spec.hpp"
+
+namespace specstab {
+namespace {
+
+TEST(IntegrationTest, FullSsmePipelineOnRandomGraph) {
+  const Graph g = make_random_connected(9, 0.3, 2024);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+
+  // 1. The parameters respect the topology.
+  EXPECT_EQ(proto.params().diam, diameter(g));
+  EXPECT_GT(proto.params().k, proto.params().n);
+
+  // 2. Run synchronously from a corrupted configuration with both spec
+  //    monitors attached.
+  SynchronousDaemon d;
+  MutexSpecMonitor monitor(g, proto);
+  RunOptions opt;
+  opt.max_steps = 6 * proto.params().k;
+  opt.record_trace = true;
+  const StepObserver<ClockValue> obs =
+      [&monitor](StepIndex i, const Config<ClockValue>& cfg,
+                 const std::vector<VertexId>& act) {
+        monitor.on_action(i, cfg, act);
+      };
+  const auto res = run_execution(
+      g, proto, d, random_config(g, proto.clock(), 31), opt,
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      },
+      obs);
+  monitor.finish(res.steps, res.final_config);
+
+  // 3. Stabilized to Gamma_1 and stayed there.
+  ASSERT_TRUE(res.converged());
+
+  // 4. spec_ME: safety violations only before ceil(diam/2); liveness after.
+  EXPECT_LE(monitor.report().stabilization_steps(),
+            ssme_sync_bound(proto.params().diam));
+  EXPECT_TRUE(monitor.report().liveness_at_least(1));
+
+  // 5. spec_AU over the same trace.
+  const auto au = check_unison_spec(g, proto.unison(), res.trace);
+  EXPECT_EQ(au.stabilization_steps(), res.convergence_steps());
+  EXPECT_GT(au.min_increments(), 0);
+}
+
+TEST(IntegrationTest, SpeculationStudyMiniature) {
+  // A miniature of the XOVER bench: the synchronous daemon beats every
+  // asynchronous portfolio member on steps-to-Gamma_1.
+  const Graph g = make_ring(6);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  const auto inits = random_configs(g, proto.clock(), 2, 99);
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> legit =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      };
+  RunOptions opt;
+  opt.max_steps = 500000;
+  opt.steps_after_convergence = 0;
+
+  auto portfolio = AdversaryPortfolio::standard(5);
+  const auto pm = measure_portfolio(g, proto, portfolio, inits, legit, opt);
+  ASSERT_TRUE(pm.all_converged);
+  // rows[0] is the synchronous daemon.
+  EXPECT_EQ(pm.rows[0].daemon_name, "synchronous");
+  for (std::size_t i = 1; i < pm.rows.size(); ++i) {
+    EXPECT_LE(pm.rows[0].worst_steps, pm.rows[i].worst_steps)
+        << pm.rows[i].daemon_name;
+  }
+  // And everything is inside the Theorem 3 bound.
+  EXPECT_LE(pm.worst_steps,
+            ssme_ud_bound(proto.params().n, proto.params().diam));
+}
+
+TEST(IntegrationTest, WitnessThenRecoveryEndToEnd) {
+  // Lower-bound witness followed by full recovery and fair service: the
+  // complete paper story on one instance.
+  const Graph g = make_path(10);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  const auto [u, v] = diameter_pair(g);
+  const auto init = two_gradient_config(g, proto, u, v);
+  const StepIndex t = two_gradient_violation_step(g, u, v);
+
+  SynchronousDaemon d;
+  MutexSpecMonitor monitor(g, proto);
+  RunOptions opt;
+  opt.max_steps = 8 * proto.params().k;
+  const StepObserver<ClockValue> obs =
+      [&monitor](StepIndex i, const Config<ClockValue>& cfg,
+                 const std::vector<VertexId>& act) {
+        monitor.on_action(i, cfg, act);
+      };
+  const auto res =
+      run_execution(g, proto, d, init, opt, nullptr, obs);
+  monitor.finish(res.steps, res.final_config);
+
+  // The violation happened exactly at gamma_t...
+  EXPECT_EQ(monitor.report().last_safety_violation, t);
+  // ...which makes the measured stabilization time exactly the Theorem 2
+  // bound (tightness), ...
+  EXPECT_EQ(monitor.report().stabilization_steps(),
+            mutex_sync_lower_bound(proto.params().diam));
+  // ...and afterwards every vertex was served repeatedly.
+  EXPECT_TRUE(monitor.report().liveness_at_least(2));
+}
+
+TEST(IntegrationTest, DiameterPairDrivesWitnessOnEveryFamily) {
+  for (const Graph& g :
+       {make_ring(8), make_grid(3, 4), make_binary_tree(15),
+        make_caterpillar(5, 1), make_random_connected(10, 0.25, 8)}) {
+    const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+    const auto init = two_gradient_config(g, proto);
+    SynchronousDaemon d;
+    MutexSpecMonitor monitor(g, proto);
+    RunOptions opt;
+    opt.max_steps = 4 * proto.params().k;
+    const StepObserver<ClockValue> obs =
+        [&monitor](StepIndex i, const Config<ClockValue>& cfg,
+                   const std::vector<VertexId>& act) {
+          monitor.on_action(i, cfg, act);
+        };
+    const auto res = run_execution(g, proto, d, init, opt, nullptr, obs);
+    monitor.finish(res.steps, res.final_config);
+    // Never beyond the Theorem 2 bound; liveness restored.
+    EXPECT_LE(monitor.report().stabilization_steps(),
+              ssme_sync_bound(proto.params().diam))
+        << "n=" << g.n();
+    EXPECT_TRUE(monitor.report().liveness_at_least(1)) << "n=" << g.n();
+  }
+}
+
+}  // namespace
+}  // namespace specstab

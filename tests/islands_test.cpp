@@ -1,0 +1,203 @@
+// Tests for the island machinery (Definitions 5-6) and empirical checks
+// of the erosion lemmas (Lemmas 1-4) on synchronous executions.
+#include "core/islands.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial_configs.hpp"
+#include "core/ssme.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/engine.hpp"
+
+namespace specstab {
+namespace {
+
+struct Fixture {
+  Graph g;
+  SsmeProtocol proto;
+  explicit Fixture(Graph graph)
+      : g(std::move(graph)), proto(SsmeProtocol::for_graph(g)) {}
+  [[nodiscard]] const UnisonProtocol& unison() const {
+    return proto.unison();
+  }
+};
+
+TEST(IslandTest, LegitimateConfigurationHasNoIslands) {
+  Fixture f(make_ring(8));
+  EXPECT_TRUE(find_islands(f.g, f.unison(), zero_config(f.g)).empty());
+}
+
+TEST(IslandTest, AllTailConfigurationHasNoIslands) {
+  Fixture f(make_path(6));
+  Config<ClockValue> cfg(6, -3);  // every register in the init tail
+  EXPECT_TRUE(find_islands(f.g, f.unison(), cfg).empty());
+}
+
+TEST(IslandTest, SingleStabVertexIsItsOwnIsland) {
+  Fixture f(make_path(5));
+  Config<ClockValue> cfg(5, -2);
+  cfg[2] = 7;  // lone stab value
+  const auto islands = find_islands(f.g, f.unison(), cfg);
+  ASSERT_EQ(islands.size(), 1u);
+  EXPECT_EQ(islands[0].vertices, (std::vector<VertexId>{2}));
+  EXPECT_FALSE(islands[0].zero);
+  EXPECT_EQ(islands[0].border, (std::vector<VertexId>{2}));
+  EXPECT_EQ(islands[0].depth, 0);
+}
+
+TEST(IslandTest, ZeroMembershipDetected) {
+  Fixture f(make_path(5));
+  Config<ClockValue> cfg = {0, 1, -2, 5, 6};
+  const auto islands = find_islands(f.g, f.unison(), cfg);
+  ASSERT_EQ(islands.size(), 2u);
+  const Island* left = island_of(islands, 0);
+  const Island* right = island_of(islands, 3);
+  ASSERT_NE(left, nullptr);
+  ASSERT_NE(right, nullptr);
+  EXPECT_TRUE(left->zero);
+  EXPECT_FALSE(right->zero);
+  EXPECT_EQ(island_of(islands, 2), nullptr);  // tail value: no island
+}
+
+TEST(IslandTest, DriftTwoSplitsIslands) {
+  Fixture f(make_path(4));
+  Config<ClockValue> cfg = {10, 11, 13, 14};  // drift 2 across the middle
+  const auto islands = find_islands(f.g, f.unison(), cfg);
+  ASSERT_EQ(islands.size(), 2u);
+  EXPECT_EQ(islands[0].vertices, (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(islands[1].vertices, (std::vector<VertexId>{2, 3}));
+}
+
+TEST(IslandTest, DepthCountsDistanceToBorder) {
+  // Path of 7, all stab and mutually correct except the last vertex in
+  // the tail: one island of 6 vertices, border = {5} (vertex adjacent to
+  // the non-member), depth = 5 (vertex 0 is five hops from the border).
+  Fixture f(make_path(7));
+  Config<ClockValue> cfg = {20, 20, 20, 20, 20, 20, -4};
+  const auto islands = find_islands(f.g, f.unison(), cfg);
+  ASSERT_EQ(islands.size(), 1u);
+  EXPECT_EQ(islands[0].vertices.size(), 6u);
+  EXPECT_EQ(islands[0].border, (std::vector<VertexId>{5}));
+  EXPECT_EQ(islands[0].depth, 5);
+}
+
+TEST(IslandTest, InteriorOfDeepIslandSurvivesOneStep) {
+  // The erosion is exactly one layer per synchronous step on a path:
+  // border resets, interior ticks on.
+  Fixture f(make_path(8));
+  Config<ClockValue> cfg = {30, 30, 30, 30, 30, 30, 30, -5};
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 1;
+  opt.record_trace = true;
+  const auto res = run_execution(f.g, f.proto, d, cfg, opt);
+  const auto before = find_islands(f.g, f.unison(), res.trace.front());
+  const auto after = find_islands(f.g, f.unison(), res.trace.back());
+  ASSERT_EQ(before.size(), 1u);
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].depth, before[0].depth - 1);
+}
+
+// Lemma 3 (backward erosion): within the first diam steps of a
+// synchronous execution, a vertex in a non-zero-island of depth k at
+// gamma_i was, at gamma_{i-1}, in a non-zero-island of depth >= k+1 or
+// in a zero-island.
+class ErosionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ErosionSweep, Lemma3BackwardErosion) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = seed % 2 == 0 ? make_path(10)
+                                : make_random_connected(12, 0.2, seed);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = diameter(g);
+  opt.record_trace = true;
+  const auto res = run_execution(g, proto, d,
+                                 random_config(g, proto.clock(), seed), opt);
+  for (std::size_t i = 1; i < res.trace.size(); ++i) {
+    const auto now = find_islands(g, proto.unison(), res.trace[i]);
+    const auto before = find_islands(g, proto.unison(), res.trace[i - 1]);
+    for (const auto& island : now) {
+      if (island.zero) continue;
+      for (const VertexId v : island.vertices) {
+        const Island* prev = island_of(before, v);
+        // Lemma 3: v was on an island a step ago, and on a non-zero one
+        // it sat strictly deeper.
+        ASSERT_NE(prev, nullptr) << "step " << i << " vertex " << v;
+        if (!prev->zero) {
+          EXPECT_GE(prev->depth, island.depth + 1)
+              << "step " << i << " vertex " << v;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ErosionSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+// Lemma 2 consequence: a privileged vertex in the first diam steps was
+// never on a zero-island so far.
+TEST(IslandLemmaTest, PrivilegedVerticesAvoidZeroIslands) {
+  const Graph g = make_path(9);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = diameter(g) - 1;
+  opt.record_trace = true;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto res = run_execution(
+        g, proto, d, random_config(g, proto.clock(), seed), opt);
+    // For each configuration gamma_i and privileged vertex v, check no
+    // prefix configuration put v on a zero-island.
+    for (std::size_t i = 0; i < res.trace.size(); ++i) {
+      for (VertexId v = 0; v < g.n(); ++v) {
+        if (!proto.privileged(res.trace[i], v)) continue;
+        for (std::size_t j = 0; j <= i; ++j) {
+          const auto islands = find_islands(g, proto.unison(), res.trace[j]);
+          const Island* home = island_of(islands, v);
+          if (home != nullptr) {
+            EXPECT_FALSE(home->zero)
+                << "seed " << seed << " step " << j << " vertex " << v;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Lemma 4: if gamma_0 is not legitimate, after diam steps every register
+// is in the init tail or in the window
+// {(2n-2)(diam+1)+3, .., 0, .., 2 diam - 1} around zero.
+TEST(IslandLemmaTest, Lemma4RegisterWindowAfterDiamSteps) {
+  const Graph g = make_path(8);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  const auto& clock = proto.clock();
+  const auto diam = static_cast<std::int64_t>(proto.params().diam);
+  const auto n = static_cast<std::int64_t>(proto.params().n);
+  const std::int64_t window_lo = (2 * n - 2) * (diam + 1) + 3;  // mod K
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = diam;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto init = random_config(g, proto.clock(), seed);
+    if (proto.legitimate(g, init)) continue;  // lemma assumes gamma_0 not in Gamma_1
+    const auto res = run_execution(g, proto, d, init, opt);
+    for (VertexId v = 0; v < g.n(); ++v) {
+      const ClockValue r = res.final_config[static_cast<std::size_t>(v)];
+      const bool in_tail = clock.in_init(r);
+      // Window as ring positions: from window_lo up to K-1, then 0 up to
+      // 2 diam - 1.
+      const bool in_window =
+          clock.in_stab(r) &&
+          (r >= static_cast<ClockValue>(window_lo) || r < 2 * diam);
+      EXPECT_TRUE(in_tail || in_window)
+          << "seed " << seed << " vertex " << v << " register " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace specstab

@@ -1,0 +1,186 @@
+// Tests for the self-stabilizing leader-election extension: ghost
+// flushing, silent termination, arbitrary identities, daemon portfolio
+// convergence.
+#include "extensions/leader_election.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/speculation.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+
+namespace specstab {
+namespace {
+
+static_assert(ProtocolConcept<LeaderElectionProtocol>,
+              "leader election must satisfy ProtocolConcept");
+
+std::function<bool(const Graph&, const Config<LeaderState>&)> legit_of(
+    const LeaderElectionProtocol& proto) {
+  return [&proto](const Graph& g, const Config<LeaderState>& c) {
+    return proto.legitimate(g, c);
+  };
+}
+
+TEST(LeaderElectionTest, RejectsMalformedIdentities) {
+  const Graph g = make_ring(4);
+  EXPECT_THROW(LeaderElectionProtocol(g, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(LeaderElectionProtocol(g, {1, 2, 2, 4}), std::invalid_argument);
+}
+
+TEST(LeaderElectionTest, MinIdentityIsTracked) {
+  const Graph g = make_path(5);
+  const LeaderElectionProtocol proto(g, {30, 10, 50, 20, 40});
+  EXPECT_EQ(proto.min_id(), 10);
+  EXPECT_EQ(proto.min_id_vertex(), 1);
+}
+
+TEST(LeaderElectionTest, ElectedConfigIsTerminal) {
+  for (const auto& g : {make_ring(8), make_grid(3, 4), make_binary_tree(15)}) {
+    const LeaderElectionProtocol proto(g);
+    const auto cfg = proto.elected_config(g);
+    EXPECT_TRUE(is_terminal(g, proto, cfg));
+    EXPECT_TRUE(proto.legitimate(g, cfg));
+  }
+}
+
+TEST(LeaderElectionTest, ElectedConfigHasBfsDistances) {
+  const Graph g = make_grid(3, 3);
+  const LeaderElectionProtocol proto(g, {5, 6, 7, 8, 0, 9, 10, 11, 12});
+  const auto cfg = proto.elected_config(g);
+  const auto dist = bfs_distances(g, proto.min_id_vertex());
+  for (VertexId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(cfg[static_cast<std::size_t>(v)].leader, 0);
+    EXPECT_EQ(cfg[static_cast<std::size_t>(v)].dist,
+              dist[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(LeaderElectionTest, ConvergesFromRandomConfigsUnderSynchronousDaemon) {
+  for (const auto& g : {make_ring(9), make_path(10), make_grid(3, 4)}) {
+    const LeaderElectionProtocol proto(g);
+    SynchronousDaemon d;
+    RunOptions opt;
+    opt.max_steps = 10 * g.n();
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      const auto res = run_execution(g, proto, d,
+                                     random_leader_config(g, seed), opt,
+                                     legit_of(proto));
+      ASSERT_TRUE(res.terminated) << seed;
+      EXPECT_TRUE(proto.legitimate(g, res.final_config)) << seed;
+    }
+  }
+}
+
+TEST(LeaderElectionTest, GhostLeaderIsFlushedWithinNplusEccSteps) {
+  const Graph g = make_path(12);
+  const LeaderElectionProtocol proto(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 10 * g.n();
+  // Every vertex believes ghost leader -1 at distance 0: the worst case.
+  const auto res = run_execution(g, proto, d, ghost_leader_config(g, proto, 0),
+                                 opt, legit_of(proto));
+  ASSERT_TRUE(res.terminated);
+  EXPECT_TRUE(proto.legitimate(g, res.final_config));
+  // Flush takes < n rounds (the claimed distance climbs to the bound),
+  // then the real minimum floods in <= ecc(argmin) more.
+  const auto bound = static_cast<StepIndex>(g.n()) +
+                     static_cast<StepIndex>(eccentricity(g, 0));
+  EXPECT_LE(res.convergence_steps(), bound);
+}
+
+TEST(LeaderElectionTest, GhostFreeMonotoneUnderSynchronousDaemon) {
+  // Once all ghosts are flushed, no rule reintroduces one.
+  const Graph g = make_ring(10);
+  const LeaderElectionProtocol proto(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 10 * g.n();
+  opt.record_trace = true;
+  const auto res = run_execution(g, proto, d, random_leader_config(g, 3), opt,
+                                 legit_of(proto));
+  bool seen_ghost_free = false;
+  for (const auto& cfg : res.trace) {
+    const bool gf = proto.ghost_free(g, cfg);
+    if (seen_ghost_free) {
+      EXPECT_TRUE(gf);
+    }
+    seen_ghost_free = seen_ghost_free || gf;
+  }
+  EXPECT_TRUE(seen_ghost_free);
+}
+
+TEST(LeaderElectionTest, ArbitraryIdentitiesElectTheRightVertex) {
+  const Graph g = make_random_connected(14, 0.2, 5);
+  const LeaderElectionProtocol proto(
+      g, {91, 17, 33, 8, 54, 71, 29, 63, 42, 99, 12, 77, 85, 20});
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 20 * g.n();
+  const auto res = run_execution(g, proto, d, random_leader_config(g, 7), opt,
+                                 legit_of(proto));
+  ASSERT_TRUE(res.terminated);
+  EXPECT_EQ(proto.min_id(), 8);
+  for (VertexId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(res.final_config[static_cast<std::size_t>(v)].leader, 8);
+  }
+}
+
+TEST(LeaderElectionTest, ConvergesUnderFullAdversaryPortfolio) {
+  const Graph g = make_grid(3, 3);
+  const LeaderElectionProtocol proto(g);
+  auto portfolio = AdversaryPortfolio::standard(0xfeed);
+  RunOptions opt;
+  opt.max_steps = 200 * g.n();
+  std::vector<Config<LeaderState>> inits;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    inits.push_back(random_leader_config(g, seed));
+  }
+  inits.push_back(ghost_leader_config(g, proto, 0));
+  const auto pm =
+      measure_portfolio(g, proto, portfolio, inits, legit_of(proto), opt);
+  EXPECT_TRUE(pm.all_converged);
+  EXPECT_GT(pm.worst_steps, 0);
+}
+
+TEST(LeaderElectionTest, SilentOnceStabilized) {
+  const Graph g = make_binary_tree(15);
+  const LeaderElectionProtocol proto(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 20 * g.n();
+  const auto res = run_execution(g, proto, d, random_leader_config(g, 9), opt,
+                                 legit_of(proto));
+  ASSERT_TRUE(res.terminated);
+  EXPECT_TRUE(is_terminal(g, proto, res.final_config));
+}
+
+// Sweep: ghost flush time scales with n (not diam alone) — the claimed
+// distance must climb to the bound.
+class GhostFlushSweep : public ::testing::TestWithParam<VertexId> {};
+
+TEST_P(GhostFlushSweep, FlushWithinBound) {
+  const VertexId n = GetParam();
+  const Graph g = make_ring(n);
+  const LeaderElectionProtocol proto(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 20 * n;
+  const auto res = run_execution(g, proto, d, ghost_leader_config(g, proto, 0),
+                                 opt, legit_of(proto));
+  ASSERT_TRUE(res.terminated);
+  EXPECT_LE(res.convergence_steps(),
+            static_cast<StepIndex>(n) +
+                static_cast<StepIndex>(eccentricity(g, 0)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rings, GhostFlushSweep,
+                         ::testing::Values(4, 6, 8, 12, 16, 24, 32));
+
+}  // namespace
+}  // namespace specstab

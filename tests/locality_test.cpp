@@ -1,0 +1,98 @@
+// Lemma 5 (the engine of the Theorem 4 lower bound), checked
+// operationally: if two configurations agree on the k-ball around v, the
+// synchronous executions from them agree on v's restriction for k steps —
+// information travels one hop per step.
+#include <gtest/gtest.h>
+
+#include "core/adversarial_configs.hpp"
+#include "core/ssme.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+
+namespace specstab {
+namespace {
+
+// Runs the synchronous execution of SSME from `init` for `steps` steps
+// and returns the restriction to v (gamma_0(v) .. gamma_steps(v)).
+std::vector<ClockValue> restriction(const Graph& g, const SsmeProtocol& proto,
+                                    Config<ClockValue> init, VertexId v,
+                                    StepIndex steps) {
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = steps;
+  opt.record_trace = true;
+  const auto res = run_execution(g, proto, d, std::move(init), opt);
+  std::vector<ClockValue> out;
+  for (const auto& cfg : res.trace) {
+    out.push_back(cfg[static_cast<std::size_t>(v)]);
+  }
+  return out;
+}
+
+// Overwrites everything OUTSIDE the k-ball around v with values from a
+// second configuration.
+Config<ClockValue> splice_outside_ball(const Graph& g,
+                                       const Config<ClockValue>& inside,
+                                       const Config<ClockValue>& outside,
+                                       VertexId v, VertexId k) {
+  const auto dist = bfs_distances(g, v);
+  Config<ClockValue> out = inside;
+  for (VertexId w = 0; w < g.n(); ++w) {
+    if (dist[static_cast<std::size_t>(w)] > k) {
+      out[static_cast<std::size_t>(w)] =
+          outside[static_cast<std::size_t>(w)];
+    }
+  }
+  return out;
+}
+
+class LocalitySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalitySweep, RestrictionsAgreeForKSteps) {
+  const std::uint64_t seed = GetParam();
+  for (const Graph& g : {make_path(11), make_ring(12), make_grid(3, 5)}) {
+    const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+    const auto a = random_config(g, proto.clock(), seed);
+    const auto b = random_config(g, proto.clock(), seed ^ 0xffffULL);
+    for (VertexId v : {static_cast<VertexId>(0),
+                       static_cast<VertexId>(g.n() / 2)}) {
+      for (VertexId k = 1; k <= std::min<VertexId>(4, diameter(g)); ++k) {
+        // b' agrees with a on the k-ball around v, differs elsewhere.
+        const auto spliced = splice_outside_ball(g, a, b, v, k);
+        const auto ra = restriction(g, proto, a, v, k);
+        const auto rb = restriction(g, proto, spliced, v, k);
+        EXPECT_EQ(ra, rb) << "n=" << g.n() << " v=" << v << " k=" << k;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalitySweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(LocalityTest, InformationEventuallyArrives) {
+  // Complement: for k' > k the restrictions generally diverge — distant
+  // state does reach v after dist steps (otherwise stabilization itself
+  // would be impossible).  We check a concrete instance.
+  const Graph g = make_path(9);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  // a: all zeros (quiet).  b: far end corrupted to an incomparable value.
+  const auto a = zero_config(g);
+  auto b = a;
+  b[8] = proto.params().privileged_value(5);  // far from 0 on the ring
+  const VertexId v = 0;
+  // Same 3-ball around v, so 3 steps agree...
+  const auto ra = restriction(g, proto, a, v, 3);
+  const auto rb = restriction(g, proto, b, v, 3);
+  EXPECT_EQ(ra, rb);
+  // ...but by 8 + alpha steps the reset wave has reached and moved v.
+  const StepIndex horizon = 8 + proto.params().alpha + 4;
+  const auto la = restriction(g, proto, a, v, horizon);
+  const auto lb = restriction(g, proto, b, v, horizon);
+  EXPECT_NE(la, lb);
+}
+
+}  // namespace
+}  // namespace specstab

@@ -1,0 +1,199 @@
+// Tests for the Manne et al. self-stabilizing maximal matching
+// (Section 3 example).
+#include "baselines/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+
+namespace specstab {
+namespace {
+
+using PState = MatchingProtocol::State;
+using Legit = std::function<bool(const Graph&, const Config<PState>&)>;
+
+Legit stable(const MatchingProtocol& proto) {
+  return [&proto](const Graph& g, const Config<PState>& cfg) {
+    return proto.legitimate(g, cfg);
+  };
+}
+
+Config<PState> random_pointers(const Graph& g, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Config<PState> cfg(static_cast<std::size_t>(g.n()));
+  for (VertexId v = 0; v < g.n(); ++v) {
+    // null, a random neighbour, or (rarely) garbage outside the
+    // neighbourhood — transient faults corrupt arbitrarily.
+    std::uniform_int_distribution<int> kind(0, 5);
+    const int k = kind(rng);
+    if (k == 0) {
+      cfg[static_cast<std::size_t>(v)] = MatchingProtocol::kNull;
+    } else if (k == 5) {
+      std::uniform_int_distribution<VertexId> any(0, g.n() - 1);
+      cfg[static_cast<std::size_t>(v)] = any(rng);
+    } else {
+      const auto& nb = g.neighbors(v);
+      if (nb.empty()) {
+        cfg[static_cast<std::size_t>(v)] = MatchingProtocol::kNull;
+      } else {
+        std::uniform_int_distribution<std::size_t> pick(0, nb.size() - 1);
+        cfg[static_cast<std::size_t>(v)] = nb[pick(rng)];
+      }
+    }
+  }
+  return cfg;
+}
+
+TEST(MatchingTest, GuardsOnTinyGraph) {
+  const Graph g = make_path(2);
+  const MatchingProtocol proto;
+  // Both null: 0 seduces 1 (higher id), 1 has no higher neighbour.
+  Config<PState> cfg{MatchingProtocol::kNull, MatchingProtocol::kNull};
+  EXPECT_TRUE(proto.seduction_guard(g, cfg, 0));
+  EXPECT_FALSE(proto.enabled(g, cfg, 1));
+  EXPECT_EQ(proto.apply(g, cfg, 0), 1);
+  EXPECT_EQ(proto.rule_name(g, cfg, 0), "SEDUCTION");
+  // 0 proposed: 1 marries.
+  cfg = {1, MatchingProtocol::kNull};
+  EXPECT_TRUE(proto.marriage_guard(g, cfg, 1));
+  EXPECT_EQ(proto.apply(g, cfg, 1), 0);
+  EXPECT_EQ(proto.rule_name(g, cfg, 1), "MARRIAGE");
+  // Married: silent.
+  cfg = {1, 0};
+  EXPECT_FALSE(proto.enabled(g, cfg, 0));
+  EXPECT_FALSE(proto.enabled(g, cfg, 1));
+  EXPECT_TRUE(proto.legitimate(g, cfg));
+  EXPECT_TRUE(proto.married(g, cfg, 0));
+}
+
+TEST(MatchingTest, AbandonmentOnHopelessProposal) {
+  const Graph g = make_path(3);
+  const MatchingProtocol proto;
+  // 1 points at 0 (downward proposal, 0 not pointing back): hopeless.
+  Config<PState> cfg{MatchingProtocol::kNull, 0, MatchingProtocol::kNull};
+  // Vertex 0 could marry (1 points at it) — but vertex 1's proposal is
+  // downward, so 1 itself is NOT abandonment-enabled unless 0 is engaged.
+  EXPECT_TRUE(proto.marriage_guard(g, cfg, 0));
+  EXPECT_TRUE(proto.abandonment_guard(g, cfg, 1));  // pv = 0 <= 1
+  // 1 points at 2, 2 points elsewhere (engaged): hopeless.
+  cfg = {MatchingProtocol::kNull, 2, 1};
+  EXPECT_TRUE(proto.married(g, cfg, 1));  // actually mutual: married
+  EXPECT_FALSE(proto.abandonment_guard(g, cfg, 1));
+}
+
+TEST(MatchingTest, GarbagePointerIsAbandoned) {
+  const Graph g = make_path(3);
+  const MatchingProtocol proto;
+  // Vertex 0 points at 2 (not a neighbour).
+  const Config<PState> cfg{2, MatchingProtocol::kNull,
+                           MatchingProtocol::kNull};
+  EXPECT_TRUE(proto.abandonment_guard(g, cfg, 0));
+  EXPECT_EQ(proto.apply(g, cfg, 0), MatchingProtocol::kNull);
+}
+
+TEST(MatchingTest, GuardsAreMutuallyExclusive) {
+  const Graph g = make_random_connected(7, 0.4, 3);
+  const MatchingProtocol proto;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const auto cfg = random_pointers(g, seed);
+    for (VertexId v = 0; v < g.n(); ++v) {
+      const int guards = (proto.marriage_guard(g, cfg, v) ? 1 : 0) +
+                         (proto.seduction_guard(g, cfg, v) ? 1 : 0) +
+                         (proto.abandonment_guard(g, cfg, v) ? 1 : 0);
+      EXPECT_LE(guards, 1) << "seed=" << seed << " v=" << v;
+    }
+  }
+}
+
+TEST(MatchingTest, TerminalConfigsAreMaximalMatchings) {
+  const std::vector<Graph> graphs = {
+      make_path(7),  make_ring(8),          make_complete(6),
+      make_star(7),  make_grid(3, 4),       make_petersen(),
+      make_wheel(7), make_complete_bipartite(3, 4)};
+  for (const Graph& g : graphs) {
+    const MatchingProtocol proto;
+    SynchronousDaemon d;
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      RunOptions opt;
+      opt.max_steps = 100000;
+      const auto res = run_execution(g, proto, d, random_pointers(g, seed),
+                                     opt, stable(proto));
+      ASSERT_TRUE(res.terminated) << "n=" << g.n() << " seed=" << seed;
+      EXPECT_TRUE(proto.is_maximal_matching(g, res.final_config))
+          << "n=" << g.n() << " seed=" << seed;
+    }
+  }
+}
+
+TEST(MatchingTest, SynchronousConvergenceWithinBound) {
+  // Section 3: 2n+1 steps under sd.
+  for (const Graph& g :
+       {make_ring(10), make_grid(3, 5), make_random_connected(12, 0.3, 9)}) {
+    const MatchingProtocol proto;
+    SynchronousDaemon d;
+    const std::int64_t bound = matching_sync_bound(g.n());
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      RunOptions opt;
+      opt.max_steps = 10 * bound;
+      const auto res = run_execution(g, proto, d, random_pointers(g, seed),
+                                     opt, stable(proto));
+      ASSERT_TRUE(res.terminated) << "seed=" << seed;
+      EXPECT_LE(res.convergence_steps(), bound) << "n=" << g.n();
+    }
+  }
+}
+
+TEST(MatchingTest, AsynchronousConvergenceWithinMoveBound) {
+  // Section 3: 4n+2m moves under the unfair distributed daemon.
+  const Graph g = make_random_connected(10, 0.35, 21);
+  const MatchingProtocol proto;
+  const std::int64_t bound = matching_ud_bound(g.n(), g.m());
+  std::vector<std::unique_ptr<Daemon>> daemons;
+  daemons.push_back(std::make_unique<CentralRoundRobinDaemon>());
+  daemons.push_back(std::make_unique<CentralMinIdDaemon>());
+  daemons.push_back(std::make_unique<CentralMaxIdDaemon>());
+  daemons.push_back(std::make_unique<RandomSubsetDaemon>(4));
+  for (auto& d : daemons) {
+    for (std::uint64_t seed = 40; seed < 44; ++seed) {
+      RunOptions opt;
+      opt.max_steps = 10 * bound;
+      const auto res =
+          run_execution(g, proto, *d, random_pointers(g, seed), opt,
+                        stable(proto));
+      ASSERT_TRUE(res.terminated) << d->name() << " seed=" << seed;
+      EXPECT_LE(res.moves, bound) << d->name() << " seed=" << seed;
+      EXPECT_TRUE(proto.is_maximal_matching(g, res.final_config));
+    }
+  }
+}
+
+TEST(MatchingTest, MatchedPairsExtraction) {
+  const Graph g = make_path(4);
+  const MatchingProtocol proto;
+  const Config<PState> cfg{1, 0, 3, 2};
+  const auto pairs = proto.matched_pairs(g, cfg);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(pairs[0], (std::pair<VertexId, VertexId>{0, 1}));
+  EXPECT_EQ(pairs[1], (std::pair<VertexId, VertexId>{2, 3}));
+  EXPECT_TRUE(proto.is_maximal_matching(g, cfg));
+}
+
+TEST(MatchingTest, NonMaximalDetected) {
+  const Graph g = make_path(4);
+  const MatchingProtocol proto;
+  // Only 1-2 matched would be maximal; all-null is not.
+  EXPECT_FALSE(
+      proto.is_maximal_matching(g, MatchingProtocol::null_config(g)));
+  const Config<PState> cfg{MatchingProtocol::kNull, 2, 1,
+                           MatchingProtocol::kNull};
+  EXPECT_TRUE(proto.is_maximal_matching(g, cfg));
+}
+
+}  // namespace
+}  // namespace specstab

@@ -1,0 +1,162 @@
+// Tests for the Huang-Chen min+1 BFS construction (Section 3 example).
+#include "baselines/min_plus_one.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+
+namespace specstab {
+namespace {
+
+using MState = MinPlusOneProtocol::State;
+using Legit = std::function<bool(const Graph&, const Config<MState>&)>;
+
+Legit exact(const MinPlusOneProtocol& proto) {
+  return [&proto](const Graph& g, const Config<MState>& cfg) {
+    return proto.legitimate(g, cfg);
+  };
+}
+
+Config<MState> random_levels(VertexId n, MState cap, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<MState> pick(0, cap);
+  Config<MState> cfg(static_cast<std::size_t>(n));
+  for (auto& s : cfg) s = pick(rng);
+  return cfg;
+}
+
+TEST(MinPlusOneTest, ConstructionValidation) {
+  EXPECT_THROW((void)MinPlusOneProtocol(make_path(3), 5),
+               std::invalid_argument);
+  Graph disconnected(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW((void)MinPlusOneProtocol(disconnected), std::invalid_argument);
+}
+
+TEST(MinPlusOneTest, ExactLevelsAreBfsDistances) {
+  const Graph g = make_grid(3, 3);
+  const MinPlusOneProtocol proto(g);
+  EXPECT_EQ(proto.exact_levels(), bfs_distances(g, 0));
+  EXPECT_TRUE(proto.legitimate(g, proto.exact_levels()));
+}
+
+TEST(MinPlusOneTest, GuardsAndTargets) {
+  const Graph g = make_path(3);
+  const MinPlusOneProtocol proto(g);
+  // Correct config: nobody enabled.
+  EXPECT_FALSE(proto.enabled(g, {0, 1, 2}, 0));
+  EXPECT_FALSE(proto.enabled(g, {0, 1, 2}, 1));
+  EXPECT_FALSE(proto.enabled(g, {0, 1, 2}, 2));
+  // Root drives to 0.
+  EXPECT_TRUE(proto.enabled(g, {2, 1, 2}, 0));
+  EXPECT_EQ(proto.apply(g, {2, 1, 2}, 0), 0);
+  EXPECT_EQ(proto.rule_name(g, {2, 1, 2}, 0), "ROOT");
+  // Interior drives to min+1.
+  EXPECT_TRUE(proto.enabled(g, {0, 3, 2}, 1));
+  EXPECT_EQ(proto.apply(g, {0, 3, 2}, 1), 1);
+  EXPECT_EQ(proto.rule_name(g, {0, 3, 2}, 1), "MIN+1");
+}
+
+TEST(MinPlusOneTest, LevelsAreCapped) {
+  const Graph g = make_path(3);
+  const MinPlusOneProtocol proto(g);
+  // All at cap: vertex 1's target is min(cap + 1, cap) = cap; vertex 2
+  // likewise, so only the root is enabled.
+  const Config<MState> cfg{3, 3, 3};
+  EXPECT_TRUE(proto.enabled(g, cfg, 0));
+  EXPECT_FALSE(proto.enabled(g, cfg, 1));
+  EXPECT_FALSE(proto.enabled(g, cfg, 2));
+}
+
+TEST(MinPlusOneTest, SynchronousConvergenceWithinDiamPlusOne) {
+  for (const Graph& g : {make_path(10), make_grid(4, 5), make_ring(9),
+                         make_binary_tree(15), make_star(8)}) {
+    const MinPlusOneProtocol proto(g);
+    SynchronousDaemon d;
+    const std::int64_t bound = min_plus_one_sync_theta(diameter(g));
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      RunOptions opt;
+      opt.max_steps = 10 * (bound + 2);
+      const auto res =
+          run_execution(g, proto, d, random_levels(g.n(), g.n(), seed), opt,
+                        exact(proto));
+      ASSERT_TRUE(res.converged()) << "n=" << g.n() << " seed=" << seed;
+      EXPECT_LE(res.convergence_steps(), bound)
+          << "n=" << g.n() << " seed=" << seed;
+      EXPECT_TRUE(res.terminated);  // silent protocol
+    }
+  }
+}
+
+TEST(MinPlusOneTest, ConvergesUnderAsynchronousSchedules) {
+  const Graph g = make_grid(3, 4);
+  const MinPlusOneProtocol proto(g);
+  std::vector<std::unique_ptr<Daemon>> daemons;
+  daemons.push_back(std::make_unique<CentralRoundRobinDaemon>());
+  daemons.push_back(std::make_unique<CentralMaxIdDaemon>());
+  daemons.push_back(std::make_unique<DistributedBernoulliDaemon>(0.3, 17));
+  for (auto& d : daemons) {
+    RunOptions opt;
+    opt.max_steps = 100000;
+    const auto res = run_execution(
+        g, proto, *d, random_levels(g.n(), g.n(), 5), opt, exact(proto));
+    ASSERT_TRUE(res.converged()) << d->name();
+    EXPECT_EQ(res.final_config, proto.exact_levels()) << d->name();
+  }
+}
+
+TEST(MinPlusOneTest, ParentPointersFormBfsTree) {
+  const Graph g = make_grid(3, 3);
+  const MinPlusOneProtocol proto(g);
+  const auto& levels = proto.exact_levels();
+  EXPECT_EQ(proto.parent(g, levels, 0), -1);
+  for (VertexId v = 1; v < g.n(); ++v) {
+    const VertexId p = proto.parent(g, levels, v);
+    ASSERT_GE(p, 0);
+    EXPECT_TRUE(g.has_edge(v, p));
+    EXPECT_EQ(levels[static_cast<std::size_t>(p)] + 1,
+              levels[static_cast<std::size_t>(v)]);
+  }
+}
+
+TEST(MinPlusOneTest, NonZeroRootSupported) {
+  const Graph g = make_path(5);
+  const MinPlusOneProtocol proto(g, 2);
+  EXPECT_EQ(proto.exact_levels(), (Config<MState>{2, 1, 0, 1, 2}));
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 100;
+  const auto res = run_execution(g, proto, d, Config<MState>{5, 5, 5, 5, 5},
+                                 opt, exact(proto));
+  EXPECT_TRUE(res.converged());
+}
+
+TEST(MinPlusOneTest, AdversarialCentralCostsMoreThanSync) {
+  // The Section 3 speculation gap on one instance.
+  const Graph g = make_path(16);
+  const MinPlusOneProtocol proto(g);
+  RunOptions opt;
+  opt.max_steps = 1000000;
+
+  // Worst adversarial-ish initial config: levels ascending away from the
+  // far end so that corrections cascade one at a time.
+  Config<MState> bad(16, 0);
+  for (VertexId v = 0; v < 16; ++v) bad[static_cast<std::size_t>(v)] = 1;
+
+  SynchronousDaemon sd;
+  const auto sync = run_execution(g, proto, sd, bad, opt, exact(proto));
+  CentralMaxIdDaemon lazy;
+  const auto adv = run_execution(g, proto, lazy, bad, opt, exact(proto));
+  ASSERT_TRUE(sync.converged());
+  ASSERT_TRUE(adv.converged());
+  EXPECT_GT(adv.convergence_steps(), sync.convergence_steps());
+}
+
+}  // namespace
+}  // namespace specstab

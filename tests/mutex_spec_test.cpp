@@ -1,0 +1,95 @@
+// Unit tests for the spec_ME monitor.
+#include "core/mutex_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace specstab {
+namespace {
+
+struct Fixture {
+  Graph g = make_path(3);  // n=3, diam=2; privileged: 6, 10, 14
+  SsmeProtocol proto = SsmeProtocol::for_graph(g);
+};
+
+TEST(MutexSpecMonitorTest, NoViolationOnSafeConfigs) {
+  Fixture f;
+  MutexSpecMonitor m(f.g, f.proto);
+  m.on_action(0, {6, 5, 5}, {0});
+  m.on_action(1, {7, 6, 5}, {1});
+  m.finish(2, {7, 7, 6});
+  EXPECT_EQ(m.report().last_safety_violation, -1);
+  EXPECT_EQ(m.report().max_simultaneous_privileged, 1);
+  EXPECT_EQ(m.report().configurations_seen, 3);
+  EXPECT_EQ(m.report().stabilization_steps(), 0);
+}
+
+TEST(MutexSpecMonitorTest, ViolationDetectedAndIndexed) {
+  Fixture f;
+  MutexSpecMonitor m(f.g, f.proto);
+  m.on_action(0, {6, 10, 0}, {2});   // two privileged: violation at 0
+  m.on_action(1, {6, 0, 0}, {0});    // safe
+  m.finish(2, {0, 0, 0});
+  EXPECT_EQ(m.report().last_safety_violation, 0);
+  EXPECT_EQ(m.report().max_simultaneous_privileged, 2);
+  EXPECT_EQ(m.report().stabilization_steps(), 1);
+}
+
+TEST(MutexSpecMonitorTest, LastViolationWins) {
+  Fixture f;
+  MutexSpecMonitor m(f.g, f.proto);
+  m.on_action(0, {6, 10, 0}, {0});
+  m.on_action(1, {0, 0, 0}, {0});
+  m.on_action(2, {6, 10, 14}, {0});  // three privileged at index 2
+  m.finish(3, {0, 0, 0});
+  EXPECT_EQ(m.report().last_safety_violation, 2);
+  EXPECT_EQ(m.report().max_simultaneous_privileged, 3);
+  EXPECT_EQ(m.report().stabilization_steps(), 3);
+}
+
+TEST(MutexSpecMonitorTest, ViolationInFinalConfigurationCounts) {
+  Fixture f;
+  MutexSpecMonitor m(f.g, f.proto);
+  m.on_action(0, {0, 0, 0}, {0});
+  m.finish(1, {6, 10, 0});
+  EXPECT_EQ(m.report().last_safety_violation, 1);
+}
+
+TEST(MutexSpecMonitorTest, CriticalSectionRequiresPrivilegeAndActivation) {
+  Fixture f;
+  MutexSpecMonitor m(f.g, f.proto);
+  // Vertex 0 privileged but NOT activated: no CS.
+  m.on_action(0, {6, 5, 5}, {1});
+  // Vertex 0 privileged AND activated: CS.
+  m.on_action(1, {6, 6, 5}, {0, 2});
+  // Vertex 2 activated but not privileged: no CS.
+  m.finish(2, {7, 6, 6});
+  EXPECT_EQ(m.report().cs_executions[0], 1);
+  EXPECT_EQ(m.report().cs_executions[1], 0);
+  EXPECT_EQ(m.report().cs_executions[2], 0);
+  EXPECT_FALSE(m.report().liveness_at_least(1));
+  EXPECT_EQ(m.report().min_cs_executions(), 0);
+}
+
+TEST(MutexSpecMonitorTest, LivenessThreshold) {
+  Fixture f;
+  MutexSpecMonitor m(f.g, f.proto);
+  m.on_action(0, {6, 5, 5}, {0});
+  m.on_action(1, {5, 10, 5}, {1});
+  m.on_action(2, {5, 5, 14}, {2});
+  m.finish(3, {5, 5, 5});
+  EXPECT_TRUE(m.report().liveness_at_least(1));
+  EXPECT_FALSE(m.report().liveness_at_least(2));
+  EXPECT_EQ(m.report().min_cs_executions(), 1);
+}
+
+TEST(MutexSpecReportTest, EmptyReportDefaults) {
+  MutexSpecReport r;
+  EXPECT_EQ(r.stabilization_steps(), 0);
+  EXPECT_FALSE(r.liveness_at_least(1));
+  EXPECT_EQ(r.min_cs_executions(), 0);
+}
+
+}  // namespace
+}  // namespace specstab

@@ -1,0 +1,131 @@
+// Tests for exact unison parameter computation, including end-to-end runs
+// with MINIMAL parameters and negative tests showing the constraints are
+// not vacuous.
+#include "unison/parameters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/adversarial_configs.hpp"
+#include "graph/generators.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+#include "unison/unison.hpp"
+#include "unison/unison_spec.hpp"
+
+namespace specstab {
+namespace {
+
+TEST(UnisonParametersTest, MinimalValuesPerFamily) {
+  // Ring: hole = n, cyclo = n -> alpha = n-2, K = n+1.
+  const auto ring = minimal_unison_parameters(make_ring(9));
+  EXPECT_EQ(ring.alpha, 7);
+  EXPECT_EQ(ring.k, 10);
+  // Tree: hole = cyclo = 2 -> alpha = 1 (clamped), K = 3.
+  const auto tree = minimal_unison_parameters(make_binary_tree(7));
+  EXPECT_EQ(tree.alpha, 1);
+  EXPECT_EQ(tree.k, 3);
+  // Complete graph: hole = 3, cyclo = 3 -> alpha = 1, K = 4.
+  const auto complete = minimal_unison_parameters(make_complete(5));
+  EXPECT_EQ(complete.alpha, 1);
+  EXPECT_EQ(complete.k, 4);
+  // Grid: hole = boundary cycle, cyclo = 4.
+  const auto grid = minimal_unison_parameters(make_grid(3, 3));
+  EXPECT_EQ(grid.hole, 8);
+  EXPECT_EQ(grid.alpha, 6);
+  EXPECT_EQ(grid.k, 5);
+}
+
+TEST(UnisonParametersTest, ValidationAgainstExactTopology) {
+  const Graph g = make_ring(7);  // hole 7, cyclo 7
+  EXPECT_TRUE(validate_unison_parameters(g, 5, 8));
+  EXPECT_FALSE(validate_unison_parameters(g, 4, 8));  // alpha < hole-2
+  EXPECT_FALSE(validate_unison_parameters(g, 5, 7));  // K = cyclo
+  EXPECT_FALSE(validate_unison_parameters(g, 0, 8));
+  EXPECT_FALSE(validate_unison_parameters(g, 5, 1));
+}
+
+TEST(UnisonParametersTest, SufficientImpliesValid) {
+  for (const Graph& g : {make_ring(8), make_grid(3, 3), make_petersen(),
+                         make_complete(6), make_binary_tree(7)}) {
+    const ClockValue alpha = g.n();
+    const ClockValue k = g.n() + 1;
+    ASSERT_TRUE(sufficient_unison_parameters(g, alpha, k));
+    EXPECT_TRUE(validate_unison_parameters(g, alpha, k)) << g.n();
+  }
+}
+
+TEST(UnisonParametersTest, MinimalParametersStabilizeOnRing) {
+  // End-to-end: the unison with EXACT minimal parameters stabilizes and
+  // keeps incrementing (much smaller clocks than SSME's generic choice).
+  const Graph g = make_ring(6);
+  const auto p = minimal_unison_parameters(g);  // alpha=4, K=7
+  const UnisonProtocol proto(CherryClock(p.alpha, p.k));
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 300;
+  opt.record_trace = true;
+  const auto init = random_config(g, proto.clock(), 13);
+  const auto res = run_execution(g, proto, d, init, opt);
+  const auto rep = check_unison_spec(g, proto, res.trace);
+  EXPECT_GE(rep.min_increments(), 1);
+  EXPECT_LT(rep.stabilization_steps(), 300);
+  EXPECT_TRUE(proto.legitimate(g, res.final_config));
+}
+
+TEST(UnisonParametersTest, MinimalParametersStabilizeUnderCentralDaemon) {
+  const Graph g = make_grid(3, 3);
+  const auto p = minimal_unison_parameters(g);
+  const UnisonProtocol proto(CherryClock(p.alpha, p.k));
+  CentralRoundRobinDaemon d;
+  RunOptions opt;
+  opt.max_steps = 100000;
+  opt.steps_after_convergence = 0;
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> legit =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      };
+  const auto res = run_execution(
+      g, proto, d, random_config(g, proto.clock(), 3), opt, legit);
+  EXPECT_TRUE(res.converged());
+}
+
+TEST(UnisonParametersTest, TooSmallKCanDeadlockLiveness) {
+  // NEGATIVE: on a ring with K = cyclo(g) = n (violating K > cyclo), the
+  // evenly-spread configuration 0,1,2,..,n-1 is in Gamma_1 but NO vertex
+  // is ever enabled: every vertex has a neighbour exactly one behind, so
+  // no one is a local minimum -> liveness dies.  This is exactly why the
+  // paper requires K > cyclo(g).
+  const VertexId n = 6;
+  const Graph g = make_ring(n);
+  const UnisonProtocol proto(CherryClock(n - 2, n));  // K = n = cyclo: BAD
+  Config<ClockValue> spread(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) spread[static_cast<std::size_t>(v)] = v;
+  ASSERT_TRUE(proto.legitimate(g, spread));  // drift 1 everywhere
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 100;
+  const auto res = run_execution(g, proto, d, spread, opt);
+  EXPECT_TRUE(res.terminated);  // deadlock: nobody enabled
+  EXPECT_EQ(res.steps, 0);
+}
+
+TEST(UnisonParametersTest, PaperKIsStrictlyAboveDeadlockThreshold) {
+  // With the paper's K > cyclo the spread configuration above is not even
+  // constructible as a closed loop: some vertex must be a local minimum.
+  const VertexId n = 6;
+  const Graph g = make_ring(n);
+  const UnisonProtocol proto(CherryClock(n, n + 1));  // K = n+1 > cyclo
+  Config<ClockValue> spread(static_cast<std::size_t>(n));
+  for (VertexId v = 0; v < n; ++v) spread[static_cast<std::size_t>(v)] = v;
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 100;
+  const auto res = run_execution(g, proto, d, spread, opt);
+  EXPECT_FALSE(res.terminated);  // the unison keeps ticking
+  EXPECT_TRUE(res.hit_step_cap);
+}
+
+}  // namespace
+}  // namespace specstab

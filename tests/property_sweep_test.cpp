@@ -1,0 +1,215 @@
+// Parameterized property sweeps (TEST_P) over topology families, seeds,
+// and daemons: the invariants behind the paper's proofs, checked at scale.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "core/adversarial_configs.hpp"
+#include "core/ssme.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+
+namespace specstab {
+namespace {
+
+// ---------------------------------------------------------------------
+// Topology factory shared by the sweeps.
+// ---------------------------------------------------------------------
+struct TopologySpec {
+  std::string name;
+  Graph graph;
+};
+
+std::vector<TopologySpec> sweep_topologies() {
+  return {
+      {"ring8", make_ring(8)},
+      {"ring11", make_ring(11)},
+      {"path9", make_path(9)},
+      {"grid3x4", make_grid(3, 4)},
+      {"star7", make_star(7)},
+      {"btree15", make_binary_tree(15)},
+      {"petersen", make_petersen()},
+      {"hypercube3", make_hypercube(3)},
+      {"complete6", make_complete(6)},
+      {"wheel7", make_wheel(7)},
+      {"lollipop4p3", make_lollipop(4, 3)},
+      {"random10", make_random_connected(10, 0.3, 77)},
+  };
+}
+
+// ---------------------------------------------------------------------
+// Property 1 (Theorem 2 sweep): synchronous stabilization of spec_ME
+// safety within ceil(diam/2) steps from random and crafted configs.
+// ---------------------------------------------------------------------
+class SyncBoundSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(SyncBoundSweep, SafetyStabilizesWithinCeilHalfDiam) {
+  const auto topologies = sweep_topologies();
+  const auto& spec =
+      topologies[static_cast<std::size_t>(std::get<0>(GetParam()))];
+  const std::uint64_t seed = std::get<1>(GetParam());
+
+  const Graph& g = spec.graph;
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 4 * (proto.params().n + proto.params().k);
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> safe =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.mutex_safe(gg, c);
+      };
+  const auto init = (seed % 3 == 0)
+                        ? two_gradient_config(g, proto)
+                        : random_config(g, proto.clock(), seed * 7919);
+  const auto res = run_execution(g, proto, d, init, opt, safe);
+  ASSERT_TRUE(res.converged()) << spec.name;
+  EXPECT_LE(res.convergence_steps(), ssme_sync_bound(proto.params().diam))
+      << spec.name << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, SyncBoundSweep,
+    ::testing::Combine(::testing::Range(0, 12),
+                       ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u)),
+    [](const ::testing::TestParamInfo<std::tuple<int, std::uint64_t>>& info) {
+      return sweep_topologies()[static_cast<std::size_t>(
+                                    std::get<0>(info.param))]
+                 .name +
+             "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------
+// Property 2 (Theorem 1 sweep): under asynchronous daemons SSME reaches
+// Gamma_1, which is closed, and safety holds inside it.
+// ---------------------------------------------------------------------
+class AsyncStabilizationSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+std::unique_ptr<Daemon> sweep_daemon(int which, std::uint64_t seed) {
+  switch (which) {
+    case 0: return std::make_unique<CentralRoundRobinDaemon>();
+    case 1: return std::make_unique<CentralRandomDaemon>(seed);
+    case 2: return std::make_unique<CentralMinIdDaemon>();
+    case 3: return std::make_unique<CentralMaxIdDaemon>();
+    case 4: return std::make_unique<DistributedBernoulliDaemon>(0.5, seed);
+    default: return std::make_unique<RandomSubsetDaemon>(seed);
+  }
+}
+
+TEST_P(AsyncStabilizationSweep, ReachesGammaOneAndStaysSafe) {
+  const auto topologies = sweep_topologies();
+  const auto& spec =
+      topologies[static_cast<std::size_t>(std::get<0>(GetParam())) % 6];
+  const int daemon_idx = std::get<1>(GetParam());
+
+  const Graph& g = spec.graph;
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  auto d = sweep_daemon(daemon_idx, 1000 + static_cast<std::uint64_t>(daemon_idx));
+  RunOptions opt;
+  opt.max_steps = 400000;
+  opt.steps_after_convergence = 2 * proto.params().k;
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> legit =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      };
+  const auto init = random_config(g, proto.clock(), 0xc0ffee + spec.graph.n());
+  const auto res = run_execution(g, proto, *d, init, opt, legit);
+  ASSERT_TRUE(res.converged()) << spec.name << " " << d->name();
+  EXPECT_TRUE(proto.legitimate(g, res.final_config));
+  EXPECT_TRUE(proto.mutex_safe(g, res.final_config));
+  EXPECT_LE(res.convergence_steps(),
+            ssme_ud_bound(proto.params().n, proto.params().diam))
+      << spec.name << " " << d->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(DaemonsByTopology, AsyncStabilizationSweep,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Range(0, 6)));
+
+// ---------------------------------------------------------------------
+// Property 3 (Lemma machinery): privileged values sit strictly inside
+// stab and pairwise further than diam apart on every sweep topology.
+// ---------------------------------------------------------------------
+class PrivilegedValueSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrivilegedValueSweep, SpacingInvariants) {
+  const auto topologies = sweep_topologies();
+  const auto& spec = topologies[static_cast<std::size_t>(GetParam())];
+  const SsmeParams p = SsmeParams::for_graph(spec.graph);
+  const CherryClock clock = p.make_clock();
+  for (VertexId a = 0; a < p.n; ++a) {
+    const ClockValue pa = p.privileged_value(a);
+    EXPECT_TRUE(clock.in_stab(pa));
+    EXPECT_GT(clock.ring_distance(pa, 0), p.diam)
+        << spec.name << " id=" << a;  // Lemma 2's zero-island argument
+    for (VertexId b = a + 1; b < p.n; ++b) {
+      EXPECT_GT(clock.ring_distance(pa, p.privileged_value(b)), p.diam)
+          << spec.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, PrivilegedValueSweep,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------
+// Property 4: determinism — same graph, same daemon, same seed, same
+// initial configuration => identical executions.
+// ---------------------------------------------------------------------
+class DeterminismSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeterminismSweep, RunsAreReproducible) {
+  const auto topologies = sweep_topologies();
+  const auto& spec = topologies[static_cast<std::size_t>(GetParam())];
+  const Graph& g = spec.graph;
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  const auto init = random_config(g, proto.clock(), 4242);
+  RunOptions opt;
+  opt.max_steps = 300;
+  opt.record_trace = true;
+
+  DistributedBernoulliDaemon d1(0.5, 9);
+  DistributedBernoulliDaemon d2(0.5, 9);
+  const auto r1 = run_execution(g, proto, d1, init, opt);
+  const auto r2 = run_execution(g, proto, d2, init, opt);
+  EXPECT_EQ(r1.trace, r2.trace) << spec.name;
+  EXPECT_EQ(r1.moves, r2.moves);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, DeterminismSweep,
+                         ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------
+// Property 5: the zero configuration is legitimate everywhere and the
+// execution from it never violates safety (closure from a clean start).
+// ---------------------------------------------------------------------
+class CleanStartSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CleanStartSweep, ZeroConfigStaysSafeForever) {
+  const auto topologies = sweep_topologies();
+  const auto& spec = topologies[static_cast<std::size_t>(GetParam())];
+  const Graph& g = spec.graph;
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 2 * proto.params().k + 10;
+  opt.record_trace = true;
+  const auto res = run_execution(g, proto, d, zero_config(g), opt);
+  for (const auto& cfg : res.trace) {
+    ASSERT_TRUE(proto.legitimate(g, cfg)) << spec.name;
+    ASSERT_TRUE(proto.mutex_safe(g, cfg)) << spec.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, CleanStartSweep,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace specstab

@@ -1,0 +1,130 @@
+// Tests for the critical-section service layer: CS accounting matches the
+// paper's definition (privileged AND activated), fairness metrics, and
+// the K-period steady state of SSME under the synchronous daemon.
+#include "core/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/adversarial_configs.hpp"
+#include "core/generalized_ssme.hpp"
+#include "core/ssme.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+
+namespace specstab {
+namespace {
+
+static_assert(PrivilegedProtocol<SsmeProtocol>);
+static_assert(PrivilegedProtocol<GeneralizedSsmeProtocol>);
+
+TEST(ServiceTest, CleanStartServesEveryVertexOncePerCycle) {
+  const Graph g = make_ring(5);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  // Three full clock cycles: inside Gamma_1 under sd every vertex is
+  // privileged exactly once per K steps.
+  opt.max_steps = 3 * proto.params().k;
+  const auto stats = run_service(g, proto, d, zero_config(g), opt);
+  ASSERT_TRUE(stats.all_served());
+  for (VertexId v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(stats.services[static_cast<std::size_t>(v)], 3) << v;
+  }
+}
+
+TEST(ServiceTest, ServicePeriodIsKUnderSynchronousDaemon) {
+  const Graph g = make_ring(6);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 4 * proto.params().k;
+  const auto stats = run_service(g, proto, d, zero_config(g), opt);
+  // n services per K steps system-wide.
+  EXPECT_NEAR(stats.mean_service_period(),
+              static_cast<double>(proto.params().k) / g.n(),
+              1.0);
+}
+
+TEST(ServiceTest, PerfectFairnessOnCleanStart) {
+  const Graph g = make_path(7);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 5 * proto.params().k;
+  const auto stats = run_service(g, proto, d, zero_config(g), opt);
+  EXPECT_DOUBLE_EQ(stats.jain_index(), 1.0);
+}
+
+TEST(ServiceTest, CallbackSeesEveryCriticalSection) {
+  const Graph g = make_ring(4);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 2 * proto.params().k;
+  std::vector<std::pair<VertexId, StepIndex>> seen;
+  const auto stats = run_service(
+      g, proto, d, zero_config(g), opt,
+      [&seen](VertexId v, StepIndex step) { seen.emplace_back(v, step); });
+  EXPECT_EQ(static_cast<std::int64_t>(seen.size()), stats.total_services());
+  for (const auto& [v, step] : seen) {
+    EXPECT_GE(step, 0);
+    EXPECT_LT(step, stats.steps);
+  }
+}
+
+TEST(ServiceTest, MaxGapBoundedByClockCycleInSteadyState) {
+  const Graph g = make_grid(3, 3);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 4 * proto.params().k;
+  const auto stats = run_service(g, proto, d, zero_config(g), opt);
+  for (VertexId v = 0; v < g.n(); ++v) {
+    EXPECT_LE(stats.max_gap[static_cast<std::size_t>(v)],
+              static_cast<StepIndex>(proto.params().k) + 1)
+        << v;
+  }
+}
+
+TEST(ServiceTest, RecoversServiceAfterArbitraryStart) {
+  const Graph g = make_ring(6);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 6 * (proto.params().k + proto.params().alpha);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto stats = run_service(
+        g, proto, d, random_config(g, proto.clock(), seed), opt);
+    EXPECT_TRUE(stats.all_served()) << seed;
+  }
+}
+
+TEST(ServiceTest, GeneralizedMinimalLayoutServesFaster) {
+  // The minimal Gamma_1-safe layout has a smaller K, hence a shorter
+  // service period — the latency the paper trades for its proof slack.
+  const Graph g = make_ring(8);
+  const SsmeProtocol paper = SsmeProtocol::for_graph(g);
+  const GeneralizedSsmeProtocol minimal(GeneralizedSsmeParams::minimal_safe(
+      g.n(), diameter(g), static_cast<ClockValue>(g.n())));
+  SynchronousDaemon d1;
+  SynchronousDaemon d2;
+  RunOptions opt;
+  opt.max_steps = 4 * paper.params().k;  // same horizon for both
+  const auto stats_paper = run_service(g, paper, d1, zero_config(g), opt);
+  const auto stats_min = run_service(g, minimal, d2, zero_config(g), opt);
+  EXPECT_GT(stats_min.total_services(), stats_paper.total_services());
+}
+
+TEST(ServiceTest, JainIndexDetectsStarvation) {
+  ServiceStats stats;
+  stats.services = {10, 10, 10, 0};  // one starved vertex
+  EXPECT_LT(stats.jain_index(), 1.0);
+  EXPECT_FALSE(stats.all_served());
+  stats.services = {7, 7, 7, 7};
+  EXPECT_DOUBLE_EQ(stats.jain_index(), 1.0);
+}
+
+}  // namespace
+}  // namespace specstab

@@ -1,0 +1,129 @@
+// Tests for the speculative-stabilization framework (Definition 4):
+// conv_time as a function of the daemon, portfolio measurement, and the
+// speculative separation of SSME.
+#include "core/speculation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/adversarial_configs.hpp"
+#include "core/ssme.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+
+namespace specstab {
+namespace {
+
+using Legit = std::function<bool(const Graph&, const Config<ClockValue>&)>;
+
+Legit gamma1(const SsmeProtocol& proto) {
+  return [&proto](const Graph& g, const Config<ClockValue>& cfg) {
+    return proto.legitimate(g, cfg);
+  };
+}
+
+Legit safe(const SsmeProtocol& proto) {
+  return [&proto](const Graph& g, const Config<ClockValue>& cfg) {
+    return proto.mutex_safe(g, cfg);
+  };
+}
+
+TEST(SpeculationTest, MeasureConvergenceTakesWorstOverConfigs) {
+  const Graph g = make_ring(6);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 2000;
+  opt.steps_after_convergence = 50;
+
+  // Zero config converges in 0 steps; the witness takes ceil(diam/2).
+  std::vector<Config<ClockValue>> inits = {zero_config(g),
+                                           two_gradient_config(g, proto)};
+  const auto m =
+      measure_convergence(g, proto, d, inits, safe(proto), opt);
+  EXPECT_EQ(m.daemon_name, "synchronous");
+  EXPECT_EQ(m.runs, 2u);
+  EXPECT_TRUE(m.all_converged);
+  EXPECT_EQ(m.worst_steps, ssme_sync_bound(proto.params().diam));
+}
+
+TEST(SpeculationTest, StandardPortfolioComposition) {
+  auto p = AdversaryPortfolio::standard(1);
+  EXPECT_EQ(p.size(), 9u);
+  EXPECT_EQ(p.daemon(0).name(), "synchronous");
+  auto s = AdversaryPortfolio::synchronous_only();
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(SpeculationTest, PortfolioWorstDominatesEveryRow) {
+  const Graph g = make_ring(5);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  auto portfolio = AdversaryPortfolio::standard(7);
+  RunOptions opt;
+  opt.max_steps = 100000;
+  opt.steps_after_convergence = 0;
+  const auto inits = random_configs(g, proto.clock(), 3, 55);
+  const auto pm =
+      measure_portfolio(g, proto, portfolio, inits, gamma1(proto), opt);
+  ASSERT_EQ(pm.rows.size(), portfolio.size());
+  EXPECT_TRUE(pm.all_converged);
+  for (const auto& row : pm.rows) {
+    EXPECT_LE(row.worst_steps, pm.worst_steps);
+    EXPECT_LE(row.worst_moves, pm.worst_moves);
+  }
+}
+
+TEST(SpeculationTest, SsmeIsSdSpeculative) {
+  // The Definition 4 separation on one instance: the synchronous
+  // conv_time for spec_ME stays within ceil(diam/2) while asynchronous
+  // schedules in the portfolio pay more (they are slower to Gamma_1, and
+  // the witness keeps the sync cost at its maximum, which the bound
+  // still caps).
+  const Graph g = make_ring(8);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  RunOptions opt;
+  opt.max_steps = 200000;
+  opt.steps_after_convergence = 0;
+
+  std::vector<Config<ClockValue>> inits =
+      random_configs(g, proto.clock(), 4, 321);
+  inits.push_back(two_gradient_config(g, proto));
+
+  SynchronousDaemon sd;
+  const auto sync =
+      measure_convergence(g, proto, sd, inits, safe(proto), opt);
+  ASSERT_TRUE(sync.all_converged);
+  EXPECT_LE(sync.worst_steps, ssme_sync_bound(proto.params().diam));
+
+  // Under Gamma_1 convergence (the ud stabilization target), async
+  // central schedules need far more steps than ceil(diam/2).
+  CentralRoundRobinDaemon rr;
+  const auto async_rr =
+      measure_convergence(g, proto, rr, inits, gamma1(proto), opt);
+  ASSERT_TRUE(async_rr.all_converged);
+  EXPECT_LE(async_rr.worst_steps,
+            ssme_ud_bound(proto.params().n, proto.params().diam));
+  EXPECT_GT(async_rr.worst_steps, sync.worst_steps);
+}
+
+TEST(SpeculationTest, VerdictArithmetic) {
+  SpeculationVerdict v;
+  v.weak_steps = 4;
+  v.strong_steps = 40;
+  EXPECT_DOUBLE_EQ(v.observed_speedup(), 10.0);
+  v.weak_steps = 0;
+  EXPECT_DOUBLE_EQ(v.observed_speedup(), 40.0);
+}
+
+TEST(SpeculationTest, NonConvergedRunsAreFlagged) {
+  const Graph g = make_ring(5);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 1;  // far too few to reach Gamma_1 from a bad config
+  const auto m = measure_convergence(
+      g, proto, d, {random_config(g, proto.clock(), 9)}, gamma1(proto), opt);
+  EXPECT_FALSE(m.all_converged);
+}
+
+}  // namespace
+}  // namespace specstab

@@ -1,0 +1,208 @@
+// Convergence tests for SSME: Theorem 1 (self-stabilization under
+// arbitrary schedules), Theorem 2 (sync stabilization <= ceil(diam/2)),
+// liveness, and closure.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/adversarial_configs.hpp"
+#include "core/mutex_spec.hpp"
+#include "core/ssme.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "graph/properties.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+
+namespace specstab {
+namespace {
+
+using Legit = std::function<bool(const Graph&, const Config<ClockValue>&)>;
+
+Legit mutex_safe_pred(const SsmeProtocol& proto) {
+  return [&proto](const Graph& g, const Config<ClockValue>& cfg) {
+    return proto.mutex_safe(g, cfg);
+  };
+}
+
+Legit gamma1_pred(const SsmeProtocol& proto) {
+  return [&proto](const Graph& g, const Config<ClockValue>& cfg) {
+    return proto.legitimate(g, cfg);
+  };
+}
+
+// Runs SSME under `daemon` from `init` and returns the full result with
+// the mutex-safety predicate tracked.
+RunResult<ClockValue> run_ssme(const Graph& g, const SsmeProtocol& proto,
+                               Daemon& daemon, Config<ClockValue> init,
+                               StepIndex max_steps) {
+  RunOptions opt;
+  opt.max_steps = max_steps;
+  return run_execution(g, proto, daemon, std::move(init), opt,
+                       mutex_safe_pred(proto));
+}
+
+TEST(SsmeConvergenceTest, Theorem2SyncBoundOnRings) {
+  for (VertexId n : {4, 7, 10, 13}) {
+    const Graph g = make_ring(n);
+    const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+    const std::int64_t bound = ssme_sync_bound(proto.params().diam);
+    SynchronousDaemon d;
+    for (std::uint64_t seed = 0; seed < 12; ++seed) {
+      const auto init = random_config(g, proto.clock(), seed * 31 + n);
+      const auto res = run_ssme(g, proto, d, init, 4000);
+      ASSERT_TRUE(res.converged()) << "n=" << n << " seed=" << seed;
+      EXPECT_LE(res.convergence_steps(), bound)
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(SsmeConvergenceTest, Theorem2SyncBoundOnAssortedTopologies) {
+  const std::vector<Graph> graphs = {
+      make_path(9),        make_grid(3, 4),  make_star(8),
+      make_binary_tree(15), make_petersen(), make_hypercube(3),
+      make_complete(6),    make_wheel(7)};
+  for (const Graph& g : graphs) {
+    const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+    const std::int64_t bound = ssme_sync_bound(proto.params().diam);
+    SynchronousDaemon d;
+    for (std::uint64_t seed = 100; seed < 108; ++seed) {
+      const auto init = random_config(g, proto.clock(), seed);
+      const auto res = run_ssme(g, proto, d, init, 8000);
+      ASSERT_TRUE(res.converged()) << "n=" << g.n() << " seed=" << seed;
+      EXPECT_LE(res.convergence_steps(), bound)
+          << "n=" << g.n() << " diam=" << proto.params().diam
+          << " seed=" << seed;
+    }
+  }
+}
+
+TEST(SsmeConvergenceTest, Theorem1StabilizesUnderAsynchronousSchedules) {
+  const Graph g = make_ring(6);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  const Legit gamma1 = gamma1_pred(proto);
+  std::vector<std::unique_ptr<Daemon>> daemons;
+  daemons.push_back(std::make_unique<CentralRoundRobinDaemon>());
+  daemons.push_back(std::make_unique<CentralRandomDaemon>(11));
+  daemons.push_back(std::make_unique<CentralMinIdDaemon>());
+  daemons.push_back(std::make_unique<CentralMaxIdDaemon>());
+  daemons.push_back(std::make_unique<DistributedBernoulliDaemon>(0.4, 12));
+  daemons.push_back(std::make_unique<RandomSubsetDaemon>(13));
+  for (auto& d : daemons) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const auto init = random_config(g, proto.clock(), 777 + seed);
+      RunOptions opt;
+      opt.max_steps = 200000;
+      opt.steps_after_convergence = 100;
+      const auto res =
+          run_execution(g, proto, *d, init, opt, gamma1);
+      ASSERT_TRUE(res.converged())
+          << d->name() << " seed=" << seed << " steps=" << res.steps;
+      EXPECT_TRUE(proto.legitimate(g, res.final_config)) << d->name();
+      EXPECT_TRUE(proto.mutex_safe(g, res.final_config)) << d->name();
+    }
+  }
+}
+
+TEST(SsmeConvergenceTest, GammaOneEntryImpliesNoLaterSafetyViolation) {
+  // Closure in action: track both predicates; after Gamma_1 entry, the
+  // mutex-safety violations must never reappear.
+  const Graph g = make_grid(3, 3);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto init = random_config(g, proto.clock(), seed ^ 0xabcdef);
+    RunOptions opt;
+    opt.max_steps = 2000;
+    opt.record_trace = true;
+    const auto res = run_execution(g, proto, d, init, opt, gamma1_pred(proto));
+    ASSERT_TRUE(res.converged());
+    const StepIndex entry = res.convergence_steps();
+    for (std::size_t i = static_cast<std::size_t>(entry); i < res.trace.size();
+         ++i) {
+      EXPECT_TRUE(proto.legitimate(g, res.trace[i])) << "closure broken";
+      EXPECT_TRUE(proto.mutex_safe(g, res.trace[i])) << "safety broken";
+    }
+  }
+}
+
+TEST(SsmeConvergenceTest, LivenessEveryVertexEntersCriticalSection) {
+  const Graph g = make_path(4);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  MutexSpecMonitor monitor(g, proto);
+  RunOptions opt;
+  // Enough synchronous steps for several full clock laps: K per lap.
+  opt.max_steps = proto.params().k * 5 + 4 * proto.params().n;
+  const StepObserver<ClockValue> obs =
+      [&monitor](StepIndex i, const Config<ClockValue>& cfg,
+                 const std::vector<VertexId>& act) {
+        monitor.on_action(i, cfg, act);
+      };
+  const auto res = run_execution(g, proto, d,
+                                 random_config(g, proto.clock(), 5), RunOptions{opt},
+                                 nullptr, obs);
+  monitor.finish(res.steps, res.final_config);
+  EXPECT_TRUE(monitor.report().liveness_at_least(3));
+}
+
+TEST(SsmeConvergenceTest, LivenessUnderAsynchronousDaemon) {
+  const Graph g = make_ring(4);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  DistributedBernoulliDaemon d(0.6, 21);
+  MutexSpecMonitor monitor(g, proto);
+  RunOptions opt;
+  opt.max_steps = proto.params().k * 40;
+  const StepObserver<ClockValue> obs =
+      [&monitor](StepIndex i, const Config<ClockValue>& cfg,
+                 const std::vector<VertexId>& act) {
+        monitor.on_action(i, cfg, act);
+      };
+  const auto res = run_execution(g, proto, d, zero_config(g), RunOptions{opt},
+                                 nullptr, obs);
+  monitor.finish(res.steps, res.final_config);
+  EXPECT_EQ(monitor.report().last_safety_violation, -1);  // started in Gamma_1
+  EXPECT_TRUE(monitor.report().liveness_at_least(2));
+}
+
+TEST(SsmeConvergenceTest, NeverTerminates) {
+  // SSME has no terminal configuration: the unison ticks forever.
+  const Graph g = make_ring(5);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 500;
+  const auto res =
+      run_execution(g, proto, d, random_config(g, proto.clock(), 3), opt);
+  EXPECT_TRUE(res.hit_step_cap);
+  EXPECT_FALSE(res.terminated);
+}
+
+TEST(SsmeConvergenceTest, Theorem3StepBoundUnderCentralSchedules) {
+  // The ud bound is O(diam n^3); central adversarial schedules must stay
+  // within it (they are ud schedules).
+  for (VertexId n : {4, 6}) {
+    const Graph g = make_ring(n);
+    const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+    const std::int64_t bound =
+        ssme_ud_bound(proto.params().n, proto.params().diam);
+    std::vector<std::unique_ptr<Daemon>> daemons;
+    daemons.push_back(std::make_unique<CentralMinIdDaemon>());
+    daemons.push_back(std::make_unique<CentralMaxIdDaemon>());
+    daemons.push_back(std::make_unique<CentralRoundRobinDaemon>());
+    for (auto& d : daemons) {
+      const auto init = random_config(g, proto.clock(), 0xfeed + n);
+      RunOptions opt;
+      opt.max_steps = bound + 10;
+      opt.steps_after_convergence = 0;
+      const auto res =
+          run_execution(g, proto, *d, init, opt, gamma1_pred(proto));
+      ASSERT_TRUE(res.converged()) << d->name();
+      EXPECT_LE(res.convergence_steps(), bound) << d->name();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace specstab

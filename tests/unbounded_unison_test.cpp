@@ -1,0 +1,159 @@
+// Tests for the unbounded-clock unison baseline (paper refs [6], [12]):
+// convergence from arbitrary spreads, liveness, and the contrast with the
+// bounded cherry-clock protocol.
+#include "baselines/unbounded_unison.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+#include "core/speculation.hpp"
+#include "graph/generators.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+
+namespace specstab {
+namespace {
+
+static_assert(ProtocolConcept<UnboundedUnisonProtocol>,
+              "unbounded unison must satisfy ProtocolConcept");
+
+using State = UnboundedUnisonProtocol::State;
+
+std::function<bool(const Graph&, const Config<State>&)> legit_of(
+    const UnboundedUnisonProtocol& proto) {
+  return [&proto](const Graph& g, const Config<State>& c) {
+    return proto.legitimate(g, c);
+  };
+}
+
+Config<State> random_clocks(const Graph& g, State lo, State hi,
+                            std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<State> dist(lo, hi);
+  Config<State> cfg(static_cast<std::size_t>(g.n()));
+  for (auto& c : cfg) c = dist(rng);
+  return cfg;
+}
+
+TEST(UnboundedUnisonTest, UniformConfigurationIsLegitimateAndLive) {
+  const Graph g = make_ring(6);
+  const UnboundedUnisonProtocol proto;
+  Config<State> cfg(6, 42);
+  EXPECT_TRUE(proto.legitimate(g, cfg));
+  // All vertices are local minima: the synchronous step increments all.
+  for (VertexId v = 0; v < g.n(); ++v) {
+    EXPECT_TRUE(proto.enabled(g, cfg, v));
+    EXPECT_EQ(proto.apply(g, cfg, v), 43);
+  }
+}
+
+TEST(UnboundedUnisonTest, OnlyLocalMinimaAreEnabled) {
+  const Graph g = make_path(3);
+  const UnboundedUnisonProtocol proto;
+  const Config<State> cfg = {5, 3, 7};
+  EXPECT_FALSE(proto.enabled(g, cfg, 0));
+  EXPECT_TRUE(proto.enabled(g, cfg, 1));
+  EXPECT_FALSE(proto.enabled(g, cfg, 2));
+  EXPECT_EQ(proto.rule_name(g, cfg, 1), "INC");
+}
+
+TEST(UnboundedUnisonTest, SpreadComputation) {
+  EXPECT_EQ(UnboundedUnisonProtocol::spread({3, -4, 10}), 14);
+  EXPECT_EQ(UnboundedUnisonProtocol::spread({7, 7, 7}), 0);
+}
+
+TEST(UnboundedUnisonTest, ConvergesFromArbitrarySpreads) {
+  const UnboundedUnisonProtocol proto;
+  for (const auto& g : {make_ring(8), make_path(9), make_grid(3, 3)}) {
+    SynchronousDaemon d;
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      const auto init = random_clocks(g, -50, 50, seed);
+      RunOptions opt;
+      opt.max_steps =
+          2 * UnboundedUnisonProtocol::spread(init) + 4 * g.n();
+      opt.steps_after_convergence = 8;
+      const auto res = run_execution(g, proto, d, init, opt, legit_of(proto));
+      ASSERT_TRUE(res.converged()) << seed;
+    }
+  }
+}
+
+TEST(UnboundedUnisonTest, SynchronousStabilizationIsBoundedBySpread) {
+  // The global minimum must climb to the initial maximum: conv_time <=
+  // spread (synchronous steps) and cannot beat spread/2-ish on a path
+  // gradient.  Check the upper bound.
+  const Graph g = make_path(6);
+  const UnboundedUnisonProtocol proto;
+  SynchronousDaemon d;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto init = random_clocks(g, 0, 200, seed);
+    RunOptions opt;
+    opt.max_steps = 3 * (UnboundedUnisonProtocol::spread(init) + g.n());
+    opt.steps_after_convergence = 0;
+    const auto res = run_execution(g, proto, d, init, opt, legit_of(proto));
+    ASSERT_TRUE(res.converged()) << seed;
+    EXPECT_LE(res.convergence_steps(),
+              UnboundedUnisonProtocol::spread(init) + g.n())
+        << seed;
+  }
+}
+
+TEST(UnboundedUnisonTest, LegitimacyIsClosedAndClocksKeepTicking) {
+  const Graph g = make_ring(5);
+  const UnboundedUnisonProtocol proto;
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 50;
+  opt.record_trace = true;
+  const auto res =
+      run_execution(g, proto, d, Config<State>(5, 0), opt, legit_of(proto));
+  for (const auto& cfg : res.trace) {
+    EXPECT_TRUE(proto.legitimate(g, cfg));
+  }
+  // Liveness: every clock advanced.
+  for (VertexId v = 0; v < g.n(); ++v) {
+    EXPECT_GT(res.final_config[static_cast<std::size_t>(v)], 0) << v;
+  }
+}
+
+TEST(UnboundedUnisonTest, ConvergesUnderAdversaryPortfolio) {
+  const Graph g = make_grid(3, 3);
+  const UnboundedUnisonProtocol proto;
+  auto portfolio = AdversaryPortfolio::standard(0xdecaf);
+  std::vector<Config<State>> inits;
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    inits.push_back(random_clocks(g, -20, 20, seed));
+  }
+  RunOptions opt;
+  opt.max_steps = 5000;
+  opt.steps_after_convergence = 4;
+  const auto pm =
+      measure_portfolio(g, proto, portfolio, inits, legit_of(proto), opt);
+  EXPECT_TRUE(pm.all_converged);
+}
+
+TEST(UnboundedUnisonTest, StabilizationScalesWithFaultMagnitudeNotTopology) {
+  // The contrast with the cherry clock: one corrupted register at +M
+  // costs Theta(M) to reabsorb, however small the graph.
+  const Graph g = make_ring(4);
+  const UnboundedUnisonProtocol proto;
+  StepIndex prev = 0;
+  for (const State magnitude : {100, 200, 400}) {
+    Config<State> init(4, 0);
+    init[2] = magnitude;
+    SynchronousDaemon d;
+    RunOptions opt;
+    opt.max_steps = 4 * magnitude;
+    opt.steps_after_convergence = 0;
+    const auto res = run_execution(g, proto, d, init, opt, legit_of(proto));
+    ASSERT_TRUE(res.converged());
+    EXPECT_GT(res.convergence_steps(), prev);
+    EXPECT_GE(res.convergence_steps(), magnitude - 2);
+    prev = res.convergence_steps();
+  }
+}
+
+}  // namespace
+}  // namespace specstab

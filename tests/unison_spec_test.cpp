@@ -1,0 +1,91 @@
+// Tests for the spec_AU trace checker.
+#include "unison/unison_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+
+namespace specstab {
+namespace {
+
+TEST(UnisonSpecTest, AllLegitimateTrace) {
+  const Graph g = make_path(2);
+  const UnisonProtocol proto(CherryClock(2, 6));
+  const std::vector<Config<ClockValue>> trace = {
+      {0, 0}, {1, 1}, {2, 2}};
+  const auto rep = check_unison_spec(g, proto, trace);
+  EXPECT_EQ(rep.last_violation, -1);
+  EXPECT_EQ(rep.stabilization_steps(), 0);
+  EXPECT_EQ(rep.configurations_seen, 3);
+  EXPECT_EQ(rep.increments, (std::vector<std::int64_t>{2, 2}));
+  EXPECT_EQ(rep.min_increments(), 2);
+}
+
+TEST(UnisonSpecTest, ViolationIndexed) {
+  const Graph g = make_path(2);
+  const UnisonProtocol proto(CherryClock(2, 6));
+  const std::vector<Config<ClockValue>> trace = {
+      {0, 3},   // drift 3: violation
+      {-2, -2}, // init values: violation
+      {-1, -1}, // violation (init)
+      {0, 0},   // legitimate
+      {1, 1}};
+  const auto rep = check_unison_spec(g, proto, trace);
+  EXPECT_EQ(rep.last_violation, 2);
+  EXPECT_EQ(rep.stabilization_steps(), 3);
+}
+
+TEST(UnisonSpecTest, CountsIncrementsAndResets) {
+  const Graph g = make_path(2);
+  const UnisonProtocol proto(CherryClock(2, 6));
+  const std::vector<Config<ClockValue>> trace = {
+      {0, 3},    // incomparable
+      {1, -2},   // v0 incremented, v1 reset
+      {1, -1},   // v1 climbed the tail
+      {5, 0}};   // v0 jumped arbitrarily (neither), v1 incremented
+  const auto rep = check_unison_spec(g, proto, trace);
+  EXPECT_EQ(rep.increments[0], 1);
+  EXPECT_EQ(rep.increments[1], 2);
+  EXPECT_EQ(rep.resets[0], 0);
+  EXPECT_EQ(rep.resets[1], 1);
+}
+
+TEST(UnisonSpecTest, WraparoundIsAnIncrementNotAReset) {
+  const Graph g(1);
+  const UnisonProtocol proto(CherryClock(2, 6));
+  const std::vector<Config<ClockValue>> trace = {{5}, {0}};
+  const auto rep = check_unison_spec(g, proto, trace);
+  EXPECT_EQ(rep.increments[0], 1);
+  EXPECT_EQ(rep.resets[0], 0);
+}
+
+TEST(UnisonSpecTest, ResetFromRingValueCounted) {
+  const Graph g(1);
+  const UnisonProtocol proto(CherryClock(2, 6));
+  // 3 -> -2 is a reset (phi(3) = 4 != -2).
+  const std::vector<Config<ClockValue>> trace = {{3}, {-2}};
+  const auto rep = check_unison_spec(g, proto, trace);
+  EXPECT_EQ(rep.resets[0], 1);
+  EXPECT_EQ(rep.increments[0], 0);
+}
+
+TEST(UnisonSpecTest, EndToEndSynchronousRun) {
+  const Graph g = make_ring(5);
+  const UnisonProtocol proto(CherryClock(5, 7));  // alpha = n, K > cyclo
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 120;
+  opt.record_trace = true;
+  const auto res = run_execution(
+      g, proto, d, Config<ClockValue>{3, 6, -5, 0, 2}, opt);
+  const auto rep = check_unison_spec(g, proto, res.trace);
+  // Converged and then kept incrementing: liveness.
+  EXPECT_GE(rep.min_increments(), 5);
+  // Stabilized within the [3] synchronous bound alpha + lcp + diam.
+  EXPECT_LE(rep.stabilization_steps(), 5 + 3 + 2);
+}
+
+}  // namespace
+}  // namespace specstab

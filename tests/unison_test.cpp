@@ -1,0 +1,179 @@
+// Unit tests for the Boulinier-Petit-Villain asynchronous unison
+// (Algorithm 1's rules NA/CA/RA).
+#include "unison/unison.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+
+namespace specstab {
+namespace {
+
+UnisonProtocol small_unison() { return UnisonProtocol(CherryClock(3, 8)); }
+
+TEST(UnisonTest, GuardsAreMutuallyExclusive) {
+  const Graph g = make_ring(4);
+  const UnisonProtocol proto(CherryClock(3, 8));
+  // Exhaustive over a sample of configurations: at most one guard true.
+  for (ClockValue a = -3; a < 8; ++a) {
+    for (ClockValue b = -3; b < 8; ++b) {
+      const Config<ClockValue> cfg{a, b, a, b};
+      for (VertexId v = 0; v < 4; ++v) {
+        const int guards = (proto.normal_step(g, cfg, v) ? 1 : 0) +
+                           (proto.converge_step(g, cfg, v) ? 1 : 0) +
+                           (proto.reset_init(g, cfg, v) ? 1 : 0);
+        EXPECT_LE(guards, 1) << "a=" << a << " b=" << b << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(UnisonTest, NormalStepAtLocalMinimum) {
+  const Graph g = make_path(3);
+  const UnisonProtocol proto = small_unison();
+  // 1 - 2 - 2: vertex 0 is the local minimum.
+  const Config<ClockValue> cfg{1, 2, 2};
+  EXPECT_TRUE(proto.normal_step(g, cfg, 0));
+  EXPECT_FALSE(proto.normal_step(g, cfg, 1));  // neighbour 0 is behind
+  EXPECT_TRUE(proto.normal_step(g, cfg, 2));   // neighbour 1 is equal
+  EXPECT_EQ(proto.apply(g, cfg, 0), 2);
+  EXPECT_EQ(proto.rule_name(g, cfg, 0), "NA");
+}
+
+TEST(UnisonTest, NormalStepWrapsAroundRing) {
+  const Graph g = make_path(2);
+  const UnisonProtocol proto = small_unison();
+  // K-1 and 0 are locally comparable; K-1 is one behind.
+  const Config<ClockValue> cfg{7, 0};
+  EXPECT_TRUE(proto.normal_step(g, cfg, 0));
+  EXPECT_FALSE(proto.normal_step(g, cfg, 1));
+  EXPECT_EQ(proto.apply(g, cfg, 0), 0);  // phi(K-1) = 0
+}
+
+TEST(UnisonTest, ConvergeStepClimbsTail) {
+  const Graph g = make_path(3);
+  const UnisonProtocol proto = small_unison();
+  // -3 - -2 - -1: everyone in init, vertex 0 minimal.
+  const Config<ClockValue> cfg{-3, -2, -1};
+  EXPECT_TRUE(proto.converge_step(g, cfg, 0));
+  EXPECT_FALSE(proto.converge_step(g, cfg, 1));  // neighbour 0 below
+  EXPECT_EQ(proto.apply(g, cfg, 0), -2);
+  EXPECT_EQ(proto.rule_name(g, cfg, 0), "CA");
+}
+
+TEST(UnisonTest, ConvergeStepBlockedByStabNeighbour) {
+  const Graph g = make_path(2);
+  const UnisonProtocol proto = small_unison();
+  // Vertex 0 at -1, neighbour at 5 (stab, not locally comparable with
+  // anything in init): CA requires ALL neighbours in init.
+  const Config<ClockValue> cfg{-1, 5};
+  EXPECT_FALSE(proto.converge_step(g, cfg, 0));
+  EXPECT_FALSE(proto.enabled(g, cfg, 0));  // in init: no RA either
+}
+
+TEST(UnisonTest, ZeroWaitsForInitNeighbours) {
+  const Graph g = make_path(2);
+  const UnisonProtocol proto = small_unison();
+  // r0 = 0 (graft point), neighbour at -2: 0 is not in init*, so no CA;
+  // neighbour not in stab, so no NA; r0 in init, so no RA.
+  const Config<ClockValue> cfg{0, -2};
+  EXPECT_FALSE(proto.enabled(g, cfg, 0));
+  // The init neighbour climbs instead.
+  EXPECT_TRUE(proto.converge_step(g, cfg, 1));
+}
+
+TEST(UnisonTest, ResetOnIncomparableNeighbour) {
+  const Graph g = make_path(2);
+  const UnisonProtocol proto = small_unison();
+  // 2 and 5 are not locally comparable (d_8(2,5) = 3).
+  const Config<ClockValue> cfg{2, 5};
+  EXPECT_TRUE(proto.reset_init(g, cfg, 0));
+  EXPECT_TRUE(proto.reset_init(g, cfg, 1));
+  EXPECT_EQ(proto.apply(g, cfg, 0), -3);  // reset to -alpha
+  EXPECT_EQ(proto.rule_name(g, cfg, 0), "RA");
+}
+
+TEST(UnisonTest, NoResetForInitValues) {
+  const Graph g = make_path(2);
+  const UnisonProtocol proto = small_unison();
+  // Vertex 0 in init (-2) next to an incomparable stab value: RA requires
+  // r_v not in init, so vertex 0 must wait (only the stab vertex resets).
+  const Config<ClockValue> cfg{-2, 5};
+  EXPECT_FALSE(proto.reset_init(g, cfg, 0));
+  EXPECT_FALSE(proto.enabled(g, cfg, 0));
+  EXPECT_TRUE(proto.reset_init(g, cfg, 1));
+}
+
+TEST(UnisonTest, LegitimateConfigurations) {
+  const Graph g = make_ring(4);
+  const UnisonProtocol proto = small_unison();
+  EXPECT_TRUE(proto.legitimate(g, {0, 0, 0, 0}));
+  EXPECT_TRUE(proto.legitimate(g, {3, 4, 4, 3}));
+  EXPECT_TRUE(proto.legitimate(g, {7, 0, 0, 7}));   // wraparound drift 1
+  EXPECT_FALSE(proto.legitimate(g, {3, 5, 3, 3}));  // drift 2
+  EXPECT_FALSE(proto.legitimate(g, {-1, 0, 0, 0})); // init value
+}
+
+TEST(UnisonTest, WellFormed) {
+  const Graph g = make_path(2);
+  const UnisonProtocol proto = small_unison();
+  EXPECT_TRUE(proto.well_formed(g, {-3, 7}));
+  EXPECT_FALSE(proto.well_formed(g, {-4, 0}));
+  EXPECT_FALSE(proto.well_formed(g, {0, 8}));
+  EXPECT_FALSE(proto.well_formed(g, {0}));  // wrong arity
+}
+
+TEST(UnisonTest, SingleVertexAlwaysTicksForever) {
+  const Graph g(1);
+  const UnisonProtocol proto = small_unison();
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 20;
+  auto res = run_execution(g, proto, d, Config<ClockValue>{-3}, opt);
+  EXPECT_TRUE(res.hit_step_cap);  // never terminates: ticks forever
+  // -3 +20 increments: 3 tail steps then 17 ring steps: (17) mod 8 = 1.
+  EXPECT_EQ(res.final_config[0], 1);
+}
+
+TEST(UnisonTest, GammaOneIsClosedUnderSynchronousSteps) {
+  const Graph g = make_ring(5);
+  const UnisonProtocol proto = small_unison();
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 50;
+  opt.record_trace = true;
+  const auto res = run_execution(g, proto, d,
+                                 Config<ClockValue>{0, 1, 1, 1, 0}, opt);
+  for (const auto& cfg : res.trace) {
+    EXPECT_TRUE(proto.legitimate(g, cfg));
+  }
+}
+
+TEST(UnisonTest, ConvergesFromArbitraryConfigurationUnderSync) {
+  const Graph g = make_ring(6);
+  const UnisonProtocol proto(CherryClock(6, 8));  // alpha = n >= hole - 2
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 500;
+  const std::function<bool(const Graph&, const Config<ClockValue>&)> legit =
+      [&proto](const Graph& gg, const Config<ClockValue>& c) {
+        return proto.legitimate(gg, c);
+      };
+  const Config<ClockValue> bad{5, 1, -6, 3, 7, 0};
+  const auto res = run_execution(g, proto, d, bad, opt, legit);
+  EXPECT_TRUE(res.converged());
+  EXPECT_TRUE(proto.legitimate(g, res.final_config));
+}
+
+TEST(UnisonTest, ApplyOnDisabledVertexThrows) {
+  const Graph g = make_path(2);
+  const UnisonProtocol proto = small_unison();
+  const Config<ClockValue> cfg{0, -2};  // vertex 0 disabled (see above)
+  EXPECT_THROW((void)proto.apply(g, cfg, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace specstab

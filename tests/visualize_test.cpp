@@ -1,0 +1,73 @@
+// Tests for trace visualization helpers.
+#include "sim/visualize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/adversarial_configs.hpp"
+#include "graph/generators.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+
+namespace specstab {
+namespace {
+
+TEST(VisualizeTest, WaveMarksPrivilegedAndViolations) {
+  const Graph g = make_path(3);  // privileged values: 6, 10, 14
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  const std::vector<Config<ClockValue>> trace = {
+      {5, 5, 5},     // legitimate, nobody privileged
+      {6, 10, 5},    // two privileged: violation
+      {-3, 5, 5},    // init value: not in Gamma_1
+  };
+  const std::string wave = render_clock_wave(g, proto, trace);
+  EXPECT_NE(wave.find("[6]"), std::string::npos);
+  EXPECT_NE(wave.find("[10]"), std::string::npos);
+  EXPECT_NE(wave.find("!! double privilege"), std::string::npos);
+  EXPECT_NE(wave.find("-3"), std::string::npos);
+  EXPECT_NE(wave.find("~"), std::string::npos);
+  EXPECT_NE(wave.find("v0"), std::string::npos);
+  EXPECT_NE(wave.find("v2"), std::string::npos);
+}
+
+TEST(VisualizeTest, LongTracesAreElided) {
+  const Graph g = make_path(2);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  std::vector<Config<ClockValue>> trace(100, Config<ClockValue>{0, 0});
+  WaveRenderOptions opt;
+  opt.max_rows = 10;
+  const std::string wave = render_clock_wave(g, proto, trace, opt);
+  EXPECT_NE(wave.find("configurations elided"), std::string::npos);
+  // Header + separator + 10 rows + 1 elision row.
+  EXPECT_LE(std::count(wave.begin(), wave.end(), '\n'), 14);
+}
+
+TEST(VisualizeTest, CsvShape) {
+  const std::vector<Config<ClockValue>> trace = {{1, 2}, {3, 4}};
+  EXPECT_EQ(trace_to_csv(trace), "step,v0,v1\n0,1,2\n1,3,4\n");
+  EXPECT_EQ(trace_to_csv({}), "step\n");
+}
+
+TEST(VisualizeTest, EndToEndWitnessWave) {
+  // Render the Theorem 4 witness execution; the double-privilege marker
+  // must appear exactly once (at gamma_t).
+  const Graph g = make_path(8);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.max_steps = 12;
+  opt.record_trace = true;
+  const auto res =
+      run_execution(g, proto, d, two_gradient_config(g, proto), opt);
+  const std::string wave = render_clock_wave(g, proto, res.trace);
+  std::size_t count = 0;
+  for (std::size_t pos = wave.find("!!"); pos != std::string::npos;
+       pos = wave.find("!!", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+}  // namespace
+}  // namespace specstab

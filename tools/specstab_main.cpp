@@ -1,0 +1,14 @@
+// The `specstab` command-line tool: a thin wrapper over cli::run_cli so
+// that all behaviour lives in the tested library module.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  const auto result = specstab::cli::run_cli(args);
+  std::cout << result.output;
+  return result.exit_code;
+}
