@@ -1,9 +1,11 @@
 // THM3 — Theorem 3: conv_time(SSME, ud) in O(diam(g) n^3).
 //
-// The unfair distributed daemon is approximated by the adversary
-// portfolio (DESIGN.md substitution): the measured worst steps-to-Gamma_1
-// over the portfolio and several initial configurations is a lower bound
-// on the true sup and must stay below the Devismes-Petit bound
+// The unfair distributed daemon is approximated by the portfolio daemons
+// (DESIGN.md substitution), which here form the daemon axis of the thm3
+// campaign preset: every portfolio schedule crossed with random initial
+// configurations plus the two-gradient witness, executed in parallel.
+// The measured worst steps-to-Gamma_1 per topology is a lower bound on
+// the true sup and must stay below the Devismes-Petit bound
 // 2 diam n^3 + (n+1) n^2 + (n-2 diam) n.  Expected shape: measured grows
 // polynomially, headroom (bound/measured) stays >= 1 throughout.
 #include <benchmark/benchmark.h>
@@ -11,7 +13,7 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/speculation.hpp"
+#include "campaign/runner.hpp"
 #include "core/theory.hpp"
 #include "graph/generators.hpp"
 
@@ -19,65 +21,49 @@ namespace {
 
 using namespace specstab;
 
-PortfolioMeasurement measure(const Graph& g, const SsmeProtocol& proto,
-                             std::size_t configs, std::uint64_t seed) {
-  auto portfolio = AdversaryPortfolio::standard(seed);
-  RunOptions opt;
-  opt.max_steps = 2 * ssme_ud_bound(proto.params().n, proto.params().diam);
-  opt.steps_after_convergence = 0;
-  const std::function<bool(const Graph&, const Config<ClockValue>&)> legit =
-      [&proto](const Graph& gg, const Config<ClockValue>& c) {
-        return proto.legitimate(gg, c);
-      };
-  auto inits = random_configs(g, proto.clock(), configs, seed);
-  inits.push_back(two_gradient_config(g, proto));
-  return measure_portfolio(g, proto, portfolio, inits, legit, opt);
-}
-
-void run_experiment() {
+void run_experiment(bool smoke) {
   bench::print_title(
       "THM3: conv_time(SSME, ud) vs 2*diam*n^3+(n+1)n^2+(n-2diam)n "
       "[paper Theorem 3, via Devismes & Petit]");
+
+  const campaign::CampaignGrid grid = campaign::thm3_grid(smoke);
+  const auto result = campaign::run_campaign(grid);
+  const auto cells = campaign::aggregate(result);
+
   bench::Table t(
-      {"family", "n", "diam", "ud-bound", "worst-steps", "headroom"});
+      {"topology", "n", "diam", "ud-bound", "worst-steps", "headroom"});
   t.print_header();
-
-  struct Inst {
-    const char* family;
-    Graph g;
-  };
-  std::vector<Inst> insts;
-  for (VertexId n : {4, 6, 8, 10, 12}) insts.push_back({"ring", make_ring(n)});
-  for (VertexId n : {4, 6, 8, 10}) insts.push_back({"path", make_path(n)});
-  insts.push_back({"grid", make_grid(3, 3)});
-  insts.push_back({"grid", make_grid(3, 4)});
-  insts.push_back({"random", make_random_connected(8, 0.3, 5)});
-  insts.push_back({"random", make_random_connected(10, 0.25, 6)});
-
-  for (const auto& inst : insts) {
-    const SsmeProtocol proto = SsmeProtocol::for_graph(inst.g);
-    const std::int64_t bound =
-        ssme_ud_bound(proto.params().n, proto.params().diam);
-    const auto pm = measure(inst.g, proto, 4, 0x5eed);
-    t.print_row(inst.family, inst.g.n(), proto.params().diam, bound,
-                pm.worst_steps,
+  for (const auto& label : bench::topology_labels(grid)) {
+    const auto w = bench::worst_by_topology(cells, label);
+    if (!w.found) continue;
+    const std::int64_t bound = ssme_ud_bound(w.n, w.diam);
+    t.print_row(label, w.n, w.diam, bound, w.worst_steps,
                 bench::ratio(static_cast<double>(bound),
-                             static_cast<double>(pm.worst_steps)));
-    if (!pm.all_converged) {
-      std::cout << "!! NON-CONVERGED RUN on " << inst.family << " n="
-                << inst.g.n() << "\n";
+                             static_cast<double>(w.worst_steps)));
+    if (w.converged_runs != w.runs) {
+      std::cout << "!! NON-CONVERGED RUN on " << label << "\n";
     }
   }
-  std::cout << "\nExpected shape: every measured worst case below the cubic\n"
+  std::cout << "\n(" << result.rows.size() << " runs on "
+            << result.threads_used << " threads)\n"
+            << "Expected shape: every measured worst case below the cubic\n"
                "bound (headroom > 1x); growth clearly polynomial in n.\n";
 }
 
+/// Portfolio worst case on one ring, via a single-topology campaign.
 void BM_PortfolioWorstRing(benchmark::State& state) {
-  const Graph g = make_ring(static_cast<VertexId>(state.range(0)));
-  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  campaign::CampaignGrid grid;
+  grid.protocols = {campaign::ProtocolKind::kSsme};
+  grid.topologies = {{"ring", state.range(0)}};
+  grid.daemons = campaign::portfolio_daemons();
+  grid.inits = {campaign::InitFamily::kRandom,
+                campaign::InitFamily::kTwoGradient};
+  grid.reps = 1;
+  grid.base_seed = 42;
   for (auto _ : state) {
-    const auto pm = measure(g, proto, 1, 42);
-    benchmark::DoNotOptimize(pm.worst_steps);
+    const auto result = campaign::run_campaign(grid);
+    const auto cells = campaign::aggregate(result);
+    benchmark::DoNotOptimize(campaign::worst_steps(cells));
   }
 }
 BENCHMARK(BM_PortfolioWorstRing)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
@@ -85,7 +71,9 @@ BENCHMARK(BM_PortfolioWorstRing)->Arg(4)->Arg(6)->Arg(8)->Unit(benchmark::kMilli
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_experiment();
+  const bool smoke = specstab::bench::consume_smoke_flag(argc, argv);
+  run_experiment(smoke);
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

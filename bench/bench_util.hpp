@@ -8,8 +8,11 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "campaign/campaign.hpp"
+#include "campaign/stats.hpp"
 #include "core/adversarial_configs.hpp"
 #include "core/ssme.hpp"
 #include "graph/graph.hpp"
@@ -76,6 +79,77 @@ inline StepIndex worst_sync_safety_steps(const Graph& g,
     if (res.converged()) worst = std::max(worst, res.convergence_steps());
   }
   return worst;
+}
+
+/// Consumes a leading `--smoke` flag (CI runs the experiment tables on a
+/// tiny grid and skips the microbenchmarks) before google-benchmark sees
+/// the arguments.
+inline bool consume_smoke_flag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") {
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Worst stabilization time over one group of campaign cells (all cells
+/// sharing a topology, or a daemon), with the cell metadata (n, diam) of
+/// the group's first cell; the theorem benches print one table row per
+/// group.
+struct GroupWorst {
+  bool found = false;
+  VertexId n = 0;
+  VertexId diam = 0;
+  StepIndex worst_steps = -1;
+  StepIndex worst_rounds = 0;
+  std::size_t runs = 0;
+  std::size_t converged_runs = 0;
+};
+
+/// Reduces the cells for which key(cell) == value.
+template <class KeyFn>
+GroupWorst worst_where(const std::vector<campaign::CellSummary>& cells,
+                       KeyFn key, const std::string& value) {
+  GroupWorst w;
+  for (const auto& cell : cells) {
+    if (key(cell) != value) continue;
+    if (!w.found) {
+      w.found = true;
+      w.n = cell.n;
+      w.diam = cell.diam;
+    }
+    w.worst_steps = std::max(w.worst_steps, cell.max_steps);
+    w.worst_rounds = std::max(w.worst_rounds, cell.worst_rounds);
+    w.runs += cell.runs;
+    w.converged_runs += cell.converged_runs;
+  }
+  return w;
+}
+
+inline GroupWorst worst_by_topology(
+    const std::vector<campaign::CellSummary>& cells,
+    const std::string& topology) {
+  return worst_where(
+      cells, [](const campaign::CellSummary& c) { return c.topology; },
+      topology);
+}
+
+inline GroupWorst worst_by_daemon(
+    const std::vector<campaign::CellSummary>& cells,
+    const std::string& daemon) {
+  return worst_where(
+      cells, [](const campaign::CellSummary& c) { return c.daemon; }, daemon);
+}
+
+/// The distinct topology labels of a grid, in grid order.
+inline std::vector<std::string> topology_labels(
+    const campaign::CampaignGrid& grid) {
+  std::vector<std::string> labels;
+  for (const auto& topo : grid.topologies) labels.push_back(topo.label());
+  return labels;
 }
 
 }  // namespace specstab::bench

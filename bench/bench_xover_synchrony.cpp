@@ -2,16 +2,18 @@
 // synchronous executions but remains correct as executions drift away
 // from synchrony.
 //
-// Sweeps the Bernoulli activation probability p from 1.0 (the synchronous
-// daemon) down to 0.1, measuring steps and rounds to Gamma_1.  Expected
-// shape: graceful degradation — steps grow as p falls, rounds stay
-// comparatively flat, correctness (convergence) holds everywhere.
+// The xover campaign preset sweeps the Bernoulli activation probability
+// p from 1.0 (the synchronous daemon) down to 0.1 on a fixed ring,
+// measuring steps and rounds to Gamma_1 over random configurations plus
+// the two-gradient witness.  Expected shape: graceful degradation —
+// steps grow as p falls, rounds stay comparatively flat, correctness
+// (convergence) holds everywhere.
 #include <benchmark/benchmark.h>
 
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "core/speculation.hpp"
+#include "campaign/runner.hpp"
 #include "core/theory.hpp"
 #include "graph/generators.hpp"
 
@@ -19,63 +21,26 @@ namespace {
 
 using namespace specstab;
 
-struct Meas {
-  StepIndex worst_steps = 0;
-  StepIndex worst_rounds = 0;
-  bool converged = true;
-};
-
-Meas measure(const Graph& g, const SsmeProtocol& proto, Daemon& d,
-             const std::vector<Config<ClockValue>>& inits) {
-  RunOptions opt;
-  opt.max_steps = 4 * ssme_ud_bound(proto.params().n, proto.params().diam);
-  opt.steps_after_convergence = 0;
-  const std::function<bool(const Graph&, const Config<ClockValue>&)> legit =
-      [&proto](const Graph& gg, const Config<ClockValue>& c) {
-        return proto.legitimate(gg, c);
-      };
-  Meas m;
-  for (const auto& init : inits) {
-    d.reset();
-    const auto res = run_execution(g, proto, d, init, opt, legit);
-    if (!res.converged()) {
-      m.converged = false;
-      continue;
-    }
-    m.worst_steps = std::max(m.worst_steps, res.convergence_steps());
-    m.worst_rounds = std::max(m.worst_rounds, res.rounds_to_convergence);
-  }
-  return m;
-}
-
-void run_experiment() {
+void run_experiment(bool smoke) {
   bench::print_title(
       "XOVER: SSME stabilization vs degree of synchrony (Bernoulli-p "
       "daemons)  [paper Section 1 premise]");
 
-  const Graph g = make_ring(12);
-  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
-  auto inits = random_configs(g, proto.clock(), 6, 0xfade);
-  inits.push_back(two_gradient_config(g, proto));
+  const campaign::CampaignGrid grid = campaign::xover_grid(smoke);
+  const auto result = campaign::run_campaign(grid);
+  const auto cells = campaign::aggregate(result);
 
-  bench::Table t({"p", "daemon", "worst-steps", "worst-rounds", "ok?"});
+  bench::Table t({"daemon", "worst-steps", "worst-rounds", "ok?"});
   t.print_header();
-
-  {
-    SynchronousDaemon sd;
-    const auto m = measure(g, proto, sd, inits);
-    t.print_row("1.00", "synchronous", m.worst_steps, m.worst_rounds,
-                m.converged ? "yes" : "NO");
+  for (const auto& daemon : grid.daemons) {
+    const auto w = bench::worst_by_daemon(cells, daemon);
+    if (!w.found) continue;
+    t.print_row(daemon, w.worst_steps, w.worst_rounds,
+                w.runs == w.converged_runs ? "yes" : "NO");
   }
-  for (double p : {0.9, 0.75, 0.5, 0.25, 0.1}) {
-    DistributedBernoulliDaemon d(p, 0x7e57);
-    const auto m = measure(g, proto, d, inits);
-    std::ostringstream label;
-    label << std::fixed << std::setprecision(2) << p;
-    t.print_row(label.str(), "bernoulli", m.worst_steps, m.worst_rounds,
-                m.converged ? "yes" : "NO");
-  }
-  std::cout << "\nExpected shape: steps grow as p falls below 1 (speculation\n"
+  std::cout << "\n(" << result.rows.size() << " runs on "
+            << result.threads_used << " threads)\n"
+            << "Expected shape: steps grow as p falls below 1 (speculation\n"
                "pays exactly in the synchronous regime), rounds degrade\n"
                "gently, convergence never fails (Theorem 1).\n";
 }
@@ -105,7 +70,9 @@ BENCHMARK(BM_BernoulliStabilization)->Arg(100)->Arg(50)->Arg(10);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_experiment();
+  const bool smoke = specstab::bench::consume_smoke_flag(argc, argv);
+  run_experiment(smoke);
+  if (smoke) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,488 @@
+#include "campaign/artifacts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace specstab::campaign {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
+// --- deterministic formatting -----------------------------------------
+
+/// Shortest round-trippable decimal form of a double ("%.17g" is exact
+/// but noisy; try increasing precision until the value survives).
+std::string format_double(double value) {
+  char buf[40];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Strict full-consumption numeric parses: corrupted fields ("8junk",
+/// overflow) fail as the documented std::invalid_argument instead of
+/// parsing partially or leaking std::out_of_range.
+std::int64_t parse_i64(const std::string& field) {
+  std::int64_t value = 0;
+  std::size_t used = 0;
+  try {
+    value = std::stoll(field, &used);
+  } catch (const std::exception&) {
+    fail("bad integer field: '" + field + "'");
+  }
+  if (used != field.size()) fail("bad integer field: '" + field + "'");
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& field) {
+  const std::int64_t value = parse_i64(field);
+  if (value < 0) fail("negative count field: '" + field + "'");
+  return static_cast<std::uint64_t>(value);
+}
+
+double parse_f64(const std::string& field) {
+  double value = 0.0;
+  std::size_t used = 0;
+  try {
+    value = std::stod(field, &used);
+  } catch (const std::exception&) {
+    fail("bad number field: '" + field + "'");
+  }
+  if (used != field.size()) fail("bad number field: '" + field + "'");
+  return value;
+}
+
+/// CSV fields here never need quoting; enforce that rather than support
+/// a quoting dialect nothing produces.
+const std::string& csv_field(const std::string& s) {
+  if (s.find_first_of(",\n\"") != std::string::npos) {
+    fail("CSV field contains a delimiter: '" + s + "'");
+  }
+  return s;
+}
+
+// --- a minimal JSON reader for the artifact subset ---------------------
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> array;
+  std::map<std::string, Json> object;
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json v = value();
+    skip_space();
+    if (pos_ != text_.size()) fail("trailing JSON content");
+    return v;
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_space();
+    if (pos_ >= text_.size()) fail("unexpected end of JSON");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "' at JSON offset " +
+           std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  Json value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return string_value();
+      case 't':
+      case 'f':
+        return boolean();
+      case 'n':
+        literal("null");
+        return {};
+      default:
+        return number();
+    }
+  }
+
+  void literal(const std::string& word) {
+    skip_space();
+    if (text_.compare(pos_, word.size(), word) != 0) {
+      fail("bad JSON literal at offset " + std::to_string(pos_));
+    }
+    pos_ += word.size();
+  }
+
+  Json boolean() {
+    Json v;
+    v.type = Json::Type::kBool;
+    if (text_[pos_] == 't') {
+      literal("true");
+      v.boolean = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  Json number() {
+    skip_space();
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double d = std::strtod(start, &end);
+    if (end == start) fail("bad JSON number at offset " + std::to_string(pos_));
+    pos_ += static_cast<std::size_t>(end - start);
+    Json v;
+    v.type = Json::Type::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  Json string_value() {
+    expect('"');
+    Json v;
+    v.type = Json::Type::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated JSON escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+            c = esc;
+            break;
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            const std::string hex = text_.substr(pos_, 4);
+            std::size_t used = 0;
+            long code = 0;
+            try {
+              code = std::stol(hex, &used, 16);
+            } catch (const std::exception&) {
+              fail("bad \\u escape: \\u" + hex);
+            }
+            if (used != 4) fail("bad \\u escape: \\u" + hex);
+            // The writer only emits \u00xx for control characters;
+            // higher code points would need UTF-8 encoding this parser
+            // deliberately does not implement.
+            if (code > 0x7f) fail("non-ASCII \\u escape: \\u" + hex);
+            c = static_cast<char>(code);
+            pos_ += 4;
+            break;
+          }
+          default:
+            fail(std::string("unsupported JSON escape \\") + esc);
+        }
+      }
+      v.str += c;
+    }
+    expect('"');
+    return v;
+  }
+
+  Json array() {
+    expect('[');
+    Json v;
+    v.type = Json::Type::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json v;
+    v.type = Json::Type::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      const Json key = string_value();
+      expect(':');
+      v.object.emplace(key.str, value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+const Json& member(const Json& obj, const std::string& key) {
+  const auto it = obj.object.find(key);
+  if (it == obj.object.end()) fail("missing JSON key '" + key + "'");
+  return it->second;
+}
+
+std::string get_string(const Json& obj, const std::string& key) {
+  const Json& v = member(obj, key);
+  if (v.type != Json::Type::kString) fail("'" + key + "' is not a string");
+  return v.str;
+}
+
+double get_number(const Json& obj, const std::string& key) {
+  const Json& v = member(obj, key);
+  if (v.type != Json::Type::kNumber) fail("'" + key + "' is not a number");
+  return v.number;
+}
+
+std::int64_t get_int(const Json& obj, const std::string& key) {
+  return static_cast<std::int64_t>(get_number(obj, key));
+}
+
+// --- writers -----------------------------------------------------------
+
+void cell_to_json(std::ostream& os, const CellSummary& c) {
+  os << "{\"protocol\":\"" << escape_json(c.protocol) << "\""
+     << ",\"topology\":\"" << escape_json(c.topology) << "\""
+     << ",\"daemon\":\"" << escape_json(c.daemon) << "\""
+     << ",\"init\":\"" << escape_json(c.init) << "\"" << ",\"n\":" << c.n
+     << ",\"diam\":" << c.diam << ",\"runs\":" << c.runs
+     << ",\"converged_runs\":" << c.converged_runs
+     << ",\"step_cap_hits\":" << c.step_cap_hits
+     << ",\"min_steps\":" << c.min_steps << ",\"max_steps\":" << c.max_steps
+     << ",\"mean_steps\":" << format_double(c.mean_steps)
+     << ",\"p95_steps\":" << c.p95_steps
+     << ",\"worst_moves\":" << c.worst_moves
+     << ",\"worst_rounds\":" << c.worst_rounds
+     << ",\"closure_violations\":" << c.closure_violations << "}";
+}
+
+void run_to_json(std::ostream& os, const ScenarioResult& r) {
+  os << "{\"index\":" << r.index << ",\"protocol\":\""
+     << escape_json(r.protocol) << "\"" << ",\"topology\":\""
+     << escape_json(r.topology) << "\"" << ",\"daemon\":\""
+     << escape_json(r.daemon) << "\"" << ",\"init\":\"" << escape_json(r.init)
+     << "\"" << ",\"rep\":" << r.rep << ",\"seed\":" << r.seed
+     << ",\"n\":" << r.n << ",\"diam\":" << r.diam << ",\"steps\":" << r.steps
+     << ",\"moves\":" << r.moves << ",\"rounds\":" << r.rounds
+     << ",\"converged\":" << (r.converged ? "true" : "false")
+     << ",\"hit_step_cap\":" << (r.hit_step_cap ? "true" : "false")
+     << ",\"convergence_steps\":" << r.convergence_steps
+     << ",\"moves_to_convergence\":" << r.moves_to_convergence
+     << ",\"rounds_to_convergence\":" << r.rounds_to_convergence
+     << ",\"closure_violations\":" << r.closure_violations << "}";
+}
+
+constexpr const char* kCellsCsvHeader =
+    "protocol,topology,daemon,init,n,diam,runs,converged_runs,"
+    "step_cap_hits,min_steps,max_steps,mean_steps,p95_steps,worst_moves,"
+    "worst_rounds,closure_violations";
+
+}  // namespace
+
+std::string to_json(const CampaignResult& result,
+                    const std::vector<CellSummary>& cells) {
+  // Deliberately no thread count, host, or timestamp: the artifact is a
+  // pure function of the grid, so runs at any parallelism diff clean.
+  std::ostringstream os;
+  os << "{\"campaign\":{\"runs\":" << result.rows.size()
+     << ",\"converged_runs\":" << result.converged_count()
+     << ",\"cells\":" << cells.size() << "},\n\"cells\":[";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    os << (i ? ",\n " : "\n ");
+    cell_to_json(os, cells[i]);
+  }
+  os << "\n],\n\"runs\":[";
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    os << (i ? ",\n " : "\n ");
+    run_to_json(os, result.rows[i]);
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string runs_to_csv(const CampaignResult& result) {
+  std::ostringstream os;
+  os << "index,protocol,topology,daemon,init,rep,seed,n,diam,steps,moves,"
+        "rounds,converged,hit_step_cap,convergence_steps,"
+        "moves_to_convergence,rounds_to_convergence,closure_violations\n";
+  for (const auto& r : result.rows) {
+    os << r.index << ',' << csv_field(r.protocol) << ','
+       << csv_field(r.topology) << ',' << csv_field(r.daemon) << ','
+       << csv_field(r.init) << ',' << r.rep << ',' << r.seed << ',' << r.n
+       << ',' << r.diam << ',' << r.steps << ',' << r.moves << ','
+       << r.rounds << ',' << (r.converged ? 1 : 0) << ','
+       << (r.hit_step_cap ? 1 : 0) << ',' << r.convergence_steps << ','
+       << r.moves_to_convergence << ',' << r.rounds_to_convergence << ','
+       << r.closure_violations << '\n';
+  }
+  return os.str();
+}
+
+std::string cells_to_csv(const std::vector<CellSummary>& cells) {
+  std::ostringstream os;
+  os << kCellsCsvHeader << '\n';
+  for (const auto& c : cells) {
+    os << csv_field(c.protocol) << ',' << csv_field(c.topology) << ','
+       << csv_field(c.daemon) << ',' << csv_field(c.init) << ',' << c.n << ','
+       << c.diam << ',' << c.runs << ',' << c.converged_runs << ','
+       << c.step_cap_hits << ',' << c.min_steps << ',' << c.max_steps << ','
+       << format_double(c.mean_steps) << ',' << c.p95_steps << ','
+       << c.worst_moves << ',' << c.worst_rounds << ','
+       << c.closure_violations << '\n';
+  }
+  return os.str();
+}
+
+std::vector<CellSummary> cells_from_csv(const std::string& csv) {
+  std::istringstream in(csv);
+  std::string line;
+  if (!std::getline(in, line) || line != kCellsCsvHeader) {
+    fail("bad cells CSV header");
+  }
+  std::vector<CellSummary> cells;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    std::istringstream ls(line);
+    std::string field;
+    while (std::getline(ls, field, ',')) fields.push_back(field);
+    if (fields.size() != 16) {
+      fail("bad cells CSV row (want 16 fields): " + line);
+    }
+    CellSummary c;
+    c.protocol = fields[0];
+    c.topology = fields[1];
+    c.daemon = fields[2];
+    c.init = fields[3];
+    c.n = static_cast<VertexId>(parse_i64(fields[4]));
+    c.diam = static_cast<VertexId>(parse_i64(fields[5]));
+    c.runs = static_cast<std::size_t>(parse_u64(fields[6]));
+    c.converged_runs = static_cast<std::size_t>(parse_u64(fields[7]));
+    c.step_cap_hits = static_cast<std::size_t>(parse_u64(fields[8]));
+    c.min_steps = parse_i64(fields[9]);
+    c.max_steps = parse_i64(fields[10]);
+    c.mean_steps = parse_f64(fields[11]);
+    c.p95_steps = parse_i64(fields[12]);
+    c.worst_moves = parse_i64(fields[13]);
+    c.worst_rounds = parse_i64(fields[14]);
+    c.closure_violations = parse_i64(fields[15]);
+    cells.push_back(std::move(c));
+  }
+  return cells;
+}
+
+std::vector<CellSummary> cells_from_json(const std::string& json) {
+  const Json doc = JsonReader(json).parse();
+  if (doc.type != Json::Type::kObject) fail("artifact JSON is not an object");
+  const Json& array = member(doc, "cells");
+  if (array.type != Json::Type::kArray) fail("'cells' is not an array");
+  std::vector<CellSummary> cells;
+  cells.reserve(array.array.size());
+  for (const Json& e : array.array) {
+    if (e.type != Json::Type::kObject) fail("cell entry is not an object");
+    CellSummary c;
+    c.protocol = get_string(e, "protocol");
+    c.topology = get_string(e, "topology");
+    c.daemon = get_string(e, "daemon");
+    c.init = get_string(e, "init");
+    c.n = static_cast<VertexId>(get_int(e, "n"));
+    c.diam = static_cast<VertexId>(get_int(e, "diam"));
+    c.runs = static_cast<std::size_t>(get_int(e, "runs"));
+    c.converged_runs = static_cast<std::size_t>(get_int(e, "converged_runs"));
+    c.step_cap_hits = static_cast<std::size_t>(get_int(e, "step_cap_hits"));
+    c.min_steps = get_int(e, "min_steps");
+    c.max_steps = get_int(e, "max_steps");
+    c.mean_steps = get_number(e, "mean_steps");
+    c.p95_steps = get_int(e, "p95_steps");
+    c.worst_moves = get_int(e, "worst_moves");
+    c.worst_rounds = get_int(e, "worst_rounds");
+    c.closure_violations = get_int(e, "closure_violations");
+    cells.push_back(std::move(c));
+  }
+  return cells;
+}
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << content;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace specstab::campaign

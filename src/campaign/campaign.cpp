@@ -1,0 +1,111 @@
+#include "campaign/campaign.hpp"
+
+namespace specstab::campaign {
+
+bool operator==(const ScenarioResult& a, const ScenarioResult& b) {
+  return a.index == b.index && a.protocol == b.protocol &&
+         a.topology == b.topology && a.daemon == b.daemon &&
+         a.init == b.init && a.rep == b.rep && a.seed == b.seed &&
+         a.n == b.n && a.diam == b.diam && a.steps == b.steps &&
+         a.moves == b.moves && a.rounds == b.rounds &&
+         a.converged == b.converged && a.hit_step_cap == b.hit_step_cap &&
+         a.convergence_steps == b.convergence_steps &&
+         a.moves_to_convergence == b.moves_to_convergence &&
+         a.rounds_to_convergence == b.rounds_to_convergence &&
+         a.closure_violations == b.closure_violations;
+}
+
+std::size_t CampaignResult::converged_count() const {
+  std::size_t count = 0;
+  for (const auto& row : rows) count += row.converged ? 1 : 0;
+  return count;
+}
+
+std::vector<std::string> portfolio_daemons() {
+  return {"synchronous",    "central-rr",     "central-random",
+          "central-min-id", "central-max-id", "bernoulli-0.75",
+          "bernoulli-0.5",  "bernoulli-0.25", "random-subset"};
+}
+
+CampaignGrid thm2_grid(bool smoke) {
+  CampaignGrid g;
+  g.protocols = {ProtocolKind::kSsmeSafety};
+  if (smoke) {
+    g.topologies = sized_family("ring", {8, 16});
+    auto paths = sized_family("path", {8});
+    g.topologies.insert(g.topologies.end(), paths.begin(), paths.end());
+    g.topologies.push_back({"grid", 3, 3});
+    g.reps = 3;
+  } else {
+    g.topologies = sized_family("ring", {8, 16, 32, 64});
+    auto paths = sized_family("path", {8, 16, 32, 64});
+    g.topologies.insert(g.topologies.end(), paths.begin(), paths.end());
+    g.topologies.push_back({"grid", 4, 4});
+    g.topologies.push_back({"grid", 6, 6});
+    g.topologies.push_back({"grid", 8, 8});
+    g.topologies.push_back({"torus", 4, 4});
+    g.topologies.push_back({"torus", 6, 6});
+    g.topologies.push_back({"btree", 31});
+    g.topologies.push_back({"btree", 63});
+    g.topologies.push_back({"hypercube", 4});
+    g.topologies.push_back({"hypercube", 5});
+    g.topologies.push_back({"star", 32});
+    g.topologies.push_back({"complete", 16});
+    g.topologies.push_back({"random", 24, 0, 0.15, 11});
+    g.topologies.push_back({"random", 40, 0, 0.08, 12});
+    g.reps = 10;
+  }
+  g.daemons = {"synchronous"};
+  g.inits = {InitFamily::kRandom, InitFamily::kTwoGradient};
+  g.base_seed = 0xbeef;
+  return g;
+}
+
+CampaignGrid thm3_grid(bool smoke) {
+  CampaignGrid g;
+  g.protocols = {ProtocolKind::kSsme};
+  if (smoke) {
+    g.topologies = sized_family("ring", {4, 6});
+    g.topologies.push_back({"path", 4});
+    g.reps = 1;
+  } else {
+    g.topologies = sized_family("ring", {4, 6, 8, 10, 12});
+    auto paths = sized_family("path", {4, 6, 8, 10});
+    g.topologies.insert(g.topologies.end(), paths.begin(), paths.end());
+    g.topologies.push_back({"grid", 3, 3});
+    g.topologies.push_back({"grid", 3, 4});
+    g.topologies.push_back({"random", 8, 0, 0.3, 5});
+    g.topologies.push_back({"random", 10, 0, 0.25, 6});
+    g.reps = 4;
+  }
+  g.daemons = portfolio_daemons();
+  g.inits = {InitFamily::kRandom, InitFamily::kTwoGradient};
+  g.base_seed = 0x5eed;
+  return g;
+}
+
+CampaignGrid xover_grid(bool smoke) {
+  CampaignGrid g;
+  g.protocols = {ProtocolKind::kSsme};
+  g.topologies = {{"ring", smoke ? 8 : 12}};
+  g.daemons = {"synchronous",   "bernoulli-0.9",  "bernoulli-0.75",
+               "bernoulli-0.5", "bernoulli-0.25", "bernoulli-0.1"};
+  g.inits = {InitFamily::kRandom, InitFamily::kTwoGradient};
+  g.reps = smoke ? 2 : 6;
+  g.base_seed = 0xfade;
+  return g;
+}
+
+CampaignGrid demo_grid() {
+  CampaignGrid g;
+  g.protocols = {ProtocolKind::kSsme, ProtocolKind::kSsmeSafety,
+                 ProtocolKind::kDijkstraRing};
+  g.topologies = {{"ring", 8}, {"path", 8}, {"grid", 3, 3}};
+  g.daemons = {"synchronous", "central-rr", "bernoulli-0.5"};
+  g.inits = {InitFamily::kRandom, InitFamily::kZero, InitFamily::kTwoGradient,
+             InitFamily::kMaxTokens};
+  g.reps = 2;
+  return g;
+}
+
+}  // namespace specstab::campaign

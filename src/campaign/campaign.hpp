@@ -1,0 +1,88 @@
+// Campaign results: one row per executed scenario, plus the preset grids
+// the theorem benches sweep.
+//
+// A campaign is the unit of experimental evidence in this repo: the
+// paper's theorems are statements over all daemons/configurations, and a
+// campaign is the finite, reproducible sample we can actually execute.
+// Rows carry everything needed to re-run the scenario (coordinates +
+// seed) next to everything measured, so artifacts are self-describing.
+#ifndef SPECSTAB_CAMPAIGN_CAMPAIGN_HPP
+#define SPECSTAB_CAMPAIGN_CAMPAIGN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/scenario.hpp"
+#include "sim/types.hpp"
+
+namespace specstab::campaign {
+
+/// Measurements of one executed scenario.  Identity fields are flattened
+/// to strings so the table is protocol-agnostic and artifact-friendly.
+struct ScenarioResult {
+  // --- identity (sufficient to reproduce the run) ---
+  std::size_t index = 0;     ///< position in the expanded grid
+  std::string protocol;      ///< protocol_name() of the kind
+  std::string topology;      ///< TopologySpec::label()
+  std::string daemon;
+  std::string init;          ///< init_name() of the family
+  std::size_t rep = 0;
+  std::uint64_t seed = 0;
+  VertexId n = 0;            ///< |V| of the instantiated topology
+  VertexId diam = 0;         ///< diam(g)
+
+  // --- measurements ---
+  StepIndex steps = 0;       ///< daemon actions executed
+  std::int64_t moves = 0;    ///< vertex activations
+  StepIndex rounds = 0;      ///< completed asynchronous rounds
+  bool converged = false;    ///< entered the legitimacy predicate for good
+  bool hit_step_cap = false;
+  StepIndex convergence_steps = 0;          ///< last violation + 1
+  std::int64_t moves_to_convergence = 0;
+  StepIndex rounds_to_convergence = 0;
+  /// Number of legitimate -> illegitimate transitions observed: 0 for a
+  /// predicate closed under the protocol (Gamma_1); positive runs witness
+  /// non-closed predicates (spec_ME safety before stabilization).
+  std::int64_t closure_violations = 0;
+};
+
+/// Exact-equality comparison, used by the thread-invariance tests.
+[[nodiscard]] bool operator==(const ScenarioResult& a,
+                              const ScenarioResult& b);
+
+struct CampaignResult {
+  std::vector<ScenarioResult> rows;  ///< ordered by Scenario::index
+  unsigned threads_used = 1;
+
+  /// Number of rows that converged.
+  [[nodiscard]] std::size_t converged_count() const;
+};
+
+// --- Preset grids -------------------------------------------------------
+//
+// The three theorem benches are campaign presets; `smoke` shrinks them to
+// a seconds-scale grid for CI while keeping every axis populated.
+
+/// THM2: worst spec_ME-safety stabilization under the synchronous daemon
+/// across topology families — measured against ceil(diam/2) (Theorem 2).
+[[nodiscard]] CampaignGrid thm2_grid(bool smoke);
+
+/// THM3: Gamma_1 stabilization under the adversary-portfolio daemons
+/// (the unfair-daemon approximation) — against the Theorem 3 bound.
+[[nodiscard]] CampaignGrid thm3_grid(bool smoke);
+
+/// XOVER: stabilization vs degree of synchrony (Bernoulli-p daemons,
+/// p from 1.0 down to 0.1) on a fixed ring (Section 1 premise).
+[[nodiscard]] CampaignGrid xover_grid(bool smoke);
+
+/// A small cross-protocol demo grid exercising every axis (used by the
+/// CLI default and the docs).
+[[nodiscard]] CampaignGrid demo_grid();
+
+/// The daemon names of AdversaryPortfolio::standard, as a campaign axis.
+[[nodiscard]] std::vector<std::string> portfolio_daemons();
+
+}  // namespace specstab::campaign
+
+#endif  // SPECSTAB_CAMPAIGN_CAMPAIGN_HPP

@@ -1,0 +1,244 @@
+#include "campaign/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <random>
+#include <thread>
+
+#include "baselines/dijkstra_ring.hpp"
+#include "core/adversarial_configs.hpp"
+#include "core/ssme.hpp"
+#include "core/theory.hpp"
+#include "graph/properties.hpp"
+#include "sim/engine.hpp"
+
+namespace specstab::campaign {
+
+namespace {
+
+/// Legitimacy predicate wrapper that counts legitimate -> illegitimate
+/// transitions.  The engine evaluates the predicate exactly once per
+/// configuration, in execution order, so the wrapper sees the full
+/// legitimacy sequence gamma_0, gamma_1, ...
+template <class State>
+class ClosureCounter {
+ public:
+  explicit ClosureCounter(
+      std::function<bool(const Graph&, const Config<State>&)> inner)
+      : inner_(std::move(inner)) {}
+
+  bool operator()(const Graph& g, const Config<State>& cfg) {
+    const bool legit = inner_(g, cfg);
+    if (was_legit_ && !legit) ++violations_;
+    was_legit_ = legit;
+    return legit;
+  }
+
+  [[nodiscard]] std::int64_t violations() const { return violations_; }
+
+ private:
+  std::function<bool(const Graph&, const Config<State>&)> inner_;
+  bool was_legit_ = false;
+  std::int64_t violations_ = 0;
+};
+
+template <class State>
+void record(ScenarioResult& out, const RunResult<State>& res,
+            std::int64_t closure_violations) {
+  out.steps = res.steps;
+  out.moves = res.moves;
+  out.rounds = res.rounds;
+  out.converged = res.converged();
+  out.hit_step_cap = res.hit_step_cap;
+  out.convergence_steps = res.converged() ? res.convergence_steps() : -1;
+  out.moves_to_convergence = res.moves_to_convergence;
+  out.rounds_to_convergence = res.rounds_to_convergence;
+  out.closure_violations = closure_violations;
+}
+
+ScenarioResult run_ssme(const Scenario& s, const Graph& g,
+                        ScenarioResult out) {
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  const bool safety = s.protocol == ProtocolKind::kSsmeSafety;
+
+  Config<ClockValue> init;
+  switch (s.init) {
+    case InitFamily::kRandom:
+      init = random_config(g, proto.clock(), s.seed);
+      break;
+    case InitFamily::kZero:
+      init = zero_config(g);
+      break;
+    case InitFamily::kTwoGradient:
+      init = two_gradient_config(g, proto);
+      break;
+    case InitFamily::kMaxTokens:
+      throw std::invalid_argument("max-tokens init is Dijkstra-ring only");
+  }
+
+  RunOptions opt;
+  if (s.max_steps > 0) {
+    opt.max_steps = s.max_steps;
+  } else if (safety) {
+    opt.max_steps = 4 * (proto.params().k + proto.params().n);
+  } else {
+    opt.max_steps =
+        2 * ssme_ud_bound(proto.params().n, proto.params().diam);
+  }
+  // Gamma_1 is closed under the protocol, so stopping at first entry is
+  // sound; the safety slice is not (the witness starts safe, goes
+  // unsafe, then stabilizes), so those runs must span the whole window.
+  if (!safety) opt.steps_after_convergence = 0;
+
+  ClosureCounter<ClockValue> legit(
+      safety ? std::function<bool(const Graph&, const Config<ClockValue>&)>(
+                   [&proto](const Graph& gg, const Config<ClockValue>& c) {
+                     return proto.mutex_safe(gg, c);
+                   })
+             : std::function<bool(const Graph&, const Config<ClockValue>&)>(
+                   [&proto](const Graph& gg, const Config<ClockValue>& c) {
+                     return proto.legitimate(gg, c);
+                   }));
+
+  auto daemon = make_daemon(s.daemon, s.seed);
+  const auto res = run_execution(
+      g, proto, *daemon, std::move(init), opt,
+      [&legit](const Graph& gg, const Config<ClockValue>& c) {
+        return legit(gg, c);
+      });
+  record(out, res, legit.violations());
+  return out;
+}
+
+ScenarioResult run_dijkstra(const Scenario& s, const Graph& g,
+                            ScenarioResult out) {
+  const DijkstraRingProtocol proto = DijkstraRingProtocol::for_ring(g);
+
+  Config<DijkstraRingProtocol::State> init;
+  switch (s.init) {
+    case InitFamily::kRandom: {
+      std::mt19937_64 rng(s.seed);
+      std::uniform_int_distribution<DijkstraRingProtocol::State> pick(
+          0, proto.k() - 1);
+      init.resize(static_cast<std::size_t>(g.n()));
+      for (auto& v : init) v = pick(rng);
+      break;
+    }
+    case InitFamily::kZero:
+      init.assign(static_cast<std::size_t>(g.n()), 0);
+      break;
+    case InitFamily::kMaxTokens:
+      init = proto.max_token_config();
+      break;
+    case InitFamily::kTwoGradient:
+      throw std::invalid_argument("two-gradient init is SSME only");
+  }
+
+  RunOptions opt;
+  opt.max_steps = s.max_steps > 0
+                      ? s.max_steps
+                      : 4 * dijkstra_ud_theta(proto.n()) + 64;
+  opt.steps_after_convergence = 0;
+
+  ClosureCounter<DijkstraRingProtocol::State> legit(
+      [&proto](const Graph& gg,
+               const Config<DijkstraRingProtocol::State>& c) {
+        return proto.legitimate(gg, c);
+      });
+
+  auto daemon = make_daemon(s.daemon, s.seed);
+  const auto res = run_execution(
+      g, proto, *daemon, std::move(init), opt,
+      [&legit](const Graph& gg,
+               const Config<DijkstraRingProtocol::State>& c) {
+        return legit(gg, c);
+      });
+  record(out, res, legit.violations());
+  return out;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const Scenario& scenario) {
+  const Graph g = make_topology(scenario.topology);
+
+  ScenarioResult out;
+  out.index = scenario.index;
+  out.protocol = std::string(protocol_name(scenario.protocol));
+  out.topology = scenario.topology.label();
+  out.daemon = scenario.daemon;
+  out.init = std::string(init_name(scenario.init));
+  out.rep = scenario.rep;
+  out.seed = scenario.seed;
+  out.n = g.n();
+  out.diam = diameter(g);
+
+  switch (scenario.protocol) {
+    case ProtocolKind::kSsme:
+    case ProtocolKind::kSsmeSafety:
+      return run_ssme(scenario, g, std::move(out));
+    case ProtocolKind::kDijkstraRing:
+      return run_dijkstra(scenario, g, std::move(out));
+  }
+  throw std::invalid_argument("unknown protocol kind");
+}
+
+CampaignResult run_scenarios(const std::vector<Scenario>& items,
+                             const RunnerOptions& opt) {
+  unsigned threads = opt.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(items.size(), 1)));
+
+  CampaignResult result;
+  result.threads_used = threads;
+  result.rows.resize(items.size());
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= items.size() || failed.load(std::memory_order_relaxed)) {
+        return;
+      }
+      try {
+        Scenario item = items[i];
+        if (item.max_steps == 0) item.max_steps = opt.max_steps_override;
+        result.rows[i] = run_scenario(item);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+  return result;
+}
+
+CampaignResult run_campaign(const CampaignGrid& grid,
+                            const RunnerOptions& opt) {
+  return run_scenarios(expand_grid(grid), opt);
+}
+
+}  // namespace specstab::campaign

@@ -1,0 +1,43 @@
+// Parallel campaign execution.
+//
+// run_campaign() expands a grid into work items and executes them on a
+// std::thread pool.  Work distribution is a single atomic cursor over the
+// item list; every result is written into its own pre-allocated slot
+// (rows[i] belongs exclusively to item i), so no lock is ever taken and
+// the result table is bit-identical at any thread count: each item's
+// randomness comes only from its coordinate-derived seed, never from
+// which thread ran it or when.
+#ifndef SPECSTAB_CAMPAIGN_RUNNER_HPP
+#define SPECSTAB_CAMPAIGN_RUNNER_HPP
+
+#include "campaign/campaign.hpp"
+#include "campaign/scenario.hpp"
+
+namespace specstab::campaign {
+
+struct RunnerOptions {
+  /// 0: use std::thread::hardware_concurrency().
+  unsigned threads = 0;
+
+  /// 0: per-protocol default (Theorem-3 bound multiples for SSME,
+  /// Theta(n^2) multiples for Dijkstra's ring).  Applied to every item
+  /// whose Scenario::max_steps is 0.
+  StepIndex max_steps_override = 0;
+};
+
+/// Executes one scenario synchronously.  Throws std::invalid_argument on
+/// malformed scenarios (unknown daemon, bad topology).
+[[nodiscard]] ScenarioResult run_scenario(const Scenario& scenario);
+
+/// Expands the grid and executes every item on `threads` workers.
+[[nodiscard]] CampaignResult run_campaign(const CampaignGrid& grid,
+                                          const RunnerOptions& opt = {});
+
+/// Executes an already-expanded item list (ports of the benches expand
+/// once and reuse the items for labeling).
+[[nodiscard]] CampaignResult run_scenarios(const std::vector<Scenario>& items,
+                                           const RunnerOptions& opt = {});
+
+}  // namespace specstab::campaign
+
+#endif  // SPECSTAB_CAMPAIGN_RUNNER_HPP

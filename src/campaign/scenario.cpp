@@ -1,0 +1,178 @@
+#include "campaign/scenario.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+
+namespace specstab::campaign {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
+/// splitmix64 finalizer: the standard 64-bit avalanche mix.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string_view protocol_name(ProtocolKind p) {
+  switch (p) {
+    case ProtocolKind::kSsme:
+      return "ssme";
+    case ProtocolKind::kSsmeSafety:
+      return "ssme-safety";
+    case ProtocolKind::kDijkstraRing:
+      return "dijkstra-ring";
+  }
+  return "?";
+}
+
+ProtocolKind protocol_by_name(const std::string& name) {
+  if (name == "ssme") return ProtocolKind::kSsme;
+  if (name == "ssme-safety") return ProtocolKind::kSsmeSafety;
+  if (name == "dijkstra-ring") return ProtocolKind::kDijkstraRing;
+  fail("unknown protocol '" + name + "' (see `specstab campaign --help`)");
+}
+
+std::vector<std::string> known_protocols() {
+  return {"ssme", "ssme-safety", "dijkstra-ring"};
+}
+
+std::string_view init_name(InitFamily f) {
+  switch (f) {
+    case InitFamily::kRandom:
+      return "random";
+    case InitFamily::kZero:
+      return "zero";
+    case InitFamily::kTwoGradient:
+      return "two-gradient";
+    case InitFamily::kMaxTokens:
+      return "max-tokens";
+  }
+  return "?";
+}
+
+InitFamily init_by_name(const std::string& name) {
+  if (name == "random") return InitFamily::kRandom;
+  if (name == "zero") return InitFamily::kZero;
+  if (name == "two-gradient") return InitFamily::kTwoGradient;
+  if (name == "max-tokens") return InitFamily::kMaxTokens;
+  fail("unknown init family '" + name +
+       "' (random | zero | two-gradient | max-tokens)");
+}
+
+std::vector<std::string> known_inits() {
+  return {"random", "zero", "two-gradient", "max-tokens"};
+}
+
+std::string TopologySpec::label() const {
+  std::ostringstream os;
+  os << family;
+  if (family == "grid" || family == "torus") {
+    os << ' ' << a << 'x' << b;
+  } else if (family == "random") {
+    os << ' ' << a << " p=" << p << " s=" << seed;
+  } else if (family != "petersen") {
+    os << ' ' << a;
+  }
+  return os.str();
+}
+
+Graph make_topology(const TopologySpec& spec) {
+  const auto n = static_cast<VertexId>(spec.a);
+  if (spec.family == "ring") return make_ring(n);
+  if (spec.family == "path") return make_path(n);
+  if (spec.family == "star") return make_star(n);
+  if (spec.family == "complete") return make_complete(n);
+  if (spec.family == "grid") {
+    return make_grid(n, static_cast<VertexId>(spec.b));
+  }
+  if (spec.family == "torus") {
+    return make_torus(n, static_cast<VertexId>(spec.b));
+  }
+  if (spec.family == "hypercube") return make_hypercube(static_cast<int>(n));
+  if (spec.family == "btree") return make_binary_tree(n);
+  if (spec.family == "wheel") return make_wheel(n);
+  if (spec.family == "petersen") return make_petersen();
+  if (spec.family == "random") {
+    return make_random_connected(n, spec.p, spec.seed);
+  }
+  fail("unknown topology family '" + spec.family + "'");
+}
+
+std::vector<TopologySpec> sized_family(const std::string& family,
+                                       const std::vector<std::int64_t>& sizes) {
+  std::vector<TopologySpec> out;
+  out.reserve(sizes.size());
+  for (const auto s : sizes) out.push_back({family, s});
+  return out;
+}
+
+bool daemon_is_randomized(const std::string& name) {
+  return name == "central-random" || name == "random-subset" ||
+         name == "locally-central" || name.starts_with("bernoulli-");
+}
+
+std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t protocol_idx,
+                            std::size_t topology_idx, std::size_t daemon_idx,
+                            std::size_t init_idx, std::size_t rep) {
+  std::uint64_t h = mix64(base_seed);
+  h = mix64(h ^ protocol_idx);
+  h = mix64(h ^ topology_idx);
+  h = mix64(h ^ daemon_idx);
+  h = mix64(h ^ init_idx);
+  h = mix64(h ^ rep);
+  return h;
+}
+
+std::vector<Scenario> expand_grid(const CampaignGrid& grid) {
+  std::vector<Scenario> items;
+  const std::size_t reps = grid.reps == 0 ? 1 : grid.reps;
+  for (std::size_t pi = 0; pi < grid.protocols.size(); ++pi) {
+    const ProtocolKind proto = grid.protocols[pi];
+    const bool dijkstra = proto == ProtocolKind::kDijkstraRing;
+    for (std::size_t ti = 0; ti < grid.topologies.size(); ++ti) {
+      const TopologySpec& topo = grid.topologies[ti];
+      if (dijkstra && topo.family != "ring") continue;
+      for (std::size_t di = 0; di < grid.daemons.size(); ++di) {
+        for (std::size_t ii = 0; ii < grid.inits.size(); ++ii) {
+          const InitFamily init = grid.inits[ii];
+          if (init == InitFamily::kTwoGradient && dijkstra) continue;
+          if (init == InitFamily::kMaxTokens && !dijkstra) continue;
+          // Repetitions only matter where the seed matters: a
+          // deterministic init family under a deterministic daemon runs
+          // the same execution every time, so one repetition carries all
+          // the information; a randomized daemon samples a new schedule
+          // per seed even from a fixed initial configuration.
+          const std::size_t cell_reps =
+              (init == InitFamily::kRandom ||
+               daemon_is_randomized(grid.daemons[di]))
+                  ? reps
+                  : 1;
+          for (std::size_t r = 0; r < cell_reps; ++r) {
+            Scenario s;
+            s.index = items.size();
+            s.protocol = proto;
+            s.topology = topo;
+            s.daemon = grid.daemons[di];
+            s.init = init;
+            s.rep = r;
+            s.seed = scenario_seed(grid.base_seed, pi, ti, di, ii, r);
+            items.push_back(std::move(s));
+          }
+        }
+      }
+    }
+  }
+  return items;
+}
+
+}  // namespace specstab::campaign

@@ -1,0 +1,131 @@
+// Declarative scenario grids for campaign sweeps.
+//
+// The paper's claims (Theorems 2-4) quantify over *distributions of
+// runs*: a protocol, a topology, a daemon, and an adversarial initial
+// configuration together determine one execution.  A CampaignGrid names
+// one finite slice of that space per axis; expand_grid() takes the cross
+// product, prunes combinations that are not meaningful (Dijkstra's ring
+// off a ring, the two-gradient witness for a non-clock protocol), and
+// assigns every work item a seed that is a pure function of its grid
+// coordinates — never of expansion order or thread schedule — so a
+// campaign is bit-identical at any parallelism.
+#ifndef SPECSTAB_CAMPAIGN_SCENARIO_HPP
+#define SPECSTAB_CAMPAIGN_SCENARIO_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+
+namespace specstab::campaign {
+
+/// Protocol under test plus the legitimacy predicate the stabilization
+/// time is measured into.
+enum class ProtocolKind {
+  kSsme,          ///< SSME dynamics, Gamma_1 legitimacy (Theorems 1, 3)
+  kSsmeSafety,    ///< SSME dynamics, spec_ME safety slice (Theorem 2)
+  kDijkstraRing,  ///< Dijkstra's K-state ring, single-token legitimacy
+};
+
+[[nodiscard]] std::string_view protocol_name(ProtocolKind p);
+/// Inverse of protocol_name; throws std::invalid_argument on unknown
+/// names.
+[[nodiscard]] ProtocolKind protocol_by_name(const std::string& name);
+[[nodiscard]] std::vector<std::string> known_protocols();
+
+/// Family of initial configurations (transient faults may corrupt the
+/// whole state, so stabilization is measured from arbitrary configs).
+enum class InitFamily {
+  kRandom,       ///< uniformly random registers, one per repetition seed
+  kZero,         ///< all-zeros (legitimate from the start for SSME)
+  kTwoGradient,  ///< Theorem-4 witness on a diameter pair (SSME only)
+  kMaxTokens,    ///< all counters distinct (Dijkstra's ring only)
+};
+
+[[nodiscard]] std::string_view init_name(InitFamily f);
+[[nodiscard]] InitFamily init_by_name(const std::string& name);
+[[nodiscard]] std::vector<std::string> known_inits();
+
+/// One topology instance: a generator family plus its parameters.
+struct TopologySpec {
+  std::string family;     ///< ring | path | star | complete | grid |
+                          ///< torus | hypercube | btree | wheel |
+                          ///< petersen | random
+  std::int64_t a = 0;     ///< first size parameter (n, rows, dim, ...)
+  std::int64_t b = 0;     ///< second size parameter (cols), if any
+  double p = 0.0;         ///< edge probability (random family)
+  std::uint64_t seed = 0; ///< generator seed (random family)
+
+  /// "ring 16", "grid 4x6", "random 24 p=0.15 s=11" — the cell label
+  /// used in result tables and artifacts.
+  [[nodiscard]] std::string label() const;
+};
+
+/// Instantiates the topology.  Throws std::invalid_argument on unknown
+/// families or bad parameters.
+[[nodiscard]] Graph make_topology(const TopologySpec& spec);
+
+/// Convenience: one TopologySpec per size for a single-parameter family.
+[[nodiscard]] std::vector<TopologySpec> sized_family(
+    const std::string& family, const std::vector<std::int64_t>& sizes);
+
+/// The declarative grid: the cross product of the axes, expanded by
+/// expand_grid().  `reps` is the number of repetition seeds; cells whose
+/// execution is seed-independent — a deterministic init family
+/// (zero/two-gradient/max-tokens) under a deterministic daemon —
+/// collapse to a single rep.
+struct CampaignGrid {
+  std::vector<ProtocolKind> protocols;
+  std::vector<TopologySpec> topologies;
+  std::vector<std::string> daemons;  ///< names for make_daemon()
+  std::vector<InitFamily> inits;
+  std::size_t reps = 1;
+  std::uint64_t base_seed = 0x5eedcab5u;
+
+  /// Number of scenario cells (protocol x topology x daemon x init
+  /// combinations) before pruning and rep expansion.
+  [[nodiscard]] std::size_t cell_count() const {
+    return protocols.size() * topologies.size() * daemons.size() *
+           inits.size();
+  }
+};
+
+/// One work item: a fully determined execution.
+struct Scenario {
+  std::size_t index = 0;  ///< position in the expanded grid (stable)
+  ProtocolKind protocol = ProtocolKind::kSsme;
+  TopologySpec topology;
+  std::string daemon;
+  InitFamily init = InitFamily::kRandom;
+  std::size_t rep = 0;
+  std::uint64_t seed = 0;    ///< derived from grid coordinates only
+  StepIndex max_steps = 0;   ///< 0: protocol-appropriate default
+};
+
+/// True for daemon names whose schedule depends on the seed
+/// (central-random, random-subset, locally-central, bernoulli-<p>);
+/// deterministic daemons replay the same schedule at every seed.
+[[nodiscard]] bool daemon_is_randomized(const std::string& name);
+
+/// Deterministic per-item seed: a splitmix64-style mix of the campaign
+/// base seed and the item's grid coordinates.
+[[nodiscard]] std::uint64_t scenario_seed(std::uint64_t base_seed,
+                                          std::size_t protocol_idx,
+                                          std::size_t topology_idx,
+                                          std::size_t daemon_idx,
+                                          std::size_t init_idx,
+                                          std::size_t rep);
+
+/// Cross product of the axes minus meaningless combinations:
+///   - kDijkstraRing only on `ring` topologies,
+///   - kTwoGradient only for SSME protocols,
+///   - kMaxTokens only for kDijkstraRing.
+/// Items are indexed in axis-nested order (protocol, topology, daemon,
+/// init, rep) and carry coordinate-derived seeds.
+[[nodiscard]] std::vector<Scenario> expand_grid(const CampaignGrid& grid);
+
+}  // namespace specstab::campaign
+
+#endif  // SPECSTAB_CAMPAIGN_SCENARIO_HPP

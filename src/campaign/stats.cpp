@@ -1,0 +1,91 @@
+#include "campaign/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+namespace specstab::campaign {
+
+namespace {
+
+bool near(double a, double b) {
+  return std::abs(a - b) <= 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+}  // namespace
+
+bool operator==(const CellSummary& a, const CellSummary& b) {
+  return a.protocol == b.protocol && a.topology == b.topology &&
+         a.daemon == b.daemon && a.init == b.init && a.n == b.n &&
+         a.diam == b.diam && a.runs == b.runs &&
+         a.converged_runs == b.converged_runs &&
+         a.step_cap_hits == b.step_cap_hits && a.min_steps == b.min_steps &&
+         a.max_steps == b.max_steps && near(a.mean_steps, b.mean_steps) &&
+         a.p95_steps == b.p95_steps && a.worst_moves == b.worst_moves &&
+         a.worst_rounds == b.worst_rounds &&
+         a.closure_violations == b.closure_violations;
+}
+
+std::vector<CellSummary> aggregate(const CampaignResult& result) {
+  // Cell key -> position in `cells`, preserving first-appearance order.
+  std::map<std::tuple<std::string, std::string, std::string, std::string>,
+           std::size_t>
+      by_key;
+  std::vector<CellSummary> cells;
+  std::vector<std::vector<StepIndex>> conv_steps;  // parallel to `cells`
+
+  for (const auto& row : result.rows) {
+    const auto key =
+        std::make_tuple(row.protocol, row.topology, row.daemon, row.init);
+    auto it = by_key.find(key);
+    if (it == by_key.end()) {
+      it = by_key.emplace(key, cells.size()).first;
+      CellSummary cell;
+      cell.protocol = row.protocol;
+      cell.topology = row.topology;
+      cell.daemon = row.daemon;
+      cell.init = row.init;
+      cell.n = row.n;
+      cell.diam = row.diam;
+      cells.push_back(std::move(cell));
+      conv_steps.emplace_back();
+    }
+    CellSummary& cell = cells[it->second];
+    ++cell.runs;
+    cell.step_cap_hits += row.hit_step_cap ? 1 : 0;
+    cell.closure_violations += row.closure_violations;
+    if (row.converged) {
+      ++cell.converged_runs;
+      conv_steps[it->second].push_back(row.convergence_steps);
+      cell.worst_moves = std::max(cell.worst_moves, row.moves_to_convergence);
+      cell.worst_rounds =
+          std::max(cell.worst_rounds, row.rounds_to_convergence);
+    }
+  }
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    auto& steps = conv_steps[i];
+    if (steps.empty()) continue;
+    std::sort(steps.begin(), steps.end());
+    CellSummary& cell = cells[i];
+    cell.min_steps = steps.front();
+    cell.max_steps = steps.back();
+    double sum = 0;
+    for (const auto s : steps) sum += static_cast<double>(s);
+    cell.mean_steps = sum / static_cast<double>(steps.size());
+    // Nearest-rank percentile: ceil(0.95 * count), 1-based.
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(0.95 * static_cast<double>(steps.size())));
+    cell.p95_steps = steps[std::max<std::size_t>(rank, 1) - 1];
+  }
+  return cells;
+}
+
+StepIndex worst_steps(const std::vector<CellSummary>& cells) {
+  StepIndex worst = -1;
+  for (const auto& cell : cells) worst = std::max(worst, cell.max_steps);
+  return worst;
+}
+
+}  // namespace specstab::campaign

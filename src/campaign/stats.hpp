@@ -1,0 +1,55 @@
+// Per-cell aggregation of campaign results.
+//
+// A *cell* is one (protocol, topology, daemon, init) combination; its
+// repetitions differ only in the seed.  aggregate() reduces the row table
+// to one summary per cell: min/mean/max/p95 stabilization time, worst
+// moves/rounds, closure-violation and step-cap counts — the statistics
+// the theorem benches print and CI regression checks compare.
+#ifndef SPECSTAB_CAMPAIGN_STATS_HPP
+#define SPECSTAB_CAMPAIGN_STATS_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace specstab::campaign {
+
+struct CellSummary {
+  // --- cell identity ---
+  std::string protocol;
+  std::string topology;
+  std::string daemon;
+  std::string init;
+  VertexId n = 0;
+  VertexId diam = 0;
+
+  // --- aggregates over the cell's runs ---
+  std::size_t runs = 0;
+  std::size_t converged_runs = 0;
+  std::size_t step_cap_hits = 0;
+  /// Stabilization time (convergence steps) over converged runs; all -1
+  /// when no run converged.
+  StepIndex min_steps = -1;
+  StepIndex max_steps = -1;
+  double mean_steps = -1.0;
+  StepIndex p95_steps = -1;  ///< nearest-rank 95th percentile
+  std::int64_t worst_moves = 0;
+  StepIndex worst_rounds = 0;
+  std::int64_t closure_violations = 0;  ///< summed over the cell's runs
+};
+
+[[nodiscard]] bool operator==(const CellSummary& a, const CellSummary& b);
+
+/// Groups rows by cell (first-appearance order — axis-nested, since rows
+/// are ordered by grid index) and reduces each group.
+[[nodiscard]] std::vector<CellSummary> aggregate(const CampaignResult& result);
+
+/// The worst (max) stabilization time across a set of summaries, e.g. all
+/// cells of one topology; -1 when none converged.
+[[nodiscard]] StepIndex worst_steps(const std::vector<CellSummary>& cells);
+
+}  // namespace specstab::campaign
+
+#endif  // SPECSTAB_CAMPAIGN_STATS_HPP

@@ -4,9 +4,17 @@
 #include <fstream>
 #include <functional>
 #include <iomanip>
+#include <limits>
+#include <optional>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "campaign/artifacts.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/scenario.hpp"
+#include "campaign/stats.hpp"
 #include "core/adversarial_configs.hpp"
 #include "core/mutex_spec.hpp"
 #include "core/speculation.hpp"
@@ -45,6 +53,26 @@ std::int64_t parse_int(const std::vector<std::string>& args, std::size_t& pos,
   } catch (const std::out_of_range&) {
     fail("out-of-range " + what + ": " + args[pos]);
   }
+}
+
+/// Strict non-negative integer parse (full consumption, no double
+/// round-trip, so 64-bit seeds survive intact and negatives fail cleanly
+/// instead of wrapping).
+std::uint64_t parse_uint(const std::string& token, const std::string& what) {
+  if (token.empty() || token[0] == '-') {
+    fail(what + " must be a non-negative integer: " + token);
+  }
+  std::uint64_t value = 0;
+  std::size_t used = 0;
+  try {
+    value = std::stoull(token, &used);
+  } catch (const std::out_of_range&) {
+    fail("out-of-range " + what + ": " + token);
+  } catch (const std::invalid_argument&) {
+    fail("bad " + what + ": " + token);
+  }
+  if (used != token.size()) fail("bad " + what + ": " + token);
+  return value;
 }
 
 double parse_double(const std::string& token, const std::string& what) {
@@ -114,8 +142,217 @@ std::string usage() {
      << "  speculate <family> <args..> [--configs C] [--seed S]\n"
      << "                                     sd vs portfolio verdict\n"
      << "  elect     <family> <args..> [opts] run leader election (Sec. 6)\n"
-     << "  color     <family> <args..> [opts] run (Delta+1)-coloring (Sec. 6)\n";
+     << "  color     <family> <args..> [opts] run (Delta+1)-coloring (Sec. 6)\n"
+     << "  campaign  [grid options]           parallel scenario sweep; see\n"
+     << "                                     `specstab campaign --help`\n";
   return os.str();
+}
+
+std::string campaign_usage() {
+  std::ostringstream os;
+  os << "usage: specstab campaign [options]\n\n"
+     << "Expands a scenario grid (protocol x topology x daemon x init x\n"
+     << "seeds) and executes it on a thread pool; results are bit-identical\n"
+     << "at any thread count.\n\n"
+     << "grid options:\n"
+     << "  --preset thm2|thm3|xover|demo  start from a predefined grid\n"
+     << "                                 (default: demo)\n"
+     << "  --smoke                        shrink the preset to a CI-sized\n"
+     << "                                 grid\n"
+     << "  --protocols a,b                ssme | ssme-safety | dijkstra-ring\n"
+     << "  --families f1,f2               single-parameter topology families\n"
+     << "                                 (ring path star complete hypercube\n"
+     << "                                 btree wheel); grid/torus become\n"
+     << "                                 square SxS\n"
+     << "  --sizes n1,n2                  sizes crossed with --families\n"
+     << "  --daemons d1,d2                see `specstab daemons`\n"
+     << "  --inits i1,i2                  random | zero | two-gradient |\n"
+     << "                                 max-tokens\n"
+     << "  --reps R                       repetition seeds per random cell\n"
+     << "  --seed S                       campaign base seed\n"
+     << "run options:\n"
+     << "  --threads T                    worker threads (0 = hardware)\n"
+     << "  --steps N                      max-steps override for every run\n"
+     << "artifacts:\n"
+     << "  --json PATH                    write the full JSON document\n"
+     << "  --csv PATH                     write the per-cell aggregate CSV\n"
+     << "  --runs-csv PATH                write the per-run CSV\n";
+  return os.str();
+}
+
+/// Splits "a,b,c" into tokens; empty tokens are rejected.
+std::vector<std::string> split_list(const std::string& value,
+                                    const std::string& what) {
+  std::vector<std::string> out;
+  std::istringstream in(value);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) fail("empty entry in " + what + " list");
+    out.push_back(token);
+  }
+  if (out.empty()) fail("empty " + what + " list");
+  return out;
+}
+
+CliResult cmd_campaign(const std::vector<std::string>& args) {
+  namespace cmp = specstab::campaign;
+
+  bool smoke = false;
+  std::string preset;
+  std::vector<std::string> protocols, families, daemons, inits;
+  std::vector<std::int64_t> sizes;
+  std::size_t reps = 0;
+  std::optional<std::uint64_t> seed;
+  cmp::RunnerOptions run_opt;
+  std::string json_path, cells_csv_path, runs_csv_path;
+
+  const std::set<std::string> value_flags = {
+      "--preset",  "--protocols", "--families", "--sizes",
+      "--daemons", "--inits",     "--reps",     "--seed",
+      "--threads", "--steps",     "--json",     "--csv",
+      "--runs-csv"};
+  for (std::size_t pos = 0; pos < args.size();) {
+    const std::string& flag = args[pos];
+    if (flag == "--help") return {0, campaign_usage()};
+    if (flag == "--smoke") {
+      smoke = true;
+      ++pos;
+      continue;
+    }
+    if (!value_flags.contains(flag)) {
+      fail("unknown option " + flag + " (see `specstab campaign --help`)");
+    }
+    if (pos + 1 >= args.size()) fail("missing value for " + flag);
+    const std::string& value = args[pos + 1];
+    if (flag == "--preset") {
+      preset = value;
+    } else if (flag == "--protocols") {
+      protocols = split_list(value, "protocol");
+    } else if (flag == "--families") {
+      families = split_list(value, "family");
+    } else if (flag == "--sizes") {
+      for (const auto& s : split_list(value, "size")) {
+        std::int64_t n = 0;
+        try {
+          std::size_t used = 0;
+          n = std::stoll(s, &used);
+          if (used != s.size()) fail("bad size: " + s);
+        } catch (const std::exception&) {
+          fail("bad size: " + s);
+        }
+        if (n <= 0) fail("size must be positive: " + s);
+        sizes.push_back(n);
+      }
+    } else if (flag == "--daemons") {
+      daemons = split_list(value, "daemon");
+    } else if (flag == "--inits") {
+      inits = split_list(value, "init");
+    } else if (flag == "--reps") {
+      reps = static_cast<std::size_t>(parse_uint(value, "--reps"));
+    } else if (flag == "--seed") {
+      seed = parse_uint(value, "--seed");
+    } else if (flag == "--threads") {
+      const std::uint64_t t = parse_uint(value, "--threads");
+      if (t > 4096) fail("--threads must be <= 4096");
+      run_opt.threads = static_cast<unsigned>(t);
+    } else if (flag == "--steps") {
+      const std::uint64_t n = parse_uint(value, "--steps");
+      if (n > static_cast<std::uint64_t>(
+                  std::numeric_limits<StepIndex>::max())) {
+        fail("out-of-range --steps: " + value);
+      }
+      run_opt.max_steps_override = static_cast<StepIndex>(n);
+    } else if (flag == "--json") {
+      json_path = value;
+    } else if (flag == "--csv") {
+      cells_csv_path = value;
+    } else if (flag == "--runs-csv") {
+      runs_csv_path = value;
+    }
+    pos += 2;
+  }
+
+  cmp::CampaignGrid grid;
+  if (preset.empty() || preset == "demo") {
+    grid = cmp::demo_grid();
+  } else if (preset == "thm2") {
+    grid = cmp::thm2_grid(smoke);
+  } else if (preset == "thm3") {
+    grid = cmp::thm3_grid(smoke);
+  } else if (preset == "xover") {
+    grid = cmp::xover_grid(smoke);
+  } else {
+    fail("unknown preset '" + preset + "' (thm2 | thm3 | xover | demo)");
+  }
+
+  if (!protocols.empty()) {
+    grid.protocols.clear();
+    for (const auto& p : protocols) {
+      grid.protocols.push_back(cmp::protocol_by_name(p));
+    }
+  }
+  if (!families.empty() || !sizes.empty()) {
+    if (families.empty() || sizes.empty()) {
+      fail("--families and --sizes must be given together");
+    }
+    grid.topologies.clear();
+    for (const auto& family : families) {
+      for (const auto n : sizes) {
+        if (family == "grid" || family == "torus") {
+          grid.topologies.push_back({family, n, n});
+        } else {
+          grid.topologies.push_back({family, n});
+        }
+      }
+    }
+  }
+  if (!daemons.empty()) grid.daemons = daemons;
+  if (!inits.empty()) {
+    grid.inits.clear();
+    for (const auto& i : inits) grid.inits.push_back(cmp::init_by_name(i));
+  }
+  if (reps > 0) grid.reps = reps;
+  if (seed) grid.base_seed = *seed;
+
+  const auto items = cmp::expand_grid(grid);
+  if (items.empty()) fail("the grid expands to zero scenarios");
+  const auto result = cmp::run_scenarios(items, run_opt);
+  const auto cells = cmp::aggregate(result);
+
+  if (!json_path.empty()) {
+    cmp::write_text_file(json_path, cmp::to_json(result, cells));
+  }
+  if (!cells_csv_path.empty()) {
+    cmp::write_text_file(cells_csv_path, cmp::cells_to_csv(cells));
+  }
+  if (!runs_csv_path.empty()) {
+    cmp::write_text_file(runs_csv_path, cmp::runs_to_csv(result));
+  }
+
+  std::ostringstream os;
+  os << "campaign: " << items.size() << " scenarios over " << cells.size()
+     << " cells, " << result.threads_used << " thread"
+     << (result.threads_used == 1 ? "" : "s") << '\n'
+     << std::left << std::setw(14) << "protocol" << std::setw(16)
+     << "topology" << std::setw(17) << "daemon" << std::setw(14) << "init"
+     << std::right << std::setw(5) << "runs" << std::setw(5) << "conv"
+     << std::setw(7) << "min" << std::setw(9) << "mean" << std::setw(7)
+     << "max" << std::setw(7) << "p95" << '\n'
+     << std::string(101, '-') << '\n';
+  for (const auto& c : cells) {
+    os << std::left << std::setw(14) << c.protocol << std::setw(16)
+       << c.topology << std::setw(17) << c.daemon << std::setw(14) << c.init
+       << std::right << std::setw(5) << c.runs << std::setw(5)
+       << c.converged_runs << std::setw(7) << c.min_steps << std::setw(9)
+       << std::fixed << std::setprecision(1) << c.mean_steps << std::setw(7)
+       << c.max_steps << std::setw(7) << c.p95_steps << '\n';
+  }
+  const bool all_converged =
+      result.converged_count() == result.rows.size();
+  os << '\n'
+     << "converged: " << result.converged_count() << '/' << result.rows.size()
+     << (all_converged ? "" : "  !! NON-CONVERGED RUNS") << '\n';
+  return {all_converged ? 0 : 2, os.str()};
 }
 
 CliResult cmd_topologies() {
@@ -389,33 +626,10 @@ Graph graph_from_spec(const std::vector<std::string>& args,
 
 std::unique_ptr<Daemon> daemon_by_name(const std::string& name,
                                        std::uint64_t seed) {
-  if (name == "synchronous") return std::make_unique<SynchronousDaemon>();
-  if (name == "central-rr") return std::make_unique<CentralRoundRobinDaemon>();
-  if (name == "central-random") {
-    return std::make_unique<CentralRandomDaemon>(seed);
-  }
-  if (name == "central-min-id") return std::make_unique<CentralMinIdDaemon>();
-  if (name == "central-max-id") return std::make_unique<CentralMaxIdDaemon>();
-  if (name == "random-subset") {
-    return std::make_unique<RandomSubsetDaemon>(seed);
-  }
-  if (name == "locally-central") {
-    return std::make_unique<LocallyCentralDaemon>(seed);
-  }
-  if (name.starts_with("bernoulli-")) {
-    const double p =
-        parse_double(name.substr(10), "bernoulli activation probability");
-    if (p <= 0.0 || p > 1.0) fail("bernoulli probability must be in (0, 1]");
-    return std::make_unique<DistributedBernoulliDaemon>(p, seed);
-  }
-  fail("unknown daemon '" + name + "' (see `specstab daemons`)");
+  return make_daemon(name, seed);
 }
 
-std::vector<std::string> known_daemons() {
-  return {"synchronous",    "central-rr",      "central-random",
-          "central-min-id", "central-max-id",  "random-subset",
-          "locally-central", "bernoulli-<p>"};
-}
+std::vector<std::string> known_daemons() { return known_daemon_names(); }
 
 std::vector<std::string> known_families() {
   return {"ring N",        "path N",      "star N",     "complete N",
@@ -440,8 +654,13 @@ CliResult run_cli(const std::vector<std::string>& args) {
     if (cmd == "speculate") return cmd_speculate(rest);
     if (cmd == "elect") return cmd_elect(rest);
     if (cmd == "color") return cmd_color(rest);
+    if (cmd == "campaign") return cmd_campaign(rest);
     return {1, "unknown subcommand '" + cmd + "'\n\n" + usage()};
   } catch (const std::invalid_argument& e) {
+    return {1, std::string("error: ") + e.what() + "\n"};
+  } catch (const std::runtime_error& e) {
+    // I/O failures (unwritable artifact paths, unreadable graph files)
+    // are user errors too, not crashes.
     return {1, std::string("error: ") + e.what() + "\n"};
   }
 }

@@ -14,6 +14,8 @@
 //                                       adversary portfolio
 //   daemons                             list the daemon names `run`
 //                                       accepts
+//   campaign  [grid options]            expand a scenario grid and run it
+//                                       on a thread pool (src/campaign/)
 //
 // Family specs: ring N | path N | star N | complete N | grid R C |
 // torus R C | hypercube D | btree N | wheel N | petersen |
@@ -45,10 +47,8 @@ struct CliResult {
 [[nodiscard]] Graph graph_from_spec(const std::vector<std::string>& args,
                                     std::size_t& pos);
 
-/// Daemon factory by name: synchronous | central-rr | central-random |
-/// central-min-id | central-max-id | bernoulli-<p> (e.g. bernoulli-0.5) |
-/// random-subset | locally-central.  Throws std::invalid_argument on
-/// unknown names.
+/// Daemon factory by name; forwards to specstab::make_daemon (the factory
+/// lives in sim/daemon.hpp so non-CLI layers can use it too).
 [[nodiscard]] std::unique_ptr<Daemon> daemon_by_name(const std::string& name,
                                                      std::uint64_t seed);
 

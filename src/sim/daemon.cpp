@@ -200,4 +200,44 @@ void ScheduledDaemon::reset() {
   fallback_->reset();
 }
 
+std::unique_ptr<Daemon> make_daemon(const std::string& name,
+                                    std::uint64_t seed) {
+  if (name == "synchronous") return std::make_unique<SynchronousDaemon>();
+  if (name == "central-rr") return std::make_unique<CentralRoundRobinDaemon>();
+  if (name == "central-random") {
+    return std::make_unique<CentralRandomDaemon>(seed);
+  }
+  if (name == "central-min-id") return std::make_unique<CentralMinIdDaemon>();
+  if (name == "central-max-id") return std::make_unique<CentralMaxIdDaemon>();
+  if (name == "random-subset") {
+    return std::make_unique<RandomSubsetDaemon>(seed);
+  }
+  if (name == "locally-central") {
+    return std::make_unique<LocallyCentralDaemon>(seed);
+  }
+  if (name.starts_with("bernoulli-")) {
+    double p = 0.0;
+    try {
+      std::size_t used = 0;
+      p = std::stod(name.substr(10), &used);
+      if (used != name.size() - 10) throw std::invalid_argument(name);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad bernoulli activation probability in '" +
+                                  name + "'");
+    }
+    if (p <= 0.0 || p > 1.0) {
+      throw std::invalid_argument("bernoulli probability must be in (0, 1]");
+    }
+    return std::make_unique<DistributedBernoulliDaemon>(p, seed);
+  }
+  throw std::invalid_argument("unknown daemon '" + name +
+                              "' (see `specstab daemons`)");
+}
+
+std::vector<std::string> known_daemon_names() {
+  return {"synchronous",    "central-rr",      "central-random",
+          "central-min-id", "central-max-id",  "random-subset",
+          "locally-central", "bernoulli-<p>"};
+}
+
 }  // namespace specstab

@@ -236,6 +236,17 @@ class ScheduledDaemon final : public Daemon {
   std::unique_ptr<Daemon> fallback_;
 };
 
+/// Daemon factory by name: synchronous | central-rr | central-random |
+/// central-min-id | central-max-id | bernoulli-<p> (e.g. bernoulli-0.5) |
+/// random-subset | locally-central.  Throws std::invalid_argument on
+/// unknown names.  `seed` feeds the randomized daemons and is ignored by
+/// the deterministic ones.
+[[nodiscard]] std::unique_ptr<Daemon> make_daemon(const std::string& name,
+                                                  std::uint64_t seed);
+
+/// Names accepted by make_daemon (for listings and error messages).
+[[nodiscard]] std::vector<std::string> known_daemon_names();
+
 }  // namespace specstab
 
 #endif  // SPECSTAB_SIM_DAEMON_HPP

@@ -1,0 +1,184 @@
+// Tests for campaign aggregation and artifact serialization: per-cell
+// statistics, JSON/CSV round-trips, and byte-identical artifacts across
+// thread counts.
+#include "campaign/artifacts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/runner.hpp"
+#include "campaign/stats.hpp"
+
+namespace specstab::campaign {
+namespace {
+
+ScenarioResult row(std::string topology, std::size_t rep, StepIndex conv,
+                   bool converged = true) {
+  ScenarioResult r;
+  r.index = rep;
+  r.protocol = "ssme";
+  r.topology = std::move(topology);
+  r.daemon = "synchronous";
+  r.init = "random";
+  r.rep = rep;
+  r.seed = 100 + rep;
+  r.n = 8;
+  r.diam = 4;
+  r.steps = conv + 2;
+  r.moves = 10 * conv;
+  r.rounds = conv;
+  r.converged = converged;
+  r.convergence_steps = converged ? conv : -1;
+  r.moves_to_convergence = converged ? 5 * conv : 0;
+  r.rounds_to_convergence = converged ? conv : 0;
+  r.hit_step_cap = !converged;
+  r.closure_violations = 0;
+  return r;
+}
+
+CampaignResult handmade() {
+  CampaignResult result;
+  result.threads_used = 1;
+  for (StepIndex conv : {4, 2, 8, 6, 10}) {
+    result.rows.push_back(row("ring 8", result.rows.size(), conv));
+  }
+  result.rows.push_back(row("path 8", 5, 0, /*converged=*/false));
+  return result;
+}
+
+TEST(AggregateTest, PerCellStatistics) {
+  const auto cells = aggregate(handmade());
+  ASSERT_EQ(cells.size(), 2u);
+
+  const CellSummary& ring = cells[0];
+  EXPECT_EQ(ring.topology, "ring 8");
+  EXPECT_EQ(ring.runs, 5u);
+  EXPECT_EQ(ring.converged_runs, 5u);
+  EXPECT_EQ(ring.min_steps, 2);
+  EXPECT_EQ(ring.max_steps, 10);
+  EXPECT_DOUBLE_EQ(ring.mean_steps, 6.0);
+  EXPECT_EQ(ring.p95_steps, 10);  // nearest rank of 5 samples: the max
+  EXPECT_EQ(ring.worst_moves, 50);
+  EXPECT_EQ(ring.worst_rounds, 10);
+
+  const CellSummary& path = cells[1];
+  EXPECT_EQ(path.runs, 1u);
+  EXPECT_EQ(path.converged_runs, 0u);
+  EXPECT_EQ(path.step_cap_hits, 1u);
+  EXPECT_EQ(path.min_steps, -1);
+  EXPECT_EQ(path.max_steps, -1);
+}
+
+TEST(AggregateTest, WorstStepsAcrossCells) {
+  const auto cells = aggregate(handmade());
+  EXPECT_EQ(worst_steps(cells), 10);
+  EXPECT_EQ(worst_steps({}), -1);
+}
+
+TEST(ArtifactsTest, CellsCsvRoundTrips) {
+  const auto cells = aggregate(handmade());
+  const auto csv = cells_to_csv(cells);
+  const auto parsed = cells_from_csv(csv);
+  ASSERT_EQ(parsed.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(parsed[i], cells[i]) << "cell " << i;
+  }
+}
+
+TEST(ArtifactsTest, CellsJsonRoundTrips) {
+  const auto result = handmade();
+  const auto cells = aggregate(result);
+  const auto json = to_json(result, cells);
+  const auto parsed = cells_from_json(json);
+  ASSERT_EQ(parsed.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(parsed[i], cells[i]) << "cell " << i;
+  }
+}
+
+TEST(ArtifactsTest, FractionalMeansSurviveTheRoundTrip) {
+  CampaignResult result;
+  result.rows.push_back(row("ring 8", 0, 1));
+  result.rows.push_back(row("ring 8", 1, 2));
+  result.rows.push_back(row("ring 8", 2, 4));
+  const auto cells = aggregate(result);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_DOUBLE_EQ(cells[0].mean_steps, 7.0 / 3.0);  // non-terminating
+  EXPECT_EQ(cells_from_csv(cells_to_csv(cells))[0], cells[0]);
+  EXPECT_EQ(cells_from_json(to_json(result, cells))[0], cells[0]);
+}
+
+TEST(ArtifactsTest, MalformedInputsThrow) {
+  EXPECT_THROW((void)cells_from_csv("not,a,header\n"), std::invalid_argument);
+  // Corrupted numeric fields must fail loudly (no partial parse), and
+  // overflow must surface as the documented std::invalid_argument.
+  const auto cells = aggregate(handmade());
+  auto csv = cells_to_csv(cells);
+  const auto corrupt = [&](const std::string& from, const std::string& to) {
+    auto copy = csv;
+    copy.replace(copy.find(from), from.size(), to);
+    return copy;
+  };
+  EXPECT_THROW((void)cells_from_csv(corrupt("ring 8,synchronous,random,8",
+                                            "ring 8,synchronous,random,8junk")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)cells_from_csv(corrupt("ring 8,synchronous,random,8",
+                                   "ring 8,synchronous,random,"
+                                   "99999999999999999999")),
+      std::invalid_argument);
+  EXPECT_THROW((void)cells_from_json("[1, 2"), std::invalid_argument);
+  EXPECT_THROW((void)cells_from_json("{\"cells\":[{\"protocol\":\"\\uzzzz\"}]}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)cells_from_json("{\"cells\":[{\"protocol\":\"\\u0141\"}]}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)cells_from_json("{\"cells\": 3}"),
+               std::invalid_argument);
+  EXPECT_THROW((void)cells_from_json("{}"), std::invalid_argument);
+}
+
+TEST(ArtifactsTest, RunsCsvHasOneLinePerRow) {
+  const auto result = handmade();
+  const auto csv = runs_to_csv(result);
+  std::size_t lines = 0;
+  for (const char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, result.rows.size() + 1);  // header + rows
+  EXPECT_NE(csv.find("index,protocol,topology"), std::string::npos);
+}
+
+TEST(ArtifactsTest, JsonIsByteIdenticalAcrossThreadCounts) {
+  CampaignGrid g;
+  g.protocols = {ProtocolKind::kSsme};
+  g.topologies = {{"ring", 5}, {"path", 4}};
+  g.daemons = {"synchronous", "central-random"};
+  g.inits = {InitFamily::kRandom};
+  g.reps = 4;
+  g.base_seed = 99;
+
+  const auto serial = run_campaign(g, {.threads = 1});
+  const auto parallel = run_campaign(g, {.threads = 8});
+  EXPECT_EQ(serial.threads_used, 1u);
+  EXPECT_EQ(parallel.threads_used, 8u);
+  EXPECT_EQ(to_json(serial, aggregate(serial)),
+            to_json(parallel, aggregate(parallel)));
+  EXPECT_EQ(cells_to_csv(aggregate(serial)),
+            cells_to_csv(aggregate(parallel)));
+  EXPECT_EQ(runs_to_csv(serial), runs_to_csv(parallel));
+}
+
+TEST(ArtifactsTest, WriteTextFileWritesAndOverwrites) {
+  const std::string path = "campaign_artifacts_test.tmp";
+  write_text_file(path, "hello\n");
+  write_text_file(path, "world\n");
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "world\n");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace specstab::campaign

@@ -191,5 +191,107 @@ TEST(CliTest, DaemonFactoryNamesMatchRegistry) {
   }
 }
 
+TEST(CliTest, UsageMentionsCampaign) {
+  const auto res = run_cli({"help"});
+  EXPECT_NE(res.output.find("campaign"), std::string::npos);
+}
+
+TEST(CliTest, CampaignHelpListsGridOptions) {
+  const auto res = run_cli({"campaign", "--help"});
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_NE(res.output.find("--preset"), std::string::npos);
+  EXPECT_NE(res.output.find("--threads"), std::string::npos);
+}
+
+TEST(CliTest, CampaignRunsACustomGrid) {
+  const auto res = run_cli({"campaign", "--protocols", "ssme", "--families",
+                            "ring,path", "--sizes", "4,6", "--daemons",
+                            "synchronous", "--inits", "random,zero",
+                            "--reps", "2", "--threads", "2"});
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  // 2 families x 2 sizes x 1 daemon x (2 random reps + 1 zero).
+  EXPECT_NE(res.output.find("campaign: 12 scenarios over 8 cells"),
+            std::string::npos);
+  EXPECT_NE(res.output.find("converged: 12/12"), std::string::npos);
+}
+
+TEST(CliTest, CampaignWritesArtifacts) {
+  const std::string json = "cli_campaign_test.json";
+  const std::string csv = "cli_campaign_test.csv";
+  const auto res = run_cli({"campaign", "--protocols", "ssme", "--families",
+                            "ring", "--sizes", "5", "--daemons",
+                            "synchronous", "--inits", "zero", "--json", json,
+                            "--csv", csv});
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  std::ifstream json_in(json);
+  EXPECT_TRUE(json_in.good());
+  std::string first_line;
+  std::getline(json_in, first_line);
+  EXPECT_NE(first_line.find("\"campaign\""), std::string::npos);
+  std::ifstream csv_in(csv);
+  EXPECT_TRUE(csv_in.good());
+  std::remove(json.c_str());
+  std::remove(csv.c_str());
+}
+
+TEST(CliTest, CampaignUnwritableArtifactPathFailsCleanly) {
+  const auto res = run_cli({"campaign", "--protocols", "ssme", "--families",
+                            "ring", "--sizes", "4", "--daemons",
+                            "synchronous", "--inits", "zero", "--json",
+                            "/nonexistent-dir/out.json"});
+  EXPECT_EQ(res.exit_code, 1);
+  EXPECT_NE(res.output.find("error: cannot open"), std::string::npos);
+}
+
+TEST(CliTest, CampaignBadPresetFails) {
+  const auto res = run_cli({"campaign", "--preset", "nope"});
+  EXPECT_EQ(res.exit_code, 1);
+  EXPECT_NE(res.output.find("unknown preset"), std::string::npos);
+}
+
+TEST(CliTest, CampaignUnknownFlagNamesTheFlag) {
+  const auto res = run_cli({"campaign", "--bogus"});
+  EXPECT_EQ(res.exit_code, 1);
+  EXPECT_NE(res.output.find("unknown option --bogus"), std::string::npos);
+}
+
+TEST(CliTest, CampaignRejectsNegativeNumericOptions) {
+  for (const std::string flag : {"--reps", "--threads", "--steps"}) {
+    const auto res = run_cli({"campaign", flag, "-1"});
+    EXPECT_EQ(res.exit_code, 1) << flag;
+    EXPECT_NE(res.output.find("non-negative"), std::string::npos) << flag;
+  }
+}
+
+TEST(CliTest, CampaignSeedSurvives64Bits) {
+  // A seed above 2^53 must not be corrupted by a double round-trip: the
+  // same seed twice gives identical tables, a different seed does not.
+  const std::vector<std::string> base = {
+      "campaign", "--protocols", "ssme",   "--families", "ring",
+      "--sizes",  "6",           "--daemons", "central-random",
+      "--inits",  "random",      "--reps", "3"};
+  auto with_seed = [&](const std::string& s) {
+    auto args = base;
+    args.insert(args.end(), {"--seed", s});
+    return run_cli(args).output;
+  };
+  EXPECT_EQ(with_seed("18446744073709551615"),
+            with_seed("18446744073709551615"));
+  EXPECT_NE(with_seed("18446744073709551615"),
+            with_seed("18446744073709551614"));
+}
+
+TEST(CliTest, CampaignFamiliesRequireSizes) {
+  const auto res = run_cli({"campaign", "--families", "ring"});
+  EXPECT_EQ(res.exit_code, 1);
+  EXPECT_NE(res.output.find("--families and --sizes"), std::string::npos);
+}
+
+TEST(CliTest, CampaignSmokePresetRuns) {
+  const auto res = run_cli({"campaign", "--preset", "xover", "--smoke"});
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("bernoulli-0.1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace specstab::cli
