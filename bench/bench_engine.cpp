@@ -1,0 +1,295 @@
+// ENGINE — incremental dirty-set engine vs reference full-rescan engine.
+//
+// The headline number is the wall-clock ratio on the Theorem-3 campaign
+// preset (the hottest path in the repo: every portfolio daemon crossed
+// with random + two-gradient inits over the thm3 topology slate), run on
+// a thread pool with both engines and cross-checked row-for-row.  Micro
+// rows isolate per-protocol step throughput on larger single instances.
+//
+// Unlike the google-benchmark experiment benches this tool links only
+// the core library (plain chrono timing), so it builds everywhere and CI
+// can always record the perf trajectory.  Results land in
+// BENCH_engine.json (deterministic key order; timings are wall clock and
+// naturally vary between hosts).
+//
+//   bench_engine [--smoke] [--json PATH] [--threads T] [--repeats R]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/dijkstra_ring.hpp"
+#include "baselines/matching.hpp"
+#include "campaign/artifacts.hpp"
+#include "campaign/campaign.hpp"
+#include "campaign/runner.hpp"
+#include "core/adversarial_configs.hpp"
+#include "core/incremental_legitimacy.hpp"
+#include "core/ssme.hpp"
+#include "extensions/coloring.hpp"
+#include "graph/generators.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+#include "sim/incremental_engine.hpp"
+
+namespace {
+
+using namespace specstab;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-`repeats` wall clock of `fn`, milliseconds.
+template <class Fn>
+double best_of(int repeats, Fn fn) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    const double start = now_ms();
+    fn();
+    const double elapsed = now_ms() - start;
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+std::string fmt(double value, int precision = 2) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+struct MicroRow {
+  std::string name;
+  std::int64_t steps = 0;
+  double reference_ms = 0.0;
+  double incremental_ms = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return incremental_ms > 0.0 ? reference_ms / incremental_ms : 0.0;
+  }
+};
+
+/// One micro measurement: the same run on both engines (fresh daemon per
+/// run, same seed), verified to execute identical step counts.
+template <ProtocolConcept P, class MakeChecker>
+MicroRow micro(const std::string& name, const Graph& g, const P& proto,
+               const std::string& daemon_name, std::uint64_t seed,
+               const Config<typename P::State>& init, MakeChecker make_checker,
+               StepIndex max_steps, int repeats) {
+  MicroRow row;
+  row.name = name;
+  RunOptions opt;
+  opt.max_steps = max_steps;
+  for (const EngineKind kind :
+       {EngineKind::kReference, EngineKind::kIncremental}) {
+    opt.engine = kind;
+    std::int64_t steps = 0;
+    const double ms = best_of(repeats, [&] {
+      auto daemon = make_daemon(daemon_name, seed);
+      auto checker = make_checker();
+      const auto res =
+          run_with_engine(g, proto, *daemon, init, opt, checker);
+      steps = res.steps;
+    });
+    if (kind == EngineKind::kReference) {
+      row.reference_ms = ms;
+      row.steps = steps;
+    } else {
+      row.incremental_ms = ms;
+      if (steps != row.steps) {
+        std::cerr << "!! ENGINE MISMATCH in micro '" << name << "': "
+                  << row.steps << " vs " << steps << " steps\n";
+        std::exit(2);
+      }
+    }
+  }
+  return row;
+}
+
+std::vector<MicroRow> run_micros(bool smoke, int repeats) {
+  std::vector<MicroRow> rows;
+
+  {
+    const Graph g = make_ring(smoke ? 12 : 48);
+    const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+    rows.push_back(micro(
+        "ssme/gamma1/ring/central-rr", g, proto, "central-rr", 42,
+        random_config(g, proto.clock(), 42),
+        [&] { return make_gamma1_checker(proto); }, smoke ? 2000 : 20000,
+        repeats));
+    rows.push_back(micro(
+        "ssme/gamma1/ring/synchronous", g, proto, "synchronous", 42,
+        random_config(g, proto.clock(), 42),
+        [&] { return make_gamma1_checker(proto); }, smoke ? 500 : 4000,
+        repeats));
+  }
+  {
+    const Graph g = make_ring(smoke ? 32 : 256);
+    const DijkstraRingProtocol proto = DijkstraRingProtocol::for_ring(g);
+    rows.push_back(micro(
+        "dijkstra/single-token/ring/central-rr", g, proto, "central-rr", 7,
+        proto.max_token_config(),
+        [&] { return make_single_token_checker(proto); },
+        smoke ? 4000 : 60000, repeats));
+  }
+  {
+    const Graph g =
+        make_random_connected(smoke ? 48 : 256, smoke ? 0.15 : 0.04, 5);
+    const ColoringProtocol proto(g);
+    rows.push_back(micro(
+        "coloring/proper/random/bernoulli-0.5", g, proto, "bernoulli-0.5",
+        11, monochrome_config(g, 0),
+        [&] { return make_coloring_checker(proto); }, 200000, repeats));
+  }
+  {
+    const Graph g = smoke ? make_torus(4, 4) : make_torus(16, 16);
+    const MatchingProtocol proto;
+    rows.push_back(micro(
+        "matching/stable/torus/bernoulli-0.5", g, proto, "bernoulli-0.5",
+        23, MatchingProtocol::null_config(g),
+        [&] { return make_matching_checker(proto); }, 200000, repeats));
+  }
+  return rows;
+}
+
+struct CampaignTiming {
+  std::size_t scenarios = 0;
+  double reference_ms = 0.0;
+  double incremental_ms = 0.0;
+
+  [[nodiscard]] double speedup() const {
+    return incremental_ms > 0.0 ? reference_ms / incremental_ms : 0.0;
+  }
+};
+
+CampaignTiming run_campaign_comparison(bool smoke, unsigned threads,
+                                       int repeats) {
+  const campaign::CampaignGrid grid = campaign::thm3_grid(smoke);
+  const auto items = campaign::expand_grid(grid);
+
+  CampaignTiming timing;
+  timing.scenarios = items.size();
+
+  campaign::CampaignResult reference_rows, incremental_rows;
+  for (const EngineKind kind :
+       {EngineKind::kReference, EngineKind::kIncremental}) {
+    campaign::RunnerOptions opt;
+    opt.threads = threads;
+    opt.engine = kind;
+    campaign::CampaignResult last;
+    const double ms = best_of(
+        repeats, [&] { last = campaign::run_scenarios(items, opt); });
+    if (kind == EngineKind::kReference) {
+      timing.reference_ms = ms;
+      reference_rows = std::move(last);
+    } else {
+      timing.incremental_ms = ms;
+      incremental_rows = std::move(last);
+    }
+  }
+
+  // The speedup only counts if the engines agree — assert it here too,
+  // on the full preset the differential tests only smoke.
+  if (reference_rows.rows.size() != incremental_rows.rows.size()) {
+    std::cerr << "!! ENGINE MISMATCH: row counts differ\n";
+    std::exit(2);
+  }
+  for (std::size_t i = 0; i < reference_rows.rows.size(); ++i) {
+    if (!(reference_rows.rows[i] == incremental_rows.rows[i])) {
+      std::cerr << "!! ENGINE MISMATCH at campaign row " << i << "\n";
+      std::exit(2);
+    }
+  }
+  return timing;
+}
+
+std::string to_json(bool smoke, unsigned threads, int repeats,
+                    const CampaignTiming& campaign_timing,
+                    const std::vector<MicroRow>& micros) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"bench\": \"engine\",\n"
+     << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+     << "  \"threads\": " << threads << ",\n"
+     << "  \"repeats\": " << repeats << ",\n"
+     << "  \"campaign\": {\"preset\": \"thm3\", \"scenarios\": "
+     << campaign_timing.scenarios
+     << ", \"reference_ms\": " << fmt(campaign_timing.reference_ms)
+     << ", \"incremental_ms\": " << fmt(campaign_timing.incremental_ms)
+     << ", \"speedup\": " << fmt(campaign_timing.speedup()) << "},\n"
+     << "  \"micro\": [\n";
+  for (std::size_t i = 0; i < micros.size(); ++i) {
+    const auto& m = micros[i];
+    os << "    {\"name\": \"" << m.name << "\", \"steps\": " << m.steps
+       << ", \"reference_ms\": " << fmt(m.reference_ms)
+       << ", \"incremental_ms\": " << fmt(m.incremental_ms)
+       << ", \"speedup\": " << fmt(m.speedup()) << "}"
+       << (i + 1 < micros.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_engine.json";
+  unsigned threads = 8;
+  int repeats = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (arg == "--repeats" && i + 1 < argc) {
+      repeats = std::stoi(argv[++i]);
+    } else {
+      std::cerr << "usage: bench_engine [--smoke] [--json PATH] "
+                   "[--threads T] [--repeats R]\n";
+      return 1;
+    }
+  }
+  if (smoke) repeats = std::min(repeats, 1);
+
+  std::cout << "\n== ENGINE: incremental dirty-set vs reference full-rescan "
+               "[" << (smoke ? "smoke" : "full") << ", " << threads
+            << " threads, best of " << repeats << "] ==\n\n";
+
+  const CampaignTiming campaign_timing =
+      run_campaign_comparison(smoke, threads, repeats);
+  std::cout << std::left << std::setw(42) << "workload" << std::right
+            << std::setw(12) << "ref-ms" << std::setw(12) << "inc-ms"
+            << std::setw(10) << "speedup" << "\n"
+            << std::string(76, '-') << "\n"
+            << std::left << std::setw(42) << "campaign/thm3-preset"
+            << std::right << std::setw(12) << fmt(campaign_timing.reference_ms)
+            << std::setw(12) << fmt(campaign_timing.incremental_ms)
+            << std::setw(9) << fmt(campaign_timing.speedup()) << "x\n";
+
+  const auto micros = run_micros(smoke, repeats);
+  for (const auto& m : micros) {
+    std::cout << std::left << std::setw(42) << m.name << std::right
+              << std::setw(12) << fmt(m.reference_ms) << std::setw(12)
+              << fmt(m.incremental_ms) << std::setw(9) << fmt(m.speedup())
+              << "x\n";
+  }
+
+  const std::string json =
+      to_json(smoke, threads, repeats, campaign_timing, micros);
+  campaign::write_text_file(json_path, json);
+  std::cout << "\nwrote " << json_path << " (campaign speedup "
+            << fmt(campaign_timing.speedup()) << "x over "
+            << campaign_timing.scenarios << " scenarios)\n";
+  return 0;
+}

@@ -45,6 +45,9 @@ class DijkstraRingProtocol {
   // --- ProtocolConcept ---
   [[nodiscard]] bool enabled(const Graph& g, const Config<State>& cfg,
                              VertexId v) const;
+  /// Guards read only the predecessor's counter, which is a ring
+  /// neighbour.
+  [[nodiscard]] VertexId locality_radius() const noexcept { return 1; }
   [[nodiscard]] State apply(const Graph& g, const Config<State>& cfg,
                             VertexId v) const;
   [[nodiscard]] std::string_view rule_name(const Graph& g,

@@ -62,6 +62,9 @@ class MatchingProtocol {
   // --- ProtocolConcept ---
   [[nodiscard]] bool enabled(const Graph& g, const Config<State>& cfg,
                              VertexId v) const;
+  /// All three guards read only the pointers of v and its neighbours
+  /// ("engaged" is p_u != null, not married(u), so nothing two hops out).
+  [[nodiscard]] VertexId locality_radius() const noexcept { return 1; }
   [[nodiscard]] State apply(const Graph& g, const Config<State>& cfg,
                             VertexId v) const;
   [[nodiscard]] std::string_view rule_name(const Graph& g,

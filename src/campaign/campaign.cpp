@@ -69,13 +69,18 @@ CampaignGrid thm3_grid(bool smoke) {
     g.topologies.push_back({"path", 4});
     g.reps = 1;
   } else {
-    g.topologies = sized_family("ring", {4, 6, 8, 10, 12});
-    auto paths = sized_family("path", {4, 6, 8, 10});
+    // Sizes where the cubic bound's growth actually shows (and where the
+    // engine, not scenario setup, dominates the sweep): cells up to
+    // n = 128 with K = (2n-1)(diam+1)+2 > 16000.
+    g.topologies = sized_family("ring", {8, 16, 32, 64, 128});
+    auto paths = sized_family("path", {8, 16, 32, 64});
     g.topologies.insert(g.topologies.end(), paths.begin(), paths.end());
-    g.topologies.push_back({"grid", 3, 3});
-    g.topologies.push_back({"grid", 3, 4});
-    g.topologies.push_back({"random", 8, 0, 0.3, 5});
-    g.topologies.push_back({"random", 10, 0, 0.25, 6});
+    g.topologies.push_back({"grid", 4, 4});
+    g.topologies.push_back({"grid", 4, 8});
+    g.topologies.push_back({"grid", 8, 8});
+    g.topologies.push_back({"random", 24, 0, 0.12, 6});
+    g.topologies.push_back({"random", 32, 0, 0.1, 7});
+    g.topologies.push_back({"random", 48, 0, 0.08, 8});
     g.reps = 4;
   }
   g.daemons = portfolio_daemons();

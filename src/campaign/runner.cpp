@@ -6,43 +6,34 @@
 #include <functional>
 #include <mutex>
 #include <random>
+#include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "baselines/dijkstra_ring.hpp"
 #include "core/adversarial_configs.hpp"
+#include "core/incremental_legitimacy.hpp"
 #include "core/ssme.hpp"
 #include "core/theory.hpp"
 #include "graph/properties.hpp"
 #include "sim/engine.hpp"
+#include "sim/incremental_engine.hpp"
 
 namespace specstab::campaign {
 
 namespace {
 
-/// Legitimacy predicate wrapper that counts legitimate -> illegitimate
-/// transitions.  The engine evaluates the predicate exactly once per
-/// configuration, in execution order, so the wrapper sees the full
-/// legitimacy sequence gamma_0, gamma_1, ...
-template <class State>
-class ClosureCounter {
- public:
-  explicit ClosureCounter(
-      std::function<bool(const Graph&, const Config<State>&)> inner)
-      : inner_(std::move(inner)) {}
+/// One instantiated topology, shared read-only by every scenario of the
+/// same cell column.  Graph construction and the all-pairs-BFS diameter
+/// are the dominant per-scenario setup costs, so run_scenarios()
+/// instantiates each distinct topology exactly once instead of once per
+/// scenario.
+struct TopologyInstance {
+  Graph graph;
+  VertexId diam = 0;
 
-  bool operator()(const Graph& g, const Config<State>& cfg) {
-    const bool legit = inner_(g, cfg);
-    if (was_legit_ && !legit) ++violations_;
-    was_legit_ = legit;
-    return legit;
-  }
-
-  [[nodiscard]] std::int64_t violations() const { return violations_; }
-
- private:
-  std::function<bool(const Graph&, const Config<State>&)> inner_;
-  bool was_legit_ = false;
-  std::int64_t violations_ = 0;
+  explicit TopologyInstance(const TopologySpec& spec)
+      : graph(make_topology(spec)), diam(diameter(graph)) {}
 };
 
 template <class State>
@@ -59,9 +50,12 @@ void record(ScenarioResult& out, const RunResult<State>& res,
   out.closure_violations = closure_violations;
 }
 
-ScenarioResult run_ssme(const Scenario& s, const Graph& g,
-                        ScenarioResult out) {
-  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+ScenarioResult run_ssme(const Scenario& s, const TopologyInstance& topo,
+                        EngineKind engine, ScenarioResult out) {
+  const Graph& g = topo.graph;
+  // Build the paper's parameters from the cached diameter — no repeated
+  // BFS sweep per scenario.
+  const SsmeProtocol proto(SsmeParams::from_dimensions(g.n(), topo.diam));
   const bool safety = s.protocol == ProtocolKind::kSsmeSafety;
 
   Config<ClockValue> init;
@@ -80,6 +74,7 @@ ScenarioResult run_ssme(const Scenario& s, const Graph& g,
   }
 
   RunOptions opt;
+  opt.engine = engine;
   if (s.max_steps > 0) {
     opt.max_steps = s.max_steps;
   } else if (safety) {
@@ -93,28 +88,24 @@ ScenarioResult run_ssme(const Scenario& s, const Graph& g,
   // unsafe, then stabilizes), so those runs must span the whole window.
   if (!safety) opt.steps_after_convergence = 0;
 
-  ClosureCounter<ClockValue> legit(
-      safety ? std::function<bool(const Graph&, const Config<ClockValue>&)>(
-                   [&proto](const Graph& gg, const Config<ClockValue>& c) {
-                     return proto.mutex_safe(gg, c);
-                   })
-             : std::function<bool(const Graph&, const Config<ClockValue>&)>(
-                   [&proto](const Graph& gg, const Config<ClockValue>& c) {
-                     return proto.legitimate(gg, c);
-                   }));
-
   auto daemon = make_daemon(s.daemon, s.seed);
-  const auto res = run_execution(
-      g, proto, *daemon, std::move(init), opt,
-      [&legit](const Graph& gg, const Config<ClockValue>& c) {
-        return legit(gg, c);
-      });
-  record(out, res, legit.violations());
+  if (safety) {
+    ClosureCounting checker(make_mutex_safety_checker(proto));
+    const auto res =
+        run_with_engine(g, proto, *daemon, std::move(init), opt, checker);
+    record(out, res, checker.violations());
+  } else {
+    ClosureCounting checker(make_gamma1_checker(proto));
+    const auto res =
+        run_with_engine(g, proto, *daemon, std::move(init), opt, checker);
+    record(out, res, checker.violations());
+  }
   return out;
 }
 
-ScenarioResult run_dijkstra(const Scenario& s, const Graph& g,
-                            ScenarioResult out) {
+ScenarioResult run_dijkstra(const Scenario& s, const TopologyInstance& topo,
+                            EngineKind engine, ScenarioResult out) {
+  const Graph& g = topo.graph;
   const DijkstraRingProtocol proto = DijkstraRingProtocol::for_ring(g);
 
   Config<DijkstraRingProtocol::State> init;
@@ -138,33 +129,23 @@ ScenarioResult run_dijkstra(const Scenario& s, const Graph& g,
   }
 
   RunOptions opt;
+  opt.engine = engine;
   opt.max_steps = s.max_steps > 0
                       ? s.max_steps
                       : 4 * dijkstra_ud_theta(proto.n()) + 64;
   opt.steps_after_convergence = 0;
 
-  ClosureCounter<DijkstraRingProtocol::State> legit(
-      [&proto](const Graph& gg,
-               const Config<DijkstraRingProtocol::State>& c) {
-        return proto.legitimate(gg, c);
-      });
-
   auto daemon = make_daemon(s.daemon, s.seed);
-  const auto res = run_execution(
-      g, proto, *daemon, std::move(init), opt,
-      [&legit](const Graph& gg,
-               const Config<DijkstraRingProtocol::State>& c) {
-        return legit(gg, c);
-      });
-  record(out, res, legit.violations());
+  ClosureCounting checker(make_single_token_checker(proto));
+  const auto res =
+      run_with_engine(g, proto, *daemon, std::move(init), opt, checker);
+  record(out, res, checker.violations());
   return out;
 }
 
-}  // namespace
-
-ScenarioResult run_scenario(const Scenario& scenario) {
-  const Graph g = make_topology(scenario.topology);
-
+ScenarioResult run_scenario_on(const Scenario& scenario,
+                               const TopologyInstance& topo,
+                               EngineKind engine) {
   ScenarioResult out;
   out.index = scenario.index;
   out.protocol = std::string(protocol_name(scenario.protocol));
@@ -173,17 +154,24 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   out.init = std::string(init_name(scenario.init));
   out.rep = scenario.rep;
   out.seed = scenario.seed;
-  out.n = g.n();
-  out.diam = diameter(g);
+  out.n = topo.graph.n();
+  out.diam = topo.diam;
 
   switch (scenario.protocol) {
     case ProtocolKind::kSsme:
     case ProtocolKind::kSsmeSafety:
-      return run_ssme(scenario, g, std::move(out));
+      return run_ssme(scenario, topo, engine, std::move(out));
     case ProtocolKind::kDijkstraRing:
-      return run_dijkstra(scenario, g, std::move(out));
+      return run_dijkstra(scenario, topo, engine, std::move(out));
   }
   throw std::invalid_argument("unknown protocol kind");
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const Scenario& scenario, EngineKind engine) {
+  return run_scenario_on(scenario, TopologyInstance(scenario.topology),
+                         engine);
 }
 
 CampaignResult run_scenarios(const std::vector<Scenario>& items,
@@ -199,6 +187,13 @@ CampaignResult run_scenarios(const std::vector<Scenario>& items,
   result.threads_used = threads;
   result.rows.resize(items.size());
 
+  // Instantiate each distinct topology exactly once, before the pool
+  // spins up; workers share the instances read-only.
+  std::unordered_map<std::string, TopologyInstance> topologies;
+  for (const auto& item : items) {
+    topologies.try_emplace(item.topology.label(), item.topology);
+  }
+
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
@@ -213,7 +208,8 @@ CampaignResult run_scenarios(const std::vector<Scenario>& items,
       try {
         Scenario item = items[i];
         if (item.max_steps == 0) item.max_steps = opt.max_steps_override;
-        result.rows[i] = run_scenario(item);
+        result.rows[i] = run_scenario_on(
+            item, topologies.at(item.topology.label()), opt.engine);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

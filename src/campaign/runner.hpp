@@ -12,6 +12,7 @@
 
 #include "campaign/campaign.hpp"
 #include "campaign/scenario.hpp"
+#include "sim/engine.hpp"
 
 namespace specstab::campaign {
 
@@ -23,11 +24,18 @@ struct RunnerOptions {
   /// Theta(n^2) multiples for Dijkstra's ring).  Applied to every item
   /// whose Scenario::max_steps is 0.
   StepIndex max_steps_override = 0;
+
+  /// Execution engine for every run: the incremental dirty-set engine by
+  /// default, the full-rescan reference engine as the escape hatch (CLI
+  /// `--engine reference`).  Results are bit-identical either way; only
+  /// wall-clock differs.
+  EngineKind engine = EngineKind::kIncremental;
 };
 
 /// Executes one scenario synchronously.  Throws std::invalid_argument on
 /// malformed scenarios (unknown daemon, bad topology).
-[[nodiscard]] ScenarioResult run_scenario(const Scenario& scenario);
+[[nodiscard]] ScenarioResult run_scenario(
+    const Scenario& scenario, EngineKind engine = EngineKind::kIncremental);
 
 /// Expands the grid and executes every item on `threads` workers.
 [[nodiscard]] CampaignResult run_campaign(const CampaignGrid& grid,

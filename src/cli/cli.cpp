@@ -16,6 +16,7 @@
 #include "campaign/scenario.hpp"
 #include "campaign/stats.hpp"
 #include "core/adversarial_configs.hpp"
+#include "core/incremental_legitimacy.hpp"
 #include "core/mutex_spec.hpp"
 #include "core/speculation.hpp"
 #include "core/ssme.hpp"
@@ -28,6 +29,7 @@
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
 #include "sim/engine.hpp"
+#include "sim/incremental_engine.hpp"
 #include "sim/visualize.hpp"
 #include "unison/parameters.hpp"
 
@@ -88,13 +90,15 @@ double parse_double(const std::string& token, const std::string& what) {
   }
 }
 
-/// Named options of the form --name value (seed, steps, daemon, configs).
+/// Named options of the form --name value (seed, steps, daemon, configs,
+/// engine).
 struct Options {
   std::uint64_t seed = 42;
   StepIndex max_steps = 0;  ///< 0: pick a protocol-appropriate default
   std::string daemon = "synchronous";
   std::size_t configs = 10;
   bool dot = false;
+  EngineKind engine = EngineKind::kIncremental;
 };
 
 Options parse_options(const std::vector<std::string>& args, std::size_t pos) {
@@ -115,6 +119,8 @@ Options parse_options(const std::vector<std::string>& args, std::size_t pos) {
       opt.max_steps = static_cast<StepIndex>(parse_double(value, "--steps"));
     } else if (flag == "--daemon") {
       opt.daemon = value;
+    } else if (flag == "--engine") {
+      opt.engine = engine_by_name(value);
     } else if (flag == "--configs") {
       opt.configs =
           static_cast<std::size_t>(parse_double(value, "--configs"));
@@ -144,7 +150,10 @@ std::string usage() {
      << "  elect     <family> <args..> [opts] run leader election (Sec. 6)\n"
      << "  color     <family> <args..> [opts] run (Delta+1)-coloring (Sec. 6)\n"
      << "  campaign  [grid options]           parallel scenario sweep; see\n"
-     << "                                     `specstab campaign --help`\n";
+     << "                                     `specstab campaign --help`\n\n"
+     << "run/witness/speculate/elect/color/campaign accept\n"
+     << "  --engine incremental|reference     dirty-set engine (default) or\n"
+     << "                                     the full-rescan oracle\n";
   return os.str();
 }
 
@@ -173,6 +182,8 @@ std::string campaign_usage() {
      << "run options:\n"
      << "  --threads T                    worker threads (0 = hardware)\n"
      << "  --steps N                      max-steps override for every run\n"
+     << "  --engine incremental|reference execution engine (default:\n"
+     << "                                 incremental)\n"
      << "artifacts:\n"
      << "  --json PATH                    write the full JSON document\n"
      << "  --csv PATH                     write the per-cell aggregate CSV\n"
@@ -210,7 +221,7 @@ CliResult cmd_campaign(const std::vector<std::string>& args) {
       "--preset",  "--protocols", "--families", "--sizes",
       "--daemons", "--inits",     "--reps",     "--seed",
       "--threads", "--steps",     "--json",     "--csv",
-      "--runs-csv"};
+      "--runs-csv", "--engine"};
   for (std::size_t pos = 0; pos < args.size();) {
     const std::string& flag = args[pos];
     if (flag == "--help") return {0, campaign_usage()};
@@ -262,6 +273,8 @@ CliResult cmd_campaign(const std::vector<std::string>& args) {
         fail("out-of-range --steps: " + value);
       }
       run_opt.max_steps_override = static_cast<StepIndex>(n);
+    } else if (flag == "--engine") {
+      run_opt.engine = engine_by_name(value);
     } else if (flag == "--json") {
       json_path = value;
     } else if (flag == "--csv") {
@@ -409,15 +422,15 @@ CliResult cmd_run(const std::vector<std::string>& args) {
   const auto daemon = daemon_by_name(opt.daemon, opt.seed);
 
   RunOptions run_opt;
+  run_opt.engine = opt.engine;
   run_opt.max_steps = opt.max_steps > 0
                           ? opt.max_steps
                           : 20 * (proto.params().k + proto.params().n);
   MutexSpecMonitor monitor(g, proto);
-  const auto res = run_execution(
+  auto checker = make_gamma1_checker(proto);
+  const auto res = run_with_engine(
       g, proto, *daemon, random_config(g, proto.clock(), opt.seed), run_opt,
-      [&proto](const Graph& gg, const Config<ClockValue>& c) {
-        return proto.legitimate(gg, c);
-      },
+      checker,
       [&monitor](StepIndex step, const Config<ClockValue>& cfg,
                  const std::vector<VertexId>& activated) {
         monitor.on_action(step, cfg, activated);
@@ -426,7 +439,8 @@ CliResult cmd_run(const std::vector<std::string>& args) {
   const auto& report = monitor.report();
 
   std::ostringstream os;
-  os << "daemon:        " << daemon->name() << '\n'
+  os << "engine:        " << engine_name(run_opt.engine) << '\n'
+     << "daemon:        " << daemon->name() << '\n'
      << "steps run:     " << res.steps << " (moves " << res.moves
      << ", rounds " << res.rounds << ")\n"
      << "Gamma_1 entry: "
@@ -454,15 +468,14 @@ CliResult cmd_witness(const std::vector<std::string>& args) {
 
   SynchronousDaemon daemon;
   RunOptions run_opt;
+  run_opt.engine = opt.engine;
   run_opt.max_steps =
       opt.max_steps > 0 ? opt.max_steps
                         : 2 * (proto.params().k + proto.params().n);
   run_opt.record_trace = true;
-  const auto res = run_execution(
-      g, proto, daemon, two_gradient_config(g, proto, u, v), run_opt,
-      [&proto](const Graph& gg, const Config<ClockValue>& c) {
-        return proto.legitimate(gg, c);
-      });
+  auto checker = make_gamma1_checker(proto);
+  const auto res = run_with_engine(
+      g, proto, daemon, two_gradient_config(g, proto, u, v), run_opt, checker);
 
   std::ostringstream os;
   os << "two-gradient witness on diameter pair (" << u << ", " << v
@@ -487,11 +500,9 @@ CliResult cmd_speculate(const std::vector<std::string>& args) {
 
   auto inits = random_configs(g, proto.clock(), opt.configs, opt.seed);
   inits.push_back(two_gradient_config(g, proto));
-  const std::function<bool(const Graph&, const Config<ClockValue>&)> safe =
-      [&proto](const Graph& gg, const Config<ClockValue>& c) {
-        return proto.mutex_safe(gg, c);
-      };
+  auto safe = make_mutex_safety_checker(proto);
   RunOptions run_opt;
+  run_opt.engine = opt.engine;
   run_opt.max_steps = 40 * (proto.params().k + proto.params().n);
 
   SynchronousDaemon sd;
@@ -531,13 +542,12 @@ CliResult cmd_elect(const std::vector<std::string>& args) {
   const LeaderElectionProtocol proto(g);
   const auto daemon = daemon_by_name(opt.daemon, opt.seed);
   RunOptions run_opt;
+  run_opt.engine = opt.engine;
   run_opt.max_steps =
       opt.max_steps > 0 ? opt.max_steps : 2000 * static_cast<StepIndex>(g.n());
-  const auto res = run_execution(
-      g, proto, *daemon, random_leader_config(g, opt.seed), run_opt,
-      [&proto](const Graph& gg, const Config<LeaderState>& c) {
-        return proto.legitimate(gg, c);
-      });
+  auto checker = make_leader_election_checker(proto, g);
+  const auto res = run_with_engine(
+      g, proto, *daemon, random_leader_config(g, opt.seed), run_opt, checker);
   std::ostringstream os;
   os << "daemon:     " << daemon->name() << '\n'
      << "leader:     identity " << proto.min_id() << " (vertex "
@@ -558,14 +568,13 @@ CliResult cmd_color(const std::vector<std::string>& args) {
   const ColoringProtocol proto(g);
   const auto daemon = daemon_by_name(opt.daemon, opt.seed);
   RunOptions run_opt;
+  run_opt.engine = opt.engine;
   run_opt.max_steps =
       opt.max_steps > 0 ? opt.max_steps : 2000 * static_cast<StepIndex>(g.n());
   const auto init = random_coloring_config(g, proto.palette_size(), opt.seed);
-  const auto res = run_execution(
-      g, proto, *daemon, init, run_opt,
-      [&proto](const Graph& gg, const Config<std::int32_t>& c) {
-        return proto.legitimate(gg, c);
-      });
+  auto checker = make_coloring_checker(proto);
+  const auto res =
+      run_with_engine(g, proto, *daemon, init, run_opt, checker);
   std::ostringstream os;
   os << "daemon:     " << daemon->name() << '\n'
      << "palette:    " << proto.palette_size() << " colors (max degree + 1)\n"

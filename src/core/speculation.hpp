@@ -23,9 +23,11 @@
 #include <string>
 #include <vector>
 
+#include "core/incremental_legitimacy.hpp"
 #include "graph/graph.hpp"
 #include "sim/daemon.hpp"
 #include "sim/engine.hpp"
+#include "sim/incremental_engine.hpp"
 #include "sim/protocol.hpp"
 #include "sim/types.hpp"
 
@@ -43,20 +45,22 @@ struct ConvergenceMeasurement {
 };
 
 /// Measures conv_time of `proto` under `daemon` as the max over
-/// `initial_configs` of the engine's convergence_steps() for the supplied
-/// legitimacy predicate.
-template <ProtocolConcept P>
+/// `initial_configs`, with an incremental legitimacy checker; the engine
+/// is selected by opt.engine.  The checker's init() must fully reset its
+/// state (true for all checkers in incremental_legitimacy.hpp), so one
+/// instance serves every run.
+template <ProtocolConcept P, class C>
+  requires IncrementalLegitimacy<C, typename P::State>
 ConvergenceMeasurement measure_convergence(
     const Graph& g, const P& proto, Daemon& daemon,
-    const std::vector<Config<typename P::State>>& initial_configs,
-    const std::function<bool(const Graph&, const Config<typename P::State>&)>&
-        legitimate,
+    const std::vector<Config<typename P::State>>& initial_configs, C& checker,
     const RunOptions& opt) {
   ConvergenceMeasurement m;
   m.daemon_name = daemon.name();
   for (const auto& init : initial_configs) {
     daemon.reset();
-    const auto res = run_execution(g, proto, daemon, init, opt, legitimate);
+    const auto res =
+        run_with_engine(g, proto, daemon, init, opt, checker);
     ++m.runs;
     if (!res.converged()) {
       m.all_converged = false;
@@ -67,6 +71,19 @@ ConvergenceMeasurement measure_convergence(
     m.worst_rounds = std::max(m.worst_rounds, res.rounds_to_convergence);
   }
   return m;
+}
+
+/// Predicate overload: wraps `legitimate` in a from-scratch RescanChecker
+/// (the enabled-set maintenance still follows opt.engine).
+template <ProtocolConcept P>
+ConvergenceMeasurement measure_convergence(
+    const Graph& g, const P& proto, Daemon& daemon,
+    const std::vector<Config<typename P::State>>& initial_configs,
+    const std::function<bool(const Graph&, const Config<typename P::State>&)>&
+        legitimate,
+    const RunOptions& opt) {
+  RescanChecker<typename P::State> checker(legitimate);
+  return measure_convergence(g, proto, daemon, initial_configs, checker, opt);
 }
 
 /// A set of daemons standing in for the unfair distributed daemon's
@@ -99,17 +116,16 @@ struct PortfolioMeasurement {
   bool all_converged = true;
 };
 
-template <ProtocolConcept P>
+template <ProtocolConcept P, class C>
+  requires IncrementalLegitimacy<C, typename P::State>
 PortfolioMeasurement measure_portfolio(
     const Graph& g, const P& proto, AdversaryPortfolio& portfolio,
-    const std::vector<Config<typename P::State>>& initial_configs,
-    const std::function<bool(const Graph&, const Config<typename P::State>&)>&
-        legitimate,
+    const std::vector<Config<typename P::State>>& initial_configs, C& checker,
     const RunOptions& opt) {
   PortfolioMeasurement pm;
   for (std::size_t i = 0; i < portfolio.size(); ++i) {
     auto row = measure_convergence(g, proto, portfolio.daemon(i),
-                                   initial_configs, legitimate, opt);
+                                   initial_configs, checker, opt);
     pm.worst_steps = std::max(pm.worst_steps, row.worst_steps);
     pm.worst_moves = std::max(pm.worst_moves, row.worst_moves);
     pm.worst_rounds = std::max(pm.worst_rounds, row.worst_rounds);
@@ -117,6 +133,17 @@ PortfolioMeasurement measure_portfolio(
     pm.rows.push_back(std::move(row));
   }
   return pm;
+}
+
+template <ProtocolConcept P>
+PortfolioMeasurement measure_portfolio(
+    const Graph& g, const P& proto, AdversaryPortfolio& portfolio,
+    const std::vector<Config<typename P::State>>& initial_configs,
+    const std::function<bool(const Graph&, const Config<typename P::State>&)>&
+        legitimate,
+    const RunOptions& opt) {
+  RescanChecker<typename P::State> checker(legitimate);
+  return measure_portfolio(g, proto, portfolio, initial_configs, checker, opt);
 }
 
 /// A Definition-4 style verdict comparing the strong-daemon portfolio

@@ -19,6 +19,8 @@
 
 #include <functional>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -29,9 +31,30 @@
 
 namespace specstab {
 
+/// Which execution engine drives a run.  The *incremental* engine
+/// (incremental_engine.hpp) maintains the enabled set by dirty-set
+/// propagation and supports incremental legitimacy checkers; the
+/// *reference* engine below rescans all n vertices after every action and
+/// serves as the differential-testing oracle.  Both produce bit-identical
+/// RunResults for the same inputs.
+enum class EngineKind {
+  kIncremental,
+  kReference,
+};
+
+/// "incremental" | "reference".
+[[nodiscard]] std::string_view engine_name(EngineKind kind);
+/// Inverse of engine_name; throws std::invalid_argument on unknown names.
+[[nodiscard]] EngineKind engine_by_name(const std::string& name);
+
 struct RunOptions {
   /// Hard cap on the number of actions.
   StepIndex max_steps = 100000;
+
+  /// Engine selection, honored by the run_with_engine() dispatcher in
+  /// incremental_engine.hpp (run_execution below always executes the
+  /// reference algorithm regardless of this field).
+  EngineKind engine = EngineKind::kIncremental;
 
   /// If set, stop this many actions after the first time the
   /// configuration satisfies the legitimacy predicate (useful to bound

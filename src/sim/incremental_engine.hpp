@@ -1,0 +1,311 @@
+// Incremental dirty-set execution engine.
+//
+// The reference engine (engine.hpp) rescans all n vertices via
+// enabled_vertices() and re-evaluates the full legitimacy predicate after
+// every daemon action — O(n * steps) guard evaluations, which dominates
+// campaign sweeps.  Guards in the Dijkstra state model are *local*: the
+// guard of v reads only states within protocol_locality_radius() hops of
+// v, so an action activating the set A can only change the enabled
+// status of vertices in the radius-r ball around A.  This engine exploits
+// that invariant:
+//
+//   - the enabled set is a flat membership bitmap plus a sorted vector
+//     (EnabledSet), updated after each action by re-testing guards only
+//     for the dirty ball B(A, r) and merging the flips in one linear
+//     pass;
+//   - legitimacy is tracked by an *incremental checker*
+//     (IncrementalLegitimacy concept): after each action the checker is
+//     told which vertices changed state and updates a cached violation
+//     count instead of rescanning — see core/incremental_legitimacy.hpp
+//     for the concrete checkers (Gamma_1, spec_ME, single-token, ...).
+//
+// The dirty-set invariant both sides maintain: between actions, the
+// EnabledSet bitmap equals { v : proto.enabled(g, cfg, v) } and the
+// checker's cached verdict equals the from-scratch predicate.  The
+// differential harness (tests/engine_differential_test.cpp) asserts
+// run_execution_incremental() and run_execution() produce bit-identical
+// RunResults over randomized protocol x topology x daemon x seed grids.
+#ifndef SPECSTAB_SIM_INCREMENTAL_ENGINE_HPP
+#define SPECSTAB_SIM_INCREMENTAL_ENGINE_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+/// Incremental legitimacy checker: a stateful object mirroring one
+/// legitimacy predicate.  init() performs the from-scratch evaluation and
+/// (re)builds the internal caches; on_update() is called once per
+/// subsequent configuration with the sorted list of vertices whose state
+/// changed and must return the same verdict a from-scratch evaluation
+/// would; full() is the stateless from-scratch oracle used by the
+/// reference engine.  All three return the predicate's verdict so a
+/// wrapper (e.g. ClosureCounting) can observe the legitimacy sequence in
+/// configuration order regardless of the engine.
+template <class C, class State>
+concept IncrementalLegitimacy =
+    requires(C& c, const Graph& g, const Config<State>& cfg,
+             const std::vector<VertexId>& touched) {
+      { c.init(g, cfg) } -> std::same_as<bool>;
+      { c.on_update(g, cfg, touched) } -> std::same_as<bool>;
+      { c.full(g, cfg) } -> std::same_as<bool>;
+    };
+
+/// Optional checker extension: a checker whose rescore set is the
+/// radius-update_radius() ball around the touched vertices can accept an
+/// already-expanded ball (sorted unique closed ball of exactly that
+/// radius) instead of re-expanding it.  The engine uses this to share
+/// its guard-dirty ball with the checker when the radii coincide,
+/// halving per-action expansion work.
+template <class C, class State>
+concept HasBallUpdate =
+    requires(C& c, const Graph& g, const Config<State>& cfg,
+             const std::vector<VertexId>& ball) {
+      { std::as_const(c).update_radius() } -> std::convertible_to<VertexId>;
+      { c.on_update_ball(g, cfg, ball) } -> std::same_as<bool>;
+    };
+
+/// Trivial checker for runs without a legitimacy predicate (mirrors the
+/// reference engine's nullptr-predicate behaviour: every configuration is
+/// legitimate).
+struct AlwaysLegitimate {
+  template <class State>
+  bool init(const Graph&, const Config<State>&) {
+    return true;
+  }
+  template <class State>
+  bool on_update(const Graph&, const Config<State>&,
+                 const std::vector<VertexId>&) {
+    return true;
+  }
+  template <class State>
+  bool full(const Graph&, const Config<State>&) {
+    return true;
+  }
+};
+
+/// Whether an action touching `touched_count` vertices dirties enough of
+/// an n-vertex graph that a plain ordered rescan beats radius-`radius`
+/// ball expansion.  Shared by the engine (guard re-tests) and the score
+/// checkers so both fall back in lockstep.
+[[nodiscard]] constexpr bool is_dense_update(std::int64_t touched_count,
+                                             VertexId radius, VertexId n) {
+  return touched_count * 2 * (static_cast<std::int64_t>(radius) + 1) >=
+         static_cast<std::int64_t>(n);
+}
+
+/// Sorted-unique closed ball B(seeds, radius), with O(1) amortized
+/// clearing via version stamps so per-action expansion allocates nothing
+/// in steady state.
+class NeighborhoodExpander {
+ public:
+  explicit NeighborhoodExpander(VertexId n)
+      : stamp_(static_cast<std::size_t>(n), 0) {}
+
+  /// All vertices within `radius` hops of any seed (including the seeds
+  /// themselves), sorted ascending, each vertex once.  The returned
+  /// reference is invalidated by the next expand() call.
+  const std::vector<VertexId>& expand(const Graph& g,
+                                      const std::vector<VertexId>& seeds,
+                                      VertexId radius);
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t current_ = 0;
+  std::vector<VertexId> out_, frontier_, next_;
+};
+
+/// The enabled set as a flat membership bitmap plus a sorted vector.
+/// Updates are staged per dirty vertex (note(), in ascending vertex
+/// order) and applied by commit(): a handful of flips edit the sorted
+/// vector in place (binary search + memmove), larger batches take one
+/// linear merge pass.
+class EnabledSet {
+ public:
+  void reset(VertexId n);
+
+  /// Installs the full enabled set (sorted), e.g. from the initial scan.
+  void assign(std::vector<VertexId> sorted_enabled);
+
+  [[nodiscard]] bool empty() const { return vertices_.empty(); }
+  [[nodiscard]] const std::vector<VertexId>& vertices() const {
+    return vertices_;
+  }
+
+  void begin_update();
+  /// Records the fresh guard verdict of a dirty vertex.  Must be called
+  /// in ascending vertex order between begin_update() and commit().
+  void note(VertexId v, bool enabled_now);
+  /// Applies the staged flips; returns whether the vector changed.
+  bool commit();
+
+ private:
+  std::vector<char> bits_;
+  std::vector<VertexId> vertices_, scratch_, added_, removed_;
+};
+
+/// Incremental counterpart of run_execution(): same inputs, same
+/// RunResult, O(|B(A, r)|) guard evaluations per action instead of O(n).
+template <ProtocolConcept P, class C>
+  requires IncrementalLegitimacy<C, typename P::State>
+RunResult<typename P::State> run_execution_incremental(
+    const Graph& g, const P& proto, Daemon& daemon,
+    Config<typename P::State> init, const RunOptions& opt, C& checker,
+    const StepObserver<typename P::State>& observer = nullptr) {
+  using State = typename P::State;
+  RunResult<State> res;
+  Config<State> cfg = std::move(init);
+  RoundCounter rc(g.n());
+  const VertexId radius = protocol_locality_radius(proto);
+
+  bool pending_convergence_marker = false;
+  const auto note_legitimacy = [&](StepIndex cfg_index, bool legit) {
+    if (legit) {
+      if (res.first_legitimate < 0) res.first_legitimate = cfg_index;
+      if (pending_convergence_marker) {
+        res.moves_to_convergence = res.moves;
+        res.rounds_to_convergence = rc.completed_rounds();
+        pending_convergence_marker = false;
+      }
+    } else {
+      res.last_illegitimate = cfg_index;
+      pending_convergence_marker = true;
+    }
+  };
+
+  if (opt.record_trace) res.trace.push_back(cfg);
+  note_legitimacy(0, checker.init(g, cfg));
+
+  EnabledSet enabled;
+  enabled.reset(g.n());
+  enabled.assign(enabled_vertices(g, proto, cfg));
+  NeighborhoodExpander expander(g.n());
+  std::vector<VertexId> touched, round_base;
+  std::vector<std::pair<VertexId, State>> updates;
+
+  StepIndex since_convergence = 0;
+  while (res.steps < opt.max_steps) {
+    if (enabled.empty()) {
+      res.terminated = true;
+      break;
+    }
+    if (opt.steps_after_convergence && res.first_legitimate >= 0 &&
+        since_convergence >= *opt.steps_after_convergence) {
+      break;
+    }
+
+    const auto activated = daemon.select(g, enabled.vertices(), res.steps);
+    if (observer) observer(res.steps, cfg, activated);
+
+    // Composite atomicity: compute all successor states against the
+    // pre-action configuration, then install them.
+    updates.clear();
+    updates.reserve(activated.size());
+    for (VertexId v : activated) updates.emplace_back(v, proto.apply(g, cfg, v));
+    for (auto& [v, s] : updates) cfg[static_cast<std::size_t>(v)] = std::move(s);
+
+    res.moves += static_cast<std::int64_t>(activated.size());
+    ++res.steps;
+    if (res.first_legitimate >= 0) ++since_convergence;
+
+    // Daemons may return the activation set in any order; dirty-set
+    // expansion and checker updates need it sorted.
+    touched.assign(activated.begin(), activated.end());
+    std::sort(touched.begin(), touched.end());
+
+    // The round counter reads the pre-action enabled set only at round
+    // boundaries; snapshot it there (once per round) so the sorted
+    // vector can be edited in place below.
+    const bool opening_round = !rc.round_open();
+    if (opening_round) round_base = enabled.vertices();
+
+    // Only guards inside the radius-r ball around the touched vertices
+    // can have flipped.  When the action touches most of the graph
+    // (synchronous and dense distributed daemons), a plain ordered
+    // rescan is cheaper than ball expansion.
+    bool checker_legit;
+    enabled.begin_update();
+    if (is_dense_update(static_cast<std::int64_t>(touched.size()), radius,
+                        g.n())) {
+      for (VertexId v = 0; v < g.n(); ++v) {
+        enabled.note(v, proto.enabled(g, cfg, v));
+      }
+      checker_legit = checker.on_update(g, cfg, touched);
+    } else {
+      const auto& dirty = expander.expand(g, touched, radius);
+      for (VertexId v : dirty) enabled.note(v, proto.enabled(g, cfg, v));
+      // Share the expanded ball with a same-radius checker instead of
+      // letting it expand the same ball again.
+      if constexpr (HasBallUpdate<C, State>) {
+        checker_legit = checker.update_radius() == radius
+                            ? checker.on_update_ball(g, cfg, dirty)
+                            : checker.on_update(g, cfg, touched);
+      } else {
+        checker_legit = checker.on_update(g, cfg, touched);
+      }
+    }
+    enabled.commit();
+    rc.on_action(opening_round ? round_base : enabled.vertices(), activated,
+                 enabled.vertices());
+
+    if (opt.record_trace) res.trace.push_back(cfg);
+    note_legitimacy(res.steps, checker_legit);
+  }
+  res.hit_step_cap = !res.terminated && res.steps >= opt.max_steps;
+  res.rounds = rc.completed_rounds();
+
+  if (res.first_legitimate >= 0 &&
+      res.first_legitimate <= res.last_illegitimate) {
+    res.first_legitimate =
+        (res.last_illegitimate < res.steps) ? res.last_illegitimate + 1 : -1;
+  }
+
+  res.final_config = std::move(cfg);
+  return res;
+}
+
+/// Convenience overload without a legitimacy checker.
+template <ProtocolConcept P>
+RunResult<typename P::State> run_execution_incremental(
+    const Graph& g, const P& proto, Daemon& daemon,
+    Config<typename P::State> init, const RunOptions& opt) {
+  AlwaysLegitimate checker;
+  return run_execution_incremental(g, proto, daemon, std::move(init), opt,
+                                   checker);
+}
+
+/// Engine dispatcher: runs the engine selected by opt.engine.  The
+/// reference path evaluates the checker's from-scratch oracle once per
+/// configuration, in execution order, so stateful wrappers (closure
+/// counters) observe the same legitimacy sequence on both paths.
+template <ProtocolConcept P, class C>
+  requires IncrementalLegitimacy<C, typename P::State>
+RunResult<typename P::State> run_with_engine(
+    const Graph& g, const P& proto, Daemon& daemon,
+    Config<typename P::State> init, const RunOptions& opt, C& checker,
+    const StepObserver<typename P::State>& observer = nullptr) {
+  using State = typename P::State;
+  if (opt.engine == EngineKind::kReference) {
+    return run_execution(
+        g, proto, daemon, std::move(init), opt,
+        [&checker](const Graph& gg, const Config<State>& c) {
+          return checker.full(gg, c);
+        },
+        observer);
+  }
+  return run_execution_incremental(g, proto, daemon, std::move(init), opt,
+                                   checker, observer);
+}
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_SIM_INCREMENTAL_ENGINE_HPP

@@ -32,6 +32,30 @@ concept ProtocolConcept = requires(const P& p, const Graph& g,
   { p.rule_name(g, cfg, v) } -> std::convertible_to<std::string_view>;
 };
 
+/// Optional ProtocolConcept extension: a protocol may declare the radius
+/// of its guard dependency — enabled(g, cfg, v) reads only the states of
+/// vertices within graph distance locality_radius() of v.  The
+/// incremental engine (incremental_engine.hpp) uses the radius to bound
+/// the dirty set after an action; the locality cross-check test
+/// brute-forces the true radius on small graphs and fails loudly on a
+/// protocol that understates it.
+template <class P>
+concept HasLocalityRadius = requires(const P& p) {
+  { p.locality_radius() } -> std::convertible_to<VertexId>;
+};
+
+/// The declared guard-dependency radius of a protocol; 1 when the
+/// protocol does not declare one (every guard in the Dijkstra state model
+/// reads at most the closed neighborhood unless stated otherwise).
+template <ProtocolConcept P>
+[[nodiscard]] constexpr VertexId protocol_locality_radius(const P& p) {
+  if constexpr (HasLocalityRadius<P>) {
+    return static_cast<VertexId>(p.locality_radius());
+  } else {
+    return 1;
+  }
+}
+
 /// Sorted list of vertices enabled in `cfg`.
 template <ProtocolConcept P>
 [[nodiscard]] std::vector<VertexId> enabled_vertices(

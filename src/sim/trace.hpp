@@ -32,6 +32,12 @@ class RoundCounter {
   /// Number of completed rounds so far.
   [[nodiscard]] StepIndex completed_rounds() const noexcept { return rounds_; }
 
+  /// True while a round is in progress.  When false, the next on_action()
+  /// reads `enabled_before` to open a round; when true, `enabled_before`
+  /// is ignored (callers tracking the enabled set incrementally only need
+  /// a snapshot at round boundaries).
+  [[nodiscard]] bool round_open() const noexcept { return round_open_; }
+
   void reset();
 
  private:
