@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <iomanip>
 #include <iostream>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -76,13 +77,16 @@ struct MicroRow {
   }
 };
 
-/// One micro measurement: the same run on both engines (fresh daemon per
-/// run, same seed), verified to execute identical step counts.
+/// One micro measurement: the same batch of runs on both engines (fresh
+/// daemon per batch, same seed), verified to execute identical total step
+/// counts.  Batching many initial configurations into one timed region
+/// keeps the rows loop-dominated (engine throughput, not per-run setup),
+/// which is what the committed snapshot tracks.
 template <ProtocolConcept P, class MakeChecker>
 MicroRow micro(const std::string& name, const Graph& g, const P& proto,
                const std::string& daemon_name, std::uint64_t seed,
-               const Config<typename P::State>& init, MakeChecker make_checker,
-               StepIndex max_steps, int repeats) {
+               const std::vector<Config<typename P::State>>& inits,
+               MakeChecker make_checker, StepIndex max_steps, int repeats) {
   MicroRow row;
   row.name = name;
   RunOptions opt;
@@ -94,9 +98,13 @@ MicroRow micro(const std::string& name, const Graph& g, const P& proto,
     const double ms = best_of(repeats, [&] {
       auto daemon = make_daemon(daemon_name, seed);
       auto checker = make_checker();
-      const auto res =
-          run_with_engine(g, proto, *daemon, init, opt, checker);
-      steps = res.steps;
+      steps = 0;
+      for (const auto& init : inits) {
+        daemon->reset();
+        const auto res =
+            run_with_engine(g, proto, *daemon, init, opt, checker);
+        steps += res.steps;
+      }
     });
     if (kind == EngineKind::kReference) {
       row.reference_ms = ms;
@@ -113,20 +121,37 @@ MicroRow micro(const std::string& name, const Graph& g, const P& proto,
   return row;
 }
 
+/// Arbitrary matching configurations: each vertex points at a random
+/// neighbour or at nobody (self-stabilization starts from any state).
+Config<MatchingProtocol::State> random_matching_config(const Graph& g,
+                                                       std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  Config<MatchingProtocol::State> cfg(static_cast<std::size_t>(g.n()),
+                                      MatchingProtocol::kNull);
+  for (VertexId v = 0; v < g.n(); ++v) {
+    const auto& nbrs = g.neighbors(v);
+    std::uniform_int_distribution<std::size_t> pick(0, nbrs.size());
+    const std::size_t i = pick(rng);
+    if (i < nbrs.size()) cfg[static_cast<std::size_t>(v)] = nbrs[i];
+  }
+  return cfg;
+}
+
 std::vector<MicroRow> run_micros(bool smoke, int repeats) {
   std::vector<MicroRow> rows;
+  const std::size_t batch = smoke ? 8 : 48;
 
   {
     const Graph g = make_ring(smoke ? 12 : 48);
     const SsmeProtocol proto = SsmeProtocol::for_graph(g);
     rows.push_back(micro(
         "ssme/gamma1/ring/central-rr", g, proto, "central-rr", 42,
-        random_config(g, proto.clock(), 42),
+        {random_config(g, proto.clock(), 42)},
         [&] { return make_gamma1_checker(proto); }, smoke ? 2000 : 20000,
         repeats));
     rows.push_back(micro(
         "ssme/gamma1/ring/synchronous", g, proto, "synchronous", 42,
-        random_config(g, proto.clock(), 42),
+        {random_config(g, proto.clock(), 42)},
         [&] { return make_gamma1_checker(proto); }, smoke ? 500 : 4000,
         repeats));
   }
@@ -135,26 +160,36 @@ std::vector<MicroRow> run_micros(bool smoke, int repeats) {
     const DijkstraRingProtocol proto = DijkstraRingProtocol::for_ring(g);
     rows.push_back(micro(
         "dijkstra/single-token/ring/central-rr", g, proto, "central-rr", 7,
-        proto.max_token_config(),
+        {proto.max_token_config()},
         [&] { return make_single_token_checker(proto); },
         smoke ? 4000 : 60000, repeats));
   }
   {
     const Graph g =
-        make_random_connected(smoke ? 48 : 256, smoke ? 0.15 : 0.04, 5);
+        make_random_connected(smoke ? 48 : 4096, smoke ? 0.15 : 0.0025, 5);
     const ColoringProtocol proto(g);
+    std::vector<Config<ColoringProtocol::State>> inits;
+    inits.push_back(monochrome_config(g, 0));
+    for (std::size_t i = 1; i < batch; ++i) {
+      inits.push_back(random_coloring_config(g, proto.palette_size(), i));
+    }
     rows.push_back(micro(
         "coloring/proper/random/bernoulli-0.5", g, proto, "bernoulli-0.5",
-        11, monochrome_config(g, 0),
-        [&] { return make_coloring_checker(proto); }, 200000, repeats));
+        11, inits, [&] { return make_coloring_checker(proto); }, 200000,
+        repeats));
   }
   {
-    const Graph g = smoke ? make_torus(4, 4) : make_torus(16, 16);
+    const Graph g = smoke ? make_torus(4, 4) : make_torus(64, 64);
     const MatchingProtocol proto;
+    std::vector<Config<MatchingProtocol::State>> inits;
+    inits.push_back(MatchingProtocol::null_config(g));
+    for (std::size_t i = 1; i < batch; ++i) {
+      inits.push_back(random_matching_config(g, i));
+    }
     rows.push_back(micro(
         "matching/stable/torus/bernoulli-0.5", g, proto, "bernoulli-0.5",
-        23, MatchingProtocol::null_config(g),
-        [&] { return make_matching_checker(proto); }, 200000, repeats));
+        23, inits, [&] { return make_matching_checker(proto); }, 200000,
+        repeats));
   }
   return rows;
 }
@@ -244,6 +279,7 @@ int main(int argc, char** argv) {
   std::string json_path = "BENCH_engine.json";
   unsigned threads = 8;
   int repeats = 3;
+  bool repeats_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -254,13 +290,18 @@ int main(int argc, char** argv) {
       threads = static_cast<unsigned>(std::stoul(argv[++i]));
     } else if (arg == "--repeats" && i + 1 < argc) {
       repeats = std::stoi(argv[++i]);
+      repeats_set = true;
     } else {
       std::cerr << "usage: bench_engine [--smoke] [--json PATH] "
                    "[--threads T] [--repeats R]\n";
       return 1;
     }
   }
-  if (smoke) repeats = std::min(repeats, 1);
+  // Smoke defaults to a single repeat (CI records the trajectory, it
+  // does not need best-of), but an explicit --repeats wins for callers
+  // who want best-of timing on the small grid anyway.  The CI
+  // bench-regression gate measures in full mode (default best-of-3).
+  if (smoke && !repeats_set) repeats = 1;
 
   std::cout << "\n== ENGINE: incremental dirty-set vs reference full-rescan "
                "[" << (smoke ? "smoke" : "full") << ", " << threads

@@ -5,6 +5,7 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <numeric>
 #include <random>
 #include <string>
 #include <thread>
@@ -35,6 +36,8 @@ struct TopologyInstance {
   explicit TopologyInstance(const TopologySpec& spec)
       : graph(make_topology(spec)), diam(diameter(graph)) {}
 };
+
+StepIndex default_step_cap(const Scenario& s, const TopologyInstance& topo);
 
 template <class State>
 void record(ScenarioResult& out, const RunResult<State>& res,
@@ -75,14 +78,7 @@ ScenarioResult run_ssme(const Scenario& s, const TopologyInstance& topo,
 
   RunOptions opt;
   opt.engine = engine;
-  if (s.max_steps > 0) {
-    opt.max_steps = s.max_steps;
-  } else if (safety) {
-    opt.max_steps = 4 * (proto.params().k + proto.params().n);
-  } else {
-    opt.max_steps =
-        2 * ssme_ud_bound(proto.params().n, proto.params().diam);
-  }
+  opt.max_steps = s.max_steps > 0 ? s.max_steps : default_step_cap(s, topo);
   // Gamma_1 is closed under the protocol, so stopping at first entry is
   // sound; the safety slice is not (the witness starts safe, goes
   // unsafe, then stabilizes), so those runs must span the whole window.
@@ -130,9 +126,7 @@ ScenarioResult run_dijkstra(const Scenario& s, const TopologyInstance& topo,
 
   RunOptions opt;
   opt.engine = engine;
-  opt.max_steps = s.max_steps > 0
-                      ? s.max_steps
-                      : 4 * dijkstra_ud_theta(proto.n()) + 64;
+  opt.max_steps = s.max_steps > 0 ? s.max_steps : default_step_cap(s, topo);
   opt.steps_after_convergence = 0;
 
   auto daemon = make_daemon(s.daemon, s.seed);
@@ -141,6 +135,38 @@ ScenarioResult run_dijkstra(const Scenario& s, const TopologyInstance& topo,
       run_with_engine(g, proto, *daemon, std::move(init), opt, checker);
   record(out, res, checker.violations());
   return out;
+}
+
+/// The step cap a scenario runs with when it carries no explicit
+/// max_steps: the protocol bound resolved on the instantiated topology.
+/// Shared by the run_* executors and the heavy-first cost estimate so
+/// the schedule can never drift from what actually executes.
+StepIndex default_step_cap(const Scenario& s, const TopologyInstance& topo) {
+  const VertexId n = topo.graph.n();
+  switch (s.protocol) {
+    case ProtocolKind::kSsme: {
+      const auto params = SsmeParams::from_dimensions(n, topo.diam);
+      return 2 * ssme_ud_bound(params.n, params.diam);
+    }
+    case ProtocolKind::kSsmeSafety: {
+      const auto params = SsmeParams::from_dimensions(n, topo.diam);
+      return 4 * (params.k + params.n);
+    }
+    case ProtocolKind::kDijkstraRing:
+      return 4 * dijkstra_ud_theta(n) + 64;
+  }
+  throw std::invalid_argument("unknown protocol kind");
+}
+
+/// A-priori cost estimate of one work item: the step cap the run will be
+/// executed with.  Only relative order matters — the heavy-first
+/// schedule sorts by this so the ring-128 central-daemon cells lead the
+/// queue.
+std::int64_t estimated_cost(const Scenario& s, const TopologyInstance& topo,
+                            StepIndex max_steps_override) {
+  const StepIndex cap = s.max_steps > 0 ? s.max_steps : max_steps_override;
+  return static_cast<std::int64_t>(cap > 0 ? cap
+                                           : default_step_cap(s, topo));
 }
 
 ScenarioResult run_scenario_on(const Scenario& scenario,
@@ -169,6 +195,23 @@ ScenarioResult run_scenario_on(const Scenario& scenario,
 
 }  // namespace
 
+std::string_view work_order_name(WorkOrder order) {
+  switch (order) {
+    case WorkOrder::kHeavyFirst:
+      return "heavy";
+    case WorkOrder::kIndexOrder:
+      return "index";
+  }
+  throw std::invalid_argument("unknown WorkOrder");
+}
+
+WorkOrder work_order_by_name(const std::string& name) {
+  if (name == "heavy") return WorkOrder::kHeavyFirst;
+  if (name == "index") return WorkOrder::kIndexOrder;
+  throw std::invalid_argument("unknown work order '" + name +
+                              "' (heavy | index)");
+}
+
 ScenarioResult run_scenario(const Scenario& scenario, EngineKind engine) {
   return run_scenario_on(scenario, TopologyInstance(scenario.topology),
                          engine);
@@ -194,6 +237,25 @@ CampaignResult run_scenarios(const std::vector<Scenario>& items,
     topologies.try_emplace(item.topology.label(), item.topology);
   }
 
+  // Deterministic schedule permutation the atomic cursor walks.  Under
+  // heavy-first, reps of the most expensive cells lead the queue, so they
+  // overlap with the long tail of cheap items instead of straggling.
+  // The permutation only affects wall clock: results land in slot
+  // rows[item.index] either way.
+  std::vector<std::size_t> schedule(items.size());
+  std::iota(schedule.begin(), schedule.end(), 0);
+  if (opt.order == WorkOrder::kHeavyFirst) {
+    std::vector<std::int64_t> cost(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      cost[i] = estimated_cost(items[i], topologies.at(items[i].topology.label()),
+                               opt.max_steps_override);
+    }
+    std::stable_sort(schedule.begin(), schedule.end(),
+                     [&cost](std::size_t a, std::size_t b) {
+                       return cost[a] > cost[b];
+                     });
+  }
+
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
@@ -201,10 +263,11 @@ CampaignResult run_scenarios(const std::vector<Scenario>& items,
 
   const auto worker = [&] {
     for (;;) {
-      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (i >= items.size() || failed.load(std::memory_order_relaxed)) {
+      const std::size_t next = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (next >= items.size() || failed.load(std::memory_order_relaxed)) {
         return;
       }
+      const std::size_t i = schedule[next];
       try {
         Scenario item = items[i];
         if (item.max_steps == 0) item.max_steps = opt.max_steps_override;

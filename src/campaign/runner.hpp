@@ -1,12 +1,25 @@
 // Parallel campaign execution.
 //
 // run_campaign() expands a grid into work items and executes them on a
-// std::thread pool.  Work distribution is a single atomic cursor over the
-// item list; every result is written into its own pre-allocated slot
-// (rows[i] belongs exclusively to item i), so no lock is ever taken and
-// the result table is bit-identical at any thread count: each item's
-// randomness comes only from its coordinate-derived seed, never from
-// which thread ran it or when.
+// std::thread pool.  Work is stolen at *rep* granularity: every expanded
+// scenario is a single repetition of its cell (expand_grid() emits one
+// item per rep, each with a seed derived purely from its grid
+// coordinates — see scenario_seed()), so the reps of one cell spread
+// across all workers instead of serializing behind one thread.  Work
+// distribution is a single atomic cursor over a deterministic schedule
+// permutation; every result is written into its own pre-allocated slot
+// (rows[i] belongs exclusively to the item with index i), so no lock is
+// ever taken and the result table is bit-identical at any thread count
+// and under any schedule: each item's randomness comes only from its
+// coordinate-derived seed, never from which thread ran it or when.
+//
+// The default schedule is *heavy-first* (longest-processing-time): items
+// are ordered by an a-priori cost estimate (the resolved step cap, a
+// function of the protocol bound on the instantiated topology) so the
+// dominating cells — ring-128 under central daemons in the thm3 preset —
+// start immediately and overlap with the long tail of small cells,
+// instead of straggling behind an idle pool.  This is the makespan
+// optimum achievable without splitting a single execution.
 #ifndef SPECSTAB_CAMPAIGN_RUNNER_HPP
 #define SPECSTAB_CAMPAIGN_RUNNER_HPP
 
@@ -15,6 +28,20 @@
 #include "sim/engine.hpp"
 
 namespace specstab::campaign {
+
+/// Order in which the pool's atomic cursor hands out work items.  Purely
+/// a wall-clock concern: results are slot-indexed, so artifacts are
+/// byte-identical under either order.
+enum class WorkOrder {
+  kHeavyFirst,  ///< longest-processing-time-first (default)
+  kIndexOrder,  ///< grid-index order (legacy behaviour)
+};
+
+/// "heavy" | "index".
+[[nodiscard]] std::string_view work_order_name(WorkOrder order);
+/// Inverse of work_order_name; throws std::invalid_argument on unknown
+/// names.
+[[nodiscard]] WorkOrder work_order_by_name(const std::string& name);
 
 struct RunnerOptions {
   /// 0: use std::thread::hardware_concurrency().
@@ -30,6 +57,10 @@ struct RunnerOptions {
   /// `--engine reference`).  Results are bit-identical either way; only
   /// wall-clock differs.
   EngineKind engine = EngineKind::kIncremental;
+
+  /// Work-distribution schedule (CLI `--order heavy|index`).  Results
+  /// are bit-identical either way; only wall-clock differs.
+  WorkOrder order = WorkOrder::kHeavyFirst;
 };
 
 /// Executes one scenario synchronously.  Throws std::invalid_argument on

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <stdexcept>
 #include <tuple>
 
 namespace specstab::campaign {
@@ -13,12 +14,22 @@ bool near(double a, double b) {
   return std::abs(a - b) <= 1e-9 * std::max({1.0, std::abs(a), std::abs(b)});
 }
 
+bool same_cell(const CellSummary& a, const CellSummary& b) {
+  return a.protocol == b.protocol && a.topology == b.topology &&
+         a.daemon == b.daemon && a.init == b.init && a.n == b.n &&
+         a.diam == b.diam;
+}
+
+bool same_cell(const CellSummary& cell, const ScenarioResult& row) {
+  return cell.protocol == row.protocol && cell.topology == row.topology &&
+         cell.daemon == row.daemon && cell.init == row.init &&
+         cell.n == row.n && cell.diam == row.diam;
+}
+
 }  // namespace
 
 bool operator==(const CellSummary& a, const CellSummary& b) {
-  return a.protocol == b.protocol && a.topology == b.topology &&
-         a.daemon == b.daemon && a.init == b.init && a.n == b.n &&
-         a.diam == b.diam && a.runs == b.runs &&
+  return same_cell(a, b) && a.runs == b.runs &&
          a.converged_runs == b.converged_runs &&
          a.step_cap_hits == b.step_cap_hits && a.min_steps == b.min_steps &&
          a.max_steps == b.max_steps && near(a.mean_steps, b.mean_steps) &&
@@ -27,58 +38,88 @@ bool operator==(const CellSummary& a, const CellSummary& b) {
          a.closure_violations == b.closure_violations;
 }
 
+void CellAccumulator::add(const ScenarioResult& row) {
+  if (empty()) {
+    cell_.protocol = row.protocol;
+    cell_.topology = row.topology;
+    cell_.daemon = row.daemon;
+    cell_.init = row.init;
+    cell_.n = row.n;
+    cell_.diam = row.diam;
+  } else if (!same_cell(cell_, row)) {
+    throw std::invalid_argument(
+        "CellAccumulator::add: row belongs to a different cell");
+  }
+  ++cell_.runs;
+  cell_.step_cap_hits += row.hit_step_cap ? 1 : 0;
+  cell_.closure_violations += row.closure_violations;
+  if (row.converged) {
+    ++cell_.converged_runs;
+    conv_steps_.push_back(row.convergence_steps);
+    cell_.worst_moves = std::max(cell_.worst_moves, row.moves_to_convergence);
+    cell_.worst_rounds =
+        std::max(cell_.worst_rounds, row.rounds_to_convergence);
+  }
+}
+
+void CellAccumulator::merge(const CellAccumulator& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  if (!same_cell(cell_, other.cell_)) {
+    throw std::invalid_argument(
+        "CellAccumulator::merge: accumulators cover different cells");
+  }
+  cell_.runs += other.cell_.runs;
+  cell_.converged_runs += other.cell_.converged_runs;
+  cell_.step_cap_hits += other.cell_.step_cap_hits;
+  cell_.closure_violations += other.cell_.closure_violations;
+  cell_.worst_moves = std::max(cell_.worst_moves, other.cell_.worst_moves);
+  cell_.worst_rounds = std::max(cell_.worst_rounds, other.cell_.worst_rounds);
+  conv_steps_.insert(conv_steps_.end(), other.conv_steps_.begin(),
+                     other.conv_steps_.end());
+}
+
+CellSummary CellAccumulator::finalize() const {
+  CellSummary out = cell_;
+  if (conv_steps_.empty()) return out;
+  std::vector<StepIndex> steps = conv_steps_;
+  std::sort(steps.begin(), steps.end());
+  out.min_steps = steps.front();
+  out.max_steps = steps.back();
+  double sum = 0;
+  for (const auto s : steps) sum += static_cast<double>(s);
+  out.mean_steps = sum / static_cast<double>(steps.size());
+  // Nearest-rank percentile: ceil(0.95 * count), 1-based.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(0.95 * static_cast<double>(steps.size())));
+  out.p95_steps = steps[std::max<std::size_t>(rank, 1) - 1];
+  return out;
+}
+
 std::vector<CellSummary> aggregate(const CampaignResult& result) {
-  // Cell key -> position in `cells`, preserving first-appearance order.
+  // Cell key -> position in `accs`, preserving first-appearance order.
   std::map<std::tuple<std::string, std::string, std::string, std::string>,
            std::size_t>
       by_key;
-  std::vector<CellSummary> cells;
-  std::vector<std::vector<StepIndex>> conv_steps;  // parallel to `cells`
+  std::vector<CellAccumulator> accs;
 
   for (const auto& row : result.rows) {
     const auto key =
         std::make_tuple(row.protocol, row.topology, row.daemon, row.init);
     auto it = by_key.find(key);
     if (it == by_key.end()) {
-      it = by_key.emplace(key, cells.size()).first;
-      CellSummary cell;
-      cell.protocol = row.protocol;
-      cell.topology = row.topology;
-      cell.daemon = row.daemon;
-      cell.init = row.init;
-      cell.n = row.n;
-      cell.diam = row.diam;
-      cells.push_back(std::move(cell));
-      conv_steps.emplace_back();
+      it = by_key.emplace(key, accs.size()).first;
+      accs.emplace_back();
     }
-    CellSummary& cell = cells[it->second];
-    ++cell.runs;
-    cell.step_cap_hits += row.hit_step_cap ? 1 : 0;
-    cell.closure_violations += row.closure_violations;
-    if (row.converged) {
-      ++cell.converged_runs;
-      conv_steps[it->second].push_back(row.convergence_steps);
-      cell.worst_moves = std::max(cell.worst_moves, row.moves_to_convergence);
-      cell.worst_rounds =
-          std::max(cell.worst_rounds, row.rounds_to_convergence);
-    }
+    accs[it->second].add(row);
   }
 
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    auto& steps = conv_steps[i];
-    if (steps.empty()) continue;
-    std::sort(steps.begin(), steps.end());
-    CellSummary& cell = cells[i];
-    cell.min_steps = steps.front();
-    cell.max_steps = steps.back();
-    double sum = 0;
-    for (const auto s : steps) sum += static_cast<double>(s);
-    cell.mean_steps = sum / static_cast<double>(steps.size());
-    // Nearest-rank percentile: ceil(0.95 * count), 1-based.
-    const auto rank = static_cast<std::size_t>(
-        std::ceil(0.95 * static_cast<double>(steps.size())));
-    cell.p95_steps = steps[std::max<std::size_t>(rank, 1) - 1];
-  }
+  std::vector<CellSummary> cells;
+  cells.reserve(accs.size());
+  for (const auto& acc : accs) cells.push_back(acc.finalize());
   return cells;
 }
 

@@ -5,6 +5,13 @@
 // to one summary per cell: min/mean/max/p95 stabilization time, worst
 // moves/rounds, closure-violation and step-cap counts — the statistics
 // the theorem benches print and CI regression checks compare.
+//
+// Aggregation is built on CellAccumulator, a streaming reducer whose
+// add() accepts rows in ANY order and whose merge() is associative and
+// commutative: partial accumulators built from disjoint row subsets (the
+// per-thread shares of a rep-split cell) merge to exactly the summary a
+// single ordered pass would produce.  This is what keeps campaign
+// artifacts byte-identical under rep-level work stealing.
 #ifndef SPECSTAB_CAMPAIGN_STATS_HPP
 #define SPECSTAB_CAMPAIGN_STATS_HPP
 
@@ -41,6 +48,30 @@ struct CellSummary {
 };
 
 [[nodiscard]] bool operator==(const CellSummary& a, const CellSummary& b);
+
+/// Order-independent streaming reducer for one cell.  The first add()
+/// fixes the cell identity; every further add()/merge() must agree on it
+/// (std::invalid_argument otherwise).  finalize() is non-destructive.
+class CellAccumulator {
+ public:
+  [[nodiscard]] bool empty() const { return cell_.runs == 0; }
+
+  /// Folds one scenario row in.  Rows may arrive in any order.
+  void add(const ScenarioResult& row);
+
+  /// Folds another accumulator of the same cell in.  Associative and
+  /// commutative up to the sample multiset, so partial per-thread
+  /// accumulators combine to the single-pass result.
+  void merge(const CellAccumulator& other);
+
+  /// Produces the summary: sorts a copy of the convergence-step samples
+  /// and derives min/mean/max/p95.
+  [[nodiscard]] CellSummary finalize() const;
+
+ private:
+  CellSummary cell_;  // identity + additive counters; order stats unset
+  std::vector<StepIndex> conv_steps_;
+};
 
 /// Groups rows by cell (first-appearance order — axis-nested, since rows
 /// are ordered by grid index) and reduces each group.

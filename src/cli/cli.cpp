@@ -184,6 +184,10 @@ std::string campaign_usage() {
      << "  --steps N                      max-steps override for every run\n"
      << "  --engine incremental|reference execution engine (default:\n"
      << "                                 incremental)\n"
+     << "  --order heavy|index            work-stealing schedule: heavy\n"
+     << "                                 cells first (default) or grid\n"
+     << "                                 order; artifacts are identical\n"
+     << "                                 either way\n"
      << "artifacts:\n"
      << "  --json PATH                    write the full JSON document\n"
      << "  --csv PATH                     write the per-cell aggregate CSV\n"
@@ -221,7 +225,7 @@ CliResult cmd_campaign(const std::vector<std::string>& args) {
       "--preset",  "--protocols", "--families", "--sizes",
       "--daemons", "--inits",     "--reps",     "--seed",
       "--threads", "--steps",     "--json",     "--csv",
-      "--runs-csv", "--engine"};
+      "--runs-csv", "--engine",   "--order"};
   for (std::size_t pos = 0; pos < args.size();) {
     const std::string& flag = args[pos];
     if (flag == "--help") return {0, campaign_usage()};
@@ -275,6 +279,8 @@ CliResult cmd_campaign(const std::vector<std::string>& args) {
       run_opt.max_steps_override = static_cast<StepIndex>(n);
     } else if (flag == "--engine") {
       run_opt.engine = engine_by_name(value);
+    } else if (flag == "--order") {
+      run_opt.order = cmp::work_order_by_name(value);
     } else if (flag == "--json") {
       json_path = value;
     } else if (flag == "--csv") {

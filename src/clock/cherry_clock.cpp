@@ -15,13 +15,19 @@ CherryClock::CherryClock(ClockValue alpha, ClockValue k)
 ClockValue CherryClock::increment(ClockValue c) const {
   if (!contains(c)) throw std::out_of_range("CherryClock::increment: value");
   if (c < 0) return c + 1;
-  return static_cast<ClockValue>((c + 1) % k_);
+  return c + 1 == k_ ? 0 : c + 1;
 }
 
 ClockValue CherryClock::ring_projection(std::int64_t c) const noexcept {
-  std::int64_t r = c % k_;
-  if (r < 0) r += k_;
-  return static_cast<ClockValue>(r);
+  // Hot path: the guard relations project *differences* of clock values,
+  // which lie in (-K, K) whenever both operands are on the ring — one
+  // conditional add replaces the integer division.  Values further out
+  // (stem differences) take the general path.
+  if (c >= k_ || c <= -k_) {
+    c %= k_;
+  }
+  if (c < 0) c += k_;
+  return static_cast<ClockValue>(c);
 }
 
 ClockValue CherryClock::ring_distance(ClockValue c, ClockValue c2) const {

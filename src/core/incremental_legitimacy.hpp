@@ -80,7 +80,7 @@ class LocalScoreChecker {
     // everything linearly instead of expanding balls.
     if (radius_ > 0 &&
         is_dense_update(static_cast<std::int64_t>(touched.size()), radius_,
-                        g.n())) {
+                        g)) {
       for (VertexId v = 0; v < g.n(); ++v) rescore(g, cfg, v);
       return verdict_(total_);
     }

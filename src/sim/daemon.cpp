@@ -6,34 +6,81 @@
 
 namespace specstab {
 
-std::vector<VertexId> SynchronousDaemon::select(
-    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
-  return enabled;
+namespace {
+
+/// Appends the positions of an i.i.d. Bernoulli(p) sample over
+/// `enabled` to `out` by drawing geometric skip lengths: the gap between
+/// consecutive successes of a Bernoulli(p) sequence is Geometric(p), so
+/// the sampled subset has exactly the per-vertex coin-flip distribution
+/// while consuming ~p draws per enabled vertex instead of one.  Requires
+/// 0 < p < 1 (p = 1 is the deterministic select-all case).
+void geometric_skip_sample(const EnabledView& enabled, double p,
+                           std::mt19937_64& rng, std::vector<VertexId>& out) {
+  out.reserve(enabled.size());  // no-op once the buffer is warm
+  std::geometric_distribution<std::int64_t> skip(p);
+  const auto size = static_cast<std::int64_t>(enabled.size());
+  for (std::int64_t pos = skip(rng); pos < size; pos += 1 + skip(rng)) {
+    out.push_back(enabled[static_cast<std::size_t>(pos)]);
+  }
 }
 
-std::vector<VertexId> CentralRoundRobinDaemon::select(
-    const Graph& g, const std::vector<VertexId>& enabled, StepIndex) {
-  // First enabled vertex with id >= cursor, wrapping around.
-  auto it = std::lower_bound(enabled.begin(), enabled.end(), cursor_);
-  const VertexId chosen = (it != enabled.end()) ? *it : enabled.front();
-  cursor_ = (chosen + 1) % g.n();
-  return {chosen};
-}
-
-std::vector<VertexId> CentralRandomDaemon::select(
-    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
+/// A daemon must choose a non-empty action: when the Bernoulli sample
+/// came up empty, activate one uniformly random enabled vertex.
+void ensure_nonempty(const EnabledView& enabled, std::mt19937_64& rng,
+                     std::vector<VertexId>& out) {
+  if (!out.empty()) return;
   std::uniform_int_distribution<std::size_t> pick(0, enabled.size() - 1);
-  return {enabled[pick(rng_)]};
+  out.push_back(enabled[pick(rng)]);
 }
 
-std::vector<VertexId> CentralMinIdDaemon::select(
-    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
-  return {enabled.front()};
+}  // namespace
+
+std::vector<VertexId> Daemon::select(const Graph& g,
+                                     const std::vector<VertexId>& enabled,
+                                     StepIndex step) {
+  ActionBuffer buf;
+  select_into(g, EnabledView(enabled), step, buf);
+  return std::move(buf.active);
 }
 
-std::vector<VertexId> CentralMaxIdDaemon::select(
-    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
-  return {enabled.back()};
+void SynchronousDaemon::select_into(const Graph&, const EnabledView& enabled,
+                                    StepIndex, ActionBuffer& out) {
+  out.active.assign(enabled.vertices().begin(), enabled.vertices().end());
+}
+
+void CentralRoundRobinDaemon::select_into(const Graph& g,
+                                          const EnabledView& enabled,
+                                          StepIndex, ActionBuffer& out) {
+  // First enabled vertex with id >= cursor, wrapping around.  The cursor
+  // itself is still enabled in the common case (few guards flip per
+  // action under a central schedule), which the bitmap answers in O(1);
+  // otherwise fall back to the successor search.
+  VertexId chosen;
+  if (cursor_ < g.n() && enabled.contains(cursor_)) {
+    chosen = cursor_;
+  } else {
+    const auto& v = enabled.vertices();
+    auto it = std::lower_bound(v.begin(), v.end(), cursor_);
+    chosen = (it != v.end()) ? *it : v.front();
+  }
+  cursor_ = (chosen + 1) % g.n();
+  out.active.assign(1, chosen);
+}
+
+void CentralRandomDaemon::select_into(const Graph&, const EnabledView& enabled,
+                                      StepIndex, ActionBuffer& out) {
+  std::uniform_int_distribution<std::size_t> pick(0, enabled.size() - 1);
+  out.active.assign(1, enabled[pick(rng_)]);
+}
+
+void CentralMinIdDaemon::select_into(const Graph&, const EnabledView& enabled,
+                                     StepIndex, ActionBuffer& out) {
+  out.active.assign(1, enabled.front());
+}
+
+void CentralMaxIdDaemon::select_into(const Graph&, const EnabledView& enabled,
+                                     StepIndex, ActionBuffer& out) {
+  out.active.assign(1, enabled.back());
 }
 
 DistributedBernoulliDaemon::DistributedBernoulliDaemon(double p,
@@ -45,18 +92,16 @@ DistributedBernoulliDaemon::DistributedBernoulliDaemon(double p,
   }
 }
 
-std::vector<VertexId> DistributedBernoulliDaemon::select(
-    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
-  std::bernoulli_distribution coin(p_);
-  std::vector<VertexId> chosen;
-  for (VertexId v : enabled) {
-    if (coin(rng_)) chosen.push_back(v);
+void DistributedBernoulliDaemon::select_into(const Graph&,
+                                             const EnabledView& enabled,
+                                             StepIndex, ActionBuffer& out) {
+  out.active.clear();
+  if (p_ >= 1.0) {  // sd degenerate case: all enabled, no draws
+    out.active.assign(enabled.vertices().begin(), enabled.vertices().end());
+    return;
   }
-  if (chosen.empty()) {
-    std::uniform_int_distribution<std::size_t> pick(0, enabled.size() - 1);
-    chosen.push_back(enabled[pick(rng_)]);
-  }
-  return chosen;
+  geometric_skip_sample(enabled, p_, rng_, out.active);
+  ensure_nonempty(enabled, rng_, out.active);
 }
 
 std::string DistributedBernoulliDaemon::name() const {
@@ -65,37 +110,31 @@ std::string DistributedBernoulliDaemon::name() const {
   return os.str();
 }
 
-std::vector<VertexId> RandomSubsetDaemon::select(
-    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
-  std::bernoulli_distribution coin(0.5);
-  std::vector<VertexId> chosen;
-  for (VertexId v : enabled) {
-    if (coin(rng_)) chosen.push_back(v);
-  }
-  if (chosen.empty()) {
-    std::uniform_int_distribution<std::size_t> pick(0, enabled.size() - 1);
-    chosen.push_back(enabled[pick(rng_)]);
-  }
-  return chosen;
+void RandomSubsetDaemon::select_into(const Graph&, const EnabledView& enabled,
+                                     StepIndex, ActionBuffer& out) {
+  out.active.clear();
+  geometric_skip_sample(enabled, 0.5, rng_, out.active);
+  ensure_nonempty(enabled, rng_, out.active);
 }
 
-std::vector<VertexId> LocallyCentralDaemon::select(
-    const Graph& g, const std::vector<VertexId>& enabled, StepIndex) {
+void LocallyCentralDaemon::select_into(const Graph& g,
+                                       const EnabledView& enabled, StepIndex,
+                                       ActionBuffer& out) {
   // Greedy maximal independent subset of `enabled`, scanning from a
   // random rotation so every enabled vertex is served with positive
   // probability per action.
   std::uniform_int_distribution<std::size_t> rot(0, enabled.size() - 1);
   const std::size_t start = rot(rng_);
-  std::vector<char> blocked(static_cast<std::size_t>(g.n()), 0);
-  std::vector<VertexId> chosen;
+  out.marks.begin(g.n());  // blocked = marked
+  out.active.clear();
+  out.active.reserve(enabled.size());  // no-op once the buffer is warm
   for (std::size_t i = 0; i < enabled.size(); ++i) {
     const VertexId v = enabled[(start + i) % enabled.size()];
-    if (blocked[static_cast<std::size_t>(v)]) continue;
-    chosen.push_back(v);
-    for (VertexId u : g.neighbors(v)) blocked[static_cast<std::size_t>(u)] = 1;
+    if (out.marks.marked(v)) continue;
+    out.active.push_back(v);
+    for (VertexId u : g.neighbors(v)) out.marks.mark(u);
   }
-  std::sort(chosen.begin(), chosen.end());
-  return chosen;
+  std::sort(out.active.begin(), out.active.end());
 }
 
 KFairCentralDaemon::KFairCentralDaemon(StepIndex k, std::uint64_t seed)
@@ -103,20 +142,20 @@ KFairCentralDaemon::KFairCentralDaemon(StepIndex k, std::uint64_t seed)
   if (k < 1) throw std::invalid_argument("KFairCentralDaemon: need k >= 1");
 }
 
-std::vector<VertexId> KFairCentralDaemon::select(
-    const Graph& g, const std::vector<VertexId>& enabled, StepIndex step) {
+void KFairCentralDaemon::select_into(const Graph& g, const EnabledView& enabled,
+                                     StepIndex step, ActionBuffer& out) {
   if (enabled_since_.size() != static_cast<std::size_t>(g.n())) {
     enabled_since_.assign(static_cast<std::size_t>(g.n()), -1);
   }
   // Age bookkeeping: vertices enabled now keep (or get) their first
   // continuously-enabled step; others are cleared.
-  std::vector<char> now(static_cast<std::size_t>(g.n()), 0);
-  for (VertexId v : enabled) now[static_cast<std::size_t>(v)] = 1;
+  out.marks.begin(g.n());  // enabled-now = marked
+  for (VertexId v : enabled.vertices()) out.marks.mark(v);
   VertexId overdue = -1;
   StepIndex oldest = step + 1;
   for (VertexId v = 0; v < g.n(); ++v) {
     auto& since = enabled_since_[static_cast<std::size_t>(v)];
-    if (!now[static_cast<std::size_t>(v)]) {
+    if (!out.marks.marked(v)) {
       since = -1;
       continue;
     }
@@ -134,7 +173,7 @@ std::vector<VertexId> KFairCentralDaemon::select(
     chosen = enabled[pick(rng_)];
   }
   enabled_since_[static_cast<std::size_t>(chosen)] = -1;
-  return {chosen};
+  out.active.assign(1, chosen);
 }
 
 std::string KFairCentralDaemon::name() const {
@@ -148,12 +187,15 @@ void KFairCentralDaemon::reset() {
   enabled_since_.clear();
 }
 
-std::vector<VertexId> StarvationDaemon::select(
-    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
-  for (VertexId v : enabled) {
-    if (v != victim_) return {v};
+void StarvationDaemon::select_into(const Graph&, const EnabledView& enabled,
+                                   StepIndex, ActionBuffer& out) {
+  for (VertexId v : enabled.vertices()) {
+    if (v != victim_) {
+      out.active.assign(1, v);
+      return;
+    }
   }
-  return {enabled.front()};  // only the victim is enabled: must serve it
+  out.active.assign(1, enabled.front());  // only the victim: must serve it
 }
 
 std::string StarvationDaemon::name() const {
@@ -165,12 +207,16 @@ std::string StarvationDaemon::name() const {
 PriorityCentralDaemon::PriorityCentralDaemon(std::vector<VertexId> priority)
     : priority_(std::move(priority)) {}
 
-std::vector<VertexId> PriorityCentralDaemon::select(
-    const Graph&, const std::vector<VertexId>& enabled, StepIndex) {
+void PriorityCentralDaemon::select_into(const Graph&,
+                                        const EnabledView& enabled, StepIndex,
+                                        ActionBuffer& out) {
   for (VertexId v : priority_) {
-    if (std::binary_search(enabled.begin(), enabled.end(), v)) return {v};
+    if (enabled.contains(v)) {
+      out.active.assign(1, v);
+      return;
+    }
   }
-  return {enabled.front()};
+  out.active.assign(1, enabled.front());
 }
 
 ScheduledDaemon::ScheduledDaemon(std::vector<std::vector<VertexId>> schedule,
@@ -179,20 +225,21 @@ ScheduledDaemon::ScheduledDaemon(std::vector<std::vector<VertexId>> schedule,
   if (!fallback_) fallback_ = std::make_unique<SynchronousDaemon>();
 }
 
-std::vector<VertexId> ScheduledDaemon::select(
-    const Graph& g, const std::vector<VertexId>& enabled, StepIndex step) {
+void ScheduledDaemon::select_into(const Graph& g, const EnabledView& enabled,
+                                  StepIndex step, ActionBuffer& out) {
   while (next_ < schedule_.size()) {
     const auto& want = schedule_[next_++];
-    std::vector<VertexId> chosen;
+    out.active.clear();
     for (VertexId v : want) {
-      if (std::binary_search(enabled.begin(), enabled.end(), v)) {
-        chosen.push_back(v);
-      }
+      if (enabled.contains(v)) out.active.push_back(v);
     }
-    if (!chosen.empty()) return chosen;
+    if (!out.active.empty()) {
+      std::sort(out.active.begin(), out.active.end());
+      return;
+    }
     // Scheduled set entirely disabled: skip the entry and try the next.
   }
-  return fallback_->select(g, enabled, step);
+  fallback_->select_into(g, enabled, step, out);
 }
 
 void ScheduledDaemon::reset() {

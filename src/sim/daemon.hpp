@@ -14,9 +14,18 @@
 // schedule that activates all enabled vertices.  Worst-case behaviour
 // under ud is approximated by the AdversaryPortfolio in
 // core/speculation.hpp (see DESIGN.md, substitution note).
+//
+// Selection API: the engine calls select_into() once per action with a
+// caller-owned ActionBuffer that lives for the whole execution, so the
+// hot path allocates nothing in steady state.  The enabled set arrives as
+// an EnabledView — always the sorted vertex vector, plus an O(1)
+// membership bitmap when the caller maintains one (the incremental
+// engine's EnabledSet does) — which gives cursor daemons constant-time
+// advance in the common case.
 #ifndef SPECSTAB_SIM_DAEMON_HPP
 #define SPECSTAB_SIM_DAEMON_HPP
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <random>
@@ -28,17 +37,99 @@
 
 namespace specstab {
 
+/// Read-only view of the enabled set: the sorted vertex vector plus an
+/// optional flat membership bitmap for O(1) contains().  Non-owning; valid
+/// only for the duration of one select_into() call.
+class EnabledView {
+ public:
+  /* implicit */ EnabledView(const std::vector<VertexId>& sorted)
+      : sorted_(&sorted), bits_(nullptr) {}
+  EnabledView(const std::vector<VertexId>& sorted,
+              const std::vector<char>& bits)
+      : sorted_(&sorted), bits_(&bits) {}
+
+  [[nodiscard]] const std::vector<VertexId>& vertices() const {
+    return *sorted_;
+  }
+  [[nodiscard]] std::size_t size() const { return sorted_->size(); }
+  [[nodiscard]] bool empty() const { return sorted_->empty(); }
+  [[nodiscard]] VertexId front() const { return sorted_->front(); }
+  [[nodiscard]] VertexId back() const { return sorted_->back(); }
+  [[nodiscard]] VertexId operator[](std::size_t i) const {
+    return (*sorted_)[i];
+  }
+
+  /// Membership test: O(1) via the bitmap when the caller provided one
+  /// (the incremental engine's EnabledSet), O(log n) binary search
+  /// otherwise.
+  [[nodiscard]] bool contains(VertexId v) const {
+    if (bits_) {
+      const auto i = static_cast<std::size_t>(v);
+      return i < bits_->size() && (*bits_)[i] != 0;
+    }
+    return std::binary_search(sorted_->begin(), sorted_->end(), v);
+  }
+
+ private:
+  const std::vector<VertexId>* sorted_;
+  const std::vector<char>* bits_;  // optional O(1) membership
+};
+
+/// Per-vertex scratch flags with O(1) amortized clearing via version
+/// stamps: begin() invalidates all previous marks without touching the
+/// array, so reuse across actions allocates nothing in steady state.
+class VertexMarks {
+ public:
+  /// Starts a fresh marking generation over vertices [0, n).  Grows the
+  /// backing array on first use (or a larger graph); O(1) afterwards.
+  void begin(VertexId n) {
+    if (stamp_.size() < static_cast<std::size_t>(n)) {
+      stamp_.resize(static_cast<std::size_t>(n), 0);
+    }
+    if (++current_ == 0) {  // wrap-around: one full clear every 2^32 uses
+      std::fill(stamp_.begin(), stamp_.end(), 0);
+      current_ = 1;
+    }
+  }
+  void mark(VertexId v) { stamp_[static_cast<std::size_t>(v)] = current_; }
+  [[nodiscard]] bool marked(VertexId v) const {
+    return stamp_[static_cast<std::size_t>(v)] == current_;
+  }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t current_ = 0;
+};
+
+/// Caller-owned scratch workspace for Daemon::select_into().  The engine
+/// keeps one instance alive for the whole execution; vectors reach their
+/// high-water capacity within a few actions and the loop stops
+/// allocating.  `active` is the selection output; `marks` is per-vertex
+/// scratch for daemons that need it (locally-central, k-fair).
+struct ActionBuffer {
+  std::vector<VertexId> active;
+  VertexMarks marks;
+};
+
 /// Abstract daemon: selects the activation set of each action.
 class Daemon {
  public:
   virtual ~Daemon() = default;
 
-  /// Returns a non-empty subset of `enabled` (which is non-empty and
-  /// sorted).  Called once per action, with `step` the 0-based action
-  /// index.
-  [[nodiscard]] virtual std::vector<VertexId> select(
-      const Graph& g, const std::vector<VertexId>& enabled,
-      StepIndex step) = 0;
+  /// Writes a non-empty subset of `enabled` (which is non-empty) into
+  /// `out.active`, **sorted ascending**, replacing any previous content.
+  /// Called once per action with `step` the 0-based action index; `out`
+  /// is owned by the caller and reused across the whole execution, so
+  /// implementations must not assume it starts empty and should not
+  /// allocate beyond warm-up.
+  virtual void select_into(const Graph& g, const EnabledView& enabled,
+                           StepIndex step, ActionBuffer& out) = 0;
+
+  /// Convenience wrapper over select_into() that allocates a fresh buffer
+  /// per call.  For tests and one-shot tools; hot paths keep their own
+  /// ActionBuffer.
+  [[nodiscard]] std::vector<VertexId> select(
+      const Graph& g, const std::vector<VertexId>& enabled, StepIndex step);
 
   /// Human-readable name for reports.
   [[nodiscard]] virtual std::string name() const = 0;
@@ -51,19 +142,19 @@ class Daemon {
 /// sd: activates every enabled vertex — one synchronous step per action.
 class SynchronousDaemon final : public Daemon {
  public:
-  [[nodiscard]] std::vector<VertexId> select(const Graph&,
-                                             const std::vector<VertexId>& e,
-                                             StepIndex) override;
+  void select_into(const Graph&, const EnabledView& e, StepIndex,
+                   ActionBuffer& out) override;
   [[nodiscard]] std::string name() const override { return "synchronous"; }
 };
 
 /// cd variant: activates the single enabled vertex next in id order after
-/// the previously activated one (fair central schedule).
+/// the previously activated one (fair central schedule).  Advance is O(1)
+/// when the cursor's vertex is still enabled (bitmap hit on the
+/// incremental EnabledSet); O(log n) successor search otherwise.
 class CentralRoundRobinDaemon final : public Daemon {
  public:
-  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
-                                             const std::vector<VertexId>& e,
-                                             StepIndex step) override;
+  void select_into(const Graph& g, const EnabledView& e, StepIndex,
+                   ActionBuffer& out) override;
   [[nodiscard]] std::string name() const override {
     return "central-round-robin";
   }
@@ -77,9 +168,8 @@ class CentralRoundRobinDaemon final : public Daemon {
 class CentralRandomDaemon final : public Daemon {
  public:
   explicit CentralRandomDaemon(std::uint64_t seed) : seed_(seed), rng_(seed) {}
-  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
-                                             const std::vector<VertexId>& e,
-                                             StepIndex step) override;
+  void select_into(const Graph&, const EnabledView& e, StepIndex,
+                   ActionBuffer& out) override;
   [[nodiscard]] std::string name() const override { return "central-random"; }
   void reset() override { rng_.seed(seed_); }
 
@@ -93,9 +183,8 @@ class CentralRandomDaemon final : public Daemon {
 /// effective unfairness pattern.
 class CentralMinIdDaemon final : public Daemon {
  public:
-  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
-                                             const std::vector<VertexId>& e,
-                                             StepIndex step) override;
+  void select_into(const Graph&, const EnabledView& e, StepIndex,
+                   ActionBuffer& out) override;
   [[nodiscard]] std::string name() const override { return "central-min-id"; }
 };
 
@@ -103,21 +192,24 @@ class CentralMinIdDaemon final : public Daemon {
 /// largest id.
 class CentralMaxIdDaemon final : public Daemon {
  public:
-  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
-                                             const std::vector<VertexId>& e,
-                                             StepIndex step) override;
+  void select_into(const Graph&, const EnabledView& e, StepIndex,
+                   ActionBuffer& out) override;
   [[nodiscard]] std::string name() const override { return "central-max-id"; }
 };
 
 /// Distributed daemon: each enabled vertex is activated independently with
 /// probability p; if the sample is empty, one random enabled vertex is
 /// activated (a daemon must choose an action).  p = 1 degenerates to sd.
+///
+/// Sampling is batched: instead of one Bernoulli draw per enabled vertex,
+/// the daemon draws geometric skip lengths (the gap to the next success
+/// of an i.i.d. Bernoulli(p) sequence), which produces the same subset
+/// distribution with ~p draws per enabled vertex instead of one.
 class DistributedBernoulliDaemon final : public Daemon {
  public:
   DistributedBernoulliDaemon(double p, std::uint64_t seed);
-  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
-                                             const std::vector<VertexId>& e,
-                                             StepIndex step) override;
+  void select_into(const Graph&, const EnabledView& e, StepIndex,
+                   ActionBuffer& out) override;
   [[nodiscard]] std::string name() const override;
   void reset() override { rng_.seed(seed_); }
 
@@ -128,13 +220,13 @@ class DistributedBernoulliDaemon final : public Daemon {
 };
 
 /// Distributed daemon: activates a uniformly random non-empty subset of
-/// the enabled vertices.
+/// the enabled vertices (i.i.d. coin flips at p = 1/2, geometric-skip
+/// sampled like DistributedBernoulliDaemon).
 class RandomSubsetDaemon final : public Daemon {
  public:
   explicit RandomSubsetDaemon(std::uint64_t seed) : seed_(seed), rng_(seed) {}
-  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
-                                             const std::vector<VertexId>& e,
-                                             StepIndex step) override;
+  void select_into(const Graph&, const EnabledView& e, StepIndex,
+                   ActionBuffer& out) override;
   [[nodiscard]] std::string name() const override { return "random-subset"; }
   void reset() override { rng_.seed(seed_); }
 
@@ -150,9 +242,8 @@ class RandomSubsetDaemon final : public Daemon {
 class LocallyCentralDaemon final : public Daemon {
  public:
   explicit LocallyCentralDaemon(std::uint64_t seed) : seed_(seed), rng_(seed) {}
-  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
-                                             const std::vector<VertexId>& e,
-                                             StepIndex step) override;
+  void select_into(const Graph& g, const EnabledView& e, StepIndex,
+                   ActionBuffer& out) override;
   [[nodiscard]] std::string name() const override { return "locally-central"; }
   void reset() override { rng_.seed(seed_); }
 
@@ -168,9 +259,8 @@ class LocallyCentralDaemon final : public Daemon {
 class KFairCentralDaemon final : public Daemon {
  public:
   KFairCentralDaemon(StepIndex k, std::uint64_t seed);
-  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
-                                             const std::vector<VertexId>& e,
-                                             StepIndex step) override;
+  void select_into(const Graph& g, const EnabledView& e, StepIndex step,
+                   ActionBuffer& out) override;
   [[nodiscard]] std::string name() const override;
   void reset() override;
 
@@ -187,9 +277,8 @@ class KFairCentralDaemon final : public Daemon {
 class StarvationDaemon final : public Daemon {
  public:
   explicit StarvationDaemon(VertexId victim) : victim_(victim) {}
-  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
-                                             const std::vector<VertexId>& e,
-                                             StepIndex step) override;
+  void select_into(const Graph&, const EnabledView& e, StepIndex,
+                   ActionBuffer& out) override;
   [[nodiscard]] std::string name() const override;
 
  private:
@@ -203,9 +292,8 @@ class StarvationDaemon final : public Daemon {
 class PriorityCentralDaemon final : public Daemon {
  public:
   explicit PriorityCentralDaemon(std::vector<VertexId> priority);
-  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
-                                             const std::vector<VertexId>& e,
-                                             StepIndex step) override;
+  void select_into(const Graph&, const EnabledView& e, StepIndex,
+                   ActionBuffer& out) override;
   [[nodiscard]] std::string name() const override {
     return "priority-central";
   }
@@ -224,9 +312,8 @@ class ScheduledDaemon final : public Daemon {
  public:
   explicit ScheduledDaemon(std::vector<std::vector<VertexId>> schedule,
                            std::unique_ptr<Daemon> fallback = nullptr);
-  [[nodiscard]] std::vector<VertexId> select(const Graph& g,
-                                             const std::vector<VertexId>& e,
-                                             StepIndex step) override;
+  void select_into(const Graph& g, const EnabledView& e, StepIndex step,
+                   ActionBuffer& out) override;
   [[nodiscard]] std::string name() const override { return "scheduled"; }
   void reset() override;
 

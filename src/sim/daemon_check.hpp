@@ -41,6 +41,7 @@ struct DaemonAuditReport {
   std::size_t max_activation = 0;   ///< largest activation set chosen
   bool subset_of_enabled = true;    ///< every choice within the enabled set
   bool nonempty = true;             ///< never chose the empty set
+  bool sorted = true;               ///< every choice in ascending id order
   bool always_all_enabled = true;   ///< chose the full enabled set each time
   bool always_singleton = true;     ///< chose exactly one vertex each time
   bool adjacent_coactivation = false;  ///< two neighbours activated together
@@ -49,7 +50,7 @@ struct DaemonAuditReport {
   StepIndex worst_bypass_streak = 0;
 
   [[nodiscard]] bool contract_holds() const {
-    return subset_of_enabled && nonempty;
+    return subset_of_enabled && nonempty && sorted;
   }
 };
 
@@ -59,12 +60,10 @@ class DaemonAudit final : public Daemon {
   explicit DaemonAudit(Daemon& inner, VertexId n)
       : inner_(&inner), streak_(static_cast<std::size_t>(n), 0) {}
 
-  [[nodiscard]] std::vector<VertexId> select(
-      const Graph& g, const std::vector<VertexId>& enabled,
-      StepIndex step) override {
-    auto choice = inner_->select(g, enabled, step);
-    audit(g, enabled, choice);
-    return choice;
+  void select_into(const Graph& g, const EnabledView& enabled, StepIndex step,
+                   ActionBuffer& out) override {
+    inner_->select_into(g, enabled, step, out);
+    audit(g, enabled.vertices(), out.active);
   }
 
   [[nodiscard]] std::string name() const override {
@@ -82,6 +81,7 @@ class DaemonAudit final : public Daemon {
              const std::vector<VertexId>& choice) {
     ++report_.actions;
     if (choice.empty()) report_.nonempty = false;
+    if (!std::ranges::is_sorted(choice)) report_.sorted = false;
     if (report_.actions == 1) {
       report_.min_activation = choice.size();
       report_.max_activation = choice.size();

@@ -141,6 +141,11 @@ RunResult<typename P::State> run_execution(
   note_legitimacy(0);
 
   auto enabled = enabled_vertices(g, proto, cfg);
+  // Daemon scratch, reused across the whole execution (the daemon hot
+  // path allocates nothing in steady state).  The rest of this loop stays
+  // deliberately naive — fresh rescans and vectors per action — because
+  // this engine is the differential-testing oracle.
+  ActionBuffer action;
   StepIndex since_convergence = 0;
   while (res.steps < opt.max_steps) {
     if (enabled.empty()) {
@@ -152,7 +157,8 @@ RunResult<typename P::State> run_execution(
       break;
     }
 
-    const auto activated = daemon.select(g, enabled, res.steps);
+    daemon.select_into(g, enabled, res.steps, action);
+    const std::vector<VertexId>& activated = action.active;
     if (observer) observer(res.steps, cfg, activated);
 
     // Composite atomicity: compute all successor states against the

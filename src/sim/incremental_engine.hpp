@@ -29,6 +29,7 @@
 #define SPECSTAB_SIM_INCREMENTAL_ENGINE_HPP
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -94,13 +95,25 @@ struct AlwaysLegitimate {
 };
 
 /// Whether an action touching `touched_count` vertices dirties enough of
-/// an n-vertex graph that a plain ordered rescan beats radius-`radius`
-/// ball expansion.  Shared by the engine (guard re-tests) and the score
-/// checkers so both fall back in lockstep.
-[[nodiscard]] constexpr bool is_dense_update(std::int64_t touched_count,
-                                             VertexId radius, VertexId n) {
-  return touched_count * 2 * (static_cast<std::int64_t>(radius) + 1) >=
-         static_cast<std::int64_t>(n);
+/// the graph that a plain ordered rescan beats radius-`radius` ball
+/// expansion.  Shared by the engine (guard re-tests) and the score
+/// checkers so both fall back in lockstep.  The estimate is
+/// degree-aware: each hop multiplies the frontier by the average degree,
+/// and expansion bookkeeping (version stamps, the final sort, scattered
+/// access) costs roughly twice an ordered scan per vertex — so on dense
+/// random graphs the fallback triggers much earlier than on rings.
+[[nodiscard]] inline bool is_dense_update(std::int64_t touched_count,
+                                          VertexId radius, const Graph& g) {
+  const auto n = static_cast<std::int64_t>(g.n());
+  if (n == 0) return true;
+  const std::int64_t avg_deg =
+      std::max<std::int64_t>(1, 2 * static_cast<std::int64_t>(g.m()) / n);
+  std::int64_t ball = touched_count;
+  for (VertexId hop = 0; hop < radius; ++hop) {
+    if (2 * ball >= n) return true;  // also caps growth before overflow
+    ball *= 1 + avg_deg;
+  }
+  return 2 * ball >= n;
 }
 
 /// Sorted-unique closed ball B(seeds, radius), with O(1) amortized
@@ -140,6 +153,9 @@ class EnabledSet {
   [[nodiscard]] const std::vector<VertexId>& vertices() const {
     return vertices_;
   }
+  /// Daemon-facing view: the sorted vector plus the membership bitmap,
+  /// which gives cursor daemons O(1) contains() (see EnabledView).
+  [[nodiscard]] EnabledView view() const { return {vertices_, bits_}; }
 
   void begin_update();
   /// Records the fresh guard verdict of a dirty vertex.  Must be called
@@ -189,8 +205,10 @@ RunResult<typename P::State> run_execution_incremental(
   enabled.reset(g.n());
   enabled.assign(enabled_vertices(g, proto, cfg));
   NeighborhoodExpander expander(g.n());
-  std::vector<VertexId> touched, round_base;
+  ActionBuffer action;
+  std::vector<VertexId> round_base;
   std::vector<std::pair<VertexId, State>> updates;
+  Config<State> prev_cfg;
 
   StepIndex since_convergence = 0;
   while (res.steps < opt.max_steps) {
@@ -203,24 +221,40 @@ RunResult<typename P::State> run_execution_incremental(
       break;
     }
 
-    const auto activated = daemon.select(g, enabled.vertices(), res.steps);
+    // The daemon writes into the loop-owned scratch buffer (sorted, per
+    // the select_into contract) — the whole action below runs without
+    // allocating once the buffers reach their high-water capacity.
+    daemon.select_into(g, enabled.view(), res.steps, action);
+    const std::vector<VertexId>& activated = action.active;
+    assert(std::is_sorted(activated.begin(), activated.end()));
     if (observer) observer(res.steps, cfg, activated);
 
     // Composite atomicity: compute all successor states against the
-    // pre-action configuration, then install them.
-    updates.clear();
-    updates.reserve(activated.size());
-    for (VertexId v : activated) updates.emplace_back(v, proto.apply(g, cfg, v));
-    for (auto& [v, s] : updates) cfg[static_cast<std::size_t>(v)] = std::move(s);
+    // pre-action configuration, then install them.  Dense actions
+    // snapshot the configuration once into a reused buffer and apply in
+    // place against the snapshot (no per-vertex staging); sparse actions
+    // stage only the touched pairs.
+    const bool dense = is_dense_update(
+        static_cast<std::int64_t>(activated.size()), radius, g);
+    if (dense) {
+      prev_cfg = cfg;
+      for (VertexId v : activated) {
+        cfg[static_cast<std::size_t>(v)] = proto.apply(g, prev_cfg, v);
+      }
+    } else {
+      updates.clear();
+      updates.reserve(activated.size());
+      for (VertexId v : activated) {
+        updates.emplace_back(v, proto.apply(g, cfg, v));
+      }
+      for (auto& [v, s] : updates) {
+        cfg[static_cast<std::size_t>(v)] = std::move(s);
+      }
+    }
 
     res.moves += static_cast<std::int64_t>(activated.size());
     ++res.steps;
     if (res.first_legitimate >= 0) ++since_convergence;
-
-    // Daemons may return the activation set in any order; dirty-set
-    // expansion and checker updates need it sorted.
-    touched.assign(activated.begin(), activated.end());
-    std::sort(touched.begin(), touched.end());
 
     // The round counter reads the pre-action enabled set only at round
     // boundaries; snapshot it there (once per round) so the sorted
@@ -228,29 +262,28 @@ RunResult<typename P::State> run_execution_incremental(
     const bool opening_round = !rc.round_open();
     if (opening_round) round_base = enabled.vertices();
 
-    // Only guards inside the radius-r ball around the touched vertices
+    // Only guards inside the radius-r ball around the activated vertices
     // can have flipped.  When the action touches most of the graph
     // (synchronous and dense distributed daemons), a plain ordered
     // rescan is cheaper than ball expansion.
     bool checker_legit;
     enabled.begin_update();
-    if (is_dense_update(static_cast<std::int64_t>(touched.size()), radius,
-                        g.n())) {
+    if (dense) {
       for (VertexId v = 0; v < g.n(); ++v) {
         enabled.note(v, proto.enabled(g, cfg, v));
       }
-      checker_legit = checker.on_update(g, cfg, touched);
+      checker_legit = checker.on_update(g, cfg, activated);
     } else {
-      const auto& dirty = expander.expand(g, touched, radius);
+      const auto& dirty = expander.expand(g, activated, radius);
       for (VertexId v : dirty) enabled.note(v, proto.enabled(g, cfg, v));
       // Share the expanded ball with a same-radius checker instead of
       // letting it expand the same ball again.
       if constexpr (HasBallUpdate<C, State>) {
         checker_legit = checker.update_radius() == radius
                             ? checker.on_update_ball(g, cfg, dirty)
-                            : checker.on_update(g, cfg, touched);
+                            : checker.on_update(g, cfg, activated);
       } else {
-        checker_legit = checker.on_update(g, cfg, touched);
+        checker_legit = checker.on_update(g, cfg, activated);
       }
     }
     enabled.commit();

@@ -31,12 +31,10 @@ class RecordingDaemon final : public Daemon {
  public:
   explicit RecordingDaemon(Daemon& inner) : inner_(&inner) {}
 
-  [[nodiscard]] std::vector<VertexId> select(
-      const Graph& g, const std::vector<VertexId>& enabled,
-      StepIndex step) override {
-    auto choice = inner_->select(g, enabled, step);
-    recorded_.push_back(choice);
-    return choice;
+  void select_into(const Graph& g, const EnabledView& enabled, StepIndex step,
+                   ActionBuffer& out) override {
+    inner_->select_into(g, enabled, step, out);
+    recorded_.push_back(out.active);
   }
 
   [[nodiscard]] std::string name() const override {

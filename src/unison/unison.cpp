@@ -27,11 +27,19 @@ bool UnisonProtocol::all_correct(const Graph& g, const Config<State>& cfg,
 
 bool UnisonProtocol::normal_step(const Graph& g, const Config<State>& cfg,
                                  VertexId v) const {
-  if (!clock_.in_stab(cfg[static_cast<std::size_t>(v)])) return false;
-  if (!all_correct(g, cfg, v)) return false;
+  // NA guard: r_v in stab and, for every neighbour u, correct_v(u) and
+  // r_v <=_l r_u.  Since bar(r_u - r_v) <= 1 already implies
+  // d_K(r_v, r_u) <= 1, the two neighbour conditions collapse to one
+  // projection per neighbour (single pass; the dominant guard on the
+  // dense synchronous path).
   const State rv = cfg[static_cast<std::size_t>(v)];
+  if (!clock_.in_stab(rv)) return false;
   for (VertexId u : g.neighbors(v)) {
-    if (!clock_.le_local(rv, cfg[static_cast<std::size_t>(u)])) return false;
+    const State ru = cfg[static_cast<std::size_t>(u)];
+    if (!clock_.in_stab(ru)) return false;
+    if (clock_.ring_projection(static_cast<std::int64_t>(ru) - rv) > 1) {
+      return false;
+    }
   }
   return true;
 }

@@ -169,6 +169,56 @@ TEST(ArtifactsTest, JsonIsByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(runs_to_csv(serial), runs_to_csv(parallel));
 }
 
+TEST(CellAccumulatorTest, MergeIsOrderIndependent) {
+  // The work-stealing contract: rows folded into partial accumulators in
+  // any partition and any order merge to exactly the single-pass result.
+  CampaignResult result;
+  for (std::size_t rep = 0; rep < 17; ++rep) {
+    result.rows.push_back(
+        row("ring 8", rep, static_cast<StepIndex>(3 + 7 * rep % 23),
+            rep % 5 != 0));
+  }
+  const auto reference = aggregate(result);
+  ASSERT_EQ(reference.size(), 1u);
+
+  // Three partitions (round-robin), each folded in reverse row order,
+  // merged out of order.
+  CellAccumulator parts[3];
+  for (std::size_t i = result.rows.size(); i-- > 0;) {
+    parts[i % 3].add(result.rows[i]);
+  }
+  CellAccumulator merged;
+  merged.merge(parts[2]);
+  merged.merge(parts[0]);
+  merged.merge(parts[1]);
+  EXPECT_EQ(merged.finalize(), reference[0]);
+
+  // Merging into a non-empty accumulator commutes too.
+  CellAccumulator other;
+  other.merge(parts[1]);
+  other.merge(parts[2]);
+  other.merge(parts[0]);
+  EXPECT_EQ(other.finalize(), reference[0]);
+}
+
+TEST(CellAccumulatorTest, RejectsRowsFromDifferentCells) {
+  CellAccumulator acc;
+  acc.add(row("ring 8", 0, 5));
+  EXPECT_THROW(acc.add(row("path 9", 1, 5)), std::invalid_argument);
+
+  CellAccumulator one, two;
+  one.add(row("ring 8", 0, 5));
+  two.add(row("path 9", 1, 5));
+  EXPECT_THROW(one.merge(two), std::invalid_argument);
+
+  // Merging an empty accumulator in either direction is a no-op / copy.
+  CellAccumulator empty;
+  one.merge(empty);
+  EXPECT_EQ(one.finalize().runs, 1u);
+  empty.merge(one);
+  EXPECT_EQ(empty.finalize().runs, 1u);
+}
+
 TEST(ArtifactsTest, WriteTextFileWritesAndOverwrites) {
   const std::string path = "campaign_artifacts_test.tmp";
   write_text_file(path, "hello\n");
