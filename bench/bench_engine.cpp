@@ -194,6 +194,45 @@ std::vector<MicroRow> run_micros(bool smoke, int repeats) {
   return rows;
 }
 
+/// Cross-protocol campaign row: the whole sweep preset (every registered
+/// protocol x topologies x daemons, all dispatched through the
+/// type-erased registry) on both engines.  Reported as a micro row so
+/// check_bench_regression gates the erased dispatch path's speedup ratio
+/// exactly like the typed rows.
+MicroRow sweep_cross_protocol_row(bool smoke, unsigned threads,
+                                  int repeats) {
+  const auto items = campaign::expand_grid(campaign::sweep_grid(smoke));
+  MicroRow row;
+  row.name = "campaign/sweep-cross-protocol";
+  campaign::CampaignResult reference_rows, incremental_rows;
+  for (const EngineKind kind :
+       {EngineKind::kReference, EngineKind::kIncremental}) {
+    campaign::RunnerOptions opt;
+    opt.threads = threads;
+    opt.engine = kind;
+    campaign::CampaignResult last;
+    const double ms = best_of(
+        repeats, [&] { last = campaign::run_scenarios(items, opt); });
+    std::int64_t steps = 0;
+    for (const auto& r : last.rows) steps += r.steps;
+    if (kind == EngineKind::kReference) {
+      row.reference_ms = ms;
+      row.steps = steps;
+      reference_rows = std::move(last);
+    } else {
+      row.incremental_ms = ms;
+      incremental_rows = std::move(last);
+    }
+  }
+  for (std::size_t i = 0; i < reference_rows.rows.size(); ++i) {
+    if (!(reference_rows.rows[i] == incremental_rows.rows[i])) {
+      std::cerr << "!! ENGINE MISMATCH at sweep row " << i << "\n";
+      std::exit(2);
+    }
+  }
+  return row;
+}
+
 struct CampaignTiming {
   std::size_t scenarios = 0;
   double reference_ms = 0.0;
@@ -318,7 +357,8 @@ int main(int argc, char** argv) {
             << std::setw(12) << fmt(campaign_timing.incremental_ms)
             << std::setw(9) << fmt(campaign_timing.speedup()) << "x\n";
 
-  const auto micros = run_micros(smoke, repeats);
+  auto micros = run_micros(smoke, repeats);
+  micros.push_back(sweep_cross_protocol_row(smoke, threads, repeats));
   for (const auto& m : micros) {
     std::cout << std::left << std::setw(42) << m.name << std::right
               << std::setw(12) << fmt(m.reference_ms) << std::setw(12)

@@ -53,11 +53,11 @@ void run_experiment(bool smoke) {
 /// Portfolio worst case on one ring, via a single-topology campaign.
 void BM_PortfolioWorstRing(benchmark::State& state) {
   campaign::CampaignGrid grid;
-  grid.protocols = {campaign::ProtocolKind::kSsme};
+  grid.protocols = {"ssme"};
   grid.topologies = {{"ring", state.range(0)}};
   grid.daemons = campaign::portfolio_daemons();
-  grid.inits = {campaign::InitFamily::kRandom,
-                campaign::InitFamily::kTwoGradient};
+  grid.inits = {"random",
+                "two-gradient"};
   grid.reps = 1;
   grid.base_seed = 42;
   for (auto _ : state) {

@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
 
   WaveRenderOptions render;
   render.max_rows = static_cast<std::size_t>(fire) + 12;
-  std::cout << render_clock_wave(g, proto, res.trace, render) << '\n';
+  std::cout << render_clock_wave(g, proto, res.trace.materialize(), render) << '\n';
 
   const auto report = monitor.report();
   std::cout << "Double privilege fired at step " << fire << " (predicted "

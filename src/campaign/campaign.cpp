@@ -1,5 +1,7 @@
 #include "campaign/campaign.hpp"
 
+#include "campaign/scenario.hpp"
+
 namespace specstab::campaign {
 
 bool operator==(const ScenarioResult& a, const ScenarioResult& b) {
@@ -29,7 +31,7 @@ std::vector<std::string> portfolio_daemons() {
 
 CampaignGrid thm2_grid(bool smoke) {
   CampaignGrid g;
-  g.protocols = {ProtocolKind::kSsmeSafety};
+  g.protocols = {"ssme-safety"};
   if (smoke) {
     g.topologies = sized_family("ring", {8, 16});
     auto paths = sized_family("path", {8});
@@ -56,14 +58,14 @@ CampaignGrid thm2_grid(bool smoke) {
     g.reps = 10;
   }
   g.daemons = {"synchronous"};
-  g.inits = {InitFamily::kRandom, InitFamily::kTwoGradient};
+  g.inits = {"random", "two-gradient"};
   g.base_seed = 0xbeef;
   return g;
 }
 
 CampaignGrid thm3_grid(bool smoke) {
   CampaignGrid g;
-  g.protocols = {ProtocolKind::kSsme};
+  g.protocols = {"ssme"};
   if (smoke) {
     g.topologies = sized_family("ring", {4, 6});
     g.topologies.push_back({"path", 4});
@@ -84,31 +86,53 @@ CampaignGrid thm3_grid(bool smoke) {
     g.reps = 4;
   }
   g.daemons = portfolio_daemons();
-  g.inits = {InitFamily::kRandom, InitFamily::kTwoGradient};
+  g.inits = {"random", "two-gradient"};
   g.base_seed = 0x5eed;
   return g;
 }
 
 CampaignGrid xover_grid(bool smoke) {
   CampaignGrid g;
-  g.protocols = {ProtocolKind::kSsme};
+  g.protocols = {"ssme"};
   g.topologies = {{"ring", smoke ? 8 : 12}};
   g.daemons = {"synchronous",   "bernoulli-0.9",  "bernoulli-0.75",
                "bernoulli-0.5", "bernoulli-0.25", "bernoulli-0.1"};
-  g.inits = {InitFamily::kRandom, InitFamily::kTwoGradient};
+  g.inits = {"random", "two-gradient"};
   g.reps = smoke ? 2 : 6;
   g.base_seed = 0xfade;
   return g;
 }
 
+CampaignGrid sweep_grid(bool smoke) {
+  CampaignGrid g;
+  // Every registered protocol: the whole point of this preset is that the
+  // protocol axis is runtime data, so new registrations join the sweep
+  // without touching this function.
+  g.protocols = known_protocols();
+  if (smoke) {
+    g.topologies = {{"ring", 8}, {"path", 8}};
+    g.reps = 1;
+  } else {
+    g.topologies = {{"ring", 16},
+                    {"ring", 48},
+                    {"path", 24},
+                    {"grid", 5, 5},
+                    {"random", 24, 0, 0.15, 11}};
+    g.reps = 3;
+  }
+  g.daemons = {"synchronous", "central-rr", "bernoulli-0.5",
+               "random-subset"};
+  g.inits = {"random", "zero"};
+  g.base_seed = 0xc0ffee;
+  return g;
+}
+
 CampaignGrid demo_grid() {
   CampaignGrid g;
-  g.protocols = {ProtocolKind::kSsme, ProtocolKind::kSsmeSafety,
-                 ProtocolKind::kDijkstraRing};
+  g.protocols = {"ssme", "ssme-safety", "dijkstra-ring"};
   g.topologies = {{"ring", 8}, {"path", 8}, {"grid", 3, 3}};
   g.daemons = {"synchronous", "central-rr", "bernoulli-0.5"};
-  g.inits = {InitFamily::kRandom, InitFamily::kZero, InitFamily::kTwoGradient,
-             InitFamily::kMaxTokens};
+  g.inits = {"random", "zero", "two-gradient", "max-tokens"};
   g.reps = 2;
   return g;
 }

@@ -23,10 +23,10 @@ namespace specstab::campaign {
 struct ScenarioResult {
   // --- identity (sufficient to reproduce the run) ---
   std::size_t index = 0;     ///< position in the expanded grid
-  std::string protocol;      ///< protocol_name() of the kind
+  std::string protocol;      ///< registry name
   std::string topology;      ///< TopologySpec::label()
   std::string daemon;
-  std::string init;          ///< init_name() of the family
+  std::string init;          ///< init-family name
   std::size_t rep = 0;
   std::uint64_t seed = 0;
   VertexId n = 0;            ///< |V| of the instantiated topology
@@ -75,6 +75,12 @@ struct CampaignResult {
 /// XOVER: stabilization vs degree of synchrony (Bernoulli-p daemons,
 /// p from 1.0 down to 0.1) on a fixed ring (Section 1 premise).
 [[nodiscard]] CampaignGrid xover_grid(bool smoke);
+
+/// SWEEP: every registered protocol crossed with a topology slate and a
+/// daemon mix — the cross-protocol sweep the runtime registry unlocks
+/// (Dolev & Herman-style "unsupportive environments" grids).  New
+/// protocols join automatically on registration.
+[[nodiscard]] CampaignGrid sweep_grid(bool smoke);
 
 /// A small cross-protocol demo grid exercising every axis (used by the
 /// CLI default and the docs).

@@ -3,22 +3,15 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <numeric>
-#include <random>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
-#include "baselines/dijkstra_ring.hpp"
-#include "core/adversarial_configs.hpp"
-#include "core/incremental_legitimacy.hpp"
-#include "core/ssme.hpp"
-#include "core/theory.hpp"
 #include "graph/properties.hpp"
 #include "sim/engine.hpp"
-#include "sim/incremental_engine.hpp"
+#include "sim/protocol_registry.hpp"
 
 namespace specstab::campaign {
 
@@ -37,160 +30,60 @@ struct TopologyInstance {
       : graph(make_topology(spec)), diam(diameter(graph)) {}
 };
 
-StepIndex default_step_cap(const Scenario& s, const TopologyInstance& topo);
-
-template <class State>
-void record(ScenarioResult& out, const RunResult<State>& res,
-            std::int64_t closure_violations) {
-  out.steps = res.steps;
-  out.moves = res.moves;
-  out.rounds = res.rounds;
-  out.converged = res.converged();
-  out.hit_step_cap = res.hit_step_cap;
-  out.convergence_steps = res.converged() ? res.convergence_steps() : -1;
-  out.moves_to_convergence = res.moves_to_convergence;
-  out.rounds_to_convergence = res.rounds_to_convergence;
-  out.closure_violations = closure_violations;
-}
-
-ScenarioResult run_ssme(const Scenario& s, const TopologyInstance& topo,
-                        EngineKind engine, ScenarioResult out) {
-  const Graph& g = topo.graph;
-  // Build the paper's parameters from the cached diameter — no repeated
-  // BFS sweep per scenario.
-  const SsmeProtocol proto(SsmeParams::from_dimensions(g.n(), topo.diam));
-  const bool safety = s.protocol == ProtocolKind::kSsmeSafety;
-
-  Config<ClockValue> init;
-  switch (s.init) {
-    case InitFamily::kRandom:
-      init = random_config(g, proto.clock(), s.seed);
-      break;
-    case InitFamily::kZero:
-      init = zero_config(g);
-      break;
-    case InitFamily::kTwoGradient:
-      init = two_gradient_config(g, proto);
-      break;
-    case InitFamily::kMaxTokens:
-      throw std::invalid_argument("max-tokens init is Dijkstra-ring only");
-  }
-
-  RunOptions opt;
-  opt.engine = engine;
-  opt.max_steps = s.max_steps > 0 ? s.max_steps : default_step_cap(s, topo);
-  // Gamma_1 is closed under the protocol, so stopping at first entry is
-  // sound; the safety slice is not (the witness starts safe, goes
-  // unsafe, then stabilizes), so those runs must span the whole window.
-  if (!safety) opt.steps_after_convergence = 0;
-
-  auto daemon = make_daemon(s.daemon, s.seed);
-  if (safety) {
-    ClosureCounting checker(make_mutex_safety_checker(proto));
-    const auto res =
-        run_with_engine(g, proto, *daemon, std::move(init), opt, checker);
-    record(out, res, checker.violations());
-  } else {
-    ClosureCounting checker(make_gamma1_checker(proto));
-    const auto res =
-        run_with_engine(g, proto, *daemon, std::move(init), opt, checker);
-    record(out, res, checker.violations());
-  }
-  return out;
-}
-
-ScenarioResult run_dijkstra(const Scenario& s, const TopologyInstance& topo,
-                            EngineKind engine, ScenarioResult out) {
-  const Graph& g = topo.graph;
-  const DijkstraRingProtocol proto = DijkstraRingProtocol::for_ring(g);
-
-  Config<DijkstraRingProtocol::State> init;
-  switch (s.init) {
-    case InitFamily::kRandom: {
-      std::mt19937_64 rng(s.seed);
-      std::uniform_int_distribution<DijkstraRingProtocol::State> pick(
-          0, proto.k() - 1);
-      init.resize(static_cast<std::size_t>(g.n()));
-      for (auto& v : init) v = pick(rng);
-      break;
-    }
-    case InitFamily::kZero:
-      init.assign(static_cast<std::size_t>(g.n()), 0);
-      break;
-    case InitFamily::kMaxTokens:
-      init = proto.max_token_config();
-      break;
-    case InitFamily::kTwoGradient:
-      throw std::invalid_argument("two-gradient init is SSME only");
-  }
-
-  RunOptions opt;
-  opt.engine = engine;
-  opt.max_steps = s.max_steps > 0 ? s.max_steps : default_step_cap(s, topo);
-  opt.steps_after_convergence = 0;
-
-  auto daemon = make_daemon(s.daemon, s.seed);
-  ClosureCounting checker(make_single_token_checker(proto));
-  const auto res =
-      run_with_engine(g, proto, *daemon, std::move(init), opt, checker);
-  record(out, res, checker.violations());
-  return out;
-}
-
-/// The step cap a scenario runs with when it carries no explicit
-/// max_steps: the protocol bound resolved on the instantiated topology.
-/// Shared by the run_* executors and the heavy-first cost estimate so
-/// the schedule can never drift from what actually executes.
-StepIndex default_step_cap(const Scenario& s, const TopologyInstance& topo) {
-  const VertexId n = topo.graph.n();
-  switch (s.protocol) {
-    case ProtocolKind::kSsme: {
-      const auto params = SsmeParams::from_dimensions(n, topo.diam);
-      return 2 * ssme_ud_bound(params.n, params.diam);
-    }
-    case ProtocolKind::kSsmeSafety: {
-      const auto params = SsmeParams::from_dimensions(n, topo.diam);
-      return 4 * (params.k + params.n);
-    }
-    case ProtocolKind::kDijkstraRing:
-      return 4 * dijkstra_ud_theta(n) + 64;
-  }
-  throw std::invalid_argument("unknown protocol kind");
-}
-
 /// A-priori cost estimate of one work item: the step cap the run will be
-/// executed with.  Only relative order matters — the heavy-first
-/// schedule sorts by this so the ring-128 central-daemon cells lead the
-/// queue.
+/// executed with — the registry entry's default resolved on the
+/// instantiated topology, exactly what the erased run function applies,
+/// so the heavy-first schedule can never drift from what executes.
 std::int64_t estimated_cost(const Scenario& s, const TopologyInstance& topo,
                             StepIndex max_steps_override) {
   const StepIndex cap = s.max_steps > 0 ? s.max_steps : max_steps_override;
-  return static_cast<std::int64_t>(cap > 0 ? cap
-                                           : default_step_cap(s, topo));
+  if (cap > 0) return static_cast<std::int64_t>(cap);
+  const ProtocolEntry& entry = ProtocolRegistry::instance().at(s.protocol);
+  return static_cast<std::int64_t>(
+      entry.default_step_cap(topo.graph, topo.diam));
 }
 
+/// Executes one scenario through the registry's type-erased session API:
+/// the only protocol dispatch in the whole runner.  Every registered
+/// protocol is thereby campaign-sweepable with zero per-protocol code
+/// here.
 ScenarioResult run_scenario_on(const Scenario& scenario,
                                const TopologyInstance& topo,
                                EngineKind engine) {
   ScenarioResult out;
   out.index = scenario.index;
-  out.protocol = std::string(protocol_name(scenario.protocol));
+  out.protocol = scenario.protocol;
   out.topology = scenario.topology.label();
   out.daemon = scenario.daemon;
-  out.init = std::string(init_name(scenario.init));
+  out.init = scenario.init;
   out.rep = scenario.rep;
   out.seed = scenario.seed;
   out.n = topo.graph.n();
   out.diam = topo.diam;
 
-  switch (scenario.protocol) {
-    case ProtocolKind::kSsme:
-    case ProtocolKind::kSsmeSafety:
-      return run_ssme(scenario, topo, engine, std::move(out));
-    case ProtocolKind::kDijkstraRing:
-      return run_dijkstra(scenario, topo, engine, std::move(out));
-  }
-  throw std::invalid_argument("unknown protocol kind");
+  const ProtocolEntry& entry =
+      ProtocolRegistry::instance().at(scenario.protocol);
+  SessionSpec spec;
+  spec.daemon = scenario.daemon;
+  spec.init = scenario.init;
+  spec.seed = scenario.seed;
+  spec.max_steps = scenario.max_steps;
+  spec.engine = engine;
+  // Only the numeric meters survive into ScenarioResult; skip the
+  // per-vertex state rendering and annotation sweeps.
+  spec.meters_only = true;
+  const SessionResult res = entry.run_on(topo.graph, topo.diam, spec);
+
+  out.steps = res.steps;
+  out.moves = res.moves;
+  out.rounds = res.rounds;
+  out.converged = res.converged;
+  out.hit_step_cap = res.hit_step_cap;
+  out.convergence_steps = res.convergence_steps;
+  out.moves_to_convergence = res.moves_to_convergence;
+  out.rounds_to_convergence = res.rounds_to_convergence;
+  out.closure_violations = res.closure_violations;
+  return out;
 }
 
 }  // namespace

@@ -1,9 +1,12 @@
 #include "campaign/scenario.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
 #include "graph/generators.hpp"
+#include "sim/daemon.hpp"
+#include "sim/protocol_registry.hpp"
 
 namespace specstab::campaign {
 
@@ -23,54 +26,38 @@ std::uint64_t mix64(std::uint64_t z) {
 
 }  // namespace
 
-std::string_view protocol_name(ProtocolKind p) {
-  switch (p) {
-    case ProtocolKind::kSsme:
-      return "ssme";
-    case ProtocolKind::kSsmeSafety:
-      return "ssme-safety";
-    case ProtocolKind::kDijkstraRing:
-      return "dijkstra-ring";
-  }
-  return "?";
-}
-
-ProtocolKind protocol_by_name(const std::string& name) {
-  if (name == "ssme") return ProtocolKind::kSsme;
-  if (name == "ssme-safety") return ProtocolKind::kSsmeSafety;
-  if (name == "dijkstra-ring") return ProtocolKind::kDijkstraRing;
-  fail("unknown protocol '" + name + "' (see `specstab campaign --help`)");
+std::string protocol_by_name(const std::string& name) {
+  // at() throws std::invalid_argument listing the registered names.
+  return ProtocolRegistry::instance().at(name).info.name;
 }
 
 std::vector<std::string> known_protocols() {
-  return {"ssme", "ssme-safety", "dijkstra-ring"};
+  return ProtocolRegistry::instance().names();
 }
 
-std::string_view init_name(InitFamily f) {
-  switch (f) {
-    case InitFamily::kRandom:
-      return "random";
-    case InitFamily::kZero:
-      return "zero";
-    case InitFamily::kTwoGradient:
-      return "two-gradient";
-    case InitFamily::kMaxTokens:
-      return "max-tokens";
+std::string init_by_name(const std::string& name) {
+  const auto known = known_inits();
+  if (std::find(known.begin(), known.end(), name) == known.end()) {
+    std::string joined;
+    for (const auto& k : known) joined += joined.empty() ? k : " | " + k;
+    fail("unknown init family '" + name + "' (" + joined + ")");
   }
-  return "?";
-}
-
-InitFamily init_by_name(const std::string& name) {
-  if (name == "random") return InitFamily::kRandom;
-  if (name == "zero") return InitFamily::kZero;
-  if (name == "two-gradient") return InitFamily::kTwoGradient;
-  if (name == "max-tokens") return InitFamily::kMaxTokens;
-  fail("unknown init family '" + name +
-       "' (random | zero | two-gradient | max-tokens)");
+  return name;
 }
 
 std::vector<std::string> known_inits() {
-  return {"random", "zero", "two-gradient", "max-tokens"};
+  // The union of every registered protocol's init families, in first-seen
+  // order — a plug-in protocol declaring a new family is immediately
+  // accepted by `campaign --inits` too.
+  std::vector<std::string> out;
+  for (const auto& entry : ProtocolRegistry::instance().entries()) {
+    for (const auto& init : entry.info.inits) {
+      if (std::find(out.begin(), out.end(), init) == out.end()) {
+        out.push_back(init);
+      }
+    }
+  }
+  return out;
 }
 
 std::string TopologySpec::label() const {
@@ -117,8 +104,7 @@ std::vector<TopologySpec> sized_family(const std::string& family,
 }
 
 bool daemon_is_randomized(const std::string& name) {
-  return name == "central-random" || name == "random-subset" ||
-         name == "locally-central" || name.starts_with("bernoulli-");
+  return daemon_name_is_randomized(name);
 }
 
 std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t protocol_idx,
@@ -136,31 +122,31 @@ std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t protocol_idx,
 std::vector<Scenario> expand_grid(const CampaignGrid& grid) {
   std::vector<Scenario> items;
   const std::size_t reps = grid.reps == 0 ? 1 : grid.reps;
+  const auto& registry = ProtocolRegistry::instance();
   for (std::size_t pi = 0; pi < grid.protocols.size(); ++pi) {
-    const ProtocolKind proto = grid.protocols[pi];
-    const bool dijkstra = proto == ProtocolKind::kDijkstraRing;
+    // Unknown protocol names throw here, before any work is scheduled.
+    const ProtocolEntry& entry = registry.at(grid.protocols[pi]);
     for (std::size_t ti = 0; ti < grid.topologies.size(); ++ti) {
       const TopologySpec& topo = grid.topologies[ti];
-      if (dijkstra && topo.family != "ring") continue;
+      if (entry.info.ring_only && topo.family != "ring") continue;
       for (std::size_t di = 0; di < grid.daemons.size(); ++di) {
         for (std::size_t ii = 0; ii < grid.inits.size(); ++ii) {
-          const InitFamily init = grid.inits[ii];
-          if (init == InitFamily::kTwoGradient && dijkstra) continue;
-          if (init == InitFamily::kMaxTokens && !dijkstra) continue;
+          const std::string& init = grid.inits[ii];
+          if (!entry.supports_init(init)) continue;
           // Repetitions only matter where the seed matters: a
           // deterministic init family under a deterministic daemon runs
           // the same execution every time, so one repetition carries all
           // the information; a randomized daemon samples a new schedule
           // per seed even from a fixed initial configuration.
           const std::size_t cell_reps =
-              (init == InitFamily::kRandom ||
+              (entry.info.init_is_seeded(init) ||
                daemon_is_randomized(grid.daemons[di]))
                   ? reps
                   : 1;
           for (std::size_t r = 0; r < cell_reps; ++r) {
             Scenario s;
             s.index = items.size();
-            s.protocol = proto;
+            s.protocol = entry.info.name;
             s.topology = topo;
             s.daemon = grid.daemons[di];
             s.init = init;

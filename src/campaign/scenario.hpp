@@ -4,11 +4,16 @@
 // runs*: a protocol, a topology, a daemon, and an adversarial initial
 // configuration together determine one execution.  A CampaignGrid names
 // one finite slice of that space per axis; expand_grid() takes the cross
-// product, prunes combinations that are not meaningful (Dijkstra's ring
-// off a ring, the two-gradient witness for a non-clock protocol), and
-// assigns every work item a seed that is a pure function of its grid
-// coordinates — never of expansion order or thread schedule — so a
-// campaign is bit-identical at any parallelism.
+// product, prunes combinations the protocol registry declares
+// meaningless (Dijkstra's ring off a ring, an init family the protocol
+// does not support), and assigns every work item a seed that is a pure
+// function of its grid coordinates — never of expansion order or thread
+// schedule — so a campaign is bit-identical at any parallelism.
+//
+// Protocols are addressed by their registry name
+// (sim/protocol_registry.hpp), so one grid can sweep *across* protocols:
+// every registered protocol is a valid value of the protocol axis and
+// new protocols join campaigns without touching this module.
 #ifndef SPECSTAB_CAMPAIGN_SCENARIO_HPP
 #define SPECSTAB_CAMPAIGN_SCENARIO_HPP
 
@@ -21,31 +26,19 @@
 
 namespace specstab::campaign {
 
-/// Protocol under test plus the legitimacy predicate the stabilization
-/// time is measured into.
-enum class ProtocolKind {
-  kSsme,          ///< SSME dynamics, Gamma_1 legitimacy (Theorems 1, 3)
-  kSsmeSafety,    ///< SSME dynamics, spec_ME safety slice (Theorem 2)
-  kDijkstraRing,  ///< Dijkstra's K-state ring, single-token legitimacy
-};
-
-[[nodiscard]] std::string_view protocol_name(ProtocolKind p);
-/// Inverse of protocol_name; throws std::invalid_argument on unknown
-/// names.
-[[nodiscard]] ProtocolKind protocol_by_name(const std::string& name);
+/// Canonical protocol name: validated against the registry (throws
+/// std::invalid_argument, listing the registered names, on unknown
+/// input).
+[[nodiscard]] std::string protocol_by_name(const std::string& name);
+/// All registered protocol names (the protocol axis's value space).
 [[nodiscard]] std::vector<std::string> known_protocols();
 
-/// Family of initial configurations (transient faults may corrupt the
-/// whole state, so stabilization is measured from arbitrary configs).
-enum class InitFamily {
-  kRandom,       ///< uniformly random registers, one per repetition seed
-  kZero,         ///< all-zeros (legitimate from the start for SSME)
-  kTwoGradient,  ///< Theorem-4 witness on a diameter pair (SSME only)
-  kMaxTokens,    ///< all counters distinct (Dijkstra's ring only)
-};
-
-[[nodiscard]] std::string_view init_name(InitFamily f);
-[[nodiscard]] InitFamily init_by_name(const std::string& name);
+/// Canonical init-family name: random | zero | two-gradient | max-tokens
+/// (transient faults may corrupt the whole state, so stabilization is
+/// measured from arbitrary configs; which families a protocol supports
+/// is declared in its registry entry).  Throws std::invalid_argument on
+/// unknown names.
+[[nodiscard]] std::string init_by_name(const std::string& name);
 [[nodiscard]] std::vector<std::string> known_inits();
 
 /// One topology instance: a generator family plus its parameters.
@@ -77,10 +70,10 @@ struct TopologySpec {
 /// (zero/two-gradient/max-tokens) under a deterministic daemon —
 /// collapse to a single rep.
 struct CampaignGrid {
-  std::vector<ProtocolKind> protocols;
+  std::vector<std::string> protocols;  ///< registry names
   std::vector<TopologySpec> topologies;
-  std::vector<std::string> daemons;  ///< names for make_daemon()
-  std::vector<InitFamily> inits;
+  std::vector<std::string> daemons;    ///< names for make_daemon()
+  std::vector<std::string> inits;      ///< init-family names
   std::size_t reps = 1;
   std::uint64_t base_seed = 0x5eedcab5u;
 
@@ -95,18 +88,17 @@ struct CampaignGrid {
 /// One work item: a fully determined execution.
 struct Scenario {
   std::size_t index = 0;  ///< position in the expanded grid (stable)
-  ProtocolKind protocol = ProtocolKind::kSsme;
+  std::string protocol = "ssme";  ///< registry name
   TopologySpec topology;
   std::string daemon;
-  InitFamily init = InitFamily::kRandom;
+  std::string init = "random";    ///< init-family name
   std::size_t rep = 0;
   std::uint64_t seed = 0;    ///< derived from grid coordinates only
   StepIndex max_steps = 0;   ///< 0: protocol-appropriate default
 };
 
-/// True for daemon names whose schedule depends on the seed
-/// (central-random, random-subset, locally-central, bernoulli-<p>);
-/// deterministic daemons replay the same schedule at every seed.
+/// True for daemon names whose schedule depends on the seed; resolved
+/// against the canonical daemon catalog (sim/daemon.hpp).
 [[nodiscard]] bool daemon_is_randomized(const std::string& name);
 
 /// Deterministic per-item seed: a splitmix64-style mix of the campaign
@@ -118,12 +110,13 @@ struct Scenario {
                                           std::size_t init_idx,
                                           std::size_t rep);
 
-/// Cross product of the axes minus meaningless combinations:
-///   - kDijkstraRing only on `ring` topologies,
-///   - kTwoGradient only for SSME protocols,
-///   - kMaxTokens only for kDijkstraRing.
-/// Items are indexed in axis-nested order (protocol, topology, daemon,
-/// init, rep) and carry coordinate-derived seeds.
+/// Cross product of the axes minus the combinations the registry
+/// declares meaningless: ring-only protocols are pruned off non-ring
+/// topologies, and (protocol, init) pairs the protocol's entry does not
+/// support are skipped (e.g. two-gradient off SSME, max-tokens off
+/// Dijkstra's ring).  Throws std::invalid_argument on unregistered
+/// protocol names.  Items are indexed in axis-nested order (protocol,
+/// topology, daemon, init, rep) and carry coordinate-derived seeds.
 [[nodiscard]] std::vector<Scenario> expand_grid(const CampaignGrid& grid);
 
 }  // namespace specstab::campaign

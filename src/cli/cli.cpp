@@ -30,6 +30,7 @@
 #include "graph/properties.hpp"
 #include "sim/engine.hpp"
 #include "sim/incremental_engine.hpp"
+#include "sim/protocol_registry.hpp"
 #include "sim/visualize.hpp"
 #include "unison/parameters.hpp"
 
@@ -90,9 +91,11 @@ double parse_double(const std::string& token, const std::string& what) {
   }
 }
 
-/// Named options of the form --name value (seed, steps, daemon, configs,
-/// engine).
+/// Named options of the form --name value (protocol, init, seed, steps,
+/// daemon, configs, engine).
 struct Options {
+  std::string protocol;     ///< registry name; empty: subcommand default
+  std::string init;         ///< init family; empty: protocol default
   std::uint64_t seed = 42;
   StepIndex max_steps = 0;  ///< 0: pick a protocol-appropriate default
   std::string daemon = "synchronous";
@@ -100,6 +103,16 @@ struct Options {
   bool dot = false;
   EngineKind engine = EngineKind::kIncremental;
 };
+
+/// Guard for the SSME-specific analysis subcommands: silently running
+/// SSME while the user asked for another protocol would mislabel the
+/// result.
+void reject_protocol_options(const Options& opt, const std::string& cmd) {
+  if (!opt.protocol.empty() || !opt.init.empty()) {
+    fail(cmd + " is SSME-specific and does not take --protocol/--init "
+               "(use `specstab run --protocol <name>` instead)");
+  }
+}
 
 Options parse_options(const std::vector<std::string>& args, std::size_t pos) {
   Options opt;
@@ -112,7 +125,11 @@ Options parse_options(const std::vector<std::string>& args, std::size_t pos) {
     }
     if (pos + 1 >= args.size()) fail("missing value for " + flag);
     const std::string& value = args[pos + 1];
-    if (flag == "--seed") {
+    if (flag == "--protocol") {
+      opt.protocol = value;
+    } else if (flag == "--init") {
+      opt.init = value;
+    } else if (flag == "--seed") {
       opt.seed = static_cast<std::uint64_t>(
           parse_double(value, "--seed"));
     } else if (flag == "--steps") {
@@ -137,24 +154,69 @@ std::string usage() {
   os << "specstab — speculative self-stabilization toolkit\n"
      << "usage: specstab <subcommand> [arguments]\n\n"
      << "subcommands:\n"
+     << "  list      [--names]                registered protocols + daemons\n"
      << "  topologies                         list graph families\n"
      << "  daemons                            list daemon names\n"
      << "  params    <family> <args..>        graph + protocol parameters\n"
      << "  graph     <family> <args..> [--dot] emit edge list or DOT\n"
-     << "  run       <family> <args..> [--daemon D] [--seed S] [--steps N]\n"
-     << "                                     run SSME from a random config\n"
+     << "  run       <family> <args..> [--protocol P] [--init I]\n"
+     << "            [--daemon D] [--seed S] [--steps N]\n"
+     << "                                     run any registered protocol\n"
+     << "                                     (default: ssme)\n"
      << "  witness   <family> <args..> [--steps N]\n"
      << "                                     two-gradient witness + wave\n"
      << "  speculate <family> <args..> [--configs C] [--seed S]\n"
      << "                                     sd vs portfolio verdict\n"
-     << "  elect     <family> <args..> [opts] run leader election (Sec. 6)\n"
-     << "  color     <family> <args..> [opts] run (Delta+1)-coloring (Sec. 6)\n"
+     << "  elect     <family> <args..> [opts] alias: run --protocol leader\n"
+     << "  color     <family> <args..> [opts] alias: run --protocol coloring\n"
      << "  campaign  [grid options]           parallel scenario sweep; see\n"
      << "                                     `specstab campaign --help`\n\n"
      << "run/witness/speculate/elect/color/campaign accept\n"
      << "  --engine incremental|reference     dirty-set engine (default) or\n"
      << "                                     the full-rescan oracle\n";
   return os.str();
+}
+
+/// `specstab list`: the registry and the daemon catalog, as one table
+/// each.  `--names` prints bare protocol names (one per line) for
+/// scripting — the CI registry-smoke job iterates it.
+CliResult cmd_list(const std::vector<std::string>& args) {
+  bool names_only = false;
+  for (const auto& arg : args) {
+    if (arg == "--names") {
+      names_only = true;
+    } else {
+      fail("unknown option " + arg + " (list accepts --names)");
+    }
+  }
+  std::ostringstream os;
+  const auto& registry = ProtocolRegistry::instance();
+  if (names_only) {
+    for (const auto& entry : registry.entries()) os << entry.info.name << '\n';
+    return {0, os.str()};
+  }
+  os << "protocols (run with `specstab run <family> <args..> --protocol "
+        "<name>`):\n"
+     << "  " << std::left << std::setw(18) << "name" << std::setw(10)
+     << "topology" << std::setw(26) << "inits (first = default)"
+     << std::setw(34) << "vertex state" << "description\n";
+  for (const auto& entry : registry.entries()) {
+    std::string inits;
+    for (const auto& i : entry.info.inits) {
+      inits += inits.empty() ? i : " " + i;
+    }
+    os << "  " << std::left << std::setw(18) << entry.info.name
+       << std::setw(10) << (entry.info.ring_only ? "ring" : "any")
+       << std::setw(26) << inits << std::setw(34) << entry.info.state_model
+       << entry.info.description << '\n';
+  }
+  os << "\ndaemons (--daemon <name>):\n";
+  for (const auto& info : daemon_catalog()) {
+    os << "  " << std::left << std::setw(18) << info.name
+       << (info.randomized ? "seeded " : "       ") << info.description
+       << '\n';
+  }
+  return {0, os.str()};
 }
 
 std::string campaign_usage() {
@@ -164,11 +226,14 @@ std::string campaign_usage() {
      << "seeds) and executes it on a thread pool; results are bit-identical\n"
      << "at any thread count.\n\n"
      << "grid options:\n"
-     << "  --preset thm2|thm3|xover|demo  start from a predefined grid\n"
-     << "                                 (default: demo)\n"
+     << "  --preset thm2|thm3|xover|sweep|demo\n"
+     << "                                 start from a predefined grid\n"
+     << "                                 (default: demo; sweep = every\n"
+     << "                                 registered protocol)\n"
      << "  --smoke                        shrink the preset to a CI-sized\n"
      << "                                 grid\n"
-     << "  --protocols a,b                ssme | ssme-safety | dijkstra-ring\n"
+     << "  --protocols a,b                any registered protocol name\n"
+     << "                                 (see `specstab list`)\n"
      << "  --families f1,f2               single-parameter topology families\n"
      << "                                 (ring path star complete hypercube\n"
      << "                                 btree wheel); grid/torus become\n"
@@ -300,8 +365,11 @@ CliResult cmd_campaign(const std::vector<std::string>& args) {
     grid = cmp::thm3_grid(smoke);
   } else if (preset == "xover") {
     grid = cmp::xover_grid(smoke);
+  } else if (preset == "sweep") {
+    grid = cmp::sweep_grid(smoke);
   } else {
-    fail("unknown preset '" + preset + "' (thm2 | thm3 | xover | demo)");
+    fail("unknown preset '" + preset +
+         "' (thm2 | thm3 | xover | sweep | demo)");
   }
 
   if (!protocols.empty()) {
@@ -382,7 +450,10 @@ CliResult cmd_topologies() {
 
 CliResult cmd_daemons() {
   std::ostringstream os;
-  for (const auto& d : known_daemons()) os << d << '\n';
+  for (const auto& info : daemon_catalog()) {
+    os << std::left << std::setw(18) << info.name << info.description
+       << '\n';
+  }
   return {0, os.str()};
 }
 
@@ -420,55 +491,74 @@ CliResult cmd_graph(const std::vector<std::string>& args) {
   return {0, opt.dot ? g.to_dot() : to_edge_list(g)};
 }
 
-CliResult cmd_run(const std::vector<std::string>& args) {
+/// The generic run path: any registered protocol, composed at runtime
+/// with a topology, daemon, init family and engine.  `forced_protocol`
+/// serves the thin aliases (elect, color); an explicit --protocol always
+/// wins.
+CliResult cmd_run(const std::vector<std::string>& args,
+                  const std::string& forced_protocol = "") {
   std::size_t pos = 0;
+  const std::string family = args.empty() ? "" : args[0];
   const Graph g = graph_from_spec(args, pos);
   const Options opt = parse_options(args, pos);
-  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
-  const auto daemon = daemon_by_name(opt.daemon, opt.seed);
 
-  RunOptions run_opt;
-  run_opt.engine = opt.engine;
-  run_opt.max_steps = opt.max_steps > 0
-                          ? opt.max_steps
-                          : 20 * (proto.params().k + proto.params().n);
-  MutexSpecMonitor monitor(g, proto);
-  auto checker = make_gamma1_checker(proto);
-  const auto res = run_with_engine(
-      g, proto, *daemon, random_config(g, proto.clock(), opt.seed), run_opt,
-      checker,
-      [&monitor](StepIndex step, const Config<ClockValue>& cfg,
-                 const std::vector<VertexId>& activated) {
-        monitor.on_action(step, cfg, activated);
-      });
-  monitor.finish(res.steps, res.final_config);
-  const auto& report = monitor.report();
+  std::string protocol = opt.protocol;
+  if (protocol.empty()) {
+    protocol = forced_protocol.empty() ? "ssme" : forced_protocol;
+  }
+  // Ring-only topology validation happens inside the session (the
+  // structural check, so `file`-loaded rings qualify).
+  const ProtocolEntry& entry = ProtocolRegistry::instance().at(protocol);
+
+  SessionSpec spec;
+  spec.daemon = opt.daemon;
+  spec.init = opt.init;
+  spec.seed = opt.seed;
+  spec.max_steps = opt.max_steps;
+  spec.engine = opt.engine;
+  const SessionResult res = entry.run(g, spec);
 
   std::ostringstream os;
-  os << "engine:        " << engine_name(run_opt.engine) << '\n'
-     << "daemon:        " << daemon->name() << '\n'
-     << "steps run:     " << res.steps << " (moves " << res.moves
-     << ", rounds " << res.rounds << ")\n"
-     << "Gamma_1 entry: "
-     << (res.converged() ? std::to_string(res.convergence_steps())
-                         : std::string("not reached"))
+  os << "protocol:   " << entry.info.name << " — " << entry.info.description
      << '\n'
-     << "spec_ME:       last safety violation at step "
-     << report.last_safety_violation << " -> safety stabilized after "
-     << report.stabilization_steps() << " steps\n"
-     << "liveness:      min critical sections per vertex "
-     << report.min_cs_executions() << '\n'
-     << "bound check:   sync bound " << ssme_sync_bound(proto.params().diam)
-     << ", async bound " << ssme_ud_bound(proto.params().n,
-                                          proto.params().diam)
+     << "topology:   " << family << " (n = " << g.n() << ", m = " << g.m()
+     << ")\n"
+     << "daemon:     " << opt.daemon << '\n'
+     << "engine:     " << engine_name(opt.engine) << '\n'
+     << "init:       "
+     << (opt.init.empty() ? entry.info.inits.front() + " (default)"
+                          : opt.init)
+     << ", seed " << opt.seed << '\n'
+     << "steps run:  " << res.steps << " (moves " << res.moves << ", rounds "
+     << res.rounds << ")"
+     << (res.terminated ? "  [terminal]"
+                        : res.hit_step_cap ? "  [step cap]" : "")
+     << '\n'
+     << "converged:  "
+     << (res.converged ? "yes, at step " +
+                             std::to_string(res.convergence_steps) +
+                             " (moves " +
+                             std::to_string(res.moves_to_convergence) +
+                             ", rounds " +
+                             std::to_string(res.rounds_to_convergence) + ")"
+                       : std::string("NO"))
      << '\n';
-  return {res.converged() ? 0 : 2, os.str()};
+  if (res.closure_violations > 0) {
+    os << "closure:    " << res.closure_violations
+       << " legitimate -> illegitimate transitions\n";
+  }
+  for (const auto& note : res.notes) os << "note:       " << note << '\n';
+  // Silent protocols must reach their terminal configuration, not just
+  // the legitimate set (elect/color's original acceptance check).
+  const bool ok = res.converged && (!entry.info.silent || res.terminated);
+  return {ok ? 0 : 2, os.str()};
 }
 
 CliResult cmd_witness(const std::vector<std::string>& args) {
   std::size_t pos = 0;
   const Graph g = graph_from_spec(args, pos);
   const Options opt = parse_options(args, pos);
+  reject_protocol_options(opt, "witness");
   const SsmeProtocol proto = SsmeProtocol::for_graph(g);
   const auto [u, v] = diameter_pair(g);
 
@@ -489,7 +579,7 @@ CliResult cmd_witness(const std::vector<std::string>& args) {
      << two_gradient_violation_step(g, u, v) << ":\n\n";
   WaveRenderOptions render;
   render.max_rows = 24;
-  os << render_clock_wave(g, proto, res.trace, render) << '\n'
+  os << render_clock_wave(g, proto, res.trace.materialize(), render) << '\n'
      << "Gamma_1 entry at step "
      << (res.converged() ? std::to_string(res.convergence_steps())
                          : std::string("(not reached)"))
@@ -502,6 +592,7 @@ CliResult cmd_speculate(const std::vector<std::string>& args) {
   std::size_t pos = 0;
   const Graph g = graph_from_spec(args, pos);
   const Options opt = parse_options(args, pos);
+  reject_protocol_options(opt, "speculate");
   const SsmeProtocol proto = SsmeProtocol::for_graph(g);
 
   auto inits = random_configs(g, proto.clock(), opt.configs, opt.seed);
@@ -539,60 +630,6 @@ CliResult cmd_speculate(const std::vector<std::string>& args) {
   os << (ok ? "verdict: speculatively stabilizing (both bounds hold)\n"
             : "verdict: BOUND VIOLATION (see rows above)\n");
   return {ok ? 0 : 2, os.str()};
-}
-
-CliResult cmd_elect(const std::vector<std::string>& args) {
-  std::size_t pos = 0;
-  const Graph g = graph_from_spec(args, pos);
-  const Options opt = parse_options(args, pos);
-  const LeaderElectionProtocol proto(g);
-  const auto daemon = daemon_by_name(opt.daemon, opt.seed);
-  RunOptions run_opt;
-  run_opt.engine = opt.engine;
-  run_opt.max_steps =
-      opt.max_steps > 0 ? opt.max_steps : 2000 * static_cast<StepIndex>(g.n());
-  auto checker = make_leader_election_checker(proto, g);
-  const auto res = run_with_engine(
-      g, proto, *daemon, random_leader_config(g, opt.seed), run_opt, checker);
-  std::ostringstream os;
-  os << "daemon:     " << daemon->name() << '\n'
-     << "leader:     identity " << proto.min_id() << " (vertex "
-     << proto.min_id_vertex() << ")\n"
-     << "terminated: " << (res.terminated ? "yes (silent protocol)" : "NO")
-     << '\n'
-     << "steps:      " << res.steps << " (moves " << res.moves << ")\n"
-     << "elected:    "
-     << (proto.legitimate(g, res.final_config) ? "yes" : "NO") << '\n';
-  return {res.terminated && proto.legitimate(g, res.final_config) ? 0 : 2,
-          os.str()};
-}
-
-CliResult cmd_color(const std::vector<std::string>& args) {
-  std::size_t pos = 0;
-  const Graph g = graph_from_spec(args, pos);
-  const Options opt = parse_options(args, pos);
-  const ColoringProtocol proto(g);
-  const auto daemon = daemon_by_name(opt.daemon, opt.seed);
-  RunOptions run_opt;
-  run_opt.engine = opt.engine;
-  run_opt.max_steps =
-      opt.max_steps > 0 ? opt.max_steps : 2000 * static_cast<StepIndex>(g.n());
-  const auto init = random_coloring_config(g, proto.palette_size(), opt.seed);
-  auto checker = make_coloring_checker(proto);
-  const auto res =
-      run_with_engine(g, proto, *daemon, init, run_opt, checker);
-  std::ostringstream os;
-  os << "daemon:     " << daemon->name() << '\n'
-     << "palette:    " << proto.palette_size() << " colors (max degree + 1)\n"
-     << "initial:    " << proto.conflict_count(g, init)
-     << " monochromatic edges\n"
-     << "terminated: " << (res.terminated ? "yes (silent protocol)" : "NO")
-     << '\n'
-     << "steps:      " << res.steps << " (moves " << res.moves << ")\n"
-     << "final:      " << proto.conflict_count(g, res.final_config)
-     << " monochromatic edges\n";
-  return {res.terminated && proto.legitimate(g, res.final_config) ? 0 : 2,
-          os.str()};
 }
 
 }  // namespace
@@ -660,6 +697,7 @@ CliResult run_cli(const std::vector<std::string>& args) {
   const std::string& cmd = args[0];
   const std::vector<std::string> rest(args.begin() + 1, args.end());
   try {
+    if (cmd == "list") return cmd_list(rest);
     if (cmd == "topologies") return cmd_topologies();
     if (cmd == "daemons") return cmd_daemons();
     if (cmd == "params") return cmd_params(rest);
@@ -667,8 +705,8 @@ CliResult run_cli(const std::vector<std::string>& args) {
     if (cmd == "run") return cmd_run(rest);
     if (cmd == "witness") return cmd_witness(rest);
     if (cmd == "speculate") return cmd_speculate(rest);
-    if (cmd == "elect") return cmd_elect(rest);
-    if (cmd == "color") return cmd_color(rest);
+    if (cmd == "elect") return cmd_run(rest, "leader");
+    if (cmd == "color") return cmd_run(rest, "coloring");
     if (cmd == "campaign") return cmd_campaign(rest);
     return {1, "unknown subcommand '" + cmd + "'\n\n" + usage()};
   } catch (const std::invalid_argument& e) {

@@ -4,14 +4,18 @@
 // tests.
 //
 // Subcommands:
+//   list      [--names]                 registered protocols + daemons
 //   topologies                          list the generator families
 //   params    <family> <args..>         graph + unison/SSME parameters
 //   graph     <family> <args..> [--dot] emit the edge list (or DOT)
-//   run       <family> <args..> [opts]  run SSME, report convergence
+//   run       <family> <args..> [opts]  run any registered protocol
+//                                       (--protocol, default ssme)
 //   witness   <family> <args..> [opts]  run the two-gradient witness and
 //                                       render the clock wave
 //   speculate <family> <args..> [opts]  Definition-4 verdict: sd vs
 //                                       adversary portfolio
+//   elect / color                       aliases of run --protocol
+//                                       leader / coloring
 //   daemons                             list the daemon names `run`
 //                                       accepts
 //   campaign  [grid options]            expand a scenario grid and run it

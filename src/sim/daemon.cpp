@@ -247,44 +247,114 @@ void ScheduledDaemon::reset() {
   fallback_->reset();
 }
 
+namespace {
+
+/// Catalog row plus the machinery the public accessors strip off: how a
+/// request matches the row (exact name or the bernoulli-<p> pattern) and
+/// how to construct the daemon from the matched request.
+struct DaemonSpec {
+  DaemonInfo info;
+  bool (*matches)(const std::string& name);
+  std::unique_ptr<Daemon> (*make)(const std::string& name,
+                                  std::uint64_t seed);
+};
+
+std::unique_ptr<Daemon> make_bernoulli(const std::string& name,
+                                       std::uint64_t seed) {
+  double p = 0.0;
+  try {
+    std::size_t used = 0;
+    p = std::stod(name.substr(10), &used);
+    if (used != name.size() - 10) throw std::invalid_argument(name);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad bernoulli activation probability in '" +
+                                name + "'");
+  }
+  if (p <= 0.0 || p > 1.0) {
+    throw std::invalid_argument("bernoulli probability must be in (0, 1]");
+  }
+  return std::make_unique<DistributedBernoulliDaemon>(p, seed);
+}
+
+const std::vector<DaemonSpec>& daemon_table() {
+  static const std::vector<DaemonSpec> table = {
+      {{"synchronous", "sd: activates every enabled vertex", false},
+       [](const std::string& n) { return n == "synchronous"; },
+       [](const std::string&, std::uint64_t) -> std::unique_ptr<Daemon> {
+         return std::make_unique<SynchronousDaemon>();
+       }},
+      {{"central-rr", "fair central schedule, id order", false},
+       [](const std::string& n) { return n == "central-rr"; },
+       [](const std::string&, std::uint64_t) -> std::unique_ptr<Daemon> {
+         return std::make_unique<CentralRoundRobinDaemon>();
+       }},
+      {{"central-random", "one uniformly random enabled vertex", true},
+       [](const std::string& n) { return n == "central-random"; },
+       [](const std::string&, std::uint64_t seed) -> std::unique_ptr<Daemon> {
+         return std::make_unique<CentralRandomDaemon>(seed);
+       }},
+      {{"central-min-id", "unfair: always the smallest enabled id", false},
+       [](const std::string& n) { return n == "central-min-id"; },
+       [](const std::string&, std::uint64_t) -> std::unique_ptr<Daemon> {
+         return std::make_unique<CentralMinIdDaemon>();
+       }},
+      {{"central-max-id", "unfair: always the largest enabled id", false},
+       [](const std::string& n) { return n == "central-max-id"; },
+       [](const std::string&, std::uint64_t) -> std::unique_ptr<Daemon> {
+         return std::make_unique<CentralMaxIdDaemon>();
+       }},
+      {{"random-subset", "uniform non-empty subset of the enabled set",
+        true},
+       [](const std::string& n) { return n == "random-subset"; },
+       [](const std::string&, std::uint64_t seed) -> std::unique_ptr<Daemon> {
+         return std::make_unique<RandomSubsetDaemon>(seed);
+       }},
+      {{"locally-central", "maximal independent subset per action", true},
+       [](const std::string& n) { return n == "locally-central"; },
+       [](const std::string&, std::uint64_t seed) -> std::unique_ptr<Daemon> {
+         return std::make_unique<LocallyCentralDaemon>(seed);
+       }},
+      {{"bernoulli-<p>", "each enabled vertex independently with prob. p",
+        true},
+       [](const std::string& n) { return n.starts_with("bernoulli-"); },
+       make_bernoulli},
+  };
+  return table;
+}
+
+}  // namespace
+
+const std::vector<DaemonInfo>& daemon_catalog() {
+  static const std::vector<DaemonInfo> catalog = [] {
+    std::vector<DaemonInfo> out;
+    out.reserve(daemon_table().size());
+    for (const auto& spec : daemon_table()) out.push_back(spec.info);
+    return out;
+  }();
+  return catalog;
+}
+
 std::unique_ptr<Daemon> make_daemon(const std::string& name,
                                     std::uint64_t seed) {
-  if (name == "synchronous") return std::make_unique<SynchronousDaemon>();
-  if (name == "central-rr") return std::make_unique<CentralRoundRobinDaemon>();
-  if (name == "central-random") {
-    return std::make_unique<CentralRandomDaemon>(seed);
-  }
-  if (name == "central-min-id") return std::make_unique<CentralMinIdDaemon>();
-  if (name == "central-max-id") return std::make_unique<CentralMaxIdDaemon>();
-  if (name == "random-subset") {
-    return std::make_unique<RandomSubsetDaemon>(seed);
-  }
-  if (name == "locally-central") {
-    return std::make_unique<LocallyCentralDaemon>(seed);
-  }
-  if (name.starts_with("bernoulli-")) {
-    double p = 0.0;
-    try {
-      std::size_t used = 0;
-      p = std::stod(name.substr(10), &used);
-      if (used != name.size() - 10) throw std::invalid_argument(name);
-    } catch (const std::exception&) {
-      throw std::invalid_argument("bad bernoulli activation probability in '" +
-                                  name + "'");
-    }
-    if (p <= 0.0 || p > 1.0) {
-      throw std::invalid_argument("bernoulli probability must be in (0, 1]");
-    }
-    return std::make_unique<DistributedBernoulliDaemon>(p, seed);
+  for (const auto& spec : daemon_table()) {
+    if (spec.matches(name)) return spec.make(name, seed);
   }
   throw std::invalid_argument("unknown daemon '" + name +
                               "' (see `specstab daemons`)");
 }
 
 std::vector<std::string> known_daemon_names() {
-  return {"synchronous",    "central-rr",      "central-random",
-          "central-min-id", "central-max-id",  "random-subset",
-          "locally-central", "bernoulli-<p>"};
+  std::vector<std::string> out;
+  out.reserve(daemon_catalog().size());
+  for (const auto& info : daemon_catalog()) out.push_back(info.name);
+  return out;
+}
+
+bool daemon_name_is_randomized(const std::string& name) {
+  for (const auto& spec : daemon_table()) {
+    if (spec.matches(name)) return spec.info.randomized;
+  }
+  return false;
 }
 
 }  // namespace specstab

@@ -323,16 +323,36 @@ class ScheduledDaemon final : public Daemon {
   std::unique_ptr<Daemon> fallback_;
 };
 
-/// Daemon factory by name: synchronous | central-rr | central-random |
-/// central-min-id | central-max-id | bernoulli-<p> (e.g. bernoulli-0.5) |
-/// random-subset | locally-central.  Throws std::invalid_argument on
-/// unknown names.  `seed` feeds the randomized daemons and is ignored by
-/// the deterministic ones.
+/// One row of the canonical daemon catalog — the single source of truth
+/// for the daemon names available by string.  make_daemon(), the CLI
+/// `daemons` and `list` subcommands, and the campaign's repetition logic
+/// all query this table, so a daemon added here is immediately
+/// constructible, listed, and classified everywhere.
+struct DaemonInfo {
+  std::string name;         ///< concrete name, or the "bernoulli-<p>" pattern
+  std::string description;  ///< one line for listings
+  bool randomized = false;  ///< schedule depends on the seed
+};
+
+/// The catalog, in listing order.
+[[nodiscard]] const std::vector<DaemonInfo>& daemon_catalog();
+
+/// Daemon factory by name: every catalog row (synchronous | central-rr |
+/// central-random | central-min-id | central-max-id | random-subset |
+/// locally-central | bernoulli-<p>, e.g. bernoulli-0.5).  Throws
+/// std::invalid_argument on unknown names.  `seed` feeds the randomized
+/// daemons and is ignored by the deterministic ones.
 [[nodiscard]] std::unique_ptr<Daemon> make_daemon(const std::string& name,
                                                   std::uint64_t seed);
 
-/// Names accepted by make_daemon (for listings and error messages).
+/// Names accepted by make_daemon (the catalog's name column).
 [[nodiscard]] std::vector<std::string> known_daemon_names();
+
+/// True for daemon names whose schedule depends on the seed
+/// (central-random, random-subset, locally-central, bernoulli-<p>);
+/// deterministic daemons replay the same schedule at every seed.
+/// Resolved against the catalog.
+[[nodiscard]] bool daemon_name_is_randomized(const std::string& name);
 
 }  // namespace specstab
 

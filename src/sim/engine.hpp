@@ -61,8 +61,11 @@ struct RunOptions {
   /// post-convergence work while still exercising closure).
   std::optional<StepIndex> steps_after_convergence;
 
-  /// Record every configuration (gamma_0 .. gamma_steps) in
-  /// RunResult::trace.  Memory-heavy; meant for tests and spec checkers.
+  /// Record the execution trace (gamma_0 .. gamma_steps) in
+  /// RunResult::trace as gamma_0 plus per-action deltas (activated set +
+  /// changed-vertex before/after states); configurations are
+  /// reconstructed on demand.  Meant for tests, spec checkers and the
+  /// session API.
   bool record_trace = false;
 };
 
@@ -87,8 +90,9 @@ struct RunResult {
   /// Completed rounds at configuration `last_illegitimate + 1`.
   StepIndex rounds_to_convergence = 0;
 
-  /// gamma_0 .. gamma_steps when RunOptions::record_trace.
-  std::vector<Config<State>> trace;
+  /// gamma_0 .. gamma_steps when RunOptions::record_trace, stored as
+  /// deltas (see DeltaTrace).
+  DeltaTrace<State> trace;
 
   /// Convergence time in actions: the index of the earliest configuration
   /// from which the run stayed legitimate (valid when converged()).
@@ -137,7 +141,7 @@ RunResult<typename P::State> run_execution(
     }
   };
 
-  if (opt.record_trace) res.trace.push_back(cfg);
+  if (opt.record_trace) res.trace.start(cfg);
   note_legitimacy(0);
 
   auto enabled = enabled_vertices(g, proto, cfg);
@@ -166,6 +170,12 @@ RunResult<typename P::State> run_execution(
     std::vector<std::pair<VertexId, State>> updates;
     updates.reserve(activated.size());
     for (VertexId v : activated) updates.emplace_back(v, proto.apply(g, cfg, v));
+    if (opt.record_trace) {
+      for (const auto& [v, s] : updates) {
+        res.trace.note_change(v, cfg[static_cast<std::size_t>(v)], s);
+      }
+      res.trace.seal_action(activated);
+    }
     for (auto& [v, s] : updates) cfg[static_cast<std::size_t>(v)] = std::move(s);
 
     res.moves += static_cast<std::int64_t>(activated.size());
@@ -176,7 +186,6 @@ RunResult<typename P::State> run_execution(
     rc.on_action(enabled, activated, enabled_after);
     enabled = std::move(enabled_after);
 
-    if (opt.record_trace) res.trace.push_back(cfg);
     note_legitimacy(res.steps);
   }
   res.hit_step_cap = !res.terminated && res.steps >= opt.max_steps;

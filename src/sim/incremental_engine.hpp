@@ -198,7 +198,7 @@ RunResult<typename P::State> run_execution_incremental(
     }
   };
 
-  if (opt.record_trace) res.trace.push_back(cfg);
+  if (opt.record_trace) res.trace.start(cfg);
   note_legitimacy(0, checker.init(g, cfg));
 
   EnabledSet enabled;
@@ -241,11 +241,24 @@ RunResult<typename P::State> run_execution_incremental(
       for (VertexId v : activated) {
         cfg[static_cast<std::size_t>(v)] = proto.apply(g, prev_cfg, v);
       }
+      if (opt.record_trace) {
+        for (VertexId v : activated) {
+          res.trace.note_change(v, prev_cfg[static_cast<std::size_t>(v)],
+                                cfg[static_cast<std::size_t>(v)]);
+        }
+        res.trace.seal_action(activated);
+      }
     } else {
       updates.clear();
       updates.reserve(activated.size());
       for (VertexId v : activated) {
         updates.emplace_back(v, proto.apply(g, cfg, v));
+      }
+      if (opt.record_trace) {
+        for (const auto& [v, s] : updates) {
+          res.trace.note_change(v, cfg[static_cast<std::size_t>(v)], s);
+        }
+        res.trace.seal_action(activated);
       }
       for (auto& [v, s] : updates) {
         cfg[static_cast<std::size_t>(v)] = std::move(s);
@@ -290,7 +303,6 @@ RunResult<typename P::State> run_execution_incremental(
     rc.on_action(opening_round ? round_base : enabled.vertices(), activated,
                  enabled.vertices());
 
-    if (opt.record_trace) res.trace.push_back(cfg);
     note_legitimacy(res.steps, checker_legit);
   }
   res.hit_step_cap = !res.terminated && res.steps >= opt.max_steps;

@@ -151,10 +151,10 @@ TEST(ArtifactsTest, RunsCsvHasOneLinePerRow) {
 
 TEST(ArtifactsTest, JsonIsByteIdenticalAcrossThreadCounts) {
   CampaignGrid g;
-  g.protocols = {ProtocolKind::kSsme};
+  g.protocols = {"ssme"};
   g.topologies = {{"ring", 5}, {"path", 4}};
   g.daemons = {"synchronous", "central-random"};
-  g.inits = {InitFamily::kRandom};
+  g.inits = {"random"};
   g.reps = 4;
   g.base_seed = 99;
 

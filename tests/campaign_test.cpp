@@ -19,10 +19,10 @@ namespace {
 
 CampaignGrid small_grid() {
   CampaignGrid g;
-  g.protocols = {ProtocolKind::kSsme};
+  g.protocols = {"ssme"};
   g.topologies = {{"ring", 6}, {"path", 5}};
   g.daemons = {"synchronous", "central-rr"};
-  g.inits = {InitFamily::kRandom, InitFamily::kZero};
+  g.inits = {"random", "zero"};
   g.reps = 3;
   g.base_seed = 7;
   return g;
@@ -39,7 +39,7 @@ TEST(ScenarioGridTest, ExpandsTheFullCrossProduct) {
 
 TEST(ScenarioGridTest, DeterministicInitFamiliesCollapseToOneRep) {
   CampaignGrid g = small_grid();
-  g.inits = {InitFamily::kZero, InitFamily::kTwoGradient};
+  g.inits = {"zero", "two-gradient"};
   g.reps = 50;
   const auto items = expand_grid(g);
   EXPECT_EQ(items.size(), 2u * 2u * 2u);  // reps ignored for both families
@@ -47,18 +47,18 @@ TEST(ScenarioGridTest, DeterministicInitFamiliesCollapseToOneRep) {
 
 TEST(ScenarioGridTest, PrunesMeaninglessCombinations) {
   CampaignGrid g;
-  g.protocols = {ProtocolKind::kDijkstraRing};
+  g.protocols = {"dijkstra-ring"};
   g.topologies = {{"ring", 6}, {"path", 5}, {"grid", 3, 3}};
   g.daemons = {"synchronous"};
-  g.inits = {InitFamily::kRandom, InitFamily::kTwoGradient,
-             InitFamily::kMaxTokens};
+  g.inits = {"random", "two-gradient",
+             "max-tokens"};
   g.reps = 1;
   const auto items = expand_grid(g);
   // Only the ring survives, and two-gradient is pruned for Dijkstra.
   EXPECT_EQ(items.size(), 2u);
   for (const auto& item : items) {
     EXPECT_EQ(item.topology.family, "ring");
-    EXPECT_NE(item.init, InitFamily::kTwoGradient);
+    EXPECT_NE(item.init, "two-gradient");
   }
 }
 
@@ -98,11 +98,12 @@ TEST(ScenarioGridTest, TopologyFactoryMatchesLabels) {
 }
 
 TEST(ScenarioGridTest, NameRoundTrips) {
+  EXPECT_GE(known_protocols().size(), 9u);
   for (const auto& name : known_protocols()) {
-    EXPECT_EQ(std::string(protocol_name(protocol_by_name(name))), name);
+    EXPECT_EQ(protocol_by_name(name), name);
   }
   for (const auto& name : known_inits()) {
-    EXPECT_EQ(std::string(init_name(init_by_name(name))), name);
+    EXPECT_EQ(init_by_name(name), name);
   }
   EXPECT_THROW(protocol_by_name("nope"), std::invalid_argument);
   EXPECT_THROW(init_by_name("nope"), std::invalid_argument);
@@ -110,10 +111,10 @@ TEST(ScenarioGridTest, NameRoundTrips) {
 
 TEST(RunScenarioTest, ZeroConfigIsLegitimateFromTheStart) {
   Scenario s;
-  s.protocol = ProtocolKind::kSsme;
+  s.protocol = "ssme";
   s.topology = {"ring", 8};
   s.daemon = "synchronous";
-  s.init = InitFamily::kZero;
+  s.init = "zero";
   const auto r = run_scenario(s);
   EXPECT_TRUE(r.converged);
   EXPECT_EQ(r.convergence_steps, 0);
@@ -124,18 +125,18 @@ TEST(RunScenarioTest, ZeroConfigIsLegitimateFromTheStart) {
 
 TEST(RunScenarioTest, SyncConvergenceRespectsTheorem2Bound) {
   Scenario s;
-  s.protocol = ProtocolKind::kSsme;
+  s.protocol = "ssme";
   s.topology = {"ring", 10};
   s.daemon = "synchronous";
-  s.init = InitFamily::kRandom;
+  s.init = "random";
   s.seed = 0xabcd;
   const auto r = run_scenario(s);
   EXPECT_TRUE(r.converged);
   // Gamma_1 entry under sd is within the unison's own convergence; the
   // spec_ME safety slice (ssme-safety) must meet the ceil(diam/2) bound.
   Scenario safety = s;
-  safety.protocol = ProtocolKind::kSsmeSafety;
-  safety.init = InitFamily::kTwoGradient;
+  safety.protocol = "ssme-safety";
+  safety.init = "two-gradient";
   const auto rs = run_scenario(safety);
   EXPECT_TRUE(rs.converged);
   EXPECT_LE(rs.convergence_steps, ssme_sync_bound(rs.diam));
@@ -146,10 +147,10 @@ TEST(RunScenarioTest, TwoGradientWitnessViolatesSafetyClosure) {
   // ceil(diam/2)-1, then stabilizes: the safety predicate is entered,
   // left, and re-entered — at least one closure violation.
   Scenario s;
-  s.protocol = ProtocolKind::kSsmeSafety;
+  s.protocol = "ssme-safety";
   s.topology = {"ring", 12};
   s.daemon = "synchronous";
-  s.init = InitFamily::kTwoGradient;
+  s.init = "two-gradient";
   const auto r = run_scenario(s);
   EXPECT_TRUE(r.converged);
   EXPECT_GE(r.closure_violations, 1);
@@ -159,10 +160,10 @@ TEST(RunScenarioTest, TwoGradientWitnessViolatesSafetyClosure) {
 TEST(RunScenarioTest, Gamma1IsClosedUnderTheProtocol) {
   for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
     Scenario s;
-    s.protocol = ProtocolKind::kSsme;
+    s.protocol = "ssme";
     s.topology = {"ring", 8};
     s.daemon = "bernoulli-0.5";
-    s.init = InitFamily::kRandom;
+    s.init = "random";
     s.seed = seed;
     const auto r = run_scenario(s);
     EXPECT_TRUE(r.converged);
@@ -172,10 +173,10 @@ TEST(RunScenarioTest, Gamma1IsClosedUnderTheProtocol) {
 
 TEST(RunScenarioTest, DijkstraRingConverges) {
   Scenario s;
-  s.protocol = ProtocolKind::kDijkstraRing;
+  s.protocol = "dijkstra-ring";
   s.topology = {"ring", 7};
   s.daemon = "central-rr";
-  s.init = InitFamily::kMaxTokens;
+  s.init = "max-tokens";
   const auto r = run_scenario(s);
   EXPECT_TRUE(r.converged);
   EXPECT_EQ(r.closure_violations, 0) << "single-token set is closed";
@@ -184,15 +185,15 @@ TEST(RunScenarioTest, DijkstraRingConverges) {
 
 TEST(RunScenarioTest, InvalidCombinationsThrow) {
   Scenario s;
-  s.protocol = ProtocolKind::kDijkstraRing;
+  s.protocol = "dijkstra-ring";
   s.topology = {"ring", 6};
   s.daemon = "synchronous";
-  s.init = InitFamily::kTwoGradient;
+  s.init = "two-gradient";
   EXPECT_THROW((void)run_scenario(s), std::invalid_argument);
-  s.protocol = ProtocolKind::kSsme;
-  s.init = InitFamily::kMaxTokens;
+  s.protocol = "ssme";
+  s.init = "max-tokens";
   EXPECT_THROW((void)run_scenario(s), std::invalid_argument);
-  s.init = InitFamily::kRandom;
+  s.init = "random";
   s.daemon = "no-such-daemon";
   EXPECT_THROW((void)run_scenario(s), std::invalid_argument);
 }
@@ -216,12 +217,12 @@ TEST(RunCampaignTest, ThreadCountInvariance) {
   // The acceptance bar: a >= 500-scenario campaign produces an identical
   // result table at 1 and 8 threads.
   CampaignGrid g;
-  g.protocols = {ProtocolKind::kSsme, ProtocolKind::kSsmeSafety};
+  g.protocols = {"ssme", "ssme-safety"};
   g.topologies = {{"ring", 4}, {"ring", 5}, {"ring", 6}, {"path", 4}};
   g.daemons = {"synchronous", "central-rr", "central-random",
                "bernoulli-0.5", "random-subset"};
-  g.inits = {InitFamily::kRandom, InitFamily::kZero,
-             InitFamily::kTwoGradient};
+  g.inits = {"random", "zero",
+             "two-gradient"};
   g.reps = 11;  // 2 x 4 x 5 x (11 + 1 + 1) = 520 scenarios
   g.base_seed = 0xfeedface;
   const auto items = expand_grid(g);
@@ -276,10 +277,10 @@ TEST(RunScenarioTest, MaxStepsOverrideKeepsEarlyStopForClosedPredicates) {
   // With an explicit (huge) step budget, a Gamma_1 run must still stop
   // right after convergence instead of simulating the whole budget.
   Scenario s;
-  s.protocol = ProtocolKind::kSsme;
+  s.protocol = "ssme";
   s.topology = {"ring", 6};
   s.daemon = "synchronous";
-  s.init = InitFamily::kRandom;
+  s.init = "random";
   s.seed = 3;
   s.max_steps = 1000000;
   const auto r = run_scenario(s);
@@ -290,7 +291,7 @@ TEST(RunScenarioTest, MaxStepsOverrideKeepsEarlyStopForClosedPredicates) {
 TEST(RunCampaignTest, MaxStepsOverrideCapsRuns) {
   CampaignGrid g = small_grid();
   g.daemons = {"central-rr"};
-  g.inits = {InitFamily::kRandom};
+  g.inits = {"random"};
   RunnerOptions opt;
   opt.threads = 1;
   opt.max_steps_override = 1;
@@ -304,10 +305,10 @@ TEST(ScenarioGridTest, RandomizedDaemonsKeepRepsForDeterministicInits) {
   // A randomized daemon samples a fresh schedule per seed, so even a
   // fixed initial configuration needs every repetition.
   CampaignGrid g;
-  g.protocols = {ProtocolKind::kSsme};
+  g.protocols = {"ssme"};
   g.topologies = {{"ring", 6}};
   g.daemons = {"bernoulli-0.5", "synchronous"};
-  g.inits = {InitFamily::kTwoGradient};
+  g.inits = {"two-gradient"};
   g.reps = 7;
   const auto items = expand_grid(g);
   EXPECT_EQ(items.size(), 7u + 1u);  // randomized keeps reps, sync collapses
@@ -346,6 +347,32 @@ TEST(PresetGridTest, PresetsExpandNonEmptyAndSmokeShrinks) {
   EXPECT_LT(expand_grid(thm3_grid(true)).size(),
             expand_grid(thm3_grid(false)).size());
   EXPECT_FALSE(expand_grid(demo_grid()).empty());
+}
+
+TEST(PresetGridTest, SweepPresetCoversEveryRegisteredProtocol) {
+  // The cross-protocol preset must carry the whole registry on its
+  // protocol axis, and expansion must leave every non-ring-only protocol
+  // with at least one scenario.
+  for (const bool smoke : {true, false}) {
+    const CampaignGrid g = sweep_grid(smoke);
+    EXPECT_EQ(g.protocols, known_protocols());
+    const auto items = expand_grid(g);
+    std::set<std::string> seen;
+    for (const auto& item : items) seen.insert(item.protocol);
+    for (const auto& name : known_protocols()) {
+      EXPECT_TRUE(seen.contains(name)) << name << " missing from sweep";
+    }
+  }
+  EXPECT_LT(expand_grid(sweep_grid(true)).size(),
+            expand_grid(sweep_grid(false)).size());
+}
+
+TEST(RunCampaignTest, SweepSmokeConvergesAcrossProtocols) {
+  // End to end through the type-erased dispatch: every protocol x daemon
+  // x init cell of the smoke sweep runs and converges.
+  const auto result = run_campaign(sweep_grid(/*smoke=*/true), {.threads = 2});
+  ASSERT_FALSE(result.rows.empty());
+  EXPECT_EQ(result.converged_count(), result.rows.size());
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "graph/io.hpp"
 #include "graph/generators.hpp"
@@ -82,9 +83,102 @@ TEST(CliTest, GraphDotOutput) {
 TEST(CliTest, RunConvergesOnSmallRing) {
   const auto res = run_cli({"run", "ring", "6", "--seed", "7"});
   EXPECT_EQ(res.exit_code, 0);
-  EXPECT_NE(res.output.find("Gamma_1 entry:"), std::string::npos);
-  EXPECT_NE(res.output.find("daemon:        synchronous"),
+  EXPECT_NE(res.output.find("protocol:   ssme"), std::string::npos);
+  EXPECT_NE(res.output.find("daemon:     synchronous"), std::string::npos);
+  EXPECT_NE(res.output.find("converged:  yes"), std::string::npos);
+  EXPECT_NE(res.output.find("bounds: sync <="), std::string::npos);
+}
+
+TEST(CliTest, ListShowsProtocolAndDaemonCatalogs) {
+  const auto res = run_cli({"list"});
+  EXPECT_EQ(res.exit_code, 0);
+  EXPECT_NE(res.output.find("protocols"), std::string::npos);
+  EXPECT_NE(res.output.find("dijkstra-ring"), std::string::npos);
+  EXPECT_NE(res.output.find("unbounded-unison"), std::string::npos);
+  EXPECT_NE(res.output.find("daemons"), std::string::npos);
+  EXPECT_NE(res.output.find("bernoulli-<p>"), std::string::npos);
+}
+
+TEST(CliTest, ListNamesIsScriptFriendly) {
+  const auto res = run_cli({"list", "--names"});
+  EXPECT_EQ(res.exit_code, 0);
+  // One bare registry name per line, nothing else.
+  std::istringstream in(res.output);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.find(' '), std::string::npos) << line;
+    ++count;
+  }
+  EXPECT_GE(count, 9u);
+}
+
+TEST(CliTest, RunReachesEveryRegisteredProtocol) {
+  // The generic path: every protocol in `list --names` runs on a ring
+  // and converges (exit 0) — the same loop the CI registry-smoke job
+  // executes.
+  const auto names = run_cli({"list", "--names"});
+  std::istringstream in(names.output);
+  std::string name;
+  while (std::getline(in, name)) {
+    const auto res =
+        run_cli({"run", "ring", "8", "--protocol", name, "--seed", "5"});
+    EXPECT_EQ(res.exit_code, 0) << name << "\n" << res.output;
+    EXPECT_NE(res.output.find("protocol:   " + name), std::string::npos);
+  }
+}
+
+TEST(CliTest, RunUnknownProtocolFails) {
+  const auto res = run_cli({"run", "ring", "6", "--protocol", "nope"});
+  EXPECT_EQ(res.exit_code, 1);
+  EXPECT_NE(res.output.find("unknown protocol"), std::string::npos);
+}
+
+TEST(CliTest, RunRingOnlyProtocolRejectsOtherTopologies) {
+  const auto res =
+      run_cli({"run", "path", "6", "--protocol", "dijkstra-ring"});
+  EXPECT_EQ(res.exit_code, 1);
+  EXPECT_NE(res.output.find("ring N"), std::string::npos);
+}
+
+TEST(CliTest, RingOnlyProtocolAcceptsStructuralRingsFromFiles) {
+  // The gate tests the instantiated graph, not the family token: a ring
+  // loaded through the `file` family must reach dijkstra-ring.
+  const std::string path = "cli_test_ring_file.txt";
+  {
+    std::ofstream out(path);
+    out << to_edge_list(make_ring(7));
+  }
+  const auto res =
+      run_cli({"run", "file", path, "--protocol", "dijkstra-ring"});
+  std::remove(path.c_str());
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("protocol:   dijkstra-ring"),
             std::string::npos);
+}
+
+TEST(CliTest, WitnessAndSpeculateRejectProtocolOptions) {
+  // SSME-specific analysis tools must not silently run SSME while the
+  // user asked for another protocol.
+  for (const std::string cmd : {"witness", "speculate"}) {
+    const auto res = run_cli({cmd, "ring", "6", "--protocol", "coloring"});
+    EXPECT_EQ(res.exit_code, 1) << cmd;
+    EXPECT_NE(res.output.find("SSME-specific"), std::string::npos) << cmd;
+  }
+}
+
+TEST(CliTest, RunHonorsInitFamily) {
+  const auto res = run_cli({"run", "ring", "7", "--protocol",
+                            "dijkstra-ring", "--init", "max-tokens"});
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("init:       max-tokens"), std::string::npos);
+}
+
+TEST(CliTest, RunRejectsUnsupportedInit) {
+  const auto res = run_cli({"run", "ring", "7", "--protocol",
+                            "dijkstra-ring", "--init", "two-gradient"});
+  EXPECT_EQ(res.exit_code, 1);
+  EXPECT_NE(res.output.find("does not support init"), std::string::npos);
 }
 
 TEST(CliTest, RunAcceptsEveryListedDaemon) {
@@ -143,21 +237,24 @@ TEST(CliTest, FileFamilyMissingFileFails) {
 TEST(CliTest, ElectRunsLeaderElection) {
   const auto res = run_cli({"elect", "grid", "3", "3", "--seed", "4"});
   EXPECT_EQ(res.exit_code, 0) << res.output;
-  EXPECT_NE(res.output.find("leader:     identity 0"), std::string::npos);
-  EXPECT_NE(res.output.find("elected:    yes"), std::string::npos);
+  EXPECT_NE(res.output.find("protocol:   leader"), std::string::npos);
+  EXPECT_NE(res.output.find("leader: identity 0 (vertex 0)"),
+            std::string::npos);
+  EXPECT_NE(res.output.find("elected: yes"), std::string::npos);
 }
 
 TEST(CliTest, ElectWorksUnderCentralDaemon) {
   const auto res =
       run_cli({"elect", "ring", "7", "--daemon", "central-random"});
   EXPECT_EQ(res.exit_code, 0) << res.output;
-  EXPECT_NE(res.output.find("terminated: yes"), std::string::npos);
+  EXPECT_NE(res.output.find("[terminal]"), std::string::npos);
 }
 
 TEST(CliTest, ColorRunsColoring) {
   const auto res = run_cli({"color", "random", "12", "0.3", "9"});
   EXPECT_EQ(res.exit_code, 0) << res.output;
-  EXPECT_NE(res.output.find("final:      0 monochromatic edges"),
+  EXPECT_NE(res.output.find("protocol:   coloring"), std::string::npos);
+  EXPECT_NE(res.output.find("final monochromatic edges: 0"),
             std::string::npos);
 }
 

@@ -31,6 +31,7 @@
 #include "sim/daemon.hpp"
 #include "sim/engine.hpp"
 #include "sim/incremental_engine.hpp"
+#include "sim/protocol_registry.hpp"
 #include "test_protocols.hpp"
 
 namespace specstab {
@@ -287,6 +288,91 @@ TEST(EngineDifferentialTest, ClosureViolationCountsAgree) {
       violations[i++] = checker.violations();
     }
     EXPECT_EQ(violations[0], violations[1]) << "seed=" << seed;
+  }
+}
+
+TEST(EngineDifferentialTest, RegistryIterationBothEnginesAllProtocols) {
+  // The registry replaces the hand-maintained protocol list: every
+  // registered protocol — present and future — is differentially tested
+  // through the type-erased session API, each supported init crossed
+  // with the daemon axis over many seeds, incremental vs reference.
+  const std::size_t seeds = std::max<std::size_t>(25, diff_seeds() / 8);
+  const auto& registry = ProtocolRegistry::instance();
+  ASSERT_GE(registry.names().size(), 9u);
+  for (const auto& entry : registry.entries()) {
+    const Graph g = make_ring(8);
+    const VertexId diam = 4;
+    for (const auto& daemon_name : daemon_axis()) {
+      for (const auto& init : entry.info.inits) {
+        for (std::size_t s = 0; s < seeds; ++s) {
+          SessionSpec spec;
+          spec.daemon = daemon_name;
+          spec.init = init;
+          spec.seed = 77777u * s + 31u;
+          spec.engine = EngineKind::kIncremental;
+          const SessionResult inc = entry.run_on(g, diam, spec);
+          spec.engine = EngineKind::kReference;
+          const SessionResult ref = entry.run_on(g, diam, spec);
+          const std::string ctx = entry.info.name + " daemon=" +
+                                  daemon_name + " init=" + init +
+                                  " seed=" + std::to_string(spec.seed);
+          ASSERT_EQ(inc.final_state, ref.final_state) << ctx;
+          ASSERT_EQ(inc.final_digest, ref.final_digest) << ctx;
+          EXPECT_EQ(inc.steps, ref.steps) << ctx;
+          EXPECT_EQ(inc.moves, ref.moves) << ctx;
+          EXPECT_EQ(inc.rounds, ref.rounds) << ctx;
+          EXPECT_EQ(inc.terminated, ref.terminated) << ctx;
+          EXPECT_EQ(inc.hit_step_cap, ref.hit_step_cap) << ctx;
+          EXPECT_EQ(inc.converged, ref.converged) << ctx;
+          EXPECT_EQ(inc.convergence_steps, ref.convergence_steps) << ctx;
+          EXPECT_EQ(inc.moves_to_convergence, ref.moves_to_convergence)
+              << ctx;
+          EXPECT_EQ(inc.rounds_to_convergence, ref.rounds_to_convergence)
+              << ctx;
+          EXPECT_EQ(inc.closure_violations, ref.closure_violations) << ctx;
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineDifferentialTest, DeltaTracesIdenticalAcrossEngines) {
+  // Trace recording is delta-based; both engines must record the same
+  // representation (same activated sets, same change lists), and the
+  // reconstructed configurations must replay the execution faithfully.
+  const Graph g = make_ring(10);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    RunOptions opt;
+    opt.max_steps = 120;
+    opt.record_trace = true;
+    std::vector<Config<ClockValue>> observed;
+    RunResult<ClockValue> results[2];
+    int i = 0;
+    for (const EngineKind kind :
+         {EngineKind::kReference, EngineKind::kIncremental}) {
+      auto daemon = make_daemon("bernoulli-0.5", seed);
+      auto checker = make_gamma1_checker(proto);
+      opt.engine = kind;
+      observed.clear();
+      results[i++] = run_with_engine(
+          g, proto, *daemon, random_config(g, proto.clock(), seed), opt,
+          checker,
+          [&observed](StepIndex, const Config<ClockValue>& cfg,
+                      const std::vector<VertexId>&) {
+            observed.push_back(cfg);  // pre-action configs: gamma_0..k-1
+          });
+      // The delta trace reconstructs exactly the configurations the
+      // observer saw, plus the final one.
+      const auto materialized = results[i - 1].trace.materialize();
+      ASSERT_EQ(materialized.size(), observed.size() + 1);
+      for (std::size_t j = 0; j < observed.size(); ++j) {
+        ASSERT_EQ(materialized[j], observed[j]) << "gamma_" << j;
+      }
+      ASSERT_EQ(materialized.back(), results[i - 1].final_config);
+    }
+    EXPECT_EQ(results[0].trace, results[1].trace) << "seed=" << seed;
   }
 }
 

@@ -154,6 +154,46 @@ TEST(EngineTest, TraceRecordsEveryConfiguration) {
   EXPECT_EQ(res.trace[2], (Config<int>{0, 0}));
 }
 
+TEST(EngineTest, DeltaTraceStoresChangesNotConfigurations) {
+  // CountdownProtocol decrements positive vertices: from {2, 1} the
+  // synchronous run takes 2 actions, but only 3 states ever change — the
+  // trace must hold exactly those deltas, plus each action's activated
+  // set, and reconstruct every configuration on demand.
+  const Graph g = make_path(2);
+  CountdownProtocol proto;
+  SynchronousDaemon d;
+  RunOptions opt;
+  opt.record_trace = true;
+  const auto res = run_execution(g, proto, d, Config<int>{2, 1}, opt);
+  const auto& trace = res.trace;
+  ASSERT_EQ(trace.actions(), 2u);
+  EXPECT_EQ(trace.activated_at(0).size(), 2u);  // both enabled
+  EXPECT_EQ(trace.changes_at(0).size(), 2u);
+  EXPECT_EQ(trace.activated_at(1).size(), 1u);  // only vertex 0 remains
+  ASSERT_EQ(trace.changes_at(1).size(), 1u);
+  EXPECT_EQ(trace.changes_at(1)[0].v, 0);
+  EXPECT_EQ(trace.changes_at(1)[0].before, 1);
+  EXPECT_EQ(trace.changes_at(1)[0].after, 0);
+  // Random access, front/back, iteration and materialize all agree.
+  EXPECT_EQ(trace.front(), (Config<int>{2, 1}));
+  EXPECT_EQ(trace.back(), res.final_config);
+  const auto full = trace.materialize();
+  ASSERT_EQ(full.size(), trace.size());
+  std::size_t i = 0;
+  for (const auto& cfg : trace) {
+    EXPECT_EQ(cfg, full[i]) << "gamma_" << i;
+    ++i;
+  }
+  EXPECT_EQ(i, trace.size());
+  EXPECT_THROW((void)trace.at(trace.size()), std::out_of_range);
+
+  // A run without recording carries an empty trace.
+  opt.record_trace = false;
+  const auto bare = run_execution(g, proto, d, Config<int>{2, 1}, opt);
+  EXPECT_TRUE(bare.trace.empty());
+  EXPECT_EQ(bare.trace.size(), 0u);
+}
+
 TEST(EngineTest, ObserverSeesPreConfigAndActivation) {
   const Graph g = make_path(2);
   CountdownProtocol proto;

@@ -56,7 +56,7 @@ TEST(IntegrationTest, FullSsmePipelineOnRandomGraph) {
   EXPECT_TRUE(monitor.report().liveness_at_least(1));
 
   // 5. spec_AU over the same trace.
-  const auto au = check_unison_spec(g, proto.unison(), res.trace);
+  const auto au = check_unison_spec(g, proto.unison(), res.trace.materialize());
   EXPECT_EQ(au.stabilization_steps(), res.convergence_steps());
   EXPECT_GT(au.min_increments(), 0);
 }

@@ -77,7 +77,7 @@ void closure_property(const Graph& g, const P& proto,
   auto daemon = make_daemon(daemon_name, seed);
   const auto res =
       run_execution(g, proto, *daemon, std::move(init), opt, nullptr);
-  walk_trace(g, res.trace, checker, oracle);
+  walk_trace(g, res.trace.materialize(), checker, oracle);
   if (::testing::Test::HasFailure()) return;
 
   // Corruption: a transient fault hits one vertex; the checker must track
@@ -92,7 +92,7 @@ void closure_property(const Graph& g, const P& proto,
   auto daemon2 = make_daemon(daemon_name, seed + 1);
   const auto cont =
       run_execution(g, proto, *daemon2, std::move(cfg), opt, nullptr);
-  walk_trace(g, cont.trace, checker, oracle, /*start=*/1);
+  walk_trace(g, cont.trace.materialize(), checker, oracle, /*start=*/1);
 }
 
 std::vector<Graph> small_topologies() {

@@ -68,7 +68,7 @@ TEST(UnisonParametersTest, MinimalParametersStabilizeOnRing) {
   opt.record_trace = true;
   const auto init = random_config(g, proto.clock(), 13);
   const auto res = run_execution(g, proto, d, init, opt);
-  const auto rep = check_unison_spec(g, proto, res.trace);
+  const auto rep = check_unison_spec(g, proto, res.trace.materialize());
   EXPECT_GE(rep.min_increments(), 1);
   EXPECT_LT(rep.stabilization_steps(), 300);
   EXPECT_TRUE(proto.legitimate(g, res.final_config));

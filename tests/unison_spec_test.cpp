@@ -80,7 +80,7 @@ TEST(UnisonSpecTest, EndToEndSynchronousRun) {
   opt.record_trace = true;
   const auto res = run_execution(
       g, proto, d, Config<ClockValue>{3, 6, -5, 0, 2}, opt);
-  const auto rep = check_unison_spec(g, proto, res.trace);
+  const auto rep = check_unison_spec(g, proto, res.trace.materialize());
   // Converged and then kept incrementing: liveness.
   EXPECT_GE(rep.min_increments(), 5);
   // Stabilized within the [3] synchronous bound alpha + lcp + diam.

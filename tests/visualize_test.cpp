@@ -60,7 +60,7 @@ TEST(VisualizeTest, EndToEndWitnessWave) {
   opt.record_trace = true;
   const auto res =
       run_execution(g, proto, d, two_gradient_config(g, proto), opt);
-  const std::string wave = render_clock_wave(g, proto, res.trace);
+  const std::string wave = render_clock_wave(g, proto, res.trace.materialize());
   std::size_t count = 0;
   for (std::size_t pos = wave.find("!!"); pos != std::string::npos;
        pos = wave.find("!!", pos + 1)) {
