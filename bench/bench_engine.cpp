@@ -25,6 +25,8 @@
 
 #include "baselines/dijkstra_ring.hpp"
 #include "baselines/matching.hpp"
+#include "extensions/leader_election.hpp"
+#include "unison/unison.hpp"
 #include "campaign/artifacts.hpp"
 #include "campaign/campaign.hpp"
 #include "campaign/runner.hpp"
@@ -177,6 +179,40 @@ std::vector<MicroRow> run_micros(bool smoke, int repeats) {
         "coloring/proper/random/bernoulli-0.5", g, proto, "bernoulli-0.5",
         11, inits, [&] { return make_coloring_checker(proto); }, 200000,
         repeats));
+  }
+  {
+    // Multi-field state at scale: LeaderState runs SoA by default (leader
+    // and dist in separate columns), and this row is what guards the
+    // split — guard scans over a large random graph are exactly the
+    // memory-bound path the layout targets.
+    const Graph g =
+        make_random_connected(smoke ? 48 : 4096, smoke ? 0.15 : 0.0025, 7);
+    const LeaderElectionProtocol proto(g);
+    std::vector<Config<LeaderState>> inits;
+    for (std::size_t i = 0; i < 2; ++i) {
+      inits.push_back(random_leader_config(g, i));
+    }
+    rows.push_back(micro(
+        "leader/elected/random/bernoulli-0.5", g, proto, "bernoulli-0.5",
+        31, inits, [&] { return make_leader_election_checker(proto, g); },
+        smoke ? 4000 : 200000, repeats));
+  }
+  {
+    // Bounded unison on a torus: the cherry-clock register protocol on a
+    // non-ring topology, dominated by dense distributed actions — the
+    // column-swap dense path at n = 2304.
+    const Graph g = smoke ? make_torus(4, 4) : make_torus(48, 48);
+    const VertexId diam = smoke ? 4 : 48;
+    const UnisonProtocol proto(
+        SsmeParams::from_dimensions(g.n(), diam).make_clock());
+    std::vector<Config<ClockValue>> inits;
+    for (std::size_t i = 0; i < 2; ++i) {
+      inits.push_back(random_config(g, proto.clock(), i));
+    }
+    rows.push_back(micro(
+        "unison/gamma1/torus/bernoulli-0.5", g, proto, "bernoulli-0.5", 17,
+        inits, [&] { return make_gamma1_checker(proto); },
+        smoke ? 2000 : 3000, repeats));
   }
   {
     const Graph g = smoke ? make_torus(4, 4) : make_torus(64, 64);

@@ -28,9 +28,9 @@ namespace {
 
 using namespace specstab;
 
-std::function<bool(const Graph&, const Config<LeaderState>&)> legit_of(
+LegitimacyPredicate<LeaderState> legit_of(
     const LeaderElectionProtocol& proto) {
-  return [&proto](const Graph& g, const Config<LeaderState>& c) {
+  return [&proto](const Graph& g, ConfigView<LeaderState> c) {
     return proto.legitimate(g, c);
   };
 }

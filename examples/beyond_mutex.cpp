@@ -54,8 +54,8 @@ int main() {
       inits.push_back(random_leader_config(g, seed));
     }
     inits.push_back(ghost_leader_config(g, proto, 0));
-    const std::function<bool(const Graph&, const Config<LeaderState>&)>
-        legit = [&proto](const Graph& gg, const Config<LeaderState>& c) {
+    const LegitimacyPredicate<LeaderState>
+        legit = [&proto](const Graph& gg, ConfigView<LeaderState> c) {
           return proto.legitimate(gg, c);
         };
     RunOptions opt;

@@ -19,7 +19,7 @@ DijkstraRingProtocol DijkstraRingProtocol::for_ring(const Graph& ring) {
   return DijkstraRingProtocol(ring.n(), ring.n() + 1);
 }
 
-bool DijkstraRingProtocol::enabled(const Graph& g, const Config<State>& cfg,
+bool DijkstraRingProtocol::enabled(const Graph& g, const ConfigView<State>& cfg,
                                    VertexId v) const {
   if (v < 0 || v >= g.n() || g.n() != n_) {
     throw std::invalid_argument("DijkstraRingProtocol: vertex/graph mismatch");
@@ -30,7 +30,7 @@ bool DijkstraRingProtocol::enabled(const Graph& g, const Config<State>& cfg,
 }
 
 DijkstraRingProtocol::State DijkstraRingProtocol::apply(
-    const Graph& g, const Config<State>& cfg, VertexId v) const {
+    const Graph& g, const ConfigView<State>& cfg, VertexId v) const {
   if (!enabled(g, cfg, v)) {
     throw std::logic_error("DijkstraRingProtocol::apply on disabled vertex");
   }
@@ -40,12 +40,12 @@ DijkstraRingProtocol::State DijkstraRingProtocol::apply(
 }
 
 std::string_view DijkstraRingProtocol::rule_name(const Graph&,
-                                                 const Config<State>&,
+                                                 const ConfigView<State>&,
                                                  VertexId v) const {
   return v == 0 ? "BOTTOM" : "COPY";
 }
 
-bool DijkstraRingProtocol::privileged(const Config<State>& cfg,
+bool DijkstraRingProtocol::privileged(const ConfigView<State>& cfg,
                                       VertexId v) const {
   const State own = cfg[static_cast<std::size_t>(v)];
   const State pred = cfg[static_cast<std::size_t>(predecessor(v))];
@@ -53,7 +53,7 @@ bool DijkstraRingProtocol::privileged(const Config<State>& cfg,
 }
 
 VertexId DijkstraRingProtocol::count_privileged(
-    const Config<State>& cfg) const {
+    const ConfigView<State>& cfg) const {
   VertexId count = 0;
   for (VertexId v = 0; v < n_; ++v) {
     if (privileged(cfg, v)) ++count;
@@ -62,7 +62,7 @@ VertexId DijkstraRingProtocol::count_privileged(
 }
 
 bool DijkstraRingProtocol::legitimate(const Graph&,
-                                      const Config<State>& cfg) const {
+                                      const ConfigView<State>& cfg) const {
   return count_privileged(cfg) == 1;
 }
 

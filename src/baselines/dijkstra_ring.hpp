@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/config_store.hpp"
 #include "sim/types.hpp"
 
 namespace specstab {
@@ -43,27 +44,27 @@ class DijkstraRingProtocol {
   [[nodiscard]] State k() const noexcept { return k_; }
 
   // --- ProtocolConcept ---
-  [[nodiscard]] bool enabled(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] bool enabled(const Graph& g, const ConfigView<State>& cfg,
                              VertexId v) const;
   /// Guards read only the predecessor's counter, which is a ring
   /// neighbour.
   [[nodiscard]] VertexId locality_radius() const noexcept { return 1; }
-  [[nodiscard]] State apply(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] State apply(const Graph& g, const ConfigView<State>& cfg,
                             VertexId v) const;
   [[nodiscard]] std::string_view rule_name(const Graph& g,
-                                           const Config<State>& cfg,
+                                           const ConfigView<State>& cfg,
                                            VertexId v) const;
 
   // --- Mutual exclusion view ---
 
   /// In Dijkstra's protocol, privilege == enabledness.
-  [[nodiscard]] bool privileged(const Config<State>& cfg, VertexId v) const;
+  [[nodiscard]] bool privileged(const ConfigView<State>& cfg, VertexId v) const;
 
-  [[nodiscard]] VertexId count_privileged(const Config<State>& cfg) const;
+  [[nodiscard]] VertexId count_privileged(const ConfigView<State>& cfg) const;
 
   /// Legitimate configurations: exactly one token.
   [[nodiscard]] bool legitimate(const Graph& g,
-                                const Config<State>& cfg) const;
+                                const ConfigView<State>& cfg) const;
 
   /// Priority order for the worst-case "token chase" central schedule
   /// (use with PriorityCentralDaemon): always serve the enabled non-bottom

@@ -9,7 +9,7 @@ namespace specstab {
 static_assert(ProtocolConcept<MatchingProtocol>,
               "MatchingProtocol must satisfy ProtocolConcept");
 
-bool MatchingProtocol::married(const Graph& g, const Config<State>& cfg,
+bool MatchingProtocol::married(const Graph& g, const ConfigView<State>& cfg,
                                VertexId v) const {
   const State pv = cfg[static_cast<std::size_t>(v)];
   if (pv == kNull) return false;
@@ -17,7 +17,7 @@ bool MatchingProtocol::married(const Graph& g, const Config<State>& cfg,
 }
 
 VertexId MatchingProtocol::best_proposer(const Graph& g,
-                                         const Config<State>& cfg,
+                                         const ConfigView<State>& cfg,
                                          VertexId v) const {
   VertexId best = kNull;
   for (VertexId u : g.neighbors(v)) {
@@ -27,7 +27,7 @@ VertexId MatchingProtocol::best_proposer(const Graph& g,
 }
 
 VertexId MatchingProtocol::best_candidate(const Graph& g,
-                                          const Config<State>& cfg,
+                                          const ConfigView<State>& cfg,
                                           VertexId v) const {
   VertexId best = kNull;
   for (VertexId u : g.neighbors(v)) {
@@ -36,14 +36,15 @@ VertexId MatchingProtocol::best_candidate(const Graph& g,
   return best;
 }
 
-bool MatchingProtocol::marriage_guard(const Graph& g, const Config<State>& cfg,
+bool MatchingProtocol::marriage_guard(const Graph& g,
+                                      const ConfigView<State>& cfg,
                                       VertexId v) const {
   return cfg[static_cast<std::size_t>(v)] == kNull &&
          best_proposer(g, cfg, v) != kNull;
 }
 
 bool MatchingProtocol::seduction_guard(const Graph& g,
-                                       const Config<State>& cfg,
+                                       const ConfigView<State>& cfg,
                                        VertexId v) const {
   return cfg[static_cast<std::size_t>(v)] == kNull &&
          best_proposer(g, cfg, v) == kNull &&
@@ -51,7 +52,7 @@ bool MatchingProtocol::seduction_guard(const Graph& g,
 }
 
 bool MatchingProtocol::abandonment_guard(const Graph& g,
-                                         const Config<State>& cfg,
+                                         const ConfigView<State>& cfg,
                                          VertexId v) const {
   const State pv = cfg[static_cast<std::size_t>(v)];
   if (pv == kNull) return false;
@@ -64,14 +65,14 @@ bool MatchingProtocol::abandonment_guard(const Graph& g,
   return pv <= v || cfg[static_cast<std::size_t>(pv)] != kNull;
 }
 
-bool MatchingProtocol::enabled(const Graph& g, const Config<State>& cfg,
+bool MatchingProtocol::enabled(const Graph& g, const ConfigView<State>& cfg,
                                VertexId v) const {
   return marriage_guard(g, cfg, v) || seduction_guard(g, cfg, v) ||
          abandonment_guard(g, cfg, v);
 }
 
 MatchingProtocol::State MatchingProtocol::apply(const Graph& g,
-                                                const Config<State>& cfg,
+                                                const ConfigView<State>& cfg,
                                                 VertexId v) const {
   if (marriage_guard(g, cfg, v)) return best_proposer(g, cfg, v);
   if (seduction_guard(g, cfg, v)) return best_candidate(g, cfg, v);
@@ -80,7 +81,7 @@ MatchingProtocol::State MatchingProtocol::apply(const Graph& g,
 }
 
 std::string_view MatchingProtocol::rule_name(const Graph& g,
-                                             const Config<State>& cfg,
+                                             const ConfigView<State>& cfg,
                                              VertexId v) const {
   if (marriage_guard(g, cfg, v)) return "MARRIAGE";
   if (seduction_guard(g, cfg, v)) return "SEDUCTION";
@@ -89,7 +90,7 @@ std::string_view MatchingProtocol::rule_name(const Graph& g,
 }
 
 bool MatchingProtocol::legitimate(const Graph& g,
-                                  const Config<State>& cfg) const {
+                                  const ConfigView<State>& cfg) const {
   for (VertexId v = 0; v < g.n(); ++v) {
     if (enabled(g, cfg, v)) return false;
   }
@@ -97,7 +98,7 @@ bool MatchingProtocol::legitimate(const Graph& g,
 }
 
 std::vector<std::pair<VertexId, VertexId>> MatchingProtocol::matched_pairs(
-    const Graph& g, const Config<State>& cfg) const {
+    const Graph& g, const ConfigView<State>& cfg) const {
   std::vector<std::pair<VertexId, VertexId>> pairs;
   for (VertexId v = 0; v < g.n(); ++v) {
     const State pv = cfg[static_cast<std::size_t>(v)];
@@ -109,7 +110,7 @@ std::vector<std::pair<VertexId, VertexId>> MatchingProtocol::matched_pairs(
 }
 
 bool MatchingProtocol::is_maximal_matching(const Graph& g,
-                                           const Config<State>& cfg) const {
+                                           const ConfigView<State>& cfg) const {
   // Matching property is structural (mutual pointers are one-to-one).
   // Maximality: no edge between two unmarried vertices.
   for (const auto& [u, v] : g.edges()) {

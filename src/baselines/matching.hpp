@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/config_store.hpp"
 #include "sim/types.hpp"
 
 namespace specstab {
@@ -40,49 +41,52 @@ class MatchingProtocol {
   MatchingProtocol() = default;
 
   /// v and u are married in cfg: mutual pointers.
-  [[nodiscard]] static bool married_to(const Config<State>& cfg, VertexId v,
+  [[nodiscard]] static bool married_to(const ConfigView<State>& cfg, VertexId v,
                                        VertexId u) {
     return cfg[static_cast<std::size_t>(v)] == u &&
            cfg[static_cast<std::size_t>(u)] == v;
   }
 
   /// v is married to some neighbour.
-  [[nodiscard]] bool married(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] bool married(const Graph& g, const ConfigView<State>& cfg,
                              VertexId v) const;
 
   // --- Rule guards (public for tests) ---
-  [[nodiscard]] bool marriage_guard(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] bool marriage_guard(const Graph& g,
+                                    const ConfigView<State>& cfg,
                                     VertexId v) const;
-  [[nodiscard]] bool seduction_guard(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] bool seduction_guard(const Graph& g,
+                                     const ConfigView<State>& cfg,
                                      VertexId v) const;
   [[nodiscard]] bool abandonment_guard(const Graph& g,
-                                       const Config<State>& cfg,
+                                       const ConfigView<State>& cfg,
                                        VertexId v) const;
 
   // --- ProtocolConcept ---
-  [[nodiscard]] bool enabled(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] bool enabled(const Graph& g, const ConfigView<State>& cfg,
                              VertexId v) const;
   /// All three guards read only the pointers of v and its neighbours
   /// ("engaged" is p_u != null, not married(u), so nothing two hops out).
   [[nodiscard]] VertexId locality_radius() const noexcept { return 1; }
-  [[nodiscard]] State apply(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] State apply(const Graph& g, const ConfigView<State>& cfg,
                             VertexId v) const;
   [[nodiscard]] std::string_view rule_name(const Graph& g,
-                                           const Config<State>& cfg,
+                                           const ConfigView<State>& cfg,
                                            VertexId v) const;
 
   /// Legitimate (terminal) configurations: no rule enabled anywhere.
-  [[nodiscard]] bool legitimate(const Graph& g, const Config<State>& cfg) const;
+  [[nodiscard]] bool legitimate(const Graph& g,
+                                const ConfigView<State>& cfg) const;
 
   /// The matched pairs (u < v) of cfg.
   [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> matched_pairs(
-      const Graph& g, const Config<State>& cfg) const;
+      const Graph& g, const ConfigView<State>& cfg) const;
 
   /// True iff cfg's married pairs form a *maximal* matching: pairwise
   /// disjoint (automatic with pointers) and no edge joins two unmarried
   /// vertices.
   [[nodiscard]] bool is_maximal_matching(const Graph& g,
-                                         const Config<State>& cfg) const;
+                                         const ConfigView<State>& cfg) const;
 
   /// All-null configuration (the natural cold start).
   [[nodiscard]] static Config<State> null_config(const Graph& g) {
@@ -92,12 +96,12 @@ class MatchingProtocol {
  private:
   /// Largest neighbour pointing at v, or kNull.
   [[nodiscard]] VertexId best_proposer(const Graph& g,
-                                       const Config<State>& cfg,
+                                       const ConfigView<State>& cfg,
                                        VertexId v) const;
 
   /// Largest unengaged strictly-higher neighbour of v, or kNull.
   [[nodiscard]] VertexId best_candidate(const Graph& g,
-                                        const Config<State>& cfg,
+                                        const ConfigView<State>& cfg,
                                         VertexId v) const;
 };
 

@@ -23,7 +23,7 @@ MinPlusOneProtocol::MinPlusOneProtocol(const Graph& g, VertexId root)
 }
 
 MinPlusOneProtocol::State MinPlusOneProtocol::target(
-    const Graph& g, const Config<State>& cfg, VertexId v) const {
+    const Graph& g, const ConfigView<State>& cfg, VertexId v) const {
   if (v == root_) return 0;
   State best = cap_;
   for (VertexId u : g.neighbors(v)) {
@@ -33,14 +33,13 @@ MinPlusOneProtocol::State MinPlusOneProtocol::target(
       static_cast<std::int64_t>(best) + 1, cap_));
 }
 
-bool MinPlusOneProtocol::enabled(const Graph& g, const Config<State>& cfg,
+bool MinPlusOneProtocol::enabled(const Graph& g, const ConfigView<State>& cfg,
                                  VertexId v) const {
   return cfg[static_cast<std::size_t>(v)] != target(g, cfg, v);
 }
 
-MinPlusOneProtocol::State MinPlusOneProtocol::apply(const Graph& g,
-                                                    const Config<State>& cfg,
-                                                    VertexId v) const {
+MinPlusOneProtocol::State MinPlusOneProtocol::apply(
+    const Graph& g, const ConfigView<State>& cfg, VertexId v) const {
   if (!enabled(g, cfg, v)) {
     throw std::logic_error("MinPlusOneProtocol::apply on disabled vertex");
   }
@@ -48,7 +47,7 @@ MinPlusOneProtocol::State MinPlusOneProtocol::apply(const Graph& g,
 }
 
 bool MinPlusOneProtocol::legitimate(const Graph& g,
-                                    const Config<State>& cfg) const {
+                                    const ConfigView<State>& cfg) const {
   for (VertexId v = 0; v < g.n(); ++v) {
     if (cfg[static_cast<std::size_t>(v)] != exact_[static_cast<std::size_t>(v)])
       return false;
@@ -56,7 +55,8 @@ bool MinPlusOneProtocol::legitimate(const Graph& g,
   return true;
 }
 
-VertexId MinPlusOneProtocol::parent(const Graph& g, const Config<State>& cfg,
+VertexId MinPlusOneProtocol::parent(const Graph& g,
+                                    const ConfigView<State>& cfg,
                                     VertexId v) const {
   if (v == root_) return -1;
   VertexId best = -1;

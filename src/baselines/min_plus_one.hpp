@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/config_store.hpp"
 #include "sim/types.hpp"
 
 namespace specstab {
@@ -33,27 +34,29 @@ class MinPlusOneProtocol {
 
   /// The value the protocol drives v towards in `cfg`: 0 at the root,
   /// min(1 + min neighbour level, cap) elsewhere.
-  [[nodiscard]] State target(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] State target(const Graph& g, const ConfigView<State>& cfg,
                              VertexId v) const;
 
   // --- ProtocolConcept ---
-  [[nodiscard]] bool enabled(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] bool enabled(const Graph& g, const ConfigView<State>& cfg,
                              VertexId v) const;
-  [[nodiscard]] State apply(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] State apply(const Graph& g, const ConfigView<State>& cfg,
                             VertexId v) const;
-  [[nodiscard]] std::string_view rule_name(const Graph&, const Config<State>&,
+  [[nodiscard]] std::string_view rule_name(const Graph&,
+                                           const ConfigView<State>&,
                                            VertexId v) const {
     return v == root_ ? "ROOT" : "MIN+1";
   }
 
   /// Legitimate configurations: every level equals the BFS distance from
   /// the root (precomputed at construction).
-  [[nodiscard]] bool legitimate(const Graph& g, const Config<State>& cfg) const;
+  [[nodiscard]] bool legitimate(const Graph& g,
+                                const ConfigView<State>& cfg) const;
 
   /// Parent of v in the constructed BFS tree (minimum-level neighbour,
   /// smallest id tie-break); -1 for the root.  Meaningful in legitimate
   /// configurations.
-  [[nodiscard]] VertexId parent(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] VertexId parent(const Graph& g, const ConfigView<State>& cfg,
                                 VertexId v) const;
 
   /// The exact BFS levels (the unique legitimate configuration).

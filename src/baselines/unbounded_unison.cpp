@@ -4,7 +4,8 @@
 
 namespace specstab {
 
-bool UnboundedUnisonProtocol::enabled(const Graph& g, const Config<State>& cfg,
+bool UnboundedUnisonProtocol::enabled(const Graph& g,
+                                      const ConfigView<State>& cfg,
                                       VertexId v) const {
   const State cv = cfg[static_cast<std::size_t>(v)];
   return std::ranges::all_of(g.neighbors(v), [&](VertexId u) {
@@ -13,19 +14,18 @@ bool UnboundedUnisonProtocol::enabled(const Graph& g, const Config<State>& cfg,
 }
 
 UnboundedUnisonProtocol::State UnboundedUnisonProtocol::apply(
-    const Graph& g, const Config<State>& cfg, VertexId v) const {
+    const Graph& g, const ConfigView<State>& cfg, VertexId v) const {
   (void)g;
   return cfg[static_cast<std::size_t>(v)] + 1;
 }
 
-std::string_view UnboundedUnisonProtocol::rule_name(const Graph& g,
-                                                    const Config<State>& cfg,
-                                                    VertexId v) const {
+std::string_view UnboundedUnisonProtocol::rule_name(
+    const Graph& g, const ConfigView<State>& cfg, VertexId v) const {
   return enabled(g, cfg, v) ? "INC" : "";
 }
 
 bool UnboundedUnisonProtocol::legitimate(const Graph& g,
-                                         const Config<State>& cfg) const {
+                                         const ConfigView<State>& cfg) const {
   for (const auto& [u, v] : g.edges()) {
     const State du = cfg[static_cast<std::size_t>(u)] -
                      cfg[static_cast<std::size_t>(v)];

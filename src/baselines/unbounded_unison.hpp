@@ -26,6 +26,7 @@
 #include <string_view>
 
 #include "graph/graph.hpp"
+#include "sim/config_store.hpp"
 #include "sim/types.hpp"
 
 namespace specstab {
@@ -37,18 +38,19 @@ class UnboundedUnisonProtocol {
   // --- ProtocolConcept ---
 
   /// Enabled iff v is a local minimum: c_v <= c_u for every neighbour.
-  [[nodiscard]] bool enabled(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] bool enabled(const Graph& g, const ConfigView<State>& cfg,
                              VertexId v) const;
-  [[nodiscard]] State apply(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] State apply(const Graph& g, const ConfigView<State>& cfg,
                             VertexId v) const;
   [[nodiscard]] std::string_view rule_name(const Graph& g,
-                                           const Config<State>& cfg,
+                                           const ConfigView<State>& cfg,
                                            VertexId v) const;
 
   // --- Specification (spec_AU safety slice) ---
 
   /// Every neighbouring pair within drift 1.
-  [[nodiscard]] bool legitimate(const Graph& g, const Config<State>& cfg) const;
+  [[nodiscard]] bool legitimate(const Graph& g,
+                                const ConfigView<State>& cfg) const;
 
   /// max - min over all clocks (the quantity stabilization consumes).
   [[nodiscard]] static std::int64_t spread(const Config<State>& cfg);

@@ -49,7 +49,7 @@ std::int64_t estimated_cost(const Scenario& s, const TopologyInstance& topo,
 /// here.
 ScenarioResult run_scenario_on(const Scenario& scenario,
                                const TopologyInstance& topo,
-                               EngineKind engine) {
+                               EngineKind engine, ConfigLayout layout) {
   ScenarioResult out;
   out.index = scenario.index;
   out.protocol = scenario.protocol;
@@ -69,6 +69,7 @@ ScenarioResult run_scenario_on(const Scenario& scenario,
   spec.seed = scenario.seed;
   spec.max_steps = scenario.max_steps;
   spec.engine = engine;
+  spec.layout = layout;
   // Only the numeric meters survive into ScenarioResult; skip the
   // per-vertex state rendering and annotation sweeps.
   spec.meters_only = true;
@@ -105,9 +106,10 @@ WorkOrder work_order_by_name(const std::string& name) {
                               "' (heavy | index)");
 }
 
-ScenarioResult run_scenario(const Scenario& scenario, EngineKind engine) {
+ScenarioResult run_scenario(const Scenario& scenario, EngineKind engine,
+                            ConfigLayout layout) {
   return run_scenario_on(scenario, TopologyInstance(scenario.topology),
-                         engine);
+                         engine, layout);
 }
 
 CampaignResult run_scenarios(const std::vector<Scenario>& items,
@@ -140,8 +142,9 @@ CampaignResult run_scenarios(const std::vector<Scenario>& items,
   if (opt.order == WorkOrder::kHeavyFirst) {
     std::vector<std::int64_t> cost(items.size());
     for (std::size_t i = 0; i < items.size(); ++i) {
-      cost[i] = estimated_cost(items[i], topologies.at(items[i].topology.label()),
-                               opt.max_steps_override);
+      cost[i] =
+          estimated_cost(items[i], topologies.at(items[i].topology.label()),
+                         opt.max_steps_override);
     }
     std::stable_sort(schedule.begin(), schedule.end(),
                      [&cost](std::size_t a, std::size_t b) {
@@ -165,7 +168,8 @@ CampaignResult run_scenarios(const std::vector<Scenario>& items,
         Scenario item = items[i];
         if (item.max_steps == 0) item.max_steps = opt.max_steps_override;
         result.rows[i] = run_scenario_on(
-            item, topologies.at(item.topology.label()), opt.engine);
+            item, topologies.at(item.topology.label()), opt.engine,
+            opt.layout);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

@@ -102,6 +102,7 @@ struct Options {
   std::size_t configs = 10;
   bool dot = false;
   EngineKind engine = EngineKind::kIncremental;
+  ConfigLayout layout = ConfigLayout::kAuto;
 };
 
 /// Guard for the SSME-specific analysis subcommands: silently running
@@ -138,6 +139,8 @@ Options parse_options(const std::vector<std::string>& args, std::size_t pos) {
       opt.daemon = value;
     } else if (flag == "--engine") {
       opt.engine = engine_by_name(value);
+    } else if (flag == "--layout") {
+      opt.layout = config_layout_by_name(value);
     } else if (flag == "--configs") {
       opt.configs =
           static_cast<std::size_t>(parse_double(value, "--configs"));
@@ -173,7 +176,9 @@ std::string usage() {
      << "                                     `specstab campaign --help`\n\n"
      << "run/witness/speculate/elect/color/campaign accept\n"
      << "  --engine incremental|reference     dirty-set engine (default) or\n"
-     << "                                     the full-rescan oracle\n";
+     << "                                     the full-rescan oracle\n"
+     << "  --layout auto|soa|aos              configuration storage layout\n"
+     << "                                     (auto: SoA where declared)\n";
   return os.str();
 }
 
@@ -249,6 +254,10 @@ std::string campaign_usage() {
      << "  --steps N                      max-steps override for every run\n"
      << "  --engine incremental|reference execution engine (default:\n"
      << "                                 incremental)\n"
+     << "  --layout auto|soa|aos          configuration storage layout\n"
+     << "                                 (default auto: SoA where the\n"
+     << "                                 protocol declares a field split);\n"
+     << "                                 artifacts are identical either way\n"
      << "  --order heavy|index            work-stealing schedule: heavy\n"
      << "                                 cells first (default) or grid\n"
      << "                                 order; artifacts are identical\n"
@@ -290,7 +299,7 @@ CliResult cmd_campaign(const std::vector<std::string>& args) {
       "--preset",  "--protocols", "--families", "--sizes",
       "--daemons", "--inits",     "--reps",     "--seed",
       "--threads", "--steps",     "--json",     "--csv",
-      "--runs-csv", "--engine",   "--order"};
+      "--runs-csv", "--engine",   "--order",    "--layout"};
   for (std::size_t pos = 0; pos < args.size();) {
     const std::string& flag = args[pos];
     if (flag == "--help") return {0, campaign_usage()};
@@ -344,6 +353,8 @@ CliResult cmd_campaign(const std::vector<std::string>& args) {
       run_opt.max_steps_override = static_cast<StepIndex>(n);
     } else if (flag == "--engine") {
       run_opt.engine = engine_by_name(value);
+    } else if (flag == "--layout") {
+      run_opt.layout = config_layout_by_name(value);
     } else if (flag == "--order") {
       run_opt.order = cmp::work_order_by_name(value);
     } else if (flag == "--json") {
@@ -516,6 +527,7 @@ CliResult cmd_run(const std::vector<std::string>& args,
   spec.seed = opt.seed;
   spec.max_steps = opt.max_steps;
   spec.engine = opt.engine;
+  spec.layout = opt.layout;
   const SessionResult res = entry.run(g, spec);
 
   std::ostringstream os;
@@ -525,6 +537,9 @@ CliResult cmd_run(const std::vector<std::string>& args,
      << ")\n"
      << "daemon:     " << opt.daemon << '\n'
      << "engine:     " << engine_name(opt.engine) << '\n'
+     << "layout:     " << config_layout_name(opt.layout)
+     << (opt.layout == ConfigLayout::kAuto ? " (soa where declared)" : "")
+     << '\n'
      << "init:       "
      << (opt.init.empty() ? entry.info.inits.front() + " (default)"
                           : opt.init)
@@ -565,6 +580,7 @@ CliResult cmd_witness(const std::vector<std::string>& args) {
   SynchronousDaemon daemon;
   RunOptions run_opt;
   run_opt.engine = opt.engine;
+  run_opt.layout = opt.layout;
   run_opt.max_steps =
       opt.max_steps > 0 ? opt.max_steps
                         : 2 * (proto.params().k + proto.params().n);
@@ -600,6 +616,7 @@ CliResult cmd_speculate(const std::vector<std::string>& args) {
   auto safe = make_mutex_safety_checker(proto);
   RunOptions run_opt;
   run_opt.engine = opt.engine;
+  run_opt.layout = opt.layout;
   run_opt.max_steps = 40 * (proto.params().k + proto.params().n);
 
   SynchronousDaemon sd;

@@ -138,8 +138,7 @@ MultiSpeculationReport multi_speculative_verdict(
     const Graph& g, const P& proto,
     const std::vector<SpeculationChainEntry>& chain,
     const std::vector<Config<typename P::State>>& initial_configs,
-    const std::function<bool(const Graph&, const Config<typename P::State>&)>&
-        legitimate,
+    const LegitimacyPredicate<typename P::State>& legitimate,
     const RunOptions& opt) {
   MultiSpeculationReport report;
   for (const auto& entry : chain) {

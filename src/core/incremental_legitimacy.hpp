@@ -49,7 +49,7 @@
 namespace specstab {
 
 /// Incremental counter over a vertex-local violation score.  `Score` is
-/// (const Graph&, const Config<State>&, VertexId) -> std::int32_t and may
+/// (const Graph&, const ConfigView<State>&, VertexId) -> std::int32_t and may
 /// read only states within `radius` hops of the scored vertex; `Verdict`
 /// is (std::int64_t total) -> bool.
 template <class State, class Score, class Verdict>
@@ -60,7 +60,7 @@ class LocalScoreChecker {
         verdict_(std::move(verdict)),
         radius_(radius) {}
 
-  bool init(const Graph& g, const Config<State>& cfg) {
+  bool init(const Graph& g, const ConfigView<State>& cfg) {
     cached_.assign(static_cast<std::size_t>(g.n()), 0);
     total_ = 0;
     for (VertexId v = 0; v < g.n(); ++v) {
@@ -74,7 +74,7 @@ class LocalScoreChecker {
     return verdict_(total_);
   }
 
-  bool on_update(const Graph& g, const Config<State>& cfg,
+  bool on_update(const Graph& g, const ConfigView<State>& cfg,
                  const std::vector<VertexId>& touched) {
     // Dense actions (synchronous steps) dirty most of the graph; rescore
     // everything linearly instead of expanding balls.
@@ -90,7 +90,7 @@ class LocalScoreChecker {
     return verdict_(total_);
   }
 
-  bool full(const Graph& g, const Config<State>& cfg) {
+  bool full(const Graph& g, const ConfigView<State>& cfg) {
     std::int64_t total = 0;
     for (VertexId v = 0; v < g.n(); ++v) total += score_(g, cfg, v);
     return verdict_(total);
@@ -103,7 +103,7 @@ class LocalScoreChecker {
 
   [[nodiscard]] VertexId update_radius() const noexcept { return radius_; }
 
-  bool on_update_ball(const Graph& g, const Config<State>& cfg,
+  bool on_update_ball(const Graph& g, const ConfigView<State>& cfg,
                       const std::vector<VertexId>& ball) {
     for (VertexId v : ball) rescore(g, cfg, v);
     return verdict_(total_);
@@ -114,7 +114,7 @@ class LocalScoreChecker {
   [[nodiscard]] std::int64_t total() const noexcept { return total_; }
 
  private:
-  void rescore(const Graph& g, const Config<State>& cfg, VertexId v) {
+  void rescore(const Graph& g, const ConfigView<State>& cfg, VertexId v) {
     const std::int32_t s = score_(g, cfg, v);
     total_ += s - cached_[static_cast<std::size_t>(v)];
     cached_[static_cast<std::size_t>(v)] = s;
@@ -135,19 +135,19 @@ class LocalScoreChecker {
 template <class State>
 class RescanChecker {
  public:
-  using Predicate = std::function<bool(const Graph&, const Config<State>&)>;
+  using Predicate = LegitimacyPredicate<State>;
 
   explicit RescanChecker(Predicate predicate)
       : predicate_(std::move(predicate)) {}
 
-  bool init(const Graph& g, const Config<State>& cfg) {
+  bool init(const Graph& g, const ConfigView<State>& cfg) {
     return predicate_(g, cfg);
   }
-  bool on_update(const Graph& g, const Config<State>& cfg,
+  bool on_update(const Graph& g, const ConfigView<State>& cfg,
                  const std::vector<VertexId>&) {
     return predicate_(g, cfg);
   }
-  bool full(const Graph& g, const Config<State>& cfg) {
+  bool full(const Graph& g, const ConfigView<State>& cfg) {
     return predicate_(g, cfg);
   }
 
@@ -166,19 +166,19 @@ class ClosureCounting {
  public:
   explicit ClosureCounting(C inner) : inner_(std::move(inner)) {}
 
-  template <class State>
-  bool init(const Graph& g, const Config<State>& cfg) {
+  template <class Cfg>
+  bool init(const Graph& g, const Cfg& cfg) {
     was_legit_ = false;
     violations_ = 0;
     return note(inner_.init(g, cfg));
   }
-  template <class State>
-  bool on_update(const Graph& g, const Config<State>& cfg,
+  template <class Cfg>
+  bool on_update(const Graph& g, const Cfg& cfg,
                  const std::vector<VertexId>& touched) {
     return note(inner_.on_update(g, cfg, touched));
   }
-  template <class State>
-  bool full(const Graph& g, const Config<State>& cfg) {
+  template <class Cfg>
+  bool full(const Graph& g, const Cfg& cfg) {
     return note(inner_.full(g, cfg));
   }
 
@@ -188,8 +188,8 @@ class ClosureCounting {
   {
     return inner_.update_radius();
   }
-  template <class State>
-  bool on_update_ball(const Graph& g, const Config<State>& cfg,
+  template <class Cfg>
+  bool on_update_ball(const Graph& g, const Cfg& cfg,
                       const std::vector<VertexId>& ball)
     requires requires(C& c) { c.on_update_ball(g, cfg, ball); }
   {
@@ -216,7 +216,7 @@ class ClosureCounting {
 
 /// Gamma_1: every vertex locally legitimate (stab values, drift <= 1).
 [[nodiscard]] inline auto make_gamma1_checker(const UnisonProtocol& unison) {
-  auto score = [&unison](const Graph& g, const Config<ClockValue>& cfg,
+  auto score = [&unison](const Graph& g, const ConfigView<ClockValue>& cfg,
                          VertexId v) -> std::int32_t {
     return unison.locally_legitimate(g, cfg, v) ? 0 : 1;
   };
@@ -232,7 +232,7 @@ class ClosureCounting {
 
 /// spec_ME safety slice: at most one privileged vertex.
 [[nodiscard]] inline auto make_mutex_safety_checker(const SsmeProtocol& proto) {
-  auto score = [&proto](const Graph&, const Config<ClockValue>& cfg,
+  auto score = [&proto](const Graph&, const ConfigView<ClockValue>& cfg,
                         VertexId v) -> std::int32_t {
     return proto.privileged(cfg, v) ? 1 : 0;
   };
@@ -245,7 +245,7 @@ class ClosureCounting {
 [[nodiscard]] inline auto make_single_token_checker(
     const DijkstraRingProtocol& proto) {
   auto score = [&proto](const Graph&,
-                        const Config<DijkstraRingProtocol::State>& cfg,
+                        const ConfigView<DijkstraRingProtocol::State>& cfg,
                         VertexId v) -> std::int32_t {
     return proto.privileged(cfg, v) ? 1 : 0;
   };
@@ -257,7 +257,7 @@ class ClosureCounting {
 /// Stable maximal matching: terminal, i.e. no rule enabled anywhere.
 [[nodiscard]] inline auto make_matching_checker(const MatchingProtocol& proto) {
   auto score = [&proto](const Graph& g,
-                        const Config<MatchingProtocol::State>& cfg,
+                        const ConfigView<MatchingProtocol::State>& cfg,
                         VertexId v) -> std::int32_t {
     return proto.enabled(g, cfg, v) ? 1 : 0;
   };
@@ -270,7 +270,7 @@ class ClosureCounting {
 [[nodiscard]] inline auto make_min_plus_one_checker(
     const MinPlusOneProtocol& proto) {
   auto score = [&proto](const Graph&,
-                        const Config<MinPlusOneProtocol::State>& cfg,
+                        const ConfigView<MinPlusOneProtocol::State>& cfg,
                         VertexId v) -> std::int32_t {
     return cfg[static_cast<std::size_t>(v)] ==
                    proto.exact_levels()[static_cast<std::size_t>(v)]
@@ -287,7 +287,7 @@ class ClosureCounting {
 [[nodiscard]] inline auto make_leader_election_checker(
     const LeaderElectionProtocol& proto, const Graph& g) {
   auto score = [elected = proto.elected_config(g)](
-                   const Graph&, const Config<LeaderState>& cfg,
+                   const Graph&, const ConfigView<LeaderState>& cfg,
                    VertexId v) -> std::int32_t {
     return cfg[static_cast<std::size_t>(v)] ==
                    elected[static_cast<std::size_t>(v)]
@@ -305,7 +305,7 @@ class ClosureCounting {
 [[nodiscard]] inline auto make_coloring_checker(const ColoringProtocol& proto) {
   const std::int32_t palette = proto.palette_size();
   auto score = [palette](const Graph& g,
-                         const Config<ColoringProtocol::State>& cfg,
+                         const ConfigView<ColoringProtocol::State>& cfg,
                          VertexId v) -> std::int32_t {
     const auto cv = cfg[static_cast<std::size_t>(v)];
     std::int32_t s = (cv >= 0 && cv < palette) ? 0 : 1;
@@ -324,7 +324,7 @@ class ClosureCounting {
 [[nodiscard]] inline auto make_unbounded_unison_checker(
     const UnboundedUnisonProtocol&) {
   auto score = [](const Graph& g,
-                  const Config<UnboundedUnisonProtocol::State>& cfg,
+                  const ConfigView<UnboundedUnisonProtocol::State>& cfg,
                   VertexId v) -> std::int32_t {
     const auto cv = cfg[static_cast<std::size_t>(v)];
     std::int32_t s = 0;

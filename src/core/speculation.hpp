@@ -79,8 +79,7 @@ template <ProtocolConcept P>
 ConvergenceMeasurement measure_convergence(
     const Graph& g, const P& proto, Daemon& daemon,
     const std::vector<Config<typename P::State>>& initial_configs,
-    const std::function<bool(const Graph&, const Config<typename P::State>&)>&
-        legitimate,
+    const LegitimacyPredicate<typename P::State>& legitimate,
     const RunOptions& opt) {
   RescanChecker<typename P::State> checker(legitimate);
   return measure_convergence(g, proto, daemon, initial_configs, checker, opt);
@@ -139,8 +138,7 @@ template <ProtocolConcept P>
 PortfolioMeasurement measure_portfolio(
     const Graph& g, const P& proto, AdversaryPortfolio& portfolio,
     const std::vector<Config<typename P::State>>& initial_configs,
-    const std::function<bool(const Graph&, const Config<typename P::State>&)>&
-        legitimate,
+    const LegitimacyPredicate<typename P::State>& legitimate,
     const RunOptions& opt) {
   RescanChecker<typename P::State> checker(legitimate);
   return measure_portfolio(g, proto, portfolio, initial_configs, checker, opt);

@@ -40,7 +40,7 @@ ClockValue SsmeParams::privileged_value(VertexId id) const {
 CherryClock SsmeParams::make_clock() const { return CherryClock(alpha, k); }
 
 VertexId SsmeProtocol::count_privileged(const Graph& g,
-                                        const Config<State>& cfg) const {
+                                        const ConfigView<State>& cfg) const {
   VertexId count = 0;
   for (VertexId v = 0; v < g.n(); ++v) {
     if (privileged(cfg, v)) ++count;

@@ -25,6 +25,7 @@
 
 #include "clock/cherry_clock.hpp"
 #include "graph/graph.hpp"
+#include "sim/config_store.hpp"
 #include "sim/types.hpp"
 #include "unison/unison.hpp"
 
@@ -75,16 +76,16 @@ class SsmeProtocol {
   // --- ProtocolConcept (delegated to the unison; the privileged
   //     predicate does not interfere with the protocol) ---
 
-  [[nodiscard]] bool enabled(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] bool enabled(const Graph& g, const ConfigView<State>& cfg,
                              VertexId v) const {
     return unison_.enabled(g, cfg, v);
   }
-  [[nodiscard]] State apply(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] State apply(const Graph& g, const ConfigView<State>& cfg,
                             VertexId v) const {
     return unison_.apply(g, cfg, v);
   }
   [[nodiscard]] std::string_view rule_name(const Graph& g,
-                                           const Config<State>& cfg,
+                                           const ConfigView<State>& cfg,
                                            VertexId v) const {
     return unison_.rule_name(g, cfg, v);
   }
@@ -92,22 +93,25 @@ class SsmeProtocol {
   // --- Mutual exclusion view ---
 
   /// privileged_v in the given configuration.
-  [[nodiscard]] bool privileged(const Config<State>& cfg, VertexId v) const {
+  [[nodiscard]] bool privileged(const ConfigView<State>& cfg,
+                                VertexId v) const {
     return cfg[static_cast<std::size_t>(v)] == params_.privileged_value(v);
   }
 
   /// Number of simultaneously privileged vertices.
   [[nodiscard]] VertexId count_privileged(const Graph& g,
-                                          const Config<State>& cfg) const;
+                                          const ConfigView<State>& cfg) const;
 
   /// spec_ME safety slice: at most one vertex privileged.
-  [[nodiscard]] bool mutex_safe(const Graph& g, const Config<State>& cfg) const {
+  [[nodiscard]] bool mutex_safe(const Graph& g,
+                                const ConfigView<State>& cfg) const {
     return count_privileged(g, cfg) <= 1;
   }
 
   /// Gamma_1 membership of the underlying unison (closed legitimacy set;
   /// inside it spec_ME holds — proof of Theorem 1).
-  [[nodiscard]] bool legitimate(const Graph& g, const Config<State>& cfg) const {
+  [[nodiscard]] bool legitimate(const Graph& g,
+                                const ConfigView<State>& cfg) const {
     return unison_.legitimate(g, cfg);
   }
 

@@ -27,7 +27,7 @@ ColoringProtocol::ColoringProtocol(const Graph& g, std::int32_t palette_size)
   }
 }
 
-bool ColoringProtocol::enabled(const Graph& g, const Config<State>& cfg,
+bool ColoringProtocol::enabled(const Graph& g, const ConfigView<State>& cfg,
                                VertexId v) const {
   const State cv = cfg[static_cast<std::size_t>(v)];
   if (!in_palette(cv)) return true;
@@ -39,7 +39,7 @@ bool ColoringProtocol::enabled(const Graph& g, const Config<State>& cfg,
 }
 
 ColoringProtocol::State ColoringProtocol::apply(const Graph& g,
-                                                const Config<State>& cfg,
+                                                const ConfigView<State>& cfg,
                                                 VertexId v) const {
   // Smallest palette color unused by any neighbour (corrupted neighbour
   // colors outside the palette constrain nothing).
@@ -56,22 +56,22 @@ ColoringProtocol::State ColoringProtocol::apply(const Graph& g,
 }
 
 std::string_view ColoringProtocol::rule_name(const Graph& g,
-                                             const Config<State>& cfg,
+                                             const ConfigView<State>& cfg,
                                              VertexId v) const {
   if (!enabled(g, cfg, v)) return "";
   return in_palette(cfg[static_cast<std::size_t>(v)]) ? "YIELD" : "REPAIR";
 }
 
 bool ColoringProtocol::legitimate(const Graph& g,
-                                  const Config<State>& cfg) const {
+                                  const ConfigView<State>& cfg) const {
   for (VertexId v = 0; v < g.n(); ++v) {
     if (!in_palette(cfg[static_cast<std::size_t>(v)])) return false;
   }
   return conflict_count(g, cfg) == 0;
 }
 
-std::int64_t ColoringProtocol::conflict_count(const Graph& g,
-                                              const Config<State>& cfg) const {
+std::int64_t ColoringProtocol::conflict_count(
+    const Graph& g, const ConfigView<State>& cfg) const {
   std::int64_t conflicts = 0;
   for (const auto& [u, v] : g.edges()) {
     if (cfg[static_cast<std::size_t>(u)] == cfg[static_cast<std::size_t>(v)]) {

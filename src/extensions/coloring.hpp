@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/config_store.hpp"
 #include "sim/types.hpp"
 
 namespace specstab {
@@ -47,12 +48,12 @@ class ColoringProtocol {
 
   // --- ProtocolConcept ---
 
-  [[nodiscard]] bool enabled(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] bool enabled(const Graph& g, const ConfigView<State>& cfg,
                              VertexId v) const;
-  [[nodiscard]] State apply(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] State apply(const Graph& g, const ConfigView<State>& cfg,
                             VertexId v) const;
   [[nodiscard]] std::string_view rule_name(const Graph& g,
-                                           const Config<State>& cfg,
+                                           const ConfigView<State>& cfg,
                                            VertexId v) const;
 
   // --- Specification ---
@@ -62,11 +63,12 @@ class ColoringProtocol {
   /// — a properly colored configuration has no monochromatic edge and no
   /// out-of-palette color, hence no enabled vertex: legitimate ==
   /// terminal, the protocol is silent.
-  [[nodiscard]] bool legitimate(const Graph& g, const Config<State>& cfg) const;
+  [[nodiscard]] bool legitimate(const Graph& g,
+                                const ConfigView<State>& cfg) const;
 
   /// Number of monochromatic edges (the potential the benches plot).
   [[nodiscard]] std::int64_t conflict_count(const Graph& g,
-                                            const Config<State>& cfg) const;
+                                            const ConfigView<State>& cfg) const;
 
  private:
   [[nodiscard]] bool in_palette(State c) const noexcept {

@@ -43,36 +43,41 @@ LeaderElectionProtocol::LeaderElectionProtocol(const Graph& g,
 }
 
 LeaderState LeaderElectionProtocol::best_candidate(const Graph& g,
-                                                   const Config<State>& cfg,
+                                                   const ConfigView<State>& cfg,
                                                    VertexId v) const {
   // Own candidacy: (id_v, 0).
   LeaderState best{id_of(v), 0};
   const auto bound = static_cast<std::int32_t>(g.n());
   for (VertexId u : g.neighbors(v)) {
-    const LeaderState& su = cfg[static_cast<std::size_t>(u)];
+    const auto i = static_cast<std::size_t>(u);
     // Discard corrupted or overflowing distances: the candidate would sit
     // at distance dist_u + 1, which must stay below n in any real
-    // configuration.  This is the ghost-flushing bound.
-    if (su.dist < 0 || su.dist + 1 >= bound) continue;
-    const LeaderState candidate{su.leader, su.dist + 1};
+    // configuration.  This is the ghost-flushing bound.  Reading the
+    // dist column first keeps the discard off the leader column — under
+    // SoA the scan touches one contiguous array until a candidate
+    // survives.
+    const std::int32_t du = cfg.field<kDistField>(i);
+    if (du < 0 || du + 1 >= bound) continue;
+    const LeaderState candidate{cfg.field<kLeaderField>(i), du + 1};
     if (candidate < best) best = candidate;
   }
   return best;
 }
 
-bool LeaderElectionProtocol::enabled(const Graph& g, const Config<State>& cfg,
+bool LeaderElectionProtocol::enabled(const Graph& g,
+                                     const ConfigView<State>& cfg,
                                      VertexId v) const {
   return !(cfg[static_cast<std::size_t>(v)] == best_candidate(g, cfg, v));
 }
 
 LeaderState LeaderElectionProtocol::apply(const Graph& g,
-                                          const Config<State>& cfg,
+                                          const ConfigView<State>& cfg,
                                           VertexId v) const {
   return best_candidate(g, cfg, v);
 }
 
 std::string_view LeaderElectionProtocol::rule_name(const Graph& g,
-                                                   const Config<State>& cfg,
+                                                   const ConfigView<State>& cfg,
                                                    VertexId v) const {
   if (!enabled(g, cfg, v)) return "";
   const LeaderState best = best_candidate(g, cfg, v);
@@ -93,12 +98,17 @@ Config<LeaderState> LeaderElectionProtocol::elected_config(
 }
 
 bool LeaderElectionProtocol::legitimate(const Graph& g,
-                                        const Config<State>& cfg) const {
-  return cfg == elected_config(g);
+                                        const ConfigView<State>& cfg) const {
+  const Config<State> elected = elected_config(g);
+  if (cfg.size() != elected.size()) return false;
+  for (std::size_t i = 0; i < elected.size(); ++i) {
+    if (!(cfg[i] == elected[i])) return false;
+  }
+  return true;
 }
 
 bool LeaderElectionProtocol::ghost_free(const Graph& g,
-                                        const Config<State>& cfg) const {
+                                        const ConfigView<State>& cfg) const {
   for (VertexId v = 0; v < g.n(); ++v) {
     if (cfg[static_cast<std::size_t>(v)].leader < min_id_) return false;
   }

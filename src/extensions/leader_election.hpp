@@ -27,9 +27,11 @@
 
 #include <cstdint>
 #include <string_view>
+#include <tuple>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/config_store.hpp"
 #include "sim/types.hpp"
 
 namespace specstab {
@@ -49,6 +51,21 @@ struct LeaderState {
     return a.leader != b.leader ? a.leader < b.leader : a.dist < b.dist;
   }
 };
+
+/// SoA split: the guard reads both fields of every neighbour, but the
+/// distance bound discards most candidates before their leader identity
+/// matters, so `dist` scans profit from its own contiguous column.  The
+/// two members cover the struct — no residual array under SoA.
+template <>
+struct SoaFields<LeaderState> {
+  static constexpr auto members =
+      std::make_tuple(&LeaderState::leader, &LeaderState::dist);
+  static constexpr bool covers_state = true;
+};
+
+/// Column indices for ConfigView<LeaderState>::field<I>().
+inline constexpr std::size_t kLeaderField = 0;
+inline constexpr std::size_t kDistField = 1;
 
 class LeaderElectionProtocol {
  public:
@@ -71,12 +88,12 @@ class LeaderElectionProtocol {
 
   // --- ProtocolConcept ---
 
-  [[nodiscard]] bool enabled(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] bool enabled(const Graph& g, const ConfigView<State>& cfg,
                              VertexId v) const;
-  [[nodiscard]] State apply(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] State apply(const Graph& g, const ConfigView<State>& cfg,
                             VertexId v) const;
   [[nodiscard]] std::string_view rule_name(const Graph& g,
-                                           const Config<State>& cfg,
+                                           const ConfigView<State>& cfg,
                                            VertexId v) const;
 
   // --- Specification ---
@@ -87,16 +104,19 @@ class LeaderElectionProtocol {
 
   /// Legitimacy: cfg equals elected_config (the protocol is silent, so
   /// this is also exactly the terminal predicate).
-  [[nodiscard]] bool legitimate(const Graph& g, const Config<State>& cfg) const;
+  [[nodiscard]] bool legitimate(const Graph& g,
+                                const ConfigView<State>& cfg) const;
 
   /// Safety slice used mid-execution: no vertex believes in a leader
   /// identity smaller than the real minimum (ghosts flushed).
-  [[nodiscard]] bool ghost_free(const Graph& g, const Config<State>& cfg) const;
+  [[nodiscard]] bool ghost_free(const Graph& g,
+                                const ConfigView<State>& cfg) const;
 
  private:
   /// The best candidate available to v in cfg (the unique successor
   /// state).
-  [[nodiscard]] State best_candidate(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] State best_candidate(const Graph& g,
+                                     const ConfigView<State>& cfg,
                                      VertexId v) const;
 
   std::vector<std::int32_t> ids_;

@@ -116,6 +116,7 @@ template <class Traits>
   const auto daemon = make_daemon(spec.daemon, spec.seed);
   RunOptions opt;
   opt.engine = spec.engine;
+  opt.layout = spec.layout;
   opt.record_trace = spec.record_trace;
   opt.max_steps =
       spec.max_steps > 0 ? spec.max_steps : Traits::step_cap(g, diam);

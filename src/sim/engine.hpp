@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/config_store.hpp"
 #include "sim/daemon.hpp"
 #include "sim/protocol.hpp"
 #include "sim/trace.hpp"
@@ -55,6 +56,11 @@ struct RunOptions {
   /// incremental_engine.hpp (run_execution below always executes the
   /// reference algorithm regardless of this field).
   EngineKind engine = EngineKind::kIncremental;
+
+  /// Backing layout of the live configuration (see config_store.hpp).
+  /// kAuto picks SoA wherever the state type declares a split — results
+  /// are byte-identical across layouts; only memory traffic differs.
+  ConfigLayout layout = ConfigLayout::kAuto;
 
   /// If set, stop this many actions after the first time the
   /// configuration satisfies the legitimacy predicate (useful to bound
@@ -109,23 +115,30 @@ struct RunResult {
 /// gamma_i, activated set); the action produces gamma_{i+1}.
 template <class State>
 using StepObserver = std::function<void(
-    StepIndex, const Config<State>&, const std::vector<VertexId>&)>;
+    StepIndex, ConfigView<State>, const std::vector<VertexId>&)>;
+
+/// Legitimacy predicate over a configuration view, layout-agnostic.
+template <class State>
+using LegitimacyPredicate =
+    std::function<bool(const Graph&, ConfigView<State>)>;
 
 template <ProtocolConcept P>
 RunResult<typename P::State> run_execution(
     const Graph& g, const P& proto, Daemon& daemon,
     Config<typename P::State> init, const RunOptions& opt,
-    const std::function<bool(const Graph&, const Config<typename P::State>&)>&
-        legitimate,
+    const LegitimacyPredicate<typename P::State>& legitimate,
     const StepObserver<typename P::State>& observer = nullptr) {
   using State = typename P::State;
   RunResult<State> res;
-  Config<State> cfg = std::move(init);
+  ConfigStore<State> cfg(std::move(init), opt.layout);
+  // One view for the whole run: it reads through the store's member
+  // buffers, so in-place set() and dense buffer swaps stay visible.
+  const ConfigView<State> live = cfg.view();
   RoundCounter rc(g.n());
 
   bool pending_convergence_marker = false;
   const auto note_legitimacy = [&](StepIndex cfg_index) {
-    const bool legit = !legitimate || legitimate(g, cfg);
+    const bool legit = !legitimate || legitimate(g, live);
     if (legit) {
       if (res.first_legitimate < 0) res.first_legitimate = cfg_index;
       if (pending_convergence_marker) {
@@ -141,10 +154,10 @@ RunResult<typename P::State> run_execution(
     }
   };
 
-  if (opt.record_trace) res.trace.start(cfg);
+  if (opt.record_trace) res.trace.start(live);
   note_legitimacy(0);
 
-  auto enabled = enabled_vertices(g, proto, cfg);
+  auto enabled = enabled_vertices(g, proto, live);
   // Daemon scratch, reused across the whole execution (the daemon hot
   // path allocates nothing in steady state).  The rest of this loop stays
   // deliberately naive — fresh rescans and vectors per action — because
@@ -163,26 +176,28 @@ RunResult<typename P::State> run_execution(
 
     daemon.select_into(g, enabled, res.steps, action);
     const std::vector<VertexId>& activated = action.active;
-    if (observer) observer(res.steps, cfg, activated);
+    if (observer) observer(res.steps, live, activated);
 
     // Composite atomicity: compute all successor states against the
     // pre-action configuration, then install them.
     std::vector<std::pair<VertexId, State>> updates;
     updates.reserve(activated.size());
-    for (VertexId v : activated) updates.emplace_back(v, proto.apply(g, cfg, v));
+    for (VertexId v : activated) {
+      updates.emplace_back(v, proto.apply(g, live, v));
+    }
     if (opt.record_trace) {
       for (const auto& [v, s] : updates) {
-        res.trace.note_change(v, cfg[static_cast<std::size_t>(v)], s);
+        res.trace.note_change(v, live.get(static_cast<std::size_t>(v)), s);
       }
       res.trace.seal_action(activated);
     }
-    for (auto& [v, s] : updates) cfg[static_cast<std::size_t>(v)] = std::move(s);
+    for (const auto& [v, s] : updates) cfg.set(static_cast<std::size_t>(v), s);
 
     res.moves += static_cast<std::int64_t>(activated.size());
     ++res.steps;
     if (res.first_legitimate >= 0) ++since_convergence;
 
-    auto enabled_after = enabled_vertices(g, proto, cfg);
+    auto enabled_after = enabled_vertices(g, proto, live);
     rc.on_action(enabled, activated, enabled_after);
     enabled = std::move(enabled_after);
 
@@ -200,7 +215,7 @@ RunResult<typename P::State> run_execution(
         (res.last_illegitimate < res.steps) ? res.last_illegitimate + 1 : -1;
   }
 
-  res.final_config = std::move(cfg);
+  res.final_config = cfg.take();
   return res;
 }
 

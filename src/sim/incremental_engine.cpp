@@ -59,17 +59,31 @@ void EnabledSet::reset(VertexId n) {
   scratch_.clear();
   added_.clear();
   removed_.clear();
+  // No staged set exceeds n vertices; reserving up front keeps the
+  // rebuild, staging and merge paths allocation-free for the whole run
+  // (the bitmap above is O(n) memory already).
+  vertices_.reserve(static_cast<std::size_t>(n));
+  scratch_.reserve(static_cast<std::size_t>(n));
+  added_.reserve(static_cast<std::size_t>(n));
+  removed_.reserve(static_cast<std::size_t>(n));
 }
 
-void EnabledSet::assign(std::vector<VertexId> sorted_enabled) {
+void EnabledSet::assign(const std::vector<VertexId>& sorted_enabled) {
   std::fill(bits_.begin(), bits_.end(), 0);
   for (VertexId v : sorted_enabled) bits_[static_cast<std::size_t>(v)] = 1;
-  vertices_ = std::move(sorted_enabled);
+  // Copy into the reserved buffer — moving the argument in would replace
+  // it with a smaller allocation and re-introduce mid-run growth.
+  vertices_.assign(sorted_enabled.begin(), sorted_enabled.end());
 }
 
 void EnabledSet::begin_update() {
   added_.clear();
   removed_.clear();
+}
+
+void EnabledSet::begin_rebuild() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  scratch_.clear();
 }
 
 void EnabledSet::note(VertexId v, bool enabled_now) {

@@ -54,7 +54,7 @@ namespace specstab {
 /// configuration order regardless of the engine.
 template <class C, class State>
 concept IncrementalLegitimacy =
-    requires(C& c, const Graph& g, const Config<State>& cfg,
+    requires(C& c, const Graph& g, ConfigView<State> cfg,
              const std::vector<VertexId>& touched) {
       { c.init(g, cfg) } -> std::same_as<bool>;
       { c.on_update(g, cfg, touched) } -> std::same_as<bool>;
@@ -69,7 +69,7 @@ concept IncrementalLegitimacy =
 /// halving per-action expansion work.
 template <class C, class State>
 concept HasBallUpdate =
-    requires(C& c, const Graph& g, const Config<State>& cfg,
+    requires(C& c, const Graph& g, ConfigView<State> cfg,
              const std::vector<VertexId>& ball) {
       { std::as_const(c).update_radius() } -> std::convertible_to<VertexId>;
       { c.on_update_ball(g, cfg, ball) } -> std::same_as<bool>;
@@ -79,17 +79,16 @@ concept HasBallUpdate =
 /// reference engine's nullptr-predicate behaviour: every configuration is
 /// legitimate).
 struct AlwaysLegitimate {
-  template <class State>
-  bool init(const Graph&, const Config<State>&) {
+  template <class Cfg>
+  bool init(const Graph&, const Cfg&) {
     return true;
   }
-  template <class State>
-  bool on_update(const Graph&, const Config<State>&,
-                 const std::vector<VertexId>&) {
+  template <class Cfg>
+  bool on_update(const Graph&, const Cfg&, const std::vector<VertexId>&) {
     return true;
   }
-  template <class State>
-  bool full(const Graph&, const Config<State>&) {
+  template <class Cfg>
+  bool full(const Graph&, const Cfg&) {
     return true;
   }
 };
@@ -147,7 +146,7 @@ class EnabledSet {
   void reset(VertexId n);
 
   /// Installs the full enabled set (sorted), e.g. from the initial scan.
-  void assign(std::vector<VertexId> sorted_enabled);
+  void assign(const std::vector<VertexId>& sorted_enabled);
 
   [[nodiscard]] bool empty() const { return vertices_.empty(); }
   [[nodiscard]] const std::vector<VertexId>& vertices() const {
@@ -164,6 +163,18 @@ class EnabledSet {
   /// Applies the staged flips; returns whether the vector changed.
   bool commit();
 
+  /// Dense-path rebuild: when an action dirties most of the graph the
+  /// flip staging above degenerates (per-vertex compare-and-stage plus a
+  /// full merge); rebuilding from scratch is one bitmap clear plus one
+  /// append per enabled vertex.  Call append() in ascending vertex order
+  /// between begin_rebuild() and end_rebuild().
+  void begin_rebuild();
+  void append(VertexId v) {
+    bits_[static_cast<std::size_t>(v)] = 1;
+    scratch_.push_back(v);
+  }
+  void end_rebuild() { vertices_.swap(scratch_); }
+
  private:
   std::vector<char> bits_;
   std::vector<VertexId> vertices_, scratch_, added_, removed_;
@@ -179,7 +190,10 @@ RunResult<typename P::State> run_execution_incremental(
     const StepObserver<typename P::State>& observer = nullptr) {
   using State = typename P::State;
   RunResult<State> res;
-  Config<State> cfg = std::move(init);
+  ConfigStore<State> cfg(std::move(init), opt.layout);
+  // One view for the whole run (reads through the store's member
+  // buffers, so it tracks in-place writes and dense buffer swaps).
+  const ConfigView<State> live = cfg.view();
   RoundCounter rc(g.n());
   const VertexId radius = protocol_locality_radius(proto);
 
@@ -198,17 +212,16 @@ RunResult<typename P::State> run_execution_incremental(
     }
   };
 
-  if (opt.record_trace) res.trace.start(cfg);
-  note_legitimacy(0, checker.init(g, cfg));
+  if (opt.record_trace) res.trace.start(live);
+  note_legitimacy(0, checker.init(g, live));
 
   EnabledSet enabled;
   enabled.reset(g.n());
-  enabled.assign(enabled_vertices(g, proto, cfg));
+  enabled.assign(enabled_vertices(g, proto, live));
   NeighborhoodExpander expander(g.n());
   ActionBuffer action;
   std::vector<VertexId> round_base;
   std::vector<std::pair<VertexId, State>> updates;
-  Config<State> prev_cfg;
 
   StepIndex since_convergence = 0;
   while (res.steps < opt.max_steps) {
@@ -227,24 +240,26 @@ RunResult<typename P::State> run_execution_incremental(
     daemon.select_into(g, enabled.view(), res.steps, action);
     const std::vector<VertexId>& activated = action.active;
     assert(std::is_sorted(activated.begin(), activated.end()));
-    if (observer) observer(res.steps, cfg, activated);
+    if (observer) observer(res.steps, live, activated);
 
     // Composite atomicity: compute all successor states against the
-    // pre-action configuration, then install them.  Dense actions
-    // snapshot the configuration once into a reused buffer and apply in
-    // place against the snapshot (no per-vertex staging); sparse actions
-    // stage only the touched pairs.
+    // pre-action configuration, then install them.  Dense actions run
+    // through the store's double-buffered column swap — one contiguous
+    // write pass evaluating activated vertices against the swapped-out
+    // pre-action buffer, instead of a full snapshot copy plus scattered
+    // in-place writes; sparse actions stage only the touched pairs.
     const bool dense = is_dense_update(
         static_cast<std::int64_t>(activated.size()), radius, g);
     if (dense) {
-      prev_cfg = cfg;
-      for (VertexId v : activated) {
-        cfg[static_cast<std::size_t>(v)] = proto.apply(g, prev_cfg, v);
-      }
+      cfg.dense_apply(activated,
+                      [&](ConfigView<State> prev, VertexId v) {
+                        return proto.apply(g, prev, v);
+                      });
       if (opt.record_trace) {
+        const ConfigView<State> prev = cfg.prev_view();
         for (VertexId v : activated) {
-          res.trace.note_change(v, prev_cfg[static_cast<std::size_t>(v)],
-                                cfg[static_cast<std::size_t>(v)]);
+          const auto i = static_cast<std::size_t>(v);
+          res.trace.note_change(v, prev.get(i), live.get(i));
         }
         res.trace.seal_action(activated);
       }
@@ -252,16 +267,16 @@ RunResult<typename P::State> run_execution_incremental(
       updates.clear();
       updates.reserve(activated.size());
       for (VertexId v : activated) {
-        updates.emplace_back(v, proto.apply(g, cfg, v));
+        updates.emplace_back(v, proto.apply(g, live, v));
       }
       if (opt.record_trace) {
         for (const auto& [v, s] : updates) {
-          res.trace.note_change(v, cfg[static_cast<std::size_t>(v)], s);
+          res.trace.note_change(v, live.get(static_cast<std::size_t>(v)), s);
         }
         res.trace.seal_action(activated);
       }
-      for (auto& [v, s] : updates) {
-        cfg[static_cast<std::size_t>(v)] = std::move(s);
+      for (const auto& [v, s] : updates) {
+        cfg.set(static_cast<std::size_t>(v), s);
       }
     }
 
@@ -280,26 +295,28 @@ RunResult<typename P::State> run_execution_incremental(
     // (synchronous and dense distributed daemons), a plain ordered
     // rescan is cheaper than ball expansion.
     bool checker_legit;
-    enabled.begin_update();
     if (dense) {
+      enabled.begin_rebuild();
       for (VertexId v = 0; v < g.n(); ++v) {
-        enabled.note(v, proto.enabled(g, cfg, v));
+        if (proto.enabled(g, live, v)) enabled.append(v);
       }
-      checker_legit = checker.on_update(g, cfg, activated);
+      enabled.end_rebuild();
+      checker_legit = checker.on_update(g, live, activated);
     } else {
+      enabled.begin_update();
       const auto& dirty = expander.expand(g, activated, radius);
-      for (VertexId v : dirty) enabled.note(v, proto.enabled(g, cfg, v));
+      for (VertexId v : dirty) enabled.note(v, proto.enabled(g, live, v));
       // Share the expanded ball with a same-radius checker instead of
       // letting it expand the same ball again.
       if constexpr (HasBallUpdate<C, State>) {
         checker_legit = checker.update_radius() == radius
-                            ? checker.on_update_ball(g, cfg, dirty)
-                            : checker.on_update(g, cfg, activated);
+                            ? checker.on_update_ball(g, live, dirty)
+                            : checker.on_update(g, live, activated);
       } else {
-        checker_legit = checker.on_update(g, cfg, activated);
+        checker_legit = checker.on_update(g, live, activated);
       }
+      enabled.commit();
     }
-    enabled.commit();
     rc.on_action(opening_round ? round_base : enabled.vertices(), activated,
                  enabled.vertices());
 
@@ -314,7 +331,7 @@ RunResult<typename P::State> run_execution_incremental(
         (res.last_illegitimate < res.steps) ? res.last_illegitimate + 1 : -1;
   }
 
-  res.final_config = std::move(cfg);
+  res.final_config = cfg.take();
   return res;
 }
 
@@ -342,7 +359,7 @@ RunResult<typename P::State> run_with_engine(
   if (opt.engine == EngineKind::kReference) {
     return run_execution(
         g, proto, daemon, std::move(init), opt,
-        [&checker](const Graph& gg, const Config<State>& c) {
+        [&checker](const Graph& gg, ConfigView<State> c) {
           return checker.full(gg, c);
         },
         observer);

@@ -18,13 +18,20 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/config_store.hpp"
 #include "sim/types.hpp"
 
 namespace specstab {
 
+// Protocols consume configurations through the layout-polymorphic
+// ConfigView proxy (config_store.hpp), never a concrete vector: the same
+// guard code runs over AoS storage and over SoA hot-field columns.
+// Protocols written against `const Config<State>&` still satisfy the
+// concept for states without a struct split (the view converts back to
+// its backing vector), so test doubles need no migration.
 template <class P>
 concept ProtocolConcept = requires(const P& p, const Graph& g,
-                                   const Config<typename P::State>& cfg,
+                                   ConfigView<typename P::State> cfg,
                                    VertexId v) {
   typename P::State;
   { p.enabled(g, cfg, v) } -> std::same_as<bool>;
@@ -59,7 +66,7 @@ template <ProtocolConcept P>
 /// Sorted list of vertices enabled in `cfg`.
 template <ProtocolConcept P>
 [[nodiscard]] std::vector<VertexId> enabled_vertices(
-    const Graph& g, const P& proto, const Config<typename P::State>& cfg) {
+    const Graph& g, const P& proto, ConfigView<typename P::State> cfg) {
   std::vector<VertexId> out;
   for (VertexId v = 0; v < g.n(); ++v) {
     if (proto.enabled(g, cfg, v)) out.push_back(v);
@@ -70,7 +77,7 @@ template <ProtocolConcept P>
 /// True iff no vertex is enabled (the configuration is terminal).
 template <ProtocolConcept P>
 [[nodiscard]] bool is_terminal(const Graph& g, const P& proto,
-                               const Config<typename P::State>& cfg) {
+                               ConfigView<typename P::State> cfg) {
   for (VertexId v = 0; v < g.n(); ++v) {
     if (proto.enabled(g, cfg, v)) return false;
   }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/config_store.hpp"
 #include "sim/engine.hpp"
 #include "sim/types.hpp"
 
@@ -42,6 +43,11 @@ struct SessionSpec {
   std::uint64_t seed = 42;             ///< feeds init + randomized daemons
   StepIndex max_steps = 0;             ///< 0: protocol-appropriate default
   EngineKind engine = EngineKind::kIncremental;
+  /// Configuration storage layout (CLI `--layout soa|aos`).  kAuto picks
+  /// SoA wherever the protocol's state declares a split; results are
+  /// byte-identical across layouts (the layout-agreement suite holds
+  /// every protocol to that).
+  ConfigLayout layout = ConfigLayout::kAuto;
   bool record_trace = false;           ///< expose the delta trace below
   /// Skip the rendered outputs (final_state, digest, notes): the
   /// campaign runner keeps only the numeric meters, so it does not pay

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "sim/config_store.hpp"
 #include "sim/types.hpp"
 
 namespace specstab {
@@ -52,12 +53,12 @@ class DeltaTrace {
     activated_offset_.assign(1, 0);
   }
 
-  /// Installs gamma_0.  Must be called exactly once, before any
-  /// seal_action().
-  void start(const Config<State>& initial) {
+  /// Installs gamma_0 (snapshotted to an AoS copy, whatever layout backs
+  /// the view).  Must be called exactly once, before any seal_action().
+  void start(ConfigView<State> initial) {
     clear();
     started_ = true;
-    initial_ = initial;
+    initial_ = initial.materialize();
   }
 
   /// Stages one changed vertex of the action being recorded.  No-op when

@@ -9,7 +9,7 @@ namespace specstab {
 static_assert(ProtocolConcept<UnisonProtocol>,
               "UnisonProtocol must satisfy ProtocolConcept");
 
-bool UnisonProtocol::correct(const Config<State>& cfg, VertexId v,
+bool UnisonProtocol::correct(const ConfigView<State>& cfg, VertexId v,
                              VertexId u) const {
   const State rv = cfg[static_cast<std::size_t>(v)];
   const State ru = cfg[static_cast<std::size_t>(u)];
@@ -17,7 +17,7 @@ bool UnisonProtocol::correct(const Config<State>& cfg, VertexId v,
          clock_.ring_distance(rv, ru) <= 1;
 }
 
-bool UnisonProtocol::all_correct(const Graph& g, const Config<State>& cfg,
+bool UnisonProtocol::all_correct(const Graph& g, const ConfigView<State>& cfg,
                                  VertexId v) const {
   for (VertexId u : g.neighbors(v)) {
     if (!correct(cfg, v, u)) return false;
@@ -25,7 +25,7 @@ bool UnisonProtocol::all_correct(const Graph& g, const Config<State>& cfg,
   return true;
 }
 
-bool UnisonProtocol::normal_step(const Graph& g, const Config<State>& cfg,
+bool UnisonProtocol::normal_step(const Graph& g, const ConfigView<State>& cfg,
                                  VertexId v) const {
   // NA guard: r_v in stab and, for every neighbour u, correct_v(u) and
   // r_v <=_l r_u.  Since bar(r_u - r_v) <= 1 already implies
@@ -44,7 +44,7 @@ bool UnisonProtocol::normal_step(const Graph& g, const Config<State>& cfg,
   return true;
 }
 
-bool UnisonProtocol::converge_step(const Graph& g, const Config<State>& cfg,
+bool UnisonProtocol::converge_step(const Graph& g, const ConfigView<State>& cfg,
                                    VertexId v) const {
   const State rv = cfg[static_cast<std::size_t>(v)];
   if (!clock_.in_init_star(rv)) return false;
@@ -56,20 +56,20 @@ bool UnisonProtocol::converge_step(const Graph& g, const Config<State>& cfg,
   return true;
 }
 
-bool UnisonProtocol::reset_init(const Graph& g, const Config<State>& cfg,
+bool UnisonProtocol::reset_init(const Graph& g, const ConfigView<State>& cfg,
                                 VertexId v) const {
   return !all_correct(g, cfg, v) &&
          !clock_.in_init(cfg[static_cast<std::size_t>(v)]);
 }
 
-bool UnisonProtocol::enabled(const Graph& g, const Config<State>& cfg,
+bool UnisonProtocol::enabled(const Graph& g, const ConfigView<State>& cfg,
                              VertexId v) const {
   return normal_step(g, cfg, v) || converge_step(g, cfg, v) ||
          reset_init(g, cfg, v);
 }
 
 UnisonProtocol::State UnisonProtocol::apply(const Graph& g,
-                                            const Config<State>& cfg,
+                                            const ConfigView<State>& cfg,
                                             VertexId v) const {
   const State rv = cfg[static_cast<std::size_t>(v)];
   if (normal_step(g, cfg, v) || converge_step(g, cfg, v)) {
@@ -80,7 +80,7 @@ UnisonProtocol::State UnisonProtocol::apply(const Graph& g,
 }
 
 std::string_view UnisonProtocol::rule_name(const Graph& g,
-                                           const Config<State>& cfg,
+                                           const ConfigView<State>& cfg,
                                            VertexId v) const {
   if (normal_step(g, cfg, v)) return "NA";
   if (converge_step(g, cfg, v)) return "CA";
@@ -89,7 +89,7 @@ std::string_view UnisonProtocol::rule_name(const Graph& g,
 }
 
 bool UnisonProtocol::locally_legitimate(const Graph& g,
-                                        const Config<State>& cfg,
+                                        const ConfigView<State>& cfg,
                                         VertexId v) const {
   const State rv = cfg[static_cast<std::size_t>(v)];
   if (!clock_.in_stab(rv)) return false;
@@ -101,7 +101,7 @@ bool UnisonProtocol::locally_legitimate(const Graph& g,
 }
 
 bool UnisonProtocol::legitimate(const Graph& g,
-                                const Config<State>& cfg) const {
+                                const ConfigView<State>& cfg) const {
   for (VertexId v = 0; v < g.n(); ++v) {
     if (!locally_legitimate(g, cfg, v)) return false;
   }
@@ -109,10 +109,10 @@ bool UnisonProtocol::legitimate(const Graph& g,
 }
 
 bool UnisonProtocol::well_formed(const Graph& g,
-                                 const Config<State>& cfg) const {
+                                 const ConfigView<State>& cfg) const {
   if (static_cast<VertexId>(cfg.size()) != g.n()) return false;
-  for (const State s : cfg) {
-    if (!clock_.contains(s)) return false;
+  for (std::size_t i = 0; i < cfg.size(); ++i) {
+    if (!clock_.contains(cfg[i])) return false;
   }
   return true;
 }

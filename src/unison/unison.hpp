@@ -18,6 +18,7 @@
 
 #include "clock/cherry_clock.hpp"
 #include "graph/graph.hpp"
+#include "sim/config_store.hpp"
 #include "sim/types.hpp"
 
 namespace specstab {
@@ -33,34 +34,34 @@ class UnisonProtocol {
   // --- Algorithm 1 predicates (public: tests exercise them directly) ---
 
   /// correct_v(u): both registers in stab and within ring distance 1.
-  [[nodiscard]] bool correct(const Config<State>& cfg, VertexId v,
+  [[nodiscard]] bool correct(const ConfigView<State>& cfg, VertexId v,
                              VertexId u) const;
 
   /// allCorrect_v: correct_v(u) for every neighbour u.
-  [[nodiscard]] bool all_correct(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] bool all_correct(const Graph& g, const ConfigView<State>& cfg,
                                  VertexId v) const;
 
   /// normalStep_v: allCorrect and r_v <=_l r_u for every neighbour.
-  [[nodiscard]] bool normal_step(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] bool normal_step(const Graph& g, const ConfigView<State>& cfg,
                                  VertexId v) const;
 
   /// convergeStep_v: r_v in init* and every neighbour in init with
   /// r_v <=_init r_u.
-  [[nodiscard]] bool converge_step(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] bool converge_step(const Graph& g, const ConfigView<State>& cfg,
                                    VertexId v) const;
 
   /// resetInit_v: not allCorrect and r_v not in init.
-  [[nodiscard]] bool reset_init(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] bool reset_init(const Graph& g, const ConfigView<State>& cfg,
                                 VertexId v) const;
 
   // --- ProtocolConcept interface ---
 
-  [[nodiscard]] bool enabled(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] bool enabled(const Graph& g, const ConfigView<State>& cfg,
                              VertexId v) const;
-  [[nodiscard]] State apply(const Graph& g, const Config<State>& cfg,
+  [[nodiscard]] State apply(const Graph& g, const ConfigView<State>& cfg,
                             VertexId v) const;
   [[nodiscard]] std::string_view rule_name(const Graph& g,
-                                           const Config<State>& cfg,
+                                           const ConfigView<State>& cfg,
                                            VertexId v) const;
 
   // --- Legitimacy (Gamma_1) ---
@@ -68,16 +69,17 @@ class UnisonProtocol {
   /// Vertex-local slice of Gamma_1: r_v in stab and within drift 1 of
   /// every neighbour.
   [[nodiscard]] bool locally_legitimate(const Graph& g,
-                                        const Config<State>& cfg,
+                                        const ConfigView<State>& cfg,
                                         VertexId v) const;
 
   /// Gamma_1 membership: every register correct, neighbour drift <= 1.
-  [[nodiscard]] bool legitimate(const Graph& g, const Config<State>& cfg) const;
+  [[nodiscard]] bool legitimate(const Graph& g,
+                                const ConfigView<State>& cfg) const;
 
   /// True iff every register is a value of cherry(alpha, K) — a
   /// well-formedness check on arbitrary (corrupted) configurations.
   [[nodiscard]] bool well_formed(const Graph& g,
-                                 const Config<State>& cfg) const;
+                                 const ConfigView<State>& cfg) const;
 
  private:
   CherryClock clock_;

@@ -43,8 +43,8 @@ TEST_P(ExtensionSweep, LeaderElectionConvergesOnEveryFamily) {
   const auto cases = families();
   const auto& c = cases[static_cast<std::size_t>(GetParam())];
   const LeaderElectionProtocol proto(c.graph);
-  const std::function<bool(const Graph&, const Config<LeaderState>&)> legit =
-      [&proto](const Graph& g, const Config<LeaderState>& cfg) {
+  const LegitimacyPredicate<LeaderState> legit =
+      [&proto](const Graph& g, ConfigView<LeaderState> cfg) {
         return proto.legitimate(g, cfg);
       };
   for (std::uint64_t seed = 0; seed < 3; ++seed) {

@@ -19,9 +19,9 @@ namespace {
 static_assert(ProtocolConcept<LeaderElectionProtocol>,
               "leader election must satisfy ProtocolConcept");
 
-std::function<bool(const Graph&, const Config<LeaderState>&)> legit_of(
+LegitimacyPredicate<LeaderState> legit_of(
     const LeaderElectionProtocol& proto) {
-  return [&proto](const Graph& g, const Config<LeaderState>& c) {
+  return [&proto](const Graph& g, ConfigView<LeaderState> c) {
     return proto.legitimate(g, c);
   };
 }

@@ -50,17 +50,17 @@ TEST(MinPlusOneTest, GuardsAndTargets) {
   const Graph g = make_path(3);
   const MinPlusOneProtocol proto(g);
   // Correct config: nobody enabled.
-  EXPECT_FALSE(proto.enabled(g, {0, 1, 2}, 0));
-  EXPECT_FALSE(proto.enabled(g, {0, 1, 2}, 1));
-  EXPECT_FALSE(proto.enabled(g, {0, 1, 2}, 2));
+  EXPECT_FALSE(proto.enabled(g, Config<std::int32_t>{0, 1, 2}, 0));
+  EXPECT_FALSE(proto.enabled(g, Config<std::int32_t>{0, 1, 2}, 1));
+  EXPECT_FALSE(proto.enabled(g, Config<std::int32_t>{0, 1, 2}, 2));
   // Root drives to 0.
-  EXPECT_TRUE(proto.enabled(g, {2, 1, 2}, 0));
-  EXPECT_EQ(proto.apply(g, {2, 1, 2}, 0), 0);
-  EXPECT_EQ(proto.rule_name(g, {2, 1, 2}, 0), "ROOT");
+  EXPECT_TRUE(proto.enabled(g, Config<std::int32_t>{2, 1, 2}, 0));
+  EXPECT_EQ(proto.apply(g, Config<std::int32_t>{2, 1, 2}, 0), 0);
+  EXPECT_EQ(proto.rule_name(g, Config<std::int32_t>{2, 1, 2}, 0), "ROOT");
   // Interior drives to min+1.
-  EXPECT_TRUE(proto.enabled(g, {0, 3, 2}, 1));
-  EXPECT_EQ(proto.apply(g, {0, 3, 2}, 1), 1);
-  EXPECT_EQ(proto.rule_name(g, {0, 3, 2}, 1), "MIN+1");
+  EXPECT_TRUE(proto.enabled(g, Config<std::int32_t>{0, 3, 2}, 1));
+  EXPECT_EQ(proto.apply(g, Config<std::int32_t>{0, 3, 2}, 1), 1);
+  EXPECT_EQ(proto.rule_name(g, Config<std::int32_t>{0, 3, 2}, 1), "MIN+1");
 }
 
 TEST(MinPlusOneTest, LevelsAreCapped) {

@@ -110,20 +110,22 @@ TEST(UnisonTest, NoResetForInitValues) {
 TEST(UnisonTest, LegitimateConfigurations) {
   const Graph g = make_ring(4);
   const UnisonProtocol proto = small_unison();
-  EXPECT_TRUE(proto.legitimate(g, {0, 0, 0, 0}));
-  EXPECT_TRUE(proto.legitimate(g, {3, 4, 4, 3}));
-  EXPECT_TRUE(proto.legitimate(g, {7, 0, 0, 7}));   // wraparound drift 1
-  EXPECT_FALSE(proto.legitimate(g, {3, 5, 3, 3}));  // drift 2
-  EXPECT_FALSE(proto.legitimate(g, {-1, 0, 0, 0})); // init value
+  EXPECT_TRUE(proto.legitimate(g, Config<ClockValue>{0, 0, 0, 0}));
+  EXPECT_TRUE(proto.legitimate(g, Config<ClockValue>{3, 4, 4, 3}));
+  // wraparound drift 1:
+  EXPECT_TRUE(proto.legitimate(g, Config<ClockValue>{7, 0, 0, 7}));
+  EXPECT_FALSE(proto.legitimate(g, Config<ClockValue>{3, 5, 3, 3}));  // drift 2
+  // init value:
+  EXPECT_FALSE(proto.legitimate(g, Config<ClockValue>{-1, 0, 0, 0}));
 }
 
 TEST(UnisonTest, WellFormed) {
   const Graph g = make_path(2);
   const UnisonProtocol proto = small_unison();
-  EXPECT_TRUE(proto.well_formed(g, {-3, 7}));
-  EXPECT_FALSE(proto.well_formed(g, {-4, 0}));
-  EXPECT_FALSE(proto.well_formed(g, {0, 8}));
-  EXPECT_FALSE(proto.well_formed(g, {0}));  // wrong arity
+  EXPECT_TRUE(proto.well_formed(g, Config<ClockValue>{-3, 7}));
+  EXPECT_FALSE(proto.well_formed(g, Config<ClockValue>{-4, 0}));
+  EXPECT_FALSE(proto.well_formed(g, Config<ClockValue>{0, 8}));
+  EXPECT_FALSE(proto.well_formed(g, Config<ClockValue>{0}));  // wrong arity
 }
 
 TEST(UnisonTest, SingleVertexAlwaysTicksForever) {
