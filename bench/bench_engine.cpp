@@ -1,10 +1,17 @@
-// ENGINE — incremental dirty-set engine vs reference full-rescan engine.
+// ENGINE — incremental dirty-set engine vs reference full-rescan engine
+// vs vectorized column-scan engine.
 //
 // The headline number is the wall-clock ratio on the Theorem-3 campaign
 // preset (the hottest path in the repo: every portfolio daemon crossed
 // with random + two-gradient inits over the thm3 topology slate), run on
-// a thread pool with both engines and cross-checked row-for-row.  Micro
-// rows isolate per-protocol step throughput on larger single instances.
+// a thread pool with all engines and cross-checked row-for-row.  Micro
+// rows isolate per-protocol step throughput on larger single instances;
+// every row reports the incremental speedup (the historical "speedup"
+// key the regression gate tracks) plus vector_ms / vector_speedup for
+// the SIMD engine.  The vector engine is expected to win on the dense
+// distributed-daemon rows (unison/torus, leader/random) and to lose
+// honestly on central-daemon rows, where one action dirties O(1)
+// vertices and a full rescan is pure overhead.
 //
 // Unlike the google-benchmark experiment benches this tool links only
 // the core library (plain chrono timing), so it builds everywhere and CI
@@ -73,9 +80,13 @@ struct MicroRow {
   std::int64_t steps = 0;
   double reference_ms = 0.0;
   double incremental_ms = 0.0;
+  double vector_ms = 0.0;
 
   [[nodiscard]] double speedup() const {
     return incremental_ms > 0.0 ? reference_ms / incremental_ms : 0.0;
+  }
+  [[nodiscard]] double vector_speedup() const {
+    return vector_ms > 0.0 ? reference_ms / vector_ms : 0.0;
   }
 };
 
@@ -93,8 +104,9 @@ MicroRow micro(const std::string& name, const Graph& g, const P& proto,
   row.name = name;
   RunOptions opt;
   opt.max_steps = max_steps;
-  for (const EngineKind kind :
-       {EngineKind::kReference, EngineKind::kIncremental}) {
+  for (const EngineKind kind : {EngineKind::kReference,
+                                EngineKind::kIncremental,
+                                EngineKind::kVector}) {
     opt.engine = kind;
     std::int64_t steps = 0;
     const double ms = best_of(repeats, [&] {
@@ -112,10 +124,12 @@ MicroRow micro(const std::string& name, const Graph& g, const P& proto,
       row.reference_ms = ms;
       row.steps = steps;
     } else {
-      row.incremental_ms = ms;
+      (kind == EngineKind::kIncremental ? row.incremental_ms
+                                        : row.vector_ms) = ms;
       if (steps != row.steps) {
-        std::cerr << "!! ENGINE MISMATCH in micro '" << name << "': "
-                  << row.steps << " vs " << steps << " steps\n";
+        std::cerr << "!! ENGINE MISMATCH in micro '" << name << "' ("
+                  << engine_name(kind) << "): " << row.steps << " vs "
+                  << steps << " steps\n";
         std::exit(2);
       }
     }
@@ -240,9 +254,10 @@ MicroRow sweep_cross_protocol_row(bool smoke, unsigned threads,
   const auto items = campaign::expand_grid(campaign::sweep_grid(smoke));
   MicroRow row;
   row.name = "campaign/sweep-cross-protocol";
-  campaign::CampaignResult reference_rows, incremental_rows;
-  for (const EngineKind kind :
-       {EngineKind::kReference, EngineKind::kIncremental}) {
+  campaign::CampaignResult reference_rows;
+  for (const EngineKind kind : {EngineKind::kReference,
+                                EngineKind::kIncremental,
+                                EngineKind::kVector}) {
     campaign::RunnerOptions opt;
     opt.threads = threads;
     opt.engine = kind;
@@ -256,14 +271,15 @@ MicroRow sweep_cross_protocol_row(bool smoke, unsigned threads,
       row.steps = steps;
       reference_rows = std::move(last);
     } else {
-      row.incremental_ms = ms;
-      incremental_rows = std::move(last);
-    }
-  }
-  for (std::size_t i = 0; i < reference_rows.rows.size(); ++i) {
-    if (!(reference_rows.rows[i] == incremental_rows.rows[i])) {
-      std::cerr << "!! ENGINE MISMATCH at sweep row " << i << "\n";
-      std::exit(2);
+      (kind == EngineKind::kIncremental ? row.incremental_ms
+                                        : row.vector_ms) = ms;
+      for (std::size_t i = 0; i < reference_rows.rows.size(); ++i) {
+        if (!(reference_rows.rows[i] == last.rows[i])) {
+          std::cerr << "!! ENGINE MISMATCH (" << engine_name(kind)
+                    << ") at sweep row " << i << "\n";
+          std::exit(2);
+        }
+      }
     }
   }
   return row;
@@ -273,9 +289,13 @@ struct CampaignTiming {
   std::size_t scenarios = 0;
   double reference_ms = 0.0;
   double incremental_ms = 0.0;
+  double vector_ms = 0.0;
 
   [[nodiscard]] double speedup() const {
     return incremental_ms > 0.0 ? reference_ms / incremental_ms : 0.0;
+  }
+  [[nodiscard]] double vector_speedup() const {
+    return vector_ms > 0.0 ? reference_ms / vector_ms : 0.0;
   }
 };
 
@@ -287,9 +307,10 @@ CampaignTiming run_campaign_comparison(bool smoke, unsigned threads,
   CampaignTiming timing;
   timing.scenarios = items.size();
 
-  campaign::CampaignResult reference_rows, incremental_rows;
-  for (const EngineKind kind :
-       {EngineKind::kReference, EngineKind::kIncremental}) {
+  campaign::CampaignResult reference_rows;
+  for (const EngineKind kind : {EngineKind::kReference,
+                                EngineKind::kIncremental,
+                                EngineKind::kVector}) {
     campaign::RunnerOptions opt;
     opt.threads = threads;
     opt.engine = kind;
@@ -299,22 +320,22 @@ CampaignTiming run_campaign_comparison(bool smoke, unsigned threads,
     if (kind == EngineKind::kReference) {
       timing.reference_ms = ms;
       reference_rows = std::move(last);
-    } else {
-      timing.incremental_ms = ms;
-      incremental_rows = std::move(last);
+      continue;
     }
-  }
-
-  // The speedup only counts if the engines agree — assert it here too,
-  // on the full preset the differential tests only smoke.
-  if (reference_rows.rows.size() != incremental_rows.rows.size()) {
-    std::cerr << "!! ENGINE MISMATCH: row counts differ\n";
-    std::exit(2);
-  }
-  for (std::size_t i = 0; i < reference_rows.rows.size(); ++i) {
-    if (!(reference_rows.rows[i] == incremental_rows.rows[i])) {
-      std::cerr << "!! ENGINE MISMATCH at campaign row " << i << "\n";
+    (kind == EngineKind::kIncremental ? timing.incremental_ms
+                                      : timing.vector_ms) = ms;
+    // The speedup only counts if the engines agree — assert it here too,
+    // on the full preset the differential tests only smoke.
+    if (reference_rows.rows.size() != last.rows.size()) {
+      std::cerr << "!! ENGINE MISMATCH: row counts differ\n";
       std::exit(2);
+    }
+    for (std::size_t i = 0; i < reference_rows.rows.size(); ++i) {
+      if (!(reference_rows.rows[i] == last.rows[i])) {
+        std::cerr << "!! ENGINE MISMATCH (" << engine_name(kind)
+                  << ") at campaign row " << i << "\n";
+        std::exit(2);
+      }
     }
   }
   return timing;
@@ -333,14 +354,19 @@ std::string to_json(bool smoke, unsigned threads, int repeats,
      << campaign_timing.scenarios
      << ", \"reference_ms\": " << fmt(campaign_timing.reference_ms)
      << ", \"incremental_ms\": " << fmt(campaign_timing.incremental_ms)
-     << ", \"speedup\": " << fmt(campaign_timing.speedup()) << "},\n"
+     << ", \"speedup\": " << fmt(campaign_timing.speedup())
+     << ", \"vector_ms\": " << fmt(campaign_timing.vector_ms)
+     << ", \"vector_speedup\": " << fmt(campaign_timing.vector_speedup())
+     << "},\n"
      << "  \"micro\": [\n";
   for (std::size_t i = 0; i < micros.size(); ++i) {
     const auto& m = micros[i];
     os << "    {\"name\": \"" << m.name << "\", \"steps\": " << m.steps
        << ", \"reference_ms\": " << fmt(m.reference_ms)
        << ", \"incremental_ms\": " << fmt(m.incremental_ms)
-       << ", \"speedup\": " << fmt(m.speedup()) << "}"
+       << ", \"speedup\": " << fmt(m.speedup())
+       << ", \"vector_ms\": " << fmt(m.vector_ms)
+       << ", \"vector_speedup\": " << fmt(m.vector_speedup()) << "}"
        << (i + 1 < micros.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -379,27 +405,31 @@ int main(int argc, char** argv) {
   if (smoke && !repeats_set) repeats = 1;
 
   std::cout << "\n== ENGINE: incremental dirty-set vs reference full-rescan "
-               "[" << (smoke ? "smoke" : "full") << ", " << threads
+               "vs vector [" << (smoke ? "smoke" : "full") << ", " << threads
             << " threads, best of " << repeats << "] ==\n\n";
 
   const CampaignTiming campaign_timing =
       run_campaign_comparison(smoke, threads, repeats);
   std::cout << std::left << std::setw(42) << "workload" << std::right
             << std::setw(12) << "ref-ms" << std::setw(12) << "inc-ms"
-            << std::setw(10) << "speedup" << "\n"
-            << std::string(76, '-') << "\n"
+            << std::setw(12) << "vec-ms" << std::setw(10) << "speedup"
+            << std::setw(10) << "vec-spd" << "\n"
+            << std::string(96, '-') << "\n"
             << std::left << std::setw(42) << "campaign/thm3-preset"
             << std::right << std::setw(12) << fmt(campaign_timing.reference_ms)
             << std::setw(12) << fmt(campaign_timing.incremental_ms)
-            << std::setw(9) << fmt(campaign_timing.speedup()) << "x\n";
+            << std::setw(12) << fmt(campaign_timing.vector_ms)
+            << std::setw(9) << fmt(campaign_timing.speedup()) << "x"
+            << std::setw(9) << fmt(campaign_timing.vector_speedup()) << "x\n";
 
   auto micros = run_micros(smoke, repeats);
   micros.push_back(sweep_cross_protocol_row(smoke, threads, repeats));
   for (const auto& m : micros) {
     std::cout << std::left << std::setw(42) << m.name << std::right
               << std::setw(12) << fmt(m.reference_ms) << std::setw(12)
-              << fmt(m.incremental_ms) << std::setw(9) << fmt(m.speedup())
-              << "x\n";
+              << fmt(m.incremental_ms) << std::setw(12) << fmt(m.vector_ms)
+              << std::setw(9) << fmt(m.speedup()) << "x" << std::setw(9)
+              << fmt(m.vector_speedup()) << "x\n";
   }
 
   const std::string json =

@@ -74,6 +74,17 @@ std::vector<VertexId> DijkstraRingProtocol::token_chase_priority(VertexId n) {
   return preference;
 }
 
+void SimdEval<DijkstraRingProtocol>::enabled_bytes(
+    const Context&, const DijkstraRingProtocol&,
+    const ConfigView<std::int32_t>& cfg, std::uint8_t* out) {
+  const std::int32_t* c = cfg.column();
+  const auto n = cfg.size();
+  out[0] = static_cast<std::uint8_t>(c[0] == c[n - 1]);
+  for (std::size_t v = 1; v < n; ++v) {
+    out[v] = static_cast<std::uint8_t>(c[v] != c[v - 1]);
+  }
+}
+
 Config<DijkstraRingProtocol::State> DijkstraRingProtocol::max_token_config()
     const {
   // Counters all distinct: every non-bottom vertex differs from its

@@ -20,11 +20,13 @@
 #ifndef SPECSTAB_BASELINES_DIJKSTRA_RING_HPP
 #define SPECSTAB_BASELINES_DIJKSTRA_RING_HPP
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/config_store.hpp"
+#include "sim/simd_eval.hpp"
 #include "sim/types.hpp"
 
 namespace specstab {
@@ -84,6 +86,20 @@ class DijkstraRingProtocol {
 
   VertexId n_;
   State k_;
+};
+
+/// Vectorized guard kernel: the predecessor of v is v - 1 (n - 1 for the
+/// bottom machine), so the guards are one shifted compare over the
+/// counter column — no adjacency context needed.
+template <>
+struct SimdEval<DijkstraRingProtocol> {
+  struct Context {};
+  static Context make_context(const Graph&, const DijkstraRingProtocol&) {
+    return {};
+  }
+  static void enabled_bytes(const Context&, const DijkstraRingProtocol&,
+                            const ConfigView<std::int32_t>& cfg,
+                            std::uint8_t* out);
 };
 
 }  // namespace specstab

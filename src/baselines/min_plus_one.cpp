@@ -55,6 +55,35 @@ bool MinPlusOneProtocol::legitimate(const Graph& g,
   return true;
 }
 
+SimdEval<MinPlusOneProtocol>::Context SimdEval<MinPlusOneProtocol>::
+    make_context(const Graph& g, const MinPlusOneProtocol&) {
+  return {flatten_adjacency(g)};
+}
+
+void SimdEval<MinPlusOneProtocol>::enabled_bytes(
+    const Context& ctx, const MinPlusOneProtocol& proto,
+    const ConfigView<std::int32_t>& cfg, std::uint8_t* out) {
+  const std::int32_t* c = cfg.column();
+  const std::int32_t* off = ctx.adj.offsets.data();
+  const VertexId* tg = ctx.adj.targets.data();
+  const std::int32_t cap = proto.level_cap();
+  const VertexId root = proto.root();
+  const auto n = static_cast<VertexId>(cfg.size());
+  for (VertexId v = 0; v < n; ++v) {
+    std::int32_t best = cap;
+    for (std::int32_t j = off[v]; j < off[v + 1]; ++j) {
+      const std::int32_t lu = c[static_cast<std::size_t>(tg[j])];
+      best = lu < best ? lu : best;
+    }
+    // target(): the +1 runs in int64 like the scalar path, so corrupted
+    // extreme levels clamp identically instead of wrapping.
+    const auto target = static_cast<std::int32_t>(
+        std::min<std::int64_t>(static_cast<std::int64_t>(best) + 1, cap));
+    out[v] = static_cast<std::uint8_t>(c[static_cast<std::size_t>(v)] !=
+                                       (v == root ? 0 : target));
+  }
+}
+
 VertexId MinPlusOneProtocol::parent(const Graph& g,
                                     const ConfigView<State>& cfg,
                                     VertexId v) const {

@@ -13,11 +13,13 @@
 #ifndef SPECSTAB_BASELINES_MIN_PLUS_ONE_HPP
 #define SPECSTAB_BASELINES_MIN_PLUS_ONE_HPP
 
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "sim/config_store.hpp"
+#include "sim/simd_eval.hpp"
 #include "sim/types.hpp"
 
 namespace specstab {
@@ -68,6 +70,20 @@ class MinPlusOneProtocol {
   VertexId root_;
   State cap_;
   Config<State> exact_;
+};
+
+/// Vectorized guard kernel: target(v) is a min-reduction over the
+/// neighbour levels streamed from the flat adjacency, enabledness one
+/// compare against the level column.
+template <>
+struct SimdEval<MinPlusOneProtocol> {
+  struct Context {
+    FlatAdjacency adj;
+  };
+  static Context make_context(const Graph& g, const MinPlusOneProtocol&);
+  static void enabled_bytes(const Context& ctx, const MinPlusOneProtocol& proto,
+                            const ConfigView<std::int32_t>& cfg,
+                            std::uint8_t* out);
 };
 
 }  // namespace specstab

@@ -40,4 +40,27 @@ std::int64_t UnboundedUnisonProtocol::spread(const Config<State>& cfg) {
   return *hi - *lo;
 }
 
+SimdEval<UnboundedUnisonProtocol>::Context SimdEval<UnboundedUnisonProtocol>::
+    make_context(const Graph& g, const UnboundedUnisonProtocol&) {
+  return {flatten_adjacency(g)};
+}
+
+void SimdEval<UnboundedUnisonProtocol>::enabled_bytes(
+    const Context& ctx, const UnboundedUnisonProtocol&,
+    const ConfigView<std::int64_t>& cfg, std::uint8_t* out) {
+  const std::int64_t* c = cfg.column();
+  const std::int32_t* off = ctx.adj.offsets.data();
+  const VertexId* tg = ctx.adj.targets.data();
+  const auto n = static_cast<VertexId>(cfg.size());
+  for (VertexId v = 0; v < n; ++v) {
+    const std::int64_t cv = c[static_cast<std::size_t>(v)];
+    unsigned minimal = 1;  // vacuously a local minimum when deg(v) = 0
+    for (std::int32_t j = off[v]; j < off[v + 1]; ++j) {
+      minimal &=
+          static_cast<unsigned>(cv <= c[static_cast<std::size_t>(tg[j])]);
+    }
+    out[v] = static_cast<std::uint8_t>(minimal);
+  }
+}
+
 }  // namespace specstab

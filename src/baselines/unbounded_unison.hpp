@@ -27,6 +27,7 @@
 
 #include "graph/graph.hpp"
 #include "sim/config_store.hpp"
+#include "sim/simd_eval.hpp"
 #include "sim/types.hpp"
 
 namespace specstab {
@@ -54,6 +55,20 @@ class UnboundedUnisonProtocol {
 
   /// max - min over all clocks (the quantity stabilization consumes).
   [[nodiscard]] static std::int64_t spread(const Config<State>& cfg);
+};
+
+/// Vectorized guard kernel: the local-minimum test is an and-reduction
+/// of c_v <= c_u over the neighbour clocks streamed from the flat
+/// adjacency.
+template <>
+struct SimdEval<UnboundedUnisonProtocol> {
+  struct Context {
+    FlatAdjacency adj;
+  };
+  static Context make_context(const Graph& g, const UnboundedUnisonProtocol&);
+  static void enabled_bytes(const Context& ctx, const UnboundedUnisonProtocol&,
+                            const ConfigView<std::int64_t>& cfg,
+                            std::uint8_t* out);
 };
 
 }  // namespace specstab

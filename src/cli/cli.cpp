@@ -157,7 +157,7 @@ std::string usage() {
   os << "specstab — speculative self-stabilization toolkit\n"
      << "usage: specstab <subcommand> [arguments]\n\n"
      << "subcommands:\n"
-     << "  list      [--names]                registered protocols + daemons\n"
+     << "  list      [--names|--markdown]     registered protocols + daemons\n"
      << "  topologies                         list graph families\n"
      << "  daemons                            list daemon names\n"
      << "  params    <family> <args..>        graph + protocol parameters\n"
@@ -175,8 +175,10 @@ std::string usage() {
      << "  campaign  [grid options]           parallel scenario sweep; see\n"
      << "                                     `specstab campaign --help`\n\n"
      << "run/witness/speculate/elect/color/campaign accept\n"
-     << "  --engine incremental|reference     dirty-set engine (default) or\n"
-     << "                                     the full-rescan oracle\n"
+     << "  --engine incremental|reference|vector\n"
+     << "                                     dirty-set engine (default),\n"
+     << "                                     the full-rescan oracle, or the\n"
+     << "                                     vectorized column-scan engine\n"
      << "  --layout auto|soa|aos              configuration storage layout\n"
      << "                                     (auto: SoA where declared)\n";
   return os.str();
@@ -184,20 +186,43 @@ std::string usage() {
 
 /// `specstab list`: the registry and the daemon catalog, as one table
 /// each.  `--names` prints bare protocol names (one per line) for
-/// scripting — the CI registry-smoke job iterates it.
+/// scripting — the CI registry-smoke job iterates it.  `--markdown`
+/// prints the protocol table as GitHub-flavoured markdown, byte-for-byte
+/// the table embedded in docs/ARCHITECTURE.md — the CI doc-drift job
+/// (tools/check_docs.py) diffs the two, so the docs cannot fall behind
+/// the registry.
 CliResult cmd_list(const std::vector<std::string>& args) {
   bool names_only = false;
+  bool markdown = false;
   for (const auto& arg : args) {
     if (arg == "--names") {
       names_only = true;
+    } else if (arg == "--markdown") {
+      markdown = true;
     } else {
-      fail("unknown option " + arg + " (list accepts --names)");
+      fail("unknown option " + arg + " (list accepts --names | --markdown)");
     }
   }
   std::ostringstream os;
   const auto& registry = ProtocolRegistry::instance();
   if (names_only) {
     for (const auto& entry : registry.entries()) os << entry.info.name << '\n';
+    return {0, os.str()};
+  }
+  if (markdown) {
+    os << "| protocol | topology | inits (first = default) | vertex state | "
+          "description |\n"
+       << "| --- | --- | --- | --- | --- |\n";
+    for (const auto& entry : registry.entries()) {
+      std::string inits;
+      for (const auto& i : entry.info.inits) {
+        inits += inits.empty() ? i : " " + i;
+      }
+      os << "| `" << entry.info.name << "` | "
+         << (entry.info.ring_only ? "ring" : "any") << " | " << inits << " | "
+         << entry.info.state_model << " | " << entry.info.description
+         << " |\n";
+    }
     return {0, os.str()};
   }
   os << "protocols (run with `specstab run <family> <args..> --protocol "
@@ -252,7 +277,8 @@ std::string campaign_usage() {
      << "run options:\n"
      << "  --threads T                    worker threads (0 = hardware)\n"
      << "  --steps N                      max-steps override for every run\n"
-     << "  --engine incremental|reference execution engine (default:\n"
+     << "  --engine incremental|reference|vector\n"
+     << "                                 execution engine (default:\n"
      << "                                 incremental)\n"
      << "  --layout auto|soa|aos          configuration storage layout\n"
      << "                                 (default auto: SoA where the\n"

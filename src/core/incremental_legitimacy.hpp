@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -43,26 +44,55 @@
 #include "extensions/leader_election.hpp"
 #include "graph/graph.hpp"
 #include "sim/incremental_engine.hpp"
+#include "sim/simd_eval.hpp"
 #include "sim/types.hpp"
 #include "unison/unison.hpp"
 
 namespace specstab {
 
+/// Tag: no bulk total available — full() falls back to summing the
+/// vertex-local score over every vertex.
+struct NoBulkTotal {};
+
 /// Incremental counter over a vertex-local violation score.  `Score` is
 /// (const Graph&, const ConfigView<State>&, VertexId) -> std::int32_t and may
 /// read only states within `radius` hops of the scored vertex; `Verdict`
 /// is (std::int64_t total) -> bool.
-template <class State, class Score, class Verdict>
+///
+/// `Bulk`, when provided, is (const Graph&, const ConfigView<State>&) ->
+/// std::int64_t computing the SAME total as summing `Score` over all
+/// vertices, but as one pass over the configuration — typically a
+/// contiguous column scan the compiler can vectorize.  full() (the
+/// rescanning engines' per-step path) uses it; the incremental path never
+/// does, so the cached per-vertex scores stay the source of truth for
+/// on_update().  tests/legitimacy_closure_test.cpp asserts bulk and
+/// per-vertex totals agree move-by-move.
+///
+/// `Kind`, when not void, is a score-kind tag (sim/simd_eval.hpp) naming
+/// the score definition; a vector-engine kernel advertising the same tag
+/// may hand a precomputed total to accept_total() instead of having
+/// full() rescan.
+template <class State, class Score, class Verdict, class Bulk = NoBulkTotal,
+          class Kind = void>
 class LocalScoreChecker {
  public:
+  using ScoreKind = Kind;
+
   LocalScoreChecker(Score score, Verdict verdict, VertexId radius)
       : score_(std::move(score)),
         verdict_(std::move(verdict)),
         radius_(radius) {}
 
+  LocalScoreChecker(Score score, Verdict verdict, VertexId radius, Bulk bulk)
+      : score_(std::move(score)),
+        verdict_(std::move(verdict)),
+        bulk_(std::move(bulk)),
+        radius_(radius) {}
+
   bool init(const Graph& g, const ConfigView<State>& cfg) {
     cached_.assign(static_cast<std::size_t>(g.n()), 0);
     total_ = 0;
+    cached_stale_ = false;
     for (VertexId v = 0; v < g.n(); ++v) {
       const std::int32_t s = score_(g, cfg, v);
       cached_[static_cast<std::size_t>(v)] = s;
@@ -81,19 +111,35 @@ class LocalScoreChecker {
     if (radius_ > 0 &&
         is_dense_update(static_cast<std::int64_t>(touched.size()), radius_,
                         g)) {
-      for (VertexId v = 0; v < g.n(); ++v) rescore(g, cfg, v);
+      refresh_all(g, cfg);
       return verdict_(total_);
     }
+    if (cached_stale_) refresh_all(g, cfg);
     const std::vector<VertexId>& affected =
         radius_ > 0 ? expander_->expand(g, touched, radius_) : touched;
     for (VertexId v : affected) rescore(g, cfg, v);
     return verdict_(total_);
   }
 
-  bool full(const Graph& g, const ConfigView<State>& cfg) {
-    std::int64_t total = 0;
-    for (VertexId v = 0; v < g.n(); ++v) total += score_(g, cfg, v);
+  /// Verdict from a total computed elsewhere (a fused vector-engine
+  /// kernel with the matching ScoreKind).  The per-vertex caches go
+  /// stale; the next incremental update rebuilds them, so accept_total()
+  /// and on_update() may interleave freely (the vector engine never
+  /// mixes them within a run).
+  bool accept_total(std::int64_t total) {
+    total_ = total;
+    cached_stale_ = true;
     return verdict_(total);
+  }
+
+  bool full(const Graph& g, const ConfigView<State>& cfg) {
+    if constexpr (!std::is_same_v<Bulk, NoBulkTotal>) {
+      return verdict_(bulk_(g, cfg));
+    } else {
+      std::int64_t total = 0;
+      for (VertexId v = 0; v < g.n(); ++v) total += score_(g, cfg, v);
+      return verdict_(total);
+    }
   }
 
   // --- Shared-ball fast path (see HasBallUpdate in
@@ -105,6 +151,7 @@ class LocalScoreChecker {
 
   bool on_update_ball(const Graph& g, const ConfigView<State>& cfg,
                       const std::vector<VertexId>& ball) {
+    if (cached_stale_) refresh_all(g, cfg);
     for (VertexId v : ball) rescore(g, cfg, v);
     return verdict_(total_);
   }
@@ -120,11 +167,26 @@ class LocalScoreChecker {
     cached_[static_cast<std::size_t>(v)] = s;
   }
 
+  // From-scratch rebuild of every cached score and the total.  The delta
+  // arithmetic of rescore() is only sound against fresh caches, so this
+  // is also the recovery path after accept_total() marked them stale.
+  void refresh_all(const Graph& g, const ConfigView<State>& cfg) {
+    total_ = 0;
+    for (VertexId v = 0; v < g.n(); ++v) {
+      const std::int32_t s = score_(g, cfg, v);
+      cached_[static_cast<std::size_t>(v)] = s;
+      total_ += s;
+    }
+    cached_stale_ = false;
+  }
+
   Score score_;
   Verdict verdict_;
+  [[no_unique_address]] Bulk bulk_{};
   VertexId radius_;
   std::vector<std::int32_t> cached_;
   std::int64_t total_ = 0;
+  bool cached_stale_ = false;
   std::optional<NeighborhoodExpander> expander_;
 };
 
@@ -164,6 +226,8 @@ class RescanChecker {
 template <class C>
 class ClosureCounting {
  public:
+  using ScoreKind = typename ScoreKindOf<C>::type;
+
   explicit ClosureCounting(C inner) : inner_(std::move(inner)) {}
 
   template <class Cfg>
@@ -180,6 +244,13 @@ class ClosureCounting {
   template <class Cfg>
   bool full(const Graph& g, const Cfg& cfg) {
     return note(inner_.full(g, cfg));
+  }
+
+  // Forward the fused-kernel total path when the wrapped checker has one.
+  bool accept_total(std::int64_t total)
+    requires requires(C& c) { c.accept_total(total); }
+  {
+    return note(inner_.accept_total(total));
   }
 
   // Forward the shared-ball fast path when the wrapped checker has one.
@@ -221,8 +292,32 @@ class ClosureCounting {
     return unison.locally_legitimate(g, cfg, v) ? 0 : 1;
   };
   auto verdict = [](std::int64_t total) { return total == 0; };
-  return LocalScoreChecker<ClockValue, decltype(score), decltype(verdict)>(
-      score, verdict, 1);
+  // One pass over the raw clock column with the ring arithmetic inlined
+  // (same int64 formulation as SimdEval<UnisonProtocol>) instead of a
+  // locally_legitimate() call chain per vertex.
+  auto bulk = [&unison](const Graph& g,
+                        const ConfigView<ClockValue>& cfg) -> std::int64_t {
+    const ClockValue* c = cfg.column();
+    const std::int64_t k = unison.clock().k();
+    std::int64_t total = 0;
+    for (VertexId v = 0; v < g.n(); ++v) {
+      const std::int64_t rv = c[static_cast<std::size_t>(v)];
+      auto ok = static_cast<unsigned>(rv >= 0 && rv < k);
+      for (VertexId u : g.neighbors(v)) {
+        const std::int64_t ru = c[static_cast<std::size_t>(u)];
+        std::int64_t d = ru - rv;
+        if (d >= k || d <= -k) d %= k;
+        if (d < 0) d += k;
+        const std::int64_t dist = d <= k - d ? d : k - d;
+        ok &= static_cast<unsigned>(ru >= 0 && ru < k && dist <= 1);
+      }
+      total += ok ^ 1u;
+    }
+    return total;
+  };
+  return LocalScoreChecker<ClockValue, decltype(score), decltype(verdict),
+                           decltype(bulk), Gamma1ScoreKind>(score, verdict, 1,
+                                                            bulk);
 }
 
 /// Gamma_1 membership of the SSME substrate.
@@ -237,8 +332,20 @@ class ClosureCounting {
     return proto.privileged(cfg, v) ? 1 : 0;
   };
   auto verdict = [](std::int64_t total) { return total <= 1; };
-  return LocalScoreChecker<ClockValue, decltype(score), decltype(verdict)>(
-      score, verdict, 0);
+  // Column scan comparing each register against its unique privileged
+  // value 2n + 2 diam id.
+  auto bulk = [&proto](const Graph& g,
+                       const ConfigView<ClockValue>& cfg) -> std::int64_t {
+    const ClockValue* c = cfg.column();
+    const SsmeParams& p = proto.params();
+    std::int64_t total = 0;
+    for (VertexId v = 0; v < g.n(); ++v) {
+      total += c[static_cast<std::size_t>(v)] == p.privileged_value(v) ? 1 : 0;
+    }
+    return total;
+  };
+  return LocalScoreChecker<ClockValue, decltype(score), decltype(verdict),
+                           decltype(bulk)>(score, verdict, 0, bulk);
 }
 
 /// Dijkstra's ring: exactly one token (privilege == enabledness).
@@ -250,8 +357,21 @@ class ClosureCounting {
     return proto.privileged(cfg, v) ? 1 : 0;
   };
   auto verdict = [](std::int64_t total) { return total == 1; };
+  // Token count is a shifted compare along the counter column: vertex 0
+  // holds a token iff c_0 = c_{n-1}, every other v iff c_v != c_{v-1}.
+  auto bulk = [](const Graph& g,
+                 const ConfigView<DijkstraRingProtocol::State>& cfg)
+      -> std::int64_t {
+    const auto* c = cfg.column();
+    const auto n = static_cast<std::size_t>(g.n());
+    if (n == 0) return 0;
+    std::int64_t total = c[0] == c[n - 1] ? 1 : 0;
+    for (std::size_t v = 1; v < n; ++v) total += c[v] != c[v - 1] ? 1 : 0;
+    return total;
+  };
   return LocalScoreChecker<DijkstraRingProtocol::State, decltype(score),
-                           decltype(verdict)>(score, verdict, 1);
+                           decltype(verdict), decltype(bulk)>(score, verdict,
+                                                              1, bulk);
 }
 
 /// Stable maximal matching: terminal, i.e. no rule enabled anywhere.
@@ -278,15 +398,37 @@ class ClosureCounting {
                : 1;
   };
   auto verdict = [](std::int64_t total) { return total == 0; };
+  // Columnar compare against the precomputed exact BFS levels.
+  auto bulk = [&proto](const Graph&,
+                       const ConfigView<MinPlusOneProtocol::State>& cfg)
+      -> std::int64_t {
+    const auto* c = cfg.column();
+    const auto& exact = proto.exact_levels();
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < cfg.size(); ++i) {
+      total += c[i] != exact[i] ? 1 : 0;
+    }
+    return total;
+  };
   return LocalScoreChecker<MinPlusOneProtocol::State, decltype(score),
-                           decltype(verdict)>(score, verdict, 0);
+                           decltype(verdict), decltype(bulk)>(score, verdict,
+                                                              0, bulk);
 }
 
 /// Leader election: the unique terminal configuration (min identity
 /// elected, exact BFS distances).  Precomputes elected_config once.
 [[nodiscard]] inline auto make_leader_election_checker(
     const LeaderElectionProtocol& proto, const Graph& g) {
-  auto score = [elected = proto.elected_config(g)](
+  Config<LeaderState> elected = proto.elected_config(g);
+  // Split the elected configuration into per-field columns so the bulk
+  // scan is two contiguous compares under SoA layout.
+  std::vector<std::int32_t> el_lead(elected.size());
+  std::vector<std::int32_t> el_dist(elected.size());
+  for (std::size_t i = 0; i < elected.size(); ++i) {
+    el_lead[i] = elected[i].leader;
+    el_dist[i] = elected[i].dist;
+  }
+  auto score = [elected = std::move(elected)](
                    const Graph&, const ConfigView<LeaderState>& cfg,
                    VertexId v) -> std::int32_t {
     return cfg[static_cast<std::size_t>(v)] ==
@@ -295,8 +437,27 @@ class ClosureCounting {
                : 1;
   };
   auto verdict = [](std::int64_t total) { return total == 0; };
-  return LocalScoreChecker<LeaderState, decltype(score), decltype(verdict)>(
-      score, verdict, 0);
+  auto bulk = [el_lead = std::move(el_lead), el_dist = std::move(el_dist)](
+                  const Graph&,
+                  const ConfigView<LeaderState>& cfg) -> std::int64_t {
+    const std::int32_t* lead = cfg.column<kLeaderField>();
+    const std::int32_t* dst = cfg.column<kDistField>();
+    std::int64_t total = 0;
+    if (lead != nullptr && dst != nullptr) {
+      for (std::size_t i = 0; i < cfg.size(); ++i) {
+        total += static_cast<std::int64_t>(
+            static_cast<unsigned>(lead[i] != el_lead[i]) |
+            static_cast<unsigned>(dst[i] != el_dist[i]));
+      }
+    } else {
+      for (std::size_t i = 0; i < cfg.size(); ++i) {
+        total += cfg[i] == LeaderState{el_lead[i], el_dist[i]} ? 0 : 1;
+      }
+    }
+    return total;
+  };
+  return LocalScoreChecker<LeaderState, decltype(score), decltype(verdict),
+                           decltype(bulk)>(score, verdict, 0, bulk);
 }
 
 /// Proper (Delta+1)-coloring: no out-of-palette color, no monochromatic
@@ -335,8 +496,24 @@ class ClosureCounting {
     return s;
   };
   auto verdict = [](std::int64_t total) { return total == 0; };
+  // Each drifted pair is scored from both endpoints, so the bulk total is
+  // twice the count of drifted edges — one pass over the edge list
+  // against the raw clock column.
+  auto bulk = [](const Graph& g,
+                 const ConfigView<UnboundedUnisonProtocol::State>& cfg)
+      -> std::int64_t {
+    const auto* c = cfg.column();
+    std::int64_t total = 0;
+    for (const auto& [u, v] : g.edges()) {
+      const auto d = c[static_cast<std::size_t>(u)] -
+                     c[static_cast<std::size_t>(v)];
+      total += (d > 1 || d < -1) ? 2 : 0;
+    }
+    return total;
+  };
   return LocalScoreChecker<UnboundedUnisonProtocol::State, decltype(score),
-                           decltype(verdict)>(score, verdict, 1);
+                           decltype(verdict), decltype(bulk)>(score, verdict,
+                                                              1, bulk);
 }
 
 }  // namespace specstab

@@ -21,6 +21,7 @@
 #ifndef SPECSTAB_CORE_SSME_HPP
 #define SPECSTAB_CORE_SSME_HPP
 
+#include <cstdint>
 #include <string_view>
 
 #include "clock/cherry_clock.hpp"
@@ -118,6 +119,30 @@ class SsmeProtocol {
  private:
   SsmeParams params_;
   UnisonProtocol unison_;
+};
+
+/// Vectorized guard kernel: SSME's rules *are* the unison's (the
+/// privileged predicate never interferes with the moves), so the kernel
+/// forwards to SimdEval<UnisonProtocol> on the underlying substrate.
+template <>
+struct SimdEval<SsmeProtocol> {
+  using ScoreKind = SimdEval<UnisonProtocol>::ScoreKind;
+  using Context = SimdEval<UnisonProtocol>::Context;
+  static Context make_context(const Graph& g, const SsmeProtocol& proto) {
+    return SimdEval<UnisonProtocol>::make_context(g, proto.unison());
+  }
+  static void enabled_bytes(const Context& ctx, const SsmeProtocol& proto,
+                            const ConfigView<ClockValue>& cfg,
+                            std::uint8_t* out) {
+    SimdEval<UnisonProtocol>::enabled_bytes(ctx, proto.unison(), cfg, out);
+  }
+  static std::int64_t enabled_bytes_scored(const Context& ctx,
+                                           const SsmeProtocol& proto,
+                                           const ConfigView<ClockValue>& cfg,
+                                           std::uint8_t* out) {
+    return SimdEval<UnisonProtocol>::enabled_bytes_scored(ctx, proto.unison(),
+                                                          cfg, out);
+  }
 };
 
 }  // namespace specstab

@@ -115,6 +115,70 @@ bool LeaderElectionProtocol::ghost_free(const Graph& g,
   return true;
 }
 
+namespace {
+
+/// Order-preserving packed key: (leader, dist) lexicographic order over
+/// signed int32 pairs equals unsigned order of the concatenated
+/// sign-flipped fields.
+inline std::uint64_t lex_key(std::int32_t leader, std::int32_t dist) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(leader) ^
+                                     0x80000000u)
+          << 32) |
+         (static_cast<std::uint32_t>(dist) ^ 0x80000000u);
+}
+
+}  // namespace
+
+SimdEval<LeaderElectionProtocol>::Context SimdEval<LeaderElectionProtocol>::
+    make_context(const Graph& g, const LeaderElectionProtocol&) {
+  return {flatten_adjacency(g)};
+}
+
+void SimdEval<LeaderElectionProtocol>::enabled_bytes(
+    const Context& ctx, const LeaderElectionProtocol& proto,
+    const ConfigView<LeaderState>& cfg, std::uint8_t* out) {
+  const std::int32_t* off = ctx.adj.offsets.data();
+  const VertexId* tg = ctx.adj.targets.data();
+  const auto n = static_cast<VertexId>(cfg.size());
+  const auto bound = static_cast<std::int32_t>(n);
+  const std::int32_t* lead = cfg.column<kLeaderField>();
+  const std::int32_t* dst = cfg.column<kDistField>();
+  if (lead != nullptr && dst != nullptr) {
+    for (VertexId v = 0; v < n; ++v) {
+      std::uint64_t best = lex_key(proto.id_of(v), 0);
+      for (std::int32_t j = off[v]; j < off[v + 1]; ++j) {
+        const auto i = static_cast<std::size_t>(tg[j]);
+        const std::int32_t du = dst[i];
+        // Same discard as best_candidate(): corrupted or overflowing
+        // distances never become candidates (the ghost-flushing bound).
+        const std::uint64_t ck = lex_key(lead[i], du + 1);
+        const bool live = du >= 0 && du + 1 < bound;
+        best = live && ck < best ? ck : best;
+      }
+      out[v] = static_cast<std::uint8_t>(
+          best !=
+          lex_key(lead[static_cast<std::size_t>(v)],
+                  dst[static_cast<std::size_t>(v)]));
+    }
+    return;
+  }
+  // AoS layout: no contiguous columns; identical arithmetic over per-field
+  // loads.
+  for (VertexId v = 0; v < n; ++v) {
+    std::uint64_t best = lex_key(proto.id_of(v), 0);
+    for (std::int32_t j = off[v]; j < off[v + 1]; ++j) {
+      const auto i = static_cast<std::size_t>(tg[j]);
+      const std::int32_t du = cfg.field<kDistField>(i);
+      const std::uint64_t ck = lex_key(cfg.field<kLeaderField>(i), du + 1);
+      const bool live = du >= 0 && du + 1 < bound;
+      best = live && ck < best ? ck : best;
+    }
+    const auto iv = static_cast<std::size_t>(v);
+    out[v] = static_cast<std::uint8_t>(
+        best != lex_key(cfg.field<kLeaderField>(iv), cfg.field<kDistField>(iv)));
+  }
+}
+
 Config<LeaderState> random_leader_config(const Graph& g, std::uint64_t seed) {
   std::mt19937_64 rng(seed);
   const auto n = static_cast<std::int32_t>(g.n());

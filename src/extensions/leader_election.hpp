@@ -32,6 +32,7 @@
 
 #include "graph/graph.hpp"
 #include "sim/config_store.hpp"
+#include "sim/simd_eval.hpp"
 #include "sim/types.hpp"
 
 namespace specstab {
@@ -122,6 +123,24 @@ class LeaderElectionProtocol {
   std::vector<std::int32_t> ids_;
   std::int32_t min_id_ = 0;
   VertexId min_vertex_ = 0;
+};
+
+/// Vectorized guard kernel over both SoA columns.  The lexicographic
+/// candidate order (leader, then dist) is folded into one order-preserving
+/// unsigned 64-bit key — sign-flip each int32 field and concatenate — so
+/// the best candidate is a plain min-reduction over packed keys streamed
+/// from the leader and dist columns.  Falls back to per-field loads under
+/// AoS layout (columns unavailable), byte-identical either way.
+template <>
+struct SimdEval<LeaderElectionProtocol> {
+  struct Context {
+    FlatAdjacency adj;
+  };
+  static Context make_context(const Graph& g, const LeaderElectionProtocol&);
+  static void enabled_bytes(const Context& ctx,
+                            const LeaderElectionProtocol& proto,
+                            const ConfigView<LeaderState>& cfg,
+                            std::uint8_t* out);
 };
 
 /// Uniformly random leader-election configuration (fields in

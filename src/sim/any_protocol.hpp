@@ -19,6 +19,12 @@
 // The built-ins register through for_each_builtin_protocol(), which the
 // tests also iterate, so the registry and its test coverage cannot
 // drift apart.
+//
+// Registration is engine-complete: the compiled session runs under the
+// incremental, reference and vector engines alike.  The vector engine
+// falls back to a scalar rescan unless the protocol specializes
+// SimdEval<P> (sim/simd_eval.hpp) — see docs/adding-a-protocol.md for
+// the opt-in steps.
 #ifndef SPECSTAB_SIM_ANY_PROTOCOL_HPP
 #define SPECSTAB_SIM_ANY_PROTOCOL_HPP
 

@@ -228,6 +228,25 @@ class ConfigView {
     }
   }
 
+  /// Pointer to the contiguous I-th hot column when the backing layout
+  /// keeps one (struct-SoA), nullptr otherwise.  Guard kernels
+  /// (sim/simd_eval.hpp) take this fast path and fall back to per-element
+  /// field<I>() reads under AoS; for states without a struct split the
+  /// backing vector *is* the single column, so the pointer is never null.
+  template <std::size_t I = 0>
+  [[nodiscard]] auto column() const {
+    if constexpr (kStructSplit) {
+      using Field = std::remove_cvref_t<decltype(std::declval<const State&>().*
+                                                 std::get<I>(
+                                                     SoaFields<State>::members))>;
+      return cols_ != nullptr ? std::get<I>(*cols_).data()
+                              : static_cast<const Field*>(nullptr);
+    } else {
+      static_assert(I == 0, "state has a single (implicit) field");
+      return vec_->data();
+    }
+  }
+
   /// Full AoS copy of the viewed configuration.
   [[nodiscard]] Config<State> materialize() const {
     if (vec_ != nullptr) return *vec_;

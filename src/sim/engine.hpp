@@ -35,15 +35,20 @@ namespace specstab {
 /// Which execution engine drives a run.  The *incremental* engine
 /// (incremental_engine.hpp) maintains the enabled set by dirty-set
 /// propagation and supports incremental legitimacy checkers; the
-/// *reference* engine below rescans all n vertices after every action and
-/// serves as the differential-testing oracle.  Both produce bit-identical
+/// *vector* engine (vector_engine.hpp) rescans all n guards per action
+/// as contiguous column scans (SimdEval kernels where a protocol opts
+/// in, scalar rescan otherwise) and rebuilds the enabled set through
+/// 64-verdict word masks; the *reference* engine below rescans all n
+/// vertices after every action with deliberately naive code and serves
+/// as the differential-testing oracle.  All three produce bit-identical
 /// RunResults for the same inputs.
 enum class EngineKind {
   kIncremental,
   kReference,
+  kVector,
 };
 
-/// "incremental" | "reference".
+/// "incremental" | "reference" | "vector".
 [[nodiscard]] std::string_view engine_name(EngineKind kind);
 /// Inverse of engine_name; throws std::invalid_argument on unknown names.
 [[nodiscard]] EngineKind engine_by_name(const std::string& name);

@@ -10,6 +10,8 @@ std::string_view engine_name(EngineKind kind) {
       return "incremental";
     case EngineKind::kReference:
       return "reference";
+    case EngineKind::kVector:
+      return "vector";
   }
   throw std::invalid_argument("unknown EngineKind");
 }
@@ -17,113 +19,9 @@ std::string_view engine_name(EngineKind kind) {
 EngineKind engine_by_name(const std::string& name) {
   if (name == "incremental") return EngineKind::kIncremental;
   if (name == "reference") return EngineKind::kReference;
+  if (name == "vector") return EngineKind::kVector;
   throw std::invalid_argument("unknown engine '" + name +
-                              "' (incremental | reference)");
-}
-
-const std::vector<VertexId>& NeighborhoodExpander::expand(
-    const Graph& g, const std::vector<VertexId>& seeds, VertexId radius) {
-  // Version-stamped visited marks: bumping current_ invalidates all marks
-  // at once.  On (unrealistic) wrap-around, fall back to a full clear.
-  if (++current_ == 0) {
-    std::fill(stamp_.begin(), stamp_.end(), 0);
-    current_ = 1;
-  }
-  out_.clear();
-  frontier_.clear();
-  for (VertexId v : seeds) {
-    if (stamp_[static_cast<std::size_t>(v)] == current_) continue;
-    stamp_[static_cast<std::size_t>(v)] = current_;
-    out_.push_back(v);
-    frontier_.push_back(v);
-  }
-  for (VertexId hop = 0; hop < radius && !frontier_.empty(); ++hop) {
-    next_.clear();
-    for (VertexId v : frontier_) {
-      for (VertexId u : g.neighbors(v)) {
-        if (stamp_[static_cast<std::size_t>(u)] == current_) continue;
-        stamp_[static_cast<std::size_t>(u)] = current_;
-        out_.push_back(u);
-        next_.push_back(u);
-      }
-    }
-    frontier_.swap(next_);
-  }
-  std::sort(out_.begin(), out_.end());
-  return out_;
-}
-
-void EnabledSet::reset(VertexId n) {
-  bits_.assign(static_cast<std::size_t>(n), 0);
-  vertices_.clear();
-  scratch_.clear();
-  added_.clear();
-  removed_.clear();
-  // No staged set exceeds n vertices; reserving up front keeps the
-  // rebuild, staging and merge paths allocation-free for the whole run
-  // (the bitmap above is O(n) memory already).
-  vertices_.reserve(static_cast<std::size_t>(n));
-  scratch_.reserve(static_cast<std::size_t>(n));
-  added_.reserve(static_cast<std::size_t>(n));
-  removed_.reserve(static_cast<std::size_t>(n));
-}
-
-void EnabledSet::assign(const std::vector<VertexId>& sorted_enabled) {
-  std::fill(bits_.begin(), bits_.end(), 0);
-  for (VertexId v : sorted_enabled) bits_[static_cast<std::size_t>(v)] = 1;
-  // Copy into the reserved buffer — moving the argument in would replace
-  // it with a smaller allocation and re-introduce mid-run growth.
-  vertices_.assign(sorted_enabled.begin(), sorted_enabled.end());
-}
-
-void EnabledSet::begin_update() {
-  added_.clear();
-  removed_.clear();
-}
-
-void EnabledSet::begin_rebuild() {
-  std::fill(bits_.begin(), bits_.end(), 0);
-  scratch_.clear();
-}
-
-void EnabledSet::note(VertexId v, bool enabled_now) {
-  char& bit = bits_[static_cast<std::size_t>(v)];
-  if ((bit != 0) == enabled_now) return;
-  bit = enabled_now ? 1 : 0;
-  (enabled_now ? added_ : removed_).push_back(v);
-}
-
-bool EnabledSet::commit() {
-  if (added_.empty() && removed_.empty()) return false;
-  if (added_.size() + removed_.size() <= 8) {
-    // The common case under central daemons: a couple of flips per
-    // action.  Binary search + memmove beats a full merge pass.
-    for (VertexId v : removed_) {
-      vertices_.erase(std::lower_bound(vertices_.begin(), vertices_.end(), v));
-    }
-    for (VertexId v : added_) {
-      vertices_.insert(std::lower_bound(vertices_.begin(), vertices_.end(), v),
-                       v);
-    }
-    return true;
-  }
-  // One linear merge: vertices_ minus removed_ union added_, all three
-  // sorted (note() runs in ascending vertex order; added_ is disjoint
-  // from vertices_, removed_ is a subset of it).
-  scratch_.clear();
-  auto add = added_.begin();
-  auto rem = removed_.begin();
-  for (VertexId v : vertices_) {
-    while (add != added_.end() && *add < v) scratch_.push_back(*add++);
-    if (rem != removed_.end() && *rem == v) {
-      ++rem;
-      continue;
-    }
-    scratch_.push_back(v);
-  }
-  while (add != added_.end()) scratch_.push_back(*add++);
-  vertices_.swap(scratch_);
-  return true;
+                              "' (incremental | reference | vector)");
 }
 
 }  // namespace specstab

@@ -36,149 +36,14 @@
 
 #include "graph/graph.hpp"
 #include "sim/daemon.hpp"
+#include "sim/enabled_set.hpp"
 #include "sim/engine.hpp"
 #include "sim/protocol.hpp"
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
+#include "sim/vector_engine.hpp"
 
 namespace specstab {
-
-/// Incremental legitimacy checker: a stateful object mirroring one
-/// legitimacy predicate.  init() performs the from-scratch evaluation and
-/// (re)builds the internal caches; on_update() is called once per
-/// subsequent configuration with the sorted list of vertices whose state
-/// changed and must return the same verdict a from-scratch evaluation
-/// would; full() is the stateless from-scratch oracle used by the
-/// reference engine.  All three return the predicate's verdict so a
-/// wrapper (e.g. ClosureCounting) can observe the legitimacy sequence in
-/// configuration order regardless of the engine.
-template <class C, class State>
-concept IncrementalLegitimacy =
-    requires(C& c, const Graph& g, ConfigView<State> cfg,
-             const std::vector<VertexId>& touched) {
-      { c.init(g, cfg) } -> std::same_as<bool>;
-      { c.on_update(g, cfg, touched) } -> std::same_as<bool>;
-      { c.full(g, cfg) } -> std::same_as<bool>;
-    };
-
-/// Optional checker extension: a checker whose rescore set is the
-/// radius-update_radius() ball around the touched vertices can accept an
-/// already-expanded ball (sorted unique closed ball of exactly that
-/// radius) instead of re-expanding it.  The engine uses this to share
-/// its guard-dirty ball with the checker when the radii coincide,
-/// halving per-action expansion work.
-template <class C, class State>
-concept HasBallUpdate =
-    requires(C& c, const Graph& g, ConfigView<State> cfg,
-             const std::vector<VertexId>& ball) {
-      { std::as_const(c).update_radius() } -> std::convertible_to<VertexId>;
-      { c.on_update_ball(g, cfg, ball) } -> std::same_as<bool>;
-    };
-
-/// Trivial checker for runs without a legitimacy predicate (mirrors the
-/// reference engine's nullptr-predicate behaviour: every configuration is
-/// legitimate).
-struct AlwaysLegitimate {
-  template <class Cfg>
-  bool init(const Graph&, const Cfg&) {
-    return true;
-  }
-  template <class Cfg>
-  bool on_update(const Graph&, const Cfg&, const std::vector<VertexId>&) {
-    return true;
-  }
-  template <class Cfg>
-  bool full(const Graph&, const Cfg&) {
-    return true;
-  }
-};
-
-/// Whether an action touching `touched_count` vertices dirties enough of
-/// the graph that a plain ordered rescan beats radius-`radius` ball
-/// expansion.  Shared by the engine (guard re-tests) and the score
-/// checkers so both fall back in lockstep.  The estimate is
-/// degree-aware: each hop multiplies the frontier by the average degree,
-/// and expansion bookkeeping (version stamps, the final sort, scattered
-/// access) costs roughly twice an ordered scan per vertex — so on dense
-/// random graphs the fallback triggers much earlier than on rings.
-[[nodiscard]] inline bool is_dense_update(std::int64_t touched_count,
-                                          VertexId radius, const Graph& g) {
-  const auto n = static_cast<std::int64_t>(g.n());
-  if (n == 0) return true;
-  const std::int64_t avg_deg =
-      std::max<std::int64_t>(1, 2 * static_cast<std::int64_t>(g.m()) / n);
-  std::int64_t ball = touched_count;
-  for (VertexId hop = 0; hop < radius; ++hop) {
-    if (2 * ball >= n) return true;  // also caps growth before overflow
-    ball *= 1 + avg_deg;
-  }
-  return 2 * ball >= n;
-}
-
-/// Sorted-unique closed ball B(seeds, radius), with O(1) amortized
-/// clearing via version stamps so per-action expansion allocates nothing
-/// in steady state.
-class NeighborhoodExpander {
- public:
-  explicit NeighborhoodExpander(VertexId n)
-      : stamp_(static_cast<std::size_t>(n), 0) {}
-
-  /// All vertices within `radius` hops of any seed (including the seeds
-  /// themselves), sorted ascending, each vertex once.  The returned
-  /// reference is invalidated by the next expand() call.
-  const std::vector<VertexId>& expand(const Graph& g,
-                                      const std::vector<VertexId>& seeds,
-                                      VertexId radius);
-
- private:
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t current_ = 0;
-  std::vector<VertexId> out_, frontier_, next_;
-};
-
-/// The enabled set as a flat membership bitmap plus a sorted vector.
-/// Updates are staged per dirty vertex (note(), in ascending vertex
-/// order) and applied by commit(): a handful of flips edit the sorted
-/// vector in place (binary search + memmove), larger batches take one
-/// linear merge pass.
-class EnabledSet {
- public:
-  void reset(VertexId n);
-
-  /// Installs the full enabled set (sorted), e.g. from the initial scan.
-  void assign(const std::vector<VertexId>& sorted_enabled);
-
-  [[nodiscard]] bool empty() const { return vertices_.empty(); }
-  [[nodiscard]] const std::vector<VertexId>& vertices() const {
-    return vertices_;
-  }
-  /// Daemon-facing view: the sorted vector plus the membership bitmap,
-  /// which gives cursor daemons O(1) contains() (see EnabledView).
-  [[nodiscard]] EnabledView view() const { return {vertices_, bits_}; }
-
-  void begin_update();
-  /// Records the fresh guard verdict of a dirty vertex.  Must be called
-  /// in ascending vertex order between begin_update() and commit().
-  void note(VertexId v, bool enabled_now);
-  /// Applies the staged flips; returns whether the vector changed.
-  bool commit();
-
-  /// Dense-path rebuild: when an action dirties most of the graph the
-  /// flip staging above degenerates (per-vertex compare-and-stage plus a
-  /// full merge); rebuilding from scratch is one bitmap clear plus one
-  /// append per enabled vertex.  Call append() in ascending vertex order
-  /// between begin_rebuild() and end_rebuild().
-  void begin_rebuild();
-  void append(VertexId v) {
-    bits_[static_cast<std::size_t>(v)] = 1;
-    scratch_.push_back(v);
-  }
-  void end_rebuild() { vertices_.swap(scratch_); }
-
- private:
-  std::vector<char> bits_;
-  std::vector<VertexId> vertices_, scratch_, added_, removed_;
-};
 
 /// Incremental counterpart of run_execution(): same inputs, same
 /// RunResult, O(|B(A, r)|) guard evaluations per action instead of O(n).
@@ -346,9 +211,10 @@ RunResult<typename P::State> run_execution_incremental(
 }
 
 /// Engine dispatcher: runs the engine selected by opt.engine.  The
-/// reference path evaluates the checker's from-scratch oracle once per
-/// configuration, in execution order, so stateful wrappers (closure
-/// counters) observe the same legitimacy sequence on both paths.
+/// reference and vector paths evaluate the checker's from-scratch oracle
+/// once per configuration, in execution order, so stateful wrappers
+/// (closure counters) observe the same legitimacy sequence on every
+/// path.
 template <ProtocolConcept P, class C>
   requires IncrementalLegitimacy<C, typename P::State>
 RunResult<typename P::State> run_with_engine(
@@ -363,6 +229,10 @@ RunResult<typename P::State> run_with_engine(
           return checker.full(gg, c);
         },
         observer);
+  }
+  if (opt.engine == EngineKind::kVector) {
+    return run_execution_vector(g, proto, daemon, std::move(init), opt,
+                                checker, observer);
   }
   return run_execution_incremental(g, proto, daemon, std::move(init), opt,
                                    checker, observer);

@@ -1,0 +1,124 @@
+// SimdEval — the vector engine's per-protocol guard-kernel trait.
+//
+// The vector engine (vector_engine.hpp) is a full-rescan engine: after
+// every action it re-evaluates all n guards.  A protocol opts into the
+// vectorized rescan by specializing SimdEval<P> — the guard analogue of
+// declaring a SoaFields split next to the state (config_store.hpp):
+//
+//   template <>
+//   struct SimdEval<MyProtocol> {
+//     struct Context { FlatAdjacency adj; };
+//     static Context make_context(const Graph& g, const MyProtocol&);
+//     static void enabled_bytes(const Context&, const MyProtocol&,
+//                               const ConfigView<MyProtocol::State>& cfg,
+//                               std::uint8_t* out);
+//   };
+//
+// make_context() runs once per execution and precomputes whatever the
+// kernel streams (typically the flattened CSR adjacency below).
+// enabled_bytes() must write out[v] = proto.enabled(g, cfg, v) ? 1 : 0
+// for every vertex, bit-exactly — the differential harness holds the
+// vector engine to byte-identical RunResults against both other engines.
+// Kernels are written as branch-light per-column loops over the
+// ConfigStore columns (the AoS vector *is* the column for arithmetic
+// states) so the compiler can auto-vectorize them; the engine packs the
+// verdict bytes into 64-bit words and feeds them to
+// EnabledSet::append_mask().
+//
+// A specialization may additionally fuse the legitimacy scan into the
+// guard pass: declare a ScoreKind tag plus enabled_bytes_scored(), which
+// writes the same guard bytes AND returns the total violation score the
+// tag's LocalScoreChecker would compute from scratch (exactly the
+// checker's bulk/score sum — same int64, no early exit).  When the run's
+// checker advertises the matching ScoreKind, the vector engine calls the
+// scored kernel once per action and hands the total straight to the
+// checker (LocalScoreChecker::accept_total), skipping the separate
+// full() column scan — one pass over the columns instead of two.  With
+// any other checker the engine uses enabled_bytes() + checker.full(), so
+// the fusion is pay-as-you-match.
+//
+// Protocols without a specialization run on the engine's scalar rescan
+// fallback, so the vector engine stays registry-complete.
+#ifndef SPECSTAB_SIM_SIMD_EVAL_HPP
+#define SPECSTAB_SIM_SIMD_EVAL_HPP
+
+#include <concepts>
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/config_store.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+/// Flattened CSR adjacency: the neighbours of v occupy
+/// targets[offsets[v] .. offsets[v+1]), in the Graph's (sorted) order.
+/// Guard kernels stream this instead of chasing the per-vertex
+/// std::vector pointers of Graph::neighbors().
+struct FlatAdjacency {
+  std::vector<std::int32_t> offsets;  ///< size n + 1
+  std::vector<VertexId> targets;      ///< size 2m
+};
+
+/// One-pass flattening of g's adjacency lists.
+[[nodiscard]] FlatAdjacency flatten_adjacency(const Graph& g);
+
+/// Primary template: no vectorized kernels declared; the vector engine
+/// falls back to the scalar per-vertex rescan for such protocols.
+template <class P>
+struct SimdEval {};
+
+/// Protocol opts into the vectorized rescan: SimdEval<P> declares a
+/// Context, a once-per-run make_context() and the enabled_bytes() guard
+/// kernel.
+template <class P>
+concept HasSimdEval =
+    requires(const Graph& g, const P& p,
+             const ConfigView<typename P::State>& cfg,
+             const typename SimdEval<P>::Context& ctx, std::uint8_t* out) {
+      { SimdEval<P>::make_context(g, p) }
+          -> std::same_as<typename SimdEval<P>::Context>;
+      { SimdEval<P>::enabled_bytes(ctx, p, cfg, out) } -> std::same_as<void>;
+    };
+
+// --- Score-fused kernels -------------------------------------------------
+//
+// Score kinds name a violation-score definition shared between a
+// protocol's fused kernel and the LocalScoreChecker factory that counts
+// the same scores (core/incremental_legitimacy.hpp).  The vector engine
+// fuses the two scans only when the tags are identical types, so e.g. an
+// SSME run under the mutex-safety checker never consumes a Gamma_1 total.
+
+/// Gamma_1 violation count: vertices not locally legitimate (register in
+/// stab, drift <= 1 to every neighbour).
+struct Gamma1ScoreKind {};
+
+/// The score kind a checker advertises, or void when it has none.  Lets
+/// generic code (the vector engine, checker wrappers) read C::ScoreKind
+/// without requiring it.
+template <class C>
+struct ScoreKindOf {
+  using type = void;
+};
+template <class C>
+  requires requires { typename C::ScoreKind; }
+struct ScoreKindOf<C> {
+  using type = typename C::ScoreKind;
+};
+
+/// Kernel with a fused legitimacy scan: enabled_bytes_scored() writes the
+/// guard bytes and returns the ScoreKind violation total in one pass.
+template <class P>
+concept HasScoredSimdEval =
+    HasSimdEval<P> &&
+    requires(const P& p, const ConfigView<typename P::State>& cfg,
+             const typename SimdEval<P>::Context& ctx, std::uint8_t* out) {
+      typename SimdEval<P>::ScoreKind;
+      { SimdEval<P>::enabled_bytes_scored(ctx, p, cfg, out) }
+          -> std::same_as<std::int64_t>;
+    };
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_SIM_SIMD_EVAL_HPP

@@ -1,0 +1,24 @@
+#include "sim/vector_engine.hpp"
+
+namespace specstab {
+
+FlatAdjacency flatten_adjacency(const Graph& g) {
+  FlatAdjacency adj;
+  const auto n = static_cast<std::size_t>(g.n());
+  adj.offsets.resize(n + 1);
+  adj.offsets[0] = 0;
+  std::size_t total = 0;
+  for (VertexId v = 0; v < g.n(); ++v) {
+    total += g.neighbors(v).size();
+    adj.offsets[static_cast<std::size_t>(v) + 1] =
+        static_cast<std::int32_t>(total);
+  }
+  adj.targets.reserve(total);
+  for (VertexId v = 0; v < g.n(); ++v) {
+    const auto& nbrs = g.neighbors(v);
+    adj.targets.insert(adj.targets.end(), nbrs.begin(), nbrs.end());
+  }
+  return adj;
+}
+
+}  // namespace specstab

@@ -1,0 +1,286 @@
+// Vectorized full-rescan execution engine.
+//
+// The third engine (after the reference oracle in engine.hpp and the
+// dirty-set incremental engine in incremental_engine.hpp).  Instead of
+// propagating dirty balls it re-evaluates *all* n guards after every
+// action — but as contiguous column scans: protocols that specialize
+// SimdEval<P> (simd_eval.hpp) supply a branch-light kernel that writes
+// one verdict byte per vertex straight off the ConfigStore columns, and
+// the engine packs the bytes into 64-bit words and rebuilds the enabled
+// set through EnabledSet::append_mask() — 64 verdicts per word, no
+// per-vertex compare-and-stage.  Legitimacy goes through the checker's
+// from-scratch full() oracle once per configuration, which the
+// LocalScoreChecker factories back with bulk column scans of the
+// violation scores (core/incremental_legitimacy.hpp) — unless the
+// protocol's kernel and the run's checker advertise the same ScoreKind
+// tag, in which case the guard pass itself accumulates the violation
+// total (SimdEval::enabled_bytes_scored) and hands it to
+// checker.accept_total(): one fused scan per action instead of two.
+//
+// The trade is deliberate: no expansion bookkeeping, no cached scores,
+// no staged flips — a rescan whose per-vertex cost is a handful of
+// branchless integer ops.  On workloads whose actions touch large
+// fractions of the graph (synchronous and dense Bernoulli daemons over
+// arithmetic-state protocols) the scan beats the incremental engine's
+// bookkeeping; under central daemons the incremental engine's O(ball)
+// updates win, which is why the engine is selectable per run
+// (RunOptions::engine, --engine vector).
+//
+// Protocols without a SimdEval specialization run the same loop with a
+// scalar proto.enabled() rescan, so every registered protocol executes
+// under this engine.  The differential harness holds all three engines
+// to byte-identical RunResults (digests, meters, delta traces) over the
+// protocol x init x daemon x layout grid.
+#ifndef SPECSTAB_SIM_VECTOR_ENGINE_HPP
+#define SPECSTAB_SIM_VECTOR_ENGINE_HPP
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#if defined(__SSE2__) || defined(_M_X64)
+#include <emmintrin.h>
+#define SPECSTAB_VECTOR_ENGINE_SSE2 1
+#endif
+
+#include "graph/graph.hpp"
+#include "sim/daemon.hpp"
+#include "sim/enabled_set.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+#include "sim/simd_eval.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+/// Vectorized counterpart of run_execution(): same inputs, same
+/// RunResult, full guard rescan per action as column scans with
+/// word-mask enabled-set rebuilds.
+template <ProtocolConcept P, class C>
+  requires IncrementalLegitimacy<C, typename P::State>
+RunResult<typename P::State> run_execution_vector(
+    const Graph& g, const P& proto, Daemon& daemon,
+    Config<typename P::State> init, const RunOptions& opt, C& checker,
+    const StepObserver<typename P::State>& observer = nullptr) {
+  using State = typename P::State;
+  RunResult<State> res;
+  ConfigStore<State> cfg(std::move(init), opt.layout);
+  // One view for the whole run (reads through the store's member
+  // buffers, so it tracks in-place writes and dense buffer swaps).
+  const ConfigView<State> live = cfg.view();
+  RoundCounter rc(g.n());
+  const VertexId radius = protocol_locality_radius(proto);
+  const auto n = g.n();
+
+  bool pending_convergence_marker = false;
+  const auto note_legitimacy = [&](StepIndex cfg_index, bool legit) {
+    if (legit) {
+      if (res.first_legitimate < 0) res.first_legitimate = cfg_index;
+      if (pending_convergence_marker) {
+        res.moves_to_convergence = res.moves;
+        res.rounds_to_convergence = rc.completed_rounds();
+        pending_convergence_marker = false;
+      }
+    } else {
+      res.last_illegitimate = cfg_index;
+      pending_convergence_marker = true;
+    }
+  };
+
+  if (opt.record_trace) res.trace.start(live);
+  note_legitimacy(0, checker.init(g, live));
+
+  // Whether the guard kernel can hand its fused violation total straight
+  // to this run's checker: the kernel and the checker must name the same
+  // (non-void) score definition.  See simd_eval.hpp.
+  constexpr bool kFusedScore = [] {
+    if constexpr (HasScoredSimdEval<P>) {
+      using KernelKind = typename SimdEval<P>::ScoreKind;
+      return !std::is_void_v<KernelKind> &&
+             std::is_same_v<KernelKind, typename ScoreKindOf<C>::type> &&
+             requires(C& c) {
+               { c.accept_total(std::int64_t{}) } -> std::same_as<bool>;
+             };
+    } else {
+      return false;
+    }
+  }();
+
+  // Guard kernel state: verdict bytes per vertex, packed into 64-bit
+  // words at rebuild time.  Allocated once, padded to a full word so the
+  // packing loop reads whole 64-byte blocks (the padding stays zero, so
+  // bits past the last vertex are zero as append_mask requires); the
+  // rescan below runs allocation-free.
+  [[maybe_unused]] auto kernel = [&] {
+    if constexpr (HasSimdEval<P>) {
+      struct KernelState {
+        typename SimdEval<P>::Context ctx;
+        std::vector<std::uint8_t> verdicts;
+      };
+      const auto padded = (static_cast<std::size_t>(n) + 63) / 64 * 64;
+      return KernelState{SimdEval<P>::make_context(g, proto),
+                         std::vector<std::uint8_t>(padded, 0)};
+    } else {
+      return 0;
+    }
+  }();
+
+  EnabledSet enabled;
+  enabled.reset(n);
+  // One rescan routine for the whole run: kernel bytes packed into
+  // EnabledSet words where the protocol declares SimdEval, a scalar
+  // guard sweep otherwise.  Returns the fused violation total (0 and
+  // unused unless kFusedScore).
+  const auto rescan = [&]() -> std::int64_t {
+    std::int64_t total = 0;
+    enabled.begin_rebuild();
+    if constexpr (HasSimdEval<P>) {
+      if constexpr (kFusedScore) {
+        total = SimdEval<P>::enabled_bytes_scored(kernel.ctx, proto, live,
+                                                  kernel.verdicts.data());
+      } else {
+        SimdEval<P>::enabled_bytes(kernel.ctx, proto, live,
+                                   kernel.verdicts.data());
+      }
+      const std::uint8_t* verdicts = kernel.verdicts.data();
+      for (VertexId base = 0; base < n; base += 64) {
+#ifdef SPECSTAB_VECTOR_ENGINE_SSE2
+        // 64 verdict bytes -> one word via byte-compare + movemask; the
+        // zero padding past n folds to zero bits.
+        std::uint64_t mask = 0;
+        const __m128i zero = _mm_setzero_si128();
+        for (int q = 0; q < 4; ++q) {
+          const __m128i bytes = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+              verdicts + base + 16 * q));
+          const auto z = static_cast<unsigned>(
+              _mm_movemask_epi8(_mm_cmpeq_epi8(bytes, zero)));
+          mask |= static_cast<std::uint64_t>(~z & 0xFFFFu) << (16 * q);
+        }
+#else
+        const VertexId lanes = std::min<VertexId>(64, n - base);
+        std::uint64_t mask = 0;
+        for (VertexId b = 0; b < lanes; ++b) {
+          mask |= static_cast<std::uint64_t>(verdicts[base + b] != 0) << b;
+        }
+#endif
+        enabled.append_mask(base, mask);
+      }
+    } else {
+      for (VertexId v = 0; v < n; ++v) {
+        if (proto.enabled(g, live, v)) enabled.append(v);
+      }
+    }
+    enabled.end_rebuild();
+    return total;
+  };
+  // Initial scan: the fused total is discarded — checker.init() above
+  // already evaluated gamma_0 (and a second note would double-count it
+  // in ClosureCounting).
+  (void)rescan();
+
+  ActionBuffer action;
+  std::vector<VertexId> round_base;
+  std::vector<std::pair<VertexId, State>> updates;
+
+  StepIndex since_convergence = 0;
+  while (res.steps < opt.max_steps) {
+    if (enabled.empty()) {
+      res.terminated = true;
+      break;
+    }
+    if (opt.steps_after_convergence && res.first_legitimate >= 0 &&
+        since_convergence >= *opt.steps_after_convergence) {
+      break;
+    }
+
+    daemon.select_into(g, enabled.view(), res.steps, action);
+    const std::vector<VertexId>& activated = action.active;
+    assert(std::is_sorted(activated.begin(), activated.end()));
+    if (observer) observer(res.steps, live, activated);
+
+    // Composite atomicity: compute all successor states against the
+    // pre-action configuration, then install them.  Same dense/sparse
+    // split as the incremental engine: dense actions run through the
+    // store's double-buffered column swap, sparse actions stage only the
+    // touched pairs.
+    const bool dense = is_dense_update(
+        static_cast<std::int64_t>(activated.size()), radius, g);
+    if (dense) {
+      cfg.dense_apply(activated,
+                      [&](ConfigView<State> prev, VertexId v) {
+                        return proto.apply(g, prev, v);
+                      });
+      if (opt.record_trace) {
+        const ConfigView<State> prev = cfg.prev_view();
+        for (VertexId v : activated) {
+          const auto i = static_cast<std::size_t>(v);
+          res.trace.note_change(v, prev.get(i), live.get(i));
+        }
+        res.trace.seal_action(activated);
+      }
+    } else {
+      updates.clear();
+      updates.reserve(activated.size());
+      for (VertexId v : activated) {
+        updates.emplace_back(v, proto.apply(g, live, v));
+      }
+      if (opt.record_trace) {
+        for (const auto& [v, s] : updates) {
+          res.trace.note_change(v, live.get(static_cast<std::size_t>(v)), s);
+        }
+        res.trace.seal_action(activated);
+      }
+      for (const auto& [v, s] : updates) {
+        cfg.set(static_cast<std::size_t>(v), s);
+      }
+    }
+
+    res.moves += static_cast<std::int64_t>(activated.size());
+    ++res.steps;
+    if (res.first_legitimate >= 0) ++since_convergence;
+
+    // The round counter reads the pre-action enabled set only at round
+    // boundaries; snapshot it there (once per round) so the rescan can
+    // swap the sorted vector out from under it.
+    const bool opening_round = !rc.round_open();
+    if (opening_round) round_base = enabled.vertices();
+
+    const std::int64_t fused_total = rescan();
+    rc.on_action(opening_round ? round_base : enabled.vertices(), activated,
+                 enabled.vertices());
+
+    if constexpr (kFusedScore) {
+      note_legitimacy(res.steps, checker.accept_total(fused_total));
+    } else {
+      (void)fused_total;
+      note_legitimacy(res.steps, checker.full(g, live));
+    }
+  }
+  res.hit_step_cap = !res.terminated && res.steps >= opt.max_steps;
+  res.rounds = rc.completed_rounds();
+
+  if (res.first_legitimate >= 0 &&
+      res.first_legitimate <= res.last_illegitimate) {
+    res.first_legitimate =
+        (res.last_illegitimate < res.steps) ? res.last_illegitimate + 1 : -1;
+  }
+
+  res.final_config = cfg.take();
+  return res;
+}
+
+/// Convenience overload without a legitimacy checker.
+template <ProtocolConcept P>
+RunResult<typename P::State> run_execution_vector(
+    const Graph& g, const P& proto, Daemon& daemon,
+    Config<typename P::State> init, const RunOptions& opt) {
+  AlwaysLegitimate checker;
+  return run_execution_vector(g, proto, daemon, std::move(init), opt, checker);
+}
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_SIM_VECTOR_ENGINE_HPP

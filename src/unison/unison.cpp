@@ -117,4 +117,62 @@ bool UnisonProtocol::well_formed(const Graph& g,
   return true;
 }
 
+SimdEval<UnisonProtocol>::Context SimdEval<UnisonProtocol>::make_context(
+    const Graph& g, const UnisonProtocol&) {
+  return {flatten_adjacency(g)};
+}
+
+void SimdEval<UnisonProtocol>::enabled_bytes(const Context& ctx,
+                                             const UnisonProtocol& proto,
+                                             const ConfigView<ClockValue>& cfg,
+                                             std::uint8_t* out) {
+  (void)enabled_bytes_scored(ctx, proto, cfg, out);
+}
+
+std::int64_t SimdEval<UnisonProtocol>::enabled_bytes_scored(
+    const Context& ctx, const UnisonProtocol& proto,
+    const ConfigView<ClockValue>& cfg, std::uint8_t* out) {
+  // Bit-exact restatement of enabled() = NA || CA || RA with the guard
+  // relations inlined branch-free.  All clock arithmetic runs in int64
+  // like CherryClock::ring_projection, so corrupted int32 registers fold
+  // identically; bar(.) of a difference needs at most one modulo and one
+  // conditional add (both operands lie in (-(alpha + K), alpha + K) for
+  // well-formed registers, and the modulo covers the rest).
+  //
+  // The allCorrect fold doubles as the Gamma_1 vertex slice: for deg >= 1
+  // it already folds stab_v in, and an isolated vertex is locally
+  // legitimate iff stab_v — so (ac & stab_v) ^ 1 is exactly the violation
+  // score make_gamma1_checker() counts, accumulated here for free.
+  const ClockValue* c = cfg.column();
+  const std::int64_t k = proto.clock().k();
+  const std::int64_t alpha = proto.clock().alpha();
+  const std::int32_t* off = ctx.adj.offsets.data();
+  const VertexId* tg = ctx.adj.targets.data();
+  const auto n = static_cast<VertexId>(cfg.size());
+  std::int64_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::int64_t rv = c[static_cast<std::size_t>(v)];
+    const unsigned stab_v = static_cast<unsigned>(rv >= 0 && rv < k);
+    unsigned na = stab_v;                                          // NA
+    unsigned ca = static_cast<unsigned>(rv >= -alpha && rv < 0);   // CA
+    unsigned ac = 1;  // allCorrect_v (vacuously true when deg(v) = 0)
+    for (std::int32_t j = off[v]; j < off[v + 1]; ++j) {
+      const std::int64_t ru = c[static_cast<std::size_t>(tg[j])];
+      const unsigned stab_u = static_cast<unsigned>(ru >= 0 && ru < k);
+      std::int64_t d = ru - rv;  // bar(ru - rv)
+      if (d >= k || d <= -k) [[unlikely]] d %= k;
+      d += k & -static_cast<std::int64_t>(d < 0);
+      const std::int64_t dist = d <= k - d ? d : k - d;  // d_K(rv, ru)
+      na &= stab_u & static_cast<unsigned>(d <= 1);
+      ca &= static_cast<unsigned>(ru >= -alpha && ru <= 0 && rv <= ru);
+      ac &= stab_v & stab_u & static_cast<unsigned>(dist <= 1);
+    }
+    const unsigned init_v = static_cast<unsigned>(rv >= -alpha && rv <= 0);
+    const unsigned ra = (ac ^ 1u) & (init_v ^ 1u);  // RA
+    out[v] = static_cast<std::uint8_t>(na | ca | ra);
+    total += (ac & stab_v) ^ 1u;
+  }
+  return total;
+}
+
 }  // namespace specstab

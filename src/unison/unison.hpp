@@ -14,11 +14,13 @@
 #ifndef SPECSTAB_UNISON_UNISON_HPP
 #define SPECSTAB_UNISON_UNISON_HPP
 
+#include <cstdint>
 #include <string_view>
 
 #include "clock/cherry_clock.hpp"
 #include "graph/graph.hpp"
 #include "sim/config_store.hpp"
+#include "sim/simd_eval.hpp"
 #include "sim/types.hpp"
 
 namespace specstab {
@@ -83,6 +85,29 @@ class UnisonProtocol {
 
  private:
   CherryClock clock_;
+};
+
+/// Vectorized guard kernel (vector engine opt-in, the guard analogue of
+/// a SoaFields split): NA / CA / RA evaluated in one branch-light pass
+/// over the clock column and the flattened adjacency, with the cherry
+/// clock's ring projection inlined as conditional folds.  The pass also
+/// yields the Gamma_1 violation count for free — the allCorrect fold is
+/// exactly local legitimacy — so the scored variant fuses the guard and
+/// legitimacy scans into one (see simd_eval.hpp).
+template <>
+struct SimdEval<UnisonProtocol> {
+  using ScoreKind = Gamma1ScoreKind;
+  struct Context {
+    FlatAdjacency adj;
+  };
+  static Context make_context(const Graph& g, const UnisonProtocol&);
+  static void enabled_bytes(const Context& ctx, const UnisonProtocol& proto,
+                            const ConfigView<ClockValue>& cfg,
+                            std::uint8_t* out);
+  static std::int64_t enabled_bytes_scored(const Context& ctx,
+                                           const UnisonProtocol& proto,
+                                           const ConfigView<ClockValue>& cfg,
+                                           std::uint8_t* out);
 };
 
 }  // namespace specstab

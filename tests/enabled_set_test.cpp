@@ -1,0 +1,153 @@
+// EnabledSet word-level bulk writes — the path the vector engine uses to
+// publish 64 guard verdicts per append_mask() call.
+//
+// The contract under test: a rebuild performed with append_mask() over
+// packed verdict words produces exactly the same set (membership bitmap
+// and sorted vector) as the per-vertex append() path and as the
+// incremental begin_update()/note()/commit() flip path, including at
+// word boundaries and for the partial trailing word of a
+// non-multiple-of-64 vertex count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/enabled_set.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+namespace {
+
+/// Packs a byte-per-vertex verdict array into words and rebuilds `set`
+/// through append_mask — the vector engine's publication loop.
+void rebuild_from_bytes(EnabledSet& set, const std::vector<std::uint8_t>& on) {
+  const auto n = static_cast<VertexId>(on.size());
+  set.begin_rebuild();
+  for (VertexId base = 0; base < n; base += 64) {
+    const VertexId hi = std::min<VertexId>(64, n - base);
+    std::uint64_t mask = 0;
+    for (VertexId b = 0; b < hi; ++b) {
+      mask |= static_cast<std::uint64_t>(
+                  on[static_cast<std::size_t>(base + b)] != 0)
+              << b;
+    }
+    set.append_mask(base, mask);
+  }
+  set.end_rebuild();
+}
+
+TEST(EnabledSetTest, AppendMaskMatchesScalarAppend) {
+  // Sizes straddling word boundaries: below one word, exact words, and
+  // partial trailing words on either side of the boundary.
+  for (const VertexId n : {1, 7, 63, 64, 65, 127, 128, 129, 200}) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(n) * 977u);
+    std::vector<std::uint8_t> on(static_cast<std::size_t>(n));
+    for (auto& b : on) b = static_cast<std::uint8_t>(rng() % 2);
+
+    EnabledSet scalar;
+    scalar.reset(n);
+    scalar.begin_rebuild();
+    for (VertexId v = 0; v < n; ++v) {
+      if (on[static_cast<std::size_t>(v)] != 0) scalar.append(v);
+    }
+    scalar.end_rebuild();
+
+    EnabledSet masked;
+    masked.reset(n);
+    rebuild_from_bytes(masked, on);
+
+    EXPECT_EQ(masked.vertices(), scalar.vertices()) << "n=" << n;
+    // The membership bitmap must agree too (the daemon view's contains()).
+    for (VertexId v = 0; v < n; ++v) {
+      EXPECT_EQ(masked.view().contains(v), scalar.view().contains(v))
+          << "n=" << n << " v=" << v;
+    }
+  }
+}
+
+TEST(EnabledSetTest, AppendMaskWordBoundaryPatterns) {
+  constexpr VertexId kN = 192;  // three exact words
+  const std::uint64_t patterns[] = {
+      0u,
+      ~0ull,                  // full word
+      1u,                     // lowest bit only
+      0x8000000000000000ull,  // highest bit only (word-boundary vertex)
+      0x8000000000000001ull,  // both boundary bits
+      0xAAAAAAAAAAAAAAAAull,  // alternating
+  };
+  for (const std::uint64_t p0 : patterns) {
+    for (const std::uint64_t p1 : patterns) {
+      EnabledSet set;
+      set.reset(kN);
+      set.begin_rebuild();
+      set.append_mask(0, p0);
+      set.append_mask(64, p1);
+      set.append_mask(128, 0x3ull);  // vertices 128, 129
+      set.end_rebuild();
+
+      std::vector<VertexId> expected;
+      for (VertexId b = 0; b < 64; ++b) {
+        if ((p0 >> b) & 1u) expected.push_back(b);
+      }
+      for (VertexId b = 0; b < 64; ++b) {
+        if ((p1 >> b) & 1u) expected.push_back(64 + b);
+      }
+      expected.push_back(128);
+      expected.push_back(129);
+      EXPECT_EQ(set.vertices(), expected) << "p0=" << p0 << " p1=" << p1;
+    }
+  }
+}
+
+TEST(EnabledSetTest, PartialTrailingWordIgnoresPaddingBits) {
+  // 70 vertices: the second word covers bits 64..69 only.  The packing
+  // loop never sets padding bits, and membership stays within range.
+  constexpr VertexId kN = 70;
+  std::vector<std::uint8_t> on(static_cast<std::size_t>(kN), 0);
+  on[63] = 1;
+  on[64] = 1;
+  on[69] = 1;
+  EnabledSet set;
+  set.reset(kN);
+  rebuild_from_bytes(set, on);
+  EXPECT_EQ(set.vertices(), (std::vector<VertexId>{63, 64, 69}));
+}
+
+TEST(EnabledSetTest, RebuildAgreesWithIncrementalFlips) {
+  // A masked rebuild from the current verdict bytes must land on the same
+  // set as the incremental note() flips that produced those verdicts —
+  // the invariant the differential suite checks end-to-end through the
+  // engines, here isolated to the set structure.
+  constexpr VertexId kN = 150;
+  std::mt19937_64 rng(42);
+  std::vector<std::uint8_t> on(static_cast<std::size_t>(kN), 0);
+
+  EnabledSet flipped;
+  flipped.reset(kN);
+
+  for (int round = 0; round < 50; ++round) {
+    std::vector<VertexId> dirty;
+    for (int k = 0; k < 12; ++k) {
+      const auto v = static_cast<VertexId>(rng() % kN);
+      on[static_cast<std::size_t>(v)] ^= 1u;
+      dirty.push_back(v);
+    }
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+    flipped.begin_update();
+    for (const VertexId v : dirty) {
+      flipped.note(v, on[static_cast<std::size_t>(v)] != 0);
+    }
+    flipped.commit();
+
+    EnabledSet rebuilt;
+    rebuilt.reset(kN);
+    rebuild_from_bytes(rebuilt, on);
+    ASSERT_EQ(rebuilt.vertices(), flipped.vertices()) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace specstab

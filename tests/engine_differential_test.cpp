@@ -1,10 +1,11 @@
 // Differential harness: the incremental dirty-set engine vs the
-// reference full-rescan engine over a randomized grid — every protocol
-// crossed with ring/path/torus/random topologies, synchronous /
-// central-rr / bernoulli / random-subset daemons, and many seeds.  Both
-// engines must produce byte-identical final configurations and identical
-// steps/moves/rounds/first_legitimate/last_illegitimate/
-// moves_to_convergence (the full RunResult metering surface).
+// reference full-rescan engine vs the vectorized column-scan engine over
+// a randomized grid — every protocol crossed with ring/path/torus/random
+// topologies, synchronous / central-rr / bernoulli / random-subset
+// daemons, and many seeds.  All engines must produce byte-identical
+// final configurations and identical steps/moves/rounds/
+// first_legitimate/last_illegitimate/moves_to_convergence (the full
+// RunResult metering surface).
 //
 // The seed count per (protocol, topology, daemon) cell defaults to 200
 // (over 20000 scenarios across the suite) and is enlarged further in the
@@ -60,7 +61,7 @@ std::vector<Graph> general_topologies() {
   return out;
 }
 
-/// Runs one scenario on both engines (independent daemon instances,
+/// Runs one scenario on all three engines (independent daemon instances,
 /// fresh checkers) and asserts the RunResults are identical.
 template <ProtocolConcept P, class MakeChecker>
 void expect_engines_agree(const Graph& g, const P& proto,
@@ -74,22 +75,26 @@ void expect_engines_agree(const Graph& g, const P& proto,
   const auto ref =
       run_with_engine(g, proto, *ref_daemon, init, opt, ref_checker);
 
-  auto inc_daemon = make_daemon(daemon_name, seed);
-  auto inc_checker = make_checker();
-  opt.engine = EngineKind::kIncremental;
-  const auto inc =
-      run_with_engine(g, proto, *inc_daemon, init, opt, inc_checker);
+  for (const EngineKind kind :
+       {EngineKind::kIncremental, EngineKind::kVector}) {
+    auto daemon = make_daemon(daemon_name, seed);
+    auto checker = make_checker();
+    opt.engine = kind;
+    const auto got = run_with_engine(g, proto, *daemon, init, opt, checker);
+    const std::string ctx =
+        context + " engine=" + std::string(engine_name(kind));
 
-  ASSERT_EQ(ref.final_config, inc.final_config) << context;
-  EXPECT_EQ(ref.steps, inc.steps) << context;
-  EXPECT_EQ(ref.moves, inc.moves) << context;
-  EXPECT_EQ(ref.rounds, inc.rounds) << context;
-  EXPECT_EQ(ref.terminated, inc.terminated) << context;
-  EXPECT_EQ(ref.hit_step_cap, inc.hit_step_cap) << context;
-  EXPECT_EQ(ref.first_legitimate, inc.first_legitimate) << context;
-  EXPECT_EQ(ref.last_illegitimate, inc.last_illegitimate) << context;
-  EXPECT_EQ(ref.moves_to_convergence, inc.moves_to_convergence) << context;
-  EXPECT_EQ(ref.rounds_to_convergence, inc.rounds_to_convergence) << context;
+    ASSERT_EQ(ref.final_config, got.final_config) << ctx;
+    EXPECT_EQ(ref.steps, got.steps) << ctx;
+    EXPECT_EQ(ref.moves, got.moves) << ctx;
+    EXPECT_EQ(ref.rounds, got.rounds) << ctx;
+    EXPECT_EQ(ref.terminated, got.terminated) << ctx;
+    EXPECT_EQ(ref.hit_step_cap, got.hit_step_cap) << ctx;
+    EXPECT_EQ(ref.first_legitimate, got.first_legitimate) << ctx;
+    EXPECT_EQ(ref.last_illegitimate, got.last_illegitimate) << ctx;
+    EXPECT_EQ(ref.moves_to_convergence, got.moves_to_convergence) << ctx;
+    EXPECT_EQ(ref.rounds_to_convergence, got.rounds_to_convergence) << ctx;
+  }
 }
 
 /// The randomized sweep shared by the per-protocol tests: every listed
@@ -277,10 +282,11 @@ TEST(EngineDifferentialTest, ClosureViolationCountsAgree) {
                                     : random_config(g, proto.clock(), seed);
     RunOptions opt;
     opt.max_steps = 200;
-    std::int64_t violations[2] = {0, 0};
+    std::int64_t violations[3] = {0, 0, 0};
     int i = 0;
     for (const EngineKind kind :
-         {EngineKind::kReference, EngineKind::kIncremental}) {
+         {EngineKind::kReference, EngineKind::kIncremental,
+          EngineKind::kVector}) {
       auto daemon = make_daemon("bernoulli-0.5", seed);
       ClosureCounting checker(make_mutex_safety_checker(proto));
       opt.engine = kind;
@@ -288,14 +294,17 @@ TEST(EngineDifferentialTest, ClosureViolationCountsAgree) {
       violations[i++] = checker.violations();
     }
     EXPECT_EQ(violations[0], violations[1]) << "seed=" << seed;
+    EXPECT_EQ(violations[0], violations[2]) << "seed=" << seed;
   }
 }
 
-TEST(EngineDifferentialTest, RegistryIterationBothEnginesAllProtocols) {
+TEST(EngineDifferentialTest, RegistryIterationAllEnginesAllProtocols) {
   // The registry replaces the hand-maintained protocol list: every
   // registered protocol — present and future — is differentially tested
   // through the type-erased session API, each supported init crossed
-  // with the daemon axis over many seeds, incremental vs reference.
+  // with the daemon axis over many seeds, incremental and vector vs
+  // reference.  The vector leg also proves registry completeness of the
+  // engine: protocols without a SimdEval kernel run its scalar fallback.
   const std::size_t seeds = std::max<std::size_t>(25, diff_seeds() / 8);
   const auto& registry = ProtocolRegistry::instance();
   ASSERT_GE(registry.names().size(), 9u);
@@ -309,28 +318,33 @@ TEST(EngineDifferentialTest, RegistryIterationBothEnginesAllProtocols) {
           spec.daemon = daemon_name;
           spec.init = init;
           spec.seed = 77777u * s + 31u;
-          spec.engine = EngineKind::kIncremental;
-          const SessionResult inc = entry.run_on(g, diam, spec);
           spec.engine = EngineKind::kReference;
           const SessionResult ref = entry.run_on(g, diam, spec);
-          const std::string ctx = entry.info.name + " daemon=" +
-                                  daemon_name + " init=" + init +
-                                  " seed=" + std::to_string(spec.seed);
-          ASSERT_EQ(inc.final_state, ref.final_state) << ctx;
-          ASSERT_EQ(inc.final_digest, ref.final_digest) << ctx;
-          EXPECT_EQ(inc.steps, ref.steps) << ctx;
-          EXPECT_EQ(inc.moves, ref.moves) << ctx;
-          EXPECT_EQ(inc.rounds, ref.rounds) << ctx;
-          EXPECT_EQ(inc.terminated, ref.terminated) << ctx;
-          EXPECT_EQ(inc.hit_step_cap, ref.hit_step_cap) << ctx;
-          EXPECT_EQ(inc.converged, ref.converged) << ctx;
-          EXPECT_EQ(inc.convergence_steps, ref.convergence_steps) << ctx;
-          EXPECT_EQ(inc.moves_to_convergence, ref.moves_to_convergence)
-              << ctx;
-          EXPECT_EQ(inc.rounds_to_convergence, ref.rounds_to_convergence)
-              << ctx;
-          EXPECT_EQ(inc.closure_violations, ref.closure_violations) << ctx;
-          if (::testing::Test::HasFatalFailure()) return;
+          for (const EngineKind kind :
+               {EngineKind::kIncremental, EngineKind::kVector}) {
+            spec.engine = kind;
+            const SessionResult got = entry.run_on(g, diam, spec);
+            const std::string ctx = entry.info.name + " daemon=" +
+                                    daemon_name + " init=" + init +
+                                    " seed=" + std::to_string(spec.seed) +
+                                    " engine=" +
+                                    std::string(engine_name(kind));
+            ASSERT_EQ(got.final_state, ref.final_state) << ctx;
+            ASSERT_EQ(got.final_digest, ref.final_digest) << ctx;
+            EXPECT_EQ(got.steps, ref.steps) << ctx;
+            EXPECT_EQ(got.moves, ref.moves) << ctx;
+            EXPECT_EQ(got.rounds, ref.rounds) << ctx;
+            EXPECT_EQ(got.terminated, ref.terminated) << ctx;
+            EXPECT_EQ(got.hit_step_cap, ref.hit_step_cap) << ctx;
+            EXPECT_EQ(got.converged, ref.converged) << ctx;
+            EXPECT_EQ(got.convergence_steps, ref.convergence_steps) << ctx;
+            EXPECT_EQ(got.moves_to_convergence, ref.moves_to_convergence)
+                << ctx;
+            EXPECT_EQ(got.rounds_to_convergence, ref.rounds_to_convergence)
+                << ctx;
+            EXPECT_EQ(got.closure_violations, ref.closure_violations) << ctx;
+            if (::testing::Test::HasFatalFailure()) return;
+          }
         }
       }
     }
@@ -348,10 +362,11 @@ TEST(EngineDifferentialTest, DeltaTracesIdenticalAcrossEngines) {
     opt.max_steps = 120;
     opt.record_trace = true;
     std::vector<Config<ClockValue>> observed;
-    RunResult<ClockValue> results[2];
+    RunResult<ClockValue> results[3];
     int i = 0;
     for (const EngineKind kind :
-         {EngineKind::kReference, EngineKind::kIncremental}) {
+         {EngineKind::kReference, EngineKind::kIncremental,
+          EngineKind::kVector}) {
       auto daemon = make_daemon("bernoulli-0.5", seed);
       auto checker = make_gamma1_checker(proto);
       opt.engine = kind;
@@ -373,6 +388,7 @@ TEST(EngineDifferentialTest, DeltaTracesIdenticalAcrossEngines) {
       ASSERT_EQ(materialized.back(), results[i - 1].final_config);
     }
     EXPECT_EQ(results[0].trace, results[1].trace) << "seed=" << seed;
+    EXPECT_EQ(results[0].trace, results[2].trace) << "seed=" << seed;
   }
 }
 
@@ -386,11 +402,17 @@ TEST(EngineDifferentialTest, CampaignRowsIdenticalAcrossEngines) {
   campaign::RunnerOptions inc_opt;
   inc_opt.threads = 2;
   inc_opt.engine = EngineKind::kIncremental;
+  campaign::RunnerOptions vec_opt;
+  vec_opt.threads = 2;
+  vec_opt.engine = EngineKind::kVector;
   const auto ref = campaign::run_campaign(grid, ref_opt);
   const auto inc = campaign::run_campaign(grid, inc_opt);
+  const auto vec = campaign::run_campaign(grid, vec_opt);
   ASSERT_EQ(ref.rows.size(), inc.rows.size());
+  ASSERT_EQ(ref.rows.size(), vec.rows.size());
   for (std::size_t i = 0; i < ref.rows.size(); ++i) {
     EXPECT_TRUE(ref.rows[i] == inc.rows[i]) << "row " << i;
+    EXPECT_TRUE(ref.rows[i] == vec.rows[i]) << "row " << i;
   }
 }
 

@@ -120,7 +120,8 @@ TEST(LayoutAgreement, HotColdResidualSplitAgreesAcrossEnginesAndLayouts) {
         std::vector<RunResult<HotColdState>> runs;
         std::vector<std::string> labels;
         for (const EngineKind engine :
-             {EngineKind::kReference, EngineKind::kIncremental}) {
+             {EngineKind::kReference, EngineKind::kIncremental,
+              EngineKind::kVector}) {
           for (const ConfigLayout layout :
                {ConfigLayout::kAoS, ConfigLayout::kSoA}) {
             RunOptions opt;
@@ -158,7 +159,8 @@ TEST(LayoutAgreement, LeaderColumnsAgreeWithAoSIncludingTraces) {
     for (std::uint64_t seed = 0; seed < 5; ++seed) {
       std::vector<RunResult<LeaderState>> runs;
       for (const EngineKind engine :
-           {EngineKind::kReference, EngineKind::kIncremental}) {
+           {EngineKind::kReference, EngineKind::kIncremental,
+            EngineKind::kVector}) {
         for (const ConfigLayout layout :
              {ConfigLayout::kAoS, ConfigLayout::kSoA}) {
           RunOptions opt;
@@ -205,7 +207,8 @@ TEST(LayoutAgreement, RegistrySessionsAgreeByteForByteAcrossLayouts) {
           std::vector<SessionResult> results;
           std::vector<std::string> labels;
           for (const EngineKind engine :
-               {EngineKind::kReference, EngineKind::kIncremental}) {
+               {EngineKind::kReference, EngineKind::kIncremental,
+                EngineKind::kVector}) {
             for (const ConfigLayout layout :
                  {ConfigLayout::kAoS, ConfigLayout::kSoA}) {
               spec.engine = engine;

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Doc-drift checks for the CI doc-drift job.
+
+Two checks, both fatal:
+
+1. Registry table: the markdown table embedded in docs/ARCHITECTURE.md
+   between the `<!-- protocol-table:begin -->` / `<!-- protocol-table:end -->`
+   markers must match `specstab list --markdown` byte for byte.  This is
+   what keeps the docs' protocol inventory from drifting as protocols
+   are registered: regenerate the block from the binary, don't hand-edit.
+
+2. Links: every intra-repo markdown link in the repo's tracked *.md
+   files must resolve to an existing file (anchors are stripped;
+   http(s)/mailto links are ignored).
+
+Usage:
+    tools/check_docs.py --binary build/specstab [--repo .]
+
+Exit code 0 when clean, 1 with a per-finding report otherwise.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+TABLE_BEGIN = "<!-- protocol-table:begin -->"
+TABLE_END = "<!-- protocol-table:end -->"
+
+# [text](target) — excludes images via the negative lookbehind; target
+# captured up to the first closing paren (no nested-paren targets in
+# this repo's docs).
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def find_markdown_files(repo: pathlib.Path) -> list[pathlib.Path]:
+    out = subprocess.run(
+        ["git", "ls-files", "*.md", "**/*.md"],
+        cwd=repo,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return [repo / line for line in out.stdout.splitlines() if line]
+
+
+def check_protocol_table(repo: pathlib.Path, binary: str) -> list[str]:
+    errors = []
+    arch = repo / "docs" / "ARCHITECTURE.md"
+    text = arch.read_text(encoding="utf-8")
+    begin = text.find(TABLE_BEGIN)
+    end = text.find(TABLE_END)
+    if begin < 0 or end < 0 or end < begin:
+        return [f"{arch}: protocol-table markers missing or out of order"]
+    embedded = text[begin + len(TABLE_BEGIN) : end].strip("\n")
+
+    generated = subprocess.run(
+        [binary, "list", "--markdown"],
+        capture_output=True,
+        text=True,
+        check=True,
+    ).stdout.strip("\n")
+
+    if embedded != generated:
+        errors.append(
+            f"{arch}: embedded protocol table differs from"
+            " `specstab list --markdown`"
+        )
+        embedded_lines = embedded.splitlines()
+        generated_lines = generated.splitlines()
+        width = max(len(embedded_lines), len(generated_lines))
+        for i in range(width):
+            doc = embedded_lines[i] if i < len(embedded_lines) else "<missing>"
+            gen = (
+                generated_lines[i] if i < len(generated_lines) else "<missing>"
+            )
+            if doc != gen:
+                errors.append(f"  line {i + 1} docs: {doc}")
+                errors.append(f"  line {i + 1} tool: {gen}")
+        errors.append(
+            "  fix: re-run `specstab list --markdown` and paste the output"
+            " between the markers"
+        )
+    return errors
+
+
+def check_links(repo: pathlib.Path, files: list[pathlib.Path]) -> list[str]:
+    errors = []
+    for md in files:
+        text = md.read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:  # same-file anchor
+                    continue
+                resolved = (md.parent / path_part).resolve()
+                if not resolved.exists():
+                    rel = md.relative_to(repo)
+                    errors.append(
+                        f"{rel}:{lineno}: broken link `{target}`"
+                        f" (no such file: {path_part})"
+                    )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--binary",
+        default="build/specstab",
+        help="path to the specstab binary (for `list --markdown`)",
+    )
+    parser.add_argument(
+        "--repo", default=".", help="repository root (default: cwd)"
+    )
+    args = parser.parse_args()
+
+    repo = pathlib.Path(args.repo).resolve()
+    errors = []
+    errors += check_protocol_table(repo, args.binary)
+    errors += check_links(repo, find_markdown_files(repo))
+
+    if errors:
+        print("doc-drift check FAILED:", file=sys.stderr)
+        for e in errors:
+            print(f"  {e}", file=sys.stderr)
+        return 1
+    print("doc-drift check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
