@@ -32,6 +32,7 @@
 
 #include "baselines/dijkstra_ring.hpp"
 #include "baselines/matching.hpp"
+#include "baselines/unbounded_unison.hpp"
 #include "extensions/leader_election.hpp"
 #include "unison/unison.hpp"
 #include "campaign/artifacts.hpp"
@@ -244,6 +245,81 @@ std::vector<MicroRow> run_micros(bool smoke, int repeats) {
   return rows;
 }
 
+/// Parallel-engine scaling rows: per-step latency on million-vertex
+/// topologies at 1/2/8 worker threads, against the incremental engine as
+/// the baseline.  The MicroRow keys keep their regression-gate meaning —
+/// reference_ms is the baseline (incremental) time, incremental_ms the
+/// parallel time at the row's thread count, so "speedup" is the
+/// parallel-over-incremental ratio the ±30% band tracks.  Step counts
+/// are cross-checked between the engines (byte-identical results are the
+/// differential suite's job; the bench still refuses to time diverging
+/// runs).  One repeat: each full-mode run is seconds long, so best-of
+/// adds minutes for noise the 500+-step rows do not have.
+std::vector<MicroRow> parallel_scaling_rows(bool smoke) {
+  std::vector<MicroRow> rows;
+  struct Topo {
+    std::string label;
+    Graph g;
+  };
+  std::vector<Topo> topos;
+  topos.push_back({smoke ? "ring-20k" : "ring-1M",
+                   make_ring(smoke ? 20000 : 1000000)});
+  topos.push_back({smoke ? "torus-10k" : "torus-1M",
+                   smoke ? make_torus(100, 100) : make_torus(1000, 1000)});
+  // 520 full-mode steps: above the regression gate's 500-step noise
+  // floor.  Unison under the synchronous daemon never terminates before
+  // the cap, so every row executes exactly max_steps dense actions.
+  const StepIndex max_steps = smoke ? 40 : 520;
+  const UnboundedUnisonProtocol proto;
+  for (const auto& topo : topos) {
+    const Graph& g = topo.g;
+    Config<UnboundedUnisonProtocol::State> init(
+        static_cast<std::size_t>(g.n()));
+    std::mt19937_64 rng(99);
+    std::uniform_int_distribution<std::int64_t> pick(-5, 20);
+    for (auto& s : init) s = pick(rng);
+
+    RunOptions opt;
+    opt.max_steps = max_steps;
+    opt.engine = EngineKind::kIncremental;
+    AlwaysLegitimate checker;
+    double base_ms = 0.0;
+    std::int64_t base_steps = 0;
+    {
+      auto daemon = make_daemon("synchronous", 1);
+      base_ms = best_of(1, [&] {
+        const auto res = run_with_engine(g, proto, *daemon, init, opt,
+                                         checker);
+        base_steps = res.steps;
+      });
+    }
+    opt.engine = EngineKind::kParallel;
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      opt.threads = threads;
+      MicroRow row;
+      row.name = "parallel/unison/" + topo.label + "/sync/t" +
+                 std::to_string(threads);
+      std::int64_t steps = 0;
+      auto daemon = make_daemon("synchronous", 1);
+      const double ms = best_of(1, [&] {
+        const auto res = run_with_engine(g, proto, *daemon, init, opt,
+                                         checker);
+        steps = res.steps;
+      });
+      if (steps != base_steps) {
+        std::cerr << "!! ENGINE MISMATCH in '" << row.name << "': "
+                  << base_steps << " vs " << steps << " steps\n";
+        std::exit(2);
+      }
+      row.steps = steps;
+      row.reference_ms = base_ms;
+      row.incremental_ms = ms;
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
 /// Cross-protocol campaign row: the whole sweep preset (every registered
 /// protocol x topologies x daemons, all dispatched through the
 /// type-erased registry) on both engines.  Reported as a micro row so
@@ -424,6 +500,9 @@ int main(int argc, char** argv) {
 
   auto micros = run_micros(smoke, repeats);
   micros.push_back(sweep_cross_protocol_row(smoke, threads, repeats));
+  for (auto& row : parallel_scaling_rows(smoke)) {
+    micros.push_back(std::move(row));
+  }
   for (const auto& m : micros) {
     std::cout << std::left << std::setw(42) << m.name << std::right
               << std::setw(12) << fmt(m.reference_ms) << std::setw(12)

@@ -103,6 +103,7 @@ struct Options {
   bool dot = false;
   EngineKind engine = EngineKind::kIncremental;
   ConfigLayout layout = ConfigLayout::kAuto;
+  unsigned threads = 1;  ///< parallel-engine worker threads
 };
 
 /// Guard for the SSME-specific analysis subcommands: silently running
@@ -141,6 +142,10 @@ Options parse_options(const std::vector<std::string>& args, std::size_t pos) {
       opt.engine = engine_by_name(value);
     } else if (flag == "--layout") {
       opt.layout = config_layout_by_name(value);
+    } else if (flag == "--threads") {
+      const double t = parse_double(value, "--threads");
+      if (t < 1 || t > 4096) fail("--threads must be in [1, 4096]");
+      opt.threads = static_cast<unsigned>(t);
     } else if (flag == "--configs") {
       opt.configs =
           static_cast<std::size_t>(parse_double(value, "--configs"));
@@ -175,12 +180,15 @@ std::string usage() {
      << "  campaign  [grid options]           parallel scenario sweep; see\n"
      << "                                     `specstab campaign --help`\n\n"
      << "run/witness/speculate/elect/color/campaign accept\n"
-     << "  --engine incremental|reference|vector\n"
+     << "  --engine incremental|reference|vector|parallel\n"
      << "                                     dirty-set engine (default),\n"
-     << "                                     the full-rescan oracle, or the\n"
-     << "                                     vectorized column-scan engine\n"
+     << "                                     the full-rescan oracle, the\n"
+     << "                                     vectorized column-scan engine,\n"
+     << "                                     or the sharded parallel engine\n"
      << "  --layout auto|soa|aos              configuration storage layout\n"
-     << "                                     (auto: SoA where declared)\n";
+     << "                                     (auto: SoA where declared)\n"
+     << "  --threads T                        parallel-engine worker threads\n"
+     << "                                     (results identical at any T)\n";
   return os.str();
 }
 
@@ -277,9 +285,11 @@ std::string campaign_usage() {
      << "run options:\n"
      << "  --threads T                    worker threads (0 = hardware)\n"
      << "  --steps N                      max-steps override for every run\n"
-     << "  --engine incremental|reference|vector\n"
+     << "  --engine incremental|reference|vector|parallel\n"
      << "                                 execution engine (default:\n"
-     << "                                 incremental)\n"
+     << "                                 incremental; parallel sessions run\n"
+     << "                                 single-sharded here — the pool\n"
+     << "                                 already parallelizes scenarios)\n"
      << "  --layout auto|soa|aos          configuration storage layout\n"
      << "                                 (default auto: SoA where the\n"
      << "                                 protocol declares a field split);\n"
@@ -554,6 +564,7 @@ CliResult cmd_run(const std::vector<std::string>& args,
   spec.max_steps = opt.max_steps;
   spec.engine = opt.engine;
   spec.layout = opt.layout;
+  spec.threads = opt.threads;
   const SessionResult res = entry.run(g, spec);
 
   std::ostringstream os;
@@ -607,6 +618,7 @@ CliResult cmd_witness(const std::vector<std::string>& args) {
   RunOptions run_opt;
   run_opt.engine = opt.engine;
   run_opt.layout = opt.layout;
+  run_opt.threads = opt.threads;
   run_opt.max_steps =
       opt.max_steps > 0 ? opt.max_steps
                         : 2 * (proto.params().k + proto.params().n);
@@ -643,6 +655,7 @@ CliResult cmd_speculate(const std::vector<std::string>& args) {
   RunOptions run_opt;
   run_opt.engine = opt.engine;
   run_opt.layout = opt.layout;
+  run_opt.threads = opt.threads;
   run_opt.max_steps = 40 * (proto.params().k + proto.params().n);
 
   SynchronousDaemon sd;

@@ -123,6 +123,7 @@ template <class Traits>
   RunOptions opt;
   opt.engine = spec.engine;
   opt.layout = spec.layout;
+  opt.threads = spec.threads;
   opt.record_trace = spec.record_trace;
   opt.max_steps =
       spec.max_steps > 0 ? spec.max_steps : Traits::step_cap(g, diam);

@@ -79,12 +79,25 @@ bool EnabledSet::commit() {
   if (added_.size() + removed_.size() <= 8) {
     // The common case under central daemons: a couple of flips per
     // action.  Binary search + memmove beats a full merge pass.
+    //
+    // The asserts hold the staging contract: removed_ must be a subset
+    // of vertices_ and added_ disjoint from it (note() keeps both in
+    // lockstep with the bitmap).  A breach — e.g. a caller desyncing
+    // the bitmap from the vector — would otherwise erase the wrong
+    // vertex or end(), which is UB, not a detectable failure.
     for (VertexId v : removed_) {
-      vertices_.erase(std::lower_bound(vertices_.begin(), vertices_.end(), v));
+      const auto it =
+          std::lower_bound(vertices_.begin(), vertices_.end(), v);
+      assert(it != vertices_.end() && *it == v &&
+             "EnabledSet::commit: removed vertex not in the set");
+      vertices_.erase(it);
     }
     for (VertexId v : added_) {
-      vertices_.insert(std::lower_bound(vertices_.begin(), vertices_.end(), v),
-                       v);
+      const auto it =
+          std::lower_bound(vertices_.begin(), vertices_.end(), v);
+      assert((it == vertices_.end() || *it != v) &&
+             "EnabledSet::commit: added vertex already in the set");
+      vertices_.insert(it, v);
     }
     return true;
   }
@@ -105,6 +118,25 @@ bool EnabledSet::commit() {
   while (add != added_.end()) scratch_.push_back(*add++);
   vertices_.swap(scratch_);
   return true;
+}
+
+bool EnabledSet::apply_delta(const std::vector<VertexId>& added,
+                             const std::vector<VertexId>& removed) {
+  // The parallel engine's merged shard deltas arrive pre-sorted and
+  // pre-deduplicated (each vertex's fresh verdict was computed against
+  // the pre-step bitmap exactly once), so staging them through the
+  // note() path reuses the small-flip/linear-merge machinery — and the
+  // commit() asserts — unchanged.
+  begin_update();
+  for (const VertexId v : added) {
+    bits_[static_cast<std::size_t>(v)] = 1;
+    added_.push_back(v);
+  }
+  for (const VertexId v : removed) {
+    bits_[static_cast<std::size_t>(v)] = 0;
+    removed_.push_back(v);
+  }
+  return commit();
 }
 
 }  // namespace specstab

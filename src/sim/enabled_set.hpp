@@ -146,6 +146,15 @@ class EnabledSet {
   /// Applies the staged flips; returns whether the vector changed.
   bool commit();
 
+  /// One-shot delta application for callers that computed the flips
+  /// themselves (the parallel engine's merged per-shard deltas): `added`
+  /// and `removed` must be sorted ascending, disjoint from each other,
+  /// with `removed` a subset of the current set and `added` disjoint
+  /// from it.  Equivalent to begin_update() + note() per vertex +
+  /// commit(); returns whether the vector changed.
+  bool apply_delta(const std::vector<VertexId>& added,
+                   const std::vector<VertexId>& removed);
+
   /// Dense-path rebuild: when an action dirties most of the graph the
   /// flip staging above degenerates (per-vertex compare-and-stage plus a
   /// full merge); rebuilding from scratch is one bitmap clear plus one

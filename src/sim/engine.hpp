@@ -38,17 +38,22 @@ namespace specstab {
 /// *vector* engine (vector_engine.hpp) rescans all n guards per action
 /// as contiguous column scans (SimdEval kernels where a protocol opts
 /// in, scalar rescan otherwise) and rebuilds the enabled set through
-/// 64-verdict word masks; the *reference* engine below rescans all n
-/// vertices after every action with deliberately naive code and serves
-/// as the differential-testing oracle.  All three produce bit-identical
+/// 64-verdict word masks; the *parallel* engine (parallel_engine.hpp)
+/// shards the vertex range over worker threads — activations whose
+/// locality balls stay inside one shard are processed concurrently,
+/// boundary-crossers in a sequential fix-up pass, deltas merged in
+/// shard order; the *reference* engine below rescans all n vertices
+/// after every action with deliberately naive code and serves as the
+/// differential-testing oracle.  All four produce bit-identical
 /// RunResults for the same inputs.
 enum class EngineKind {
   kIncremental,
   kReference,
   kVector,
+  kParallel,
 };
 
-/// "incremental" | "reference" | "vector".
+/// "incremental" | "reference" | "vector" | "parallel".
 [[nodiscard]] std::string_view engine_name(EngineKind kind);
 /// Inverse of engine_name; throws std::invalid_argument on unknown names.
 [[nodiscard]] EngineKind engine_by_name(const std::string& name);
@@ -66,6 +71,11 @@ struct RunOptions {
   /// kAuto picks SoA wherever the state type declares a split — results
   /// are byte-identical across layouts; only memory traffic differs.
   ConfigLayout layout = ConfigLayout::kAuto;
+
+  /// Worker threads for the parallel engine (ignored by the others).
+  /// Results are byte-identical at every thread count by construction;
+  /// only wall clock differs.  1 runs every phase inline.
+  unsigned threads = 1;
 
   /// If set, stop this many actions after the first time the
   /// configuration satisfies the legitimacy predicate (useful to bound

@@ -12,6 +12,8 @@ std::string_view engine_name(EngineKind kind) {
       return "reference";
     case EngineKind::kVector:
       return "vector";
+    case EngineKind::kParallel:
+      return "parallel";
   }
   throw std::invalid_argument("unknown EngineKind");
 }
@@ -20,8 +22,10 @@ EngineKind engine_by_name(const std::string& name) {
   if (name == "incremental") return EngineKind::kIncremental;
   if (name == "reference") return EngineKind::kReference;
   if (name == "vector") return EngineKind::kVector;
-  throw std::invalid_argument("unknown engine '" + name +
-                              "' (incremental | reference | vector)");
+  if (name == "parallel") return EngineKind::kParallel;
+  throw std::invalid_argument(
+      "unknown engine '" + name +
+      "' (incremental | reference | vector | parallel)");
 }
 
 }  // namespace specstab

@@ -39,6 +39,7 @@
 #include "sim/enabled_set.hpp"
 #include "sim/engine.hpp"
 #include "sim/protocol.hpp"
+#include "sim/parallel_engine.hpp"
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
 #include "sim/vector_engine.hpp"
@@ -233,6 +234,10 @@ RunResult<typename P::State> run_with_engine(
   if (opt.engine == EngineKind::kVector) {
     return run_execution_vector(g, proto, daemon, std::move(init), opt,
                                 checker, observer);
+  }
+  if (opt.engine == EngineKind::kParallel) {
+    return run_execution_parallel(g, proto, daemon, std::move(init), opt,
+                                  checker, observer);
   }
   return run_execution_incremental(g, proto, daemon, std::move(init), opt,
                                    checker, observer);

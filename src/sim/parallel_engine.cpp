@@ -1,0 +1,69 @@
+#include "sim/parallel_engine.hpp"
+
+namespace specstab {
+
+ShardPool::ShardPool(unsigned extra_workers) {
+  workers_.reserve(extra_workers);
+  for (unsigned i = 0; i < extra_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ShardPool::run(std::size_t tasks,
+                    const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  fn_ = &fn;
+  tasks_ = tasks;
+  next_task_ = 0;
+  pending_ = tasks;
+  ++generation_;
+  const std::uint64_t gen = generation_;
+  cv_.notify_all();
+  participate(lk, gen);
+  done_cv_.wait(lk, [this] { return pending_ == 0; });
+  fn_ = nullptr;
+}
+
+void ShardPool::participate(std::unique_lock<std::mutex>& lk,
+                            std::uint64_t gen) {
+  // Claims happen under the mutex: a worker that wakes after its
+  // generation's tasks are exhausted (or after a newer run() started)
+  // observes that under the same lock and claims nothing.  The task
+  // body runs unlocked.
+  while (generation_ == gen && next_task_ < tasks_) {
+    const std::size_t i = next_task_++;
+    const auto* fn = fn_;
+    lk.unlock();
+    (*fn)(i);
+    lk.lock();
+    --pending_;
+    if (pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ShardPool::worker_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    participate(lk, seen);
+  }
+}
+
+}  // namespace specstab

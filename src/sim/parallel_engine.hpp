@@ -1,0 +1,395 @@
+// Sharded parallel execution engine.
+//
+// The state-model structure the other engines exploit sequentially is
+// also what makes one daemon action parallelizable: composite atomicity
+// means every activated vertex reads the *pre-action* configuration (the
+// apply phase is embarrassingly parallel), and guards are local —
+// `protocol_locality_radius()` bounds the footprint of an activation to
+// its radius-r ball, so activations whose balls don't overlap commute.
+//
+// This engine partitions the vertex range into `RunOptions::threads`
+// contiguous shards (CSR adjacency makes shard scans contiguous) and
+// runs each step in phases:
+//
+//   1. *apply* — successor states for all activated vertices are
+//      computed in parallel against the pre-action configuration, then
+//      installed sequentially in ascending vertex order (dense actions
+//      through the store's double-buffered column swap, sparse ones via
+//      set());
+//   2. *guard re-test* — sparse path: each shard processes its slice of
+//      the sorted activation set; an activation whose radius-r ball
+//      stays inside the shard's range is re-tested in place (per-shard
+//      sorted added/removed deltas, a shared per-step stamp array with
+//      shard-disjoint writes deduplicating ball overlaps), while
+//      boundary-crossing activations are deferred to a sequential
+//      fix-up pass.  Dense path: each shard rescans its range into a
+//      per-shard enabled list;
+//   3. *merge* — per-shard deltas concatenate in shard order (each
+//      shard's vertices precede the next's, so the result is globally
+//      sorted), merge with the fix-up deltas, and apply in one
+//      EnabledSet::apply_delta() — or, densely, the per-shard lists
+//      rebuild the set in shard order.
+//
+// Fresh guard verdicts are pure functions of the post-action
+// configuration and flips are computed against the same pre-step
+// bitmap, so the resulting enabled set — and with it daemon selection,
+// meters, traces, and every subsequent step — is byte-identical to the
+// incremental engine at every thread count *by construction*.  The
+// differential suites (tests/parallel_differential_test.cpp and the
+// engine/layout harnesses) hold the engine to that at 1, 2 and 8
+// threads.
+#ifndef SPECSTAB_SIM_PARALLEL_ENGINE_HPP
+#define SPECSTAB_SIM_PARALLEL_ENGINE_HPP
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/daemon.hpp"
+#include "sim/enabled_set.hpp"
+#include "sim/engine.hpp"
+#include "sim/protocol.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace specstab {
+
+/// Persistent worker pool for the parallel engine: `extra_workers`
+/// threads plus the calling thread drain a task counter per run() call.
+/// One pool lives for a whole execution, so per-step cost is one
+/// condvar broadcast, not thread creation.
+class ShardPool {
+ public:
+  explicit ShardPool(unsigned extra_workers);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  /// Runs fn(0) .. fn(tasks - 1), each exactly once, across the calling
+  /// thread and the workers; returns after all complete.  Not
+  /// reentrant.  Task claims go through the pool mutex — tasks are
+  /// coarse (whole shard scans), so claim serialization is noise, and a
+  /// late-waking worker can never claim into a newer generation.
+  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void participate(std::unique_lock<std::mutex>& lk, std::uint64_t gen);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_, done_cv_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t tasks_ = 0;
+  std::size_t next_task_ = 0;
+  std::size_t pending_ = 0;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+namespace parallel_detail {
+
+/// Contiguous vertex shards: shard k covers [bounds[k], bounds[k+1]).
+inline std::vector<VertexId> shard_bounds(VertexId n, std::size_t shards) {
+  std::vector<VertexId> bounds(shards + 1, 0);
+  for (std::size_t k = 0; k <= shards; ++k) {
+    bounds[k] = static_cast<VertexId>(static_cast<std::int64_t>(n) *
+                                      static_cast<std::int64_t>(k) /
+                                      static_cast<std::int64_t>(shards));
+  }
+  return bounds;
+}
+
+/// Per-shard scratch, owned by the shard (not the thread): whichever
+/// worker drains shard k writes only into scratch k.
+struct ShardScratch {
+  explicit ShardScratch(VertexId n) : expander(n) {}
+
+  NeighborhoodExpander expander;
+  std::vector<VertexId> seed;            ///< one-activation seed buffer
+  std::vector<VertexId> added, removed;  ///< sparse-path deltas (sorted)
+  std::vector<VertexId> boundary;        ///< deferred boundary activations
+  std::vector<VertexId> enabled;         ///< dense-path shard rescan
+};
+
+}  // namespace parallel_detail
+
+/// Sharded parallel counterpart of run_execution_incremental(): same
+/// inputs, byte-identical RunResult at every opt.threads value.
+template <ProtocolConcept P, class C>
+  requires IncrementalLegitimacy<C, typename P::State>
+RunResult<typename P::State> run_execution_parallel(
+    const Graph& g, const P& proto, Daemon& daemon,
+    Config<typename P::State> init, const RunOptions& opt, C& checker,
+    const StepObserver<typename P::State>& observer = nullptr) {
+  using State = typename P::State;
+  RunResult<State> res;
+  ConfigStore<State> cfg(std::move(init), opt.layout);
+  const ConfigView<State> live = cfg.view();
+  RoundCounter rc(g.n());
+  const VertexId radius = protocol_locality_radius(proto);
+
+  bool pending_convergence_marker = false;
+  const auto note_legitimacy = [&](StepIndex cfg_index, bool legit) {
+    if (legit) {
+      if (res.first_legitimate < 0) res.first_legitimate = cfg_index;
+      if (pending_convergence_marker) {
+        res.moves_to_convergence = res.moves;
+        res.rounds_to_convergence = rc.completed_rounds();
+        pending_convergence_marker = false;
+      }
+    } else {
+      res.last_illegitimate = cfg_index;
+      pending_convergence_marker = true;
+    }
+  };
+
+  if (opt.record_trace) res.trace.start(live);
+  note_legitimacy(0, checker.init(g, live));
+
+  EnabledSet enabled;
+  enabled.reset(g.n());
+  // The initial full scan is sequential; it also performs the graph's
+  // lazy CSR flush before any worker reads adjacency.
+  enabled.assign(enabled_vertices(g, proto, live));
+
+  const std::size_t shards = std::max(1u, opt.threads);
+  const auto bounds = parallel_detail::shard_bounds(g.n(), shards);
+  std::vector<parallel_detail::ShardScratch> scratch;
+  scratch.reserve(shards);
+  for (std::size_t k = 0; k < shards; ++k) scratch.emplace_back(g.n());
+
+  // One pool for the whole run; with threads == 1 every phase runs
+  // inline on the calling thread.
+  ShardPool pool(opt.threads > 1 ? opt.threads - 1 : 0);
+  const auto run_shards = [&](const std::function<void(std::size_t)>& fn) {
+    pool.run(shards, fn);
+  };
+
+  // Per-step touched stamps deduplicate ball overlaps: workers stamp
+  // only vertices inside their own shard range (interior balls), the
+  // sequential fix-up pass stamps anywhere.
+  std::vector<std::uint32_t> touched(static_cast<std::size_t>(g.n()), 0);
+  std::uint32_t step_gen = 0;
+
+  NeighborhoodExpander fixup_expander(g.n());
+  ActionBuffer action;
+  std::vector<VertexId> round_base;
+  std::vector<State> staged;
+  std::vector<VertexId> merged_added, merged_removed;
+  std::vector<VertexId> fix_added, fix_removed, boundary_all;
+
+  StepIndex since_convergence = 0;
+  while (res.steps < opt.max_steps) {
+    if (enabled.empty()) {
+      res.terminated = true;
+      break;
+    }
+    if (opt.steps_after_convergence && res.first_legitimate >= 0 &&
+        since_convergence >= *opt.steps_after_convergence) {
+      break;
+    }
+
+    daemon.select_into(g, enabled.view(), res.steps, action);
+    const std::vector<VertexId>& activated = action.active;
+    assert(std::is_sorted(activated.begin(), activated.end()));
+    if (observer) observer(res.steps, live, activated);
+
+    // --- Apply phase: successor states in parallel (composite
+    // atomicity — every activation reads the pre-action configuration),
+    // installed sequentially in ascending vertex order.
+    staged.resize(activated.size());
+    {
+      const std::size_t per =
+          (activated.size() + shards - 1) / std::max<std::size_t>(1, shards);
+      run_shards([&](std::size_t k) {
+        const std::size_t lo = std::min(activated.size(), k * per);
+        const std::size_t hi = std::min(activated.size(), lo + per);
+        for (std::size_t j = lo; j < hi; ++j) {
+          staged[j] = proto.apply(g, live, activated[j]);
+        }
+      });
+    }
+    const bool dense = is_dense_update(
+        static_cast<std::int64_t>(activated.size()), radius, g);
+    if (dense) {
+      // dense_apply invokes the applier exactly once per activated
+      // vertex in ascending order, so a running cursor replays the
+      // staged states through the double-buffered column swap.
+      std::size_t cursor = 0;
+      cfg.dense_apply(activated, [&](ConfigView<State>, VertexId) {
+        return staged[cursor++];
+      });
+      if (opt.record_trace) {
+        const ConfigView<State> prev = cfg.prev_view();
+        for (VertexId v : activated) {
+          const auto i = static_cast<std::size_t>(v);
+          res.trace.note_change(v, prev.get(i), live.get(i));
+        }
+        res.trace.seal_action(activated);
+      }
+    } else {
+      if (opt.record_trace) {
+        for (std::size_t j = 0; j < activated.size(); ++j) {
+          const auto i = static_cast<std::size_t>(activated[j]);
+          res.trace.note_change(activated[j], live.get(i), staged[j]);
+        }
+        res.trace.seal_action(activated);
+      }
+      for (std::size_t j = 0; j < activated.size(); ++j) {
+        cfg.set(static_cast<std::size_t>(activated[j]), staged[j]);
+      }
+    }
+
+    res.moves += static_cast<std::int64_t>(activated.size());
+    ++res.steps;
+    if (res.first_legitimate >= 0) ++since_convergence;
+
+    const bool opening_round = !rc.round_open();
+    if (opening_round) round_base = enabled.vertices();
+
+    // --- Guard re-test phase.
+    bool checker_legit;
+    if (dense) {
+      // Parallel per-shard rescan of the post-action configuration,
+      // rebuilt in shard order (identical to the incremental engine's
+      // ordered full rescan).
+      run_shards([&](std::size_t k) {
+        auto& sc = scratch[k];
+        sc.enabled.clear();
+        for (VertexId v = bounds[k]; v < bounds[k + 1]; ++v) {
+          if (proto.enabled(g, live, v)) sc.enabled.push_back(v);
+        }
+      });
+      enabled.begin_rebuild();
+      for (std::size_t k = 0; k < shards; ++k) {
+        for (VertexId v : scratch[k].enabled) enabled.append(v);
+      }
+      enabled.end_rebuild();
+    } else {
+      if (++step_gen == 0) {
+        std::fill(touched.begin(), touched.end(), 0);
+        step_gen = 1;
+      }
+      const EnabledView pre = enabled.view();
+      // Shard k re-tests the activations that live in its range whose
+      // balls stay inside the range; the rest are deferred.
+      run_shards([&](std::size_t k) {
+        auto& sc = scratch[k];
+        sc.added.clear();
+        sc.removed.clear();
+        sc.boundary.clear();
+        const auto first = std::lower_bound(activated.begin(),
+                                            activated.end(), bounds[k]);
+        const auto last = std::lower_bound(activated.begin(),
+                                           activated.end(), bounds[k + 1]);
+        for (auto it = first; it != last; ++it) {
+          const VertexId v = *it;
+          sc.seed.assign(1, v);
+          const auto& ball = sc.expander.expand(g, sc.seed, radius);
+          if (ball.front() < bounds[k] || ball.back() >= bounds[k + 1]) {
+            sc.boundary.push_back(v);
+            continue;
+          }
+          for (VertexId u : ball) {
+            auto& stamp = touched[static_cast<std::size_t>(u)];
+            if (stamp == step_gen) continue;
+            stamp = step_gen;
+            const bool now = proto.enabled(g, live, u);
+            if (now == pre.contains(u)) continue;
+            (now ? sc.added : sc.removed).push_back(u);
+          }
+        }
+        std::sort(sc.added.begin(), sc.added.end());
+        std::sort(sc.removed.begin(), sc.removed.end());
+      });
+
+      // Sequential fix-up: boundary-crossing activations, expanded
+      // together; stamped vertices were already re-tested by a shard.
+      boundary_all.clear();
+      fix_added.clear();
+      fix_removed.clear();
+      for (std::size_t k = 0; k < shards; ++k) {
+        boundary_all.insert(boundary_all.end(), scratch[k].boundary.begin(),
+                            scratch[k].boundary.end());
+      }
+      if (!boundary_all.empty()) {
+        const auto& dirty = fixup_expander.expand(g, boundary_all, radius);
+        for (VertexId u : dirty) {
+          auto& stamp = touched[static_cast<std::size_t>(u)];
+          if (stamp == step_gen) continue;
+          stamp = step_gen;
+          const bool now = proto.enabled(g, live, u);
+          if (now == pre.contains(u)) continue;
+          (now ? fix_added : fix_removed).push_back(u);
+        }
+      }
+
+      // Merge: shard deltas concatenate sorted (shard ranges ascend);
+      // fix-up deltas merge in (disjoint by the stamp dedup).
+      merged_added.clear();
+      merged_removed.clear();
+      for (std::size_t k = 0; k < shards; ++k) {
+        merged_added.insert(merged_added.end(), scratch[k].added.begin(),
+                            scratch[k].added.end());
+        merged_removed.insert(merged_removed.end(),
+                              scratch[k].removed.begin(),
+                              scratch[k].removed.end());
+      }
+      if (!fix_added.empty()) {
+        const auto mid = merged_added.insert(merged_added.end(),
+                                             fix_added.begin(),
+                                             fix_added.end());
+        std::inplace_merge(merged_added.begin(), mid, merged_added.end());
+      }
+      if (!fix_removed.empty()) {
+        const auto mid = merged_removed.insert(merged_removed.end(),
+                                               fix_removed.begin(),
+                                               fix_removed.end());
+        std::inplace_merge(merged_removed.begin(), mid,
+                           merged_removed.end());
+      }
+      enabled.apply_delta(merged_added, merged_removed);
+    }
+    // The checker runs sequentially on the post-action configuration —
+    // same call, same verdict as the incremental engine's.
+    checker_legit = checker.on_update(g, live, activated);
+
+    rc.on_action(opening_round ? round_base : enabled.vertices(), activated,
+                 enabled.vertices());
+    note_legitimacy(res.steps, checker_legit);
+  }
+  res.hit_step_cap = !res.terminated && res.steps >= opt.max_steps;
+  res.rounds = rc.completed_rounds();
+
+  if (res.first_legitimate >= 0 &&
+      res.first_legitimate <= res.last_illegitimate) {
+    res.first_legitimate =
+        (res.last_illegitimate < res.steps) ? res.last_illegitimate + 1 : -1;
+  }
+
+  res.final_config = cfg.take();
+  return res;
+}
+
+/// Convenience overload without a legitimacy checker.
+template <ProtocolConcept P>
+RunResult<typename P::State> run_execution_parallel(
+    const Graph& g, const P& proto, Daemon& daemon,
+    Config<typename P::State> init, const RunOptions& opt) {
+  AlwaysLegitimate checker;
+  return run_execution_parallel(g, proto, daemon, std::move(init), opt,
+                                checker);
+}
+
+}  // namespace specstab
+
+#endif  // SPECSTAB_SIM_PARALLEL_ENGINE_HPP

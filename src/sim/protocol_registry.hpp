@@ -48,6 +48,9 @@ struct SessionSpec {
   /// byte-identical across layouts (the layout-agreement suite holds
   /// every protocol to that).
   ConfigLayout layout = ConfigLayout::kAuto;
+  /// Worker threads for the parallel engine (CLI `--threads`); other
+  /// engines ignore it.  Results are byte-identical at any value.
+  unsigned threads = 1;
   bool record_trace = false;           ///< expose the delta trace below
   /// Skip the rendered outputs (final_state, digest, notes): the
   /// campaign runner keeps only the numeric meters, so it does not pay

@@ -111,5 +111,77 @@ TEST(DaemonCheckTest, AuditForwardsNameAndReset) {
   audit.reset();  // must not throw
 }
 
+// --- Contract breaches are detected, not silently executed ---
+
+/// A daemon that violates the base contract on demand: activates a
+/// vertex OUTSIDE the enabled set, or reports its choice unsorted.
+/// Stands in for the class of buggy custom daemons whose selections
+/// desync the engines' EnabledSet (the small-flip commit() path used to
+/// hit undefined behaviour erasing a vertex such a selection removed
+/// twice — now an assert; see enabled_set_test.cpp).
+class ContractBreachingDaemon final : public Daemon {
+ public:
+  enum class Breach { kOutsideEnabled, kUnsorted };
+
+  explicit ContractBreachingDaemon(Breach breach) : breach_(breach) {}
+
+  void select_into(const Graph& g, const EnabledView& enabled, StepIndex,
+                   ActionBuffer& out) override {
+    out.active.clear();
+    if (breach_ == Breach::kOutsideEnabled) {
+      // Pick the smallest vertex NOT enabled — guaranteed to exist on
+      // the test graphs below.
+      for (VertexId v = 0; v < g.n(); ++v) {
+        if (!enabled.contains(v)) {
+          out.active.push_back(v);
+          return;
+        }
+      }
+    }
+    // Unsorted: report two enabled vertices in descending order.
+    const auto& vs = enabled.vertices();
+    out.active.push_back(vs.back());
+    out.active.push_back(vs.front());
+  }
+
+  [[nodiscard]] std::string name() const override { return "breaching"; }
+
+ private:
+  Breach breach_;
+};
+
+TEST(DaemonCheckTest, AuditFlagsActivationOutsideEnabledSet) {
+  // Drive the audit directly (running a breaching selection through an
+  // engine would apply a rule on a disabled vertex — exactly what the
+  // audit exists to catch beforehand).
+  const Graph g = make_ring(6);
+  ContractBreachingDaemon inner(
+      ContractBreachingDaemon::Breach::kOutsideEnabled);
+  DaemonAudit audit(inner, g.n());
+  // Enabled = {1, 3, 5}; the breaching daemon will choose vertex 0.
+  std::vector<VertexId> enabled_vec = {1, 3, 5};
+  std::vector<char> bits = {0, 1, 0, 1, 0, 1};
+  const EnabledView view(enabled_vec, bits);
+  ActionBuffer buf;
+  audit.select_into(g, view, 0, buf);
+  EXPECT_EQ(buf.active, (std::vector<VertexId>{0}));
+  EXPECT_FALSE(audit.report().subset_of_enabled);
+  EXPECT_FALSE(audit.report().contract_holds());
+}
+
+TEST(DaemonCheckTest, AuditFlagsUnsortedSelection) {
+  const Graph g = make_ring(6);
+  ContractBreachingDaemon inner(ContractBreachingDaemon::Breach::kUnsorted);
+  DaemonAudit audit(inner, g.n());
+  std::vector<VertexId> enabled_vec = {1, 3, 5};
+  std::vector<char> bits = {0, 1, 0, 1, 0, 1};
+  const EnabledView view(enabled_vec, bits);
+  ActionBuffer buf;
+  audit.select_into(g, view, 0, buf);
+  EXPECT_EQ(buf.active, (std::vector<VertexId>{5, 1}));
+  EXPECT_FALSE(audit.report().sorted);
+  EXPECT_FALSE(audit.report().contract_holds());
+}
+
 }  // namespace
 }  // namespace specstab

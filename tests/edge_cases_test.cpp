@@ -5,17 +5,24 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <string>
 
+#include "baselines/matching.hpp"
+#include "baselines/unbounded_unison.hpp"
 #include "core/adversarial_configs.hpp"
 #include "core/composition.hpp"
 #include "core/generalized_ssme.hpp"
+#include "core/incremental_legitimacy.hpp"
 #include "core/speculation.hpp"
 #include "core/ssme.hpp"
 #include "extensions/coloring.hpp"
 #include "extensions/leader_election.hpp"
 #include "graph/generators.hpp"
 #include "graph/properties.hpp"
+#include "sim/daemon.hpp"
 #include "sim/engine.hpp"
+#include "sim/incremental_engine.hpp"
+#include "sim/protocol_registry.hpp"
 
 namespace specstab {
 namespace {
@@ -82,6 +89,163 @@ TEST(EdgeCaseTest, CompleteGraphHasUnitBound) {
         g, proto, d, random_config(g, proto.clock(), seed), opt, safe);
     ASSERT_TRUE(res.converged()) << seed;
     EXPECT_LE(res.convergence_steps(), 1) << seed;
+  }
+}
+
+// --- Empty and single-vertex graphs, all four engines ---
+
+/// Every engine must return a well-formed *terminated* RunResult on the
+/// empty graph: no enabled vertices exist, so the run ends before the
+/// daemon is ever consulted — steps = moves = rounds = 0, terminated,
+/// no step-cap hit, and an empty final configuration.  The parallel
+/// engine additionally runs with more worker threads than vertices
+/// (all shard ranges empty).
+template <class P, class MakeChecker>
+void expect_degenerate_termination(const Graph& g, const P& proto,
+                                   const Config<typename P::State>& init,
+                                   MakeChecker make_checker) {
+  struct EngineCase {
+    EngineKind kind;
+    unsigned threads;
+  };
+  constexpr EngineCase kCases[] = {{EngineKind::kReference, 1},
+                                   {EngineKind::kIncremental, 1},
+                                   {EngineKind::kVector, 1},
+                                   {EngineKind::kParallel, 1},
+                                   {EngineKind::kParallel, 8}};
+  for (const auto& daemon_name :
+       {std::string("synchronous"), std::string("central-rr"),
+        std::string("bernoulli-0.5"), std::string("random-subset")}) {
+    for (const EngineCase c : kCases) {
+      RunOptions opt;
+      opt.max_steps = 50;
+      opt.engine = c.kind;
+      opt.threads = c.threads;
+      opt.record_trace = true;
+      auto daemon = make_daemon(daemon_name, 7);
+      auto checker = make_checker();
+      const auto res =
+          run_with_engine(g, proto, *daemon, init, opt, checker);
+      const std::string ctx = "daemon=" + daemon_name + " engine=" +
+                              std::string(engine_name(c.kind)) +
+                              " threads=" + std::to_string(c.threads);
+      EXPECT_TRUE(res.terminated) << ctx;
+      EXPECT_FALSE(res.hit_step_cap) << ctx;
+      EXPECT_EQ(res.steps, 0) << ctx;
+      EXPECT_EQ(res.moves, 0) << ctx;
+      EXPECT_EQ(res.rounds, 0) << ctx;
+      EXPECT_EQ(res.final_config, init) << ctx;
+      // Vacuously legitimate from configuration 0.
+      EXPECT_EQ(res.first_legitimate, 0) << ctx;
+      EXPECT_EQ(res.last_illegitimate, -1) << ctx;
+    }
+  }
+}
+
+TEST(EdgeCaseTest, EmptyGraphTerminatesOnAllEngines) {
+  const Graph g(0);
+  {
+    const UnboundedUnisonProtocol proto;
+    expect_degenerate_termination(
+        g, proto, Config<UnboundedUnisonProtocol::State>{},
+        [&] { return make_unbounded_unison_checker(proto); });
+  }
+  {
+    const MatchingProtocol proto;
+    expect_degenerate_termination(
+        g, proto, Config<MatchingProtocol::State>{},
+        [&] { return make_matching_checker(proto); });
+  }
+}
+
+TEST(EdgeCaseTest, SingleVertexMatchingTerminatesOnAllEngines) {
+  // An isolated vertex can never match (no neighbor to point at), so
+  // once its pointer is null the protocol is silent.  A null init
+  // terminates at step 0 on every engine.
+  const Graph g(1);
+  const MatchingProtocol proto;
+  expect_degenerate_termination(g, proto, Config<MatchingProtocol::State>{-1},
+                                [&] { return make_matching_checker(proto); });
+}
+
+TEST(EdgeCaseTest, SingleVertexUnisonRunsToCapIdenticallyOnAllEngines) {
+  // Unbounded unison's guard is vacuously true on an isolated vertex
+  // ("no neighbor lags"), so the vertex increments forever — the run is
+  // *supposed* to hit the step cap.  Well-formedness here means every
+  // engine reports the cap identically: steps = moves = max_steps, one
+  // round per step, final clock = init + steps.
+  const Graph g(1);
+  const UnboundedUnisonProtocol proto;
+  struct EngineCase {
+    EngineKind kind;
+    unsigned threads;
+  };
+  constexpr EngineCase kCases[] = {{EngineKind::kReference, 1},
+                                   {EngineKind::kIncremental, 1},
+                                   {EngineKind::kVector, 1},
+                                   {EngineKind::kParallel, 1},
+                                   {EngineKind::kParallel, 8}};
+  for (const EngineCase c : kCases) {
+    RunOptions opt;
+    opt.max_steps = 40;
+    opt.engine = c.kind;
+    opt.threads = c.threads;
+    auto daemon = make_daemon("synchronous", 1);
+    auto checker = make_unbounded_unison_checker(proto);
+    const auto res = run_with_engine(
+        g, proto, *daemon, Config<UnboundedUnisonProtocol::State>{3}, opt,
+        checker);
+    const std::string ctx = std::string("engine=") +
+                            std::string(engine_name(c.kind)) +
+                            " threads=" + std::to_string(c.threads);
+    EXPECT_FALSE(res.terminated) << ctx;
+    EXPECT_TRUE(res.hit_step_cap) << ctx;
+    EXPECT_EQ(res.steps, 40) << ctx;
+    EXPECT_EQ(res.moves, 40) << ctx;
+    EXPECT_EQ(res.rounds, 40) << ctx;
+    ASSERT_EQ(res.final_config.size(), 1u) << ctx;
+    EXPECT_EQ(res.final_config[0], 43) << ctx;
+  }
+}
+
+TEST(EdgeCaseTest, SingleVertexSessionsThreadInvariantThroughRegistry) {
+  // The type-erased session path on a single-vertex graph: every
+  // non-ring protocol must produce a well-formed SessionResult, and the
+  // three alternative engines must match the reference byte for byte
+  // (ring-only protocols are skipped — an index ring needs n >= 3).
+  const auto& registry = ProtocolRegistry::instance();
+  const Graph g(1);
+  for (const auto& entry : registry.entries()) {
+    if (entry.info.ring_only) continue;
+    SessionSpec spec;
+    spec.seed = 11;
+    spec.engine = EngineKind::kReference;
+    const SessionResult ref = entry.run(g, spec);
+    ASSERT_EQ(ref.final_state.size(), 1u) << entry.info.name;
+    struct EngineCase {
+      EngineKind kind;
+      unsigned threads;
+    };
+    constexpr EngineCase kCases[] = {{EngineKind::kIncremental, 1},
+                                     {EngineKind::kVector, 1},
+                                     {EngineKind::kParallel, 1},
+                                     {EngineKind::kParallel, 8}};
+    for (const EngineCase c : kCases) {
+      spec.engine = c.kind;
+      spec.threads = c.threads;
+      const SessionResult res = entry.run(g, spec);
+      const std::string ctx = entry.info.name + " engine=" +
+                              std::string(engine_name(c.kind)) +
+                              " threads=" + std::to_string(c.threads);
+      EXPECT_EQ(res.final_state, ref.final_state) << ctx;
+      EXPECT_EQ(res.final_digest, ref.final_digest) << ctx;
+      EXPECT_EQ(res.steps, ref.steps) << ctx;
+      EXPECT_EQ(res.moves, ref.moves) << ctx;
+      EXPECT_EQ(res.rounds, ref.rounds) << ctx;
+      EXPECT_EQ(res.terminated, ref.terminated) << ctx;
+      EXPECT_EQ(res.hit_step_cap, ref.hit_step_cap) << ctx;
+      EXPECT_EQ(res.converged, ref.converged) << ctx;
+    }
   }
 }
 

@@ -1,8 +1,9 @@
 // Differential harness: the incremental dirty-set engine vs the
-// reference full-rescan engine vs the vectorized column-scan engine over
-// a randomized grid — every protocol crossed with ring/path/torus/random
-// topologies, synchronous / central-rr / bernoulli / random-subset
-// daemons, and many seeds.  All engines must produce byte-identical
+// reference full-rescan engine vs the vectorized column-scan engine vs
+// the sharded parallel engine (at 1, 2 and 8 threads) over a randomized
+// grid — every protocol crossed with ring/path/torus/random topologies,
+// synchronous / central-rr / bernoulli / random-subset daemons, and many
+// seeds.  All engines must produce byte-identical
 // final configurations and identical steps/moves/rounds/
 // first_legitimate/last_illegitimate/moves_to_convergence (the full
 // RunResult metering surface).
@@ -61,8 +62,10 @@ std::vector<Graph> general_topologies() {
   return out;
 }
 
-/// Runs one scenario on all three engines (independent daemon instances,
-/// fresh checkers) and asserts the RunResults are identical.
+/// Runs one scenario on all four engines (independent daemon instances,
+/// fresh checkers) and asserts the RunResults are identical.  The
+/// parallel engine runs at 1, 2 and 8 threads — its contract is
+/// byte-identical output at every thread count.
 template <ProtocolConcept P, class MakeChecker>
 void expect_engines_agree(const Graph& g, const P& proto,
                           const std::string& daemon_name, std::uint64_t seed,
@@ -75,14 +78,24 @@ void expect_engines_agree(const Graph& g, const P& proto,
   const auto ref =
       run_with_engine(g, proto, *ref_daemon, init, opt, ref_checker);
 
-  for (const EngineKind kind :
-       {EngineKind::kIncremental, EngineKind::kVector}) {
+  struct EngineCase {
+    EngineKind kind;
+    unsigned threads;
+  };
+  constexpr EngineCase kCases[] = {{EngineKind::kIncremental, 1},
+                                   {EngineKind::kVector, 1},
+                                   {EngineKind::kParallel, 1},
+                                   {EngineKind::kParallel, 2},
+                                   {EngineKind::kParallel, 8}};
+  for (const EngineCase c : kCases) {
     auto daemon = make_daemon(daemon_name, seed);
     auto checker = make_checker();
-    opt.engine = kind;
+    opt.engine = c.kind;
+    opt.threads = c.threads;
     const auto got = run_with_engine(g, proto, *daemon, init, opt, checker);
-    const std::string ctx =
-        context + " engine=" + std::string(engine_name(kind));
+    const std::string ctx = context + " engine=" +
+                            std::string(engine_name(c.kind)) +
+                            " threads=" + std::to_string(c.threads);
 
     ASSERT_EQ(ref.final_config, got.final_config) << ctx;
     EXPECT_EQ(ref.steps, got.steps) << ctx;
@@ -282,19 +295,21 @@ TEST(EngineDifferentialTest, ClosureViolationCountsAgree) {
                                     : random_config(g, proto.clock(), seed);
     RunOptions opt;
     opt.max_steps = 200;
-    std::int64_t violations[3] = {0, 0, 0};
+    std::int64_t violations[4] = {0, 0, 0, 0};
     int i = 0;
     for (const EngineKind kind :
          {EngineKind::kReference, EngineKind::kIncremental,
-          EngineKind::kVector}) {
+          EngineKind::kVector, EngineKind::kParallel}) {
       auto daemon = make_daemon("bernoulli-0.5", seed);
       ClosureCounting checker(make_mutex_safety_checker(proto));
       opt.engine = kind;
+      opt.threads = kind == EngineKind::kParallel ? 3 : 1;
       (void)run_with_engine(g, proto, *daemon, init, opt, checker);
       violations[i++] = checker.violations();
     }
     EXPECT_EQ(violations[0], violations[1]) << "seed=" << seed;
     EXPECT_EQ(violations[0], violations[2]) << "seed=" << seed;
+    EXPECT_EQ(violations[0], violations[3]) << "seed=" << seed;
   }
 }
 
@@ -320,15 +335,24 @@ TEST(EngineDifferentialTest, RegistryIterationAllEnginesAllProtocols) {
           spec.seed = 77777u * s + 31u;
           spec.engine = EngineKind::kReference;
           const SessionResult ref = entry.run_on(g, diam, spec);
-          for (const EngineKind kind :
-               {EngineKind::kIncremental, EngineKind::kVector}) {
-            spec.engine = kind;
+          struct EngineCase {
+            EngineKind kind;
+            unsigned threads;
+          };
+          constexpr EngineCase kCases[] = {{EngineKind::kIncremental, 1},
+                                           {EngineKind::kVector, 1},
+                                           {EngineKind::kParallel, 2},
+                                           {EngineKind::kParallel, 8}};
+          for (const EngineCase c : kCases) {
+            spec.engine = c.kind;
+            spec.threads = c.threads;
             const SessionResult got = entry.run_on(g, diam, spec);
             const std::string ctx = entry.info.name + " daemon=" +
                                     daemon_name + " init=" + init +
                                     " seed=" + std::to_string(spec.seed) +
                                     " engine=" +
-                                    std::string(engine_name(kind));
+                                    std::string(engine_name(c.kind)) +
+                                    " threads=" + std::to_string(c.threads);
             ASSERT_EQ(got.final_state, ref.final_state) << ctx;
             ASSERT_EQ(got.final_digest, ref.final_digest) << ctx;
             EXPECT_EQ(got.steps, ref.steps) << ctx;
@@ -362,14 +386,15 @@ TEST(EngineDifferentialTest, DeltaTracesIdenticalAcrossEngines) {
     opt.max_steps = 120;
     opt.record_trace = true;
     std::vector<Config<ClockValue>> observed;
-    RunResult<ClockValue> results[3];
+    RunResult<ClockValue> results[4];
     int i = 0;
     for (const EngineKind kind :
          {EngineKind::kReference, EngineKind::kIncremental,
-          EngineKind::kVector}) {
+          EngineKind::kVector, EngineKind::kParallel}) {
       auto daemon = make_daemon("bernoulli-0.5", seed);
       auto checker = make_gamma1_checker(proto);
       opt.engine = kind;
+      opt.threads = kind == EngineKind::kParallel ? 3 : 1;
       observed.clear();
       results[i++] = run_with_engine(
           g, proto, *daemon, random_config(g, proto.clock(), seed), opt,
@@ -389,6 +414,7 @@ TEST(EngineDifferentialTest, DeltaTracesIdenticalAcrossEngines) {
     }
     EXPECT_EQ(results[0].trace, results[1].trace) << "seed=" << seed;
     EXPECT_EQ(results[0].trace, results[2].trace) << "seed=" << seed;
+    EXPECT_EQ(results[0].trace, results[3].trace) << "seed=" << seed;
   }
 }
 
@@ -405,14 +431,20 @@ TEST(EngineDifferentialTest, CampaignRowsIdenticalAcrossEngines) {
   campaign::RunnerOptions vec_opt;
   vec_opt.threads = 2;
   vec_opt.engine = EngineKind::kVector;
+  campaign::RunnerOptions par_opt;
+  par_opt.threads = 2;
+  par_opt.engine = EngineKind::kParallel;
   const auto ref = campaign::run_campaign(grid, ref_opt);
   const auto inc = campaign::run_campaign(grid, inc_opt);
   const auto vec = campaign::run_campaign(grid, vec_opt);
+  const auto par = campaign::run_campaign(grid, par_opt);
   ASSERT_EQ(ref.rows.size(), inc.rows.size());
   ASSERT_EQ(ref.rows.size(), vec.rows.size());
+  ASSERT_EQ(ref.rows.size(), par.rows.size());
   for (std::size_t i = 0; i < ref.rows.size(); ++i) {
     EXPECT_TRUE(ref.rows[i] == inc.rows[i]) << "row " << i;
     EXPECT_TRUE(ref.rows[i] == vec.rows[i]) << "row " << i;
+    EXPECT_TRUE(ref.rows[i] == par.rows[i]) << "row " << i;
   }
 }
 

@@ -96,6 +96,92 @@ TEST(GeneratorsTest, RandomConnected) {
   EXPECT_EQ(dense.m(), 45);  // p = 1 gives the complete graph
 }
 
+TEST(GeneratorsTest, RandomConnectedDeterministicPerSeed) {
+  const Graph a = make_random_connected(30, 0.15, 99);
+  const Graph b = make_random_connected(30, 0.15, 99);
+  EXPECT_TRUE(a == b);
+  const Graph c = make_random_connected(30, 0.15, 100);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(GeneratorsTest, RandomConnectedZeroPIsASpanningTree) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const Graph g = make_random_connected(40, 0.0, seed);
+    EXPECT_EQ(g.m(), 39);
+    EXPECT_TRUE(g.is_connected());
+  }
+}
+
+TEST(GeneratorsTest, RandomConnectedEdgeMarginalsMatchModel) {
+  // The geometric-skip overlay replaced a full n(n-1)/2 pair
+  // enumeration; the model it must preserve: a uniform random labeled
+  // spanning tree (Pruefer decode of a uniform sequence) plus each
+  // non-tree pair included i.i.d. Bernoulli(p).  By tree-edge symmetry
+  // the marginal probability of any fixed pair {u, v} is then
+  //   P(edge) = 2/n + (1 - 2/n) * p,
+  // uniform across pairs.  Estimate every pair's frequency over many
+  // seeds; a biased skip decode (e.g. double-counting row boundaries) or
+  // a non-uniform tree would push some pair outside the band.
+  constexpr VertexId kN = 10;
+  constexpr double kP = 0.25;
+  constexpr int kSeeds = 4000;
+  std::vector<int> pair_count(kN * kN, 0);
+  for (int s = 0; s < kSeeds; ++s) {
+    const Graph g = make_random_connected(kN, kP, 5000u + s);
+    for (const auto& [u, v] : g.edges()) {
+      ++pair_count[static_cast<std::size_t>(u) * kN + v];
+    }
+  }
+  const double expected = 2.0 / kN + (1.0 - 2.0 / kN) * kP;  // 0.4
+  // ~5 sigma of the frequency estimator, across all 45 pairs.
+  const double tol = 0.04;
+  for (VertexId u = 0; u < kN; ++u) {
+    for (VertexId v = u + 1; v < kN; ++v) {
+      const double freq =
+          static_cast<double>(pair_count[static_cast<std::size_t>(u) * kN +
+                                         v]) /
+          kSeeds;
+      EXPECT_NEAR(freq, expected, tol) << "pair " << u << "," << v;
+    }
+  }
+}
+
+TEST(GeneratorsTest, RandomConnectedExtraEdgeCountMatchesBinomialMean) {
+  // Overlay volume check: extra (non-tree) edges per graph are
+  // Binomial(pairs - (n-1), p) at heart; the empirical mean over many
+  // seeds must sit near the analytic mean.  This would catch a skip
+  // distribution sampling roughly half or double the intended rate
+  // while per-pair marginals still look plausible.
+  constexpr VertexId kN = 24;
+  constexpr double kP = 0.1;
+  constexpr int kSeeds = 1500;
+  const double pairs = kN * (kN - 1) / 2.0;
+  double total_extra = 0;
+  for (int s = 0; s < kSeeds; ++s) {
+    const Graph g = make_random_connected(kN, kP, 90000u + s);
+    total_extra += static_cast<double>(g.m()) - (kN - 1);
+  }
+  const double mean_extra = total_extra / kSeeds;
+  const double expected = (pairs - (kN - 1)) * kP;  // 25.3
+  // ~6 sigma of the mean estimator (sigma_mean ~ 0.12).
+  EXPECT_NEAR(mean_extra, expected, 0.8);
+}
+
+TEST(GeneratorsTest, RandomConnectedLargeNDoesNotEnumeratePairs) {
+  // 200k vertices: the pair space is 2 * 10^10 (overflows 32-bit — the
+  // linear pair index must be 64-bit), and enumerating it would hang the
+  // test.  The geometric skip touches only the ~O(p * pairs) sampled
+  // pairs, so this completes in well under a second.
+  constexpr VertexId kN = 200000;
+  const Graph g = make_random_connected(kN, 2.5e-9, 17);
+  EXPECT_TRUE(g.is_connected());
+  EXPECT_GE(g.m(), kN - 1);
+  // Expected ~50 extra edges; 0 would mean the skip never fired over a
+  // 2e10 pair space, a broken decode.
+  EXPECT_GT(g.m(), kN - 1);
+  EXPECT_LT(g.m(), kN - 1 + 500);
+}
+
 TEST(GeneratorsTest, Wheel) {
   const Graph g = make_wheel(6);  // hub + C5
   EXPECT_EQ(g.degree(0), 5);

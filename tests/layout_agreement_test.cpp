@@ -121,11 +121,12 @@ TEST(LayoutAgreement, HotColdResidualSplitAgreesAcrossEnginesAndLayouts) {
         std::vector<std::string> labels;
         for (const EngineKind engine :
              {EngineKind::kReference, EngineKind::kIncremental,
-              EngineKind::kVector}) {
+              EngineKind::kVector, EngineKind::kParallel}) {
           for (const ConfigLayout layout :
                {ConfigLayout::kAoS, ConfigLayout::kSoA}) {
             RunOptions opt;
             opt.engine = engine;
+            opt.threads = engine == EngineKind::kParallel ? 3 : 1;
             opt.layout = layout;
             opt.max_steps = 4000;
             opt.record_trace = true;
@@ -160,11 +161,12 @@ TEST(LayoutAgreement, LeaderColumnsAgreeWithAoSIncludingTraces) {
       std::vector<RunResult<LeaderState>> runs;
       for (const EngineKind engine :
            {EngineKind::kReference, EngineKind::kIncremental,
-            EngineKind::kVector}) {
+            EngineKind::kVector, EngineKind::kParallel}) {
         for (const ConfigLayout layout :
              {ConfigLayout::kAoS, ConfigLayout::kSoA}) {
           RunOptions opt;
           opt.engine = engine;
+          opt.threads = engine == EngineKind::kParallel ? 3 : 1;
           opt.layout = layout;
           opt.max_steps = 4000;
           opt.record_trace = true;
@@ -208,10 +210,11 @@ TEST(LayoutAgreement, RegistrySessionsAgreeByteForByteAcrossLayouts) {
           std::vector<std::string> labels;
           for (const EngineKind engine :
                {EngineKind::kReference, EngineKind::kIncremental,
-                EngineKind::kVector}) {
+                EngineKind::kVector, EngineKind::kParallel}) {
             for (const ConfigLayout layout :
                  {ConfigLayout::kAoS, ConfigLayout::kSoA}) {
               spec.engine = engine;
+              spec.threads = engine == EngineKind::kParallel ? 3 : 1;
               spec.layout = layout;
               results.push_back(entry.run(*g, spec));
               labels.push_back(std::string(engine_name(engine)) + "/" +

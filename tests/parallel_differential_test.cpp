@@ -1,0 +1,274 @@
+// Parallel-engine differential suite: the sharded parallel engine vs the
+// incremental dirty-set engine (itself held byte-identical to the
+// reference oracle by engine_differential_test).  The parallel engine's
+// contract is *thread-count invariance*: the same RunResult — final
+// configuration, every meter, the complete delta trace — at any
+// `--threads` value, because shard boundaries only change which worker
+// computes a delta, never the delta itself.
+//
+// This file carries the `parallel` ctest label: the TSan CI job builds
+// with -fsanitize=thread and runs exactly this suite, so every test here
+// doubles as a data-race probe.  The scenarios are therefore chosen to
+// keep many shards busy: graphs big enough for 8–16 non-empty shards,
+// dense synchronous steps (parallel staged apply + per-shard rescan) and
+// sparse adversarial daemons (per-shard ball expansion with boundary
+// fix-up), radius-2 guards whose balls straddle shard boundaries, and
+// trace recording on top.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "baselines/matching.hpp"
+#include "baselines/unbounded_unison.hpp"
+#include "core/adversarial_configs.hpp"
+#include "core/incremental_legitimacy.hpp"
+#include "core/ssme.hpp"
+#include "graph/generators.hpp"
+#include "sim/daemon.hpp"
+#include "sim/engine.hpp"
+#include "sim/incremental_engine.hpp"
+#include "sim/parallel_engine.hpp"
+#include "sim/protocol_registry.hpp"
+#include "test_protocols.hpp"
+
+namespace specstab {
+namespace {
+
+const std::vector<unsigned>& thread_axis() {
+  static const std::vector<unsigned> threads = {1, 2, 3, 5, 8, 16};
+  return threads;
+}
+
+const std::vector<std::string>& daemon_axis() {
+  static const std::vector<std::string> daemons = {
+      "synchronous", "central-rr", "bernoulli-0.5", "random-subset"};
+  return daemons;
+}
+
+template <class State>
+Config<State> uniform_config(const Graph& g, std::int64_t lo, std::int64_t hi,
+                             std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> pick(lo, hi);
+  Config<State> cfg(static_cast<std::size_t>(g.n()));
+  for (auto& s : cfg) s = static_cast<State>(pick(rng));
+  return cfg;
+}
+
+template <class State>
+void expect_same_run(const RunResult<State>& a, const RunResult<State>& b,
+                     const std::string& ctx) {
+  ASSERT_EQ(a.final_config, b.final_config) << ctx;
+  EXPECT_EQ(a.steps, b.steps) << ctx;
+  EXPECT_EQ(a.moves, b.moves) << ctx;
+  EXPECT_EQ(a.rounds, b.rounds) << ctx;
+  EXPECT_EQ(a.terminated, b.terminated) << ctx;
+  EXPECT_EQ(a.hit_step_cap, b.hit_step_cap) << ctx;
+  EXPECT_EQ(a.first_legitimate, b.first_legitimate) << ctx;
+  EXPECT_EQ(a.last_illegitimate, b.last_illegitimate) << ctx;
+  EXPECT_EQ(a.moves_to_convergence, b.moves_to_convergence) << ctx;
+  EXPECT_EQ(a.rounds_to_convergence, b.rounds_to_convergence) << ctx;
+  EXPECT_TRUE(a.trace == b.trace) << ctx;
+}
+
+/// Runs the scenario on the incremental engine, then on the parallel
+/// engine at every thread-axis value, asserting identical RunResults
+/// (traces included — opt.record_trace is forced on).
+template <ProtocolConcept P, class MakeChecker>
+void expect_thread_invariant(const Graph& g, const P& proto,
+                             const std::string& daemon_name,
+                             std::uint64_t seed,
+                             const Config<typename P::State>& init,
+                             MakeChecker make_checker, RunOptions opt,
+                             const std::string& context) {
+  opt.record_trace = true;
+  opt.engine = EngineKind::kIncremental;
+  opt.threads = 1;
+  auto base_daemon = make_daemon(daemon_name, seed);
+  auto base_checker = make_checker();
+  const auto base =
+      run_with_engine(g, proto, *base_daemon, init, opt, base_checker);
+
+  opt.engine = EngineKind::kParallel;
+  for (const unsigned threads : thread_axis()) {
+    opt.threads = threads;
+    auto daemon = make_daemon(daemon_name, seed);
+    auto checker = make_checker();
+    const auto got = run_with_engine(g, proto, *daemon, init, opt, checker);
+    expect_same_run(base, got,
+                    context + " threads=" + std::to_string(threads));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+TEST(ParallelDifferential, UnisonManyShardsAllDaemons) {
+  // Graphs with enough vertices that all 16 shards are non-empty and
+  // radius-1 balls regularly straddle boundaries.
+  std::vector<Graph> topologies;
+  topologies.push_back(make_ring(96));
+  topologies.push_back(make_torus(8, 9));
+  topologies.push_back(make_random_connected(80, 0.06, 19));
+  const UnboundedUnisonProtocol proto;
+  for (std::size_t t = 0; t < topologies.size(); ++t) {
+    const Graph& g = topologies[t];
+    for (const auto& daemon_name : daemon_axis()) {
+      for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+        RunOptions opt;
+        opt.max_steps = 300;
+        opt.steps_after_convergence = 0;
+        expect_thread_invariant(
+            g, proto, daemon_name, seed,
+            uniform_config<UnboundedUnisonProtocol::State>(g, -5, 20, seed),
+            [&] { return make_unbounded_unison_checker(proto); }, opt,
+            "topology#" + std::to_string(t) + " daemon=" + daemon_name +
+                " seed=" + std::to_string(seed));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(ParallelDifferential, TwoHopGuardsAcrossShardBoundaries) {
+  // Radius-2 guards: a single activation near a shard boundary dirties
+  // vertices two shards away, so the interior test (ball inside
+  // [bounds[k], bounds[k+1])) rejects more activations and the
+  // sequential fix-up path runs constantly.
+  const TwoHopMaxProtocol proto(2);
+  std::vector<Graph> topologies;
+  topologies.push_back(make_ring(64));
+  topologies.push_back(make_random_connected(48, 0.08, 7));
+  for (std::size_t t = 0; t < topologies.size(); ++t) {
+    const Graph& g = topologies[t];
+    for (const auto& daemon_name : daemon_axis()) {
+      for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        RunOptions opt;
+        opt.max_steps = 250;
+        opt.steps_after_convergence = 0;
+        expect_thread_invariant(
+            g, proto, daemon_name, seed,
+            uniform_config<std::int32_t>(g, 0, 40, seed),
+            [] { return AlwaysLegitimate{}; }, opt,
+            "topology#" + std::to_string(t) + " daemon=" + daemon_name +
+                " seed=" + std::to_string(seed));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(ParallelDifferential, SsmeClosureAndLegitimacyMeters) {
+  // The Gamma_1 incremental checker runs sequentially inside the
+  // parallel engine; first_legitimate / last_illegitimate /
+  // moves_to_convergence must match the incremental engine exactly.
+  const Graph g = make_torus(6, 8);
+  const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+  for (const auto& daemon_name : daemon_axis()) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      RunOptions opt;
+      opt.max_steps = 400;
+      expect_thread_invariant(
+          g, proto, daemon_name, seed, random_config(g, proto.clock(), seed),
+          [&] { return make_gamma1_checker(proto); }, opt,
+          "daemon=" + daemon_name + " seed=" + std::to_string(seed));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(ParallelDifferential, MatchingPointerStates) {
+  // Pointer-valued states with out-of-range garbage: exercises sparse
+  // per-shard flip detection where guards read neighbor pointers.
+  const Graph g = make_random_connected(60, 0.07, 23);
+  const MatchingProtocol proto;
+  for (const auto& daemon_name : daemon_axis()) {
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      RunOptions opt;
+      opt.max_steps = 400;
+      opt.steps_after_convergence = 0;
+      expect_thread_invariant(
+          g, proto, daemon_name, seed,
+          uniform_config<MatchingProtocol::State>(g, -3, g.n() + 2, seed),
+          [&] { return make_matching_checker(proto); }, opt,
+          "daemon=" + daemon_name + " seed=" + std::to_string(seed));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(ParallelDifferential, MoreThreadsThanVertices) {
+  // threads=16 on a 5-vertex ring: most shards are empty ranges; the
+  // engine must tolerate them (empty slices, zero-length scans).
+  const Graph g = make_ring(5);
+  const UnboundedUnisonProtocol proto;
+  for (const auto& daemon_name : daemon_axis()) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      RunOptions opt;
+      opt.max_steps = 120;
+      opt.steps_after_convergence = 0;
+      expect_thread_invariant(
+          g, proto, daemon_name, seed,
+          uniform_config<UnboundedUnisonProtocol::State>(g, -5, 20, seed),
+          [&] { return make_unbounded_unison_checker(proto); }, opt,
+          "daemon=" + daemon_name + " seed=" + std::to_string(seed));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(ParallelDifferential, RegistrySessionDigestsThreadInvariant) {
+  // Through the type-erased session API: printed states and FNV digests
+  // must be identical at every thread count for every protocol.
+  const auto& registry = ProtocolRegistry::instance();
+  const Graph g = make_ring(24);
+  const VertexId diam = 12;
+  for (const auto& entry : registry.entries()) {
+    SessionSpec spec;
+    spec.daemon = "bernoulli-0.5";
+    spec.seed = 4242;
+    spec.engine = EngineKind::kParallel;
+    spec.threads = 1;
+    const SessionResult base = entry.run_on(g, diam, spec);
+    for (const unsigned threads : {2u, 8u}) {
+      spec.threads = threads;
+      const SessionResult got = entry.run_on(g, diam, spec);
+      const std::string ctx =
+          entry.info.name + " threads=" + std::to_string(threads);
+      ASSERT_EQ(got.final_state, base.final_state) << ctx;
+      ASSERT_EQ(got.final_digest, base.final_digest) << ctx;
+      EXPECT_EQ(got.steps, base.steps) << ctx;
+      EXPECT_EQ(got.moves, base.moves) << ctx;
+      EXPECT_EQ(got.rounds, base.rounds) << ctx;
+      EXPECT_EQ(got.terminated, base.terminated) << ctx;
+      EXPECT_EQ(got.converged, base.converged) << ctx;
+      EXPECT_EQ(got.convergence_steps, base.convergence_steps) << ctx;
+    }
+  }
+}
+
+TEST(ParallelDifferential, ShardPoolSurvivesManySessions) {
+  // Back-to-back sessions each construct and destroy a ShardPool; the
+  // handshake (generation counter + pending countdown) must leave no
+  // stuck workers behind.  Under TSan this also checks the join path.
+  const Graph g = make_ring(40);
+  const UnboundedUnisonProtocol proto;
+  for (int rep = 0; rep < 20; ++rep) {
+    RunOptions opt;
+    opt.engine = EngineKind::kParallel;
+    opt.threads = 8;
+    opt.max_steps = 60;
+    opt.steps_after_convergence = 0;
+    auto daemon = make_daemon("bernoulli-0.5", 100 + rep);
+    auto checker = make_unbounded_unison_checker(proto);
+    const auto res = run_with_engine(
+        g, proto, *daemon, uniform_config<UnboundedUnisonProtocol::State>(
+                               g, -5, 20, 100 + rep),
+        opt, checker);
+    EXPECT_GT(res.steps, 0) << "rep=" << rep;
+  }
+}
+
+}  // namespace
+}  // namespace specstab
