@@ -320,6 +320,112 @@ std::vector<MicroRow> parallel_scaling_rows(bool smoke) {
   return rows;
 }
 
+/// One perturbed-recovery measurement: the same fault-injected run on
+/// the incremental engine (baseline, `reference_ms`) and the parallel
+/// engine at `threads` workers (`incremental_ms`), so "speedup" is the
+/// parallel-over-incremental ratio under ongoing corruption.  The fault
+/// schedule is seed-derived and engine-independent; besides the step
+/// count the perturbation stats (fire steps, recovery distribution) are
+/// cross-checked, and the bench refuses to time diverging runs.
+template <ProtocolConcept P, class MakeChecker>
+MicroRow perturbed_row(const std::string& name, const Graph& g,
+                       const P& proto, const std::string& fault_text,
+                       std::uint64_t seed,
+                       const Config<typename P::State>& init,
+                       MakeChecker make_checker,
+                       typename FaultPlan<typename P::State>::ValuePool pool,
+                       StepIndex max_steps, unsigned threads) {
+  using State = typename P::State;
+  const FaultSpec fault = FaultSpec::parse(fault_text);
+  const auto guard = [&proto](const Graph& gg, const ConfigView<State>& cv,
+                              VertexId v) { return proto.enabled(gg, cv, v); };
+  MicroRow row;
+  row.name = name;
+  RunOptions opt;
+  opt.max_steps = max_steps;
+  opt.steps_after_convergence = 0;
+  PerturbationStats base_stats;
+  for (const EngineKind kind :
+       {EngineKind::kIncremental, EngineKind::kParallel}) {
+    opt.engine = kind;
+    opt.threads = kind == EngineKind::kParallel ? threads : 1;
+    std::int64_t steps = 0;
+    PerturbationStats stats;
+    auto daemon = make_daemon("synchronous", seed);
+    auto checker = make_checker();
+    const double ms = best_of(1, [&] {
+      daemon->reset();
+      FaultPlan<State> plan(fault, seed, 2, pool, guard);
+      const auto res = run_with_engine(g, proto, *daemon, init, opt, checker,
+                                       nullptr, &plan);
+      steps = res.steps;
+      stats = res.perturb;
+    });
+    if (kind == EngineKind::kIncremental) {
+      row.reference_ms = ms;
+      row.steps = steps;
+      base_stats = stats;
+    } else {
+      row.incremental_ms = ms;
+      if (steps != row.steps || !(stats == base_stats)) {
+        std::cerr << "!! ENGINE MISMATCH in perturbed '" << name << "': "
+                  << row.steps << " vs " << steps << " steps\n";
+        std::exit(2);
+      }
+    }
+  }
+  return row;
+}
+
+/// Perturbed-recovery rows: dense unison on a torus and SSME on a ring
+/// under periodic corruption — the fault hook, guard re-tests in the
+/// perturbed balls, and checker refreshes are all inside the timed
+/// region.  Step counts stay above the regression gate's 500-step noise
+/// floor in full mode (the last epoch fires at step 512).
+std::vector<MicroRow> perturbed_recovery_rows(bool smoke) {
+  std::vector<MicroRow> rows;
+  {
+    const Graph g = smoke ? make_torus(8, 8) : make_torus(200, 200);
+    const std::string label = smoke ? "torus-64" : "torus-40k";
+    const UnboundedUnisonProtocol proto;
+    const auto arbitrary = [&g](std::uint64_t s) {
+      std::mt19937_64 rng(s);
+      std::uniform_int_distribution<std::int64_t> pick(-5, 20);
+      Config<UnboundedUnisonProtocol::State> c(
+          static_cast<std::size_t>(g.n()));
+      for (auto& x : c) x = pick(rng);
+      return c;
+    };
+    const std::string fault = smoke ? "periodic:period=8;k=16;epochs=4"
+                                    : "periodic:period=64;k=400;epochs=8";
+    for (const unsigned threads : {1u, 8u}) {
+      rows.push_back(perturbed_row(
+          "perturb/unison/" + label + "/periodic/t" + std::to_string(threads),
+          g, proto, fault, 5, arbitrary(99),
+          [&] { return make_unbounded_unison_checker(proto); }, arbitrary,
+          smoke ? 120 : 1600, threads));
+    }
+  }
+  {
+    const Graph g = make_ring(smoke ? 16 : 1024);
+    const std::string label = smoke ? "ring-16" : "ring-1k";
+    const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+    const auto pool = [&g, &proto](std::uint64_t s) {
+      return random_config(g, proto.clock(), s);
+    };
+    const std::string fault = smoke ? "periodic:period=8;k=4;epochs=4"
+                                    : "periodic:period=64;k=32;epochs=8";
+    for (const unsigned threads : {1u, 8u}) {
+      rows.push_back(perturbed_row(
+          "perturb/ssme/" + label + "/periodic/t" + std::to_string(threads),
+          g, proto, fault, 9, random_config(g, proto.clock(), 9),
+          [&] { return make_gamma1_checker(proto); }, pool,
+          smoke ? 160 : 6000, threads));
+    }
+  }
+  return rows;
+}
+
 /// Cross-protocol campaign row: the whole sweep preset (every registered
 /// protocol x topologies x daemons, all dispatched through the
 /// type-erased registry) on both engines.  Reported as a micro row so
@@ -501,6 +607,9 @@ int main(int argc, char** argv) {
   auto micros = run_micros(smoke, repeats);
   micros.push_back(sweep_cross_protocol_row(smoke, threads, repeats));
   for (auto& row : parallel_scaling_rows(smoke)) {
+    micros.push_back(std::move(row));
+  }
+  for (auto& row : perturbed_recovery_rows(smoke)) {
     micros.push_back(std::move(row));
   }
   for (const auto& m : micros) {

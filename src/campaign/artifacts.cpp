@@ -316,11 +316,32 @@ std::int64_t get_int(const Json& obj, const std::string& key) {
 
 // --- writers -----------------------------------------------------------
 
+/// Per-epoch step lists as a ';'-joined CSV-safe scalar ("" when empty).
+std::string join_steps(const std::vector<StepIndex>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ';';
+    out += std::to_string(v[i]);
+  }
+  return out;
+}
+
+void steps_to_json(std::ostream& os, const std::vector<StepIndex>& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ',';
+    os << v[i];
+  }
+  os << ']';
+}
+
 void cell_to_json(std::ostream& os, const CellSummary& c) {
   os << "{\"protocol\":\"" << escape_json(c.protocol) << "\""
      << ",\"topology\":\"" << escape_json(c.topology) << "\""
      << ",\"daemon\":\"" << escape_json(c.daemon) << "\""
-     << ",\"init\":\"" << escape_json(c.init) << "\"" << ",\"n\":" << c.n
+     << ",\"init\":\"" << escape_json(c.init) << "\""
+     << ",\"perturb\":\"" << escape_json(c.perturb) << "\""
+     << ",\"n\":" << c.n
      << ",\"diam\":" << c.diam << ",\"runs\":" << c.runs
      << ",\"converged_runs\":" << c.converged_runs
      << ",\"step_cap_hits\":" << c.step_cap_hits
@@ -329,7 +350,13 @@ void cell_to_json(std::ostream& os, const CellSummary& c) {
      << ",\"p95_steps\":" << c.p95_steps
      << ",\"worst_moves\":" << c.worst_moves
      << ",\"worst_rounds\":" << c.worst_rounds
-     << ",\"closure_violations\":" << c.closure_violations << "}";
+     << ",\"closure_violations\":" << c.closure_violations
+     << ",\"perturb_epochs\":" << c.perturb_epochs
+     << ",\"perturb_unrecovered\":" << c.perturb_unrecovered
+     << ",\"recovery_min\":" << c.recovery_min
+     << ",\"recovery_max\":" << c.recovery_max
+     << ",\"recovery_mean\":" << format_double(c.recovery_mean)
+     << ",\"recovery_p95\":" << c.recovery_p95 << "}";
 }
 
 void run_to_json(std::ostream& os, const ScenarioResult& r) {
@@ -337,7 +364,8 @@ void run_to_json(std::ostream& os, const ScenarioResult& r) {
      << escape_json(r.protocol) << "\"" << ",\"topology\":\""
      << escape_json(r.topology) << "\"" << ",\"daemon\":\""
      << escape_json(r.daemon) << "\"" << ",\"init\":\"" << escape_json(r.init)
-     << "\"" << ",\"rep\":" << r.rep << ",\"seed\":" << r.seed
+     << "\"" << ",\"perturb\":\"" << escape_json(r.perturb) << "\""
+     << ",\"rep\":" << r.rep << ",\"seed\":" << r.seed
      << ",\"n\":" << r.n << ",\"diam\":" << r.diam << ",\"steps\":" << r.steps
      << ",\"moves\":" << r.moves << ",\"rounds\":" << r.rounds
      << ",\"converged\":" << (r.converged ? "true" : "false")
@@ -345,13 +373,23 @@ void run_to_json(std::ostream& os, const ScenarioResult& r) {
      << ",\"convergence_steps\":" << r.convergence_steps
      << ",\"moves_to_convergence\":" << r.moves_to_convergence
      << ",\"rounds_to_convergence\":" << r.rounds_to_convergence
-     << ",\"closure_violations\":" << r.closure_violations << "}";
+     << ",\"closure_violations\":" << r.closure_violations
+     << ",\"perturb_epochs\":" << r.perturb_epochs
+     << ",\"perturb_unrecovered\":" << r.perturb_unrecovered
+     << ",\"recovery_steps\":";
+  steps_to_json(os, r.recovery_steps);
+  os << ",\"service_stalls\":";
+  steps_to_json(os, r.service_stalls);
+  os << "}";
 }
 
 constexpr const char* kCellsCsvHeader =
-    "protocol,topology,daemon,init,n,diam,runs,converged_runs,"
+    "protocol,topology,daemon,init,perturb,n,diam,runs,converged_runs,"
     "step_cap_hits,min_steps,max_steps,mean_steps,p95_steps,worst_moves,"
-    "worst_rounds,closure_violations";
+    "worst_rounds,closure_violations,perturb_epochs,perturb_unrecovered,"
+    "recovery_min,recovery_max,recovery_mean,recovery_p95";
+
+constexpr std::size_t kCellsCsvFields = 23;
 
 }  // namespace
 
@@ -378,18 +416,22 @@ std::string to_json(const CampaignResult& result,
 
 std::string runs_to_csv(const CampaignResult& result) {
   std::ostringstream os;
-  os << "index,protocol,topology,daemon,init,rep,seed,n,diam,steps,moves,"
-        "rounds,converged,hit_step_cap,convergence_steps,"
-        "moves_to_convergence,rounds_to_convergence,closure_violations\n";
+  os << "index,protocol,topology,daemon,init,perturb,rep,seed,n,diam,steps,"
+        "moves,rounds,converged,hit_step_cap,convergence_steps,"
+        "moves_to_convergence,rounds_to_convergence,closure_violations,"
+        "perturb_epochs,perturb_unrecovered,recovery_steps,service_stalls\n";
   for (const auto& r : result.rows) {
     os << r.index << ',' << csv_field(r.protocol) << ','
        << csv_field(r.topology) << ',' << csv_field(r.daemon) << ','
-       << csv_field(r.init) << ',' << r.rep << ',' << r.seed << ',' << r.n
+       << csv_field(r.init) << ',' << csv_field(r.perturb) << ',' << r.rep
+       << ',' << r.seed << ',' << r.n
        << ',' << r.diam << ',' << r.steps << ',' << r.moves << ','
        << r.rounds << ',' << (r.converged ? 1 : 0) << ','
        << (r.hit_step_cap ? 1 : 0) << ',' << r.convergence_steps << ','
        << r.moves_to_convergence << ',' << r.rounds_to_convergence << ','
-       << r.closure_violations << '\n';
+       << r.closure_violations << ',' << r.perturb_epochs << ','
+       << r.perturb_unrecovered << ',' << join_steps(r.recovery_steps) << ','
+       << join_steps(r.service_stalls) << '\n';
   }
   return os.str();
 }
@@ -399,12 +441,16 @@ std::string cells_to_csv(const std::vector<CellSummary>& cells) {
   os << kCellsCsvHeader << '\n';
   for (const auto& c : cells) {
     os << csv_field(c.protocol) << ',' << csv_field(c.topology) << ','
-       << csv_field(c.daemon) << ',' << csv_field(c.init) << ',' << c.n << ','
+       << csv_field(c.daemon) << ',' << csv_field(c.init) << ','
+       << csv_field(c.perturb) << ',' << c.n << ','
        << c.diam << ',' << c.runs << ',' << c.converged_runs << ','
        << c.step_cap_hits << ',' << c.min_steps << ',' << c.max_steps << ','
        << format_double(c.mean_steps) << ',' << c.p95_steps << ','
        << c.worst_moves << ',' << c.worst_rounds << ','
-       << c.closure_violations << '\n';
+       << c.closure_violations << ',' << c.perturb_epochs << ','
+       << c.perturb_unrecovered << ',' << c.recovery_min << ','
+       << c.recovery_max << ',' << format_double(c.recovery_mean) << ','
+       << c.recovery_p95 << '\n';
   }
   return os.str();
 }
@@ -422,26 +468,34 @@ std::vector<CellSummary> cells_from_csv(const std::string& csv) {
     std::istringstream ls(line);
     std::string field;
     while (std::getline(ls, field, ',')) fields.push_back(field);
-    if (fields.size() != 16) {
-      fail("bad cells CSV row (want 16 fields): " + line);
+    if (fields.size() != kCellsCsvFields) {
+      fail("bad cells CSV row (want " + std::to_string(kCellsCsvFields) +
+           " fields): " + line);
     }
     CellSummary c;
     c.protocol = fields[0];
     c.topology = fields[1];
     c.daemon = fields[2];
     c.init = fields[3];
-    c.n = static_cast<VertexId>(parse_i64(fields[4]));
-    c.diam = static_cast<VertexId>(parse_i64(fields[5]));
-    c.runs = static_cast<std::size_t>(parse_u64(fields[6]));
-    c.converged_runs = static_cast<std::size_t>(parse_u64(fields[7]));
-    c.step_cap_hits = static_cast<std::size_t>(parse_u64(fields[8]));
-    c.min_steps = parse_i64(fields[9]);
-    c.max_steps = parse_i64(fields[10]);
-    c.mean_steps = parse_f64(fields[11]);
-    c.p95_steps = parse_i64(fields[12]);
-    c.worst_moves = parse_i64(fields[13]);
-    c.worst_rounds = parse_i64(fields[14]);
-    c.closure_violations = parse_i64(fields[15]);
+    c.perturb = fields[4];
+    c.n = static_cast<VertexId>(parse_i64(fields[5]));
+    c.diam = static_cast<VertexId>(parse_i64(fields[6]));
+    c.runs = static_cast<std::size_t>(parse_u64(fields[7]));
+    c.converged_runs = static_cast<std::size_t>(parse_u64(fields[8]));
+    c.step_cap_hits = static_cast<std::size_t>(parse_u64(fields[9]));
+    c.min_steps = parse_i64(fields[10]);
+    c.max_steps = parse_i64(fields[11]);
+    c.mean_steps = parse_f64(fields[12]);
+    c.p95_steps = parse_i64(fields[13]);
+    c.worst_moves = parse_i64(fields[14]);
+    c.worst_rounds = parse_i64(fields[15]);
+    c.closure_violations = parse_i64(fields[16]);
+    c.perturb_epochs = parse_i64(fields[17]);
+    c.perturb_unrecovered = parse_i64(fields[18]);
+    c.recovery_min = parse_i64(fields[19]);
+    c.recovery_max = parse_i64(fields[20]);
+    c.recovery_mean = parse_f64(fields[21]);
+    c.recovery_p95 = parse_i64(fields[22]);
     cells.push_back(std::move(c));
   }
   return cells;
@@ -461,6 +515,7 @@ std::vector<CellSummary> cells_from_json(const std::string& json) {
     c.topology = get_string(e, "topology");
     c.daemon = get_string(e, "daemon");
     c.init = get_string(e, "init");
+    c.perturb = get_string(e, "perturb");
     c.n = static_cast<VertexId>(get_int(e, "n"));
     c.diam = static_cast<VertexId>(get_int(e, "diam"));
     c.runs = static_cast<std::size_t>(get_int(e, "runs"));
@@ -473,6 +528,12 @@ std::vector<CellSummary> cells_from_json(const std::string& json) {
     c.worst_moves = get_int(e, "worst_moves");
     c.worst_rounds = get_int(e, "worst_rounds");
     c.closure_violations = get_int(e, "closure_violations");
+    c.perturb_epochs = get_int(e, "perturb_epochs");
+    c.perturb_unrecovered = get_int(e, "perturb_unrecovered");
+    c.recovery_min = get_int(e, "recovery_min");
+    c.recovery_max = get_int(e, "recovery_max");
+    c.recovery_mean = get_number(e, "recovery_mean");
+    c.recovery_p95 = get_int(e, "recovery_p95");
     cells.push_back(std::move(c));
   }
   return cells;

@@ -7,14 +7,19 @@ namespace specstab::campaign {
 bool operator==(const ScenarioResult& a, const ScenarioResult& b) {
   return a.index == b.index && a.protocol == b.protocol &&
          a.topology == b.topology && a.daemon == b.daemon &&
-         a.init == b.init && a.rep == b.rep && a.seed == b.seed &&
+         a.init == b.init && a.perturb == b.perturb && a.rep == b.rep &&
+         a.seed == b.seed &&
          a.n == b.n && a.diam == b.diam && a.steps == b.steps &&
          a.moves == b.moves && a.rounds == b.rounds &&
          a.converged == b.converged && a.hit_step_cap == b.hit_step_cap &&
          a.convergence_steps == b.convergence_steps &&
          a.moves_to_convergence == b.moves_to_convergence &&
          a.rounds_to_convergence == b.rounds_to_convergence &&
-         a.closure_violations == b.closure_violations;
+         a.closure_violations == b.closure_violations &&
+         a.perturb_epochs == b.perturb_epochs &&
+         a.perturb_unrecovered == b.perturb_unrecovered &&
+         a.recovery_steps == b.recovery_steps &&
+         a.service_stalls == b.service_stalls;
 }
 
 std::size_t CampaignResult::converged_count() const {

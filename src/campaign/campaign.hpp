@@ -27,6 +27,7 @@ struct ScenarioResult {
   std::string topology;      ///< TopologySpec::label()
   std::string daemon;
   std::string init;          ///< init-family name
+  std::string perturb = "none";  ///< canonical FaultSpec::format() text
   std::size_t rep = 0;
   std::uint64_t seed = 0;
   VertexId n = 0;            ///< |V| of the instantiated topology
@@ -45,6 +46,15 @@ struct ScenarioResult {
   /// predicate closed under the protocol (Gamma_1); positive runs witness
   /// non-closed predicates (spec_ME safety before stabilization).
   std::int64_t closure_violations = 0;
+
+  // --- fault injection (all zero/empty for unperturbed rows) ---
+  std::int64_t perturb_epochs = 0;       ///< perturbation epochs fired
+  std::int64_t perturb_unrecovered = 0;  ///< epochs never re-converging
+  /// Steps-to-legitimacy per epoch (-1: never re-converged in window).
+  std::vector<StepIndex> recovery_steps;
+  /// Steps-to-first-privileged-activation per epoch; empty for
+  /// protocols without a privilege notion.
+  std::vector<StepIndex> service_stalls;
 };
 
 /// Exact-equality comparison, used by the thread-invariance tests.

@@ -56,6 +56,7 @@ ScenarioResult run_scenario_on(const Scenario& scenario,
   out.topology = scenario.topology.label();
   out.daemon = scenario.daemon;
   out.init = scenario.init;
+  out.perturb = scenario.perturb;
   out.rep = scenario.rep;
   out.seed = scenario.seed;
   out.n = topo.graph.n();
@@ -70,6 +71,7 @@ ScenarioResult run_scenario_on(const Scenario& scenario,
   spec.max_steps = scenario.max_steps;
   spec.engine = engine;
   spec.layout = layout;
+  spec.perturb = scenario.perturb;
   // Only the numeric meters survive into ScenarioResult; skip the
   // per-vertex state rendering and annotation sweeps.
   spec.meters_only = true;
@@ -84,6 +86,10 @@ ScenarioResult run_scenario_on(const Scenario& scenario,
   out.moves_to_convergence = res.moves_to_convergence;
   out.rounds_to_convergence = res.rounds_to_convergence;
   out.closure_violations = res.closure_violations;
+  out.perturb_epochs = res.perturb_epochs;
+  out.perturb_unrecovered = res.perturb_unrecovered;
+  out.recovery_steps = res.recovery_steps;
+  out.service_stalls = res.service_stalls;
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "graph/generators.hpp"
 #include "sim/daemon.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/protocol_registry.hpp"
 
 namespace specstab::campaign {
@@ -109,12 +110,16 @@ bool daemon_is_randomized(const std::string& name) {
 
 std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t protocol_idx,
                             std::size_t topology_idx, std::size_t daemon_idx,
-                            std::size_t init_idx, std::size_t rep) {
+                            std::size_t init_idx, std::size_t rep,
+                            std::size_t perturb_idx) {
   std::uint64_t h = mix64(base_seed);
   h = mix64(h ^ protocol_idx);
   h = mix64(h ^ topology_idx);
   h = mix64(h ^ daemon_idx);
   h = mix64(h ^ init_idx);
+  // Mixed only when non-zero: index 0 ("none", or the first perturb
+  // value) reproduces the seeds of grids that predate the axis.
+  if (perturb_idx > 0) h = mix64(h ^ (0xfa017ull + perturb_idx));
   h = mix64(h ^ rep);
   return h;
 }
@@ -122,6 +127,18 @@ std::uint64_t scenario_seed(std::uint64_t base_seed, std::size_t protocol_idx,
 std::vector<Scenario> expand_grid(const CampaignGrid& grid) {
   std::vector<Scenario> items;
   const std::size_t reps = grid.reps == 0 ? 1 : grid.reps;
+  // Validate and canonicalize the perturb axis up front (parse throws on
+  // malformed specs, before any work is scheduled); an empty axis means
+  // the single unperturbed cell.
+  std::vector<std::string> perturbs;
+  if (grid.perturbs.empty()) {
+    perturbs.push_back("none");
+  } else {
+    perturbs.reserve(grid.perturbs.size());
+    for (const auto& text : grid.perturbs) {
+      perturbs.push_back(FaultSpec::parse(text).format());
+    }
+  }
   const auto& registry = ProtocolRegistry::instance();
   for (std::size_t pi = 0; pi < grid.protocols.size(); ++pi) {
     // Unknown protocol names throw here, before any work is scheduled.
@@ -133,26 +150,32 @@ std::vector<Scenario> expand_grid(const CampaignGrid& grid) {
         for (std::size_t ii = 0; ii < grid.inits.size(); ++ii) {
           const std::string& init = grid.inits[ii];
           if (!entry.supports_init(init)) continue;
-          // Repetitions only matter where the seed matters: a
-          // deterministic init family under a deterministic daemon runs
-          // the same execution every time, so one repetition carries all
-          // the information; a randomized daemon samples a new schedule
-          // per seed even from a fixed initial configuration.
-          const std::size_t cell_reps =
-              (entry.info.init_is_seeded(init) ||
-               daemon_is_randomized(grid.daemons[di]))
-                  ? reps
-                  : 1;
-          for (std::size_t r = 0; r < cell_reps; ++r) {
-            Scenario s;
-            s.index = items.size();
-            s.protocol = entry.info.name;
-            s.topology = topo;
-            s.daemon = grid.daemons[di];
-            s.init = init;
-            s.rep = r;
-            s.seed = scenario_seed(grid.base_seed, pi, ti, di, ii, r);
-            items.push_back(std::move(s));
+          for (std::size_t qi = 0; qi < perturbs.size(); ++qi) {
+            // Repetitions only matter where the seed matters: a
+            // deterministic init family under a deterministic daemon
+            // runs the same execution every time, so one repetition
+            // carries all the information; a randomized daemon samples
+            // a new schedule per seed even from a fixed initial
+            // configuration, and an active fault plan samples new
+            // corruption per seed even from a deterministic start.
+            const std::size_t cell_reps =
+                (entry.info.init_is_seeded(init) ||
+                 daemon_is_randomized(grid.daemons[di]) ||
+                 perturbs[qi] != "none")
+                    ? reps
+                    : 1;
+            for (std::size_t r = 0; r < cell_reps; ++r) {
+              Scenario s;
+              s.index = items.size();
+              s.protocol = entry.info.name;
+              s.topology = topo;
+              s.daemon = grid.daemons[di];
+              s.init = init;
+              s.perturb = perturbs[qi];
+              s.rep = r;
+              s.seed = scenario_seed(grid.base_seed, pi, ti, di, ii, r, qi);
+              items.push_back(std::move(s));
+            }
           }
         }
       }

@@ -74,14 +74,18 @@ struct CampaignGrid {
   std::vector<TopologySpec> topologies;
   std::vector<std::string> daemons;    ///< names for make_daemon()
   std::vector<std::string> inits;      ///< init-family names
+  /// Fault-injection axis: FaultSpec::parse() texts (CLI `--perturb`,
+  /// ';'-separated).  The default single "none" keeps unperturbed grids
+  /// and their seeds/artifacts exactly as before the axis existed.
+  std::vector<std::string> perturbs = {"none"};
   std::size_t reps = 1;
   std::uint64_t base_seed = 0x5eedcab5u;
 
-  /// Number of scenario cells (protocol x topology x daemon x init
-  /// combinations) before pruning and rep expansion.
+  /// Number of scenario cells (protocol x topology x daemon x init x
+  /// perturb combinations) before pruning and rep expansion.
   [[nodiscard]] std::size_t cell_count() const {
     return protocols.size() * topologies.size() * daemons.size() *
-           inits.size();
+           inits.size() * (perturbs.empty() ? 1 : perturbs.size());
   }
 };
 
@@ -92,6 +96,7 @@ struct Scenario {
   TopologySpec topology;
   std::string daemon;
   std::string init = "random";    ///< init-family name
+  std::string perturb = "none";   ///< canonical FaultSpec::format() text
   std::size_t rep = 0;
   std::uint64_t seed = 0;    ///< derived from grid coordinates only
   StepIndex max_steps = 0;   ///< 0: protocol-appropriate default
@@ -102,13 +107,17 @@ struct Scenario {
 [[nodiscard]] bool daemon_is_randomized(const std::string& name);
 
 /// Deterministic per-item seed: a splitmix64-style mix of the campaign
-/// base seed and the item's grid coordinates.
+/// base seed and the item's grid coordinates.  The perturb coordinate is
+/// only mixed in when non-zero, so every grid without a `--perturb` axis
+/// (and the "none" cell of grids with one) keeps the seeds — and hence
+/// the artifacts — it had before the axis existed.
 [[nodiscard]] std::uint64_t scenario_seed(std::uint64_t base_seed,
                                           std::size_t protocol_idx,
                                           std::size_t topology_idx,
                                           std::size_t daemon_idx,
                                           std::size_t init_idx,
-                                          std::size_t rep);
+                                          std::size_t rep,
+                                          std::size_t perturb_idx = 0);
 
 /// Cross product of the axes minus the combinations the registry
 /// declares meaningless: ring-only protocols are pruned off non-ring

@@ -16,14 +16,32 @@ bool near(double a, double b) {
 
 bool same_cell(const CellSummary& a, const CellSummary& b) {
   return a.protocol == b.protocol && a.topology == b.topology &&
-         a.daemon == b.daemon && a.init == b.init && a.n == b.n &&
-         a.diam == b.diam;
+         a.daemon == b.daemon && a.init == b.init &&
+         a.perturb == b.perturb && a.n == b.n && a.diam == b.diam;
 }
 
 bool same_cell(const CellSummary& cell, const ScenarioResult& row) {
   return cell.protocol == row.protocol && cell.topology == row.topology &&
          cell.daemon == row.daemon && cell.init == row.init &&
-         cell.n == row.n && cell.diam == row.diam;
+         cell.perturb == row.perturb && cell.n == row.n &&
+         cell.diam == row.diam;
+}
+
+/// Sorted-copy order statistics: min/max/mean plus the nearest-rank
+/// (ceil(0.95 * count), 1-based) 95th percentile.
+void order_stats(const std::vector<StepIndex>& samples, StepIndex& min,
+                 StepIndex& max, double& mean, StepIndex& p95) {
+  if (samples.empty()) return;
+  std::vector<StepIndex> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  min = sorted.front();
+  max = sorted.back();
+  double sum = 0;
+  for (const auto s : sorted) sum += static_cast<double>(s);
+  mean = sum / static_cast<double>(sorted.size());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(0.95 * static_cast<double>(sorted.size())));
+  p95 = sorted[std::max<std::size_t>(rank, 1) - 1];
 }
 
 }  // namespace
@@ -35,7 +53,13 @@ bool operator==(const CellSummary& a, const CellSummary& b) {
          a.max_steps == b.max_steps && near(a.mean_steps, b.mean_steps) &&
          a.p95_steps == b.p95_steps && a.worst_moves == b.worst_moves &&
          a.worst_rounds == b.worst_rounds &&
-         a.closure_violations == b.closure_violations;
+         a.closure_violations == b.closure_violations &&
+         a.perturb_epochs == b.perturb_epochs &&
+         a.perturb_unrecovered == b.perturb_unrecovered &&
+         a.recovery_min == b.recovery_min &&
+         a.recovery_max == b.recovery_max &&
+         near(a.recovery_mean, b.recovery_mean) &&
+         a.recovery_p95 == b.recovery_p95;
 }
 
 void CellAccumulator::add(const ScenarioResult& row) {
@@ -44,6 +68,7 @@ void CellAccumulator::add(const ScenarioResult& row) {
     cell_.topology = row.topology;
     cell_.daemon = row.daemon;
     cell_.init = row.init;
+    cell_.perturb = row.perturb;
     cell_.n = row.n;
     cell_.diam = row.diam;
   } else if (!same_cell(cell_, row)) {
@@ -53,6 +78,13 @@ void CellAccumulator::add(const ScenarioResult& row) {
   ++cell_.runs;
   cell_.step_cap_hits += row.hit_step_cap ? 1 : 0;
   cell_.closure_violations += row.closure_violations;
+  cell_.perturb_epochs += row.perturb_epochs;
+  cell_.perturb_unrecovered += row.perturb_unrecovered;
+  // Pool only the recovered epochs; unrecovered windows are counted
+  // above, not averaged in as -1.
+  for (const auto r : row.recovery_steps) {
+    if (r >= 0) recovery_.push_back(r);
+  }
   if (row.converged) {
     ++cell_.converged_runs;
     conv_steps_.push_back(row.convergence_steps);
@@ -78,37 +110,34 @@ void CellAccumulator::merge(const CellAccumulator& other) {
   cell_.closure_violations += other.cell_.closure_violations;
   cell_.worst_moves = std::max(cell_.worst_moves, other.cell_.worst_moves);
   cell_.worst_rounds = std::max(cell_.worst_rounds, other.cell_.worst_rounds);
+  cell_.perturb_epochs += other.cell_.perturb_epochs;
+  cell_.perturb_unrecovered += other.cell_.perturb_unrecovered;
   conv_steps_.insert(conv_steps_.end(), other.conv_steps_.begin(),
                      other.conv_steps_.end());
+  recovery_.insert(recovery_.end(), other.recovery_.begin(),
+                   other.recovery_.end());
 }
 
 CellSummary CellAccumulator::finalize() const {
   CellSummary out = cell_;
-  if (conv_steps_.empty()) return out;
-  std::vector<StepIndex> steps = conv_steps_;
-  std::sort(steps.begin(), steps.end());
-  out.min_steps = steps.front();
-  out.max_steps = steps.back();
-  double sum = 0;
-  for (const auto s : steps) sum += static_cast<double>(s);
-  out.mean_steps = sum / static_cast<double>(steps.size());
-  // Nearest-rank percentile: ceil(0.95 * count), 1-based.
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(0.95 * static_cast<double>(steps.size())));
-  out.p95_steps = steps[std::max<std::size_t>(rank, 1) - 1];
+  order_stats(conv_steps_, out.min_steps, out.max_steps, out.mean_steps,
+              out.p95_steps);
+  order_stats(recovery_, out.recovery_min, out.recovery_max,
+              out.recovery_mean, out.recovery_p95);
   return out;
 }
 
 std::vector<CellSummary> aggregate(const CampaignResult& result) {
   // Cell key -> position in `accs`, preserving first-appearance order.
-  std::map<std::tuple<std::string, std::string, std::string, std::string>,
+  std::map<std::tuple<std::string, std::string, std::string, std::string,
+                      std::string>,
            std::size_t>
       by_key;
   std::vector<CellAccumulator> accs;
 
   for (const auto& row : result.rows) {
-    const auto key =
-        std::make_tuple(row.protocol, row.topology, row.daemon, row.init);
+    const auto key = std::make_tuple(row.protocol, row.topology, row.daemon,
+                                     row.init, row.perturb);
     auto it = by_key.find(key);
     if (it == by_key.end()) {
       it = by_key.emplace(key, accs.size()).first;

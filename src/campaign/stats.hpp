@@ -1,10 +1,11 @@
 // Per-cell aggregation of campaign results.
 //
-// A *cell* is one (protocol, topology, daemon, init) combination; its
-// repetitions differ only in the seed.  aggregate() reduces the row table
-// to one summary per cell: min/mean/max/p95 stabilization time, worst
-// moves/rounds, closure-violation and step-cap counts — the statistics
-// the theorem benches print and CI regression checks compare.
+// A *cell* is one (protocol, topology, daemon, init, perturb)
+// combination; its repetitions differ only in the seed.  aggregate()
+// reduces the row table to one summary per cell: min/mean/max/p95
+// stabilization time, worst moves/rounds, closure-violation and
+// step-cap counts — the statistics the theorem benches print and CI
+// regression checks compare.
 //
 // Aggregation is built on CellAccumulator, a streaming reducer whose
 // add() accepts rows in ANY order and whose merge() is associative and
@@ -29,6 +30,7 @@ struct CellSummary {
   std::string topology;
   std::string daemon;
   std::string init;
+  std::string perturb = "none";  ///< canonical FaultSpec::format() text
   VertexId n = 0;
   VertexId diam = 0;
 
@@ -45,6 +47,17 @@ struct CellSummary {
   std::int64_t worst_moves = 0;
   StepIndex worst_rounds = 0;
   std::int64_t closure_violations = 0;  ///< summed over the cell's runs
+
+  // --- fault-injection aggregates (zero/-1 for unperturbed cells) ---
+  std::int64_t perturb_epochs = 0;       ///< epochs fired, summed
+  std::int64_t perturb_unrecovered = 0;  ///< unrecovered epochs, summed
+  /// Recovery time (steps from corruption back to legitimacy) pooled
+  /// over every *recovered* epoch of every run in the cell; all -1 when
+  /// no epoch recovered.
+  StepIndex recovery_min = -1;
+  StepIndex recovery_max = -1;
+  double recovery_mean = -1.0;
+  StepIndex recovery_p95 = -1;  ///< nearest-rank 95th percentile
 };
 
 [[nodiscard]] bool operator==(const CellSummary& a, const CellSummary& b);
@@ -71,6 +84,7 @@ class CellAccumulator {
  private:
   CellSummary cell_;  // identity + additive counters; order stats unset
   std::vector<StepIndex> conv_steps_;
+  std::vector<StepIndex> recovery_;  // pooled recovered-epoch samples
 };
 
 /// Groups rows by cell (first-appearance order — axis-nested, since rows

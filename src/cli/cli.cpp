@@ -104,6 +104,7 @@ struct Options {
   EngineKind engine = EngineKind::kIncremental;
   ConfigLayout layout = ConfigLayout::kAuto;
   unsigned threads = 1;  ///< parallel-engine worker threads
+  std::string perturb;   ///< fault-injection spec (FaultSpec::parse text)
 };
 
 /// Guard for the SSME-specific analysis subcommands: silently running
@@ -146,6 +147,8 @@ Options parse_options(const std::vector<std::string>& args, std::size_t pos) {
       const double t = parse_double(value, "--threads");
       if (t < 1 || t > 4096) fail("--threads must be in [1, 4096]");
       opt.threads = static_cast<unsigned>(t);
+    } else if (flag == "--perturb") {
+      opt.perturb = value;
     } else if (flag == "--configs") {
       opt.configs =
           static_cast<std::size_t>(parse_double(value, "--configs"));
@@ -188,7 +191,14 @@ std::string usage() {
      << "  --layout auto|soa|aos              configuration storage layout\n"
      << "                                     (auto: SoA where declared)\n"
      << "  --threads T                        parallel-engine worker threads\n"
-     << "                                     (results identical at any T)\n";
+     << "                                     (results identical at any T)\n"
+     << "run additionally accepts\n"
+     << "  --perturb SPEC                     mid-run fault injection:\n"
+     << "                                     none (default) or\n"
+     << "                                     periodic|burst|adversarial\n"
+     << "                                     [:period=P;k=K;epochs=E;"
+        "start=S]\n"
+     << "                                     — reports per-epoch recovery\n";
   return os.str();
 }
 
@@ -280,6 +290,12 @@ std::string campaign_usage() {
      << "  --daemons d1,d2                see `specstab daemons`\n"
      << "  --inits i1,i2                  random | zero | two-gradient |\n"
      << "                                 max-tokens\n"
+     << "  --perturb p1/p2                fault-injection axis, '/'-separated\n"
+     << "                                 (specs contain ';'): none or\n"
+     << "                                 periodic|burst|adversarial\n"
+     << "                                 [:period=P;k=K;epochs=E;"
+        "start=S];\n"
+     << "                                 default: the single cell none\n"
      << "  --reps R                       repetition seeds per random cell\n"
      << "  --seed S                       campaign base seed\n"
      << "run options:\n"
@@ -324,7 +340,7 @@ CliResult cmd_campaign(const std::vector<std::string>& args) {
 
   bool smoke = false;
   std::string preset;
-  std::vector<std::string> protocols, families, daemons, inits;
+  std::vector<std::string> protocols, families, daemons, inits, perturbs;
   std::vector<std::int64_t> sizes;
   std::size_t reps = 0;
   std::optional<std::uint64_t> seed;
@@ -335,7 +351,8 @@ CliResult cmd_campaign(const std::vector<std::string>& args) {
       "--preset",  "--protocols", "--families", "--sizes",
       "--daemons", "--inits",     "--reps",     "--seed",
       "--threads", "--steps",     "--json",     "--csv",
-      "--runs-csv", "--engine",   "--order",    "--layout"};
+      "--runs-csv", "--engine",   "--order",    "--layout",
+      "--perturb"};
   for (std::size_t pos = 0; pos < args.size();) {
     const std::string& flag = args[pos];
     if (flag == "--help") return {0, campaign_usage()};
@@ -372,6 +389,16 @@ CliResult cmd_campaign(const std::vector<std::string>& args) {
       daemons = split_list(value, "daemon");
     } else if (flag == "--inits") {
       inits = split_list(value, "init");
+    } else if (flag == "--perturb") {
+      // Fault specs contain ';' and may contain ',', so this axis is
+      // '/'-separated.
+      std::istringstream in(value);
+      std::string token;
+      while (std::getline(in, token, '/')) {
+        if (token.empty()) fail("empty entry in perturb list");
+        perturbs.push_back(token);
+      }
+      if (perturbs.empty()) fail("empty perturb list");
     } else if (flag == "--reps") {
       reps = static_cast<std::size_t>(parse_uint(value, "--reps"));
     } else if (flag == "--seed") {
@@ -445,6 +472,7 @@ CliResult cmd_campaign(const std::vector<std::string>& args) {
     grid.inits.clear();
     for (const auto& i : inits) grid.inits.push_back(cmp::init_by_name(i));
   }
+  if (!perturbs.empty()) grid.perturbs = perturbs;
   if (reps > 0) grid.reps = reps;
   if (seed) grid.base_seed = *seed;
 
@@ -480,6 +508,30 @@ CliResult cmd_campaign(const std::vector<std::string>& args) {
        << c.converged_runs << std::setw(7) << c.min_steps << std::setw(9)
        << std::fixed << std::setprecision(1) << c.mean_steps << std::setw(7)
        << c.max_steps << std::setw(7) << c.p95_steps << '\n';
+  }
+  // Recovery-time table for the perturbed cells only (the main table is
+  // already wide; unperturbed grids keep their exact output).
+  bool any_perturbed = false;
+  for (const auto& c : cells) any_perturbed |= c.perturb != "none";
+  if (any_perturbed) {
+    os << '\n'
+       << "perturbed cells (recovery steps over recovered epochs):\n"
+       << std::left << std::setw(14) << "protocol" << std::setw(16)
+       << "topology" << std::setw(36) << "perturb" << std::right
+       << std::setw(7) << "epochs" << std::setw(7) << "unrec" << std::setw(7)
+       << "min" << std::setw(9) << "mean" << std::setw(7) << "max"
+       << std::setw(7) << "p95" << '\n'
+       << std::string(110, '-') << '\n';
+    for (const auto& c : cells) {
+      if (c.perturb == "none") continue;
+      os << std::left << std::setw(14) << c.protocol << std::setw(16)
+         << c.topology << std::setw(36) << c.perturb << std::right
+         << std::setw(7) << c.perturb_epochs << std::setw(7)
+         << c.perturb_unrecovered << std::setw(7) << c.recovery_min
+         << std::setw(9) << std::fixed << std::setprecision(1)
+         << c.recovery_mean << std::setw(7) << c.recovery_max << std::setw(7)
+         << c.recovery_p95 << '\n';
+    }
   }
   const bool all_converged =
       result.converged_count() == result.rows.size();
@@ -565,6 +617,7 @@ CliResult cmd_run(const std::vector<std::string>& args,
   spec.engine = opt.engine;
   spec.layout = opt.layout;
   spec.threads = opt.threads;
+  spec.perturb = opt.perturb;
   const SessionResult res = entry.run(g, spec);
 
   std::ostringstream os;
@@ -598,6 +651,23 @@ CliResult cmd_run(const std::vector<std::string>& args,
   if (res.closure_violations > 0) {
     os << "closure:    " << res.closure_violations
        << " legitimate -> illegitimate transitions\n";
+  }
+  if (res.perturb != "none") {
+    const auto join = [](const std::vector<StepIndex>& v) {
+      std::string out;
+      for (const auto s : v) {
+        out += (out.empty() ? "" : " ") + std::to_string(s);
+      }
+      return out.empty() ? std::string("-") : out;
+    };
+    os << "perturb:    " << res.perturb << " — " << res.perturb_epochs
+       << " epochs fired, " << res.perturb_unrecovered << " unrecovered\n"
+       << "recovery:   steps per epoch: " << join(res.recovery_steps)
+       << "  (fired at: " << join(res.perturb_fire_steps) << ")\n";
+    if (!res.service_stalls.empty()) {
+      os << "service:    stall per epoch: " << join(res.service_stalls)
+         << "  (-1 = no privileged activation in window)\n";
+    }
   }
   for (const auto& note : res.notes) os << "note:       " << note << '\n';
   // Silent protocols must reach their terminal configuration, not just

@@ -28,6 +28,7 @@
 #ifndef SPECSTAB_CORE_INCREMENTAL_LEGITIMACY_HPP
 #define SPECSTAB_CORE_INCREMENTAL_LEGITIMACY_HPP
 
+#include <concepts>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -111,8 +112,7 @@ class LocalScoreChecker {
     if (radius_ > 0 &&
         is_dense_update(static_cast<std::int64_t>(touched.size()), radius_,
                         g)) {
-      refresh_all(g, cfg);
-      return verdict_(total_);
+      return refresh_all(g, cfg);
     }
     if (cached_stale_) refresh_all(g, cfg);
     const std::vector<VertexId>& affected =
@@ -160,17 +160,13 @@ class LocalScoreChecker {
   /// sums).
   [[nodiscard]] std::int64_t total() const noexcept { return total_; }
 
- private:
-  void rescore(const Graph& g, const ConfigView<State>& cfg, VertexId v) {
-    const std::int32_t s = score_(g, cfg, v);
-    total_ += s - cached_[static_cast<std::size_t>(v)];
-    cached_[static_cast<std::size_t>(v)] = s;
-  }
-
-  // From-scratch rebuild of every cached score and the total.  The delta
-  // arithmetic of rescore() is only sound against fresh caches, so this
-  // is also the recovery path after accept_total() marked them stale.
-  void refresh_all(const Graph& g, const ConfigView<State>& cfg) {
+  /// From-scratch rebuild of every cached score and the total, returning
+  /// the fresh verdict.  The delta arithmetic of rescore() is only sound
+  /// against fresh caches, so this is the recovery path after
+  /// accept_total() marked them stale — and the repair path the engines'
+  /// fault-injection hook calls after a dense perturbation, so
+  /// legitimacy counters can never go stale across a corruption.
+  bool refresh_all(const Graph& g, const ConfigView<State>& cfg) {
     total_ = 0;
     for (VertexId v = 0; v < g.n(); ++v) {
       const std::int32_t s = score_(g, cfg, v);
@@ -178,6 +174,14 @@ class LocalScoreChecker {
       total_ += s;
     }
     cached_stale_ = false;
+    return verdict_(total_);
+  }
+
+ private:
+  void rescore(const Graph& g, const ConfigView<State>& cfg, VertexId v) {
+    const std::int32_t s = score_(g, cfg, v);
+    total_ += s - cached_[static_cast<std::size_t>(v)];
+    cached_[static_cast<std::size_t>(v)] = s;
   }
 
   Score score_;
@@ -251,6 +255,17 @@ class ClosureCounting {
     requires requires(C& c) { c.accept_total(total); }
   {
     return note(inner_.accept_total(total));
+  }
+
+  // Forward the from-scratch rebuild (the fault-injection repair path)
+  // when the wrapped checker has one.
+  template <class Cfg>
+  bool refresh_all(const Graph& g, const Cfg& cfg)
+    requires requires(C& c) {
+      { c.refresh_all(g, cfg) } -> std::same_as<bool>;
+    }
+  {
+    return note(inner_.refresh_all(g, cfg));
   }
 
   // Forward the shared-ball fast path when the wrapped checker has one.

@@ -29,6 +29,7 @@
 #define SPECSTAB_SIM_ANY_PROTOCOL_HPP
 
 #include <memory>
+#include <optional>
 #include <random>
 #include <string>
 #include <string_view>
@@ -131,10 +132,64 @@ template <class Traits>
   // slices (spec_ME safety) must span the whole window.
   if (Traits::kStopAtConvergence) opt.steps_after_convergence = 0;
 
+  const FaultSpec fault = FaultSpec::parse(spec.perturb);
+  if (fault.active() && spec.max_steps == 0) {
+    // Every epoch opens a fresh recovery race: extend the default cap so
+    // the last epoch still gets the protocol's own convergence budget.
+    opt.max_steps =
+        fault.start + fault.epochs * (fault.period + opt.max_steps);
+  }
+  std::optional<FaultPlan<State>> plan;
+  if (fault.active()) {
+    // Corruption values are sampled from the protocol's own seeded init
+    // family: arbitrary protocol-typed states (the transient-fault model)
+    // without per-protocol corruption hooks.
+    std::string pool_init = info.inits.front();
+    for (const auto& family : info.inits) {
+      if (info.init_is_seeded(family)) {
+        pool_init = family;
+        break;
+      }
+    }
+    plan.emplace(
+        fault, spec.seed, protocol_locality_radius(proto),
+        [&g, &proto, pool_init](std::uint64_t s) {
+          return Traits::make_init(g, proto, pool_init, s);
+        },
+        [&proto](const Graph& gg, const ConfigView<State>& cv, VertexId v) {
+          return proto.enabled(gg, cv, v);
+        });
+  }
+
+  // Protocols with a privilege notion (SSME, Dijkstra's ring) also meter
+  // service-time degradation: the step of every privileged activation,
+  // reduced per epoch below.
+  constexpr bool kHasPrivilege =
+      requires(const Protocol& p, const ConfigView<State>& cv, VertexId v) {
+        { p.privileged(cv, v) } -> std::convertible_to<bool>;
+      };
+  StepObserver<State> observer;
+  std::vector<StepIndex> service_steps;
+  if constexpr (kHasPrivilege) {
+    if (fault.active()) {
+      observer = [&proto, &service_steps](
+                     StepIndex step, ConfigView<State> cv,
+                     const std::vector<VertexId>& activated) {
+        for (const VertexId v : activated) {
+          if (proto.privileged(cv, v)) {
+            service_steps.push_back(step);
+            return;
+          }
+        }
+      };
+    }
+  }
+
   ClosureCounting checker(Traits::make_checker(g, proto));
   auto res = run_with_engine(g, proto, *daemon,
                              Traits::make_init(g, proto, init, spec.seed),
-                             opt, checker);
+                             opt, checker, observer,
+                             plan ? &*plan : nullptr);
 
   SessionResult out;
   out.steps = res.steps;
@@ -148,6 +203,18 @@ template <class Traits>
   out.rounds_to_convergence = res.rounds_to_convergence;
   out.closure_violations = checker.violations();
 
+  out.perturb = fault.format();
+  out.perturb_epochs = res.perturb.epochs_fired;
+  out.perturb_unrecovered = res.perturb.unrecovered();
+  out.perturb_fire_steps = res.perturb.fire_steps;
+  out.recovery_steps = res.perturb.recovery_steps;
+  if constexpr (kHasPrivilege) {
+    if (fault.active()) {
+      out.service_stalls = service_stalls_per_epoch(res.perturb.fire_steps,
+                                                    service_steps, res.steps);
+    }
+  }
+
   if (!spec.meters_only) {
     out.final_state.reserve(res.final_config.size());
     for (const auto& s : res.final_config) {
@@ -155,6 +222,12 @@ template <class Traits>
     }
     out.final_digest = detail::digest_states(out.final_state);
     Traits::annotate(g, diam, proto, res, out.notes);
+    if (fault.active()) {
+      out.notes.push_back(
+          "fault injection " + fault.format() + ": epochs " +
+          std::to_string(out.perturb_epochs) + ", unrecovered " +
+          std::to_string(out.perturb_unrecovered));
+    }
   }
 
   if (spec.record_trace) {

@@ -26,6 +26,7 @@
 #include "graph/graph.hpp"
 #include "sim/config_store.hpp"
 #include "sim/daemon.hpp"
+#include "sim/fault_plan.hpp"
 #include "sim/protocol.hpp"
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
@@ -115,6 +116,10 @@ struct RunResult {
   /// deltas (see DeltaTrace).
   DeltaTrace<State> trace;
 
+  /// Recovery-time record of the run's fault-injection epochs (empty
+  /// when the run had no FaultPlan).  See sim/fault_plan.hpp.
+  PerturbationStats perturb;
+
   /// Convergence time in actions: the index of the earliest configuration
   /// from which the run stayed legitimate (valid when converged()).
   [[nodiscard]] StepIndex convergence_steps() const {
@@ -142,7 +147,8 @@ RunResult<typename P::State> run_execution(
     const Graph& g, const P& proto, Daemon& daemon,
     Config<typename P::State> init, const RunOptions& opt,
     const LegitimacyPredicate<typename P::State>& legitimate,
-    const StepObserver<typename P::State>& observer = nullptr) {
+    const StepObserver<typename P::State>& observer = nullptr,
+    FaultPlan<typename P::State>* fault_plan = nullptr) {
   using State = typename P::State;
   RunResult<State> res;
   ConfigStore<State> cfg(std::move(init), opt.layout);
@@ -152,8 +158,11 @@ RunResult<typename P::State> run_execution(
   RoundCounter rc(g.n());
 
   bool pending_convergence_marker = false;
+  bool legit_now = true;
   const auto note_legitimacy = [&](StepIndex cfg_index) {
     const bool legit = !legitimate || legitimate(g, live);
+    legit_now = legit;
+    if (fault_plan) fault_plan->meter().on_verdict(cfg_index, legit);
     if (legit) {
       if (res.first_legitimate < 0) res.first_legitimate = cfg_index;
       if (pending_convergence_marker) {
@@ -180,12 +189,36 @@ RunResult<typename P::State> run_execution(
   ActionBuffer action;
   StepIndex since_convergence = 0;
   while (res.steps < opt.max_steps) {
+    // Fault injection: corrupt the configuration in place (no step, no
+    // move — the adversary is not the daemon), then recompute the enabled
+    // set and the legitimacy verdict of the perturbed configuration.  A
+    // plan also fires when the run stalls so silent protocols cannot
+    // terminate with epochs pending.
+    if (fault_plan && fault_plan->due(res.steps, enabled.empty())) {
+      const Perturbation<State>& pert = fault_plan->fire(g, live, res.steps);
+      if (opt.record_trace) {
+        for (std::size_t i = 0; i < pert.victims.size(); ++i) {
+          const auto v = static_cast<std::size_t>(pert.victims[i]);
+          res.trace.note_change(pert.victims[i], live.get(v), pert.values[i]);
+        }
+        res.trace.seal_perturbation(pert.victims);
+      }
+      for (std::size_t i = 0; i < pert.victims.size(); ++i) {
+        cfg.set(static_cast<std::size_t>(pert.victims[i]), pert.values[i]);
+      }
+      enabled = enabled_vertices(g, proto, live);
+      note_legitimacy(res.steps);
+      continue;
+    }
     if (enabled.empty()) {
       res.terminated = true;
       break;
     }
+    // Under fault injection the post-convergence stop must wait for the
+    // last epoch's recovery: epochs exhausted and currently legitimate.
     if (opt.steps_after_convergence && res.first_legitimate >= 0 &&
-        since_convergence >= *opt.steps_after_convergence) {
+        since_convergence >= *opt.steps_after_convergence &&
+        (!fault_plan || (fault_plan->exhausted() && legit_now))) {
       break;
     }
 
@@ -220,6 +253,7 @@ RunResult<typename P::State> run_execution(
   }
   res.hit_step_cap = !res.terminated && res.steps >= opt.max_steps;
   res.rounds = rc.completed_rounds();
+  if (fault_plan) res.perturb = fault_plan->finish();
 
   // If legitimacy was lost after having been seen, the earliest
   // configuration "from which every execution satisfies spec" is after the

@@ -53,7 +53,8 @@ template <ProtocolConcept P, class C>
 RunResult<typename P::State> run_execution_incremental(
     const Graph& g, const P& proto, Daemon& daemon,
     Config<typename P::State> init, const RunOptions& opt, C& checker,
-    const StepObserver<typename P::State>& observer = nullptr) {
+    const StepObserver<typename P::State>& observer = nullptr,
+    FaultPlan<typename P::State>* fault_plan = nullptr) {
   using State = typename P::State;
   RunResult<State> res;
   ConfigStore<State> cfg(std::move(init), opt.layout);
@@ -64,7 +65,10 @@ RunResult<typename P::State> run_execution_incremental(
   const VertexId radius = protocol_locality_radius(proto);
 
   bool pending_convergence_marker = false;
+  bool legit_now = true;
   const auto note_legitimacy = [&](StepIndex cfg_index, bool legit) {
+    legit_now = legit;
+    if (fault_plan) fault_plan->meter().on_verdict(cfg_index, legit);
     if (legit) {
       if (res.first_legitimate < 0) res.first_legitimate = cfg_index;
       if (pending_convergence_marker) {
@@ -91,12 +95,56 @@ RunResult<typename P::State> run_execution_incremental(
 
   StepIndex since_convergence = 0;
   while (res.steps < opt.max_steps) {
+    // Fault injection: install the epoch's corruption, then repair the
+    // dirty-set invariant — re-test guards in the perturbed ball (or
+    // rebuild when the corruption is dense) and refresh the checker so
+    // its cached counters never go stale.
+    if (fault_plan && fault_plan->due(res.steps, enabled.empty())) {
+      const Perturbation<State>& pert = fault_plan->fire(g, live, res.steps);
+      if (opt.record_trace) {
+        for (std::size_t i = 0; i < pert.victims.size(); ++i) {
+          const auto v = static_cast<std::size_t>(pert.victims[i]);
+          res.trace.note_change(pert.victims[i], live.get(v), pert.values[i]);
+        }
+        res.trace.seal_perturbation(pert.victims);
+      }
+      for (std::size_t i = 0; i < pert.victims.size(); ++i) {
+        cfg.set(static_cast<std::size_t>(pert.victims[i]), pert.values[i]);
+      }
+      bool checker_legit;
+      if (is_dense_update(static_cast<std::int64_t>(pert.victims.size()),
+                          radius, g)) {
+        enabled.begin_rebuild();
+        for (VertexId v = 0; v < g.n(); ++v) {
+          if (proto.enabled(g, live, v)) enabled.append(v);
+        }
+        enabled.end_rebuild();
+        checker_legit = fault_refresh_checker(checker, g, live, pert.victims);
+      } else {
+        enabled.begin_update();
+        const auto& dirty = expander.expand(g, pert.victims, radius);
+        for (VertexId v : dirty) enabled.note(v, proto.enabled(g, live, v));
+        if constexpr (HasBallUpdate<C, State>) {
+          checker_legit = checker.update_radius() == radius
+                              ? checker.on_update_ball(g, live, dirty)
+                              : checker.on_update(g, live, pert.victims);
+        } else {
+          checker_legit = checker.on_update(g, live, pert.victims);
+        }
+        enabled.commit();
+      }
+      note_legitimacy(res.steps, checker_legit);
+      continue;
+    }
     if (enabled.empty()) {
       res.terminated = true;
       break;
     }
+    // Under fault injection the post-convergence stop must wait for the
+    // last epoch's recovery: epochs exhausted and currently legitimate.
     if (opt.steps_after_convergence && res.first_legitimate >= 0 &&
-        since_convergence >= *opt.steps_after_convergence) {
+        since_convergence >= *opt.steps_after_convergence &&
+        (!fault_plan || (fault_plan->exhausted() && legit_now))) {
       break;
     }
 
@@ -190,6 +238,7 @@ RunResult<typename P::State> run_execution_incremental(
   }
   res.hit_step_cap = !res.terminated && res.steps >= opt.max_steps;
   res.rounds = rc.completed_rounds();
+  if (fault_plan) res.perturb = fault_plan->finish();
 
   if (res.first_legitimate >= 0 &&
       res.first_legitimate <= res.last_illegitimate) {
@@ -221,7 +270,8 @@ template <ProtocolConcept P, class C>
 RunResult<typename P::State> run_with_engine(
     const Graph& g, const P& proto, Daemon& daemon,
     Config<typename P::State> init, const RunOptions& opt, C& checker,
-    const StepObserver<typename P::State>& observer = nullptr) {
+    const StepObserver<typename P::State>& observer = nullptr,
+    FaultPlan<typename P::State>* fault_plan = nullptr) {
   using State = typename P::State;
   if (opt.engine == EngineKind::kReference) {
     return run_execution(
@@ -229,18 +279,18 @@ RunResult<typename P::State> run_with_engine(
         [&checker](const Graph& gg, ConfigView<State> c) {
           return checker.full(gg, c);
         },
-        observer);
+        observer, fault_plan);
   }
   if (opt.engine == EngineKind::kVector) {
     return run_execution_vector(g, proto, daemon, std::move(init), opt,
-                                checker, observer);
+                                checker, observer, fault_plan);
   }
   if (opt.engine == EngineKind::kParallel) {
     return run_execution_parallel(g, proto, daemon, std::move(init), opt,
-                                  checker, observer);
+                                  checker, observer, fault_plan);
   }
   return run_execution_incremental(g, proto, daemon, std::move(init), opt,
-                                   checker, observer);
+                                   checker, observer, fault_plan);
 }
 
 }  // namespace specstab

@@ -56,6 +56,10 @@ struct SessionSpec {
   /// campaign runner keeps only the numeric meters, so it does not pay
   /// per-vertex string formatting per scenario.
   bool meters_only = false;
+  /// Fault-injection schedule (FaultSpec::parse() text, e.g.
+  /// "periodic:period=32;k=2;epochs=4"); empty or "none" runs without
+  /// fault injection.  See sim/fault_plan.hpp.
+  std::string perturb;
 };
 
 /// Type-erased RunResult: the full metering surface plus the final
@@ -74,6 +78,20 @@ struct SessionResult {
   std::int64_t moves_to_convergence = 0;
   StepIndex rounds_to_convergence = 0;
   std::int64_t closure_violations = 0;
+
+  // --- fault injection (SessionSpec::perturb; all empty/zero without) ---
+  std::string perturb = "none";       ///< canonical FaultSpec::format()
+  std::int64_t perturb_epochs = 0;    ///< perturbation epochs fired
+  std::int64_t perturb_unrecovered = 0;  ///< epochs never re-converging
+  std::vector<StepIndex> perturb_fire_steps;  ///< fire step per epoch
+  /// Steps from each epoch's corrupted configuration to the first
+  /// legitimate one; -1 when the epoch's window never re-converged.
+  std::vector<StepIndex> recovery_steps;
+  /// Service-time degradation per epoch for protocols with a privilege
+  /// notion (SSME, Dijkstra's ring): steps from the corruption to the
+  /// first privileged activation in the epoch's window, -1 when the
+  /// window saw no service.  Empty for protocols without privileges.
+  std::vector<StepIndex> service_stalls;
 
   std::vector<std::string> final_state;  ///< printed state per vertex
   std::uint64_t final_digest = 0;        ///< FNV-1a over final_state

@@ -10,6 +10,7 @@
 #define SPECSTAB_SIM_TRACE_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -51,6 +52,7 @@ class DeltaTrace {
     delta_offset_.assign(1, 0);
     activated_.clear();
     activated_offset_.assign(1, 0);
+    perturbation_.clear();
   }
 
   /// Installs gamma_0 (snapshotted to an AoS copy, whatever layout backs
@@ -72,9 +74,30 @@ class DeltaTrace {
   /// Seals the action: the staged deltas plus its activated set become
   /// the record producing the next configuration.
   void seal_action(const std::vector<VertexId>& activated) {
-    activated_.insert(activated_.end(), activated.begin(), activated.end());
-    activated_offset_.push_back(activated_.size());
-    delta_offset_.push_back(deltas_.size());
+    seal(activated, false);
+  }
+
+  /// Seals a fault-injection event: same record shape as an action (the
+  /// staged deltas plus the sorted victim set), but flagged so replay
+  /// and analysis can tell the daemon's moves from the adversary's
+  /// corruption.  Perturbation records keep perturbed runs replaying
+  /// byte-identically through the same delta machinery.
+  void seal_perturbation(const std::vector<VertexId>& victims) {
+    seal(victims, true);
+  }
+
+  /// Whether record a is a perturbation (corruption) rather than a
+  /// daemon action.
+  [[nodiscard]] bool is_perturbation(std::size_t a) const {
+    if (a >= actions()) throw std::out_of_range("DeltaTrace::is_perturbation");
+    return perturbation_[a] != 0;
+  }
+
+  /// Number of perturbation records in the trace.
+  [[nodiscard]] std::size_t perturbations() const {
+    std::size_t count = 0;
+    for (const std::uint8_t flag : perturbation_) count += flag;
+    return count;
   }
 
   /// True before start(): the run did not record a trace.
@@ -177,6 +200,13 @@ class DeltaTrace {
   }
 
  private:
+  void seal(const std::vector<VertexId>& activated, bool perturbation) {
+    activated_.insert(activated_.end(), activated.begin(), activated.end());
+    activated_offset_.push_back(activated_.size());
+    delta_offset_.push_back(deltas_.size());
+    perturbation_.push_back(perturbation ? 1 : 0);
+  }
+
   /// Applies the deltas of actions [from, to) to cfg.
   void apply_range(Config<State>& cfg, std::size_t from, std::size_t to) const {
     for (std::size_t i = delta_offset_[from]; i < delta_offset_[to]; ++i) {
@@ -186,10 +216,11 @@ class DeltaTrace {
 
   bool started_ = false;
   Config<State> initial_;
-  std::vector<Delta> deltas_;              // all actions, concatenated
+  std::vector<Delta> deltas_;              // all records, concatenated
   std::vector<std::size_t> delta_offset_{0};
-  std::vector<VertexId> activated_;        // all actions, concatenated
+  std::vector<VertexId> activated_;        // all records, concatenated
   std::vector<std::size_t> activated_offset_{0};
+  std::vector<std::uint8_t> perturbation_;  // one flag per record
 };
 
 /// Incremental round counter fed with (enabled-before, activated,

@@ -64,7 +64,8 @@ template <ProtocolConcept P, class C>
 RunResult<typename P::State> run_execution_vector(
     const Graph& g, const P& proto, Daemon& daemon,
     Config<typename P::State> init, const RunOptions& opt, C& checker,
-    const StepObserver<typename P::State>& observer = nullptr) {
+    const StepObserver<typename P::State>& observer = nullptr,
+    FaultPlan<typename P::State>* fault_plan = nullptr) {
   using State = typename P::State;
   RunResult<State> res;
   ConfigStore<State> cfg(std::move(init), opt.layout);
@@ -76,7 +77,10 @@ RunResult<typename P::State> run_execution_vector(
   const auto n = g.n();
 
   bool pending_convergence_marker = false;
+  bool legit_now = true;
   const auto note_legitimacy = [&](StepIndex cfg_index, bool legit) {
+    legit_now = legit;
+    if (fault_plan) fault_plan->meter().on_verdict(cfg_index, legit);
     if (legit) {
       if (res.first_legitimate < 0) res.first_legitimate = cfg_index;
       if (pending_convergence_marker) {
@@ -187,12 +191,39 @@ RunResult<typename P::State> run_execution_vector(
 
   StepIndex since_convergence = 0;
   while (res.steps < opt.max_steps) {
+    // Fault injection: install the epoch's corruption, then one full
+    // rescan repairs the enabled set and the legitimacy verdict (this
+    // engine's natural recovery path — no stale cache to chase).
+    if (fault_plan && fault_plan->due(res.steps, enabled.empty())) {
+      const Perturbation<State>& pert = fault_plan->fire(g, live, res.steps);
+      if (opt.record_trace) {
+        for (std::size_t i = 0; i < pert.victims.size(); ++i) {
+          const auto v = static_cast<std::size_t>(pert.victims[i]);
+          res.trace.note_change(pert.victims[i], live.get(v), pert.values[i]);
+        }
+        res.trace.seal_perturbation(pert.victims);
+      }
+      for (std::size_t i = 0; i < pert.victims.size(); ++i) {
+        cfg.set(static_cast<std::size_t>(pert.victims[i]), pert.values[i]);
+      }
+      const std::int64_t perturbed_total = rescan();
+      if constexpr (kFusedScore) {
+        note_legitimacy(res.steps, checker.accept_total(perturbed_total));
+      } else {
+        (void)perturbed_total;
+        note_legitimacy(res.steps, checker.full(g, live));
+      }
+      continue;
+    }
     if (enabled.empty()) {
       res.terminated = true;
       break;
     }
+    // Under fault injection the post-convergence stop must wait for the
+    // last epoch's recovery: epochs exhausted and currently legitimate.
     if (opt.steps_after_convergence && res.first_legitimate >= 0 &&
-        since_convergence >= *opt.steps_after_convergence) {
+        since_convergence >= *opt.steps_after_convergence &&
+        (!fault_plan || (fault_plan->exhausted() && legit_now))) {
       break;
     }
 
@@ -261,6 +292,7 @@ RunResult<typename P::State> run_execution_vector(
   }
   res.hit_step_cap = !res.terminated && res.steps >= opt.max_steps;
   res.rounds = rc.completed_rounds();
+  if (fault_plan) res.perturb = fault_plan->finish();
 
   if (res.first_legitimate >= 0 &&
       res.first_legitimate <= res.last_illegitimate) {

@@ -1,0 +1,156 @@
+// Unit tests for the bench-regression gate (tools/bench_regression_lib.hpp):
+// snapshot parsing, tolerance arithmetic, and the stale-snapshot FAILs —
+// a baseline micro row missing from the fresh run, and a campaign
+// scenario-count change — that must never degrade into silent skips.
+#include "../tools/bench_regression_lib.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace specstab::benchgate {
+namespace {
+
+std::string bench_json(std::size_t scenarios, double campaign_speedup,
+                       const std::string& micro_rows) {
+  return "{\"mode\":\"full\",\n\"campaign\":{\"preset\":\"thm3\","
+         "\"scenarios\":" +
+         std::to_string(scenarios) +
+         ",\"speedup\":" + std::to_string(campaign_speedup) +
+         "},\n\"micro\":[\n" + micro_rows + "\n]}\n";
+}
+
+std::string micro_row(const std::string& name, long long steps,
+                      double reference_ms, double speedup) {
+  return "{\"name\":\"" + name + "\",\"steps\":" + std::to_string(steps) +
+         ",\"reference_ms\":" + std::to_string(reference_ms) +
+         ",\"speedup\":" + std::to_string(speedup) + "}";
+}
+
+bool has_line_with(const GateOutcome& outcome, const std::string& needle) {
+  return std::any_of(outcome.lines.begin(), outcome.lines.end(),
+                     [&needle](const std::string& line) {
+                       return line.find(needle) != std::string::npos;
+                     });
+}
+
+TEST(BenchGateParseTest, ParsesModeCampaignAndMicroRows) {
+  const auto file = parse_bench_json(
+      bench_json(120, 5.5,
+                 micro_row("ssme/ring-64", 4000, 12.5, 8.0) + ",\n" +
+                     micro_row("unison/torus-16x16", 9000, 30.0, 6.0)),
+      "test");
+  EXPECT_EQ(file.mode, "full");
+  EXPECT_EQ(file.campaign_scenarios, 120u);
+  EXPECT_DOUBLE_EQ(file.campaign_speedup, 5.5);
+  ASSERT_EQ(file.micro.size(), 2u);
+  EXPECT_EQ(file.micro[0].name, "ssme/ring-64");
+  EXPECT_EQ(file.micro[0].steps, 4000);
+  EXPECT_DOUBLE_EQ(file.micro[1].speedup, 6.0);
+}
+
+TEST(BenchGateParseTest, MalformedSnapshotsThrow) {
+  EXPECT_THROW((void)parse_bench_json("{}", "t"), std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_bench_json("{\"mode\":\"full\",\"micro\":[]}", "t"),
+      std::invalid_argument);
+  // Empty micro array: the gate would vacuously pass, so parsing fails.
+  EXPECT_THROW((void)parse_bench_json(bench_json(1, 1.0, ""), "t"),
+               std::invalid_argument);
+  // Corrupt number.
+  std::string bad = bench_json(1, 1.0, micro_row("a", 1000, 1.0, 2.0));
+  const auto at = bad.find("\"speedup\":2.0");
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, 13, "\"speedup\":oops");
+  EXPECT_THROW((void)parse_bench_json(bad, "t"), std::invalid_argument);
+}
+
+TEST(BenchGateCompareTest, WithinToleranceIsOk) {
+  const auto base = parse_bench_json(
+      bench_json(10, 4.0, micro_row("a", 5000, 10.0, 8.0)), "base");
+  const auto cur = parse_bench_json(
+      bench_json(10, 3.0, micro_row("a", 5000, 10.0, 6.0)), "cur");
+  const auto outcome = compare(base, cur, {});
+  EXPECT_FALSE(outcome.regressed);  // 25% drops, 30% tolerance
+}
+
+TEST(BenchGateCompareTest, BeyondToleranceFails) {
+  const auto base = parse_bench_json(
+      bench_json(10, 4.0, micro_row("a", 5000, 10.0, 8.0)), "base");
+  const auto cur = parse_bench_json(
+      bench_json(10, 4.0, micro_row("a", 5000, 10.0, 5.0)), "cur");
+  const auto outcome = compare(base, cur, {});
+  EXPECT_TRUE(outcome.regressed);
+  EXPECT_TRUE(has_line_with(outcome, "FAIL a"));
+}
+
+TEST(BenchGateCompareTest, MissingBaselineRowFails) {
+  const auto base = parse_bench_json(
+      bench_json(10, 4.0,
+                 micro_row("kept", 5000, 10.0, 8.0) + ",\n" +
+                     micro_row("dropped", 5000, 10.0, 8.0)),
+      "base");
+  const auto cur = parse_bench_json(
+      bench_json(10, 4.0, micro_row("kept", 5000, 10.0, 8.0)), "cur");
+  const auto outcome = compare(base, cur, {});
+  EXPECT_TRUE(outcome.regressed);
+  EXPECT_TRUE(has_line_with(outcome, "FAIL dropped: row missing"));
+}
+
+TEST(BenchGateCompareTest, ScenarioCountChangeFailsInsteadOfSkipping) {
+  const auto base = parse_bench_json(
+      bench_json(10, 4.0, micro_row("a", 5000, 10.0, 8.0)), "base");
+  const auto cur = parse_bench_json(
+      bench_json(12, 4.0, micro_row("a", 5000, 10.0, 8.0)), "cur");
+  const auto outcome = compare(base, cur, {});
+  EXPECT_TRUE(outcome.regressed);
+  EXPECT_TRUE(has_line_with(outcome, "FAIL campaign/thm3-preset"));
+  EXPECT_TRUE(has_line_with(outcome, "scenario count changed (10 -> 12)"));
+}
+
+TEST(BenchGateCompareTest, NoiseDominatedRowsAreSkippedNotGated) {
+  // Low steps and low reference time are each sufficient to skip; the
+  // catastrophic "speedup" drop must not trip the gate.
+  const auto base = parse_bench_json(
+      bench_json(10, 4.0,
+                 micro_row("tiny-steps", 100, 10.0, 8.0) + ",\n" +
+                     micro_row("tiny-ms", 5000, 0.01, 8.0) + ",\n" +
+                     micro_row("real", 5000, 10.0, 8.0)),
+      "base");
+  const auto cur = parse_bench_json(
+      bench_json(10, 4.0,
+                 micro_row("tiny-steps", 100, 10.0, 0.1) + ",\n" +
+                     micro_row("tiny-ms", 5000, 0.01, 0.1) + ",\n" +
+                     micro_row("real", 5000, 10.0, 7.9)),
+      "cur");
+  const auto outcome = compare(base, cur, {});
+  EXPECT_FALSE(outcome.regressed);
+  EXPECT_TRUE(has_line_with(outcome, "skip tiny-steps"));
+  EXPECT_TRUE(has_line_with(outcome, "skip tiny-ms"));
+  EXPECT_TRUE(has_line_with(outcome, "ok   real"));
+}
+
+TEST(BenchGateCompareTest, ModeMismatchThrows) {
+  const auto base = parse_bench_json(
+      bench_json(10, 4.0, micro_row("a", 5000, 10.0, 8.0)), "base");
+  auto smoke_text = bench_json(10, 4.0, micro_row("a", 5000, 10.0, 8.0));
+  const auto at = smoke_text.find("\"mode\":\"full\"");
+  ASSERT_NE(at, std::string::npos);
+  smoke_text.replace(at, 14, "\"mode\":\"smoke\"");
+  const auto cur = parse_bench_json(smoke_text, "cur");
+  EXPECT_THROW((void)compare(base, cur, {}), std::invalid_argument);
+}
+
+TEST(BenchGateCompareTest, TightTolerance) {
+  GateOptions opt;
+  opt.tolerance = 0.05;
+  const auto base = parse_bench_json(
+      bench_json(10, 4.0, micro_row("a", 5000, 10.0, 8.0)), "base");
+  const auto cur = parse_bench_json(
+      bench_json(10, 4.0, micro_row("a", 5000, 10.0, 7.5)), "cur");
+  EXPECT_TRUE(compare(base, cur, opt).regressed);  // 6.25% > 5%
+}
+
+}  // namespace
+}  // namespace specstab::benchgate

@@ -122,12 +122,13 @@ TEST(ArtifactsTest, MalformedInputsThrow) {
     copy.replace(copy.find(from), from.size(), to);
     return copy;
   };
-  EXPECT_THROW((void)cells_from_csv(corrupt("ring 8,synchronous,random,8",
-                                            "ring 8,synchronous,random,8junk")),
-               std::invalid_argument);
   EXPECT_THROW(
-      (void)cells_from_csv(corrupt("ring 8,synchronous,random,8",
-                                   "ring 8,synchronous,random,"
+      (void)cells_from_csv(corrupt("ring 8,synchronous,random,none,8",
+                                   "ring 8,synchronous,random,none,8junk")),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)cells_from_csv(corrupt("ring 8,synchronous,random,none,8",
+                                   "ring 8,synchronous,random,none,"
                                    "99999999999999999999")),
       std::invalid_argument);
   EXPECT_THROW((void)cells_from_json("[1, 2"), std::invalid_argument);

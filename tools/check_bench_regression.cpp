@@ -19,33 +19,21 @@
 // compares against the committed full-mode BENCH_engine.json snapshot
 // (smoke rows are sub-millisecond and too noisy to gate on).
 //
-// The parser covers exactly the flat JSON bench_engine writes (one
-// "campaign" object, one "micro" array of flat objects); anything else
-// is a hard error so format drift cannot silently disable the gate.
-#include <cctype>
+// Rows present in the baseline but missing from the fresh run FAIL, and
+// so does a campaign scenario-count change: both mean the committed
+// snapshot is stale and must be regenerated, not that the gate should
+// quietly narrow.  Parsing and comparison live in bench_regression_lib.hpp
+// (unit-tested by tests/bench_regression_test.cpp).
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bench_regression_lib.hpp"
+
 namespace {
-
-struct Row {
-  std::string name;
-  long long steps = 0;
-  double reference_ms = 0.0;
-  double speedup = 0.0;
-};
-
-struct BenchFile {
-  std::string mode;
-  double campaign_speedup = 0.0;
-  std::size_t campaign_scenarios = 0;
-  std::vector<Row> micro;
-};
 
 [[noreturn]] void die(const std::string& message) {
   std::cerr << "check_bench_regression: " << message << "\n";
@@ -60,110 +48,20 @@ std::string read_file(const std::string& path) {
   return os.str();
 }
 
-/// Value of `"key": <token>` inside `text`, starting at `from`.  Returns
-/// the raw token (number) or the quoted content (string).
-std::string raw_value(const std::string& text, const std::string& key,
-                      std::size_t from, const std::string& where) {
-  const std::string needle = "\"" + key + "\":";
-  const std::size_t at = text.find(needle, from);
-  if (at == std::string::npos) die("missing key '" + key + "' in " + where);
-  std::size_t pos = at + needle.size();
-  while (pos < text.size() && text[pos] == ' ') ++pos;
-  if (pos >= text.size()) die("truncated value for '" + key + "'");
-  if (text[pos] == '"') {
-    const std::size_t end = text.find('"', pos + 1);
-    if (end == std::string::npos) die("unterminated string for '" + key + "'");
-    return text.substr(pos + 1, end - pos - 1);
-  }
-  std::size_t end = pos;
-  while (end < text.size() &&
-         (std::isdigit(static_cast<unsigned char>(text[end])) ||
-          text[end] == '-' || text[end] == '+' || text[end] == '.' ||
-          text[end] == 'e' || text[end] == 'E')) {
-    ++end;
-  }
-  if (end == pos) die("bad value for '" + key + "' in " + where);
-  return text.substr(pos, end - pos);
-}
-
-double num_value(const std::string& text, const std::string& key,
-                 std::size_t from, const std::string& where) {
-  const std::string raw = raw_value(text, key, from, where);
-  try {
-    std::size_t used = 0;
-    const double value = std::stod(raw, &used);
-    if (used != raw.size()) throw std::invalid_argument(raw);
-    return value;
-  } catch (const std::exception&) {
-    die("non-numeric '" + key + "' in " + where + ": " + raw);
-  }
-}
-
-BenchFile parse(const std::string& path) {
-  const std::string text = read_file(path);
-  BenchFile out;
-  out.mode = raw_value(text, "mode", 0, path);
-
-  // Every object is sliced out before key extraction so a key missing
-  // from one object dies loudly instead of silently matching the next
-  // object's value.
-  const std::size_t campaign_at = text.find("\"campaign\":");
-  if (campaign_at == std::string::npos) die("no campaign object in " + path);
-  const std::size_t campaign_end = text.find('}', campaign_at);
-  if (campaign_end == std::string::npos) {
-    die("unbalanced campaign object in " + path);
-  }
-  const std::string campaign =
-      text.substr(campaign_at, campaign_end - campaign_at + 1);
-  out.campaign_speedup = num_value(campaign, "speedup", 0, path);
-  out.campaign_scenarios =
-      static_cast<std::size_t>(num_value(campaign, "scenarios", 0, path));
-
-  const std::size_t micro_at = text.find("\"micro\":");
-  if (micro_at == std::string::npos) die("no micro array in " + path);
-  std::size_t pos = micro_at;
-  for (;;) {
-    const std::size_t open = text.find('{', pos + 1);
-    if (open == std::string::npos) break;
-    const std::size_t close = text.find('}', open);
-    if (close == std::string::npos) die("unbalanced micro object in " + path);
-    const std::string where = path + " micro[" +
-                              std::to_string(out.micro.size()) + "]";
-    const std::string obj = text.substr(open, close - open + 1);
-    Row row;
-    row.name = raw_value(obj, "name", 0, where);
-    row.steps = static_cast<long long>(num_value(obj, "steps", 0, where));
-    row.reference_ms = num_value(obj, "reference_ms", 0, where);
-    row.speedup = num_value(obj, "speedup", 0, where);
-    out.micro.push_back(std::move(row));
-    pos = close;
-  }
-  if (out.micro.empty()) die("empty micro array in " + path);
-  return out;
-}
-
-std::optional<Row> find_row(const BenchFile& file, const std::string& name) {
-  for (const auto& row : file.micro) {
-    if (row.name == name) return row;
-  }
-  return std::nullopt;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
+  namespace gate = specstab::benchgate;
   std::vector<std::string> paths;
-  double tolerance = 0.30;
-  double min_ms = 0.25;
-  long long min_steps = 500;
+  gate::GateOptions opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--tolerance" && i + 1 < argc) {
-      tolerance = std::atof(argv[++i]);
+      opt.tolerance = std::atof(argv[++i]);
     } else if (arg == "--min-steps" && i + 1 < argc) {
-      min_steps = std::atoll(argv[++i]);
+      opt.min_steps = std::atoll(argv[++i]);
     } else if (arg == "--min-ms" && i + 1 < argc) {
-      min_ms = std::atof(argv[++i]);
+      opt.min_ms = std::atof(argv[++i]);
     } else if (!arg.empty() && arg[0] != '-') {
       paths.push_back(arg);
     } else {
@@ -174,53 +72,22 @@ int main(int argc, char** argv) {
   }
   if (paths.size() != 2) die("need exactly BASELINE.json and CURRENT.json");
 
-  const BenchFile baseline = parse(paths[0]);
-  const BenchFile current = parse(paths[1]);
-  if (baseline.mode != current.mode) {
-    die("mode mismatch: baseline is '" + baseline.mode + "', current is '" +
-        current.mode + "' — compare like with like");
-  }
-
-  bool regressed = false;
-  const auto check = [&](const std::string& name, double base, double cur) {
-    const double floor = base * (1.0 - tolerance);
-    const bool bad = cur < floor;
-    std::cout << (bad ? "FAIL " : "ok   ") << name << ": speedup " << cur
-              << " vs baseline " << base << " (floor " << floor << ")\n";
-    regressed = regressed || bad;
-  };
-
-  if (baseline.campaign_scenarios == current.campaign_scenarios) {
-    check("campaign/thm3-preset", baseline.campaign_speedup,
-          current.campaign_speedup);
-  } else {
-    std::cout << "skip campaign/thm3-preset: scenario count changed ("
-              << baseline.campaign_scenarios << " -> "
-              << current.campaign_scenarios << ")\n";
-  }
-
-  for (const auto& base_row : baseline.micro) {
-    const auto cur_row = find_row(current, base_row.name);
-    if (!cur_row) {
-      std::cout << "FAIL " << base_row.name << ": row missing from current\n";
-      regressed = true;
-      continue;
+  try {
+    const gate::BenchFile baseline =
+        gate::parse_bench_json(read_file(paths[0]), paths[0]);
+    const gate::BenchFile current =
+        gate::parse_bench_json(read_file(paths[1]), paths[1]);
+    const gate::GateOutcome outcome = gate::compare(baseline, current, opt);
+    for (const auto& line : outcome.lines) std::cout << line << "\n";
+    if (outcome.regressed) {
+      std::cerr << "\nbench regression beyond " << opt.tolerance * 100
+                << "% tolerance — see FAIL rows above\n";
+      return 2;
     }
-    if (base_row.steps < min_steps || base_row.reference_ms < min_ms) {
-      std::cout << "skip " << base_row.name << ": noise-dominated (steps "
-                << base_row.steps << ", ref " << base_row.reference_ms
-                << " ms)\n";
-      continue;
-    }
-    check(base_row.name, base_row.speedup, cur_row->speedup);
+    std::cout << "\nno bench regression (tolerance " << opt.tolerance * 100
+              << "%)\n";
+    return 0;
+  } catch (const std::invalid_argument& e) {
+    die(e.what());
   }
-
-  if (regressed) {
-    std::cerr << "\nbench regression beyond " << tolerance * 100
-              << "% tolerance — see FAIL rows above\n";
-    return 2;
-  }
-  std::cout << "\nno bench regression (tolerance " << tolerance * 100
-            << "%)\n";
-  return 0;
 }
