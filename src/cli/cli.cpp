@@ -181,7 +181,10 @@ std::string usage() {
      << "  elect     <family> <args..> [opts] alias: run --protocol leader\n"
      << "  color     <family> <args..> [opts] alias: run --protocol coloring\n"
      << "  campaign  [grid options]           parallel scenario sweep; see\n"
-     << "                                     `specstab campaign --help`\n\n"
+     << "                                     `specstab campaign --help`\n"
+     << "  serve     [--port P | --unix PATH] long-lived JSON-RPC session\n"
+     << "                                     service with result caching;\n"
+     << "                                     see `specstab serve --help`\n\n"
      << "run/witness/speculate/elect/color/campaign accept\n"
      << "  --engine incremental|reference|vector|parallel\n"
      << "                                     dirty-set engine (default),\n"
@@ -634,6 +637,10 @@ CliResult cmd_run(const std::vector<std::string>& args,
      << (opt.init.empty() ? entry.info.inits.front() + " (default)"
                           : opt.init)
      << ", seed " << opt.seed << '\n'
+     // The canonical session identity — the same spelling
+     // SessionSpec::parse() round-trips and `specstab serve` keys its
+     // result cache on (docs/SERVE.md).
+     << "session:    " << spec.to_canonical_string() << '\n'
      << "steps run:  " << res.steps << " (moves " << res.moves << ", rounds "
      << res.rounds << ")"
      << (res.terminated ? "  [terminal]"
@@ -834,6 +841,14 @@ CliResult run_cli(const std::vector<std::string>& args) {
     if (cmd == "elect") return cmd_run(rest, "leader");
     if (cmd == "color") return cmd_run(rest, "coloring");
     if (cmd == "campaign") return cmd_campaign(rest);
+    if (cmd == "serve") {
+      // The serve verb is a process lifecycle (sockets, signals, a
+      // blocking drain), not a request/response subcommand — the binary
+      // dispatches it to serve::serve_main before reaching run_cli.
+      return {1,
+              "serve runs as a process-level verb of the specstab binary; "
+              "try `specstab serve --help`\n"};
+    }
     return {1, "unknown subcommand '" + cmd + "'\n\n" + usage()};
   } catch (const std::invalid_argument& e) {
     return {1, std::string("error: ") + e.what() + "\n"};

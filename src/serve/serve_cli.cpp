@@ -1,0 +1,154 @@
+#include "serve/serve_cli.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "serve/server.hpp"
+
+namespace specstab::serve {
+
+namespace {
+
+// SIGTERM/SIGINT self-pipe: the handler only writes one byte (the sole
+// async-signal-safe thing to do); the server's stop watcher turns the
+// readable fd into an orderly drain.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_stop_signal(int) {
+  const char byte = 1;
+  // Best effort; a full pipe already means a pending stop.
+  [[maybe_unused]] const ssize_t rc = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+constexpr const char* kUsage =
+    "usage: specstab serve [--port P | --unix PATH] [--threads N]\n"
+    "                      [--cache-mb M] [--queue N] [--max-line-kb K]\n"
+    "  --port P         listen on TCP 127.0.0.1:P (0 = ephemeral; default)\n"
+    "  --unix PATH      listen on a unix-domain socket instead\n"
+    "  --threads N      session worker threads (0 = hardware; default)\n"
+    "  --cache-mb M     result cache budget in MiB (0 disables; default 64)\n"
+    "  --queue N        pending-session queue capacity (default 256)\n"
+    "  --max-line-kb K  request line limit in KiB (default 1024)\n"
+    "Runs until SIGTERM/SIGINT or a `shutdown` request, then drains: every\n"
+    "accepted session still gets its reply before the process exits 0.\n";
+
+[[nodiscard]] std::uint64_t parse_u64(const std::string& flag,
+                                      const std::string& value,
+                                      std::uint64_t max) {
+  std::uint64_t parsed = 0;
+  try {
+    std::size_t used = 0;
+    if (value.empty() || value[0] == '-') throw std::invalid_argument(value);
+    parsed = std::stoull(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("serve: " + flag +
+                                " needs a non-negative integer, got '" +
+                                value + "'");
+  }
+  if (parsed > max) {
+    throw std::invalid_argument("serve: " + flag + " out of range: " + value);
+  }
+  return parsed;
+}
+
+}  // namespace
+
+int serve_main(const std::vector<std::string>& args) {
+  ServeOptions options;
+  bool have_endpoint = false;
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      const auto value = [&]() -> const std::string& {
+        if (i + 1 >= args.size()) {
+          throw std::invalid_argument("serve: " + arg + " needs a value");
+        }
+        return args[++i];
+      };
+      if (arg == "--port") {
+        if (have_endpoint) {
+          throw std::invalid_argument("serve: --port and --unix are exclusive");
+        }
+        options.endpoint = Endpoint::tcp(
+            static_cast<std::uint16_t>(parse_u64(arg, value(), 65535)));
+        have_endpoint = true;
+      } else if (arg == "--unix") {
+        if (have_endpoint) {
+          throw std::invalid_argument("serve: --port and --unix are exclusive");
+        }
+        options.endpoint = Endpoint::unix_path(value());
+        have_endpoint = true;
+      } else if (arg == "--threads") {
+        options.threads = static_cast<unsigned>(parse_u64(arg, value(), 4096));
+      } else if (arg == "--cache-mb") {
+        options.cache_bytes =
+            static_cast<std::size_t>(parse_u64(arg, value(), 1u << 20)) << 20;
+      } else if (arg == "--queue") {
+        options.queue_capacity =
+            static_cast<std::size_t>(parse_u64(arg, value(), 1u << 20));
+        if (options.queue_capacity == 0) {
+          throw std::invalid_argument("serve: --queue must be at least 1");
+        }
+      } else if (arg == "--max-line-kb") {
+        options.max_line_bytes =
+            static_cast<std::size_t>(parse_u64(arg, value(), 1u << 20)) << 10;
+        if (options.max_line_bytes == 0) {
+          throw std::invalid_argument("serve: --max-line-kb must be at least 1");
+        }
+      } else if (arg == "--help" || arg == "-h") {
+        std::fputs(kUsage, stdout);
+        return 0;
+      } else {
+        throw std::invalid_argument("serve: unknown option '" + arg + "'");
+      }
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n%s", e.what(), kUsage);
+    return 2;
+  }
+
+  if (::pipe(g_signal_pipe) == -1) {
+    std::fprintf(stderr, "serve: pipe() failed: %s\n", std::strerror(errno));
+    return 1;
+  }
+  options.stop_fd = g_signal_pipe[0];
+  struct sigaction action {};
+  action.sa_handler = on_stop_signal;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+  // Dying clients must surface as write errors, not process death.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  try {
+    SessionServer server(options);
+    server.start();
+    std::printf("serve: listening on %s (threads %u, cache %zu MiB, queue %zu)\n",
+                server.endpoint().describe().c_str(),
+                options.threads, options.cache_bytes >> 20,
+                options.queue_capacity);
+    std::fflush(stdout);
+    server.wait();
+    const SessionServer::Stats stats = server.stats();
+    std::printf(
+        "serve: drained cleanly (%llu sessions, %llu connections, "
+        "cache %llu/%llu hits)\n",
+        static_cast<unsigned long long>(stats.sessions_completed),
+        static_cast<unsigned long long>(stats.connections_accepted),
+        static_cast<unsigned long long>(stats.cache.hits),
+        static_cast<unsigned long long>(stats.cache.hits + stats.cache.misses));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace specstab::serve

@@ -1,0 +1,21 @@
+// The `specstab serve` verb: argument parsing, signal wiring and the
+// run-until-drained lifecycle around serve/server.hpp.  Split from
+// cli/cli.cpp because serve is a process lifecycle (signals, a blocking
+// wait), not a request/response subcommand returning a CliResult.
+#ifndef SPECSTAB_SERVE_SERVE_CLI_HPP
+#define SPECSTAB_SERVE_SERVE_CLI_HPP
+
+#include <string>
+#include <vector>
+
+namespace specstab::serve {
+
+/// Runs `specstab serve <args..>` (args exclude the verb): binds,
+/// serves until SIGTERM/SIGINT or a `shutdown` request, drains, exits.
+/// Returns the process exit code (0 on a clean drain, 2 on usage
+/// errors).
+int serve_main(const std::vector<std::string>& args);
+
+}  // namespace specstab::serve
+
+#endif  // SPECSTAB_SERVE_SERVE_CLI_HPP

@@ -250,6 +250,18 @@ template <class Traits>
       for (const auto& cfg : *trace) out_states.push_back(print(cfg));
       return out_states;
     };
+    out.trace_delta = [trace](StepIndex a) {
+      const auto idx = static_cast<std::size_t>(a);
+      SessionResult::TraceDeltaRecord rec;
+      rec.perturbation = trace->is_perturbation(idx);
+      const auto activated = trace->activated_at(idx);
+      rec.activated.assign(activated.begin(), activated.end());
+      for (const auto& change : trace->changes_at(idx)) {
+        rec.changes.push_back({change.v, Traits::print_state(change.before),
+                               Traits::print_state(change.after)});
+      }
+      return rec;
+    };
   }
   return out;
 }

@@ -60,7 +60,34 @@ struct SessionSpec {
   /// "periodic:period=32;k=2;epochs=4"); empty or "none" runs without
   /// fault injection.  See sim/fault_plan.hpp.
   std::string perturb;
+
+  /// Canonical `,`-joined `key=value` text over the result-determining
+  /// fields (daemon, engine, init, layout, max_steps, perturb, seed,
+  /// threads — alphabetical, every field spelled out, perturb
+  /// canonicalized through FaultSpec).  The FaultSpec pattern from the
+  /// fault-injection subsystem, one level up: the serve result cache,
+  /// the CLI's session echo and tests all agree on this one spelling.
+  /// The output-shape flags (record_trace, meters_only) are excluded on
+  /// purpose — they select what a caller *renders*, not what the session
+  /// computes.  Comma is safe as the field separator because every
+  /// value — including the canonical fault text, which is comma-free by
+  /// construction — excludes it.
+  [[nodiscard]] std::string to_canonical_string() const;
+
+  /// Inverse of to_canonical_string(): accepts the fields in any order
+  /// and any subset (missing fields keep their defaults); throws
+  /// std::invalid_argument on unknown keys or malformed values.
+  [[nodiscard]] static SessionSpec parse(const std::string& text);
 };
+
+/// FNV-1a cache key over (protocol, topology, canonical spec text) with
+/// a separator byte between the three components, so the serve result
+/// cache keys on exactly the tuple that determines a session's bytes.
+/// `topology` is the canonical topology spelling (whitespace-normalized
+/// family spec, e.g. "ring 8").
+[[nodiscard]] std::uint64_t session_cache_key(const std::string& protocol,
+                                              const std::string& topology,
+                                              const SessionSpec& spec);
 
 /// Type-erased RunResult: the full metering surface plus the final
 /// configuration rendered per vertex by the protocol's state printer.
@@ -107,6 +134,25 @@ struct SessionResult {
   StepIndex trace_length = 0;
   std::function<std::vector<std::string>(StepIndex)> trace_config;
   std::function<std::vector<std::vector<std::string>>()> trace_materialize;
+
+  /// One delta record of the trace, type-erased: the activated (or, for
+  /// perturbation records, victim) set plus the printed before/after
+  /// states of the vertices that changed.  Applying `changes` of records
+  /// 0..i-1 onto the printed gamma_0 reproduces trace_config(i) exactly
+  /// — the contract the serve layer's streaming trace playback (and its
+  /// client-side re-materialization test) is built on.
+  struct TraceDeltaRecord {
+    bool perturbation = false;
+    std::vector<VertexId> activated;
+    struct Change {
+      VertexId v;
+      std::string before;
+      std::string after;
+    };
+    std::vector<Change> changes;
+  };
+  /// Record a in [0, trace_length - 1), on demand (O(changes) per call).
+  std::function<TraceDeltaRecord(StepIndex)> trace_delta;
 };
 
 /// Registration metadata: what `specstab list` prints and what grid

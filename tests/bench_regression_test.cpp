@@ -142,6 +142,95 @@ TEST(BenchGateCompareTest, ModeMismatchThrows) {
   EXPECT_THROW((void)compare(base, cur, {}), std::invalid_argument);
 }
 
+// --- serve snapshots ----------------------------------------------------
+
+std::string serve_json(std::size_t sessions_per_phase,
+                       const std::string& rows) {
+  return "{\"bench\": \"serve\",\n\"mode\": \"full\",\n\"connections\": 4,"
+         "\n\"sessions_per_phase\": " +
+         std::to_string(sessions_per_phase) + ",\n\"rows\": [\n" + rows +
+         "\n]}\n";
+}
+
+std::string serve_row(const std::string& name, std::size_t sessions,
+                      double warm_speedup) {
+  return "{\"name\": \"" + name +
+         "\", \"sessions\": " + std::to_string(sessions) +
+         ", \"cold_sessions_per_sec\": 900.0, \"cold_p50_us\": 1000.0"
+         ", \"cold_p95_us\": 2000.0, \"warm_sessions_per_sec\": 4000.0"
+         ", \"warm_p50_us\": 150.0, \"warm_p95_us\": 400.0"
+         ", \"warm_speedup\": " +
+         std::to_string(warm_speedup) + "}";
+}
+
+TEST(ServeGateParseTest, ParsesRowsAndRejectsForeignSnapshots) {
+  const auto file = parse_serve_bench_json(
+      serve_json(400, serve_row("serve/mixed/t1", 400, 4.4) + ",\n" +
+                          serve_row("serve/mixed/t8", 400, 3.1)),
+      "test");
+  EXPECT_EQ(file.mode, "full");
+  EXPECT_EQ(file.sessions_per_phase, 400u);
+  ASSERT_EQ(file.rows.size(), 2u);
+  EXPECT_EQ(file.rows[0].name, "serve/mixed/t1");
+  EXPECT_DOUBLE_EQ(file.rows[1].warm_speedup, 3.1);
+  // An engine snapshot fed to the serve parser fails loudly.
+  EXPECT_THROW((void)parse_serve_bench_json(
+                   bench_json(10, 4.0, micro_row("a", 5000, 10.0, 8.0)), "t"),
+               std::invalid_argument);
+  // Empty rows would make the gate vacuous.
+  EXPECT_THROW((void)parse_serve_bench_json(serve_json(400, ""), "t"),
+               std::invalid_argument);
+}
+
+TEST(ServeGateCompareTest, WarmSpeedupWithinToleranceIsOk) {
+  const auto base = parse_serve_bench_json(
+      serve_json(400, serve_row("serve/mixed/t1", 400, 4.0)), "base");
+  const auto cur = parse_serve_bench_json(
+      serve_json(400, serve_row("serve/mixed/t1", 400, 3.0)), "cur");
+  EXPECT_FALSE(compare_serve(base, cur, {}).regressed);  // 25% < 30%
+}
+
+TEST(ServeGateCompareTest, WarmSpeedupBeyondToleranceFails) {
+  const auto base = parse_serve_bench_json(
+      serve_json(400, serve_row("serve/mixed/t1", 400, 4.0)), "base");
+  const auto cur = parse_serve_bench_json(
+      serve_json(400, serve_row("serve/mixed/t1", 400, 2.0)), "cur");
+  const auto outcome = compare_serve(base, cur, {});
+  EXPECT_TRUE(outcome.regressed);
+  EXPECT_TRUE(has_line_with(outcome, "FAIL serve/mixed/t1"));
+}
+
+TEST(ServeGateCompareTest, MissingRowAndWorkloadChangeFail) {
+  const auto base = parse_serve_bench_json(
+      serve_json(400, serve_row("serve/mixed/t1", 400, 4.0) + ",\n" +
+                          serve_row("serve/mixed/t8", 400, 3.0)),
+      "base");
+  const auto dropped = parse_serve_bench_json(
+      serve_json(400, serve_row("serve/mixed/t1", 400, 4.0)), "cur");
+  const auto outcome = compare_serve(base, dropped, {});
+  EXPECT_TRUE(outcome.regressed);
+  EXPECT_TRUE(has_line_with(outcome, "FAIL serve/mixed/t8: row missing"));
+
+  const auto resized = parse_serve_bench_json(
+      serve_json(100, serve_row("serve/mixed/t1", 100, 4.0) + ",\n" +
+                          serve_row("serve/mixed/t8", 100, 3.0)),
+      "cur2");
+  const auto outcome2 = compare_serve(base, resized, {});
+  EXPECT_TRUE(outcome2.regressed);
+  EXPECT_TRUE(has_line_with(outcome2, "sessions_per_phase changed"));
+}
+
+TEST(ServeGateCompareTest, ModeMismatchThrows) {
+  const auto base = parse_serve_bench_json(
+      serve_json(400, serve_row("serve/mixed/t1", 400, 4.0)), "base");
+  auto smoke_text = serve_json(48, serve_row("serve/mixed/t1", 48, 4.0));
+  const auto at = smoke_text.find("\"mode\": \"full\"");
+  ASSERT_NE(at, std::string::npos);
+  smoke_text.replace(at, 15, "\"mode\": \"smoke\"");
+  const auto cur = parse_serve_bench_json(smoke_text, "cur");
+  EXPECT_THROW((void)compare_serve(base, cur, {}), std::invalid_argument);
+}
+
 TEST(BenchGateCompareTest, TightTolerance) {
   GateOptions opt;
   opt.tolerance = 0.05;

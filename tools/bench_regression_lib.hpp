@@ -214,6 +214,112 @@ inline GateOutcome compare(const BenchFile& baseline, const BenchFile& current,
   return out;
 }
 
+// --- serve snapshots (BENCH_serve.json) ---------------------------------
+//
+// The serve bench gates on `warm_speedup` — warm-cache over cold-cache
+// sessions/sec at the same worker-thread count.  Like the engine gate's
+// speedup keys, the ratio of two runs of the same binary on the same
+// host transfers across CI machines where absolute sessions/sec cannot.
+
+struct ServeRow {
+  std::string name;
+  std::size_t sessions = 0;
+  double warm_speedup = 0.0;
+};
+
+struct ServeBenchFile {
+  std::string mode;
+  std::size_t sessions_per_phase = 0;
+  std::vector<ServeRow> rows;
+};
+
+/// Parses the flat JSON bench_serve writes; rejects snapshots of any
+/// other bench (the "bench" tag) so the two gates cannot be cross-fed.
+inline ServeBenchFile parse_serve_bench_json(const std::string& text,
+                                             const std::string& where) {
+  using detail::fail;
+  const std::string bench = detail::raw_value(text, "bench", 0, where);
+  if (bench != "serve") {
+    fail("not a serve snapshot (bench '" + bench + "') in " + where);
+  }
+  ServeBenchFile out;
+  out.mode = detail::raw_value(text, "mode", 0, where);
+  out.sessions_per_phase = static_cast<std::size_t>(
+      detail::num_value(text, "sessions_per_phase", 0, where));
+
+  const std::size_t rows_at = text.find("\"rows\":");
+  if (rows_at == std::string::npos) fail("no rows array in " + where);
+  std::size_t pos = rows_at;
+  for (;;) {
+    const std::size_t open = text.find('{', pos + 1);
+    if (open == std::string::npos) break;
+    const std::size_t close = text.find('}', open);
+    if (close == std::string::npos) fail("unbalanced row object in " + where);
+    const std::string obj_where =
+        where + " rows[" + std::to_string(out.rows.size()) + "]";
+    const std::string obj = text.substr(open, close - open + 1);
+    ServeRow row;
+    row.name = detail::raw_value(obj, "name", 0, obj_where);
+    row.sessions = static_cast<std::size_t>(
+        detail::num_value(obj, "sessions", 0, obj_where));
+    row.warm_speedup = detail::num_value(obj, "warm_speedup", 0, obj_where);
+    out.rows.push_back(std::move(row));
+    pos = close;
+  }
+  if (out.rows.empty()) fail("empty rows array in " + where);
+  return out;
+}
+
+[[nodiscard]] inline std::optional<ServeRow> find_serve_row(
+    const ServeBenchFile& file, const std::string& name) {
+  for (const auto& row : file.rows) {
+    if (row.name == name) return row;
+  }
+  return std::nullopt;
+}
+
+/// Serve-snapshot gate: every baseline row's warm_speedup must hold
+/// within the tolerance.  Mode mismatches throw; a missing row or a
+/// changed per-phase session count (the workload itself moved) FAILs —
+/// the committed snapshot is stale and must be regenerated, the gate
+/// never quietly narrows.
+inline GateOutcome compare_serve(const ServeBenchFile& baseline,
+                                 const ServeBenchFile& current,
+                                 const GateOptions& opt) {
+  if (baseline.mode != current.mode) {
+    detail::fail("mode mismatch: baseline is '" + baseline.mode +
+                 "', current is '" + current.mode +
+                 "' — compare like with like");
+  }
+  GateOutcome out;
+  if (baseline.sessions_per_phase != current.sessions_per_phase) {
+    out.lines.push_back(
+        "FAIL serve: sessions_per_phase changed (" +
+        std::to_string(baseline.sessions_per_phase) + " -> " +
+        std::to_string(current.sessions_per_phase) +
+        ") — regenerate the committed snapshot");
+    out.regressed = true;
+  }
+  for (const auto& base_row : baseline.rows) {
+    const auto cur_row = find_serve_row(current, base_row.name);
+    if (!cur_row) {
+      out.lines.push_back("FAIL " + base_row.name +
+                          ": row missing from current");
+      out.regressed = true;
+      continue;
+    }
+    const double floor = base_row.warm_speedup * (1.0 - opt.tolerance);
+    const bool bad = cur_row->warm_speedup < floor;
+    std::ostringstream os;
+    os << (bad ? "FAIL " : "ok   ") << base_row.name << ": warm_speedup "
+       << cur_row->warm_speedup << " vs baseline " << base_row.warm_speedup
+       << " (floor " << floor << ")";
+    out.lines.push_back(os.str());
+    out.regressed = out.regressed || bad;
+  }
+  return out;
+}
+
 }  // namespace specstab::benchgate
 
 #endif  // SPECSTAB_TOOLS_BENCH_REGRESSION_LIB_HPP

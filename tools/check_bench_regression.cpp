@@ -1,10 +1,14 @@
-// check_bench_regression — CI gate over BENCH_engine.json snapshots.
+// check_bench_regression — CI gate over BENCH_engine.json and (with
+// --serve) BENCH_serve.json snapshots.
 //
 // Compares the per-row incremental-vs-reference speedups of a fresh
 // bench_engine run against a committed baseline and fails (exit 2) when
 // any comparable row regressed beyond the tolerance:
 //
 //   check_bench_regression BASELINE.json CURRENT.json
+//       [--serve]         gate a BENCH_serve.json pair instead: the
+//                         compared ratio is each row's warm_speedup
+//                         (warm-cache over cold-cache sessions/sec)
 //       [--tolerance T]   relative speedup drop allowed (default 0.30)
 //       [--min-steps N]   skip micro rows whose baseline executed fewer
 //                         steps (default 500: sub-hundred-step rows are
@@ -54,6 +58,7 @@ int main(int argc, char** argv) {
   namespace gate = specstab::benchgate;
   std::vector<std::string> paths;
   gate::GateOptions opt;
+  bool serve = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--tolerance" && i + 1 < argc) {
@@ -62,22 +67,34 @@ int main(int argc, char** argv) {
       opt.min_steps = std::atoll(argv[++i]);
     } else if (arg == "--min-ms" && i + 1 < argc) {
       opt.min_ms = std::atof(argv[++i]);
+    } else if (arg == "--serve") {
+      serve = true;
     } else if (!arg.empty() && arg[0] != '-') {
       paths.push_back(arg);
     } else {
       std::cerr << "usage: check_bench_regression BASELINE.json CURRENT.json"
-                   " [--tolerance T] [--min-steps N] [--min-ms MS]\n";
+                   " [--serve] [--tolerance T] [--min-steps N] [--min-ms MS]\n";
       return 1;
     }
   }
   if (paths.size() != 2) die("need exactly BASELINE.json and CURRENT.json");
 
   try {
-    const gate::BenchFile baseline =
-        gate::parse_bench_json(read_file(paths[0]), paths[0]);
-    const gate::BenchFile current =
-        gate::parse_bench_json(read_file(paths[1]), paths[1]);
-    const gate::GateOutcome outcome = gate::compare(baseline, current, opt);
+    gate::GateOutcome outcome;
+    if (serve) {
+      // BENCH_serve.json: gate the warm/cold throughput ratios.
+      const gate::ServeBenchFile baseline =
+          gate::parse_serve_bench_json(read_file(paths[0]), paths[0]);
+      const gate::ServeBenchFile current =
+          gate::parse_serve_bench_json(read_file(paths[1]), paths[1]);
+      outcome = gate::compare_serve(baseline, current, opt);
+    } else {
+      const gate::BenchFile baseline =
+          gate::parse_bench_json(read_file(paths[0]), paths[0]);
+      const gate::BenchFile current =
+          gate::parse_bench_json(read_file(paths[1]), paths[1]);
+      outcome = gate::compare(baseline, current, opt);
+    }
     for (const auto& line : outcome.lines) std::cout << line << "\n";
     if (outcome.regressed) {
       std::cerr << "\nbench regression beyond " << opt.tolerance * 100

@@ -1,13 +1,21 @@
 // The `specstab` command-line tool: a thin wrapper over cli::run_cli so
-// that all behaviour lives in the tested library module.
+// that all behaviour lives in the tested library module.  The one
+// exception is `serve`, a process-level verb (sockets, signal handlers,
+// a blocking drain) that cannot be a buffered request/response
+// subcommand — it dispatches to serve::serve_main directly.
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "cli/cli.hpp"
+#include "serve/serve_cli.hpp"
 
 int main(int argc, char** argv) {
   const std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && args[0] == "serve") {
+    return specstab::serve::serve_main(
+        std::vector<std::string>(args.begin() + 1, args.end()));
+  }
   const auto result = specstab::cli::run_cli(args);
   std::cout << result.output;
   return result.exit_code;
