@@ -20,6 +20,12 @@
 // naturally vary between hosts).
 //
 //   bench_engine [--smoke] [--json PATH] [--threads T] [--repeats R]
+//                [--scaling-check]
+//
+// --scaling-check skips the snapshot entirely: it times the fused
+// parallel engine at t1 and t8 on the dense sync ring-1M workload and
+// exits non-zero when t8 throughput drops below 90% of t1 — the CI
+// multi-core smoke (gated on nproc >= 4; meaningless on fewer cores).
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -82,6 +88,11 @@ struct MicroRow {
   double reference_ms = 0.0;
   double incremental_ms = 0.0;
   double vector_ms = 0.0;
+  /// Whether this row timed the vector engine at all.  Rows that never
+  /// ran it (parallel scaling, perturbed recovery) omit the vector keys
+  /// from the JSON instead of writing a 0.00 that looks like a
+  /// measurement — check_bench_regression rejects such zeros.
+  bool vector_measured = false;
 
   [[nodiscard]] double speedup() const {
     return incremental_ms > 0.0 ? reference_ms / incremental_ms : 0.0;
@@ -103,6 +114,7 @@ MicroRow micro(const std::string& name, const Graph& g, const P& proto,
                MakeChecker make_checker, StepIndex max_steps, int repeats) {
   MicroRow row;
   row.name = name;
+  row.vector_measured = true;
   RunOptions opt;
   opt.max_steps = max_steps;
   for (const EngineKind kind : {EngineKind::kReference,
@@ -245,16 +257,22 @@ std::vector<MicroRow> run_micros(bool smoke, int repeats) {
   return rows;
 }
 
-/// Parallel-engine scaling rows: per-step latency on million-vertex
-/// topologies at 1/2/8 worker threads, against the incremental engine as
-/// the baseline.  The MicroRow keys keep their regression-gate meaning —
-/// reference_ms is the baseline (incremental) time, incremental_ms the
-/// parallel time at the row's thread count, so "speedup" is the
-/// parallel-over-incremental ratio the ±30% band tracks.  Step counts
-/// are cross-checked between the engines (byte-identical results are the
-/// differential suite's job; the bench still refuses to time diverging
-/// runs).  One repeat: each full-mode run is seconds long, so best-of
-/// adds minutes for noise the 500+-step rows do not have.
+/// Parallel-engine strong-scaling rows: per-step latency on
+/// million-vertex topologies at 1/2/4/8 worker threads, against the
+/// incremental engine as the baseline.  The MicroRow keys keep their
+/// regression-gate meaning — reference_ms is the baseline (incremental)
+/// time, incremental_ms the parallel time at the row's thread count, so
+/// "speedup" is the parallel-over-incremental ratio the ±30% band
+/// tracks.  Each measurement lands in the JSON twice: under the
+/// historical `parallel/...` names (t1/t2/t8, band continuity) and the
+/// `parallel-fused/...` names (t1/t8) that pin the fused SIMD×shard
+/// path specifically.  A strong-scaling report (per-step latency,
+/// speedup over t1, parallel efficiency speedup/t) goes to stdout —
+/// efficiency is a host property, so it is reported, not gated.  Step
+/// counts are cross-checked between the engines (byte-identical results
+/// are the differential suite's job; the bench still refuses to time
+/// diverging runs).  One repeat: each full-mode run is seconds long, so
+/// best-of adds minutes for noise the 500+-step rows do not have.
 std::vector<MicroRow> parallel_scaling_rows(bool smoke) {
   std::vector<MicroRow> rows;
   struct Topo {
@@ -270,7 +288,10 @@ std::vector<MicroRow> parallel_scaling_rows(bool smoke) {
   // floor.  Unison under the synchronous daemon never terminates before
   // the cap, so every row executes exactly max_steps dense actions.
   const StepIndex max_steps = smoke ? 40 : 520;
+  const std::vector<unsigned> thread_counts = {1u, 2u, 4u, 8u};
   const UnboundedUnisonProtocol proto;
+  std::cout << "\n-- parallel strong scaling (dense sync unison, fused "
+               "SIMD shards) --\n";
   for (const auto& topo : topos) {
     const Graph& g = topo.g;
     Config<UnboundedUnisonProtocol::State> init(
@@ -294,30 +315,113 @@ std::vector<MicroRow> parallel_scaling_rows(bool smoke) {
       });
     }
     opt.engine = EngineKind::kParallel;
-    for (const unsigned threads : {1u, 2u, 8u}) {
-      opt.threads = threads;
-      MicroRow row;
-      row.name = "parallel/unison/" + topo.label + "/sync/t" +
-                 std::to_string(threads);
+    std::vector<double> ms_at(thread_counts.size(), 0.0);
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      opt.threads = thread_counts[i];
       std::int64_t steps = 0;
       auto daemon = make_daemon("synchronous", 1);
-      const double ms = best_of(1, [&] {
+      ms_at[i] = best_of(1, [&] {
         const auto res = run_with_engine(g, proto, *daemon, init, opt,
                                          checker);
         steps = res.steps;
       });
       if (steps != base_steps) {
-        std::cerr << "!! ENGINE MISMATCH in '" << row.name << "': "
-                  << base_steps << " vs " << steps << " steps\n";
+        std::cerr << "!! ENGINE MISMATCH in parallel scaling '" << topo.label
+                  << "' t" << thread_counts[i] << ": " << base_steps
+                  << " vs " << steps << " steps\n";
         std::exit(2);
       }
-      row.steps = steps;
+    }
+
+    std::cout << topo.label << " (" << base_steps << " steps, incremental "
+              << fmt(base_ms / static_cast<double>(base_steps), 4)
+              << " ms/step):\n"
+              << std::right << std::setw(10) << "threads" << std::setw(14)
+              << "ms/step" << std::setw(12) << "vs-inc" << std::setw(12)
+              << "vs-t1" << std::setw(14) << "efficiency" << "\n";
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      const double per_step = ms_at[i] / static_cast<double>(base_steps);
+      const double vs_t1 = ms_at[0] / ms_at[i];
+      const double eff = vs_t1 / static_cast<double>(thread_counts[i]);
+      std::cout << std::setw(10) << thread_counts[i] << std::setw(14)
+                << fmt(per_step, 4) << std::setw(11)
+                << fmt(base_ms / ms_at[i]) << "x" << std::setw(11)
+                << fmt(vs_t1) << "x" << std::setw(14) << fmt(eff) << "\n";
+    }
+
+    const auto row_at = [&](const std::string& prefix, unsigned threads) {
+      MicroRow row;
+      row.name = prefix + "/unison/" + topo.label + "/sync/t" +
+                 std::to_string(threads);
+      row.steps = base_steps;
       row.reference_ms = base_ms;
-      row.incremental_ms = ms;
-      rows.push_back(row);
+      const auto it = std::find(thread_counts.begin(), thread_counts.end(),
+                                threads);
+      row.incremental_ms = ms_at[static_cast<std::size_t>(
+          it - thread_counts.begin())];
+      return row;
+    };
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      rows.push_back(row_at("parallel", threads));
+    }
+    for (const unsigned threads : {1u, 8u}) {
+      rows.push_back(row_at("parallel-fused", threads));
     }
   }
   return rows;
+}
+
+/// `--scaling-check`: the CI multi-core smoke.  Runs the dense sync 1M
+/// ring workload on the fused parallel engine at t1 and t8 and requires
+/// t8 throughput to be at least 90% of t1 (one-sided: t8 may be faster
+/// by any margin, and the 10% slack absorbs shared-runner noise).  Only
+/// meaningful on a multi-core host — the CI job gates it on nproc >= 4.
+/// Returns the process exit code.
+int run_scaling_check() {
+  const Graph g = make_ring(1000000);
+  const UnboundedUnisonProtocol proto;
+  Config<UnboundedUnisonProtocol::State> init(static_cast<std::size_t>(g.n()));
+  std::mt19937_64 rng(99);
+  std::uniform_int_distribution<std::int64_t> pick(-5, 20);
+  for (auto& s : init) s = pick(rng);
+
+  RunOptions opt;
+  opt.max_steps = 120;
+  opt.engine = EngineKind::kParallel;
+  AlwaysLegitimate checker;
+  double ms_at[2] = {0.0, 0.0};
+  std::int64_t steps_at[2] = {0, 0};
+  const unsigned threads[2] = {1u, 8u};
+  for (int i = 0; i < 2; ++i) {
+    opt.threads = threads[i];
+    auto daemon = make_daemon("synchronous", 1);
+    // Best-of-2 inside one process: the second run reuses warm page
+    // tables and caches, which is the steady state the check targets.
+    ms_at[i] = best_of(2, [&] {
+      daemon->reset();
+      const auto res = run_with_engine(g, proto, *daemon, init, opt, checker);
+      steps_at[i] = res.steps;
+    });
+  }
+  if (steps_at[0] != steps_at[1]) {
+    std::cerr << "!! ENGINE MISMATCH in scaling check: " << steps_at[0]
+              << " vs " << steps_at[1] << " steps\n";
+    return 2;
+  }
+  const double t1_throughput = static_cast<double>(steps_at[0]) / ms_at[0];
+  const double t8_throughput = static_cast<double>(steps_at[1]) / ms_at[1];
+  std::cout << "scaling check (ring-1M dense sync, " << steps_at[0]
+            << " steps): t1 " << fmt(ms_at[0] / steps_at[0], 4)
+            << " ms/step, t8 " << fmt(ms_at[1] / steps_at[1], 4)
+            << " ms/step, t8/t1 throughput "
+            << fmt(t8_throughput / t1_throughput) << "x\n";
+  if (t8_throughput < 0.9 * t1_throughput) {
+    std::cerr << "FAIL: fused t8 throughput below 90% of t1 — parallel "
+                 "stepping lost to its own synchronization\n";
+    return 2;
+  }
+  std::cout << "ok: fused t8 holds t1 throughput\n";
+  return 0;
 }
 
 /// One perturbed-recovery measurement: the same fault-injected run on
@@ -436,6 +540,7 @@ MicroRow sweep_cross_protocol_row(bool smoke, unsigned threads,
   const auto items = campaign::expand_grid(campaign::sweep_grid(smoke));
   MicroRow row;
   row.name = "campaign/sweep-cross-protocol";
+  row.vector_measured = true;
   campaign::CampaignResult reference_rows;
   for (const EngineKind kind : {EngineKind::kReference,
                                 EngineKind::kIncremental,
@@ -546,10 +651,15 @@ std::string to_json(bool smoke, unsigned threads, int repeats,
     os << "    {\"name\": \"" << m.name << "\", \"steps\": " << m.steps
        << ", \"reference_ms\": " << fmt(m.reference_ms)
        << ", \"incremental_ms\": " << fmt(m.incremental_ms)
-       << ", \"speedup\": " << fmt(m.speedup())
-       << ", \"vector_ms\": " << fmt(m.vector_ms)
-       << ", \"vector_speedup\": " << fmt(m.vector_speedup()) << "}"
-       << (i + 1 < micros.size() ? "," : "") << "\n";
+       << ", \"speedup\": " << fmt(m.speedup());
+    // Vector keys appear only on rows that timed the vector engine: an
+    // unmeasured metric is omitted, never written as a 0.00 pretending
+    // to be data (check_bench_regression rejects such zeros).
+    if (m.vector_measured) {
+      os << ", \"vector_ms\": " << fmt(m.vector_ms)
+         << ", \"vector_speedup\": " << fmt(m.vector_speedup());
+    }
+    os << "}" << (i + 1 < micros.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
   return os.str();
@@ -567,6 +677,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--scaling-check") {
+      return run_scaling_check();
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
@@ -576,7 +688,7 @@ int main(int argc, char** argv) {
       repeats_set = true;
     } else {
       std::cerr << "usage: bench_engine [--smoke] [--json PATH] "
-                   "[--threads T] [--repeats R]\n";
+                   "[--threads T] [--repeats R] [--scaling-check]\n";
       return 1;
     }
   }
@@ -615,9 +727,12 @@ int main(int argc, char** argv) {
   for (const auto& m : micros) {
     std::cout << std::left << std::setw(42) << m.name << std::right
               << std::setw(12) << fmt(m.reference_ms) << std::setw(12)
-              << fmt(m.incremental_ms) << std::setw(12) << fmt(m.vector_ms)
-              << std::setw(9) << fmt(m.speedup()) << "x" << std::setw(9)
-              << fmt(m.vector_speedup()) << "x\n";
+              << fmt(m.incremental_ms) << std::setw(12)
+              << (m.vector_measured ? fmt(m.vector_ms) : std::string("-"))
+              << std::setw(9) << fmt(m.speedup()) << "x" << std::setw(10)
+              << (m.vector_measured ? fmt(m.vector_speedup()) + "x"
+                                    : std::string("-"))
+              << "\n";
   }
 
   const std::string json =

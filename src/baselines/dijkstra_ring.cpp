@@ -76,11 +76,16 @@ std::vector<VertexId> DijkstraRingProtocol::token_chase_priority(VertexId n) {
 
 void SimdEval<DijkstraRingProtocol>::enabled_bytes(
     const Context&, const DijkstraRingProtocol&,
-    const ConfigView<std::int32_t>& cfg, std::uint8_t* out) {
+    const ConfigView<std::int32_t>& cfg, std::uint8_t* out, VertexId begin,
+    VertexId end) {
   const std::int32_t* c = cfg.column();
   const auto n = cfg.size();
-  out[0] = static_cast<std::uint8_t>(c[0] == c[n - 1]);
-  for (std::size_t v = 1; v < n; ++v) {
+  auto v = static_cast<std::size_t>(begin);
+  if (begin == 0 && end > 0) {
+    out[0] = static_cast<std::uint8_t>(c[0] == c[n - 1]);
+    v = 1;
+  }
+  for (; v < static_cast<std::size_t>(end); ++v) {
     out[v] = static_cast<std::uint8_t>(c[v] != c[v - 1]);
   }
 }

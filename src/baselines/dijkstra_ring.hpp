@@ -99,7 +99,7 @@ struct SimdEval<DijkstraRingProtocol> {
   }
   static void enabled_bytes(const Context&, const DijkstraRingProtocol&,
                             const ConfigView<std::int32_t>& cfg,
-                            std::uint8_t* out);
+                            std::uint8_t* out, VertexId begin, VertexId end);
 };
 
 }  // namespace specstab

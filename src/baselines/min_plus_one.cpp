@@ -62,14 +62,14 @@ SimdEval<MinPlusOneProtocol>::Context SimdEval<MinPlusOneProtocol>::
 
 void SimdEval<MinPlusOneProtocol>::enabled_bytes(
     const Context& ctx, const MinPlusOneProtocol& proto,
-    const ConfigView<std::int32_t>& cfg, std::uint8_t* out) {
+    const ConfigView<std::int32_t>& cfg, std::uint8_t* out, VertexId begin,
+    VertexId end) {
   const std::int32_t* c = cfg.column();
   const std::int32_t* off = ctx.adj.offsets.data();
   const VertexId* tg = ctx.adj.targets.data();
   const std::int32_t cap = proto.level_cap();
   const VertexId root = proto.root();
-  const auto n = static_cast<VertexId>(cfg.size());
-  for (VertexId v = 0; v < n; ++v) {
+  for (VertexId v = begin; v < end; ++v) {
     std::int32_t best = cap;
     for (std::int32_t j = off[v]; j < off[v + 1]; ++j) {
       const std::int32_t lu = c[static_cast<std::size_t>(tg[j])];

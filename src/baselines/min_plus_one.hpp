@@ -83,7 +83,7 @@ struct SimdEval<MinPlusOneProtocol> {
   static Context make_context(const Graph& g, const MinPlusOneProtocol&);
   static void enabled_bytes(const Context& ctx, const MinPlusOneProtocol& proto,
                             const ConfigView<std::int32_t>& cfg,
-                            std::uint8_t* out);
+                            std::uint8_t* out, VertexId begin, VertexId end);
 };
 
 }  // namespace specstab

@@ -47,12 +47,12 @@ SimdEval<UnboundedUnisonProtocol>::Context SimdEval<UnboundedUnisonProtocol>::
 
 void SimdEval<UnboundedUnisonProtocol>::enabled_bytes(
     const Context& ctx, const UnboundedUnisonProtocol&,
-    const ConfigView<std::int64_t>& cfg, std::uint8_t* out) {
+    const ConfigView<std::int64_t>& cfg, std::uint8_t* out, VertexId begin,
+    VertexId end) {
   const std::int64_t* c = cfg.column();
   const std::int32_t* off = ctx.adj.offsets.data();
   const VertexId* tg = ctx.adj.targets.data();
-  const auto n = static_cast<VertexId>(cfg.size());
-  for (VertexId v = 0; v < n; ++v) {
+  for (VertexId v = begin; v < end; ++v) {
     const std::int64_t cv = c[static_cast<std::size_t>(v)];
     unsigned minimal = 1;  // vacuously a local minimum when deg(v) = 0
     for (std::int32_t j = off[v]; j < off[v + 1]; ++j) {

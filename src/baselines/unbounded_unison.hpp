@@ -68,7 +68,7 @@ struct SimdEval<UnboundedUnisonProtocol> {
   static Context make_context(const Graph& g, const UnboundedUnisonProtocol&);
   static void enabled_bytes(const Context& ctx, const UnboundedUnisonProtocol&,
                             const ConfigView<std::int64_t>& cfg,
-                            std::uint8_t* out);
+                            std::uint8_t* out, VertexId begin, VertexId end);
 };
 
 }  // namespace specstab

@@ -5,12 +5,14 @@
 #include <exception>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
 #include "graph/properties.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel_engine.hpp"
 #include "sim/protocol_registry.hpp"
 
 namespace specstab::campaign {
@@ -49,7 +51,9 @@ std::int64_t estimated_cost(const Scenario& s, const TopologyInstance& topo,
 /// here.
 ScenarioResult run_scenario_on(const Scenario& scenario,
                                const TopologyInstance& topo,
-                               EngineKind engine, ConfigLayout layout) {
+                               EngineKind engine, ConfigLayout layout,
+                               unsigned engine_threads = 1,
+                               ShardPool* pool = nullptr) {
   ScenarioResult out;
   out.index = scenario.index;
   out.protocol = scenario.protocol;
@@ -71,6 +75,8 @@ ScenarioResult run_scenario_on(const Scenario& scenario,
   spec.max_steps = scenario.max_steps;
   spec.engine = engine;
   spec.layout = layout;
+  spec.threads = std::max(1u, engine_threads);
+  spec.pool = pool;
   spec.perturb = scenario.perturb;
   // Only the numeric meters survive into ScenarioResult; skip the
   // per-vertex state rendering and annotation sweeps.
@@ -163,7 +169,16 @@ CampaignResult run_scenarios(const std::vector<Scenario>& items,
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
+  const unsigned engine_threads = std::max(1u, opt.engine_threads);
   const auto worker = [&] {
+    // One persistent engine pool per campaign worker, reused across all
+    // of its parallel-engine scenarios — per-scenario runs never pay
+    // thread spawning.  Pools are worker-local, so two scenarios never
+    // share one concurrently.
+    std::optional<ShardPool> engine_pool;
+    if (opt.engine == EngineKind::kParallel && engine_threads > 1) {
+      engine_pool.emplace(engine_threads - 1);
+    }
     for (;;) {
       const std::size_t next = cursor.fetch_add(1, std::memory_order_relaxed);
       if (next >= items.size() || failed.load(std::memory_order_relaxed)) {
@@ -175,7 +190,8 @@ CampaignResult run_scenarios(const std::vector<Scenario>& items,
         if (item.max_steps == 0) item.max_steps = opt.max_steps_override;
         result.rows[i] = run_scenario_on(
             item, topologies.at(item.topology.label()), opt.engine,
-            opt.layout);
+            opt.layout, engine_threads,
+            engine_pool ? &*engine_pool : nullptr);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();

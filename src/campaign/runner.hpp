@@ -66,6 +66,16 @@ struct RunnerOptions {
   /// Work-distribution schedule (CLI `--order heavy|index`).  Results
   /// are bit-identical either way; only wall-clock differs.
   WorkOrder order = WorkOrder::kHeavyFirst;
+
+  /// Engine threads per scenario when `engine` is the parallel engine
+  /// (CLI `--engine-threads`; other engines ignore it).  Each campaign
+  /// worker keeps one persistent ShardPool sized for this and reuses it
+  /// across all its scenarios, so per-scenario thread spawning never
+  /// appears in campaign wall clock.  Results are byte-identical at any
+  /// value.  Default 1: campaign parallelism already saturates the host
+  /// at rep granularity — raising this oversubscribes unless `threads`
+  /// is lowered to compensate.
+  unsigned engine_threads = 1;
 };
 
 /// Executes one scenario synchronously.  Throws std::invalid_argument on

@@ -306,9 +306,14 @@ std::string campaign_usage() {
      << "  --steps N                      max-steps override for every run\n"
      << "  --engine incremental|reference|vector|parallel\n"
      << "                                 execution engine (default:\n"
-     << "                                 incremental; parallel sessions run\n"
-     << "                                 single-sharded here — the pool\n"
-     << "                                 already parallelizes scenarios)\n"
+     << "                                 incremental)\n"
+     << "  --engine-threads T             shards per parallel-engine run\n"
+     << "                                 (default 1: the campaign pool\n"
+     << "                                 already parallelizes scenarios;\n"
+     << "                                 raise it only with --threads\n"
+     << "                                 lowered to compensate — each\n"
+     << "                                 worker keeps a persistent engine\n"
+     << "                                 pool of this size)\n"
      << "  --layout auto|soa|aos          configuration storage layout\n"
      << "                                 (default auto: SoA where the\n"
      << "                                 protocol declares a field split);\n"
@@ -355,7 +360,7 @@ CliResult cmd_campaign(const std::vector<std::string>& args) {
       "--daemons", "--inits",     "--reps",     "--seed",
       "--threads", "--steps",     "--json",     "--csv",
       "--runs-csv", "--engine",   "--order",    "--layout",
-      "--perturb"};
+      "--perturb", "--engine-threads"};
   for (std::size_t pos = 0; pos < args.size();) {
     const std::string& flag = args[pos];
     if (flag == "--help") return {0, campaign_usage()};
@@ -410,6 +415,10 @@ CliResult cmd_campaign(const std::vector<std::string>& args) {
       const std::uint64_t t = parse_uint(value, "--threads");
       if (t > 4096) fail("--threads must be <= 4096");
       run_opt.threads = static_cast<unsigned>(t);
+    } else if (flag == "--engine-threads") {
+      const std::uint64_t t = parse_uint(value, "--engine-threads");
+      if (t < 1 || t > 4096) fail("--engine-threads must be in [1, 4096]");
+      run_opt.engine_threads = static_cast<unsigned>(t);
     } else if (flag == "--steps") {
       const std::uint64_t n = parse_uint(value, "--steps");
       if (n > static_cast<std::uint64_t>(

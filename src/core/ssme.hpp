@@ -133,15 +133,18 @@ struct SimdEval<SsmeProtocol> {
   }
   static void enabled_bytes(const Context& ctx, const SsmeProtocol& proto,
                             const ConfigView<ClockValue>& cfg,
-                            std::uint8_t* out) {
-    SimdEval<UnisonProtocol>::enabled_bytes(ctx, proto.unison(), cfg, out);
+                            std::uint8_t* out, VertexId begin, VertexId end) {
+    SimdEval<UnisonProtocol>::enabled_bytes(ctx, proto.unison(), cfg, out,
+                                            begin, end);
   }
   static std::int64_t enabled_bytes_scored(const Context& ctx,
                                            const SsmeProtocol& proto,
                                            const ConfigView<ClockValue>& cfg,
-                                           std::uint8_t* out) {
+                                           std::uint8_t* out, VertexId begin,
+                                           VertexId end) {
     return SimdEval<UnisonProtocol>::enabled_bytes_scored(ctx, proto.unison(),
-                                                          cfg, out);
+                                                          cfg, out, begin,
+                                                          end);
   }
 };
 

@@ -136,15 +136,15 @@ SimdEval<LeaderElectionProtocol>::Context SimdEval<LeaderElectionProtocol>::
 
 void SimdEval<LeaderElectionProtocol>::enabled_bytes(
     const Context& ctx, const LeaderElectionProtocol& proto,
-    const ConfigView<LeaderState>& cfg, std::uint8_t* out) {
+    const ConfigView<LeaderState>& cfg, std::uint8_t* out, VertexId begin,
+    VertexId end) {
   const std::int32_t* off = ctx.adj.offsets.data();
   const VertexId* tg = ctx.adj.targets.data();
-  const auto n = static_cast<VertexId>(cfg.size());
-  const auto bound = static_cast<std::int32_t>(n);
+  const auto bound = static_cast<std::int32_t>(cfg.size());
   const std::int32_t* lead = cfg.column<kLeaderField>();
   const std::int32_t* dst = cfg.column<kDistField>();
   if (lead != nullptr && dst != nullptr) {
-    for (VertexId v = 0; v < n; ++v) {
+    for (VertexId v = begin; v < end; ++v) {
       std::uint64_t best = lex_key(proto.id_of(v), 0);
       for (std::int32_t j = off[v]; j < off[v + 1]; ++j) {
         const auto i = static_cast<std::size_t>(tg[j]);
@@ -164,7 +164,7 @@ void SimdEval<LeaderElectionProtocol>::enabled_bytes(
   }
   // AoS layout: no contiguous columns; identical arithmetic over per-field
   // loads.
-  for (VertexId v = 0; v < n; ++v) {
+  for (VertexId v = begin; v < end; ++v) {
     std::uint64_t best = lex_key(proto.id_of(v), 0);
     for (std::int32_t j = off[v]; j < off[v + 1]; ++j) {
       const auto i = static_cast<std::size_t>(tg[j]);

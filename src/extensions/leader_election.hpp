@@ -140,7 +140,7 @@ struct SimdEval<LeaderElectionProtocol> {
   static void enabled_bytes(const Context& ctx,
                             const LeaderElectionProtocol& proto,
                             const ConfigView<LeaderState>& cfg,
-                            std::uint8_t* out);
+                            std::uint8_t* out, VertexId begin, VertexId end);
 };
 
 /// Uniformly random leader-election configuration (fields in

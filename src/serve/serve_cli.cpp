@@ -28,10 +28,19 @@ extern "C" void on_stop_signal(int) {
 
 constexpr const char* kUsage =
     "usage: specstab serve [--port P | --unix PATH] [--threads N]\n"
-    "                      [--cache-mb M] [--queue N] [--max-line-kb K]\n"
+    "                      [--engine-threads N] [--cache-mb M] [--queue N]\n"
+    "                      [--max-line-kb K]\n"
     "  --port P         listen on TCP 127.0.0.1:P (0 = ephemeral; default)\n"
     "  --unix PATH      listen on a unix-domain socket instead\n"
-    "  --threads N      session worker threads (0 = hardware; default)\n"
+    "  --threads N      session worker threads (0 = hardware; default).\n"
+    "                   Sizes the worker pool only: how many sessions run\n"
+    "                   concurrently, not how many threads one session uses\n"
+    "  --engine-threads N\n"
+    "                   parallel-engine threads per worker (0 = hardware /\n"
+    "                   workers; default).  Each worker keeps one persistent\n"
+    "                   engine pool; a request's own \"threads\" field picks\n"
+    "                   its shard count, clamped to this pool, so workers x\n"
+    "                   engine threads never oversubscribes by default\n"
     "  --cache-mb M     result cache budget in MiB (0 disables; default 64)\n"
     "  --queue N        pending-session queue capacity (default 256)\n"
     "  --max-line-kb K  request line limit in KiB (default 1024)\n"
@@ -87,6 +96,9 @@ int serve_main(const std::vector<std::string>& args) {
         have_endpoint = true;
       } else if (arg == "--threads") {
         options.threads = static_cast<unsigned>(parse_u64(arg, value(), 4096));
+      } else if (arg == "--engine-threads") {
+        options.engine_threads =
+            static_cast<unsigned>(parse_u64(arg, value(), 4096));
       } else if (arg == "--cache-mb") {
         options.cache_bytes =
             static_cast<std::size_t>(parse_u64(arg, value(), 1u << 20)) << 20;

@@ -11,11 +11,16 @@
 #include "cli/cli.hpp"
 #include "graph/properties.hpp"
 #include "sim/daemon.hpp"
+#include "sim/parallel_engine.hpp"
 #include "sim/protocol_registry.hpp"
 
 namespace specstab::serve {
 
 namespace {
+
+/// The executing worker's persistent parallel-engine pool (set by
+/// worker_loop for its lifetime); sessions attach it to their spec.
+thread_local ShardPool* tl_engine_pool = nullptr;
 
 /// Splits a canonical topology spelling back into CLI tokens.
 [[nodiscard]] std::vector<std::string> topology_tokens(
@@ -89,6 +94,15 @@ void SessionServer::start() {
 
   unsigned threads = options_.threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  // Auto engine-thread sizing: split the hardware between the session
+  // workers so workers × engine threads never oversubscribes — a host
+  // with 8 cores and 4 workers gives each worker a 2-participant engine
+  // pool.  An explicit engine_threads overrides the split.
+  engine_threads_ =
+      options_.engine_threads != 0
+          ? options_.engine_threads
+          : std::max(1u, std::max(1u, std::thread::hardware_concurrency()) /
+                             threads);
   workers_.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -257,11 +271,22 @@ void SessionServer::reader_loop(ConnectionPtr conn) {
 }
 
 void SessionServer::worker_loop() {
+  // One persistent engine pool per session worker, alive for the
+  // server's lifetime: parallel-engine sessions attach to it through
+  // the thread-local below (execute_run/execute_trace), so back-to-back
+  // requests reuse warm threads instead of spawning per session.  The
+  // pool is worker-local — a session never shares it with a concurrent
+  // session, and a request's own `threads` field is clamped to it by
+  // the engine (effective shards = min(threads, participants)).
+  std::optional<ShardPool> engine_pool;
+  if (engine_threads_ > 1) engine_pool.emplace(engine_threads_ - 1);
+  tl_engine_pool = engine_pool ? &*engine_pool : nullptr;
   for (;;) {
     std::optional<BoundedWorkQueue::Job> job = queue_.pop();
-    if (!job.has_value()) return;  // closed and drained
+    if (!job.has_value()) break;  // closed and drained
     (*job)();
   }
+  tl_engine_pool = nullptr;
 }
 
 void SessionServer::handle_line(const ConnectionPtr& conn,
@@ -357,7 +382,11 @@ void SessionServer::execute_run(const ConnectionPtr& conn, const JsonValue& id,
         topology_for(sreq.topology);
     const VertexId diam =
         entry.needs_diameter ? instance_diameter(*topo) : 0;
-    const SessionResult result = entry.run_on(topo->graph, diam, sreq.spec);
+    // Attach the worker's engine pool; the cache key above is oblivious
+    // (the pool is an execution resource, not session identity).
+    SessionSpec spec = sreq.spec;
+    spec.pool = tl_engine_pool;
+    const SessionResult result = entry.run_on(topo->graph, diam, spec);
     std::string payload = session_result_to_json(sreq, result, false).dump();
     sessions_completed_.fetch_add(1);
     conn->write_line(render_result_line_raw(id, payload));
@@ -378,6 +407,7 @@ void SessionServer::execute_trace(const ConnectionPtr& conn,
         topology_for(sreq.topology);
     SessionSpec spec = sreq.spec;
     spec.record_trace = true;
+    spec.pool = tl_engine_pool;
     const VertexId diam =
         entry.needs_diameter ? instance_diameter(*topo) : 0;
     const SessionResult result = entry.run_on(topo->graph, diam, spec);

@@ -48,8 +48,20 @@ namespace specstab::serve {
 
 struct ServeOptions {
   Endpoint endpoint = Endpoint::tcp(0);
-  /// Session worker threads; 0 picks the hardware concurrency.
+  /// Session worker threads; 0 picks the hardware concurrency.  This
+  /// sizes the *worker pool only* — how many sessions run concurrently —
+  /// not how many threads one session uses; see engine_threads.
   unsigned threads = 0;
+  /// Parallel-engine threads available to each session worker: every
+  /// worker keeps one persistent ShardPool of this size and hands it to
+  /// its sessions, so parallel-engine requests reuse warm threads
+  /// instead of spawning per session.  A request's own `threads` field
+  /// still picks its shard count per session, clamped to this pool —
+  /// the effective engine parallelism is min(request threads,
+  /// engine_threads).  0 (default) auto-sizes to hardware_concurrency /
+  /// worker count (at least 1), so workers × engine threads never
+  /// oversubscribes the host; results are byte-identical regardless.
+  unsigned engine_threads = 0;
   std::size_t cache_bytes = 64u << 20;
   std::size_t queue_capacity = 256;
   std::size_t max_line_bytes = 1u << 20;
@@ -131,6 +143,9 @@ class SessionServer {
   [[nodiscard]] static VertexId instance_diameter(const TopologyInstance& topo);
 
   ServeOptions options_;
+  /// ServeOptions::engine_threads resolved against the worker count at
+  /// start() (the 0 = auto rule); what each worker sizes its pool to.
+  unsigned engine_threads_ = 1;
   std::unique_ptr<Listener> listener_;
   BoundedWorkQueue queue_;
   ResultCache cache_;

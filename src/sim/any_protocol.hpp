@@ -125,6 +125,7 @@ template <class Traits>
   opt.engine = spec.engine;
   opt.layout = spec.layout;
   opt.threads = spec.threads;
+  opt.pool = spec.pool;
   opt.record_trace = spec.record_trace;
   opt.max_steps =
       spec.max_steps > 0 ? spec.max_steps : Traits::step_cap(g, diam);

@@ -1,5 +1,7 @@
 #include "sim/enabled_set.hpp"
 
+#include "sim/simd_eval.hpp"
+
 namespace specstab {
 
 const std::vector<VertexId>& NeighborhoodExpander::expand(
@@ -47,6 +49,50 @@ void EnabledSet::reset(VertexId n) {
   scratch_.reserve(static_cast<std::size_t>(n));
   added_.reserve(static_cast<std::size_t>(n));
   removed_.reserve(static_cast<std::size_t>(n));
+  words_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
+}
+
+std::size_t EnabledSet::fill_words(VertexId begin, VertexId end,
+                                   const std::uint8_t* verdicts) {
+  assert(begin % 64 == 0 && begin <= end);
+  std::size_t count = 0;
+  for (VertexId base = begin; base < end; base += 64) {
+    // The verdict buffer is padded to a 64-byte multiple and zeroed past
+    // the last vertex, so the full-word read never over-runs and
+    // trailing bits fold to zero.
+    const std::uint64_t mask = pack_verdict_word(verdicts + base);
+    words_[static_cast<std::size_t>(base) / 64] = mask;
+    count += static_cast<std::size_t>(std::popcount(mask));
+  }
+  for (VertexId v = begin; v < end; ++v) {
+    bits_[static_cast<std::size_t>(v)] = verdicts[v] != 0;
+  }
+  return count;
+}
+
+void EnabledSet::prepare_scatter(const std::vector<std::size_t>& counts,
+                                 std::vector<std::size_t>& offsets) {
+  offsets.resize(counts.size() + 1);
+  offsets[0] = 0;
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    offsets[k + 1] = offsets[k] + counts[k];
+  }
+  // Within the reset() reservation: no shard rebuild exceeds n vertices.
+  vertices_.resize(offsets.back());
+}
+
+void EnabledSet::scatter_words(VertexId begin, VertexId end,
+                               std::size_t offset) {
+  assert(begin % 64 == 0 && begin <= end);
+  VertexId* dst = vertices_.data() + offset;
+  for (VertexId base = begin; base < end; base += 64) {
+    std::uint64_t mask = words_[static_cast<std::size_t>(base) / 64];
+    while (mask != 0) {
+      const int b = std::countr_zero(mask);
+      mask &= mask - 1;
+      *dst++ = base + b;
+    }
+  }
 }
 
 void EnabledSet::assign(const std::vector<VertexId>& sorted_enabled) {

@@ -183,9 +183,48 @@ class EnabledSet {
   }
   void end_rebuild() { vertices_.swap(scratch_); }
 
+  // --- Sharded dense rebuild (parallel engine) ---------------------------
+  //
+  // The fused dense path rebuilds the whole set from per-shard guard
+  // verdicts with no sequential concatenation.  Shard ranges must
+  // partition [0, n) with every interior boundary a multiple of 64, so
+  // shards touch disjoint mask words and disjoint bitmap bytes:
+  //
+  //   1. each shard calls fill_words(begin, end, verdicts) over its own
+  //      range (verdicts indexed by absolute vertex id, padded to a
+  //      64-byte multiple with zeros past the last vertex) and keeps the
+  //      returned enabled count;
+  //   2. one thread calls prepare_scatter(counts, offsets) — a prefix
+  //      sum over the shard counts plus the sorted-vector resize (within
+  //      the reset() reservation, so allocation-free);
+  //   3. each shard calls scatter_words(begin, end, offsets[k]) to
+  //      decode its words into its slice of the sorted vector.
+  //
+  // Concurrent fill/scatter calls on distinct ranges are data-race-free
+  // by construction (disjoint writes, no size changes); the resulting
+  // bitmap and sorted vector are identical to an ordered append() sweep
+  // of the same verdicts.
+
+  /// Packs verdicts[begin..end) into mask words and the membership
+  /// bitmap; returns the number of enabled vertices in the range.
+  /// `begin` must be a multiple of 64; `end` must be the next shard's
+  /// begin or n.
+  std::size_t fill_words(VertexId begin, VertexId end,
+                         const std::uint8_t* verdicts);
+
+  /// Prefix-sums the per-shard counts into `offsets` (size counts.size()
+  /// + 1) and sizes the sorted vector for scatter_words().
+  void prepare_scatter(const std::vector<std::size_t>& counts,
+                       std::vector<std::size_t>& offsets);
+
+  /// Decodes the mask words of [begin, end) into the sorted vector
+  /// starting at `offset` (the shard's prefix sum from prepare_scatter).
+  void scatter_words(VertexId begin, VertexId end, std::size_t offset);
+
  private:
   std::vector<char> bits_;
   std::vector<VertexId> vertices_, scratch_, added_, removed_;
+  std::vector<std::uint64_t> words_;  ///< sharded-rebuild mask words
 };
 
 }  // namespace specstab

@@ -33,6 +33,8 @@
 
 namespace specstab {
 
+class ShardPool;  // parallel_engine.hpp
+
 /// Which execution engine drives a run.  The *incremental* engine
 /// (incremental_engine.hpp) maintains the enabled set by dirty-set
 /// propagation and supports incremental legitimacy checkers; the
@@ -77,6 +79,17 @@ struct RunOptions {
   /// Results are byte-identical at every thread count by construction;
   /// only wall clock differs.  1 runs every phase inline.
   unsigned threads = 1;
+
+  /// Optional externally owned worker pool for the parallel engine
+  /// (ignored by the others).  When set, the engine reuses it instead of
+  /// spawning threads per run — long-lived hosts (campaign workers,
+  /// `specstab serve` sessions) keep one pool per host thread so
+  /// back-to-back runs pay zero spawn cost.  The effective shard count
+  /// is min(threads, pool->participants()); since results are
+  /// thread-count invariant, the clamp never changes an outcome.  This
+  /// is an execution resource, not part of a run's identity — session
+  /// canonicalization ignores it.
+  ShardPool* pool = nullptr;
 
   /// If set, stop this many actions after the first time the
   /// configuration satisfies the legitimacy predicate (useful to bound

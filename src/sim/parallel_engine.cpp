@@ -1,68 +1,128 @@
 #include "sim/parallel_engine.hpp"
 
 namespace specstab {
+namespace {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+// Phases on the dense hot path arrive back-to-back (microseconds apart),
+// so both sides spin this many iterations before parking on the futex.
+// Large enough that a running phase pipeline never parks, small enough
+// that an idle pool (serve worker between requests, campaign worker on a
+// sequential protocol) yields its cores within ~10us.
+constexpr int kSpinLimit = 4096;
+
+}  // namespace
 
 ShardPool::ShardPool(unsigned extra_workers) {
+  // Spinning assumes the peer making progress owns another core.  When
+  // the pool oversubscribes the host (more threads than hardware — CI
+  // smoke runs at 16 threads on small runners, the differential suites
+  // exercise 16-thread pools anywhere), a spinning thread only burns the
+  // scheduler quantum the *working* thread needs, turning every phase
+  // into kSpinLimit pauses times participants; parking immediately hands
+  // the core over for the cost of one futex syscall instead.
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  spin_limit_ = hw > extra_workers ? kSpinLimit : 0;
   workers_.reserve(extra_workers);
   for (unsigned i = 0; i < extra_workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ShardPool::~ShardPool() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
+  if (!workers_.empty()) {
     stop_ = true;
+    // The epoch bump publishes stop_; workers observing the new epoch
+    // read stop_ and return without touching remaining_.
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    epoch_.notify_all();
+    for (auto& w : workers_) w.join();
   }
-  cv_.notify_all();
-  for (auto& t : workers_) t.join();
 }
 
-void ShardPool::run(std::size_t tasks,
+void ShardPool::run(std::size_t active,
                     const std::function<void(std::size_t)>& fn) {
-  if (tasks == 0) return;
-  if (workers_.empty()) {
-    for (std::size_t i = 0; i < tasks; ++i) fn(i);
+  assert(active >= 1 && active <= participants());
+  if (active <= 1 || workers_.empty()) {
+    // Single-shard runs bypass the barrier entirely: parked workers are
+    // not woken, no atomics are touched.
+    for (std::size_t k = 0; k < active; ++k) fn(k);
     return;
   }
-  std::unique_lock<std::mutex> lk(mu_);
+  // Publish the phase, then open the barrier.  All plain members are
+  // written before the seq_cst epoch bump and read by workers after
+  // their acquire load observes it.  Every worker participates in the
+  // countdown (inactive ones just decrement), so remaining_ always
+  // starts at the full worker count.
   fn_ = &fn;
-  tasks_ = tasks;
-  next_task_ = 0;
-  pending_ = tasks;
-  ++generation_;
-  const std::uint64_t gen = generation_;
-  cv_.notify_all();
-  participate(lk, gen);
-  done_cv_.wait(lk, [this] { return pending_ == 0; });
-  fn_ = nullptr;
-}
+  active_ = active;
+  remaining_.store(workers_.size(), std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_seq_cst) != 0) epoch_.notify_all();
 
-void ShardPool::participate(std::unique_lock<std::mutex>& lk,
-                            std::uint64_t gen) {
-  // Claims happen under the mutex: a worker that wakes after its
-  // generation's tasks are exhausted (or after a newer run() started)
-  // observes that under the same lock and claims nothing.  The task
-  // body runs unlocked.
-  while (generation_ == gen && next_task_ < tasks_) {
-    const std::size_t i = next_task_++;
-    const auto* fn = fn_;
-    lk.unlock();
-    (*fn)(i);
-    lk.lock();
-    --pending_;
-    if (pending_ == 0) done_cv_.notify_all();
+  fn(0);
+
+  // Completion: spin briefly for the stragglers, then park.  The
+  // caller_parked_ flag tells the last finishing worker a futex wake is
+  // needed; seq_cst ordering on both sides makes the flag-set/recheck
+  // vs decrement/flag-read handshake lossless (one of the two always
+  // observes the other), and atomic::wait re-checks the value under the
+  // futex lock so the final decrement never slips between our load and
+  // the park.
+  for (int spin = 0; spin < spin_limit_; ++spin) {
+    if (remaining_.load(std::memory_order_acquire) == 0) return;
+    cpu_relax();
   }
+  caller_parked_.store(true, std::memory_order_seq_cst);
+  std::size_t r = remaining_.load(std::memory_order_seq_cst);
+  while (r != 0) {
+    remaining_.wait(r, std::memory_order_seq_cst);
+    r = remaining_.load(std::memory_order_seq_cst);
+  }
+  caller_parked_.store(false, std::memory_order_relaxed);
 }
 
-void ShardPool::worker_loop() {
-  std::unique_lock<std::mutex> lk(mu_);
+void ShardPool::worker_loop(std::size_t self) {
   std::uint64_t seen = 0;
   for (;;) {
-    cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+    // Wait for the next phase: bounded spin on the epoch, then park.
+    // The parked_ counter tells run() whether notify_all() is needed;
+    // seq_cst on the increment vs the caller's bump-then-check keeps
+    // that handshake lossless too.
+    std::uint64_t e = epoch_.load(std::memory_order_acquire);
+    if (e == seen) {
+      for (int spin = 0; spin < spin_limit_ && e == seen; ++spin) {
+        cpu_relax();
+        e = epoch_.load(std::memory_order_acquire);
+      }
+      if (e == seen) {
+        parked_.fetch_add(1, std::memory_order_seq_cst);
+        e = epoch_.load(std::memory_order_seq_cst);
+        while (e == seen) {
+          epoch_.wait(seen, std::memory_order_seq_cst);
+          e = epoch_.load(std::memory_order_seq_cst);
+        }
+        parked_.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    seen = e;
     if (stop_) return;
-    seen = generation_;
-    participate(lk, seen);
+    if (self + 1 < active_) (*fn_)(self + 1);
+    // Last worker out wakes a parked caller.  The seq_cst decrement is
+    // also the release that publishes this shard's writes to the caller.
+    if (remaining_.fetch_sub(1, std::memory_order_seq_cst) == 1 &&
+        caller_parked_.load(std::memory_order_seq_cst)) {
+      remaining_.notify_all();
+    }
   }
 }
 

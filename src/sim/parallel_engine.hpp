@@ -7,47 +7,62 @@
 // `protocol_locality_radius()` bounds the footprint of an activation to
 // its radius-r ball, so activations whose balls don't overlap commute.
 //
-// This engine partitions the vertex range into `RunOptions::threads`
-// contiguous shards (CSR adjacency makes shard scans contiguous) and
-// runs each step in phases:
+// This engine partitions the vertex range into contiguous shards whose
+// interior boundaries are multiples of 64 — aligned to the EnabledSet
+// mask words — and pins shard k to worker k of a ShardPool for the whole
+// run (no per-step task claiming).  Each step runs in barrier-separated
+// phases:
 //
-//   1. *apply* — successor states for all activated vertices are
-//      computed in parallel against the pre-action configuration, then
-//      installed sequentially in ascending vertex order (dense actions
-//      through the store's double-buffered column swap, sparse ones via
-//      set());
-//   2. *guard re-test* — sparse path: each shard processes its slice of
-//      the sorted activation set; an activation whose radius-r ball
-//      stays inside the shard's range is re-tested in place (per-shard
-//      sorted added/removed deltas, a shared per-step stamp array with
-//      shard-disjoint writes deduplicating ball overlaps), while
-//      boundary-crossing activations are deferred to a sequential
-//      fix-up pass.  Dense path: each shard rescans its range into a
-//      per-shard enabled list;
-//   3. *merge* — per-shard deltas concatenate in shard order (each
-//      shard's vertices precede the next's, so the result is globally
-//      sorted), merge with the fix-up deltas, and apply in one
-//      EnabledSet::apply_delta() — or, densely, the per-shard lists
-//      rebuild the set in shard order.
+//   *dense steps* (is_dense_update), the synchronous/dense-daemon hot
+//   path, are fully fused:
+//
+//   1. *apply + install* — shard k computes the successor states of the
+//      activated vertices in its range against the pre-action
+//      configuration and merges them straight into the ConfigStore's
+//      inactive double buffers over its own column segment
+//      (dense_fill_range); one barrier, then a sequential O(1) buffer
+//      swap (dense_commit) publishes the post-action configuration;
+//   2. *fused guard rescan* — shard k evaluates its vertex range through
+//      the protocol's SimdEval kernel (simd_eval.hpp; scalar sweep for
+//      protocols without one), packs the verdict bytes into the
+//      EnabledSet's mask words and bitmap (fill_words — disjoint words
+//      by the 64-alignment), and, when the kernel and checker share a
+//      ScoreKind, accumulates its partial violation total; the totals
+//      merge at the barrier into one checker.accept_total() call, so
+//      neither the enabled set nor the legitimacy verdict needs a
+//      sequential pass;
+//   3. *scatter* — after a sequential prefix sum over the per-shard
+//      enabled counts (prepare_scatter), shard k decodes its mask words
+//      into its slice of the sorted enabled vector (scatter_words) —
+//      the old sequential delta-concatenation/merge pass is gone.
+//
+//   *sparse steps* keep the delta path: successor states computed in
+//   parallel and installed sequentially via set(); each shard re-tests
+//   the activations whose radius-r balls stay inside its range (per-shard
+//   sorted deltas, a shared per-step stamp array with shard-disjoint
+//   writes), boundary-crossing activations defer to a sequential fix-up
+//   pass, and the deltas concatenate in shard order into one
+//   EnabledSet::apply_delta().
 //
 // Fresh guard verdicts are pure functions of the post-action
-// configuration and flips are computed against the same pre-step
-// bitmap, so the resulting enabled set — and with it daemon selection,
-// meters, traces, and every subsequent step — is byte-identical to the
-// incremental engine at every thread count *by construction*.  The
-// differential suites (tests/parallel_differential_test.cpp and the
-// engine/layout harnesses) hold the engine to that at 1, 2 and 8
-// threads.
+// configuration, so the resulting enabled set — and with it daemon
+// selection, meters, traces, and every subsequent step — is
+// byte-identical to the incremental engine at every thread count *by
+// construction*.  The differential suites
+// (tests/parallel_differential_test.cpp and the engine/layout harnesses)
+// hold the engine to that at 1, 2, 8 and 16 threads, including shard
+// counts that split words unevenly and graphs smaller than one word.
 #ifndef SPECSTAB_SIM_PARALLEL_ENGINE_HPP
 #define SPECSTAB_SIM_PARALLEL_ENGINE_HPP
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <optional>
 #include <thread>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -56,15 +71,28 @@
 #include "sim/enabled_set.hpp"
 #include "sim/engine.hpp"
 #include "sim/protocol.hpp"
+#include "sim/simd_eval.hpp"
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
 
 namespace specstab {
 
 /// Persistent worker pool for the parallel engine: `extra_workers`
-/// threads plus the calling thread drain a task counter per run() call.
-/// One pool lives for a whole execution, so per-step cost is one
-/// condvar broadcast, not thread creation.
+/// threads plus the calling thread execute one function per phase, each
+/// pinned to a fixed index (worker i always runs fn(i + 1), the caller
+/// fn(0)) — no task claiming, no mutex.  Phase hand-off is a
+/// sense-reversing barrier over two atomics: the caller publishes the
+/// phase and bumps an epoch counter, workers spin briefly on the epoch
+/// and park on a futex (std::atomic::wait) when a phase doesn't arrive;
+/// completion mirrors it with a remaining-workers countdown the caller
+/// spins/parks on.  Per-phase cost on the hot path is therefore a few
+/// cache-line transfers, not a mutex+condvar round trip.
+///
+/// A pool outlives individual runs: campaign workers and `specstab
+/// serve` sessions keep one pool per host thread and hand it to the
+/// engine through RunOptions::pool, so back-to-back runs pay zero
+/// thread-spawn cost.  A pool must not be driven by two runs
+/// concurrently (one caller at a time).
 class ShardPool {
  public:
   explicit ShardPool(unsigned extra_workers);
@@ -73,43 +101,67 @@ class ShardPool {
   ShardPool(const ShardPool&) = delete;
   ShardPool& operator=(const ShardPool&) = delete;
 
-  /// Runs fn(0) .. fn(tasks - 1), each exactly once, across the calling
-  /// thread and the workers; returns after all complete.  Not
-  /// reentrant.  Task claims go through the pool mutex — tasks are
-  /// coarse (whole shard scans), so claim serialization is noise, and a
-  /// late-waking worker can never claim into a newer generation.
-  void run(std::size_t tasks, const std::function<void(std::size_t)>& fn);
+  /// Extra workers + the calling thread: the maximum `active` for run().
+  [[nodiscard]] std::size_t participants() const {
+    return workers_.size() + 1;
+  }
+
+  /// Runs fn(0) .. fn(active - 1), each exactly once — fn(0) on the
+  /// calling thread, fn(i) pinned to worker i - 1; returns after all
+  /// complete.  active must be <= participants().  Not reentrant.  With
+  /// active == 1 the call is a plain inline invocation: parked workers
+  /// are not woken, so a large shared pool costs nothing to
+  /// single-threaded runs.
+  void run(std::size_t active, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
-  void participate(std::unique_lock<std::mutex>& lk, std::uint64_t gen);
+  void worker_loop(std::size_t self);
+
+  // Phase publication (written by the caller before the epoch bump, read
+  // by workers after observing it).
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+  // Spin budget before parking: 0 when the pool oversubscribes the host
+  // (spinning would steal the working thread's quantum), a few thousand
+  // pause iterations otherwise.  Set once at construction.
+  int spin_limit_ = 0;
+
+  // The barrier atomics live on their own cache lines: epoch_ is
+  // caller-written/worker-read, remaining_ the reverse — sharing a line
+  // would bounce it twice per phase.
+  alignas(64) std::atomic<std::uint64_t> epoch_{0};
+  alignas(64) std::atomic<std::size_t> remaining_{0};
+  alignas(64) std::atomic<unsigned> parked_{0};
+  std::atomic<bool> caller_parked_{false};
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_, done_cv_;
-  const std::function<void(std::size_t)>* fn_ = nullptr;
-  std::size_t tasks_ = 0;
-  std::size_t next_task_ = 0;
-  std::size_t pending_ = 0;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
 };
 
 namespace parallel_detail {
 
 /// Contiguous vertex shards: shard k covers [bounds[k], bounds[k+1]).
+/// Interior boundaries are rounded up to multiples of 64 so each shard
+/// owns whole EnabledSet mask words (fill_words/scatter_words write
+/// disjointly); small graphs leave trailing shards empty, which every
+/// phase tolerates.
 inline std::vector<VertexId> shard_bounds(VertexId n, std::size_t shards) {
   std::vector<VertexId> bounds(shards + 1, 0);
   for (std::size_t k = 0; k <= shards; ++k) {
-    bounds[k] = static_cast<VertexId>(static_cast<std::int64_t>(n) *
-                                      static_cast<std::int64_t>(k) /
-                                      static_cast<std::int64_t>(shards));
+    const auto raw = static_cast<std::int64_t>(n) *
+                     static_cast<std::int64_t>(k) /
+                     static_cast<std::int64_t>(shards);
+    bounds[k] = static_cast<VertexId>(
+        std::min<std::int64_t>(static_cast<std::int64_t>(n),
+                               (raw + 63) / 64 * 64));
   }
+  bounds[shards] = n;
   return bounds;
 }
 
-/// Per-shard scratch, owned by the shard (not the thread): whichever
-/// worker drains shard k writes only into scratch k.
+/// Per-shard scratch for the sparse delta path, owned by the shard (not
+/// the thread): whichever worker drains shard k writes only into
+/// scratch k.
 struct ShardScratch {
   explicit ShardScratch(VertexId n) : expander(n) {}
 
@@ -117,7 +169,6 @@ struct ShardScratch {
   std::vector<VertexId> seed;            ///< one-activation seed buffer
   std::vector<VertexId> added, removed;  ///< sparse-path deltas (sorted)
   std::vector<VertexId> boundary;        ///< deferred boundary activations
-  std::vector<VertexId> enabled;         ///< dense-path shard rescan
 };
 
 }  // namespace parallel_detail
@@ -165,31 +216,152 @@ RunResult<typename P::State> run_execution_parallel(
   // lazy CSR flush before any worker reads adjacency.
   enabled.assign(enabled_vertices(g, proto, live));
 
-  const std::size_t shards = std::max(1u, opt.threads);
+  // External pool (campaign / serve host threads) or a run-local one.
+  // The shard count is the requested thread count clamped to the pool —
+  // results are thread-count invariant, so the clamp never changes an
+  // outcome.
+  const std::size_t want = std::max(1u, opt.threads);
+  std::optional<ShardPool> local_pool;
+  ShardPool* pool = opt.pool;
+  if (pool == nullptr) {
+    local_pool.emplace(static_cast<unsigned>(want - 1));
+    pool = &*local_pool;
+  }
+  const std::size_t shards = std::min(want, pool->participants());
   const auto bounds = parallel_detail::shard_bounds(g.n(), shards);
   std::vector<parallel_detail::ShardScratch> scratch;
   scratch.reserve(shards);
   for (std::size_t k = 0; k < shards; ++k) scratch.emplace_back(g.n());
 
-  // One pool for the whole run; with threads == 1 every phase runs
-  // inline on the calling thread.
-  ShardPool pool(opt.threads > 1 ? opt.threads - 1 : 0);
   const auto run_shards = [&](const std::function<void(std::size_t)>& fn) {
-    pool.run(shards, fn);
+    pool->run(shards, fn);
   };
 
-  // Per-step touched stamps deduplicate ball overlaps: workers stamp
-  // only vertices inside their own shard range (interior balls), the
-  // sequential fix-up pass stamps anywhere.
+  // Whether the guard kernel can hand its fused violation total straight
+  // to this run's checker on dense steps: kernel and checker must name
+  // the same (non-void) score definition.  See simd_eval.hpp.
+  constexpr bool kFusedScore = [] {
+    if constexpr (HasScoredSimdEval<P>) {
+      using KernelKind = typename SimdEval<P>::ScoreKind;
+      return !std::is_void_v<KernelKind> &&
+             std::is_same_v<KernelKind, typename ScoreKindOf<C>::type> &&
+             requires(C& c) {
+               { c.accept_total(std::int64_t{}) } -> std::same_as<bool>;
+             };
+    } else {
+      return false;
+    }
+  }();
+
+  // Shared guard-kernel state (context + padded verdict bytes): shards
+  // write disjoint verdict ranges, so one buffer serves all of them.
+  auto kernel = make_enabled_kernel(g, proto);
+
+  // Per-step touched stamps deduplicate ball overlaps on the sparse
+  // path: workers stamp only vertices inside their own shard range
+  // (interior balls), the sequential fix-up pass stamps anywhere.
   std::vector<std::uint32_t> touched(static_cast<std::size_t>(g.n()), 0);
   std::uint32_t step_gen = 0;
 
   NeighborhoodExpander fixup_expander(g.n());
   ActionBuffer action;
+  const std::vector<VertexId>& activated = action.active;
   std::vector<VertexId> round_base;
   std::vector<State> staged;
   std::vector<VertexId> merged_added, merged_removed;
   std::vector<VertexId> fix_added, fix_removed, boundary_all;
+  std::vector<std::size_t> shard_counts(shards, 0), shard_offsets;
+  std::vector<std::int64_t> shard_scores(shards, 0);
+  std::size_t sparse_per = 0;
+
+  // The phase bodies are hoisted std::functions so the hot loop never
+  // re-allocates closures; per-step state flows through the captured
+  // locals above.
+
+  // Dense phase 1 — fused apply + install: shard k stages the successor
+  // states of its activated slice and merges its column segment of the
+  // inactive double buffers.  No cross-shard reads: the live buffers are
+  // immutable until dense_commit().
+  const std::function<void(std::size_t)> dense_install_phase =
+      [&](std::size_t k) {
+        const auto a_lo = static_cast<std::size_t>(
+            std::lower_bound(activated.begin(), activated.end(), bounds[k]) -
+            activated.begin());
+        const auto a_hi = static_cast<std::size_t>(
+            std::lower_bound(activated.begin(), activated.end(),
+                             bounds[k + 1]) -
+            activated.begin());
+        for (std::size_t j = a_lo; j < a_hi; ++j) {
+          staged[j] = proto.apply(g, live, activated[j]);
+        }
+        cfg.dense_fill_range(activated, staged.data(), a_lo, a_hi,
+                             static_cast<std::size_t>(bounds[k]),
+                             static_cast<std::size_t>(bounds[k + 1]));
+      };
+
+  // Dense phase 2 — fused guard rescan over the shard's vertex range:
+  // SimdEval kernel (or scalar sweep) into the shared verdict buffer,
+  // packed into the shard's own mask words, partial score total kept.
+  const std::function<void(std::size_t)> dense_rescan_phase =
+      [&](std::size_t k) {
+        const VertexId lo = bounds[k];
+        const VertexId hi = bounds[k + 1];
+        shard_scores[k] =
+            fill_verdicts<kFusedScore>(kernel, g, proto, live, lo, hi);
+        shard_counts[k] = enabled.fill_words(lo, hi, kernel.verdicts.data());
+      };
+
+  // Dense phase 3 — scatter the shard's words into its slice of the
+  // sorted enabled vector.
+  const std::function<void(std::size_t)> dense_scatter_phase =
+      [&](std::size_t k) {
+        enabled.scatter_words(bounds[k], bounds[k + 1], shard_offsets[k]);
+      };
+
+  // Sparse apply phase: successor states chunked evenly (composite
+  // atomicity — every activation reads the pre-action configuration).
+  const std::function<void(std::size_t)> sparse_apply_phase =
+      [&](std::size_t k) {
+        const std::size_t lo = std::min(activated.size(), k * sparse_per);
+        const std::size_t hi = std::min(activated.size(), lo + sparse_per);
+        for (std::size_t j = lo; j < hi; ++j) {
+          staged[j] = proto.apply(g, live, activated[j]);
+        }
+      };
+
+  // Sparse re-test phase: shard k re-tests the activations in its range
+  // whose balls stay inside the range; the rest are deferred.
+  const std::function<void(std::size_t)> sparse_retest_phase =
+      [&](std::size_t k) {
+        auto& sc = scratch[k];
+        sc.added.clear();
+        sc.removed.clear();
+        sc.boundary.clear();
+        const EnabledView pre = enabled.view();
+        const auto first = std::lower_bound(activated.begin(),
+                                            activated.end(), bounds[k]);
+        const auto last = std::lower_bound(activated.begin(),
+                                           activated.end(), bounds[k + 1]);
+        for (auto it = first; it != last; ++it) {
+          const VertexId v = *it;
+          sc.seed.assign(1, v);
+          const auto& ball = sc.expander.expand(g, sc.seed, radius);
+          if (ball.front() < bounds[k] || ball.back() >= bounds[k + 1]) {
+            sc.boundary.push_back(v);
+            continue;
+          }
+          for (VertexId u : ball) {
+            auto& stamp = touched[static_cast<std::size_t>(u)];
+            if (stamp == step_gen) continue;
+            stamp = step_gen;
+            const bool now = proto.enabled(g, live, u);
+            if (now == pre.contains(u)) continue;
+            (now ? sc.added : sc.removed).push_back(u);
+          }
+        }
+        std::sort(sc.added.begin(), sc.added.end());
+        std::sort(sc.removed.begin(), sc.removed.end());
+      };
 
   StepIndex since_convergence = 0;
   while (res.steps < opt.max_steps) {
@@ -247,44 +419,31 @@ RunResult<typename P::State> run_execution_parallel(
     }
 
     daemon.select_into(g, enabled.view(), res.steps, action);
-    const std::vector<VertexId>& activated = action.active;
     assert(std::is_sorted(activated.begin(), activated.end()));
     if (observer) observer(res.steps, live, activated);
 
-    // --- Apply phase: successor states in parallel (composite
-    // atomicity — every activation reads the pre-action configuration),
-    // installed sequentially in ascending vertex order.
-    staged.resize(activated.size());
-    {
-      const std::size_t per =
-          (activated.size() + shards - 1) / std::max<std::size_t>(1, shards);
-      run_shards([&](std::size_t k) {
-        const std::size_t lo = std::min(activated.size(), k * per);
-        const std::size_t hi = std::min(activated.size(), lo + per);
-        for (std::size_t j = lo; j < hi; ++j) {
-          staged[j] = proto.apply(g, live, activated[j]);
-        }
-      });
-    }
     const bool dense = is_dense_update(
         static_cast<std::int64_t>(activated.size()), radius, g);
+    staged.resize(activated.size());
     if (dense) {
-      // dense_apply invokes the applier exactly once per activated
-      // vertex in ascending order, so a running cursor replays the
-      // staged states through the double-buffered column swap.
-      std::size_t cursor = 0;
-      cfg.dense_apply(activated, [&](ConfigView<State>, VertexId) {
-        return staged[cursor++];
-      });
+      // Fused apply + install: one parallel phase writes the inactive
+      // double buffers, one O(1) swap publishes them.  Trace recording
+      // reads the still-live pre-action states against the staged
+      // successors before the swap.
+      cfg.dense_begin();
+      run_shards(dense_install_phase);
       if (opt.record_trace) {
-        const ConfigView<State> prev = cfg.prev_view();
-        for (VertexId v : activated) {
-          const auto i = static_cast<std::size_t>(v);
-          res.trace.note_change(v, prev.get(i), live.get(i));
+        for (std::size_t j = 0; j < activated.size(); ++j) {
+          const auto i = static_cast<std::size_t>(activated[j]);
+          res.trace.note_change(activated[j], live.get(i), staged[j]);
         }
         res.trace.seal_action(activated);
       }
+      cfg.dense_commit();
     } else {
+      sparse_per =
+          (activated.size() + shards - 1) / std::max<std::size_t>(1, shards);
+      run_shards(sparse_apply_phase);
       if (opt.record_trace) {
         for (std::size_t j = 0; j < activated.size(); ++j) {
           const auto i = static_cast<std::size_t>(activated[j]);
@@ -307,58 +466,24 @@ RunResult<typename P::State> run_execution_parallel(
     // --- Guard re-test phase.
     bool checker_legit;
     if (dense) {
-      // Parallel per-shard rescan of the post-action configuration,
-      // rebuilt in shard order (identical to the incremental engine's
-      // ordered full rescan).
-      run_shards([&](std::size_t k) {
-        auto& sc = scratch[k];
-        sc.enabled.clear();
-        for (VertexId v = bounds[k]; v < bounds[k + 1]; ++v) {
-          if (proto.enabled(g, live, v)) sc.enabled.push_back(v);
-        }
-      });
-      enabled.begin_rebuild();
-      for (std::size_t k = 0; k < shards; ++k) {
-        for (VertexId v : scratch[k].enabled) enabled.append(v);
+      // Fused sharded rescan (phases 2-3 above); identical set contents
+      // to the incremental engine's ordered full rescan.
+      run_shards(dense_rescan_phase);
+      enabled.prepare_scatter(shard_counts, shard_offsets);
+      run_shards(dense_scatter_phase);
+      if constexpr (kFusedScore) {
+        std::int64_t total = 0;
+        for (std::size_t k = 0; k < shards; ++k) total += shard_scores[k];
+        checker_legit = checker.accept_total(total);
+      } else {
+        checker_legit = checker.on_update(g, live, activated);
       }
-      enabled.end_rebuild();
     } else {
       if (++step_gen == 0) {
         std::fill(touched.begin(), touched.end(), 0);
         step_gen = 1;
       }
-      const EnabledView pre = enabled.view();
-      // Shard k re-tests the activations that live in its range whose
-      // balls stay inside the range; the rest are deferred.
-      run_shards([&](std::size_t k) {
-        auto& sc = scratch[k];
-        sc.added.clear();
-        sc.removed.clear();
-        sc.boundary.clear();
-        const auto first = std::lower_bound(activated.begin(),
-                                            activated.end(), bounds[k]);
-        const auto last = std::lower_bound(activated.begin(),
-                                           activated.end(), bounds[k + 1]);
-        for (auto it = first; it != last; ++it) {
-          const VertexId v = *it;
-          sc.seed.assign(1, v);
-          const auto& ball = sc.expander.expand(g, sc.seed, radius);
-          if (ball.front() < bounds[k] || ball.back() >= bounds[k + 1]) {
-            sc.boundary.push_back(v);
-            continue;
-          }
-          for (VertexId u : ball) {
-            auto& stamp = touched[static_cast<std::size_t>(u)];
-            if (stamp == step_gen) continue;
-            stamp = step_gen;
-            const bool now = proto.enabled(g, live, u);
-            if (now == pre.contains(u)) continue;
-            (now ? sc.added : sc.removed).push_back(u);
-          }
-        }
-        std::sort(sc.added.begin(), sc.added.end());
-        std::sort(sc.removed.begin(), sc.removed.end());
-      });
+      run_shards(sparse_retest_phase);
 
       // Sequential fix-up: boundary-crossing activations, expanded
       // together; stamped vertices were already re-tested by a shard.
@@ -370,6 +495,7 @@ RunResult<typename P::State> run_execution_parallel(
                             scratch[k].boundary.end());
       }
       if (!boundary_all.empty()) {
+        const EnabledView pre = enabled.view();
         const auto& dirty = fixup_expander.expand(g, boundary_all, radius);
         for (VertexId u : dirty) {
           auto& stamp = touched[static_cast<std::size_t>(u)];
@@ -406,10 +532,10 @@ RunResult<typename P::State> run_execution_parallel(
                            merged_removed.end());
       }
       enabled.apply_delta(merged_added, merged_removed);
+      // The checker runs sequentially on the post-action configuration —
+      // same call, same verdict as the incremental engine's.
+      checker_legit = checker.on_update(g, live, activated);
     }
-    // The checker runs sequentially on the post-action configuration —
-    // same call, same verdict as the incremental engine's.
-    checker_legit = checker.on_update(g, live, activated);
 
     rc.on_action(opening_round ? round_base : enabled.vertices(), activated,
                  enabled.vertices());

@@ -51,6 +51,13 @@ struct SessionSpec {
   /// Worker threads for the parallel engine (CLI `--threads`); other
   /// engines ignore it.  Results are byte-identical at any value.
   unsigned threads = 1;
+  /// Optional externally owned worker pool for the parallel engine (see
+  /// RunOptions::pool): campaign workers and serve sessions thread their
+  /// per-host-thread pool through here so back-to-back sessions skip
+  /// thread spawning.  An execution resource, not part of the session's
+  /// identity — to_canonical_string() and session_cache_key() exclude it
+  /// (the same spec runs byte-identically with or without a pool).
+  ShardPool* pool = nullptr;
   bool record_trace = false;           ///< expose the delta trace below
   /// Skip the rendered outputs (final_state, digest, notes): the
   /// campaign runner keeps only the numeric meters, so it does not pay

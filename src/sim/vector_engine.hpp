@@ -40,11 +40,6 @@
 #include <utility>
 #include <vector>
 
-#if defined(__SSE2__) || defined(_M_X64)
-#include <emmintrin.h>
-#define SPECSTAB_VECTOR_ENGINE_SSE2 1
-#endif
-
 #include "graph/graph.hpp"
 #include "sim/daemon.hpp"
 #include "sim/enabled_set.hpp"
@@ -113,69 +108,25 @@ RunResult<typename P::State> run_execution_vector(
     }
   }();
 
-  // Guard kernel state: verdict bytes per vertex, packed into 64-bit
-  // words at rebuild time.  Allocated once, padded to a full word so the
-  // packing loop reads whole 64-byte blocks (the padding stays zero, so
-  // bits past the last vertex are zero as append_mask requires); the
-  // rescan below runs allocation-free.
-  [[maybe_unused]] auto kernel = [&] {
-    if constexpr (HasSimdEval<P>) {
-      struct KernelState {
-        typename SimdEval<P>::Context ctx;
-        std::vector<std::uint8_t> verdicts;
-      };
-      const auto padded = (static_cast<std::size_t>(n) + 63) / 64 * 64;
-      return KernelState{SimdEval<P>::make_context(g, proto),
-                         std::vector<std::uint8_t>(padded, 0)};
-    } else {
-      return 0;
-    }
-  }();
+  // Guard kernel state (shared with the parallel engine's fused dense
+  // path): the protocol's kernel context plus the padded verdict-byte
+  // buffer — see make_enabled_kernel() in simd_eval.hpp.  The rescan
+  // below runs allocation-free against it.
+  auto kernel = make_enabled_kernel(g, proto);
 
   EnabledSet enabled;
   enabled.reset(n);
-  // One rescan routine for the whole run: kernel bytes packed into
-  // EnabledSet words where the protocol declares SimdEval, a scalar
-  // guard sweep otherwise.  Returns the fused violation total (0 and
-  // unused unless kFusedScore).
+  // One rescan routine for the whole run: guard verdicts through the
+  // protocol's SimdEval kernel (a scalar sweep otherwise), packed into
+  // EnabledSet words 64 at a time.  Returns the fused violation total
+  // (0 and unused unless kFusedScore).
   const auto rescan = [&]() -> std::int64_t {
-    std::int64_t total = 0;
+    const std::int64_t total =
+        fill_verdicts<kFusedScore>(kernel, g, proto, live, 0, n);
     enabled.begin_rebuild();
-    if constexpr (HasSimdEval<P>) {
-      if constexpr (kFusedScore) {
-        total = SimdEval<P>::enabled_bytes_scored(kernel.ctx, proto, live,
-                                                  kernel.verdicts.data());
-      } else {
-        SimdEval<P>::enabled_bytes(kernel.ctx, proto, live,
-                                   kernel.verdicts.data());
-      }
-      const std::uint8_t* verdicts = kernel.verdicts.data();
-      for (VertexId base = 0; base < n; base += 64) {
-#ifdef SPECSTAB_VECTOR_ENGINE_SSE2
-        // 64 verdict bytes -> one word via byte-compare + movemask; the
-        // zero padding past n folds to zero bits.
-        std::uint64_t mask = 0;
-        const __m128i zero = _mm_setzero_si128();
-        for (int q = 0; q < 4; ++q) {
-          const __m128i bytes = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
-              verdicts + base + 16 * q));
-          const auto z = static_cast<unsigned>(
-              _mm_movemask_epi8(_mm_cmpeq_epi8(bytes, zero)));
-          mask |= static_cast<std::uint64_t>(~z & 0xFFFFu) << (16 * q);
-        }
-#else
-        const VertexId lanes = std::min<VertexId>(64, n - base);
-        std::uint64_t mask = 0;
-        for (VertexId b = 0; b < lanes; ++b) {
-          mask |= static_cast<std::uint64_t>(verdicts[base + b] != 0) << b;
-        }
-#endif
-        enabled.append_mask(base, mask);
-      }
-    } else {
-      for (VertexId v = 0; v < n; ++v) {
-        if (proto.enabled(g, live, v)) enabled.append(v);
-      }
+    const std::uint8_t* verdicts = kernel.verdicts.data();
+    for (VertexId base = 0; base < n; base += 64) {
+      enabled.append_mask(base, pack_verdict_word(verdicts + base));
     }
     enabled.end_rebuild();
     return total;

@@ -125,13 +125,15 @@ SimdEval<UnisonProtocol>::Context SimdEval<UnisonProtocol>::make_context(
 void SimdEval<UnisonProtocol>::enabled_bytes(const Context& ctx,
                                              const UnisonProtocol& proto,
                                              const ConfigView<ClockValue>& cfg,
-                                             std::uint8_t* out) {
-  (void)enabled_bytes_scored(ctx, proto, cfg, out);
+                                             std::uint8_t* out, VertexId begin,
+                                             VertexId end) {
+  (void)enabled_bytes_scored(ctx, proto, cfg, out, begin, end);
 }
 
 std::int64_t SimdEval<UnisonProtocol>::enabled_bytes_scored(
     const Context& ctx, const UnisonProtocol& proto,
-    const ConfigView<ClockValue>& cfg, std::uint8_t* out) {
+    const ConfigView<ClockValue>& cfg, std::uint8_t* out, VertexId begin,
+    VertexId end) {
   // Bit-exact restatement of enabled() = NA || CA || RA with the guard
   // relations inlined branch-free.  All clock arithmetic runs in int64
   // like CherryClock::ring_projection, so corrupted int32 registers fold
@@ -148,9 +150,8 @@ std::int64_t SimdEval<UnisonProtocol>::enabled_bytes_scored(
   const std::int64_t alpha = proto.clock().alpha();
   const std::int32_t* off = ctx.adj.offsets.data();
   const VertexId* tg = ctx.adj.targets.data();
-  const auto n = static_cast<VertexId>(cfg.size());
   std::int64_t total = 0;
-  for (VertexId v = 0; v < n; ++v) {
+  for (VertexId v = begin; v < end; ++v) {
     const std::int64_t rv = c[static_cast<std::size_t>(v)];
     const unsigned stab_v = static_cast<unsigned>(rv >= 0 && rv < k);
     unsigned na = stab_v;                                          // NA

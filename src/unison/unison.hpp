@@ -103,11 +103,12 @@ struct SimdEval<UnisonProtocol> {
   static Context make_context(const Graph& g, const UnisonProtocol&);
   static void enabled_bytes(const Context& ctx, const UnisonProtocol& proto,
                             const ConfigView<ClockValue>& cfg,
-                            std::uint8_t* out);
+                            std::uint8_t* out, VertexId begin, VertexId end);
   static std::int64_t enabled_bytes_scored(const Context& ctx,
                                            const UnisonProtocol& proto,
                                            const ConfigView<ClockValue>& cfg,
-                                           std::uint8_t* out);
+                                           std::uint8_t* out, VertexId begin,
+                                           VertexId end);
 };
 
 }  // namespace specstab

@@ -67,6 +67,66 @@ TEST(EnabledSetTest, AppendMaskMatchesScalarAppend) {
   }
 }
 
+TEST(EnabledSetTest, ShardedRebuildMatchesScalarAppend) {
+  // The parallel engine's three-phase rebuild (per-shard fill_words,
+  // prefix-sum prepare_scatter, per-shard scatter_words) must reproduce
+  // the ordered append() sweep exactly, for shard partitions whose
+  // word-aligned boundaries leave unequal and empty shards, and sizes
+  // with partial trailing words.
+  for (const VertexId n : {1, 7, 63, 64, 65, 97, 129, 200, 513}) {
+    std::mt19937_64 rng(static_cast<std::uint64_t>(n) * 1337u);
+    // Byte-per-vertex verdicts, zero-padded to a whole word as the
+    // fused kernels guarantee.
+    std::vector<std::uint8_t> verdicts(
+        (static_cast<std::size_t>(n) + 63) / 64 * 64, 0);
+    for (VertexId v = 0; v < n; ++v) {
+      verdicts[static_cast<std::size_t>(v)] =
+          static_cast<std::uint8_t>(rng() % 2);
+    }
+
+    EnabledSet scalar;
+    scalar.reset(n);
+    scalar.begin_rebuild();
+    for (VertexId v = 0; v < n; ++v) {
+      if (verdicts[static_cast<std::size_t>(v)] != 0) scalar.append(v);
+    }
+    scalar.end_rebuild();
+
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{3}, std::size_t{8},
+                                     std::size_t{16}}) {
+      // The engine's word-aligned bounds: empty trailing shards allowed.
+      std::vector<VertexId> bounds(shards + 1, 0);
+      for (std::size_t k = 1; k < shards; ++k) {
+        const auto raw = static_cast<VertexId>(
+            (static_cast<std::size_t>(n) * k) / shards);
+        bounds[k] = std::min<VertexId>(n, (raw + 63) / 64 * 64);
+      }
+      bounds[shards] = n;
+
+      EnabledSet sharded;
+      sharded.reset(n);
+      std::vector<std::size_t> counts(shards, 0);
+      for (std::size_t k = 0; k < shards; ++k) {
+        counts[k] =
+            sharded.fill_words(bounds[k], bounds[k + 1], verdicts.data());
+      }
+      std::vector<std::size_t> offsets;
+      sharded.prepare_scatter(counts, offsets);
+      for (std::size_t k = 0; k < shards; ++k) {
+        sharded.scatter_words(bounds[k], bounds[k + 1], offsets[k]);
+      }
+
+      EXPECT_EQ(sharded.vertices(), scalar.vertices())
+          << "n=" << n << " shards=" << shards;
+      for (VertexId v = 0; v < n; ++v) {
+        ASSERT_EQ(sharded.view().contains(v), scalar.view().contains(v))
+            << "n=" << n << " shards=" << shards << " v=" << v;
+      }
+    }
+  }
+}
+
 TEST(EnabledSetTest, AppendMaskWordBoundaryPatterns) {
   constexpr VertexId kN = 192;  // three exact words
   const std::uint64_t patterns[] = {

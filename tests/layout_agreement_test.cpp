@@ -150,6 +150,55 @@ TEST(LayoutAgreement, HotColdResidualSplitAgreesAcrossEnginesAndLayouts) {
   }
 }
 
+TEST(LayoutAgreement, FusedParallelThreadGridAgreesAcrossLayouts) {
+  // The fused dense path fills column segments per shard
+  // (dense_fill_range), including the residual full-struct array the
+  // HotCold split leaves behind — a lost residual write or a torn column
+  // segment shows up as a final-config or trace mismatch.  Graph sizes
+  // straddle the 64-vertex word boundary (97, 130) so shards get unequal
+  // word counts at every thread value.
+  const HotColdProtocol proto;
+  for (const Graph& g :
+       {make_ring(130), make_random_connected(97, 0.05, 13)}) {
+    for (const std::string daemon_name :
+         {std::string("synchronous"), std::string("bernoulli-0.5")}) {
+      for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        RunOptions opt;
+        opt.max_steps = 4000;
+        opt.record_trace = true;
+        opt.engine = EngineKind::kIncremental;
+        opt.threads = 1;
+        opt.layout = ConfigLayout::kAoS;
+        const auto init = random_hotcold(g, seed);
+        const auto base_daemon = make_daemon(daemon_name, seed);
+        AlwaysLegitimate base_checker;
+        const auto base = run_with_engine(g, proto, *base_daemon, init, opt,
+                                          base_checker);
+        EXPECT_TRUE(base.terminated);
+
+        opt.engine = EngineKind::kParallel;
+        for (const unsigned threads : {1u, 2u, 8u}) {
+          for (const ConfigLayout layout :
+               {ConfigLayout::kAoS, ConfigLayout::kSoA}) {
+            opt.threads = threads;
+            opt.layout = layout;
+            const auto daemon = make_daemon(daemon_name, seed);
+            AlwaysLegitimate checker;
+            const auto got =
+                run_with_engine(g, proto, *daemon, init, opt, checker);
+            expect_same_run(
+                base, got,
+                "n=" + std::to_string(g.n()) + " " + daemon_name + " seed " +
+                    std::to_string(seed) + " parallel-t" +
+                    std::to_string(threads) + "/" +
+                    std::string(config_layout_name(layout)));
+          }
+        }
+      }
+    }
+  }
+}
+
 // --- Typed differential: covers-all split (LeaderState) ---------------
 
 TEST(LayoutAgreement, LeaderColumnsAgreeWithAoSIncludingTraces) {

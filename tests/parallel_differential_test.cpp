@@ -218,6 +218,126 @@ TEST(ParallelDifferential, MoreThreadsThanVertices) {
   }
 }
 
+TEST(ParallelDifferential, WordBoundaryShardMisalignment) {
+  // Shard boundaries snap to 64-vertex EnabledSet words, so ring sizes
+  // straddling word boundaries (63/64/65/97/129/190) produce shards of
+  // unequal word counts, trailing partial words, and — at high thread
+  // counts — empty trailing shards.  The fused dense path (per-shard
+  // SimdEval + disjoint mask-word writes + scatter prefix sums) must be
+  // byte-identical through all of it.
+  const UnboundedUnisonProtocol proto;
+  for (const VertexId n : {63, 64, 65, 97, 129, 190}) {
+    const Graph g = make_ring(n);
+    for (const std::string daemon_name :
+         {std::string("synchronous"), std::string("bernoulli-0.5")}) {
+      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        RunOptions opt;
+        opt.max_steps = 200;
+        opt.steps_after_convergence = 0;
+        expect_thread_invariant(
+            g, proto, daemon_name, seed,
+            uniform_config<UnboundedUnisonProtocol::State>(g, -5, 20, seed),
+            [&] { return make_unbounded_unison_checker(proto); }, opt,
+            "n=" + std::to_string(n) + " daemon=" + daemon_name +
+                " seed=" + std::to_string(seed));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(ParallelDifferential, GraphsSmallerThanOneShard) {
+  // Word-aligned bounds mean any graph with n <= 64 lands entirely in
+  // shard 0 and every other shard is an empty range, at every thread
+  // count — the dense path must degenerate to the single-shard scan and
+  // the sparse path must tolerate zero-work shards.
+  const UnboundedUnisonProtocol proto;
+  for (const VertexId n : {3, 17, 40, 63}) {
+    const Graph g = make_ring(n);
+    for (const auto& daemon_name : daemon_axis()) {
+      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        RunOptions opt;
+        opt.max_steps = 150;
+        opt.steps_after_convergence = 0;
+        expect_thread_invariant(
+            g, proto, daemon_name, seed,
+            uniform_config<UnboundedUnisonProtocol::State>(g, -5, 20, seed),
+            [&] { return make_unbounded_unison_checker(proto); }, opt,
+            "n=" + std::to_string(n) + " daemon=" + daemon_name +
+                " seed=" + std::to_string(seed));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(ParallelDifferential, ScoredKernelPartialSumsAcrossShards) {
+  // SSME's Gamma_1 checker consumes a whole-configuration score that the
+  // fused dense path computes as per-shard int64 partial sums merged at
+  // the barrier.  On graphs spanning several 64-vertex words, the
+  // shard-ordered merge must reproduce the full-scan total bit-exactly —
+  // first_legitimate / last_illegitimate hinge on it.
+  for (const Graph& g : {make_ring(200), make_torus(10, 12)}) {
+    const SsmeProtocol proto = SsmeProtocol::for_graph(g);
+    for (const std::string daemon_name :
+         {std::string("synchronous"), std::string("bernoulli-0.5")}) {
+      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        RunOptions opt;
+        opt.max_steps = 300;
+        expect_thread_invariant(
+            g, proto, daemon_name, seed, random_config(g, proto.clock(), seed),
+            [&] { return make_gamma1_checker(proto); }, opt,
+            "n=" + std::to_string(g.n()) + " daemon=" + daemon_name +
+                " seed=" + std::to_string(seed));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(ParallelDifferential, ExternalPoolReuseIsInvisible) {
+  // RunOptions::pool hands the engine a caller-owned persistent
+  // ShardPool (the campaign-runner / serve reuse path).  Reusing one
+  // pool across many runs, at thread counts at and below the pool's
+  // participant count, must be byte-identical to pool-less runs.
+  const Graph g = make_ring(130);
+  const UnboundedUnisonProtocol proto;
+  ShardPool pool(7);  // 8 participants
+  for (const std::string daemon_name :
+       {std::string("synchronous"), std::string("random-subset")}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      RunOptions opt;
+      opt.max_steps = 200;
+      opt.steps_after_convergence = 0;
+      opt.record_trace = true;
+      opt.engine = EngineKind::kIncremental;
+      opt.threads = 1;
+      auto base_daemon = make_daemon(daemon_name, seed);
+      auto base_checker = make_unbounded_unison_checker(proto);
+      const auto init =
+          uniform_config<UnboundedUnisonProtocol::State>(g, -5, 20, seed);
+      const auto base =
+          run_with_engine(g, proto, *base_daemon, init, opt, base_checker);
+
+      opt.engine = EngineKind::kParallel;
+      opt.pool = &pool;
+      // threads > participants is clamped to the pool's size.
+      for (const unsigned threads : {2u, 8u, 16u}) {
+        opt.threads = threads;
+        auto daemon = make_daemon(daemon_name, seed);
+        auto checker = make_unbounded_unison_checker(proto);
+        const auto got =
+            run_with_engine(g, proto, *daemon, init, opt, checker);
+        expect_same_run(base, got,
+                        "pooled daemon=" + daemon_name + " seed=" +
+                            std::to_string(seed) + " threads=" +
+                            std::to_string(threads));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
 TEST(ParallelDifferential, RegistrySessionDigestsThreadInvariant) {
   // Through the type-erased session API: printed states and FNV digests
   // must be identical at every thread count for every protocol.
